@@ -1,0 +1,137 @@
+//! Timing models for collective gradient aggregation.
+//!
+//! The paper's §2 notes that parameter servers are only one aggregation
+//! mechanism — "many variations of MPI all-reduce" serve the same role —
+//! and claims P3's design principles (slicing, priority propagation)
+//! "are general enough to be applied to any gradient aggregation method".
+//! This module supplies the standard cost models for ring and tree
+//! allreduce so the claim can be tested quantitatively.
+
+use p3_des::SimDuration;
+
+/// Which collective algorithm aggregates a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Collective {
+    /// Bandwidth-optimal ring: `2(N−1)` steps moving `S/N` bytes each —
+    /// total bytes on the busiest link `2S(N−1)/N`.
+    Ring,
+    /// Binary-tree reduce + broadcast: `2·log₂N` rounds of the full
+    /// payload — latency-friendly, bandwidth-suboptimal.
+    Tree,
+}
+
+impl Collective {
+    /// Wall time for one allreduce of `bytes` across `machines`, given the
+    /// per-link effective bandwidth (bytes/sec) and per-step latency +
+    /// message overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machines == 0`, `bytes == 0`, or `link_bytes_per_sec`
+    /// is not positive.
+    pub fn duration(
+        &self,
+        bytes: u64,
+        machines: usize,
+        link_bytes_per_sec: f64,
+        per_step: SimDuration,
+    ) -> SimDuration {
+        assert!(machines > 0, "no machines");
+        assert!(bytes > 0, "empty allreduce");
+        assert!(
+            link_bytes_per_sec > 0.0 && link_bytes_per_sec.is_finite(),
+            "invalid link rate {link_bytes_per_sec}"
+        );
+        if machines == 1 {
+            return SimDuration::ZERO;
+        }
+        let n = machines as f64;
+        match self {
+            Collective::Ring => {
+                let steps = 2 * (machines - 1);
+                let chunk = bytes as f64 / n;
+                let transfer = SimDuration::from_secs_f64(chunk / link_bytes_per_sec);
+                (transfer + per_step) * steps as u64
+            }
+            Collective::Tree => {
+                let rounds = 2 * (machines as f64).log2().ceil() as u64;
+                let transfer = SimDuration::from_secs_f64(bytes as f64 / link_bytes_per_sec);
+                (transfer + per_step) * rounds
+            }
+        }
+    }
+
+    /// Bytes crossing the busiest NIC for one allreduce — the quantity
+    /// that determines bandwidth-boundedness.
+    pub fn busiest_link_bytes(&self, bytes: u64, machines: usize) -> f64 {
+        if machines <= 1 {
+            return 0.0;
+        }
+        let n = machines as f64;
+        match self {
+            Collective::Ring => 2.0 * bytes as f64 * (n - 1.0) / n,
+            Collective::Tree => 2.0 * bytes as f64 * n.log2().ceil(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_time_matches_textbook_formula() {
+        // 2(N-1) steps of S/N bytes: for S=4 MB, N=4, 100 MB/s, no latency:
+        // 6 steps × 1 MB / 100 MB/s = 60 ms.
+        let d = Collective::Ring.duration(4_000_000, 4, 100e6, SimDuration::ZERO);
+        assert_eq!(d, SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn tree_time_matches_formula() {
+        // 2·log2(8)=6 rounds of the whole payload.
+        let d = Collective::Tree.duration(1_000_000, 8, 100e6, SimDuration::ZERO);
+        assert_eq!(d, SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn ring_is_bandwidth_optimal_for_large_payloads() {
+        let ring = Collective::Ring.duration(100_000_000, 8, 1e9, SimDuration::from_micros(50));
+        let tree = Collective::Tree.duration(100_000_000, 8, 1e9, SimDuration::from_micros(50));
+        assert!(ring < tree);
+    }
+
+    #[test]
+    fn tree_wins_for_tiny_payloads_at_scale() {
+        // Latency-dominated: ring pays 2(N-1) latencies, tree only 2·logN.
+        let per_step = SimDuration::from_millis(1);
+        let ring = Collective::Ring.duration(100, 32, 1e9, per_step);
+        let tree = Collective::Tree.duration(100, 32, 1e9, per_step);
+        assert!(tree < ring);
+    }
+
+    #[test]
+    fn single_machine_is_free() {
+        assert_eq!(
+            Collective::Ring.duration(1_000, 1, 1e9, SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
+        assert_eq!(Collective::Tree.busiest_link_bytes(1_000, 1), 0.0);
+    }
+
+    #[test]
+    fn ring_step_count_scales_with_machines() {
+        let d4 = Collective::Ring.duration(4_000_000, 4, 1e9, SimDuration::ZERO);
+        let d8 = Collective::Ring.duration(4_000_000, 8, 1e9, SimDuration::ZERO);
+        // Busiest-link bytes: 2S(N-1)/N grows with N, so time grows too.
+        assert!(d8 > d4);
+        let ratio = d8.as_secs_f64() / d4.as_secs_f64();
+        assert!((ratio - (2.0 * 7.0 / 8.0) / (2.0 * 3.0 / 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty allreduce")]
+    fn zero_bytes_rejected() {
+        Collective::Ring.duration(0, 4, 1e9, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,32 @@
+//! # p3-allreduce — P3's principles on collective aggregation
+//!
+//! The paper closes §2 with a claim it never evaluates: *"we believe, P3
+//! design principles (namely, parameter slicing and priority-based
+//! propagation) are general enough to be applied to any gradient
+//! aggregation methods."* This crate tests that claim quantitatively:
+//! standard ring / tree allreduce cost models ([`Collective`]) under a
+//! scheduler that aggregates gradients either layer-wise in generation
+//! order (Horovod-without-fusion baseline) or as bounded slices in
+//! consumption-order priority (P3 generalized).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use p3_allreduce::{run_allreduce, AllreduceConfig};
+//! use p3_models::ModelSpec;
+//! use p3_net::Bandwidth;
+//!
+//! let bw = Bandwidth::from_gbps(5.0);
+//! let p3ish = run_allreduce(&AllreduceConfig::new(ModelSpec::vgg19(), 4, bw));
+//! let horovod = run_allreduce(&AllreduceConfig::layerwise_fifo(ModelSpec::vgg19(), 4, bw));
+//! println!("sliced+priority allreduce: {:.2}x", p3ish.throughput / horovod.throughput);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collective;
+mod sim;
+
+pub use collective::Collective;
+pub use sim::{run_allreduce, AllreduceConfig, AllreduceResult, DEFAULT_COLLECTIVE_SLICE};

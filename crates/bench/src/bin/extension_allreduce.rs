@@ -1,0 +1,62 @@
+//! Extension: P3's principles applied to collective aggregation — testing
+//! the paper's §2/§6 claim that slicing + priority generalize beyond the
+//! parameter server.
+//!
+//! Compares, per model and bandwidth: the PS baseline, PS-P3, layer-wise
+//! FIFO ring-allreduce (Horovod-without-fusion), and sliced+priority
+//! ring-allreduce ("P3-AR"), plus a collective slice-size sweep showing
+//! that collectives want far coarser slices (fusion-buffer economics).
+
+use p3_allreduce::{run_allreduce, AllreduceConfig};
+use p3_cluster::throughput_of;
+use p3_core::SyncStrategy;
+use p3_models::ModelSpec;
+use p3_net::Bandwidth;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, measure) = if quick { (1, 3) } else { (2, 8) };
+
+    for (model, gbps_list) in [
+        (ModelSpec::resnet50(), vec![2.0, 4.0, 8.0]),
+        (ModelSpec::vgg19(), vec![5.0, 10.0, 20.0]),
+    ] {
+        p3_bench::print_header(
+            "extension-allreduce",
+            &format!("model: {}  machines: 4", model.name()),
+        );
+        println!("# x = gbps, series = PS-Baseline, PS-P3, AR-layerwise-FIFO, AR-sliced-priority");
+        for &g in &gbps_list {
+            let bw = Bandwidth::from_gbps(g);
+            let ps_base =
+                throughput_of(&model, &SyncStrategy::baseline(), 4, bw, warmup, measure, 42);
+            let ps_p3 = throughput_of(&model, &SyncStrategy::p3(), 4, bw, warmup, measure, 42);
+            let mut hor = AllreduceConfig::layerwise_fifo(model.clone(), 4, bw);
+            hor.warmup_iters = warmup;
+            hor.measure_iters = measure;
+            let ar_fifo = run_allreduce(&hor).throughput;
+            let mut p3ar = AllreduceConfig::new(model.clone(), 4, bw);
+            p3ar.warmup_iters = warmup;
+            p3ar.measure_iters = measure;
+            let ar_p3 = run_allreduce(&p3ar).throughput;
+            println!("{g:10.1} {ps_base:10.2} {ps_p3:10.2} {ar_fifo:10.2} {ar_p3:10.2}");
+        }
+    }
+
+    // Collective slice-size sweep: where is the allreduce fusion optimum?
+    p3_bench::print_header(
+        "extension-allreduce-slices",
+        "VGG-19, 4 machines, 10 Gbps ring allreduce",
+    );
+    println!("# x = slice_params, series = AR-sliced-priority throughput");
+    for slice in [50_000u64, 200_000, 500_000, 2_000_000, 8_000_000, 50_000_000] {
+        let mut cfg =
+            AllreduceConfig::new(ModelSpec::vgg19(), 4, Bandwidth::from_gbps(10.0));
+        cfg.slice_params = Some(slice);
+        cfg.warmup_iters = warmup;
+        cfg.measure_iters = measure;
+        let t = run_allreduce(&cfg).throughput;
+        println!("{slice:10} {t:10.2}");
+    }
+    println!("# collectives want coarser slices than the PS's 50k: each ring pays 2(N-1) step costs");
+}

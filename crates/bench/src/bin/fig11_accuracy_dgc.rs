@@ -1,0 +1,65 @@
+//! Figure 11: validation accuracy of P3 (≡ exact synchronous SGD) vs Deep
+//! Gradient Compression across five hyper-parameter settings — the
+//! min/max band per epoch.
+//!
+//! Substitution (DESIGN.md §2): ResNet-110/CIFAR-10 is replaced by an MLP
+//! on a hard synthetic task; the comparison is between the *algorithms*.
+
+use p3_bench::print_header;
+use p3_tensor::spirals;
+use p3_train::{accuracy_band, sweep, SyncMode, TrainConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let epochs = if quick { 12 } else { 40 };
+    let data = spirals(3, 6, 3000, 900, 77);
+
+    // Sparsity scaling (DESIGN.md §2): the paper's 99.9% on ResNet-110's
+    // 1.7M parameters leaves ~1.7k coordinates per step; at the same
+    // sparsity our ~3.5k-parameter MLP would send ~4 coordinates per step,
+    // a regime DGC was never designed for. 99% preserves DGC's intended
+    // operating point (top-1% per layer with warm-up).
+    let dgc_sparsity = 0.99;
+
+    // Five hyper-parameter settings, as in §5.6.
+    let settings: Vec<(f32, f32, u64)> = vec![
+        (0.10, 0.90, 1),
+        (0.07, 0.90, 2),
+        (0.13, 0.85, 3),
+        (0.10, 0.95, 4),
+        (0.08, 0.90, 5),
+    ];
+    let mut jobs = Vec::new();
+    for mode in [
+        SyncMode::FullSync,
+        SyncMode::Dgc { final_sparsity: dgc_sparsity, warmup_epochs: 4 },
+    ] {
+        for &(lr, momentum, seed) in &settings {
+            let mut cfg = TrainConfig::new(epochs);
+            cfg.hidden = vec![48, 24];
+            cfg.lr = lr;
+            cfg.momentum = momentum;
+            cfg.seed = seed;
+            jobs.push((cfg, mode));
+        }
+    }
+    let runs = sweep(&data, &jobs);
+    let (p3_runs, dgc_runs) = runs.split_at(settings.len());
+
+    print_header("11", "P3 vs DGC validation-accuracy band, 5 hyper-parameter settings");
+    let p3_band = accuracy_band(p3_runs);
+    let dgc_band = accuracy_band(dgc_runs);
+    println!("# x = epoch, series = p3_min, p3_max, dgc_min, dgc_max");
+    for ((e, p3lo, p3hi), (_, dgclo, dgchi)) in p3_band.iter().zip(&dgc_band) {
+        println!("{e:6} {p3lo:10.4} {p3hi:10.4} {dgclo:10.4} {dgchi:10.4}");
+    }
+    let p3_best: f64 = p3_runs.iter().map(|r| r.final_accuracy).sum::<f64>() / p3_runs.len() as f64;
+    let dgc_best: f64 =
+        dgc_runs.iter().map(|r| r.final_accuracy).sum::<f64>() / dgc_runs.len() as f64;
+    println!(
+        "# mean final accuracy: P3 {:.4}, DGC {:.4} (drop {:.2} pp; paper reports ~0.4 pp)",
+        p3_best,
+        dgc_best,
+        (p3_best - dgc_best) * 100.0
+    );
+}

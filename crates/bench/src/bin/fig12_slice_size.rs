@@ -1,0 +1,38 @@
+//! Figure 12: P3 throughput vs parameter-slice size (1k – 1M parameters),
+//! peaking around the paper's 50k optimum.
+
+use p3_cluster::slice_size_sweep;
+use p3_models::ModelSpec;
+use p3_net::Bandwidth;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, measure) = if quick { (1, 3) } else { (2, 8) };
+    let sizes: &[u64] = if quick {
+        &[2_000, 50_000, 1_000_000]
+    } else {
+        &[1_000, 2_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000]
+    };
+
+    for (tag, model, gbps) in [
+        ("12a", ModelSpec::resnet50(), 4.0),
+        ("12b", ModelSpec::vgg19(), 15.0),
+        ("12c", ModelSpec::sockeye(), 4.0),
+    ] {
+        p3_bench::print_header(
+            tag,
+            &format!("model: {}  machines: 4  bandwidth: {gbps} Gbps", model.name()),
+        );
+        let pts =
+            slice_size_sweep(&model, sizes, 4, Bandwidth::from_gbps(gbps), warmup, measure, 42);
+        println!("# x = slice_params, series = P3 throughput ({}/sec)", model.unit());
+        for p in &pts {
+            println!("{:10.0} {:10.2}", p.x, p.series[0].1);
+        }
+        let best = pts
+            .iter()
+            .max_by(|a, b| a.series[0].1.partial_cmp(&b.series[0].1).expect("finite"))
+            .expect("nonempty");
+        println!("# best slice size: {:.0} params (paper: 50,000)", best.x);
+    }
+}

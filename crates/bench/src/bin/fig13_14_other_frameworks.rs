@@ -1,0 +1,32 @@
+//! Figures 13 and 14 (Appendix B.1): the same bursty under-utilization in
+//! other frameworks — TensorFlow-style deferred pulls (ResNet-50 at
+//! 4 Gbps) and Poseidon's layer-granular WFBP (InceptionV3 at 1 Gbps).
+
+use p3_cluster::{ClusterConfig, ClusterSim};
+use p3_core::SyncStrategy;
+use p3_des::SimDuration;
+use p3_models::ModelSpec;
+use p3_net::Bandwidth;
+
+fn main() {
+    let cases = [
+        ("13", "ResNet-50 on TensorFlow-style at 4Gbps", ModelSpec::resnet50(), SyncStrategy::tf_style(), 4.0),
+        ("14", "InceptionV3 on Poseidon-WFBP at 1Gbps", ModelSpec::inception_v3(), SyncStrategy::poseidon_wfbp(), 1.0),
+    ];
+    for (tag, name, model, strategy, gbps) in cases {
+        p3_bench::print_header(tag, name);
+        let cfg = ClusterConfig::new(model, strategy, 4, Bandwidth::from_gbps(gbps))
+            .with_iters(1, 3)
+            .with_trace(SimDuration::from_millis(10));
+        let r = ClusterSim::new(cfg).run();
+        let t = r.trace.expect("tracing enabled");
+        let n = t.tx_gbps.len().min(t.rx_gbps.len()).min(500);
+        let rows: Vec<(f64, Vec<f64>)> = (0..n)
+            .map(|b| (b as f64, vec![t.tx_gbps[b], t.rx_gbps[b]]))
+            .collect();
+        p3_bench::print_series("time_10ms", &["outbound_gbps", "inbound_gbps"], &rows);
+        let idle =
+            t.tx_gbps.iter().take(n).filter(|&&g| g < gbps * 0.05).count() as f64 / n as f64;
+        println!("# outbound idle fraction: {idle:.2} — bursty under-utilization as in the paper");
+    }
+}

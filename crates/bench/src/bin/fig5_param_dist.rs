@@ -1,0 +1,35 @@
+//! Figure 5: parameter distribution across layer index (one point per
+//! parameter-server key / array) for ResNet-50, VGG-19 and Sockeye
+//! (InceptionV3 added for completeness).
+
+use p3_models::ModelSpec;
+
+fn main() {
+    for (tag, model) in [
+        ("5a", ModelSpec::resnet50()),
+        ("5b", ModelSpec::vgg19()),
+        ("5c", ModelSpec::sockeye()),
+        ("5x", ModelSpec::inception_v3()),
+    ] {
+        p3_bench::print_header(
+            tag,
+            &format!(
+                "model: {}  total: {:.2}M params over {} arrays",
+                model.name(),
+                model.total_params() as f64 / 1e6,
+                model.num_arrays()
+            ),
+        );
+        println!("# x = array_index, series = params_millions");
+        for (i, a) in model.param_arrays().enumerate() {
+            println!("{:6} {:12.6}   # {}", i + 1, a.params as f64 / 1e6, a.name);
+        }
+        let heaviest = model.heaviest_array().expect("nonempty model");
+        println!(
+            "# heaviest array: {} = {:.2}M ({:.1}% of model)",
+            heaviest.name,
+            heaviest.params as f64 / 1e6,
+            100.0 * heaviest.params as f64 / model.total_params() as f64
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 6: layer-level vs fine-grained slices through the
+//! send → update → receive tandem pipeline (heavy middle layer).
+
+use p3_cluster::gantt::{ascii_gantt, figure6_layerwise, figure6_sliced, schedule_tandem};
+
+fn main() {
+    p3_bench::print_header("6a", "layer-level granularity");
+    let a = schedule_tandem(&figure6_layerwise());
+    print!("{}", ascii_gantt(&a, 1.0));
+    println!("# makespan: {} units", a.makespan);
+
+    p3_bench::print_header("6b", "fine granularity (heavy layer sliced in 3)");
+    let b = schedule_tandem(&figure6_sliced());
+    print!("{}", ascii_gantt(&b, 1.0));
+    println!("# makespan: {} units", b.makespan);
+
+    println!(
+        "# paper claim: slicing reduces communication cost ~30% — measured {:.1}%",
+        (1.0 - b.makespan / a.makespan) * 100.0
+    );
+}

@@ -1,0 +1,343 @@
+//! Command implementations. Each returns its output as a `String` so tests
+//! can assert on it; `main` prints.
+
+use crate::args::{ArgError, Args};
+use core::fmt;
+use p3_allreduce::{run_allreduce, AllreduceConfig};
+use p3_cluster::{bandwidth_sweep, ClusterConfig, ClusterSim};
+use p3_core::SyncStrategy;
+use p3_models::ModelSpec;
+use p3_net::Bandwidth;
+use p3_tensor::{gaussian_blobs, spirals};
+use p3_train::{train_async, train_sync, SyncMode, TrainConfig};
+use std::fmt::Write as _;
+
+/// CLI failure: argument errors or unknown names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgError),
+    /// Unknown command word.
+    UnknownCommand(String),
+    /// Unknown model/strategy/mode name.
+    UnknownName {
+        /// What kind of name (model, strategy, …).
+        kind: &'static str,
+        /// The offending value.
+        value: String,
+        /// Valid choices.
+        choices: &'static str,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}` (try `p3 help`)")
+            }
+            CliError::UnknownName { kind, value, choices } => {
+                write!(f, "unknown {kind} `{value}` (choices: {choices})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+const MODEL_CHOICES: &str =
+    "resnet50, inception_v3, vgg19, sockeye, resnet110, alexnet, transformer";
+
+fn model_by_name(name: &str) -> Result<ModelSpec, CliError> {
+    match name {
+        "resnet50" => Ok(ModelSpec::resnet50()),
+        "inception_v3" | "inception" => Ok(ModelSpec::inception_v3()),
+        "vgg19" | "vgg" => Ok(ModelSpec::vgg19()),
+        "sockeye" => Ok(ModelSpec::sockeye()),
+        "resnet110" => Ok(ModelSpec::resnet110()),
+        "alexnet" => Ok(ModelSpec::alexnet()),
+        "transformer" => Ok(ModelSpec::transformer()),
+        other => Err(CliError::UnknownName {
+            kind: "model",
+            value: other.to_string(),
+            choices: MODEL_CHOICES,
+        }),
+    }
+}
+
+const STRATEGY_CHOICES: &str =
+    "baseline, slicing, p3, tf, poseidon, p3-generation, p3-random, p3-notify-pull";
+
+fn strategy_by_name(name: &str) -> Result<SyncStrategy, CliError> {
+    match name {
+        "baseline" => Ok(SyncStrategy::baseline()),
+        "slicing" => Ok(SyncStrategy::slicing_only()),
+        "p3" => Ok(SyncStrategy::p3()),
+        "tf" => Ok(SyncStrategy::tf_style()),
+        "poseidon" => Ok(SyncStrategy::poseidon_wfbp()),
+        "p3-generation" => Ok(SyncStrategy::p3_generation_order()),
+        "p3-random" => Ok(SyncStrategy::p3_random_order(7)),
+        "p3-notify-pull" => Ok(SyncStrategy::p3_notify_pull()),
+        other => Err(CliError::UnknownName {
+            kind: "strategy",
+            value: other.to_string(),
+            choices: STRATEGY_CHOICES,
+        }),
+    }
+}
+
+/// Executes a parsed command line and returns its printable output.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands, unknown names or malformed
+/// flags.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command() {
+        "help" | "-h" | "--help" => Ok(help()),
+        "models" => Ok(models_table()),
+        "plan" => plan(args),
+        "simulate" => simulate(args),
+        "sweep" => sweep(args),
+        "allreduce" => allreduce(args),
+        "train" => train(args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn help() -> String {
+    "p3 — Priority-based Parameter Propagation (MLSys 2019) reproduction
+
+USAGE: p3 <command> [--flag value]...
+
+COMMANDS:
+  models      List the model zoo with parameter statistics
+  plan        Shard-plan statistics        --model M [--strategy S] [--servers N]
+  simulate    One training-cluster run     --model M [--strategy S] [--machines N]
+                                           [--gbps G] [--iters N]
+  sweep       Bandwidth sweep              --model M [--gbps 1,2,4] [--machines N]
+  allreduce   Collective-aggregation run   --model M [--gbps G] [--layerwise] [--fifo]
+  train       Real data-parallel training  [--mode full|dgc|qsgd|terngrad|onebit|asgd]
+                                           [--dataset spirals|blobs] [--epochs N]
+  help        This text
+"
+    .to_string()
+}
+
+fn models_table() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:>10} {:>8} {:>14} {:>10}", "model", "params(M)", "arrays", "heaviest(%)", "unit");
+    for m in [
+        ModelSpec::resnet50(),
+        ModelSpec::inception_v3(),
+        ModelSpec::vgg19(),
+        ModelSpec::sockeye(),
+        ModelSpec::resnet110(),
+        ModelSpec::alexnet(),
+        ModelSpec::transformer(),
+    ] {
+        let heaviest = m.heaviest_array().expect("params").params as f64
+            / m.total_params() as f64
+            * 100.0;
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10.2} {:>8} {:>13.1}% {:>10}",
+            m.name(),
+            m.total_params() as f64 / 1e6,
+            m.num_arrays(),
+            heaviest,
+            m.unit().to_string(),
+        );
+    }
+    out
+}
+
+fn plan(args: &Args) -> Result<String, CliError> {
+    let model = model_by_name(args.require("model")?)?;
+    let strategy = strategy_by_name(args.get("strategy").unwrap_or("p3"))?;
+    let servers: usize = args.get_or("servers", 4, "integer")?;
+    let plan = strategy.plan(&model, servers, 0);
+    let loads = plan.server_loads();
+    let mut out = String::new();
+    let _ = writeln!(out, "{} under {} on {servers} servers:", model.name(), strategy.name());
+    let _ = writeln!(out, "  keys:          {}", plan.num_keys());
+    let _ = writeln!(out, "  total params:  {}", plan.total_params());
+    let max = *loads.iter().max().expect("servers") as f64;
+    let min = *loads.iter().min().expect("servers") as f64;
+    let _ = writeln!(out, "  server loads:  {loads:?}  (imbalance {:.3}x)", max / min.max(1.0));
+    let biggest = plan.slices().iter().map(|s| s.params).max().expect("keys");
+    let _ = writeln!(out, "  largest slice: {biggest} params");
+    Ok(out)
+}
+
+fn simulate(args: &Args) -> Result<String, CliError> {
+    let model = model_by_name(args.require("model")?)?;
+    let strategy = strategy_by_name(args.get("strategy").unwrap_or("p3"))?;
+    let machines: usize = args.get_or("machines", 4, "integer")?;
+    let gbps: f64 = args.get_or("gbps", 10.0, "number")?;
+    let iters: u64 = args.get_or("iters", 8, "integer")?;
+    let cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
+        .with_iters(2, iters);
+    let r = ClusterSim::new(cfg).run();
+    Ok(format!(
+        "throughput: {:.1} {}/sec  |  mean iteration: {}  |  stall fraction: {:.2}\n",
+        r.throughput, r.unit, r.mean_iteration, r.mean_stall_fraction
+    ))
+}
+
+fn sweep(args: &Args) -> Result<String, CliError> {
+    let model = model_by_name(args.require("model")?)?;
+    let machines: usize = args.get_or("machines", 4, "integer")?;
+    let gbps = args.get_f64_list("gbps", &[1.0, 2.0, 4.0, 8.0, 16.0])?;
+    let strategies = SyncStrategy::fig7_series();
+    let pts = bandwidth_sweep(&model, &strategies, machines, &gbps, 1, 5, 42);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>8}  {:>10}  {:>10}  {:>10}", "Gbps", "Baseline", "Slicing", "P3");
+    for p in pts {
+        let _ = writeln!(
+            out,
+            "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}",
+            p.x, p.series[0].1, p.series[1].1, p.series[2].1
+        );
+    }
+    Ok(out)
+}
+
+fn allreduce(args: &Args) -> Result<String, CliError> {
+    let model = model_by_name(args.require("model")?)?;
+    let machines: usize = args.get_or("machines", 4, "integer")?;
+    let gbps: f64 = args.get_or("gbps", 10.0, "number")?;
+    let mut cfg = if args.switch("layerwise") {
+        AllreduceConfig::layerwise_fifo(model, machines, Bandwidth::from_gbps(gbps))
+    } else {
+        AllreduceConfig::new(model, machines, Bandwidth::from_gbps(gbps))
+    };
+    if args.switch("fifo") {
+        cfg.priority = false;
+    }
+    let r = run_allreduce(&cfg);
+    Ok(format!(
+        "throughput: {:.1} {}/sec  |  mean iteration: {}\n",
+        r.throughput, r.unit, r.mean_iteration
+    ))
+}
+
+fn train(args: &Args) -> Result<String, CliError> {
+    let epochs: u32 = args.get_or("epochs", 15, "integer")?;
+    let mut cfg = TrainConfig::new(epochs);
+    cfg.workers = args.get_or("workers", 4, "integer")?;
+    cfg.lr = args.get_or("lr", 0.1f32, "number")?;
+    cfg.hidden = vec![48, 24];
+    let data = match args.get("dataset").unwrap_or("spirals") {
+        "spirals" => spirals(3, 6, 2400, 600, 21),
+        "blobs" => gaussian_blobs(4, 10, 2400, 600, 1.2, 21),
+        other => {
+            return Err(CliError::UnknownName {
+                kind: "dataset",
+                value: other.to_string(),
+                choices: "spirals, blobs",
+            })
+        }
+    };
+    let run = match args.get("mode").unwrap_or("full") {
+        "full" | "p3" => train_sync(&data, &cfg, SyncMode::FullSync),
+        "dgc" => train_sync(&data, &cfg, SyncMode::Dgc { final_sparsity: 0.99, warmup_epochs: 4 }),
+        "qsgd" => train_sync(&data, &cfg, SyncMode::Qsgd { levels: 4 }),
+        "terngrad" => train_sync(&data, &cfg, SyncMode::TernGrad),
+        "onebit" => train_sync(&data, &cfg, SyncMode::OneBit),
+        "asgd" => train_async(&data, &cfg, cfg.workers - 1),
+        other => {
+            return Err(CliError::UnknownName {
+                kind: "mode",
+                value: other.to_string(),
+                choices: "full, dgc, qsgd, terngrad, onebit, asgd",
+            })
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "mode: {}  epochs: {epochs}  workers: {}", run.mode_name, cfg.workers);
+    for r in &run.records {
+        let _ = writeln!(
+            out,
+            "  epoch {:>3}: loss {:.4}  val accuracy {:.4}",
+            r.epoch, r.train_loss, r.val_accuracy
+        );
+    }
+    let _ = writeln!(out, "final accuracy: {:.4}", run.final_accuracy);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> Result<String, CliError> {
+        let args = Args::parse(line.split_whitespace().map(String::from))?;
+        dispatch(&args)
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = run("help").unwrap();
+        for cmd in ["models", "plan", "simulate", "sweep", "allreduce", "train"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn models_table_has_all_models() {
+        let t = run("models").unwrap();
+        for m in ["ResNet-50", "VGG-19", "Sockeye", "Transformer"] {
+            assert!(t.contains(m), "missing {m}");
+        }
+        assert!(t.contains("71.5%"), "VGG heaviest share missing:\n{t}");
+    }
+
+    #[test]
+    fn plan_reports_keys() {
+        let out = run("plan --model vgg19 --strategy p3 --servers 4").unwrap();
+        assert!(out.contains("keys:"));
+        assert!(out.contains("143667240"));
+    }
+
+    #[test]
+    fn simulate_runs_small() {
+        let out = run("simulate --model resnet50 --strategy p3 --machines 2 --gbps 20 --iters 2")
+            .unwrap();
+        assert!(out.contains("throughput:"), "{out}");
+    }
+
+    #[test]
+    fn train_runs_small() {
+        let out = run("train --mode full --epochs 2 --workers 2").unwrap();
+        assert!(out.contains("final accuracy:"), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_and_names_error() {
+        assert!(matches!(run("frobnicate"), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(
+            run("plan --model resnet9000"),
+            Err(CliError::UnknownName { kind: "model", .. })
+        ));
+        assert!(matches!(
+            run("simulate --model vgg19 --strategy warp"),
+            Err(CliError::UnknownName { kind: "strategy", .. })
+        ));
+        let msg = run("plan").unwrap_err().to_string();
+        assert!(msg.contains("--model"), "{msg}");
+    }
+
+    #[test]
+    fn allreduce_runs_small() {
+        let out = run("allreduce --model resnet50 --machines 2 --gbps 20").unwrap();
+        assert!(out.contains("throughput:"), "{out}");
+    }
+}

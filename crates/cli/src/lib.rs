@@ -1,0 +1,25 @@
+//! # p3-cli — command-line interface to the P3 reproduction
+//!
+//! The `p3` binary wraps the workspace in a handful of commands:
+//!
+//! ```text
+//! p3 models                                   # the model zoo and its stats
+//! p3 plan      --model vgg19 --strategy p3    # shard-plan statistics
+//! p3 simulate  --model vgg19 --strategy p3 --machines 4 --gbps 15
+//! p3 sweep     --model resnet50 --gbps 1,2,4,8
+//! p3 allreduce --model vgg19 --gbps 10
+//! p3 train     --mode dgc --epochs 20
+//! p3 help
+//! ```
+//!
+//! Command implementations live here (library) so they are unit-testable;
+//! `main.rs` only parses `std::env::args` and prints.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{dispatch, CliError};

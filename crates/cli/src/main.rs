@@ -1,0 +1,19 @@
+//! The `p3` binary: parse arguments, dispatch, print.
+
+use p3_cli::{dispatch, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let tokens = if tokens.is_empty() { vec!["help".to_string()] } else { tokens };
+    match Args::parse(tokens).map_err(Into::into).and_then(|a| dispatch(&a)) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

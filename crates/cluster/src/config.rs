@@ -1,0 +1,249 @@
+//! Experiment configuration and results.
+
+use p3_core::SyncStrategy;
+use p3_des::{SimDuration, SimTime};
+use p3_models::{ComputeProfile, ModelSpec, SampleUnit};
+use p3_net::Bandwidth;
+
+/// Full description of one simulated training run.
+///
+/// Defaults mirror the paper's testbed: one worker and one colocated server
+/// shard per machine, 50 µs message latency, warm-up before measurement
+/// (§5.1 averages throughput over steady-state iterations).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of machines; machine `i` hosts worker `i` and server shard
+    /// `i`.
+    pub machines: usize,
+    /// Per-direction NIC bandwidth of every machine.
+    pub bandwidth: Bandwidth,
+    /// The model being trained.
+    pub model: ModelSpec,
+    /// Synchronization strategy under test.
+    pub strategy: SyncStrategy,
+    /// Per-worker minibatch; defaults to the model's paper batch size.
+    pub batch_per_worker: usize,
+    /// Device speed profile.
+    pub compute: ComputeProfile,
+    /// Iterations discarded before measurement starts.
+    pub warmup_iters: u64,
+    /// Iterations measured.
+    pub measure_iters: u64,
+    /// Seed for sharding randomness, compute jitter and worker stagger.
+    pub seed: u64,
+    /// Endpoint per-message cost (serialization, ps-lite bookkeeping)
+    /// charged between consecutive sends of one lane.
+    pub msg_overhead: SimDuration,
+    /// Fixed server cost to process one received message.
+    pub proc_fixed: SimDuration,
+    /// Server aggregation cost per parameter per received gradient message.
+    pub agg_ns_per_param: f64,
+    /// Server optimizer cost per parameter, paid when a round completes.
+    pub upd_ns_per_param: f64,
+    /// One-way network latency per message.
+    pub latency: SimDuration,
+    /// If set, record machine-0 NIC utilization with this bin width.
+    pub trace_bin: Option<SimDuration>,
+    /// Maximum random offset of worker start times (cluster skew).
+    pub start_stagger: SimDuration,
+    /// Fraction of nominal NIC bandwidth usable as goodput (tc shaping,
+    /// TCP incast, ps-lite serialization — calibrated to the paper's
+    /// crossover bandwidths, DESIGN.md §6).
+    pub net_efficiency: f64,
+    /// Single-flow goodput ceiling in bytes/sec: ps-lite serializes each
+    /// connection on one core (PHub, Luo et al. 2018). Penalizes the huge
+    /// layer-granular messages of the baseline; sliced strategies spread
+    /// across connections.
+    pub flow_cap: f64,
+    /// Optional gradient compression on the wire (§6: compression is
+    /// orthogonal to P3 and combinable with it). Shrinks payloads; the
+    /// accuracy cost of compression is measured separately by `p3-train`.
+    pub wire_compression: Option<WireCompression>,
+}
+
+/// Payload shrink factors of a lossy compression scheme, as seen by the
+/// network (e.g. DGC at 99.9% sparsity pushes ~500× less; the returned
+/// update is the union of the workers' selections, so it compresses less).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireCompression {
+    /// Dense bytes / transmitted bytes for worker→server gradients.
+    pub push_ratio: f64,
+    /// Dense bytes / transmitted bytes for server→worker updates.
+    pub response_ratio: f64,
+}
+
+impl WireCompression {
+    /// DGC at the given sparsity on a `workers`-machine cluster: pushes
+    /// carry index+value pairs for the kept fraction; responses carry the
+    /// union across workers (up to `workers×` the kept fraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sparsity is outside `(0, 1)` or `workers == 0`.
+    pub fn dgc(sparsity: f64, workers: usize) -> WireCompression {
+        assert!(sparsity > 0.0 && sparsity < 1.0, "bad sparsity {sparsity}");
+        assert!(workers > 0, "no workers");
+        let kept = 1.0 - sparsity;
+        // Index+value doubles per-entry bytes.
+        let push_ratio = 1.0 / (kept * 2.0);
+        let response_ratio = 1.0 / ((kept * workers as f64).min(1.0) * 2.0);
+        WireCompression { push_ratio, response_ratio }
+    }
+}
+
+impl ClusterConfig {
+    /// A run with the paper's defaults.
+    pub fn new(
+        model: ModelSpec,
+        strategy: SyncStrategy,
+        machines: usize,
+        bandwidth: Bandwidth,
+    ) -> Self {
+        let batch = model.default_batch();
+        ClusterConfig {
+            machines,
+            bandwidth,
+            model,
+            strategy,
+            batch_per_worker: batch,
+            compute: ComputeProfile::p4000(),
+            warmup_iters: 3,
+            measure_iters: 12,
+            seed: 0x9e3779b9,
+            msg_overhead: SimDuration::from_micros(100),
+            proc_fixed: SimDuration::from_micros(10),
+            agg_ns_per_param: 2.0,
+            upd_ns_per_param: 3.0,
+            latency: SimDuration::from_micros(50),
+            trace_bin: None,
+            start_stagger: SimDuration::from_millis(2),
+            net_efficiency: 0.25,
+            flow_cap: 120e6,
+            wire_compression: None,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables NIC utilization tracing with the given bin (the paper uses
+    /// 10 ms).
+    pub fn with_trace(mut self, bin: SimDuration) -> Self {
+        self.trace_bin = Some(bin);
+        self
+    }
+
+    /// Overrides warm-up and measured iteration counts.
+    pub fn with_iters(mut self, warmup: u64, measure: u64) -> Self {
+        assert!(measure > 0, "must measure at least one iteration");
+        self.warmup_iters = warmup;
+        self.measure_iters = measure;
+        self
+    }
+}
+
+/// A per-machine NIC utilization trace pair, in Gbps per bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationTrace {
+    /// Bin width.
+    pub bin: SimDuration,
+    /// Outbound (transmit) Gbps per bin.
+    pub tx_gbps: Vec<f64>,
+    /// Inbound (receive) Gbps per bin.
+    pub rx_gbps: Vec<f64>,
+}
+
+/// Delivered-message counts over a whole run, by protocol type — the
+/// protocol-conformance ledger (every strategy has an exactly predictable
+/// message budget, which the test suite pins).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Worker→server gradient pushes delivered.
+    pub pushes: u64,
+    /// Server→worker parameter responses delivered.
+    pub responses: u64,
+    /// Server→worker update notifications delivered (baseline only).
+    pub notifies: u64,
+    /// Worker→server pull requests delivered.
+    pub pull_requests: u64,
+}
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Aggregate cluster throughput in samples/sec (the paper's y-axis).
+    pub throughput: f64,
+    /// Mean per-worker throughput in samples/sec.
+    pub per_worker_throughput: f64,
+    /// Unit of `throughput` (images or sentences per second).
+    pub unit: SampleUnit,
+    /// Mean measured iteration duration across workers.
+    pub mean_iteration: SimDuration,
+    /// Mean fraction of wall time workers spent stalled waiting for
+    /// parameters (the paper's "Delay" made measurable).
+    pub mean_stall_fraction: f64,
+    /// Simulated instant at which the last worker finished measuring.
+    pub finished_at: SimTime,
+    /// Total simulator events processed (diagnostics).
+    pub events: u64,
+    /// Delivered-message counts by protocol type.
+    pub messages: MessageStats,
+    /// Machine-0 NIC trace, when tracing was enabled.
+    pub trace: Option<UtilizationTrace>,
+}
+
+impl RunResult {
+    /// Speedup of this run's throughput over a baseline run.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        self.throughput / baseline.throughput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let cfg = ClusterConfig::new(
+            ModelSpec::resnet50(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(10.0),
+        );
+        assert_eq!(cfg.batch_per_worker, 32);
+        assert_eq!(cfg.machines, 4);
+        assert!(cfg.warmup_iters > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_measure_rejected() {
+        ClusterConfig::new(
+            ModelSpec::resnet50(),
+            SyncStrategy::p3(),
+            2,
+            Bandwidth::from_gbps(1.0),
+        )
+        .with_iters(0, 0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mk = |t: f64| RunResult {
+            throughput: t,
+            per_worker_throughput: t / 4.0,
+            unit: SampleUnit::Images,
+            mean_iteration: SimDuration::from_secs(1),
+            mean_stall_fraction: 0.1,
+            finished_at: SimTime::from_secs(10),
+            events: 0,
+            messages: MessageStats::default(),
+            trace: None,
+        };
+        assert!((mk(150.0).speedup_over(&mk(100.0)) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! # p3-cluster — the data-parallel training cluster simulator
+//!
+//! Executes a [`SyncStrategy`](p3_core::SyncStrategy) end to end: every
+//! machine hosts a worker (computing forward/backward passes with
+//! calibrated per-block durations) and a colocated parameter-server shard
+//! (aggregating, updating, responding), exchanging gradient and parameter
+//! messages over the fluid network of `p3-net`. Throughput, iteration
+//! times, and `bwm-ng`-style NIC utilization traces come out the other
+//! side — the quantities plotted in Figures 7–10 and 12–14 of the paper.
+//!
+//! The analytic [`gantt`] module additionally reproduces the unit-time
+//! schedules of Figures 4 and 6.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use p3_cluster::{ClusterConfig, ClusterSim};
+//! use p3_core::SyncStrategy;
+//! use p3_models::ModelSpec;
+//! use p3_net::Bandwidth;
+//!
+//! // VGG-19 on four machines at 15 Gbps: baseline vs P3.
+//! let mk = |s: SyncStrategy| {
+//!     ClusterConfig::new(ModelSpec::vgg19(), s, 4, Bandwidth::from_gbps(15.0))
+//! };
+//! let base = ClusterSim::new(mk(SyncStrategy::baseline())).run();
+//! let p3 = ClusterSim::new(mk(SyncStrategy::p3())).run();
+//! println!("P3 speedup: {:.2}x", p3.speedup_over(&base));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bound;
+mod config;
+mod egress;
+pub mod gantt;
+mod sim;
+mod sweep;
+
+pub use config::{ClusterConfig, MessageStats, RunResult, UtilizationTrace, WireCompression};
+pub use egress::{EgressUnit, OutMsg};
+pub use sim::ClusterSim;
+pub use sweep::{bandwidth_sweep, scalability_sweep, slice_size_sweep, throughput_of, SweepPoint};

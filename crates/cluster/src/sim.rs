@@ -1,0 +1,1061 @@
+//! The event-driven cluster simulator: workers computing forward/backward
+//! passes, server shards aggregating and updating, all traffic flowing
+//! through the fluid network under the configured synchronization strategy.
+
+use crate::config::{ClusterConfig, MessageStats, RunResult, UtilizationTrace};
+#[allow(unused_imports)]
+use crate::config::WireCompression;
+use crate::egress::{EgressUnit, OutMsg};
+use p3_core::{Egress, PrioQueue, PullTiming, ResponseMode, ServerProcessing};
+use p3_des::{EventQueue, SimDuration, SimTime, SplitMix64};
+use p3_models::BlockTiming;
+use p3_net::{FlowId, MachineId, Network, NetworkConfig, Priority};
+use p3_pserver::{wire_bytes, ShardPlan, HEADER_BYTES};
+use std::collections::HashMap;
+
+/// Hard cap on processed events — a run that exceeds it is wedged.
+const EVENT_CAP: u64 = 500_000_000;
+
+/// Index of a role in per-machine `[worker, server]` state arrays.
+fn role_slot(role: Role) -> usize {
+    match role {
+        Role::Worker => 0,
+        Role::Server => 1,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Fwd(usize),
+    Bwd(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Worker,
+    Server,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    StartWorker { worker: usize },
+    Compute { worker: usize, phase: Phase },
+    EgressReady { machine: usize, role: Role, dst: MachineId },
+    /// A single-consumer egress may admit its next message (the consumer
+    /// thread finished serializing the previous one).
+    AdmitKick { machine: usize, role: Role },
+    ProcDone { server: usize },
+    NetWake,
+}
+
+/// What an in-flight message is, resolved when its flow is delivered.
+#[derive(Debug, Clone, Copy)]
+enum MsgKind {
+    /// Worker → server gradients for one key of one round.
+    Push { key: usize, round: u64 },
+    /// Server → worker updated parameters.
+    Response { key: usize, version: u64 },
+    /// Server → worker update notification (baseline only).
+    Notify { key: usize, version: u64 },
+    /// Worker → server parameter request; answered once `version[key] >=
+    /// round`.
+    PullReq { key: usize, round: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MsgCtx {
+    kind: MsgKind,
+    src: usize,
+    dst: usize,
+}
+
+#[derive(Debug)]
+struct WorkerState {
+    iter: u64,
+    completed: u64,
+    received_version: Vec<u64>,
+    notified_version: Vec<u64>,
+    waiting_block: Option<usize>,
+    /// Instant the worker stalled waiting for parameters, if stalled.
+    stalled_since: Option<SimTime>,
+    /// Accumulated stall time.
+    stalled_total: SimDuration,
+    started: bool,
+    measure_start: Option<SimTime>,
+    measure_end: Option<SimTime>,
+    jitter: f64,
+    egress: EgressUnit,
+    rng: SplitMix64,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    /// Pending received gradient messages awaiting processing.
+    proc_queue: PrioQueue<ProcItem>,
+    proc_busy: bool,
+    /// Per-key pushes received in the current round (indexed by key).
+    received: Vec<u32>,
+    /// Per-key completed rounds (indexed by key).
+    version: Vec<u64>,
+    /// Workers whose deferred pulls await each key's next version.
+    pending_pulls: Vec<Vec<usize>>,
+    /// The message currently occupying the processing unit.
+    current: Option<ProcItem>,
+    egress: EgressUnit,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ProcItem {
+    key: usize,
+    round: u64,
+}
+
+/// One fully configured simulation, ready to [`ClusterSim::run`].
+///
+/// # Examples
+///
+/// ```
+/// use p3_cluster::{ClusterConfig, ClusterSim};
+/// use p3_core::SyncStrategy;
+/// use p3_models::ModelSpec;
+/// use p3_net::Bandwidth;
+///
+/// let cfg = ClusterConfig::new(
+///     ModelSpec::resnet50(),
+///     SyncStrategy::p3(),
+///     4,
+///     Bandwidth::from_gbps(10.0),
+/// ).with_iters(1, 2);
+/// let result = ClusterSim::new(cfg).run();
+/// assert!(result.throughput > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    queue: EventQueue<Ev>,
+    net: Network,
+    workers: Vec<WorkerState>,
+    servers: Vec<ServerState>,
+    plan: ShardPlan,
+    prio: Vec<u32>,
+    /// Forward/backward durations per compute block for a full batch.
+    block_times: Vec<BlockTiming>,
+    /// Key indices per compute block, in block order.
+    keys_of_block: Vec<Vec<usize>>,
+    msgs: HashMap<u64, MsgCtx>,
+    flows: HashMap<FlowId, u64>,
+    next_msg_id: u64,
+    next_wake: Option<SimTime>,
+    /// Per-(machine, role) earliest next admission instant for
+    /// single-consumer egress (serial per-message serialization cost).
+    admit_gate: Vec<[SimTime; 2]>,
+    /// Deduplication of scheduled AdmitKick events.
+    admit_kick_at: Vec<[Option<SimTime>; 2]>,
+    events: u64,
+    stats: MessageStats,
+}
+
+impl ClusterSim {
+    /// Builds the simulation state for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero machines, zero
+    /// batch).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.machines > 0, "at least one machine required");
+        assert!(cfg.batch_per_worker > 0, "zero batch");
+        let plan = cfg.strategy.plan(&cfg.model, cfg.machines, cfg.seed);
+        let prio = cfg.strategy.priorities(&plan);
+        let block_times = cfg.compute.block_times(&cfg.model, cfg.batch_per_worker);
+
+        // Map arrays to compute blocks, then keys to blocks.
+        let mut block_of_array = Vec::new();
+        for (b, blk) in cfg.model.blocks().iter().enumerate() {
+            for _ in &blk.arrays {
+                block_of_array.push(b);
+            }
+        }
+        let mut keys_of_block: Vec<Vec<usize>> = vec![Vec::new(); cfg.model.blocks().len()];
+        for (k, s) in plan.slices().iter().enumerate() {
+            keys_of_block[block_of_array[s.array]].push(k);
+        }
+
+        let net_cfg = {
+            let mut c = NetworkConfig::new(cfg.machines, cfg.bandwidth)
+                .with_latency(cfg.latency)
+                .with_efficiency(cfg.net_efficiency)
+                .with_flow_cap(cfg.flow_cap);
+            if let Some(bin) = cfg.trace_bin {
+                c = c.with_trace(bin);
+            }
+            c
+        };
+
+        let num_keys = plan.num_keys();
+        let mk_worker_egress = || match cfg.strategy.egress {
+            Egress::SingleConsumer => EgressUnit::single(cfg.machines),
+            Egress::PerServerFifo => EgressUnit::per_dest(cfg.machines),
+        };
+        let mut rng = SplitMix64::new(cfg.seed ^ 0xC0FF_EE00);
+        let workers = (0..cfg.machines)
+            .map(|_| WorkerState {
+                iter: 0,
+                completed: 0,
+                received_version: vec![0; num_keys],
+                notified_version: vec![0; num_keys],
+                waiting_block: None,
+                stalled_since: None,
+                stalled_total: SimDuration::ZERO,
+                started: false,
+                measure_start: None,
+                measure_end: None,
+                jitter: 1.0,
+                egress: mk_worker_egress(),
+                rng: rng.fork(),
+            })
+            .collect();
+        let servers = (0..cfg.machines)
+            .map(|_| ServerState {
+                proc_queue: PrioQueue::new(),
+                proc_busy: false,
+                received: vec![0; num_keys],
+                version: vec![0; num_keys],
+                pending_pulls: vec![Vec::new(); num_keys],
+                current: None,
+                egress: mk_worker_egress(),
+            })
+            .collect();
+
+        ClusterSim {
+            queue: EventQueue::new(),
+            net: Network::new(net_cfg),
+            workers,
+            servers,
+            plan,
+            prio,
+            block_times,
+            keys_of_block,
+            msgs: HashMap::new(),
+            flows: HashMap::new(),
+            next_msg_id: 0,
+            next_wake: None,
+            admit_gate: vec![[SimTime::ZERO; 2]; cfg.machines],
+            admit_kick_at: vec![[None; 2]; cfg.machines],
+            events: 0,
+            stats: MessageStats::default(),
+            cfg,
+        }
+    }
+
+    /// Runs to completion and reports measured throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks (event queue drains before all
+    /// workers finish) or exceeds the event cap.
+    pub fn run(mut self) -> RunResult {
+        let target = self.cfg.warmup_iters + self.cfg.measure_iters;
+        // Staggered worker starts model real cluster skew.
+        let mut rng = SplitMix64::new(self.cfg.seed ^ 0x51A6_6E2);
+        for w in 0..self.cfg.machines {
+            let off = SimDuration::from_nanos(
+                (rng.next_f64() * self.cfg.start_stagger.as_nanos() as f64) as u64,
+            );
+            self.queue.schedule_at(SimTime::ZERO + off, Ev::StartWorker { worker: w });
+        }
+
+        while self.workers.iter().any(|w| w.completed < target) {
+            let Some((_, ev)) = self.queue.pop() else {
+                panic!(
+                    "simulation deadlocked: no events left, progress {:?}",
+                    self.workers.iter().map(|w| w.completed).collect::<Vec<_>>()
+                );
+            };
+            self.events += 1;
+            assert!(self.events < EVENT_CAP, "event cap exceeded — wedged simulation");
+            self.dispatch(ev);
+        }
+
+        self.finish(target)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::StartWorker { worker } => {
+                let now = self.queue.now();
+                let w = &mut self.workers[worker];
+                w.started = true;
+                if self.cfg.warmup_iters == 0 {
+                    w.measure_start = Some(now);
+                }
+                self.resample_jitter(worker);
+                self.try_start_fwd(worker, 0);
+            }
+            Ev::Compute { worker, phase } => match phase {
+                Phase::Fwd(b) => self.on_fwd_done(worker, b),
+                Phase::Bwd(b) => self.on_bwd_done(worker, b),
+            },
+            Ev::EgressReady { machine, role, dst } => {
+                match role {
+                    Role::Worker => self.workers[machine].egress.complete(dst),
+                    Role::Server => self.servers[machine].egress.complete(dst),
+                }
+                self.kick_egress(machine, role);
+            }
+            Ev::AdmitKick { machine, role } => {
+                let now = self.queue.now();
+                let slot = role_slot(role);
+                if self.admit_kick_at[machine][slot] == Some(now) {
+                    self.admit_kick_at[machine][slot] = None;
+                }
+                self.kick_egress(machine, role);
+            }
+            Ev::ProcDone { server } => self.on_proc_done(server),
+            Ev::NetWake => {
+                let now = self.queue.now();
+                if self.next_wake == Some(now) {
+                    self.next_wake = None;
+                }
+                let done = self.net.poll(now);
+                for flow in done {
+                    let msg_id = self
+                        .flows
+                        .remove(&flow.id)
+                        .expect("completed flow without a registered message");
+                    self.on_delivered(msg_id);
+                }
+                self.schedule_net_wake();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Worker compute.
+
+    fn fwd_ready(&self, worker: usize, block: usize) -> bool {
+        let need = self.workers[worker].iter;
+        self.keys_of_block[block]
+            .iter()
+            .all(|&k| self.workers[worker].received_version[k] >= need)
+    }
+
+    fn try_start_fwd(&mut self, worker: usize, block: usize) {
+        let now = self.queue.now();
+        if self.fwd_ready(worker, block) {
+            let w = &mut self.workers[worker];
+            w.waiting_block = None;
+            if let Some(since) = w.stalled_since.take() {
+                w.stalled_total += now - since;
+            }
+            let dur = self.block_times[block].fwd.mul_f64(self.workers[worker].jitter);
+            self.queue.schedule_in(dur, Ev::Compute { worker, phase: Phase::Fwd(block) });
+        } else {
+            let w = &mut self.workers[worker];
+            w.waiting_block = Some(block);
+            if w.stalled_since.is_none() {
+                w.stalled_since = Some(now);
+            }
+        }
+    }
+
+    fn on_fwd_done(&mut self, worker: usize, block: usize) {
+        let last = self.block_times.len() - 1;
+        if block < last {
+            self.try_start_fwd(worker, block + 1);
+        } else {
+            let dur = self.block_times[last].bwd.mul_f64(self.workers[worker].jitter);
+            self.queue.schedule_in(dur, Ev::Compute { worker, phase: Phase::Bwd(last) });
+        }
+    }
+
+    fn on_bwd_done(&mut self, worker: usize, block: usize) {
+        // Gradients for every array of this block are now ready: hand their
+        // slices to the synchronization strategy (enqueue pushes).
+        let round = self.workers[worker].iter;
+        let keys: Vec<usize> = self.keys_of_block[block].clone();
+        for k in keys {
+            let slice = self.plan.slice(p3_pserver::Key(k as u64));
+            let msg = OutMsg {
+                dst: MachineId(slice.server.0),
+                bytes: self.push_wire(slice.params),
+                priority: Priority(self.prio[k]),
+                msg_id: self.register_msg(MsgCtx {
+                    kind: MsgKind::Push { key: k, round },
+                    src: worker,
+                    dst: slice.server.0,
+                }),
+            };
+            self.workers[worker].egress.enqueue(msg);
+        }
+        self.kick_egress(worker, Role::Worker);
+
+        if block > 0 {
+            let dur = self.block_times[block - 1].bwd.mul_f64(self.workers[worker].jitter);
+            self.queue
+                .schedule_in(dur, Ev::Compute { worker, phase: Phase::Bwd(block - 1) });
+        } else {
+            self.on_iteration_complete(worker);
+        }
+    }
+
+    fn on_iteration_complete(&mut self, worker: usize) {
+        let now = self.queue.now();
+        let w = &mut self.workers[worker];
+        w.completed += 1;
+        w.iter += 1;
+        if w.completed == self.cfg.warmup_iters {
+            w.measure_start = Some(now);
+        }
+        if w.completed == self.cfg.warmup_iters + self.cfg.measure_iters
+            && w.measure_end.is_none()
+        {
+            w.measure_end = Some(now);
+        }
+        self.resample_jitter(worker);
+
+        // TensorFlow-style: the next graph execution issues recv ops for
+        // every parameter now.
+        if self.cfg.strategy.pull_timing == PullTiming::NextIterationStart {
+            let round = self.workers[worker].iter;
+            for k in 0..self.plan.num_keys() {
+                if self.workers[worker].received_version[k] < round {
+                    self.send_pull_request(worker, k, round);
+                }
+            }
+            self.kick_egress(worker, Role::Worker);
+        }
+        self.try_start_fwd(worker, 0);
+    }
+
+    fn resample_jitter(&mut self, worker: usize) {
+        let frac = self.cfg.model.iteration_jitter();
+        let w = &mut self.workers[worker];
+        w.jitter = if frac > 0.0 {
+            (1.0 + w.rng.normal() * frac).clamp(0.5, 2.0)
+        } else {
+            1.0
+        };
+    }
+
+    // ------------------------------------------------------------------
+    // Messaging.
+
+    /// Wire size of a gradient push for `params` parameters, after any
+    /// configured compression.
+    fn push_wire(&self, params: u64) -> u64 {
+        match self.cfg.wire_compression {
+            Some(c) => HEADER_BYTES as u64 + ((4 * params) as f64 / c.push_ratio).ceil() as u64,
+            None => wire_bytes(params),
+        }
+    }
+
+    /// Wire size of a parameter response, after any configured compression.
+    fn response_wire(&self, params: u64) -> u64 {
+        match self.cfg.wire_compression {
+            Some(c) => {
+                HEADER_BYTES as u64 + ((4 * params) as f64 / c.response_ratio).ceil() as u64
+            }
+            None => wire_bytes(params),
+        }
+    }
+
+    fn register_msg(&mut self, ctx: MsgCtx) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.msgs.insert(id, ctx);
+        id
+    }
+
+    fn send_pull_request(&mut self, worker: usize, key: usize, round: u64) {
+        let slice = self.plan.slice(p3_pserver::Key(key as u64));
+        let msg = OutMsg {
+            dst: MachineId(slice.server.0),
+            bytes: HEADER_BYTES as u64,
+            priority: Priority(self.prio[key]),
+            msg_id: self.register_msg(MsgCtx {
+                kind: MsgKind::PullReq { key, round },
+                src: worker,
+                dst: slice.server.0,
+            }),
+        };
+        self.workers[worker].egress.enqueue(msg);
+    }
+
+    /// Starts any transmissions an endpoint's scheduler allows.
+    ///
+    /// Per-destination (baseline) lanes transmit whenever idle — each
+    /// connection has its own sender thread in MXNet. A single-consumer
+    /// (P3) endpoint serializes per-message work on one thread: it admits
+    /// at most one message per `msg_overhead`, modelling the consumer's
+    /// serialization/syscall cost — the source of Figure 12's small-slice
+    /// falloff.
+    fn kick_egress(&mut self, machine: usize, role: Role) {
+        let now = self.queue.now();
+        let single = {
+            let unit = match role {
+                Role::Worker => &self.workers[machine].egress,
+                Role::Server => &self.servers[machine].egress,
+            };
+            matches!(unit, EgressUnit::Single { .. })
+        };
+        if single {
+            let slot = role_slot(role);
+            let gate = self.admit_gate[machine][slot];
+            if now < gate {
+                self.schedule_admit_kick(machine, role, gate);
+            } else {
+                let admitted = match role {
+                    Role::Worker => self.workers[machine].egress.start_one(),
+                    Role::Server => self.servers[machine].egress.start_one(),
+                };
+                if let Some(m) = admitted {
+                    let flow = self.net.start_flow(
+                        now,
+                        MachineId(machine),
+                        m.dst,
+                        m.bytes,
+                        m.priority,
+                        m.msg_id,
+                    );
+                    self.flows.insert(flow, m.msg_id);
+                    let next = now + self.cfg.msg_overhead;
+                    self.admit_gate[machine][slot] = next;
+                    let backlog = match role {
+                        Role::Worker => self.workers[machine].egress.backlog(),
+                        Role::Server => self.servers[machine].egress.backlog(),
+                    };
+                    if backlog > 0 {
+                        self.schedule_admit_kick(machine, role, next);
+                    }
+                }
+            }
+        } else {
+            let ready = match role {
+                Role::Worker => self.workers[machine].egress.start_ready(),
+                Role::Server => self.servers[machine].egress.start_ready(),
+            };
+            for m in ready {
+                let flow = self.net.start_flow(
+                    now,
+                    MachineId(machine),
+                    m.dst,
+                    m.bytes,
+                    m.priority,
+                    m.msg_id,
+                );
+                self.flows.insert(flow, m.msg_id);
+            }
+        }
+        self.schedule_net_wake();
+    }
+
+    fn schedule_admit_kick(&mut self, machine: usize, role: Role, at: SimTime) {
+        let slot = role_slot(role);
+        if self.admit_kick_at[machine][slot].map_or(true, |t| at < t) {
+            self.queue.schedule_at(at, Ev::AdmitKick { machine, role });
+            self.admit_kick_at[machine][slot] = Some(at);
+        }
+    }
+
+    fn schedule_net_wake(&mut self) {
+        if let Some(t) = self.net.next_event_time() {
+            if self.next_wake.map_or(true, |w| t < w) {
+                self.queue.schedule_at(t, Ev::NetWake);
+                self.next_wake = Some(t);
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, msg_id: u64) {
+        let ctx = self.msgs.remove(&msg_id).expect("delivery for unknown message");
+        let now = self.queue.now();
+
+        // Free the sender: single-consumer units release their window slot
+        // immediately (their per-message cost was charged at admission);
+        // per-destination lanes pay the endpoint overhead before reuse.
+        let sender_role = match ctx.kind {
+            MsgKind::Push { .. } | MsgKind::PullReq { .. } => Role::Worker,
+            MsgKind::Response { .. } | MsgKind::Notify { .. } => Role::Server,
+        };
+        let sender_single = {
+            let unit = match sender_role {
+                Role::Worker => &self.workers[ctx.src].egress,
+                Role::Server => &self.servers[ctx.src].egress,
+            };
+            matches!(unit, EgressUnit::Single { .. })
+        };
+        if sender_single {
+            match sender_role {
+                Role::Worker => self.workers[ctx.src].egress.complete(MachineId(ctx.dst)),
+                Role::Server => self.servers[ctx.src].egress.complete(MachineId(ctx.dst)),
+            }
+            self.kick_egress(ctx.src, sender_role);
+        } else {
+            self.queue.schedule_at(
+                now + self.cfg.msg_overhead,
+                Ev::EgressReady { machine: ctx.src, role: sender_role, dst: MachineId(ctx.dst) },
+            );
+        }
+
+        match ctx.kind {
+            MsgKind::Push { key, round } => {
+                self.stats.pushes += 1;
+                let prio = match self.cfg.strategy.server_processing {
+                    ServerProcessing::Priority => self.prio[key],
+                    ServerProcessing::Fifo => 0,
+                };
+                self.servers[ctx.dst].proc_queue.push(prio, ProcItem { key, round });
+                self.kick_proc(ctx.dst);
+            }
+            MsgKind::PullReq { key, round } => {
+                self.stats.pull_requests += 1;
+                let server = ctx.dst;
+                if self.servers[server].version[key] >= round {
+                    self.send_response(server, key, ctx.src);
+                    self.kick_egress(server, Role::Server);
+                } else {
+                    self.servers[server].pending_pulls[key].push(ctx.src);
+                }
+            }
+            MsgKind::Response { key, version } => {
+                self.stats.responses += 1;
+                let w = &mut self.workers[ctx.dst];
+                if version > w.received_version[key] {
+                    w.received_version[key] = version;
+                }
+                self.recheck_waiting(ctx.dst);
+            }
+            MsgKind::Notify { key, version } => {
+                self.stats.notifies += 1;
+                self.on_notify(ctx.dst, key, version);
+            }
+        }
+    }
+
+    fn on_notify(&mut self, worker: usize, key: usize, version: u64) {
+        {
+            let w = &mut self.workers[worker];
+            if version > w.notified_version[key] {
+                w.notified_version[key] = version;
+            }
+        }
+        // MXNet pulls a layer only once every one of its parts has
+        // notified (§4.2 explains why P3 removes this).
+        let array = self.plan.slice(p3_pserver::Key(key as u64)).array;
+        let keys = self.plan.slices_of_array(array).to_vec();
+        let all_notified =
+            keys.iter().all(|&k| self.workers[worker].notified_version[k] >= version);
+        if all_notified && self.cfg.strategy.pull_timing == PullTiming::Eager {
+            for &k in &keys {
+                if self.workers[worker].received_version[k] < version
+                    && self.workers[worker].notified_version[k] >= version
+                {
+                    self.send_pull_request(worker, k, version);
+                }
+            }
+            self.kick_egress(worker, Role::Worker);
+        }
+    }
+
+    fn recheck_waiting(&mut self, worker: usize) {
+        if let Some(b) = self.workers[worker].waiting_block {
+            if self.fwd_ready(worker, b) {
+                self.try_start_fwd(worker, b);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Server processing.
+
+    fn kick_proc(&mut self, server: usize) {
+        if self.servers[server].proc_busy {
+            return;
+        }
+        let Some(item) = self.servers[server].proc_queue.pop() else {
+            return;
+        };
+        let params = self.plan.slice(p3_pserver::Key(item.key as u64)).params;
+        let s = &self.servers[server];
+        assert_eq!(
+            s.version[item.key], item.round,
+            "push for round {} processed while key {} is at version {}",
+            item.round, item.key, s.version[item.key]
+        );
+        let completing = s.received[item.key] + 1 == self.cfg.machines as u32;
+        let mut nanos = self.cfg.proc_fixed.as_nanos() as f64
+            + self.cfg.agg_ns_per_param * params as f64;
+        if completing {
+            nanos += self.cfg.upd_ns_per_param * params as f64;
+        }
+        self.servers[server].proc_busy = true;
+        self.servers[server].current = Some(item);
+        self.queue
+            .schedule_in(SimDuration::from_nanos(nanos as u64), Ev::ProcDone { server });
+    }
+
+    fn on_proc_done(&mut self, server: usize) {
+        let item = self.servers[server]
+            .current
+            .take()
+            .expect("ProcDone without an item in flight");
+        self.servers[server].proc_busy = false;
+        self.servers[server].received[item.key] += 1;
+        if self.servers[server].received[item.key] == self.cfg.machines as u32 {
+            self.servers[server].received[item.key] = 0;
+            self.servers[server].version[item.key] += 1;
+            let version = self.servers[server].version[item.key];
+            match self.cfg.strategy.response {
+                ResponseMode::ImmediateBroadcast => {
+                    for w in 0..self.cfg.machines {
+                        self.send_response_versioned(server, item.key, w, version);
+                    }
+                }
+                ResponseMode::NotifyThenPull => {
+                    if self.cfg.strategy.pull_timing == PullTiming::Eager {
+                        let bytes = HEADER_BYTES as u64;
+                        for w in 0..self.cfg.machines {
+                            let msg = OutMsg {
+                                dst: MachineId(w),
+                                bytes,
+                                priority: Priority(self.prio[item.key]),
+                                msg_id: self.register_msg(MsgCtx {
+                                    kind: MsgKind::Notify { key: item.key, version },
+                                    src: server,
+                                    dst: w,
+                                }),
+                            };
+                            self.servers[server].egress.enqueue(msg);
+                        }
+                    }
+                    // Deferred (TF-style) pulls waiting on this version:
+                    let waiting = std::mem::take(&mut self.servers[server].pending_pulls[item.key]);
+                    for w in waiting {
+                        self.send_response_versioned(server, item.key, w, version);
+                    }
+                }
+            }
+            self.kick_egress(server, Role::Server);
+        }
+        self.kick_proc(server);
+    }
+
+    fn send_response(&mut self, server: usize, key: usize, worker: usize) {
+        let version = self.servers[server].version[key];
+        self.send_response_versioned(server, key, worker, version);
+    }
+
+    fn send_response_versioned(&mut self, server: usize, key: usize, worker: usize, version: u64) {
+        let params = self.plan.slice(p3_pserver::Key(key as u64)).params;
+        let msg = OutMsg {
+            dst: MachineId(worker),
+            bytes: self.response_wire(params),
+            priority: Priority(self.prio[key]),
+            msg_id: self.register_msg(MsgCtx {
+                kind: MsgKind::Response { key, version },
+                src: server,
+                dst: worker,
+            }),
+        };
+        self.servers[server].egress.enqueue(msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Results.
+
+    fn finish(self, target: u64) -> RunResult {
+        let batch = self.cfg.batch_per_worker as f64;
+        let measure_iters = self.cfg.measure_iters as f64;
+        let mut total = 0.0;
+        let mut iter_sum = 0.0;
+        let mut stall_sum = 0.0;
+        let mut finished_at = SimTime::ZERO;
+        for w in &self.workers {
+            let start = w.measure_start.expect("worker never started measuring");
+            let end = w.measure_end.expect("worker never finished measuring");
+            assert!(w.completed >= target);
+            let secs = (end - start).as_secs_f64();
+            total += measure_iters * batch / secs;
+            iter_sum += secs / measure_iters;
+            stall_sum += w.stalled_total.as_secs_f64() / end.as_secs_f64();
+            finished_at = finished_at.max(end);
+        }
+        let n = self.workers.len() as f64;
+        let trace = self.cfg.trace_bin.map(|bin| UtilizationTrace {
+            bin,
+            tx_gbps: self.net.tx_trace(MachineId(0)).expect("trace enabled").gbps_series(),
+            rx_gbps: self.net.rx_trace(MachineId(0)).expect("trace enabled").gbps_series(),
+        });
+        RunResult {
+            throughput: total,
+            per_worker_throughput: total / n,
+            unit: self.cfg.model.unit(),
+            mean_iteration: SimDuration::from_secs_f64(iter_sum / n),
+            mean_stall_fraction: stall_sum / n,
+            finished_at,
+            events: self.events,
+            messages: self.stats,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3_core::SyncStrategy;
+    use p3_models::ModelSpec;
+    use p3_net::Bandwidth;
+
+    fn cfg(strategy: SyncStrategy, gbps: f64) -> ClusterConfig {
+        ClusterConfig::new(ModelSpec::resnet50(), strategy, 4, Bandwidth::from_gbps(gbps))
+            .with_iters(1, 2)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn every_strategy_terminates_and_reports() {
+        for strategy in [
+            SyncStrategy::baseline(),
+            SyncStrategy::slicing_only(),
+            SyncStrategy::p3(),
+            SyncStrategy::tf_style(),
+            SyncStrategy::poseidon_wfbp(),
+            SyncStrategy::p3_generation_order(),
+            SyncStrategy::p3_random_order(3),
+            SyncStrategy::p3_notify_pull(),
+        ] {
+            let name = strategy.name().to_string();
+            let r = ClusterSim::new(cfg(strategy, 8.0)).run();
+            assert!(r.throughput > 0.0, "{name} produced no throughput");
+            assert!(r.events > 0);
+            assert!(!r.mean_iteration.is_zero());
+        }
+    }
+
+    #[test]
+    fn single_machine_cluster_works() {
+        // Degenerate deployment: worker and its only server share one
+        // machine; all traffic is loopback.
+        let c = ClusterConfig::new(
+            ModelSpec::resnet50(),
+            SyncStrategy::p3(),
+            1,
+            Bandwidth::from_gbps(1.0),
+        )
+        .with_iters(1, 2);
+        let r = ClusterSim::new(c).run();
+        // Loopback never binds: throughput equals the compute plateau.
+        let plateau = ModelSpec::resnet50().reference_throughput();
+        assert!((r.throughput - plateau).abs() / plateau < 0.05, "got {}", r.throughput);
+    }
+
+    #[test]
+    fn starved_network_still_completes() {
+        // 50 Mbps: brutally communication-bound but must terminate.
+        let r = ClusterSim::new(cfg(SyncStrategy::p3(), 0.05)).run();
+        assert!(r.throughput > 0.0);
+        assert!(r.throughput < 20.0, "50 Mbps cannot be compute-bound: {}", r.throughput);
+    }
+
+    #[test]
+    fn tf_style_is_no_faster_than_eager_baseline() {
+        // Deferring pulls to the next iteration start removes overlap.
+        let tf = ClusterSim::new(cfg(SyncStrategy::tf_style(), 3.0)).run();
+        let eager = ClusterSim::new(cfg(SyncStrategy::baseline(), 3.0)).run();
+        assert!(
+            tf.throughput <= eager.throughput * 1.02,
+            "tf {} vs eager {}",
+            tf.throughput,
+            eager.throughput
+        );
+    }
+
+    #[test]
+    fn immediate_broadcast_helps_p3() {
+        // Ablation §5: removing the notify+pull round trip is part of P3's
+        // win.
+        let with = ClusterSim::new(cfg(SyncStrategy::p3(), 3.0)).run();
+        let without = ClusterSim::new(cfg(SyncStrategy::p3_notify_pull(), 3.0)).run();
+        assert!(
+            with.throughput >= without.throughput * 0.98,
+            "broadcast {} vs notify-pull {}",
+            with.throughput,
+            without.throughput
+        );
+    }
+
+    #[test]
+    fn sockeye_jitter_produces_unequal_iterations() {
+        let c = ClusterConfig::new(
+            ModelSpec::sockeye(),
+            SyncStrategy::p3(),
+            2,
+            Bandwidth::from_gbps(20.0),
+        )
+        .with_iters(1, 6);
+        let r = ClusterSim::new(c).run();
+        // With ±12% compute jitter and a sync barrier, the mean iteration
+        // must exceed the jitter-free compute time (max of workers).
+        let jitter_free = ModelSpec::sockeye().default_batch() as f64
+            / ModelSpec::sockeye().reference_throughput();
+        assert!(
+            r.mean_iteration.as_secs_f64() > jitter_free * 1.005,
+            "barrier should amplify stragglers: {} vs {}",
+            r.mean_iteration.as_secs_f64(),
+            jitter_free
+        );
+    }
+
+    #[test]
+    fn traces_cover_the_whole_run() {
+        let c = cfg(SyncStrategy::p3(), 4.0).with_trace(SimDuration::from_millis(10));
+        let r = ClusterSim::new(c).run();
+        let t = r.trace.expect("tracing enabled");
+        assert!(!t.tx_gbps.is_empty());
+        assert!(!t.rx_gbps.is_empty());
+        // Something was actually transmitted and received.
+        assert!(t.tx_gbps.iter().sum::<f64>() > 0.0);
+        assert!(t.rx_gbps.iter().sum::<f64>() > 0.0);
+        // And never above the nominal NIC rate.
+        assert!(t.tx_gbps.iter().all(|&g| g <= 4.0 + 1e-9));
+    }
+
+    #[test]
+    fn seeds_change_details_not_regime() {
+        let a = ClusterSim::new(cfg(SyncStrategy::p3(), 4.0).with_seed(1)).run();
+        let b = ClusterSim::new(cfg(SyncStrategy::p3(), 4.0).with_seed(2)).run();
+        // KVStore's random placement and stagger differ, but throughput
+        // stays in the same regime.
+        assert!((a.throughput / b.throughput - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn inception_runs_under_all_fig7_strategies() {
+        for strategy in SyncStrategy::fig7_series() {
+            let c = ClusterConfig::new(
+                ModelSpec::inception_v3(),
+                strategy,
+                4,
+                Bandwidth::from_gbps(4.0),
+            )
+            .with_iters(1, 2);
+            assert!(ClusterSim::new(c).run().throughput > 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod stall_tests {
+    use super::*;
+    use p3_core::SyncStrategy;
+    use p3_models::ModelSpec;
+    use p3_net::Bandwidth;
+
+    #[test]
+    fn p3_stalls_less_than_baseline_when_constrained() {
+        let run = |s: SyncStrategy| {
+            ClusterSim::new(
+                ClusterConfig::new(
+                    ModelSpec::resnet50(),
+                    s,
+                    4,
+                    Bandwidth::from_gbps(3.0),
+                )
+                .with_iters(1, 3),
+            )
+            .run()
+        };
+        let base = run(SyncStrategy::baseline());
+        let p3 = run(SyncStrategy::p3());
+        assert!(
+            p3.mean_stall_fraction < base.mean_stall_fraction,
+            "P3 stall {:.3} vs baseline {:.3}",
+            p3.mean_stall_fraction,
+            base.mean_stall_fraction
+        );
+    }
+
+    #[test]
+    fn compute_bound_runs_barely_stall() {
+        let r = ClusterSim::new(
+            ClusterConfig::new(
+                ModelSpec::resnet50(),
+                SyncStrategy::p3(),
+                4,
+                Bandwidth::from_gbps(50.0),
+            )
+            .with_iters(1, 3),
+        )
+        .run();
+        assert!(r.mean_stall_fraction < 0.05, "stall {:.3}", r.mean_stall_fraction);
+    }
+}
+
+#[cfg(test)]
+mod message_accounting_tests {
+    use super::*;
+    use p3_core::SyncStrategy;
+    use p3_models::ModelSpec;
+    use p3_net::Bandwidth;
+
+    /// Runs `iters` total iterations and returns (stats, keys, machines).
+    fn run_counted(strategy: SyncStrategy, iters: u64) -> (MessageStats, u64, u64) {
+        let model = ModelSpec::resnet50();
+        let machines = 3usize;
+        let keys = strategy.plan(&model, machines, 0x9e3779b9).num_keys() as u64;
+        let cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(50.0))
+            .with_iters(0, iters);
+        let r = ClusterSim::new(cfg).run();
+        (r.messages, keys, machines as u64)
+    }
+
+    #[test]
+    fn p3_message_budget_is_exact() {
+        // ImmediateBroadcast: per round, every key is pushed by every
+        // worker and broadcast back to every worker; nothing else.
+        let (m, keys, w) = run_counted(SyncStrategy::p3(), 3);
+        let rounds = 3;
+        // The run halts the instant the last worker finishes its backward
+        // pass; the final round's tail messages may still be in flight.
+        let full = keys * w * rounds;
+        assert!(m.pushes <= full && m.pushes >= full - keys * w, "pushes {}", m.pushes);
+        assert_eq!(m.notifies, 0);
+        assert_eq!(m.pull_requests, 0);
+        // Responses: the final round's broadcasts may still be in flight
+        // when the run stops, so allow the tail to be missing.
+        let full = keys * w * rounds;
+        assert!(
+            m.responses <= full && m.responses >= full - keys * w,
+            "responses {} vs expected ~{}",
+            m.responses,
+            full
+        );
+    }
+
+    #[test]
+    fn baseline_message_budget_is_exact() {
+        // NotifyThenPull: per round and key, W pushes, W notifies, W pull
+        // requests, W responses.
+        let (m, keys, w) = run_counted(SyncStrategy::baseline(), 3);
+        let rounds = 3;
+        let full = keys * w * rounds;
+        assert!(m.pushes <= full && m.pushes >= full - keys * w, "pushes {}", m.pushes);
+        assert!(m.notifies <= full && m.notifies >= full - keys * w);
+        assert!(m.pull_requests <= m.notifies);
+        assert!(m.responses <= m.pull_requests);
+        // All but the in-flight tail must complete for training to advance:
+        // round r+1 pushes require round r responses.
+        assert!(m.responses >= keys * w * (rounds - 1));
+    }
+
+    #[test]
+    fn tf_style_pulls_everything_every_iteration() {
+        let (m, keys, w) = run_counted(SyncStrategy::tf_style(), 2);
+        // No notifies in the TF model; pulls are issued per key per
+        // iteration boundary.
+        assert_eq!(m.notifies, 0);
+        assert!(m.pull_requests >= keys * w, "pulls {}", m.pull_requests);
+    }
+}

@@ -1,0 +1,129 @@
+//! Parameter-sweep helpers shared by the figure-regeneration benches and
+//! the integration tests.
+
+use crate::config::ClusterConfig;
+use crate::sim::ClusterSim;
+use p3_core::SyncStrategy;
+use p3_models::ModelSpec;
+use p3_net::Bandwidth;
+
+/// One point of a sweep: the x-value and the aggregate throughput of each
+/// strategy at that point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Sweep variable (Gbps, cluster size, or slice parameters).
+    pub x: f64,
+    /// `(strategy name, aggregate samples/sec)` in input order.
+    pub series: Vec<(String, f64)>,
+}
+
+/// Measured aggregate throughput of one configuration (samples/sec).
+pub fn throughput_of(
+    model: &ModelSpec,
+    strategy: &SyncStrategy,
+    machines: usize,
+    bandwidth: Bandwidth,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> f64 {
+    let cfg = ClusterConfig::new(model.clone(), strategy.clone(), machines, bandwidth)
+        .with_iters(warmup, measure)
+        .with_seed(seed);
+    ClusterSim::new(cfg).run().throughput
+}
+
+/// Figure 7: throughput of each strategy across NIC bandwidths on a fixed
+/// cluster.
+pub fn bandwidth_sweep(
+    model: &ModelSpec,
+    strategies: &[SyncStrategy],
+    machines: usize,
+    gbps: &[f64],
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    gbps.iter()
+        .map(|&g| SweepPoint {
+            x: g,
+            series: strategies
+                .iter()
+                .map(|s| {
+                    let t = throughput_of(
+                        model,
+                        s,
+                        machines,
+                        Bandwidth::from_gbps(g),
+                        warmup,
+                        measure,
+                        seed,
+                    );
+                    (s.name().to_string(), t)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 10: throughput across cluster sizes at fixed bandwidth.
+pub fn scalability_sweep(
+    model: &ModelSpec,
+    strategies: &[SyncStrategy],
+    sizes: &[usize],
+    bandwidth: Bandwidth,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    sizes
+        .iter()
+        .map(|&n| SweepPoint {
+            x: n as f64,
+            series: strategies
+                .iter()
+                .map(|s| {
+                    let t =
+                        throughput_of(model, s, n, bandwidth, warmup, measure, seed);
+                    (s.name().to_string(), t)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 12: P3 throughput across slice sizes.
+pub fn slice_size_sweep(
+    model: &ModelSpec,
+    slice_params: &[u64],
+    machines: usize,
+    bandwidth: Bandwidth,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    slice_params
+        .iter()
+        .map(|&sz| {
+            let s = SyncStrategy::p3_with_slice_params(sz);
+            let t = throughput_of(model, &s, machines, bandwidth, warmup, measure, seed);
+            SweepPoint { x: sz as f64, series: vec![(s.name().to_string(), t)] }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_carry_all_strategies() {
+        let model = ModelSpec::resnet50();
+        let strategies = [SyncStrategy::baseline(), SyncStrategy::p3()];
+        let pts = bandwidth_sweep(&model, &strategies, 2, &[20.0], 1, 2, 7);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].series.len(), 2);
+        assert_eq!(pts[0].series[0].0, "Baseline");
+        assert!(pts[0].series.iter().all(|(_, t)| *t > 0.0));
+    }
+}

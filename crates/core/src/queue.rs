@@ -1,0 +1,224 @@
+//! The producer–consumer priority queue at the heart of P3 (§4.2).
+//!
+//! P3Worker's producer pushes all slices of a layer at once; a single
+//! consumer repeatedly polls the **highest-priority** slice and transmits it
+//! with a blocking send. The same structure sits in front of the P3Server's
+//! processing loop. Lower numeric priority = more urgent (layer 0 first),
+//! and FIFO order breaks ties so equal-priority slices of one layer keep
+//! their part order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone)]
+struct Item<T> {
+    priority: u32,
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for Item<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Item<T> {}
+impl<T> PartialOrd for Item<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Item<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: invert so (lowest priority value, lowest seq) pops
+        // first.
+        (other.priority, other.seq).cmp(&(self.priority, self.seq))
+    }
+}
+
+/// A strict priority queue with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use p3_core::PrioQueue;
+///
+/// let mut q = PrioQueue::new();
+/// q.push(3, "layer3.slice0"); // backprop finishes the last layer first…
+/// q.push(3, "layer3.slice1");
+/// q.push(0, "layer1.slice0"); // …but layer 1 preempts it in the queue.
+/// assert_eq!(q.pop(), Some("layer1.slice0"));
+/// assert_eq!(q.pop(), Some("layer3.slice0"));
+/// assert_eq!(q.pop(), Some("layer3.slice1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrioQueue<T> {
+    heap: BinaryHeap<Item<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for PrioQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrioQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PrioQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Enqueues `value` with `priority` (lower = more urgent).
+    pub fn push(&mut self, priority: u32, value: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Item { priority, seq, value });
+    }
+
+    /// Removes and returns the most urgent value (FIFO among equals).
+    pub fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|i| i.value)
+    }
+
+    /// Most urgent value without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.heap.peek().map(|i| &i.value)
+    }
+
+    /// Priority of the most urgent value.
+    pub fn peek_priority(&self) -> Option<u32> {
+        self.heap.peek().map(|i| i.priority)
+    }
+
+    /// Number of queued values.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all queued values.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Extend<(u32, T)> for PrioQueue<T> {
+    fn extend<I: IntoIterator<Item = (u32, T)>>(&mut self, iter: I) {
+        for (p, v) in iter {
+            self.push(p, v);
+        }
+    }
+}
+
+impl<T> FromIterator<(u32, T)> for PrioQueue<T> {
+    fn from_iter<I: IntoIterator<Item = (u32, T)>>(iter: I) -> Self {
+        let mut q = PrioQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority() {
+        let mut q = PrioQueue::new();
+        q.push(5, "e");
+        q.push(1, "b");
+        q.push(0, "a");
+        q.push(3, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec!["a", "b", "c", "e"]);
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut q = PrioQueue::new();
+        for i in 0..50 {
+            q.push(7, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn preemption_mid_stream() {
+        // The paper's scenario: layer 3's slices are queued, then layer 1
+        // finishes backprop; its slices jump the queue.
+        let mut q = PrioQueue::new();
+        q.push(3, "l3.s0");
+        q.push(3, "l3.s1");
+        assert_eq!(q.pop(), Some("l3.s0")); // one slice already sent
+        q.push(1, "l1.s0");
+        q.push(1, "l1.s1");
+        assert_eq!(q.pop(), Some("l1.s0"));
+        assert_eq!(q.pop(), Some("l1.s1"));
+        assert_eq!(q.pop(), Some("l3.s1"));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = PrioQueue::new();
+        q.push(2, 'x');
+        assert_eq!(q.peek(), Some(&'x'));
+        assert_eq!(q.peek_priority(), Some(2));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some('x'));
+        assert!(q.is_empty());
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn collect_and_clear() {
+        let mut q: PrioQueue<&str> = [(2, "b"), (1, "a")].into_iter().collect();
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping yields a sequence sorted by (priority, insertion order).
+        #[test]
+        fn pop_order_is_stable_sort(items in prop::collection::vec(0u32..6, 0..100)) {
+            let mut q = PrioQueue::new();
+            for (i, &p) in items.iter().enumerate() {
+                q.push(p, (p, i));
+            }
+            let mut expected: Vec<(u32, usize)> =
+                items.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+            expected.sort_by_key(|&(p, i)| (p, i));
+            let got: Vec<(u32, usize)> = std::iter::from_fn(|| q.pop()).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Interleaved push/pop never violates the priority invariant: a
+        /// popped element is at least as urgent as everything remaining.
+        #[test]
+        fn interleaved_invariant(ops in prop::collection::vec((any::<bool>(), 0u32..6), 1..200)) {
+            let mut q = PrioQueue::new();
+            for (i, &(push, p)) in ops.iter().enumerate() {
+                if push || q.is_empty() {
+                    q.push(p, (p, i));
+                } else {
+                    let popped = q.pop().unwrap();
+                    if let Some(next) = q.peek_priority() {
+                        prop_assert!(popped.0 <= next);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Structural description of a DNN as the synchronization layer sees it.
+//!
+//! Two granularities matter in the paper:
+//!
+//! * **Compute blocks** — the operations the framework executes (a
+//!   convolution, a dense layer, an LSTM cell). Forward propagation runs the
+//!   blocks in order; backward propagation runs them in reverse. A block's
+//!   gradients all materialize together when its backward op finishes.
+//! * **Parameter arrays** — the key-value units the parameter server stores
+//!   (a weight tensor, a bias vector, a batch-norm gamma). MXNet's KVStore
+//!   keys map 1:1 to arrays, which is why Figure 5's x-axis ("layer index")
+//!   counts ~160 entries for ResNet-50 and ~40 for VGG-19.
+//!
+//! P3's *parameter slicing* further splits arrays into slices; that lives in
+//! `p3-core`, not here.
+
+use core::fmt;
+
+/// Bytes per parameter: gradients and parameters travel as IEEE-754 f32.
+pub const BYTES_PER_PARAM: u64 = 4;
+
+/// What kind of operation a compute block performs. Used for reporting and
+/// for sanity checks (e.g. "the heaviest VGG array is a dense layer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// 2-D convolution.
+    Conv,
+    /// Fully-connected / dense layer.
+    Dense,
+    /// Batch normalization.
+    BatchNorm,
+    /// Embedding lookup table.
+    Embedding,
+    /// Recurrent cell (LSTM/GRU), covering all its gates.
+    Recurrent,
+    /// Attention projection.
+    Attention,
+    /// Pooling, activation, dropout, softmax… anything without parameters.
+    Stateless,
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BlockKind::Conv => "conv",
+            BlockKind::Dense => "dense",
+            BlockKind::BatchNorm => "batchnorm",
+            BlockKind::Embedding => "embedding",
+            BlockKind::Recurrent => "recurrent",
+            BlockKind::Attention => "attention",
+            BlockKind::Stateless => "stateless",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One parameter-server key: a single tensor of parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamArray {
+    /// Human-readable name, e.g. `"stage3.block2.conv1.weight"`.
+    pub name: String,
+    /// Number of scalar parameters in the tensor.
+    pub params: u64,
+}
+
+impl ParamArray {
+    /// Creates an array; `params` must be positive (parameterless tensors
+    /// are not keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params == 0`.
+    pub fn new(name: impl Into<String>, params: u64) -> Self {
+        let name = name.into();
+        assert!(params > 0, "parameter array {name} has zero parameters");
+        ParamArray { name, params }
+    }
+
+    /// Wire size of the gradient (or updated parameter) message payload.
+    pub fn bytes(&self) -> u64 {
+        self.params * BYTES_PER_PARAM
+    }
+}
+
+/// One framework operation together with the parameter arrays it owns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeBlock {
+    /// Human-readable name, e.g. `"conv1"`.
+    pub name: String,
+    /// Operation category.
+    pub kind: BlockKind,
+    /// Forward-pass floating-point operations for a **single sample**.
+    pub fwd_flops: u64,
+    /// Parameter arrays owned by this block, in declaration order.
+    pub arrays: Vec<ParamArray>,
+}
+
+impl ComputeBlock {
+    /// Creates a block.
+    pub fn new(
+        name: impl Into<String>,
+        kind: BlockKind,
+        fwd_flops: u64,
+        arrays: Vec<ParamArray>,
+    ) -> Self {
+        ComputeBlock { name: name.into(), kind, fwd_flops, arrays }
+    }
+
+    /// Total parameters across this block's arrays.
+    pub fn params(&self) -> u64 {
+        self.arrays.iter().map(|a| a.params).sum()
+    }
+}
+
+/// What a training sample is called, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleUnit {
+    /// Image classification models.
+    Images,
+    /// Machine translation models.
+    Sentences,
+}
+
+impl fmt::Display for SampleUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleUnit::Images => f.write_str("images"),
+            SampleUnit::Sentences => f.write_str("sentences"),
+        }
+    }
+}
+
+/// A complete model: an ordered sequence of compute blocks.
+///
+/// # Examples
+///
+/// ```
+/// use p3_models::ModelSpec;
+///
+/// let m = ModelSpec::vgg19();
+/// assert_eq!(m.name(), "VGG-19");
+/// // VGG-19 has ~143.67 M parameters, 71.5% of them in one dense array.
+/// assert!((m.total_params() as f64 - 143.67e6).abs() < 0.2e6);
+/// let heaviest = m.heaviest_array().unwrap();
+/// assert!(heaviest.params as f64 / m.total_params() as f64 > 0.70);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    name: String,
+    unit: SampleUnit,
+    blocks: Vec<ComputeBlock>,
+    /// Calibrated compute-bound throughput of ONE worker (samples/sec) on
+    /// the paper's Nvidia P4000 testbed, used by the compute-time model.
+    reference_throughput: f64,
+    /// Default per-worker minibatch size used in the paper's experiments.
+    default_batch: usize,
+    /// Std-dev of per-iteration compute jitter (variable sequence lengths
+    /// make Sockeye iterations uneven; CNNs are steady).
+    iteration_jitter: f64,
+}
+
+impl ModelSpec {
+    /// Assembles a model from parts. Prefer the named constructors
+    /// ([`ModelSpec::resnet50`] etc.) unless you are defining a custom
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty, if no block owns any parameters, or if
+    /// `reference_throughput` is not positive.
+    pub fn from_blocks(
+        name: impl Into<String>,
+        unit: SampleUnit,
+        blocks: Vec<ComputeBlock>,
+        reference_throughput: f64,
+        default_batch: usize,
+        iteration_jitter: f64,
+    ) -> Self {
+        let name = name.into();
+        assert!(!blocks.is_empty(), "model {name} has no blocks");
+        assert!(
+            blocks.iter().any(|b| !b.arrays.is_empty()),
+            "model {name} has no parameters"
+        );
+        assert!(
+            reference_throughput > 0.0 && reference_throughput.is_finite(),
+            "model {name} has invalid reference throughput"
+        );
+        assert!(default_batch > 0, "model {name} has zero batch size");
+        assert!(
+            (0.0..1.0).contains(&iteration_jitter),
+            "iteration jitter must be a fraction in [0, 1)"
+        );
+        ModelSpec {
+            name,
+            unit,
+            blocks,
+            reference_throughput,
+            default_batch,
+            iteration_jitter,
+        }
+    }
+
+    /// Model name as reported in the paper.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Unit for throughput reporting (`images` or `sentences`).
+    pub fn unit(&self) -> SampleUnit {
+        self.unit
+    }
+
+    /// Compute blocks in forward order.
+    pub fn blocks(&self) -> &[ComputeBlock] {
+        &self.blocks
+    }
+
+    /// Calibrated single-worker compute-bound throughput (samples/sec).
+    pub fn reference_throughput(&self) -> f64 {
+        self.reference_throughput
+    }
+
+    /// Per-worker minibatch size used in the paper's experiments.
+    pub fn default_batch(&self) -> usize {
+        self.default_batch
+    }
+
+    /// Relative std-dev of per-iteration compute time.
+    pub fn iteration_jitter(&self) -> f64 {
+        self.iteration_jitter
+    }
+
+    /// Total scalar parameters.
+    pub fn total_params(&self) -> u64 {
+        self.blocks.iter().map(|b| b.params()).sum()
+    }
+
+    /// Total gradient bytes synchronized per iteration.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_params() * BYTES_PER_PARAM
+    }
+
+    /// Total single-sample forward FLOPs.
+    pub fn total_fwd_flops(&self) -> u64 {
+        self.blocks.iter().map(|b| b.fwd_flops).sum()
+    }
+
+    /// All parameter arrays in forward order — the series plotted in
+    /// Figure 5 (one point per KVStore key).
+    pub fn param_arrays(&self) -> impl Iterator<Item = &ParamArray> {
+        self.blocks.iter().flat_map(|b| b.arrays.iter())
+    }
+
+    /// Number of parameter-server keys.
+    pub fn num_arrays(&self) -> usize {
+        self.param_arrays().count()
+    }
+
+    /// The single largest parameter array, or `None` for a parameterless
+    /// model (which `from_blocks` forbids, so in practice always `Some`).
+    pub fn heaviest_array(&self) -> Option<&ParamArray> {
+        self.param_arrays().max_by_key(|a| a.params)
+    }
+
+    /// Index (in forward order) of the block owning the heaviest array.
+    /// Ties resolve to the earliest block, matching the paper's reading of
+    /// Figure 5 ("the heaviest layer in Sockeye is the initial layer").
+    pub fn heaviest_block_index(&self) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, b) in self.blocks.iter().enumerate() {
+            let Some(m) = b.arrays.iter().map(|a| a.params).max() else {
+                continue;
+            };
+            if best.map_or(true, |(_, bm)| m > bm) {
+                best = Some((i, m));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_array_bytes() {
+        let a = ParamArray::new("w", 1000);
+        assert_eq!(a.bytes(), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parameters")]
+    fn empty_array_rejected() {
+        ParamArray::new("w", 0);
+    }
+
+    #[test]
+    fn block_params_sum() {
+        let b = ComputeBlock::new(
+            "fc",
+            BlockKind::Dense,
+            100,
+            vec![ParamArray::new("w", 10), ParamArray::new("b", 2)],
+        );
+        assert_eq!(b.params(), 12);
+    }
+
+    #[test]
+    fn custom_model_accounting() {
+        let m = ModelSpec::from_blocks(
+            "toy",
+            SampleUnit::Images,
+            vec![
+                ComputeBlock::new("a", BlockKind::Conv, 50, vec![ParamArray::new("w", 5)]),
+                ComputeBlock::new("act", BlockKind::Stateless, 1, vec![]),
+                ComputeBlock::new("b", BlockKind::Dense, 100, vec![ParamArray::new("w", 7)]),
+            ],
+            10.0,
+            4,
+            0.0,
+        );
+        assert_eq!(m.total_params(), 12);
+        assert_eq!(m.total_bytes(), 48);
+        assert_eq!(m.total_fwd_flops(), 151);
+        assert_eq!(m.num_arrays(), 2);
+        assert_eq!(m.heaviest_array().unwrap().params, 7);
+        assert_eq!(m.heaviest_block_index(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "no blocks")]
+    fn empty_model_rejected() {
+        ModelSpec::from_blocks("x", SampleUnit::Images, vec![], 1.0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no parameters")]
+    fn parameterless_model_rejected() {
+        ModelSpec::from_blocks(
+            "x",
+            SampleUnit::Images,
+            vec![ComputeBlock::new("relu", BlockKind::Stateless, 1, vec![])],
+            1.0,
+            1,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(BlockKind::Conv.to_string(), "conv");
+        assert_eq!(BlockKind::Embedding.to_string(), "embedding");
+        assert_eq!(SampleUnit::Sentences.to_string(), "sentences");
+    }
+}

@@ -1,0 +1,670 @@
+//! The model zoo: layer-accurate reconstructions of every DNN the paper
+//! evaluates (plus AlexNet as an extra classic-skew example).
+//!
+//! Parameter counts match the reference implementations (torchvision /
+//! Sockeye) to within a fraction of a percent; each constructor's unit tests
+//! pin the totals. `reference_throughput` values are calibrated to the
+//! compute-bound plateaus of Figure 7 (per-worker samples/sec on the
+//! paper's Nvidia P4000 testbed) — see DESIGN.md §6.
+
+use crate::builder::ConvStack;
+use crate::layer::{BlockKind, ComputeBlock, ModelSpec, ParamArray, SampleUnit};
+
+impl ModelSpec {
+    /// ResNet-50 (He et al. 2015) at 224×224: ~25.56 M parameters spread
+    /// over ~160 arrays, none huge — the paper's example of a model whose
+    /// layer sizes are already fine-grained (slicing alone does not help,
+    /// Fig. 7a).
+    pub fn resnet50() -> ModelSpec {
+        let mut s = ConvStack::new(3, 224, 224);
+        s.conv("conv1", 64, 7, 2, 3, false);
+        s.batch_norm("bn1");
+        s.max_pool(3, 2);
+
+        // (blocks, mid channels, out channels, first stride)
+        let stages: [(usize, u64, u64, u64); 4] =
+            [(3, 64, 256, 1), (4, 128, 512, 2), (6, 256, 1024, 2), (3, 512, 2048, 2)];
+        for (si, &(blocks, mid, out, first_stride)) in stages.iter().enumerate() {
+            for b in 0..blocks {
+                let stride = if b == 0 { first_stride } else { 1 };
+                let p = format!("layer{}.{b}", si + 1);
+                // Downsample shortcut sees the block's input shape; build it
+                // from a clone before the main path mutates the shape.
+                let needs_down = b == 0;
+                let mut short = s.clone();
+                s.conv(&format!("{p}.conv1"), mid, 1, 1, 0, false);
+                s.batch_norm(&format!("{p}.bn1"));
+                s.conv(&format!("{p}.conv2"), mid, 3, stride, 1, false);
+                s.batch_norm(&format!("{p}.bn2"));
+                s.conv(&format!("{p}.conv3"), out, 1, 1, 0, false);
+                s.batch_norm(&format!("{p}.bn3"));
+                if needs_down {
+                    short.conv(&format!("{p}.downsample.conv"), out, 1, stride, 0, false);
+                    short.batch_norm(&format!("{p}.downsample.bn"));
+                    // Keep only the two shortcut blocks from the clone.
+                    let new: Vec<ComputeBlock> =
+                        short.finish().into_iter().rev().take(2).rev().collect();
+                    s.append(new);
+                }
+            }
+        }
+        s.global_avg_pool();
+        s.flatten();
+        s.dense("fc", 1000, true);
+
+        ModelSpec::from_blocks("ResNet-50", SampleUnit::Images, s.finish(), 26.5, 32, 0.0)
+    }
+
+    /// VGG-19 (Simonyan & Zisserman 2014) at 224×224: 143.67 M parameters;
+    /// the fc6 weight alone is 102.76 M (71.5% of the model), the paper's
+    /// poster child for parameter slicing (Fig. 5b, Fig. 7c).
+    pub fn vgg19() -> ModelSpec {
+        let cfg: &[&[u64]] =
+            &[&[64, 64], &[128, 128], &[256, 256, 256, 256], &[512, 512, 512, 512], &[512, 512, 512, 512]];
+        let mut s = ConvStack::new(3, 224, 224);
+        let mut idx = 1;
+        for group in cfg {
+            for &out in *group {
+                s.conv(&format!("conv{idx}"), out, 3, 1, 1, true);
+                idx += 1;
+            }
+            s.max_pool(2, 2);
+        }
+        s.flatten();
+        s.dense("fc6", 4096, true);
+        s.dense("fc7", 4096, true);
+        s.dense("fc8", 1000, true);
+        ModelSpec::from_blocks("VGG-19", SampleUnit::Images, s.finish(), 15.0, 32, 0.0)
+    }
+
+    /// InceptionV3 (Szegedy et al. 2015) at 299×299 without auxiliary
+    /// logits: ~23.8 M parameters over ~190 arrays, moderately sized like
+    /// ResNet-50 (Fig. 7b).
+    pub fn inception_v3() -> ModelSpec {
+        /// conv + batch-norm pair, Inception's `BasicConv2d`.
+        fn basic(s: &mut ConvStack, name: &str, out_c: u64, kh: u64, kw: u64, stride: u64, ph: u64, pw: u64) {
+            s.conv2d(&format!("{name}.conv"), out_c, kh, kw, stride, ph, pw, false);
+            s.batch_norm(&format!("{name}.bn"));
+        }
+        /// Concatenation of parallel branches, each built by a closure on a
+        /// fresh clone of the junction; output channels are the sum of the
+        /// branch outputs.
+        fn module(
+            s: &mut ConvStack,
+            branches: Vec<Box<dyn FnOnce(&mut ConvStack)>>,
+        ) {
+            let junction = s.clone();
+            let base_len = junction.len();
+            let mut out_c = 0;
+            let (mut oh, mut ow) = (0, 0);
+            let mut gathered: Vec<ComputeBlock> = Vec::new();
+            for f in branches {
+                let mut b = junction.clone();
+                f(&mut b);
+                let (c, h, w) = b.shape();
+                out_c += c;
+                oh = h;
+                ow = w;
+                gathered.extend(b.finish().into_iter().skip(base_len));
+            }
+            s.append(gathered);
+            s.set_channels(out_c);
+            // All branches agree on the output spatial dims; adopt them by
+            // replaying a no-op reduction.
+            s.force_shape(oh, ow);
+        }
+
+        let mut s = ConvStack::new(3, 299, 299);
+        basic(&mut s, "stem.conv1", 32, 3, 3, 2, 0, 0);
+        basic(&mut s, "stem.conv2", 32, 3, 3, 1, 0, 0);
+        basic(&mut s, "stem.conv3", 64, 3, 3, 1, 1, 1);
+        s.max_pool(3, 2);
+        basic(&mut s, "stem.conv4", 80, 1, 1, 1, 0, 0);
+        basic(&mut s, "stem.conv5", 192, 3, 3, 1, 0, 0);
+        s.max_pool(3, 2);
+
+        // Inception-A ×3 (pool features 32, 64, 64).
+        for (i, pf) in [32u64, 64, 64].iter().enumerate() {
+            let n = format!("mixed{}", 5 + i);
+            let pf = *pf;
+            let n1 = n.clone();
+            let n2 = n.clone();
+            let n3 = n.clone();
+            let n4 = n.clone();
+            module(
+                &mut s,
+                vec![
+                    Box::new(move |b| basic(b, &format!("{n1}.b1x1"), 64, 1, 1, 1, 0, 0)),
+                    Box::new(move |b| {
+                        basic(b, &format!("{n2}.b5x5_1"), 48, 1, 1, 1, 0, 0);
+                        basic(b, &format!("{n2}.b5x5_2"), 64, 5, 5, 1, 2, 2);
+                    }),
+                    Box::new(move |b| {
+                        basic(b, &format!("{n3}.b3x3dbl_1"), 64, 1, 1, 1, 0, 0);
+                        basic(b, &format!("{n3}.b3x3dbl_2"), 96, 3, 3, 1, 1, 1);
+                        basic(b, &format!("{n3}.b3x3dbl_3"), 96, 3, 3, 1, 1, 1);
+                    }),
+                    Box::new(move |b| basic(b, &format!("{n4}.pool_proj"), pf, 1, 1, 1, 0, 0)),
+                ],
+            );
+        }
+
+        // Inception-B (grid reduction to 17×17).
+        {
+            let n = "mixed8_reduce";
+            module(
+                &mut s,
+                vec![
+                    Box::new(move |b| basic(b, &format!("{n}.b3x3"), 384, 3, 3, 2, 0, 0)),
+                    Box::new(move |b| {
+                        basic(b, &format!("{n}.dbl_1"), 64, 1, 1, 1, 0, 0);
+                        basic(b, &format!("{n}.dbl_2"), 96, 3, 3, 1, 1, 1);
+                        basic(b, &format!("{n}.dbl_3"), 96, 3, 3, 2, 0, 0);
+                    }),
+                    Box::new(move |b| b.max_pool(3, 2)),
+                ],
+            );
+        }
+
+        // Inception-C ×4 (factorized 7×7; channels 128, 160, 160, 192).
+        for (i, c7) in [128u64, 160, 160, 192].iter().enumerate() {
+            let n = format!("mixed{}", 9 + i);
+            let c7 = *c7;
+            let n1 = n.clone();
+            let n2 = n.clone();
+            let n3 = n.clone();
+            let n4 = n.clone();
+            module(
+                &mut s,
+                vec![
+                    Box::new(move |b| basic(b, &format!("{n1}.b1x1"), 192, 1, 1, 1, 0, 0)),
+                    Box::new(move |b| {
+                        basic(b, &format!("{n2}.b7x7_1"), c7, 1, 1, 1, 0, 0);
+                        basic(b, &format!("{n2}.b7x7_2"), c7, 1, 7, 1, 0, 3);
+                        basic(b, &format!("{n2}.b7x7_3"), 192, 7, 1, 1, 3, 0);
+                    }),
+                    Box::new(move |b| {
+                        basic(b, &format!("{n3}.dbl_1"), c7, 1, 1, 1, 0, 0);
+                        basic(b, &format!("{n3}.dbl_2"), c7, 7, 1, 1, 3, 0);
+                        basic(b, &format!("{n3}.dbl_3"), c7, 1, 7, 1, 0, 3);
+                        basic(b, &format!("{n3}.dbl_4"), c7, 7, 1, 1, 3, 0);
+                        basic(b, &format!("{n3}.dbl_5"), 192, 1, 7, 1, 0, 3);
+                    }),
+                    Box::new(move |b| basic(b, &format!("{n4}.pool_proj"), 192, 1, 1, 1, 0, 0)),
+                ],
+            );
+        }
+
+        // Inception-D (grid reduction to 8×8).
+        {
+            let n = "mixed13_reduce";
+            module(
+                &mut s,
+                vec![
+                    Box::new(move |b| {
+                        basic(b, &format!("{n}.b3x3_1"), 192, 1, 1, 1, 0, 0);
+                        basic(b, &format!("{n}.b3x3_2"), 320, 3, 3, 2, 0, 0);
+                    }),
+                    Box::new(move |b| {
+                        basic(b, &format!("{n}.b7x7x3_1"), 192, 1, 1, 1, 0, 0);
+                        basic(b, &format!("{n}.b7x7x3_2"), 192, 1, 7, 1, 0, 3);
+                        basic(b, &format!("{n}.b7x7x3_3"), 192, 7, 1, 1, 3, 0);
+                        basic(b, &format!("{n}.b7x7x3_4"), 192, 3, 3, 2, 0, 0);
+                    }),
+                    Box::new(move |b| b.max_pool(3, 2)),
+                ],
+            );
+        }
+
+        // Inception-E ×2 (expanded filter banks).
+        for i in 0..2 {
+            let n = format!("mixed{}", 14 + i);
+            let n1 = n.clone();
+            let n2 = n.clone();
+            let n3 = n.clone();
+            let n4 = n.clone();
+            module(
+                &mut s,
+                vec![
+                    Box::new(move |b| basic(b, &format!("{n1}.b1x1"), 320, 1, 1, 1, 0, 0)),
+                    Box::new(move |b| {
+                        basic(b, &format!("{n2}.b3x3_1"), 384, 1, 1, 1, 0, 0);
+                        // The two parallel 1×3 / 3×1 sub-branches both read
+                        // the 384-channel input; model them sequentially on
+                        // the clone, fixing channels in between.
+                        basic(b, &format!("{n2}.b3x3_2a"), 384, 1, 3, 1, 0, 1);
+                        b.set_channels(384);
+                        basic(b, &format!("{n2}.b3x3_2b"), 384, 3, 1, 1, 1, 0);
+                        b.set_channels(768);
+                    }),
+                    Box::new(move |b| {
+                        basic(b, &format!("{n3}.dbl_1"), 448, 1, 1, 1, 0, 0);
+                        basic(b, &format!("{n3}.dbl_2"), 384, 3, 3, 1, 1, 1);
+                        basic(b, &format!("{n3}.dbl_3a"), 384, 1, 3, 1, 0, 1);
+                        b.set_channels(384);
+                        basic(b, &format!("{n3}.dbl_3b"), 384, 3, 1, 1, 1, 0);
+                        b.set_channels(768);
+                    }),
+                    Box::new(move |b| basic(b, &format!("{n4}.pool_proj"), 192, 1, 1, 1, 0, 0)),
+                ],
+            );
+        }
+
+        s.global_avg_pool();
+        s.flatten();
+        s.dense("fc", 1000, true);
+        ModelSpec::from_blocks("InceptionV3", SampleUnit::Images, s.finish(), 17.8, 32, 0.0)
+    }
+
+    /// Sockeye (Hieber et al. 2017): an attentional LSTM seq2seq translation
+    /// model sized for IWSLT15 (512-d embeddings/hidden, 16 k vocabularies,
+    /// ~25-token sequences). Unlike the CNNs, its **heaviest array is the
+    /// source embedding at the very start of the forward pass** (Fig. 5c),
+    /// and iteration times jitter with sequence length (§5.5).
+    pub fn sockeye() -> ModelSpec {
+        const V: u64 = 16_384; // vocabulary (source and target)
+        const E: u64 = 512; // embedding size
+        const H: u64 = 512; // hidden size
+        const SEQ: u64 = 25; // average sequence length
+
+        let mut blocks: Vec<ComputeBlock> = Vec::new();
+        let lstm_flops = |input: u64| SEQ * 2 * (4 * H * (input + H));
+
+        // Source embedding: huge parameters, negligible compute.
+        blocks.push(ComputeBlock::new(
+            "src_embed",
+            BlockKind::Embedding,
+            SEQ * 2 * E,
+            vec![ParamArray::new("src_embed.weight", V * E)],
+        ));
+
+        // Encoder layer 1: bidirectional LSTM.
+        for dir in ["fwd", "rev"] {
+            blocks.push(ComputeBlock::new(
+                format!("encoder.l1.{dir}"),
+                BlockKind::Recurrent,
+                lstm_flops(E),
+                vec![
+                    ParamArray::new(format!("encoder.l1.{dir}.w_ih"), 4 * H * E),
+                    ParamArray::new(format!("encoder.l1.{dir}.w_hh"), 4 * H * H),
+                    ParamArray::new(format!("encoder.l1.{dir}.b_ih"), 4 * H),
+                    ParamArray::new(format!("encoder.l1.{dir}.b_hh"), 4 * H),
+                ],
+            ));
+        }
+        // Encoder layer 2: unidirectional over the concatenated states.
+        blocks.push(ComputeBlock::new(
+            "encoder.l2",
+            BlockKind::Recurrent,
+            lstm_flops(2 * H),
+            vec![
+                ParamArray::new("encoder.l2.w_ih", 4 * H * 2 * H),
+                ParamArray::new("encoder.l2.w_hh", 4 * H * H),
+                ParamArray::new("encoder.l2.b_ih", 4 * H),
+                ParamArray::new("encoder.l2.b_hh", 4 * H),
+            ],
+        ));
+
+        // Target embedding.
+        blocks.push(ComputeBlock::new(
+            "tgt_embed",
+            BlockKind::Embedding,
+            SEQ * 2 * E,
+            vec![ParamArray::new("tgt_embed.weight", V * E)],
+        ));
+
+        // Decoder layer 1 with input feeding (embedding ⊕ context).
+        blocks.push(ComputeBlock::new(
+            "decoder.l1",
+            BlockKind::Recurrent,
+            lstm_flops(E + H),
+            vec![
+                ParamArray::new("decoder.l1.w_ih", 4 * H * (E + H)),
+                ParamArray::new("decoder.l1.w_hh", 4 * H * H),
+                ParamArray::new("decoder.l1.b_ih", 4 * H),
+                ParamArray::new("decoder.l1.b_hh", 4 * H),
+            ],
+        ));
+        // Decoder layer 2.
+        blocks.push(ComputeBlock::new(
+            "decoder.l2",
+            BlockKind::Recurrent,
+            lstm_flops(H),
+            vec![
+                ParamArray::new("decoder.l2.w_ih", 4 * H * H),
+                ParamArray::new("decoder.l2.w_hh", 4 * H * H),
+                ParamArray::new("decoder.l2.b_ih", 4 * H),
+                ParamArray::new("decoder.l2.b_hh", 4 * H),
+            ],
+        ));
+
+        // Luong attention: score projection + combine.
+        blocks.push(ComputeBlock::new(
+            "attention",
+            BlockKind::Attention,
+            SEQ * SEQ * 2 * H + SEQ * 2 * (2 * H) * H,
+            vec![
+                ParamArray::new("attention.w_score", H * H),
+                ParamArray::new("attention.w_combine", 2 * H * H),
+                ParamArray::new("attention.bias", H),
+            ],
+        ));
+
+        // Output projection to the target vocabulary.
+        blocks.push(ComputeBlock::new(
+            "output",
+            BlockKind::Dense,
+            SEQ * 2 * H * V,
+            vec![
+                ParamArray::new("output.weight", H * V),
+                ParamArray::new("output.bias", V),
+            ],
+        ));
+
+        ModelSpec::from_blocks("Sockeye", SampleUnit::Sentences, blocks, 41.0, 64, 0.12)
+    }
+
+    /// Transformer-base (Vaswani et al. 2017), sized for translation with a
+    /// 32k joint vocabulary: ~61 M parameters. Not part of the paper's
+    /// evaluation (it predates widespread Transformer adoption by months),
+    /// but the natural successor to Sockeye: an even heavier shared
+    /// embedding at the start of the forward pass over uniform 3–4 M
+    /// blocks — the extended experiments use it to test whether P3's wins
+    /// transfer.
+    pub fn transformer() -> ModelSpec {
+        const V: u64 = 32_768;
+        const D: u64 = 512;
+        const FF: u64 = 2_048;
+        const SEQ: u64 = 25;
+        const LAYERS: usize = 6;
+
+        let mut blocks: Vec<ComputeBlock> = Vec::new();
+        // Shared source/target embedding (output projection tied).
+        blocks.push(ComputeBlock::new(
+            "shared_embed",
+            BlockKind::Embedding,
+            SEQ * 2 * D,
+            vec![ParamArray::new("shared_embed.weight", V * D)],
+        ));
+        let attn_flops = SEQ * 2 * (4 * D * D) + SEQ * SEQ * 2 * D;
+        let ff_flops = SEQ * 2 * (2 * D * FF);
+        let mk_attn = |name: &str| {
+            vec![
+                ParamArray::new(format!("{name}.wq"), D * D),
+                ParamArray::new(format!("{name}.wk"), D * D),
+                ParamArray::new(format!("{name}.wv"), D * D),
+                ParamArray::new(format!("{name}.wo"), D * D),
+                ParamArray::new(format!("{name}.bias"), 4 * D),
+            ]
+        };
+        let mk_ff = |name: &str| {
+            vec![
+                ParamArray::new(format!("{name}.w1"), D * FF),
+                ParamArray::new(format!("{name}.b1"), FF),
+                ParamArray::new(format!("{name}.w2"), FF * D),
+                ParamArray::new(format!("{name}.b2"), D),
+            ]
+        };
+        let mk_ln = |name: &str| {
+            vec![
+                ParamArray::new(format!("{name}.gamma"), D),
+                ParamArray::new(format!("{name}.beta"), D),
+            ]
+        };
+        for l in 0..LAYERS {
+            let p = format!("encoder.{l}");
+            blocks.push(ComputeBlock::new(
+                format!("{p}.self_attn"),
+                BlockKind::Attention,
+                attn_flops,
+                mk_attn(&format!("{p}.self_attn")),
+            ));
+            blocks.push(ComputeBlock::new(
+                format!("{p}.ln1"),
+                BlockKind::Stateless,
+                SEQ * 4 * D,
+                mk_ln(&format!("{p}.ln1")),
+            ));
+            blocks.push(ComputeBlock::new(
+                format!("{p}.ff"),
+                BlockKind::Dense,
+                ff_flops,
+                mk_ff(&format!("{p}.ff")),
+            ));
+            blocks.push(ComputeBlock::new(
+                format!("{p}.ln2"),
+                BlockKind::Stateless,
+                SEQ * 4 * D,
+                mk_ln(&format!("{p}.ln2")),
+            ));
+        }
+        for l in 0..LAYERS {
+            let p = format!("decoder.{l}");
+            blocks.push(ComputeBlock::new(
+                format!("{p}.self_attn"),
+                BlockKind::Attention,
+                attn_flops,
+                mk_attn(&format!("{p}.self_attn")),
+            ));
+            blocks.push(ComputeBlock::new(
+                format!("{p}.cross_attn"),
+                BlockKind::Attention,
+                attn_flops,
+                mk_attn(&format!("{p}.cross_attn")),
+            ));
+            blocks.push(ComputeBlock::new(
+                format!("{p}.ff"),
+                BlockKind::Dense,
+                ff_flops,
+                mk_ff(&format!("{p}.ff")),
+            ));
+            blocks.push(ComputeBlock::new(
+                format!("{p}.ln"),
+                BlockKind::Stateless,
+                SEQ * 4 * D,
+                mk_ln(&format!("{p}.ln")),
+            ));
+        }
+        // Tied output projection reuses shared_embed; the final softmax GEMM
+        // still costs compute.
+        blocks.push(ComputeBlock::new(
+            "output_softmax",
+            BlockKind::Stateless,
+            SEQ * 2 * D * V,
+            vec![],
+        ));
+        ModelSpec::from_blocks("Transformer", SampleUnit::Sentences, blocks, 48.0, 64, 0.10)
+    }
+
+    /// ResNet-110 for CIFAR-10 (He et al. 2015): 54 basic blocks of 16/32/64
+    /// channels, ~1.73 M parameters. Used in the paper's accuracy
+    /// comparisons against DGC and ASGD (Fig. 11, Fig. 15).
+    pub fn resnet110() -> ModelSpec {
+        let mut s = ConvStack::new(3, 32, 32);
+        s.conv("conv1", 16, 3, 1, 1, false);
+        s.batch_norm("bn1");
+        let stages: [(u64, u64); 3] = [(16, 1), (32, 2), (64, 2)];
+        let mut in_c = 16u64;
+        for (si, &(out, first_stride)) in stages.iter().enumerate() {
+            for b in 0..18 {
+                let stride = if b == 0 { first_stride } else { 1 };
+                let p = format!("layer{}.{b}", si + 1);
+                let needs_down = stride != 1 || in_c != out;
+                let mut short = s.clone();
+                s.conv(&format!("{p}.conv1"), out, 3, stride, 1, false);
+                s.batch_norm(&format!("{p}.bn1"));
+                s.conv(&format!("{p}.conv2"), out, 3, 1, 1, false);
+                s.batch_norm(&format!("{p}.bn2"));
+                if needs_down {
+                    short.conv(&format!("{p}.downsample.conv"), out, 1, stride, 0, false);
+                    short.batch_norm(&format!("{p}.downsample.bn"));
+                    let new: Vec<ComputeBlock> =
+                        short.finish().into_iter().rev().take(2).rev().collect();
+                    s.append(new);
+                }
+                in_c = out;
+            }
+        }
+        s.global_avg_pool();
+        s.flatten();
+        s.dense("fc", 10, true);
+        ModelSpec::from_blocks("ResNet-110", SampleUnit::Images, s.finish(), 600.0, 128, 0.0)
+    }
+
+    /// AlexNet (torchvision variant, 61.1 M parameters): not part of the
+    /// paper's evaluation, but a classic example of dense-layer skew used in
+    /// the extended experiments.
+    pub fn alexnet() -> ModelSpec {
+        let mut s = ConvStack::new(3, 224, 224);
+        s.conv("conv1", 64, 11, 4, 2, true);
+        s.max_pool(3, 2);
+        s.conv("conv2", 192, 5, 1, 2, true);
+        s.max_pool(3, 2);
+        s.conv("conv3", 384, 3, 1, 1, true);
+        s.conv("conv4", 256, 3, 1, 1, true);
+        s.conv("conv5", 256, 3, 1, 1, true);
+        s.max_pool(3, 2);
+        s.flatten();
+        s.dense("fc6", 4096, true);
+        s.dense("fc7", 4096, true);
+        s.dense("fc8", 1000, true);
+        ModelSpec::from_blocks("AlexNet", SampleUnit::Images, s.finish(), 180.0, 64, 0.0)
+    }
+
+    /// All models evaluated in the paper, in the order of Figure 7.
+    pub fn paper_models() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::resnet50(),
+            ModelSpec::inception_v3(),
+            ModelSpec::vgg19(),
+            ModelSpec::sockeye(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg19_exact_parameter_count() {
+        // torchvision vgg19: 143,667,240 parameters.
+        let m = ModelSpec::vgg19();
+        assert_eq!(m.total_params(), 143_667_240);
+        // fc6 weight dominates: 25088*4096 = 102,760,448 (71.5%).
+        let h = m.heaviest_array().unwrap();
+        assert_eq!(h.params, 102_760_448);
+        assert!(h.name.contains("fc6"));
+        // 16 convs + 3 fc, weight+bias each = 38 arrays.
+        assert_eq!(m.num_arrays(), 38);
+    }
+
+    #[test]
+    fn resnet50_parameter_count() {
+        // torchvision resnet50: 25,557,032 parameters (conv+bn affine+fc).
+        let m = ModelSpec::resnet50();
+        assert_eq!(m.total_params(), 25_557_032);
+        // ~161 arrays: 53 conv weights + 53×2 bn + fc w/b.
+        assert_eq!(m.num_arrays(), 161);
+        // No array above 2.36M: layer-wise granularity is already fine.
+        assert_eq!(m.heaviest_array().unwrap().params, 2_359_296);
+    }
+
+    #[test]
+    fn resnet50_flops_plausible() {
+        // Published forward cost ≈ 4.1 GMACs = 8.2 GFLOPs at 224².
+        let gf = ModelSpec::resnet50().total_fwd_flops() as f64 / 1e9;
+        assert!((7.6..9.0).contains(&gf), "ResNet-50 fwd {gf} GFLOPs");
+    }
+
+    #[test]
+    fn vgg19_flops_plausible() {
+        // Published forward cost ≈ 19.6 GMACs = 39.2 GFLOPs at 224².
+        let gf = ModelSpec::vgg19().total_fwd_flops() as f64 / 1e9;
+        assert!((38.0..41.0).contains(&gf), "VGG-19 fwd {gf} GFLOPs");
+    }
+
+    #[test]
+    fn inception_v3_parameter_count_in_range() {
+        // torchvision inception_v3 without aux logits ≈ 23.8 M.
+        let m = ModelSpec::inception_v3();
+        let p = m.total_params();
+        assert!((23_000_000..25_000_000).contains(&p), "InceptionV3 params {p}");
+        // Like ResNet-50, arrays are modest (≤ ~2.1 M).
+        assert!(m.heaviest_array().unwrap().params < 3_000_000);
+    }
+
+    #[test]
+    fn inception_v3_flops_plausible() {
+        // Published forward cost ≈ 5.7 GMACs = 11.4 GFLOPs at 299².
+        let gf = ModelSpec::inception_v3().total_fwd_flops() as f64 / 1e9;
+        assert!((10.5..12.5).contains(&gf), "InceptionV3 fwd {gf} GFLOPs");
+    }
+
+    #[test]
+    fn sockeye_heaviest_layer_is_first() {
+        let m = ModelSpec::sockeye();
+        // The paper's key Sockeye observation: the heaviest array belongs to
+        // the *initial* block of the forward pass.
+        assert_eq!(m.heaviest_block_index(), Some(0));
+        assert_eq!(m.heaviest_array().unwrap().params, 16_384 * 512);
+        let p = m.total_params() as f64 / 1e6;
+        assert!((30.0..45.0).contains(&p), "Sockeye params {p} M");
+        assert_eq!(m.unit(), SampleUnit::Sentences);
+        assert!(m.iteration_jitter() > 0.0);
+    }
+
+    #[test]
+    fn resnet110_parameter_count() {
+        // He et al. report ~1.7 M parameters for ResNet-110 on CIFAR.
+        let m = ModelSpec::resnet110();
+        let p = m.total_params();
+        assert!((1_700_000..1_760_000).contains(&p), "ResNet-110 params {p}");
+    }
+
+    #[test]
+    fn alexnet_parameter_count() {
+        // torchvision alexnet: 61,100,840 parameters.
+        assert_eq!(ModelSpec::alexnet().total_params(), 61_100_840);
+    }
+
+    #[test]
+    fn image_models_end_with_dense_classifier() {
+        for m in [ModelSpec::resnet50(), ModelSpec::vgg19(), ModelSpec::inception_v3()] {
+            let last = m.blocks().last().unwrap();
+            assert_eq!(last.kind, BlockKind::Dense, "{}", m.name());
+            assert!(last.arrays[0].name.contains("fc"));
+        }
+    }
+
+    #[test]
+    fn cnn_heaviest_is_late_sockeye_heaviest_is_early() {
+        // Image models: heaviest array in the last third of the network;
+        // Sockeye: in the first block. This asymmetry drives the paper's
+        // priority scheduling discussion.
+        for m in [ModelSpec::vgg19(), ModelSpec::alexnet()] {
+            let idx = m.heaviest_block_index().unwrap();
+            assert!(idx * 3 > m.blocks().len(), "{}: heaviest at {idx}", m.name());
+        }
+        assert_eq!(ModelSpec::sockeye().heaviest_block_index(), Some(0));
+    }
+
+    #[test]
+    fn transformer_parameter_count() {
+        let m = ModelSpec::transformer();
+        let p = m.total_params() as f64 / 1e6;
+        // Transformer-base without tied-proj duplication: ~55-65 M.
+        assert!((50.0..70.0).contains(&p), "Transformer params {p} M");
+        // Heaviest array is the shared embedding, first in forward order.
+        assert_eq!(m.heaviest_block_index(), Some(0));
+        assert_eq!(m.heaviest_array().unwrap().params, 32_768 * 512);
+        assert_eq!(m.unit(), SampleUnit::Sentences);
+    }
+
+    #[test]
+    fn paper_models_listing() {
+        let names: Vec<String> =
+            ModelSpec::paper_models().iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names, vec!["ResNet-50", "InceptionV3", "VGG-19", "Sockeye"]);
+    }
+}

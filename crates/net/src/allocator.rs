@@ -1,0 +1,437 @@
+//! Strict-priority max-min fair rate allocation.
+//!
+//! Every machine NIC is modelled as two independent ports (transmit and
+//! receive) with fixed capacity. A flow from machine `a` to machine `b`
+//! consumes `a`'s tx port and `b`'s rx port at the same rate. Within a
+//! priority class, rates are max-min fair (progressive filling / water
+//! filling); across classes, a more urgent class is allocated first and less
+//! urgent classes share only the leftover capacity — the fluid-model
+//! equivalent of strict priority queueing, which is how P3's
+//! priority-tagged packets are serviced.
+
+use crate::types::Priority;
+
+/// One flow's routing and urgency, as seen by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Index of the transmitting machine.
+    pub src: usize,
+    /// Index of the receiving machine.
+    pub dst: usize,
+    /// Strict-priority class.
+    pub priority: Priority,
+}
+
+/// Computes the rate (bytes/sec) of each flow under strict-priority max-min
+/// fairness.
+///
+/// `tx_cap[i]` / `rx_cap[i]` are the transmit / receive capacities of machine
+/// `i` in bytes/sec. The result is parallel to `flows`.
+///
+/// Loopback flows (`src == dst`) still consume both of the machine's ports;
+/// callers that want free loopback should not submit such flows here.
+///
+/// # Panics
+///
+/// Panics if any flow references a machine outside `0..tx_cap.len()`, or if
+/// `tx_cap.len() != rx_cap.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use p3_net::{allocate_rates, FlowSpec, Priority};
+///
+/// // Two equal-priority flows out of machine 0 share its tx port.
+/// let flows = [
+///     FlowSpec { src: 0, dst: 1, priority: Priority(1) },
+///     FlowSpec { src: 0, dst: 2, priority: Priority(1) },
+/// ];
+/// let caps = [100.0, 100.0, 100.0];
+/// let rates = allocate_rates(&flows, &caps, &caps);
+/// assert_eq!(rates, vec![50.0, 50.0]);
+/// ```
+pub fn allocate_rates(flows: &[FlowSpec], tx_cap: &[f64], rx_cap: &[f64]) -> Vec<f64> {
+    allocate_rates_capped(flows, tx_cap, rx_cap, f64::INFINITY)
+}
+
+/// Like [`allocate_rates`], but additionally caps every individual flow at
+/// `flow_cap` bytes/sec — the single-stream goodput ceiling imposed by a
+/// CPU-bound endpoint stack (ps-lite serializes each connection on one
+/// core; PHub, Luo et al. 2018, measured a few Gbps per stream). Leftover
+/// port capacity freed by capped flows is redistributed max-min.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`allocate_rates`], or if
+/// `flow_cap` is not positive.
+pub fn allocate_rates_capped(
+    flows: &[FlowSpec],
+    tx_cap: &[f64],
+    rx_cap: &[f64],
+    flow_cap: f64,
+) -> Vec<f64> {
+    assert_eq!(tx_cap.len(), rx_cap.len(), "tx/rx capacity tables differ in length");
+    assert!(flow_cap > 0.0, "non-positive flow cap");
+    let machines = tx_cap.len();
+    for f in flows {
+        assert!(f.src < machines && f.dst < machines, "flow {f:?} references unknown machine");
+    }
+
+    let mut rates = vec![0.0; flows.len()];
+    if flows.is_empty() {
+        return rates;
+    }
+
+    // Residual capacity per port after serving more urgent classes.
+    let mut res_tx: Vec<f64> = tx_cap.to_vec();
+    let mut res_rx: Vec<f64> = rx_cap.to_vec();
+
+    // Distinct classes, most urgent first.
+    let mut classes: Vec<Priority> = flows.iter().map(|f| f.priority).collect();
+    classes.sort_unstable();
+    classes.dedup();
+
+    for class in classes {
+        let members: Vec<usize> =
+            (0..flows.len()).filter(|&i| flows[i].priority == class).collect();
+        water_fill(flows, &members, &mut res_tx, &mut res_rx, &mut rates, flow_cap);
+    }
+    rates
+}
+
+/// Progressive filling of one priority class on the residual capacities.
+/// On return, `rates` holds each member's max-min rate and the residuals are
+/// reduced by the allocation.
+fn water_fill(
+    flows: &[FlowSpec],
+    members: &[usize],
+    res_tx: &mut [f64],
+    res_rx: &mut [f64],
+    rates: &mut [f64],
+    flow_cap: f64,
+) {
+    const EPS: f64 = 1e-9;
+    /// Residual capacity below this (bytes/sec — one byte per ~12 days) is
+    /// numerical noise left over from freezing a saturated port; treat it as
+    /// zero so no flow is ever assigned an absurdly small positive rate.
+    const FLOOR: f64 = 1e-6;
+    let machines = res_tx.len();
+    let mut active: Vec<usize> = members.to_vec();
+
+    while !active.is_empty() {
+        for m in 0..machines {
+            if res_tx[m] < FLOOR {
+                res_tx[m] = 0.0;
+            }
+            if res_rx[m] < FLOOR {
+                res_rx[m] = 0.0;
+            }
+        }
+        // Count active flows per port.
+        let mut tx_count = vec![0u32; machines];
+        let mut rx_count = vec![0u32; machines];
+        for &i in &active {
+            tx_count[flows[i].src] += 1;
+            rx_count[flows[i].dst] += 1;
+        }
+
+        // The common rate increment is limited by the tightest port, or by
+        // the first flow to reach the per-flow ceiling.
+        let mut delta = f64::INFINITY;
+        for m in 0..machines {
+            if tx_count[m] > 0 {
+                delta = delta.min(res_tx[m] / tx_count[m] as f64);
+            }
+            if rx_count[m] > 0 {
+                delta = delta.min(res_rx[m] / rx_count[m] as f64);
+            }
+        }
+        for &i in &active {
+            delta = delta.min(flow_cap - rates[i]);
+        }
+        debug_assert!(delta.is_finite(), "active flows but no limiting port");
+        let delta = delta.max(0.0);
+
+        // Raise every active flow by delta and charge the ports.
+        for &i in &active {
+            rates[i] += delta;
+            res_tx[flows[i].src] -= delta;
+            res_rx[flows[i].dst] -= delta;
+        }
+        for m in 0..machines {
+            if res_tx[m] < 0.0 {
+                res_tx[m] = 0.0;
+            }
+            if res_rx[m] < 0.0 {
+                res_rx[m] = 0.0;
+            }
+        }
+
+        // Freeze flows passing through any saturated port. Capacity scale for
+        // the epsilon test: the largest original capacity in use.
+        let scale = res_tx
+            .iter()
+            .chain(res_rx.iter())
+            .fold(1.0f64, |a, &b| a.max(b))
+            .max(delta);
+        let before = active.len();
+        active.retain(|&i| {
+            rates[i] < flow_cap * (1.0 - EPS)
+                && res_tx[flows[i].src] > (EPS * scale).max(FLOOR)
+                && res_rx[flows[i].dst] > (EPS * scale).max(FLOOR)
+        });
+        // Progress guarantee: at least one flow froze, otherwise delta was
+        // limited by no port, which is impossible while flows are active.
+        if active.len() == before {
+            // All remaining ports have zero residual growth possible (e.g.
+            // zero-capacity links). Freeze everything to terminate.
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps(n: usize, c: f64) -> Vec<f64> {
+        vec![c; n]
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(allocate_rates(&[], &[], &[]).is_empty());
+        assert!(allocate_rates(&[], &caps(3, 10.0), &caps(3, 10.0)).is_empty());
+    }
+
+    #[test]
+    fn single_flow_gets_min_of_its_ports() {
+        let flows = [FlowSpec { src: 0, dst: 1, priority: Priority(0) }];
+        let rates = allocate_rates(&flows, &[100.0, 40.0], &[70.0, 30.0]);
+        assert_eq!(rates, vec![30.0]); // limited by dst rx
+    }
+
+    #[test]
+    fn fan_out_shares_tx() {
+        let flows: Vec<FlowSpec> = (1..=4)
+            .map(|d| FlowSpec { src: 0, dst: d, priority: Priority(2) })
+            .collect();
+        let rates = allocate_rates(&flows, &caps(5, 100.0), &caps(5, 100.0));
+        for r in rates {
+            assert!((r - 25.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn incast_shares_rx() {
+        let flows: Vec<FlowSpec> = (1..=4)
+            .map(|s| FlowSpec { src: s, dst: 0, priority: Priority(2) })
+            .collect();
+        let rates = allocate_rates(&flows, &caps(5, 100.0), &caps(5, 100.0));
+        for r in rates {
+            assert!((r - 25.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_min_redistributes_leftover() {
+        // Flow A: 0->1 (shares tx of 0 with B). Flow B: 0->2 but dst 2 has a
+        // tiny rx. B freezes at 10, A picks up the leftover 90.
+        let flows = [
+            FlowSpec { src: 0, dst: 1, priority: Priority(1) },
+            FlowSpec { src: 0, dst: 2, priority: Priority(1) },
+        ];
+        let tx = [100.0, 100.0, 100.0];
+        let rx = [100.0, 100.0, 10.0];
+        let rates = allocate_rates(&flows, &tx, &rx);
+        assert!((rates[1] - 10.0).abs() < 1e-6, "B limited by rx: {rates:?}");
+        assert!((rates[0] - 90.0).abs() < 1e-6, "A takes leftover: {rates:?}");
+    }
+
+    #[test]
+    fn strict_priority_starves_bulk() {
+        let flows = [
+            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
+            FlowSpec { src: 0, dst: 1, priority: Priority(9) },
+        ];
+        let rates = allocate_rates(&flows, &caps(2, 100.0), &caps(2, 100.0));
+        assert!((rates[0] - 100.0).abs() < 1e-6);
+        assert!(rates[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_class_uses_ports_urgent_class_does_not() {
+        // Urgent flow 0->1 saturates 0.tx; bulk flow 2->3 is unaffected.
+        let flows = [
+            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
+            FlowSpec { src: 2, dst: 3, priority: Priority(7) },
+        ];
+        let rates = allocate_rates(&flows, &caps(4, 100.0), &caps(4, 100.0));
+        assert!((rates[0] - 100.0).abs() < 1e-6);
+        assert!((rates[1] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bidirectional_flows_do_not_contend() {
+        // tx and rx are independent: full-duplex.
+        let flows = [
+            FlowSpec { src: 0, dst: 1, priority: Priority(1) },
+            FlowSpec { src: 1, dst: 0, priority: Priority(1) },
+        ];
+        let rates = allocate_rates(&flows, &caps(2, 100.0), &caps(2, 100.0));
+        assert!((rates[0] - 100.0).abs() < 1e-6);
+        assert!((rates[1] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_capacity_yields_zero_rates() {
+        let flows = [FlowSpec { src: 0, dst: 1, priority: Priority(1) }];
+        let rates = allocate_rates(&flows, &[0.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(rates, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn out_of_range_machine_panics() {
+        let flows = [FlowSpec { src: 0, dst: 5, priority: Priority(0) }];
+        allocate_rates(&flows, &caps(2, 1.0), &caps(2, 1.0));
+    }
+
+    #[test]
+    fn flow_cap_limits_isolated_flow() {
+        let flows = [FlowSpec { src: 0, dst: 1, priority: Priority(0) }];
+        let rates = allocate_rates_capped(&flows, &caps(2, 100.0), &caps(2, 100.0), 30.0);
+        assert_eq!(rates, vec![30.0]);
+    }
+
+    #[test]
+    fn capped_flows_release_capacity_to_others() {
+        // Two flows share 0.tx; with a cap of 30, each takes 30 and the
+        // rest of the port goes unused (no third flow to absorb it).
+        let flows = [
+            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
+            FlowSpec { src: 0, dst: 2, priority: Priority(0) },
+        ];
+        let rates = allocate_rates_capped(&flows, &caps(3, 100.0), &caps(3, 100.0), 30.0);
+        assert_eq!(rates, vec![30.0, 30.0]);
+        // With a cap of 80 the port (100) binds instead: 50/50.
+        let rates = allocate_rates_capped(&flows, &caps(3, 100.0), &caps(3, 100.0), 80.0);
+        assert_eq!(rates, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn uncapped_equals_infinite_cap() {
+        let flows = [
+            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
+            FlowSpec { src: 1, dst: 2, priority: Priority(1) },
+        ];
+        let a = allocate_rates(&flows, &caps(3, 77.0), &caps(3, 77.0));
+        let b = allocate_rates_capped(&flows, &caps(3, 77.0), &caps(3, 77.0), 1e18);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_class_cascade() {
+        // Class 0 takes 60 (its rx limit), class 1 takes the remaining 40 of
+        // 0.tx, class 2 gets nothing from 0.tx.
+        let flows = [
+            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
+            FlowSpec { src: 0, dst: 2, priority: Priority(1) },
+            FlowSpec { src: 0, dst: 3, priority: Priority(2) },
+        ];
+        let tx = [100.0, 100.0, 100.0, 100.0];
+        let rx = [100.0, 60.0, 100.0, 100.0];
+        let rates = allocate_rates(&flows, &tx, &rx);
+        assert!((rates[0] - 60.0).abs() < 1e-6);
+        assert!((rates[1] - 40.0).abs() < 1e-6);
+        assert!(rates[2].abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_flows(machines: usize) -> impl Strategy<Value = Vec<FlowSpec>> {
+        prop::collection::vec(
+            (0..machines, 0..machines, 0u32..4).prop_map(|(src, dst, p)| FlowSpec {
+                src,
+                dst,
+                priority: Priority(p),
+            }),
+            0..24,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn port_capacities_respected(flows in arb_flows(5), cap in 1.0f64..1e10) {
+            let tx = vec![cap; 5];
+            let rx = vec![cap; 5];
+            let rates = allocate_rates(&flows, &tx, &rx);
+            let mut tx_sum = vec![0.0; 5];
+            let mut rx_sum = vec![0.0; 5];
+            for (f, r) in flows.iter().zip(&rates) {
+                prop_assert!(*r >= 0.0);
+                tx_sum[f.src] += r;
+                rx_sum[f.dst] += r;
+            }
+            for m in 0..5 {
+                prop_assert!(tx_sum[m] <= cap * (1.0 + 1e-6));
+                prop_assert!(rx_sum[m] <= cap * (1.0 + 1e-6));
+            }
+        }
+
+        #[test]
+        fn work_conserving(flows in arb_flows(4)) {
+            // Every flow must have at least one saturated port (max-min
+            // optimality): otherwise its rate could be raised.
+            let cap = 100.0;
+            let tx = vec![cap; 4];
+            let rx = vec![cap; 4];
+            let rates = allocate_rates(&flows, &tx, &rx);
+            let mut tx_sum = vec![0.0; 4];
+            let mut rx_sum = vec![0.0; 4];
+            for (f, r) in flows.iter().zip(&rates) {
+                tx_sum[f.src] += r;
+                rx_sum[f.dst] += r;
+            }
+            for (f, _r) in flows.iter().zip(&rates) {
+                let saturated = tx_sum[f.src] >= cap * (1.0 - 1e-6)
+                    || rx_sum[f.dst] >= cap * (1.0 - 1e-6);
+                prop_assert!(saturated, "flow {:?} has slack on both ports", f);
+            }
+        }
+
+        #[test]
+        fn urgent_class_blind_to_bulk(flows in arb_flows(4)) {
+            // Rates of the most urgent class must be identical whether or
+            // not any other traffic exists.
+            let tx = vec![77.0; 4];
+            let rx = vec![77.0; 4];
+            let all = allocate_rates(&flows, &tx, &rx);
+            let urgent: Vec<FlowSpec> =
+                flows.iter().copied().filter(|f| f.priority == Priority(0)).collect();
+            let alone = allocate_rates(&urgent, &tx, &rx);
+            let mut k = 0;
+            for (f, r) in flows.iter().zip(&all) {
+                if f.priority == Priority(0) {
+                    prop_assert!((r - alone[k]).abs() < 1e-6,
+                        "urgent flow rate changed: {} vs {}", r, alone[k]);
+                    k += 1;
+                }
+            }
+        }
+
+        #[test]
+        fn identical_flows_get_equal_rates(n in 1usize..10, cap in 1.0f64..1e9) {
+            let flows: Vec<FlowSpec> =
+                (0..n).map(|_| FlowSpec { src: 0, dst: 1, priority: Priority(1) }).collect();
+            let rates = allocate_rates(&flows, &[cap, cap], &[cap, cap]);
+            for r in &rates {
+                prop_assert!((r - rates[0]).abs() < 1e-6 * cap);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Descriptive statistics over utilization traces — the quantities the
+//! paper reads off Figures 8/9/13/14 by eye ("bursty", "idle", "inbound
+//! and outbound are not overlapped"), made numeric.
+
+use crate::trace::PortTrace;
+
+/// Summary statistics of one directed-port trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Mean utilization in Gbps.
+    pub mean_gbps: f64,
+    /// Peak bin in Gbps.
+    pub peak_gbps: f64,
+    /// Peak-to-mean ratio (burstiness; 1.0 = perfectly smooth).
+    pub burstiness: f64,
+    /// Fraction of bins below 5% of the nominal capacity.
+    pub idle_fraction: f64,
+}
+
+/// Computes summary statistics against a nominal capacity in bits/sec.
+///
+/// # Panics
+///
+/// Panics if `capacity_bps` is not positive.
+pub fn trace_stats(trace: &PortTrace, capacity_bps: f64) -> TraceStats {
+    assert!(capacity_bps > 0.0, "non-positive capacity");
+    let series = trace.gbps_series();
+    if series.is_empty() {
+        return TraceStats { mean_gbps: 0.0, peak_gbps: 0.0, burstiness: 0.0, idle_fraction: 1.0 };
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let peak = series.iter().copied().fold(0.0, f64::max);
+    TraceStats {
+        mean_gbps: mean,
+        peak_gbps: peak,
+        burstiness: if mean > 0.0 { peak / mean } else { 0.0 },
+        idle_fraction: trace.idle_fraction(capacity_bps, 0.05),
+    }
+}
+
+/// Bidirectional-overlap coefficient of two traces: the time-correlation
+/// of tx and rx activity, in `[0, 1]`. The paper's baseline shows near-
+/// disjoint in/outbound phases (low overlap); P3 overlaps them.
+///
+/// Defined as `Σ min(tx_b, rx_b) / Σ max(tx_b, rx_b)` over common bins —
+/// `1.0` when the directions move in lockstep, `0.0` when strictly
+/// alternating.
+pub fn overlap_coefficient(tx: &PortTrace, rx: &PortTrace) -> f64 {
+    let a = tx.gbps_series();
+    let b = rx.gbps_series();
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        num += a[i].min(b[i]);
+        den += a[i].max(b[i]);
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3_des::{SimDuration, SimTime};
+
+    fn trace_with(rates: &[(u64, u64, f64)]) -> PortTrace {
+        // (from_ms, to_ms, bytes_per_sec) segments on 10 ms bins.
+        let mut t = PortTrace::new(SimDuration::from_millis(10));
+        for &(a, b, r) in rates {
+            t.add_rate(SimTime::from_millis(a), SimTime::from_millis(b), r);
+        }
+        t
+    }
+
+    #[test]
+    fn smooth_trace_has_unit_burstiness() {
+        let t = trace_with(&[(0, 100, 1.25e8)]); // 1 Gbps flat
+        let s = trace_stats(&t, 1e9);
+        assert!((s.mean_gbps - 1.0).abs() < 1e-9);
+        assert!((s.burstiness - 1.0).abs() < 1e-9);
+        assert_eq!(s.idle_fraction, 0.0);
+    }
+
+    #[test]
+    fn bursty_trace_scores_high() {
+        // One 10 ms burst in a 100 ms window.
+        let t = trace_with(&[(0, 10, 1.25e9), (10, 100, 1.0)]);
+        let s = trace_stats(&t, 10e9);
+        assert!(s.burstiness > 5.0, "burstiness {}", s.burstiness);
+        assert!(s.idle_fraction >= 0.8);
+    }
+
+    #[test]
+    fn overlap_of_identical_traces_is_one() {
+        let t = trace_with(&[(0, 50, 1e8)]);
+        assert!((overlap_coefficient(&t, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_of_alternating_traces_is_zero() {
+        let tx = trace_with(&[(0, 50, 1e8)]);
+        let mut rx = PortTrace::new(SimDuration::from_millis(10));
+        rx.add_rate(SimTime::from_millis(50), SimTime::from_millis(100), 1e8);
+        // tx active bins 0..5, rx bins 5..10: disjoint.
+        assert_eq!(overlap_coefficient(&tx, &rx), 0.0);
+    }
+
+    #[test]
+    fn empty_traces_are_handled() {
+        let t = PortTrace::new(SimDuration::from_millis(10));
+        let s = trace_stats(&t, 1e9);
+        assert_eq!(s.idle_fraction, 1.0);
+        assert_eq!(overlap_coefficient(&t, &t), 0.0);
+    }
+}

@@ -1,0 +1,596 @@
+//! The fluid network: flow lifecycle, exact completion events, utilization
+//! traces.
+
+use crate::allocator::{allocate_rates_capped, FlowSpec};
+use crate::trace::PortTrace;
+use crate::types::{Bandwidth, FlowId, MachineId, Priority};
+use p3_des::{SimDuration, SimTime};
+
+/// Static description of the cluster fabric.
+///
+/// Every machine has a full-duplex NIC: independent transmit and receive
+/// ports of `bandwidth` each, matching the testbed in the paper (NICs
+/// rate-limited per direction with `tc qdisc`). Transfers where source and
+/// destination are the same machine (worker pushing to its colocated server
+/// shard) go over loopback: they never touch the NIC and run at
+/// `loopback` bandwidth.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Number of machines in the cluster.
+    pub machines: usize,
+    /// Per-direction NIC bandwidth of each machine.
+    pub bandwidth: Bandwidth,
+    /// One-way propagation + protocol-stack latency added to every message.
+    pub latency: SimDuration,
+    /// Loopback bandwidth for same-machine transfers.
+    pub loopback: Bandwidth,
+    /// If set, record per-machine utilization traces with this bin width
+    /// (the paper samples at 10 ms).
+    pub trace_bin: Option<SimDuration>,
+    /// Per-flow goodput ceiling in bytes/sec (single-stream CPU bound of
+    /// the endpoint stack); `f64::INFINITY` disables it.
+    pub flow_cap: f64,
+    /// Fraction of nominal bandwidth usable as goodput (protocol
+    /// efficiency). Real deployments sit well below line rate: `tc tbf`
+    /// shaping with shallow bursts, TCP incast losses, and ps-lite's
+    /// single-threaded serialization all tax the nominal figure (the
+    /// paper's own crossover bandwidths imply roughly 25% effective
+    /// utilization — see DESIGN.md §6). Defaults to 1.0 (ideal fabric).
+    pub efficiency: f64,
+}
+
+impl NetworkConfig {
+    /// A cluster of `machines` nodes with the given NIC bandwidth and
+    /// defaults mirroring the paper's testbed: 50 µs message latency and
+    /// 50 GB/s loopback.
+    pub fn new(machines: usize, bandwidth: Bandwidth) -> Self {
+        NetworkConfig {
+            machines,
+            bandwidth,
+            latency: SimDuration::from_micros(50),
+            loopback: Bandwidth::from_gbps(400.0),
+            trace_bin: None,
+            flow_cap: f64::INFINITY,
+            efficiency: 1.0,
+        }
+    }
+
+    /// Caps every flow's rate at `bytes_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not positive.
+    pub fn with_flow_cap(mut self, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "non-positive flow cap");
+        self.flow_cap = bytes_per_sec;
+        self
+    }
+
+    /// Overrides the protocol-efficiency factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `efficiency` is not in `(0, 1]`.
+    pub fn with_efficiency(mut self, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency {efficiency} outside (0, 1]"
+        );
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Enables utilization tracing with the given bin width.
+    pub fn with_trace(mut self, bin: SimDuration) -> Self {
+        self.trace_bin = Some(bin);
+        self
+    }
+
+    /// Overrides the per-message latency.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+/// A finished transfer, handed back by [`Network::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedFlow {
+    /// Handle returned by [`Network::start_flow`].
+    pub id: FlowId,
+    /// Transmitting machine.
+    pub src: MachineId,
+    /// Receiving machine.
+    pub dst: MachineId,
+    /// Caller-supplied correlation tag.
+    pub tag: u64,
+    /// Message size in bytes.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    id: FlowId,
+    src: usize,
+    dst: usize,
+    priority: Priority,
+    tag: u64,
+    bytes: u64,
+    remaining: f64,
+    rate: f64, // bytes/sec under the current allocation
+}
+
+#[derive(Debug, Clone)]
+struct Delivering {
+    at: SimTime,
+    flow: CompletedFlow,
+}
+
+/// The simulated cluster fabric.
+///
+/// `Network` is driven by its owner (the cluster simulator): the owner calls
+/// [`Network::start_flow`] to begin transfers, [`Network::next_event_time`]
+/// to learn when the fabric next changes state, and [`Network::poll`] to
+/// advance the fluid model to the current instant and collect completed
+/// transfers.
+///
+/// # Examples
+///
+/// ```
+/// use p3_des::{SimDuration, SimTime};
+/// use p3_net::{Bandwidth, MachineId, Network, NetworkConfig, Priority};
+///
+/// let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
+///     .with_latency(SimDuration::ZERO);
+/// let mut net = Network::new(cfg);
+/// // 1 MB at 1 GB/s takes 1 ms.
+/// net.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 7);
+/// let done_at = net.next_event_time().unwrap();
+/// assert_eq!(done_at, SimTime::from_millis(1));
+/// let done = net.poll(done_at);
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].tag, 7);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetworkConfig,
+    flows: Vec<ActiveFlow>,
+    delivering: Vec<Delivering>,
+    last_update: SimTime,
+    next_flow_id: u64,
+    tx_traces: Vec<PortTrace>,
+    rx_traces: Vec<PortTrace>,
+    dirty: bool, // rates stale (flow set changed since last allocation)
+}
+
+impl Network {
+    /// Builds an idle fabric from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.machines` is zero.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        assert!(cfg.machines > 0, "a cluster needs at least one machine");
+        let (tx_traces, rx_traces) = match cfg.trace_bin {
+            Some(bin) => (
+                (0..cfg.machines).map(|_| PortTrace::new(bin)).collect(),
+                (0..cfg.machines).map(|_| PortTrace::new(bin)).collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        Network {
+            cfg,
+            flows: Vec::new(),
+            delivering: Vec::new(),
+            last_update: SimTime::ZERO,
+            next_flow_id: 0,
+            tx_traces,
+            rx_traces,
+            dirty: false,
+        }
+    }
+
+    /// The configuration this fabric was built from.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Number of transfers currently using NIC bandwidth.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no transfer is in flight or awaiting delivery.
+    pub fn is_idle(&self) -> bool {
+        self.flows.is_empty() && self.delivering.is_empty()
+    }
+
+    /// Begins a transfer of `bytes` from `src` to `dst` with the given
+    /// priority class and caller tag, starting at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the network's last update, if either machine
+    /// is out of range, or if `bytes` is zero.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: MachineId,
+        dst: MachineId,
+        bytes: u64,
+        priority: Priority,
+        tag: u64,
+    ) -> FlowId {
+        assert!(src.0 < self.cfg.machines, "unknown src {src}");
+        assert!(dst.0 < self.cfg.machines, "unknown dst {dst}");
+        assert!(bytes > 0, "zero-byte transfer");
+        self.advance(now);
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+
+        if src == dst {
+            // Loopback: never touches the NIC; fixed-rate private channel.
+            let secs = bytes as f64 / self.cfg.loopback.bytes_per_sec();
+            let at = now + self.cfg.latency + SimDuration::from_secs_f64(secs);
+            self.delivering.push(Delivering {
+                at,
+                flow: CompletedFlow { id, src, dst, tag, bytes },
+            });
+            return id;
+        }
+
+        self.flows.push(ActiveFlow {
+            id,
+            src: src.0,
+            dst: dst.0,
+            priority,
+            tag,
+            bytes,
+            remaining: bytes as f64,
+            rate: 0.0,
+        });
+        self.dirty = true;
+        self.reallocate();
+        id
+    }
+
+    /// The earliest future instant at which the fabric changes state (a flow
+    /// drains or a drained message is delivered), or `None` when idle.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for f in &self.flows {
+            if f.rate > 0.0 {
+                let secs = f.remaining / f.rate;
+                let ns = (secs * 1e9).ceil().max(0.0).min(u64::MAX as f64) as u64;
+                let t = self.last_update.saturating_add(SimDuration::from_nanos(ns));
+                best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+            }
+        }
+        for d in &self.delivering {
+            best = Some(best.map_or(d.at, |b: SimTime| b.min(d.at)));
+        }
+        best
+    }
+
+    /// Advances the fluid model to `now` and returns every transfer whose
+    /// last byte has been delivered (drain time + latency ≤ `now`), in
+    /// delivery order.
+    pub fn poll(&mut self, now: SimTime) -> Vec<CompletedFlow> {
+        self.advance(now);
+
+        // Flows that drained move to the latency (delivery) stage.
+        let mut changed = false;
+        let latency = self.cfg.latency;
+        let mut i = 0;
+        while i < self.flows.len() {
+            let f = &self.flows[i];
+            // Sub-nanosecond residue from ceil-rounding counts as drained.
+            let eps = f.rate * 1e-9 + 1e-9;
+            if f.remaining <= eps {
+                let f = self.flows.swap_remove(i);
+                self.delivering.push(Delivering {
+                    at: now + latency,
+                    flow: CompletedFlow {
+                        id: f.id,
+                        src: MachineId(f.src),
+                        dst: MachineId(f.dst),
+                        tag: f.tag,
+                        bytes: f.bytes,
+                    },
+                });
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if changed {
+            self.dirty = true;
+            self.reallocate();
+        }
+
+        // Deliveries due now.
+        let mut done: Vec<Delivering> = Vec::new();
+        let mut i = 0;
+        while i < self.delivering.len() {
+            if self.delivering[i].at <= now {
+                done.push(self.delivering.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done.sort_by_key(|d| (d.at, d.flow.id));
+        done.into_iter().map(|d| d.flow).collect()
+    }
+
+    /// Per-machine transmit utilization trace, if tracing was enabled.
+    pub fn tx_trace(&self, machine: MachineId) -> Option<&PortTrace> {
+        self.tx_traces.get(machine.0)
+    }
+
+    /// Per-machine receive utilization trace, if tracing was enabled.
+    pub fn rx_trace(&self, machine: MachineId) -> Option<&PortTrace> {
+        self.rx_traces.get(machine.0)
+    }
+
+    /// Integrates flow progress from `last_update` to `now`.
+    fn advance(&mut self, now: SimTime) {
+        assert!(now >= self.last_update, "network clock went backwards: {now} < {}", self.last_update);
+        if now == self.last_update {
+            return;
+        }
+        let dt = (now - self.last_update).as_secs_f64();
+        for f in &mut self.flows {
+            if f.rate > 0.0 {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                if !self.tx_traces.is_empty() {
+                    self.tx_traces[f.src].add_rate(self.last_update, now, f.rate);
+                    self.rx_traces[f.dst].add_rate(self.last_update, now, f.rate);
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Recomputes the strict-priority max-min rates.
+    fn reallocate(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        let cap = self.cfg.bandwidth.bytes_per_sec() * self.cfg.efficiency;
+        let tx = vec![cap; self.cfg.machines];
+        let rx = vec![cap; self.cfg.machines];
+        let specs: Vec<FlowSpec> = self
+            .flows
+            .iter()
+            .map(|f| FlowSpec { src: f.src, dst: f.dst, priority: f.priority })
+            .collect();
+        let rates = allocate_rates_capped(&specs, &tx, &rx, self.cfg.flow_cap);
+        // A rate below one byte per simulated second is allocator noise; a
+        // "running" flow at such a rate would never finish within any
+        // realistic horizon and only destabilizes event times.
+        let floor = (cap * 1e-12).max(1e-6);
+        for (f, r) in self.flows.iter_mut().zip(rates) {
+            f.rate = if r < floor { 0.0 } else { r };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(machines: usize, gbps: f64) -> Network {
+        let cfg = NetworkConfig::new(machines, Bandwidth::from_gbps(gbps))
+            .with_latency(SimDuration::ZERO);
+        Network::new(cfg)
+    }
+
+    #[test]
+    fn isolated_flow_takes_size_over_bandwidth() {
+        let mut n = net(2, 8.0); // 1 GB/s
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 2_000_000, Priority(0), 0);
+        assert_eq!(n.next_event_time(), Some(SimTime::from_millis(2)));
+        let done = n.poll(SimTime::from_millis(2));
+        assert_eq!(done.len(), 1);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn latency_delays_delivery_without_consuming_bandwidth() {
+        let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
+            .with_latency(SimDuration::from_micros(100));
+        let mut n = Network::new(cfg);
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 0);
+        // Drains at 1 ms, delivers at 1.1 ms.
+        assert_eq!(n.next_event_time(), Some(SimTime::from_millis(1)));
+        assert!(n.poll(SimTime::from_millis(1)).is_empty());
+        assert_eq!(n.next_event_time(), Some(SimTime::from_micros(1100)));
+        assert_eq!(n.poll(SimTime::from_micros(1100)).len(), 1);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let mut n = net(3, 8.0); // 1 GB/s per port
+        // Both flows leave machine 0: share its tx at 0.5 GB/s each.
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 1);
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(2), 500_000, Priority(0), 2);
+        // Flow 2 drains at 1 ms; flow 1 then has 0.5 MB left at full rate.
+        let t1 = n.next_event_time().unwrap();
+        assert_eq!(t1, SimTime::from_millis(1));
+        let done = n.poll(t1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
+        let t2 = n.next_event_time().unwrap();
+        assert_eq!(t2, SimTime::from_micros(1500));
+        let done = n.poll(t2);
+        assert_eq!(done[0].tag, 1);
+    }
+
+    #[test]
+    fn priority_flow_preempts_bulk() {
+        let mut n = net(2, 8.0);
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(5), 10);
+        // At 0.5 ms, an urgent flow arrives; bulk flow freezes.
+        let mid = SimTime::from_micros(500);
+        assert!(n.poll(mid).is_empty());
+        n.start_flow(mid, MachineId(0), MachineId(1), 1_000_000, Priority(0), 20);
+        // Urgent drains at 1.5 ms.
+        let t = n.next_event_time().unwrap();
+        assert_eq!(t, SimTime::from_micros(1500));
+        let done = n.poll(t);
+        assert_eq!(done[0].tag, 20);
+        // Bulk resumes: 0.5 MB left, drains at 2.0 ms.
+        let t = n.next_event_time().unwrap();
+        assert_eq!(t, SimTime::from_millis(2));
+        assert_eq!(n.poll(t)[0].tag, 10);
+    }
+
+    #[test]
+    fn loopback_skips_the_nic() {
+        let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(1.0))
+            .with_latency(SimDuration::ZERO)
+            .with_trace(SimDuration::from_millis(10));
+        let mut n = Network::new(cfg);
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(0), 50_000_000, Priority(0), 0);
+        // 50 MB at 50 GB/s = 1 ms, even though the NIC is only 1 Gbps.
+        let t = n.next_event_time().unwrap();
+        assert_eq!(t, SimTime::from_millis(1));
+        assert_eq!(n.poll(t).len(), 1);
+        assert_eq!(n.tx_trace(MachineId(0)).unwrap().total_bytes(), 0.0);
+    }
+
+    #[test]
+    fn trace_records_both_ends() {
+        let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
+            .with_latency(SimDuration::ZERO)
+            .with_trace(SimDuration::from_millis(1));
+        let mut n = Network::new(cfg);
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 3_000_000, Priority(0), 0);
+        let t = n.next_event_time().unwrap();
+        n.poll(t);
+        let tx = n.tx_trace(MachineId(0)).unwrap().total_bytes();
+        let rx = n.rx_trace(MachineId(1)).unwrap().total_bytes();
+        assert!((tx - 3_000_000.0).abs() < 1.0);
+        assert!((rx - 3_000_000.0).abs() < 1.0);
+        assert_eq!(n.tx_trace(MachineId(1)).unwrap().total_bytes(), 0.0);
+    }
+
+    #[test]
+    fn incast_completion_time_reflects_sharing() {
+        let mut n = net(4, 8.0); // 1 GB/s
+        // Three senders push 1 MB each into machine 0's rx.
+        for s in 1..4 {
+            n.start_flow(SimTime::ZERO, MachineId(s), MachineId(0), 1_000_000, Priority(0), s as u64);
+        }
+        // Fair share: 1/3 GB/s each; all complete at 3 ms.
+        let t = n.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 0.003).abs() < 1e-9);
+        assert_eq!(n.poll(t).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_bytes_rejected() {
+        let mut n = net(2, 1.0);
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 0, Priority(0), 0);
+    }
+
+    #[test]
+    fn poll_is_idempotent_at_same_instant() {
+        let mut n = net(2, 8.0);
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 0);
+        let t = n.next_event_time().unwrap();
+        assert_eq!(n.poll(t).len(), 1);
+        assert!(n.poll(t).is_empty());
+        assert_eq!(n.next_event_time(), None);
+    }
+
+    #[test]
+    fn flow_ids_are_unique_and_monotone() {
+        let mut n = net(2, 8.0);
+        let a = n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 10, Priority(0), 0);
+        let b = n.start_flow(SimTime::ZERO, MachineId(1), MachineId(0), 10, Priority(0), 0);
+        assert!(b > a);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the message mix, every byte handed to the fabric is
+        /// eventually delivered, exactly once.
+        #[test]
+        fn conservation_of_messages(
+            sizes in prop::collection::vec(1u64..5_000_000, 1..20),
+            prios in prop::collection::vec(0u32..4, 20),
+            gbps in 1.0f64..40.0,
+        ) {
+            let cfg = NetworkConfig::new(4, Bandwidth::from_gbps(gbps))
+                .with_latency(SimDuration::from_micros(5));
+            let mut n = Network::new(cfg);
+            for (i, &s) in sizes.iter().enumerate() {
+                let src = MachineId(i % 4);
+                let dst = MachineId((i + 1 + i / 4) % 4);
+                n.start_flow(SimTime::ZERO, src, dst, s, Priority(prios[i]), i as u64);
+            }
+            let mut seen = vec![false; sizes.len()];
+            let mut guard = 0;
+            while let Some(t) = n.next_event_time() {
+                guard += 1;
+                prop_assert!(guard < 10_000, "simulation did not converge");
+                for c in n.poll(t) {
+                    let i = c.tag as usize;
+                    prop_assert!(!seen[i], "flow {i} delivered twice");
+                    prop_assert_eq!(c.bytes, sizes[i]);
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "undelivered flows: {:?}", seen);
+            prop_assert!(n.is_idle());
+        }
+
+        /// A single flow's completion time is exactly size/bandwidth
+        /// (+latency), independent of size and speed.
+        #[test]
+        fn isolated_flow_timing(bytes in 1u64..100_000_000, gbps in 0.5f64..100.0) {
+            let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(gbps))
+                .with_latency(SimDuration::ZERO);
+            let mut n = Network::new(cfg);
+            n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), bytes, Priority(0), 0);
+            let t = n.next_event_time().unwrap();
+            let expect = bytes as f64 / (gbps * 1e9 / 8.0);
+            prop_assert!((t.as_secs_f64() - expect).abs() < 2e-9 + expect * 1e-9);
+            prop_assert_eq!(n.poll(t).len(), 1);
+        }
+
+        /// Aggregate goodput through one port never exceeds its capacity.
+        #[test]
+        fn port_capacity_never_exceeded(
+            sizes in prop::collection::vec(1_000u64..2_000_000, 2..12),
+        ) {
+            let gbps = 10.0;
+            let cfg = NetworkConfig::new(3, Bandwidth::from_gbps(gbps))
+                .with_latency(SimDuration::ZERO)
+                .with_trace(SimDuration::from_micros(100));
+            let mut n = Network::new(cfg);
+            // Everything funnels into machine 0's rx.
+            for (i, &s) in sizes.iter().enumerate() {
+                n.start_flow(SimTime::ZERO, MachineId(1 + i % 2), MachineId(0), s, Priority(0), i as u64);
+            }
+            let mut guard = 0;
+            while let Some(t) = n.next_event_time() {
+                n.poll(t);
+                guard += 1;
+                prop_assert!(guard < 1000);
+            }
+            let cap_bytes_per_bin = gbps * 1e9 / 8.0 * 100e-6;
+            for &b in n.rx_trace(MachineId(0)).unwrap().bytes_per_bin() {
+                prop_assert!(b <= cap_bytes_per_bin * (1.0 + 1e-6));
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Identifier and unit newtypes for the network model.
+
+use core::fmt;
+
+/// Index of a machine in the cluster (worker and, when colocated, its
+/// parameter-server shard share one machine and therefore one NIC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineId(pub usize);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Opaque handle to an in-flight transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// Transmission urgency class. **Lower value = more urgent**, mirroring the
+/// paper's convention that the layer processed first in the forward pass
+/// (layer index 0) has the highest priority.
+///
+/// Flows in a more urgent class receive strictly all the bandwidth they can
+/// use before any less urgent class is served.
+///
+/// # Examples
+///
+/// ```
+/// use p3_net::Priority;
+///
+/// assert!(Priority(0).is_more_urgent_than(Priority(3)));
+/// assert_eq!(Priority::BULK, Priority(u32::MAX));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// The most urgent class.
+    pub const URGENT: Priority = Priority(0);
+    /// The least urgent class; the default for unprioritized traffic.
+    pub const BULK: Priority = Priority(u32::MAX);
+
+    /// True if `self` is served strictly before `other`.
+    #[inline]
+    pub fn is_more_urgent_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+/// Link bandwidth, stored as bits per second (the unit network gear is
+/// specified in).
+///
+/// # Examples
+///
+/// ```
+/// use p3_net::Bandwidth;
+///
+/// let bw = Bandwidth::from_gbps(10.0);
+/// assert_eq!(bw.bits_per_sec(), 10e9);
+/// assert_eq!(bw.bytes_per_sec(), 1.25e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is negative or non-finite.
+    pub fn from_bps(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps >= 0.0, "invalid bandwidth {bps} bps");
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Bandwidth::from_bps(gbps * 1e9)
+    }
+
+    /// Creates a bandwidth from megabits per second.
+    pub fn from_mbps(mbps: f64) -> Self {
+        Bandwidth::from_bps(mbps * 1e6)
+    }
+
+    /// This bandwidth in bits per second.
+    #[inline]
+    pub fn bits_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// This bandwidth in bytes per second.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 / 8.0
+    }
+
+    /// This bandwidth in gigabits per second.
+    #[inline]
+    pub fn gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}Gbps", self.gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::URGENT.is_more_urgent_than(Priority::BULK));
+        assert!(!Priority(5).is_more_urgent_than(Priority(5)));
+        assert!(Priority(1) < Priority(2));
+    }
+
+    #[test]
+    fn bandwidth_units() {
+        let bw = Bandwidth::from_mbps(800.0);
+        assert!((bw.gbps() - 0.8).abs() < 1e-12);
+        assert_eq!(bw.bytes_per_sec(), 1e8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bandwidth")]
+    fn bandwidth_rejects_negative() {
+        Bandwidth::from_bps(-1.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MachineId(3).to_string(), "m3");
+        assert_eq!(FlowId(9).to_string(), "flow9");
+        assert_eq!(Priority(2).to_string(), "prio2");
+        assert_eq!(Bandwidth::from_gbps(4.0).to_string(), "4.000Gbps");
+    }
+}

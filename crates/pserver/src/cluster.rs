@@ -1,0 +1,259 @@
+//! A multi-shard parameter-server cluster: routes slice keys to their
+//! shard servers per a [`ShardPlan`] and reassembles whole arrays.
+//!
+//! This is where P3's central correctness claim becomes checkable with
+//! real numbers: because SGD aggregation is element-wise, slicing an array
+//! across shards and synchronizing the slices independently produces
+//! **bit-identical** parameters to synchronizing the whole array on one
+//! server — regardless of slice size or placement. The test suite pins
+//! exactly that invariant.
+
+use crate::optim::OptimizerKind;
+use crate::server::{KvServer, PushOutcome};
+use crate::sharding::ShardPlan;
+use crate::types::WorkerId;
+
+/// A cluster of shard servers fronted by plan-based routing.
+///
+/// # Examples
+///
+/// ```
+/// use p3_pserver::{KvCluster, OptimizerKind, ShardPlan, WorkerId};
+///
+/// let plan = ShardPlan::kvstore(&[6, 3], 2, 4, 0); // 6 splits across 2 shards
+/// let mut kv = KvCluster::new(plan, 1, OptimizerKind::Sgd { lr: 1.0 });
+/// kv.init_arrays(&[vec![0.0; 6], vec![0.0; 3]]);
+/// kv.push_array(WorkerId(0), 0, &[1.0; 6]);
+/// assert_eq!(kv.pull_array(0), vec![-1.0; 6]);
+/// ```
+#[derive(Debug)]
+pub struct KvCluster {
+    plan: ShardPlan,
+    shards: Vec<KvServer>,
+    /// Offset of each slice within its array, indexed by key.
+    offsets: Vec<usize>,
+}
+
+impl KvCluster {
+    /// Creates the cluster: one [`KvServer`] per shard in the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(plan: ShardPlan, workers: usize, optimizer: OptimizerKind) -> KvCluster {
+        let shards = (0..plan.servers()).map(|_| KvServer::new(workers, optimizer)).collect();
+        // Slice offsets: cumulative parameter counts within each array.
+        let mut offsets = vec![0usize; plan.num_keys()];
+        for array in 0..plan.num_arrays() {
+            let mut off = 0usize;
+            for &si in plan.slices_of_array(array) {
+                offsets[si] = off;
+                off += plan.slices()[si].params as usize;
+            }
+        }
+        KvCluster { plan, shards, offsets }
+    }
+
+    /// The routing plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Registers initial values for every array (in plan array order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if array count or lengths disagree with the plan.
+    pub fn init_arrays(&mut self, arrays: &[Vec<f32>]) {
+        assert_eq!(arrays.len(), self.plan.num_arrays(), "array count mismatch");
+        for (array, values) in arrays.iter().enumerate() {
+            let expect: u64 = self
+                .plan
+                .slices_of_array(array)
+                .iter()
+                .map(|&si| self.plan.slices()[si].params)
+                .sum();
+            assert_eq!(values.len() as u64, expect, "array {array} length mismatch");
+            for &si in self.plan.slices_of_array(array) {
+                let s = self.plan.slices()[si];
+                let off = self.offsets[si];
+                let part = values[off..off + s.params as usize].to_vec();
+                self.shards[s.server.0].init(s.key, part);
+            }
+        }
+    }
+
+    /// Pushes one worker's gradient for a whole array; each slice routes to
+    /// its shard. Returns how many slices completed their round (all
+    /// complete together only with one worker; otherwise they complete when
+    /// the last worker pushes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array index or gradient length is wrong, or a worker
+    /// double-pushes.
+    pub fn push_array(&mut self, worker: WorkerId, array: usize, grad: &[f32]) -> usize {
+        let mut updated = 0;
+        for &si in self.plan.slices_of_array(array) {
+            let s = self.plan.slices()[si];
+            let off = self.offsets[si];
+            let part = &grad[off..off + s.params as usize];
+            if let PushOutcome::Updated { .. } =
+                self.shards[s.server.0].push(worker, s.key, part)
+            {
+                updated += 1;
+            }
+        }
+        updated
+    }
+
+    /// Reassembles an array's current values from its slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array index is out of range.
+    pub fn pull_array(&self, array: usize) -> Vec<f32> {
+        let slices = self.plan.slices_of_array(array);
+        assert!(!slices.is_empty(), "unknown array {array}");
+        let total: usize =
+            slices.iter().map(|&si| self.plan.slices()[si].params as usize).sum();
+        let mut out = vec![0.0; total];
+        for &si in slices {
+            let s = self.plan.slices()[si];
+            let off = self.offsets[si];
+            let (vals, _) = self.shards[s.server.0].pull(s.key);
+            out[off..off + vals.len()].copy_from_slice(vals);
+        }
+        out
+    }
+
+    /// Minimum completed round across an array's slices (the array is
+    /// usable at this version).
+    pub fn array_version(&self, array: usize) -> u64 {
+        self.plan
+            .slices_of_array(array)
+            .iter()
+            .map(|&si| {
+                let s = self.plan.slices()[si];
+                self.shards[s.server.0].version(s.key)
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Access to a shard server (diagnostics).
+    pub fn shard(&self, server: usize) -> &KvServer {
+        &self.shards[server]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharding::ShardSlice;
+    use p3_des::SplitMix64;
+
+    fn sliced_plan(array_lens: &[u64], servers: usize, max_slice: u64) -> ShardPlan {
+        // Minimal reimplementation of P3 slicing for tests (p3-core depends
+        // on this crate, not vice versa).
+        let mut slices = Vec::new();
+        let mut next = 0usize;
+        for (a, &len) in array_lens.iter().enumerate() {
+            let parts = len.div_ceil(max_slice);
+            let base = len / parts;
+            let rem = (len % parts) as usize;
+            for p in 0..parts as usize {
+                let sz = base + u64::from(p < rem);
+                slices.push((a, p, sz, crate::types::ServerId(next)));
+                next = (next + 1) % servers;
+            }
+        }
+        ShardPlan::from_slices(slices, servers)
+    }
+
+    /// P3's central invariant: slicing does not change the math.
+    #[test]
+    fn sliced_training_is_bit_identical_to_unsliced() {
+        let lens = [97u64, 256, 13];
+        let workers = 3;
+        let opt = OptimizerKind::Momentum { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 };
+
+        let whole_plan = sliced_plan(&lens, 1, u64::MAX >> 1);
+        let sliced = sliced_plan(&lens, 4, 10);
+
+        let mut rng = SplitMix64::new(3);
+        let init: Vec<Vec<f32>> = lens
+            .iter()
+            .map(|&l| (0..l).map(|_| rng.normal() as f32).collect())
+            .collect();
+
+        let mut a = KvCluster::new(whole_plan, workers, opt);
+        let mut b = KvCluster::new(sliced, workers, opt);
+        a.init_arrays(&init);
+        b.init_arrays(&init);
+
+        for _round in 0..5 {
+            for w in 0..workers {
+                for (array, &l) in lens.iter().enumerate() {
+                    let grad: Vec<f32> = (0..l).map(|_| rng.normal() as f32).collect();
+                    a.push_array(WorkerId(w), array, &grad);
+                    b.push_array(WorkerId(w), array, &grad);
+                }
+            }
+        }
+        for array in 0..lens.len() {
+            let va = a.pull_array(array);
+            let vb = b.pull_array(array);
+            assert_eq!(va.len(), vb.len());
+            for (x, y) in va.iter().zip(&vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "array {array} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn versions_advance_per_array() {
+        let plan = sliced_plan(&[20], 2, 8);
+        let mut kv = KvCluster::new(plan, 2, OptimizerKind::Sgd { lr: 0.1 });
+        kv.init_arrays(&[vec![0.0; 20]]);
+        assert_eq!(kv.array_version(0), 0);
+        kv.push_array(WorkerId(0), 0, &[1.0; 20]);
+        assert_eq!(kv.array_version(0), 0); // waiting for worker 1
+        let updated = kv.push_array(WorkerId(1), 0, &[1.0; 20]);
+        assert_eq!(updated, 3); // 20 params at ≤8 → 3 slices
+        assert_eq!(kv.array_version(0), 1);
+    }
+
+    #[test]
+    fn pull_reassembles_slice_boundaries_correctly() {
+        let plan = sliced_plan(&[10], 3, 4);
+        let mut kv = KvCluster::new(plan, 1, OptimizerKind::Sgd { lr: 1.0 });
+        let init: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        kv.init_arrays(&[init.clone()]);
+        assert_eq!(kv.pull_array(0), init);
+        // Gradient equal to the values themselves zeroes the array.
+        kv.push_array(WorkerId(0), 0, &init);
+        assert!(kv.pull_array(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn slices_land_on_their_assigned_shards() {
+        let plan = sliced_plan(&[12], 4, 3);
+        let kv = KvCluster::new(plan, 1, OptimizerKind::Sgd { lr: 1.0 });
+        // Four slices round-robin over four shards: each shard holds one
+        // key once initialized.
+        let mut kv = kv;
+        kv.init_arrays(&[vec![0.0; 12]]);
+        for s in 0..4 {
+            assert_eq!(kv.shard(s).len(), 1, "shard {s}");
+        }
+        let _: Vec<ShardSlice> = kv.plan().slices().to_vec();
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_init_length_rejected() {
+        let plan = sliced_plan(&[10], 1, 4);
+        KvCluster::new(plan, 1, OptimizerKind::Sgd { lr: 1.0 }).init_arrays(&[vec![0.0; 9]]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Server-side optimizers.
+//!
+//! In the parameter-server architecture the *server* applies the update
+//! rule once it has aggregated gradients from every worker; these are the
+//! update rules used by the paper's experiments. `p3-train` reuses them for
+//! its real data-parallel training runs, so simulated and real training
+//! share one implementation.
+
+use core::fmt;
+
+/// Configuration for a per-key optimizer instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent: `w ← w − lr·g`.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with (heavy-ball) momentum and optional L2 weight decay:
+    /// `v ← m·v + g + wd·w`, `w ← w − lr·v`.
+    Momentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient `m` in `[0, 1)`.
+        momentum: f32,
+        /// L2 weight-decay coefficient.
+        weight_decay: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Instantiates optimizer state for a parameter vector of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if hyper-parameters are invalid (non-finite, negative lr,
+    /// momentum outside `[0, 1)`).
+    pub fn build(self, len: usize) -> Optimizer {
+        match self {
+            OptimizerKind::Sgd { lr } => {
+                assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
+                Optimizer { kind: self, velocity: Vec::new(), _len: len }
+            }
+            OptimizerKind::Momentum { lr, momentum, weight_decay } => {
+                assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
+                assert!(
+                    (0.0..1.0).contains(&momentum),
+                    "momentum {momentum} outside [0, 1)"
+                );
+                assert!(
+                    weight_decay.is_finite() && weight_decay >= 0.0,
+                    "invalid weight decay {weight_decay}"
+                );
+                Optimizer { kind: self, velocity: vec![0.0; len], _len: len }
+            }
+        }
+    }
+}
+
+/// Per-key optimizer state. Created by [`OptimizerKind::build`].
+pub struct Optimizer {
+    kind: OptimizerKind,
+    velocity: Vec<f32>,
+    _len: usize,
+}
+
+impl fmt::Debug for Optimizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Optimizer").field("kind", &self.kind).finish()
+    }
+}
+
+impl Optimizer {
+    /// Applies one update step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grad` lengths differ, or differ from the
+    /// length the optimizer was built for (momentum state would silently
+    /// misalign otherwise).
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len(), "params/grad length mismatch");
+        match self.kind {
+            OptimizerKind::Sgd { lr } => {
+                for (w, &g) in params.iter_mut().zip(grad) {
+                    *w -= lr * g;
+                }
+            }
+            OptimizerKind::Momentum { lr, momentum, weight_decay } => {
+                assert_eq!(
+                    params.len(),
+                    self.velocity.len(),
+                    "optimizer built for a different parameter length"
+                );
+                for ((w, &g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
+                    *v = momentum * *v + g + weight_decay * *w;
+                    *w -= lr * *v;
+                }
+            }
+        }
+    }
+
+    /// The configuration this optimizer was built from.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Changes the learning rate in place (step-decay schedules), keeping
+    /// all other state (momentum velocity) intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
+        self.kind = match self.kind {
+            OptimizerKind::Sgd { .. } => OptimizerKind::Sgd { lr },
+            OptimizerKind::Momentum { momentum, weight_decay, .. } => {
+                OptimizerKind::Momentum { lr, momentum, weight_decay }
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_step() {
+        let mut opt = OptimizerKind::Sgd { lr: 0.1 }.build(2);
+        let mut w = vec![1.0, -1.0];
+        opt.step(&mut w, &[10.0, -10.0]);
+        assert_eq!(w, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt =
+            OptimizerKind::Momentum { lr: 1.0, momentum: 0.5, weight_decay: 0.0 }.build(1);
+        let mut w = vec![0.0];
+        opt.step(&mut w, &[1.0]); // v=1, w=-1
+        assert_eq!(w, vec![-1.0]);
+        opt.step(&mut w, &[1.0]); // v=1.5, w=-2.5
+        assert_eq!(w, vec![-2.5]);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut opt =
+            OptimizerKind::Momentum { lr: 0.1, momentum: 0.0, weight_decay: 1.0 }.build(1);
+        let mut w = vec![10.0];
+        opt.step(&mut w, &[0.0]); // v = 10, w = 9
+        assert_eq!(w, vec![9.0]);
+    }
+
+    #[test]
+    fn momentum_matches_manual_unroll() {
+        let (lr, m) = (0.01, 0.9);
+        let mut opt =
+            OptimizerKind::Momentum { lr, momentum: m, weight_decay: 0.0 }.build(1);
+        let mut w = vec![0.5f32];
+        let mut v = 0.0f32;
+        let mut wm = 0.5f32;
+        for g in [0.3f32, -0.2, 0.7, 0.1] {
+            opt.step(&mut w, &[g]);
+            v = m * v + g;
+            wm -= lr * v;
+        }
+        assert!((w[0] - wm).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_lr_keeps_velocity() {
+        let mut opt =
+            OptimizerKind::Momentum { lr: 1.0, momentum: 0.5, weight_decay: 0.0 }.build(1);
+        let mut w = vec![0.0];
+        opt.step(&mut w, &[1.0]); // v = 1, w = -1
+        opt.set_lr(0.5);
+        opt.step(&mut w, &[0.0]); // v = 0.5, w = -1.25
+        assert_eq!(w, vec![-1.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = OptimizerKind::Sgd { lr: 0.1 }.build(1);
+        opt.step(&mut [0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn bad_momentum_rejected() {
+        OptimizerKind::Momentum { lr: 0.1, momentum: 1.0, weight_decay: 0.0 }.build(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid learning rate")]
+    fn bad_lr_rejected() {
+        OptimizerKind::Sgd { lr: f32::NAN }.build(1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Placement of parameter arrays onto server shards.
+//!
+//! Reproduces MXNet KVStore's load-balancing heuristic (§4.1 of the paper):
+//! arrays smaller than a threshold (10⁶ parameters by default) are assigned
+//! whole to a pseudo-randomly chosen server; larger arrays are split into
+//! equal parts, one per server. P3 builds *different* plans (fixed-size
+//! slices, round-robin placement) via [`ShardPlan::from_slices`]; the plan
+//! representation is shared so every synchronization strategy drives the
+//! same server machinery.
+
+use crate::types::{Key, ServerId};
+use p3_des::SplitMix64;
+
+/// Default KVStore split threshold: arrays above 10⁶ parameters are split
+/// across all servers.
+pub const KVSTORE_SPLIT_THRESHOLD: u64 = 1_000_000;
+
+/// One independently synchronized unit of one parameter array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSlice {
+    /// Store key under which this slice is pushed and pulled.
+    pub key: Key,
+    /// Index of the parameter array this slice belongs to (forward order).
+    pub array: usize,
+    /// Slice index within the array (0 for unsplit arrays).
+    pub part: usize,
+    /// Number of parameters in this slice.
+    pub params: u64,
+    /// Server shard responsible for this slice.
+    pub server: ServerId,
+}
+
+/// A complete placement of a model's parameter arrays onto servers.
+///
+/// # Examples
+///
+/// ```
+/// use p3_pserver::ShardPlan;
+///
+/// // Two small arrays and one 3M-param array on 4 servers.
+/// let plan = ShardPlan::kvstore(&[1000, 2000, 3_000_000], 4, 1_000_000, 42);
+/// // The large array was split into one part per server.
+/// assert_eq!(plan.slices_of_array(2).len(), 4);
+/// assert_eq!(plan.num_keys(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    slices: Vec<ShardSlice>,
+    by_array: Vec<Vec<usize>>,
+    servers: usize,
+}
+
+impl ShardPlan {
+    /// Builds the MXNet KVStore placement: arrays with fewer than
+    /// `split_threshold` parameters go whole to a seeded-random server,
+    /// larger arrays are split equally across all servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`, any array is empty, or `split_threshold`
+    /// is zero.
+    pub fn kvstore(
+        array_params: &[u64],
+        servers: usize,
+        split_threshold: u64,
+        seed: u64,
+    ) -> ShardPlan {
+        assert!(servers > 0, "at least one server required");
+        assert!(split_threshold > 0, "zero split threshold");
+        let mut rng = SplitMix64::new(seed);
+        let mut slices = Vec::new();
+        for (array, &params) in array_params.iter().enumerate() {
+            assert!(params > 0, "array {array} has zero parameters");
+            if params < split_threshold {
+                slices.push((array, 0, params, ServerId(rng.next_below(servers as u64) as usize)));
+            } else {
+                // Split as evenly as possible; the first `rem` parts carry
+                // one extra parameter.
+                let base = params / servers as u64;
+                let rem = (params % servers as u64) as usize;
+                for part in 0..servers {
+                    let p = base + u64::from(part < rem);
+                    if p > 0 {
+                        slices.push((array, part, p, ServerId(part)));
+                    }
+                }
+            }
+        }
+        Self::assemble(slices, servers)
+    }
+
+    /// Builds a plan from explicit slices `(array, part, params, server)`.
+    /// This is how P3's slicing-and-round-robin placement constructs plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`, a slice is empty, a slice references a
+    /// server out of range, or parts of an array are not contiguous from 0.
+    pub fn from_slices(slices: Vec<(usize, usize, u64, ServerId)>, servers: usize) -> ShardPlan {
+        assert!(servers > 0, "at least one server required");
+        for &(array, _, params, server) in &slices {
+            assert!(params > 0, "array {array} has an empty slice");
+            assert!(server.0 < servers, "slice of array {array} on unknown server {server}");
+        }
+        Self::assemble(slices, servers)
+    }
+
+    fn assemble(raw: Vec<(usize, usize, u64, ServerId)>, servers: usize) -> ShardPlan {
+        let arrays = raw.iter().map(|&(a, ..)| a + 1).max().unwrap_or(0);
+        let mut by_array: Vec<Vec<usize>> = vec![Vec::new(); arrays];
+        let mut slices = Vec::with_capacity(raw.len());
+        for (i, (array, part, params, server)) in raw.into_iter().enumerate() {
+            slices.push(ShardSlice { key: Key(i as u64), array, part, params, server });
+            by_array[array].push(i);
+        }
+        for (array, parts) in by_array.iter().enumerate() {
+            for (expect, &si) in parts.iter().enumerate() {
+                assert_eq!(
+                    slices[si].part, expect,
+                    "array {array} has non-contiguous parts"
+                );
+            }
+        }
+        ShardPlan { slices, by_array, servers }
+    }
+
+    /// All slices, in key order (key `k` is `slices()[k]`).
+    pub fn slices(&self) -> &[ShardSlice] {
+        &self.slices
+    }
+
+    /// The slice for a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not in this plan.
+    pub fn slice(&self, key: Key) -> &ShardSlice {
+        &self.slices[key.0 as usize]
+    }
+
+    /// Indices (into [`ShardPlan::slices`]) of the slices of one array, in
+    /// part order.
+    pub fn slices_of_array(&self, array: usize) -> &[usize] {
+        self.by_array.get(array).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of arrays covered by the plan.
+    pub fn num_arrays(&self) -> usize {
+        self.by_array.len()
+    }
+
+    /// Total number of store keys.
+    pub fn num_keys(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Number of server shards.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Total parameters assigned to each server (load-balance diagnostics).
+    pub fn server_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.servers];
+        for s in &self.slices {
+            loads[s.server.0] += s.params;
+        }
+        loads
+    }
+
+    /// Total parameters across all slices.
+    pub fn total_params(&self) -> u64 {
+        self.slices.iter().map(|s| s.params).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arrays_stay_whole() {
+        let plan = ShardPlan::kvstore(&[100, 200, 999_999], 4, KVSTORE_SPLIT_THRESHOLD, 1);
+        assert_eq!(plan.num_keys(), 3);
+        for s in plan.slices() {
+            assert_eq!(s.part, 0);
+        }
+    }
+
+    #[test]
+    fn large_arrays_split_across_all_servers() {
+        let plan = ShardPlan::kvstore(&[5_000_000], 4, KVSTORE_SPLIT_THRESHOLD, 1);
+        assert_eq!(plan.num_keys(), 4);
+        let total: u64 = plan.slices().iter().map(|s| s.params).sum();
+        assert_eq!(total, 5_000_000);
+        // Parts land on distinct servers 0..4.
+        let servers: Vec<usize> = plan.slices().iter().map(|s| s.server.0).collect();
+        assert_eq!(servers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uneven_split_distributes_remainder() {
+        let plan = ShardPlan::kvstore(&[1_000_003], 4, KVSTORE_SPLIT_THRESHOLD, 1);
+        let parts: Vec<u64> = plan.slices().iter().map(|s| s.params).collect();
+        assert_eq!(parts, vec![250_001, 250_001, 250_001, 250_000]);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = ShardPlan::kvstore(&[10, 20, 30], 8, 1_000_000, 7);
+        let b = ShardPlan::kvstore(&[10, 20, 30], 8, 1_000_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_assignment_spreads_load() {
+        // 1000 equal small arrays over 4 servers: no server should hold
+        // more than 40% of the weight.
+        let arrays = vec![1000u64; 1000];
+        let plan = ShardPlan::kvstore(&arrays, 4, 1_000_000, 3);
+        for load in plan.server_loads() {
+            assert!(load < 400_000, "unbalanced load {load}");
+        }
+    }
+
+    #[test]
+    fn from_slices_round_robin() {
+        let slices = vec![
+            (0, 0, 50_000, ServerId(0)),
+            (0, 1, 50_000, ServerId(1)),
+            (0, 2, 20_000, ServerId(2)),
+            (1, 0, 10_000, ServerId(0)),
+        ];
+        let plan = ShardPlan::from_slices(slices, 3);
+        assert_eq!(plan.num_arrays(), 2);
+        assert_eq!(plan.slices_of_array(0).len(), 3);
+        assert_eq!(plan.slice(Key(3)).array, 1);
+        assert_eq!(plan.total_params(), 130_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn gaps_in_parts_rejected() {
+        ShardPlan::from_slices(vec![(0, 1, 10, ServerId(0))], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown server")]
+    fn out_of_range_server_rejected() {
+        ShardPlan::from_slices(vec![(0, 0, 10, ServerId(5))], 2);
+    }
+
+    #[test]
+    fn slices_of_unknown_array_is_empty() {
+        let plan = ShardPlan::kvstore(&[10], 1, 100, 0);
+        assert!(plan.slices_of_array(9).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every parameter of every array appears in exactly one slice.
+        #[test]
+        fn plans_conserve_parameters(
+            arrays in prop::collection::vec(1u64..4_000_000, 1..40),
+            servers in 1usize..9,
+            seed in 0u64..1000,
+        ) {
+            let plan = ShardPlan::kvstore(&arrays, servers, KVSTORE_SPLIT_THRESHOLD, seed);
+            prop_assert_eq!(plan.total_params(), arrays.iter().sum::<u64>());
+            // Per-array conservation too.
+            for (a, &p) in arrays.iter().enumerate() {
+                let got: u64 = plan.slices_of_array(a).iter()
+                    .map(|&i| plan.slices()[i].params).sum();
+                prop_assert_eq!(got, p);
+            }
+        }
+
+        /// Split parts are balanced within one parameter.
+        #[test]
+        fn split_parts_balanced(params in 1_000_000u64..50_000_000, servers in 1usize..17) {
+            let plan = ShardPlan::kvstore(&[params], servers, KVSTORE_SPLIT_THRESHOLD, 0);
+            let sizes: Vec<u64> = plan.slices().iter().map(|s| s.params).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

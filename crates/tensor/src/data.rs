@@ -1,0 +1,277 @@
+//! Synthetic classification datasets.
+//!
+//! The paper's accuracy experiments use ResNet-110 on CIFAR-10; we
+//! substitute tractable synthetic tasks (DESIGN.md §2) whose difficulty is
+//! tunable, because Figures 11 and 15 compare *algorithms* — exact
+//! synchronous SGD (≡ P3) vs lossy DGC vs stale ASGD — and the ordering of
+//! those algorithms is what the reproduction must preserve.
+
+use crate::matrix::Matrix;
+use p3_des::SplitMix64;
+
+/// A labelled dataset split into train and validation parts.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training inputs, one sample per row.
+    pub train_x: Matrix,
+    /// Training labels.
+    pub train_y: Vec<usize>,
+    /// Validation inputs.
+    pub val_x: Matrix,
+    /// Validation labels.
+    pub val_y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.train_x.cols()
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_y.len()
+    }
+
+    /// The shard of training data belonging to worker `w` of `n` (round-
+    /// robin by index, matching the paper's equal sharding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= n` or `n == 0`.
+    pub fn shard(&self, w: usize, n: usize) -> (Matrix, Vec<usize>) {
+        assert!(n > 0 && w < n, "bad shard {w}/{n}");
+        let rows: Vec<usize> = (w..self.train_len()).step_by(n).collect();
+        let mut data = Vec::with_capacity(rows.len() * self.dim());
+        let mut labels = Vec::with_capacity(rows.len());
+        for &r in &rows {
+            data.extend_from_slice(self.train_x.row(r));
+            labels.push(self.train_y[r]);
+        }
+        (Matrix::from_vec(rows.len(), self.dim(), data), labels)
+    }
+}
+
+/// Gaussian blobs: `classes` isotropic clusters in `dim` dimensions with
+/// the given within-class standard deviation. Larger `noise` makes the
+/// task harder (classes overlap).
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+///
+/// # Examples
+///
+/// ```
+/// use p3_tensor::gaussian_blobs;
+///
+/// let d = gaussian_blobs(4, 10, 1000, 200, 1.0, 42);
+/// assert_eq!(d.train_len(), 1000);
+/// assert_eq!(d.classes, 4);
+/// ```
+pub fn gaussian_blobs(
+    classes: usize,
+    dim: usize,
+    train: usize,
+    val: usize,
+    noise: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(classes >= 2 && dim > 0 && train > 0 && val > 0, "degenerate dataset");
+    assert!(noise > 0.0, "non-positive noise");
+    let mut rng = SplitMix64::new(seed);
+    // Random unit-ish centers scaled so classes are separable at noise≈1.
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| (0..dim).map(|_| rng.normal() * 2.0).collect())
+        .collect();
+    let sample = |rng: &mut SplitMix64, n: usize| {
+        let mut xs = Vec::with_capacity(n * dim);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            for d in 0..dim {
+                xs.push((centers[c][d] + rng.normal() * noise) as f32);
+            }
+            ys.push(c);
+        }
+        (Matrix::from_vec(n, dim, xs), ys)
+    };
+    let (train_x, train_y) = sample(&mut rng, train);
+    let (val_x, val_y) = sample(&mut rng, val);
+    Dataset { train_x, train_y, val_x, val_y, classes }
+}
+
+/// Interleaved 2-D spirals lifted into `dim` dimensions via a random linear
+/// map — a task that genuinely requires the hidden layer.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments.
+pub fn spirals(classes: usize, dim: usize, train: usize, val: usize, seed: u64) -> Dataset {
+    assert!(classes >= 2 && dim >= 2 && train > 0 && val > 0, "degenerate dataset");
+    let mut rng = SplitMix64::new(seed);
+    // Random projection from 2-D spiral space into dim dimensions.
+    let proj: Vec<f64> = (0..2 * dim).map(|_| rng.normal() * 0.7).collect();
+    let sample = |rng: &mut SplitMix64, n: usize| {
+        let mut xs = Vec::with_capacity(n * dim);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            let t = rng.next_f64() * 3.0 + 0.2; // radius parameter
+            let angle = t * 2.5 + (c as f64) * std::f64::consts::TAU / classes as f64;
+            let (px, py) = (t * angle.cos(), t * angle.sin());
+            let (px, py) = (px + rng.normal() * 0.08, py + rng.normal() * 0.08);
+            for d in 0..dim {
+                xs.push((px * proj[2 * d] + py * proj[2 * d + 1]) as f32);
+            }
+            ys.push(c);
+        }
+        (Matrix::from_vec(n, dim, xs), ys)
+    };
+    let (train_x, train_y) = sample(&mut rng, train);
+    let (val_x, val_y) = sample(&mut rng, val);
+    Dataset { train_x, train_y, val_x, val_y, classes }
+}
+
+/// A deterministic shuffled mini-batch schedule: epoch `e` yields batches
+/// of `batch` indices drawn from a seeded permutation of `0..n`.
+#[derive(Debug, Clone)]
+pub struct BatchSchedule {
+    n: usize,
+    batch: usize,
+    seed: u64,
+}
+
+impl BatchSchedule {
+    /// Creates a schedule over `n` samples with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `batch == 0`.
+    pub fn new(n: usize, batch: usize, seed: u64) -> BatchSchedule {
+        assert!(n > 0 && batch > 0, "degenerate schedule");
+        BatchSchedule { n, batch, seed }
+    }
+
+    /// Number of batches per epoch (floor; a trailing partial batch is
+    /// dropped, as most training loops do).
+    pub fn batches_per_epoch(&self) -> usize {
+        (self.n / self.batch).max(1)
+    }
+
+    /// The index batches of epoch `epoch`, in order.
+    pub fn epoch(&self, epoch: u64) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.n).collect();
+        let mut rng = SplitMix64::new(self.seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for i in (1..order.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        order
+            .chunks(self.batch)
+            .filter(|c| c.len() == self.batch || self.n < self.batch)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+}
+
+/// Gathers rows of `x` (and labels) by index into a batch.
+///
+/// # Panics
+///
+/// Panics if any index is out of range.
+pub fn gather(x: &Matrix, y: &[usize], idx: &[usize]) -> (Matrix, Vec<usize>) {
+    let dim = x.cols();
+    let mut data = Vec::with_capacity(idx.len() * dim);
+    let mut labels = Vec::with_capacity(idx.len());
+    for &i in idx {
+        data.extend_from_slice(x.row(i));
+        labels.push(y[i]);
+    }
+    (Matrix::from_vec(idx.len(), dim, data), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_have_balanced_classes() {
+        let d = gaussian_blobs(5, 8, 500, 100, 1.0, 3);
+        for c in 0..5 {
+            let count = d.train_y.iter().filter(|&&y| y == c).count();
+            assert_eq!(count, 100);
+        }
+    }
+
+    #[test]
+    fn blobs_are_learnable_at_low_noise() {
+        use crate::mlp::Mlp;
+        let d = gaussian_blobs(3, 6, 600, 150, 0.5, 7);
+        let mut rng = SplitMix64::new(1);
+        let mut mlp = Mlp::new(&[6, 32, 3], &mut rng);
+        for _ in 0..100 {
+            let (_, g) = mlp.loss_and_grads(&d.train_x, &d.train_y);
+            mlp.apply_sgd(&g, 0.5);
+        }
+        assert!(mlp.accuracy(&d.val_x, &d.val_y) > 0.95);
+    }
+
+    #[test]
+    fn spirals_need_the_hidden_layer() {
+        use crate::mlp::Mlp;
+        let d = spirals(3, 2, 900, 300, 11);
+        let mut rng = SplitMix64::new(2);
+        // Linear model (no hidden layer) cannot fit spirals…
+        let mut linear = Mlp::new(&[2, 3], &mut rng);
+        for _ in 0..300 {
+            let (_, g) = linear.loss_and_grads(&d.train_x, &d.train_y);
+            linear.apply_sgd(&g, 0.3);
+        }
+        let lin_acc = linear.accuracy(&d.val_x, &d.val_y);
+        assert!(lin_acc < 0.8, "spirals too easy: linear acc {lin_acc}");
+    }
+
+    #[test]
+    fn shards_partition_the_training_set() {
+        let d = gaussian_blobs(2, 4, 100, 10, 1.0, 5);
+        let mut total = 0;
+        for w in 0..4 {
+            let (x, y) = d.shard(w, 4);
+            assert_eq!(x.rows(), y.len());
+            total += y.len();
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn schedule_is_a_permutation_and_epoch_dependent() {
+        let s = BatchSchedule::new(10, 2, 9);
+        let e0: Vec<usize> = s.epoch(0).concat();
+        let e1: Vec<usize> = s.epoch(1).concat();
+        let mut sorted = e0.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        assert_ne!(e0, e1, "epochs should shuffle differently");
+        assert_eq!(s.epoch(0), s.epoch(0), "same epoch is deterministic");
+    }
+
+    #[test]
+    fn gather_picks_rows() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = vec![0, 1, 2];
+        let (bx, by) = gather(&x, &y, &[2, 0]);
+        assert_eq!(bx, Matrix::from_rows(&[&[3.0], &[1.0]]));
+        assert_eq!(by, vec![2, 0]);
+    }
+
+    #[test]
+    fn partial_batches_are_dropped() {
+        let s = BatchSchedule::new(10, 3, 0);
+        assert_eq!(s.batches_per_epoch(), 3);
+        assert_eq!(s.epoch(0).len(), 3);
+        assert!(s.epoch(0).iter().all(|b| b.len() == 3));
+    }
+}

@@ -1,0 +1,176 @@
+//! Asynchronous SGD (the paper's Appendix B.2 comparison).
+//!
+//! ASGD removes the synchronization barrier: each worker pushes its
+//! gradient and continues immediately, so updates are computed against
+//! parameters that are several updates stale. We model a fully pipelined
+//! ASGD cluster deterministically: workers take turns applying updates,
+//! and each gradient was computed on the parameter snapshot from
+//! `staleness` updates earlier — the canonical delayed-gradient model of
+//! asynchronous training.
+
+use crate::config::{EpochRecord, SyncMode, TrainConfig, TrainRun};
+use p3_des::SplitMix64;
+use p3_pserver::OptimizerKind;
+use p3_tensor::{gather, BatchSchedule, Dataset, Matrix, Mlp};
+use std::collections::VecDeque;
+
+/// Runs asynchronous data-parallel training with the given staleness
+/// (typically `workers − 1`).
+///
+/// # Panics
+///
+/// Panics if the config is degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use p3_tensor::gaussian_blobs;
+/// use p3_train::{train_async, TrainConfig};
+///
+/// let data = gaussian_blobs(3, 8, 480, 120, 0.8, 5);
+/// let mut cfg = TrainConfig::new(3);
+/// cfg.hidden = vec![16];
+/// let run = train_async(&data, &cfg, 3);
+/// assert_eq!(run.records.len(), 3);
+/// ```
+pub fn train_async(data: &Dataset, cfg: &TrainConfig, staleness: usize) -> TrainRun {
+    cfg.validate();
+
+    let mut sizes = vec![data.dim()];
+    sizes.extend_from_slice(&cfg.hidden);
+    sizes.push(data.classes);
+    let mut init_rng = SplitMix64::new(cfg.seed);
+    let mut global = Mlp::new(&sizes, &mut init_rng);
+
+    // One momentum optimizer per array, applied at the (lock-free) server.
+    let array_lens: Vec<usize> = global.export_arrays().iter().map(Vec::len).collect();
+    let opt_kind = OptimizerKind::Momentum {
+        lr: cfg.lr,
+        momentum: cfg.momentum,
+        weight_decay: cfg.weight_decay,
+    };
+    let mut opts: Vec<_> = array_lens.iter().map(|&l| opt_kind.build(l)).collect();
+
+    // Worker shards and schedules.
+    let shards: Vec<(Matrix, Vec<usize>)> =
+        (0..cfg.workers).map(|w| data.shard(w, cfg.workers)).collect();
+    let schedules: Vec<BatchSchedule> = shards
+        .iter()
+        .enumerate()
+        .map(|(w, (_, y))| BatchSchedule::new(y.len(), cfg.batch_per_worker, cfg.seed ^ (w as u64 + 1)))
+        .collect();
+    let rounds_per_epoch =
+        schedules.iter().map(BatchSchedule::batches_per_epoch).min().expect("workers");
+
+    // Delayed-gradient pipeline: a gradient computed now is applied after
+    // `staleness` other updates land.
+    let mut pipeline: VecDeque<Vec<Vec<f32>>> = VecDeque::new();
+    let mut records = Vec::with_capacity(cfg.epochs as usize);
+
+    for epoch in 0..cfg.epochs {
+        if let Some(decay) = cfg.lr_decay {
+            let lr = decay.lr_at(cfg.lr, epoch);
+            for o in &mut opts {
+                o.set_lr(lr);
+            }
+        }
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0u64;
+        for round in 0..rounds_per_epoch {
+            for w in 0..cfg.workers {
+                // Worker w reads the CURRENT parameters, computes a
+                // gradient, and enqueues it; meanwhile older gradients in
+                // the pipeline (computed on stale parameters) are applied.
+                let batch_idx = &schedules[w].epoch(epoch as u64)[round];
+                let (bx, by) = gather(&shards[w].0, &shards[w].1, batch_idx);
+                let (loss, grads) = global.loss_and_grads(&bx, &by);
+                loss_sum += loss as f64;
+                loss_n += 1;
+                pipeline.push_back(Mlp::grads_to_arrays(&grads));
+
+                // Apply the gradient that has now aged `staleness` steps.
+                if pipeline.len() > staleness {
+                    let stale = pipeline.pop_front().expect("nonempty");
+                    apply(&mut global, &mut opts, &stale);
+                }
+            }
+        }
+        // Drain nothing between epochs — the pipeline persists, as in a
+        // real ASGD cluster.
+        let val_accuracy = global.accuracy(&data.val_x, &data.val_y);
+        records.push(EpochRecord {
+            epoch,
+            train_loss: loss_sum / loss_n.max(1) as f64,
+            val_accuracy,
+        });
+    }
+
+    let final_accuracy = records.last().expect("epochs > 0").val_accuracy;
+    TrainRun {
+        mode_name: SyncMode::Async { staleness }.name().to_string(),
+        records,
+        final_accuracy,
+        iterations_per_epoch: rounds_per_epoch * cfg.workers,
+    }
+}
+
+fn apply(model: &mut Mlp, opts: &mut [p3_pserver::Optimizer], grads: &[Vec<f32>]) {
+    let mut arrays = model.export_arrays();
+    for ((a, g), opt) in arrays.iter_mut().zip(grads).zip(opts) {
+        opt.step(a, g);
+    }
+    model.import_arrays(&arrays);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::train_sync;
+    use p3_tensor::gaussian_blobs;
+
+    fn cfg(epochs: u32) -> TrainConfig {
+        let mut c = TrainConfig::new(epochs);
+        c.hidden = vec![24];
+        c.batch_per_worker = 16;
+        c
+    }
+
+    #[test]
+    fn asgd_trains_at_all() {
+        let data = gaussian_blobs(3, 6, 600, 150, 0.8, 6);
+        let run = train_async(&data, &cfg(6), 3);
+        assert!(run.final_accuracy > 0.6, "ASGD collapsed: {}", run.final_accuracy);
+    }
+
+    #[test]
+    fn asgd_is_deterministic() {
+        let data = gaussian_blobs(2, 4, 200, 40, 1.0, 2);
+        assert_eq!(train_async(&data, &cfg(2), 3), train_async(&data, &cfg(2), 3));
+    }
+
+    #[test]
+    fn staleness_zero_tracks_sequential_sgd() {
+        // With no staleness the pipeline applies immediately: equivalent to
+        // plain sequential minibatch SGD; accuracy should be solid.
+        let data = gaussian_blobs(3, 6, 600, 150, 0.8, 10);
+        let run = train_async(&data, &cfg(5), 0);
+        assert!(run.final_accuracy > 0.85, "no-staleness ASGD: {}", run.final_accuracy);
+    }
+
+    #[test]
+    fn sync_beats_stale_async_on_hard_task() {
+        // The paper's Appendix B: P3 (synchronous) reaches higher accuracy
+        // than ASGD with realistic staleness.
+        let data = gaussian_blobs(5, 12, 1500, 400, 1.35, 13);
+        let mut c = cfg(10);
+        c.lr = 0.1; // staleness damage grows with lr
+        let sync = train_sync(&data, &c, SyncMode::FullSync);
+        let async_run = train_async(&data, &c, 3);
+        assert!(
+            sync.final_accuracy >= async_run.final_accuracy,
+            "sync {} vs async {}",
+            sync.final_accuracy,
+            async_run.final_accuracy
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Local SGD (periodic parameter averaging): workers train independently
+//! for `period` steps, then average parameters. The classic
+//! communication-reduction baseline that trades gradient freshness for
+//! fewer synchronization rounds — another point on the spectrum the paper
+//! positions P3 against (P3 keeps exact synchrony; Local SGD relaxes it).
+
+use crate::config::{EpochRecord, TrainConfig, TrainRun};
+use p3_des::SplitMix64;
+use p3_pserver::OptimizerKind;
+use p3_tensor::{gather, BatchSchedule, Dataset, Matrix, Mlp};
+
+/// Runs Local SGD: each worker applies momentum SGD locally and parameters
+/// are averaged across workers every `period` steps.
+///
+/// # Panics
+///
+/// Panics if the config is degenerate or `period == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use p3_tensor::gaussian_blobs;
+/// use p3_train::{train_local_sgd, TrainConfig};
+///
+/// let data = gaussian_blobs(3, 8, 480, 120, 0.8, 5);
+/// let mut cfg = TrainConfig::new(3);
+/// cfg.hidden = vec![16];
+/// let run = train_local_sgd(&data, &cfg, 4);
+/// assert_eq!(run.records.len(), 3);
+/// ```
+pub fn train_local_sgd(data: &Dataset, cfg: &TrainConfig, period: u32) -> TrainRun {
+    cfg.validate();
+    assert!(period > 0, "zero averaging period");
+
+    let mut sizes = vec![data.dim()];
+    sizes.extend_from_slice(&cfg.hidden);
+    sizes.push(data.classes);
+    let mut init_rng = SplitMix64::new(cfg.seed);
+    let reference = Mlp::new(&sizes, &mut init_rng);
+    let opt_kind = OptimizerKind::Momentum {
+        lr: cfg.lr,
+        momentum: cfg.momentum,
+        weight_decay: cfg.weight_decay,
+    };
+
+    struct Worker {
+        x: Matrix,
+        y: Vec<usize>,
+        schedule: BatchSchedule,
+        model: Mlp,
+        opts: Vec<p3_pserver::Optimizer>,
+    }
+    let array_lens: Vec<usize> = reference.export_arrays().iter().map(Vec::len).collect();
+    let mut workers: Vec<Worker> = (0..cfg.workers)
+        .map(|w| {
+            let (x, y) = data.shard(w, cfg.workers);
+            let schedule =
+                BatchSchedule::new(y.len(), cfg.batch_per_worker, cfg.seed ^ (w as u64 + 1));
+            Worker {
+                x,
+                y,
+                schedule,
+                model: reference.clone(),
+                opts: array_lens.iter().map(|&l| opt_kind.build(l)).collect(),
+            }
+        })
+        .collect();
+
+    let rounds_per_epoch =
+        workers.iter().map(|w| w.schedule.batches_per_epoch()).min().expect("workers");
+    let mut records = Vec::with_capacity(cfg.epochs as usize);
+    let mut step: u32 = 0;
+
+    for epoch in 0..cfg.epochs {
+        if let Some(decay) = cfg.lr_decay {
+            let lr = decay.lr_at(cfg.lr, epoch);
+            for w in &mut workers {
+                for o in &mut w.opts {
+                    o.set_lr(lr);
+                }
+            }
+        }
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0u64;
+        for round in 0..rounds_per_epoch {
+            for w in workers.iter_mut() {
+                let idx = &w.schedule.epoch(epoch as u64)[round];
+                let (bx, by) = gather(&w.x, &w.y, idx);
+                let (loss, grads) = w.model.loss_and_grads(&bx, &by);
+                loss_sum += loss as f64;
+                loss_n += 1;
+                // Local momentum update.
+                let mut arrays = w.model.export_arrays();
+                let garrays = Mlp::grads_to_arrays(&grads);
+                for ((a, g), o) in arrays.iter_mut().zip(&garrays).zip(&mut w.opts) {
+                    o.step(a, g);
+                }
+                w.model.import_arrays(&arrays);
+            }
+            step += 1;
+            if step % period == 0 {
+                let mut models: Vec<&mut Mlp> =
+                    workers.iter_mut().map(|w| &mut w.model).collect();
+                average_parameters(&mut models, &array_lens);
+            }
+        }
+        let val_accuracy = workers[0].model.accuracy(&data.val_x, &data.val_y);
+        records.push(EpochRecord {
+            epoch,
+            train_loss: loss_sum / loss_n.max(1) as f64,
+            val_accuracy,
+        });
+    }
+
+    // Workers may be mid-period at the end; report the averaged model.
+    let mut models: Vec<&mut Mlp> = workers.iter_mut().map(|w| &mut w.model).collect();
+    average_parameters(&mut models, &array_lens);
+    let final_accuracy = workers[0].model.accuracy(&data.val_x, &data.val_y);
+    TrainRun {
+        mode_name: format!("LocalSGD(H={period})"),
+        records,
+        final_accuracy,
+        iterations_per_epoch: rounds_per_epoch,
+    }
+}
+
+/// Replaces every model's parameters with the element-wise mean.
+fn average_parameters(models: &mut [&mut Mlp], array_lens: &[usize]) {
+    let n = models.len() as f32;
+    let mut mean: Vec<Vec<f32>> = array_lens.iter().map(|&l| vec![0.0; l]).collect();
+    for m in models.iter() {
+        for (acc, a) in mean.iter_mut().zip(m.export_arrays()) {
+            for (x, v) in acc.iter_mut().zip(&a) {
+                *x += v / n;
+            }
+        }
+    }
+    for m in models.iter_mut() {
+        m.import_arrays(&mean);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::train_sync;
+    use crate::SyncMode;
+    use p3_tensor::gaussian_blobs;
+
+    fn cfg(epochs: u32) -> TrainConfig {
+        let mut c = TrainConfig::new(epochs);
+        c.hidden = vec![24];
+        c.batch_per_worker = 16;
+        c
+    }
+
+    #[test]
+    fn local_sgd_trains() {
+        let data = gaussian_blobs(3, 6, 600, 150, 0.8, 6);
+        let run = train_local_sgd(&data, &cfg(6), 4);
+        assert!(run.final_accuracy > 0.85, "LocalSGD: {}", run.final_accuracy);
+        assert!(run.mode_name.contains("H=4"));
+    }
+
+    #[test]
+    fn period_one_close_to_full_sync() {
+        // Averaging every step ≈ synchronous training (not identical:
+        // parameter averaging with local momentum vs gradient averaging
+        // with server momentum), but accuracy should be comparable.
+        let data = gaussian_blobs(3, 6, 600, 150, 0.8, 4);
+        let c = cfg(6);
+        let local = train_local_sgd(&data, &c, 1);
+        let sync = train_sync(&data, &c, SyncMode::FullSync);
+        assert!(
+            (local.final_accuracy - sync.final_accuracy).abs() < 0.1,
+            "H=1 {} vs sync {}",
+            local.final_accuracy,
+            sync.final_accuracy
+        );
+    }
+
+    #[test]
+    fn infrequent_averaging_does_not_beat_sync() {
+        let data = gaussian_blobs(5, 12, 1500, 400, 1.3, 9);
+        let c = cfg(8);
+        let sync = train_sync(&data, &c, SyncMode::FullSync);
+        let sparse = train_local_sgd(&data, &c, 16);
+        assert!(
+            sync.final_accuracy >= sparse.final_accuracy - 0.03,
+            "sync {} vs H=16 {}",
+            sync.final_accuracy,
+            sparse.final_accuracy
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = gaussian_blobs(2, 4, 200, 40, 1.0, 2);
+        assert_eq!(train_local_sgd(&data, &cfg(2), 3), train_local_sgd(&data, &cfg(2), 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero averaging period")]
+    fn zero_period_rejected() {
+        let data = gaussian_blobs(2, 4, 100, 20, 1.0, 1);
+        train_local_sgd(&data, &cfg(1), 0);
+    }
+}

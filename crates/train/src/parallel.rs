@@ -1,0 +1,132 @@
+//! Parallel hyper-parameter sweeps.
+//!
+//! Figure 11 trains P3 and DGC under **five hyper-parameter settings** and
+//! plots the band between the worst and best validation accuracy. Each
+//! setting is an independent deterministic run, so we fan the settings out
+//! across OS threads; results are ordered by input, never by completion,
+//! keeping the sweep reproducible.
+
+use crate::config::{SyncMode, TrainConfig, TrainRun};
+use crate::sync::train_sync;
+use crate::asgd::train_async;
+use p3_tensor::Dataset;
+use parking_lot::Mutex;
+
+/// Runs one training job per `(config, mode)` pair, in parallel, returning
+/// results in input order.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (a failed run is a bug, not a
+/// result).
+///
+/// # Examples
+///
+/// ```
+/// use p3_tensor::gaussian_blobs;
+/// use p3_train::{sweep, SyncMode, TrainConfig};
+///
+/// let data = gaussian_blobs(3, 6, 300, 60, 0.8, 5);
+/// let mut cfg = TrainConfig::new(2);
+/// cfg.hidden = vec![8];
+/// let jobs = vec![(cfg.clone(), SyncMode::FullSync), (cfg, SyncMode::TernGrad)];
+/// let runs = sweep(&data, &jobs);
+/// assert_eq!(runs.len(), 2);
+/// assert_eq!(runs[0].mode_name, "P3/FullSync");
+/// ```
+pub fn sweep(data: &Dataset, jobs: &[(TrainConfig, SyncMode)]) -> Vec<TrainRun> {
+    let results: Mutex<Vec<Option<TrainRun>>> = Mutex::new(vec![None; jobs.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (i, (cfg, mode)) in jobs.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let run = match mode {
+                    SyncMode::Async { staleness } => train_async(data, cfg, *staleness),
+                    other => train_sync(data, cfg, *other),
+                };
+                results.lock()[i] = Some(run);
+            });
+        }
+    })
+    .expect("sweep thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job produces a run"))
+        .collect()
+}
+
+/// The per-epoch min/max band across runs — the shaded region of
+/// Figure 11.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or epochs are ragged.
+pub fn accuracy_band(runs: &[TrainRun]) -> Vec<(u32, f64, f64)> {
+    assert!(!runs.is_empty(), "no runs");
+    let epochs = runs[0].records.len();
+    for r in runs {
+        assert_eq!(r.records.len(), epochs, "ragged epoch counts");
+    }
+    (0..epochs)
+        .map(|e| {
+            let accs: Vec<f64> = runs.iter().map(|r| r.records[e].val_accuracy).collect();
+            let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = accs.iter().copied().fold(0.0, f64::max);
+            (runs[0].records[e].epoch, min, max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3_tensor::gaussian_blobs;
+
+    #[test]
+    fn sweep_matches_serial_runs() {
+        let data = gaussian_blobs(3, 6, 300, 60, 0.9, 3);
+        let mut cfg = TrainConfig::new(2);
+        cfg.hidden = vec![12];
+        let jobs = vec![
+            (cfg.clone(), SyncMode::FullSync),
+            (cfg.clone(), SyncMode::TernGrad),
+            (cfg.clone(), SyncMode::Async { staleness: 3 }),
+        ];
+        let parallel = sweep(&data, &jobs);
+        let serial: Vec<TrainRun> = vec![
+            train_sync(&data, &cfg, SyncMode::FullSync),
+            train_sync(&data, &cfg, SyncMode::TernGrad),
+            train_async(&data, &cfg, 3),
+        ];
+        assert_eq!(parallel, serial, "thread fan-out changed results");
+    }
+
+    #[test]
+    fn band_covers_all_runs() {
+        let data = gaussian_blobs(2, 4, 200, 50, 1.0, 1);
+        let mut jobs = Vec::new();
+        for seed in 0..3 {
+            let mut cfg = TrainConfig::new(3);
+            cfg.hidden = vec![8];
+            cfg.seed = seed;
+            jobs.push((cfg, SyncMode::FullSync));
+        }
+        let runs = sweep(&data, &jobs);
+        let band = accuracy_band(&runs);
+        assert_eq!(band.len(), 3);
+        for (e, lo, hi) in band {
+            assert!(lo <= hi);
+            for r in &runs {
+                let a = r.records[e as usize].val_accuracy;
+                assert!(a >= lo - 1e-12 && a <= hi + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no runs")]
+    fn empty_band_rejected() {
+        accuracy_band(&[]);
+    }
+}

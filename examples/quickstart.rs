@@ -1,0 +1,32 @@
+//! Quick start: measure P3's speedup over baseline MXNet-KVStore
+//! synchronization for VGG-19 on a bandwidth-constrained 4-machine
+//! cluster — the paper's headline experiment (Fig. 7c) in ~20 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use p3::cluster::{ClusterConfig, ClusterSim};
+use p3::core::SyncStrategy;
+use p3::models::ModelSpec;
+use p3::net::Bandwidth;
+
+fn main() {
+    let bandwidth = Bandwidth::from_gbps(15.0);
+    println!("VGG-19, 4 machines, {bandwidth} per NIC direction\n");
+
+    let mut baseline_throughput = 0.0;
+    for strategy in [SyncStrategy::baseline(), SyncStrategy::slicing_only(), SyncStrategy::p3()] {
+        let name = strategy.name().to_string();
+        let cfg = ClusterConfig::new(ModelSpec::vgg19(), strategy, 4, bandwidth);
+        let result = ClusterSim::new(cfg).run();
+        let speedup = if baseline_throughput > 0.0 {
+            format!("  ({:+.1}% vs baseline)", (result.throughput / baseline_throughput - 1.0) * 100.0)
+        } else {
+            baseline_throughput = result.throughput;
+            String::new()
+        };
+        println!(
+            "{name:>10}: {:7.1} {}/sec, mean iteration {}{speedup}",
+            result.throughput, result.unit, result.mean_iteration
+        );
+    }
+}

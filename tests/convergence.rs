@@ -1,0 +1,83 @@
+//! Cross-crate integration of the accuracy stack: `p3-tensor` gradients
+//! through `p3-pserver` aggregation under `p3-train` orchestration, with
+//! `p3-compress` baselines.
+
+use p3::tensor::gaussian_blobs;
+use p3::train::{train_async, train_sync, SyncMode, TrainConfig};
+
+fn cfg(epochs: u32) -> TrainConfig {
+    let mut c = TrainConfig::new(epochs);
+    c.hidden = vec![16];
+    c.batch_per_worker = 16;
+    c
+}
+
+#[test]
+fn full_sync_hits_high_accuracy() {
+    let data = gaussian_blobs(3, 6, 480, 120, 0.8, 3);
+    let run = train_sync(&data, &cfg(6), SyncMode::FullSync);
+    assert!(run.final_accuracy > 0.9, "accuracy {}", run.final_accuracy);
+}
+
+#[test]
+fn p3_equivalence_worker_count_changes_nothing_fundamental() {
+    // P3's guarantee is "full gradients, synchronous" — with identical
+    // total batch and data order, 2 and 4 workers give close results.
+    let data = gaussian_blobs(3, 6, 480, 120, 0.8, 3);
+    let mut c2 = cfg(5);
+    c2.workers = 2;
+    c2.batch_per_worker = 32;
+    let mut c4 = cfg(5);
+    c4.workers = 4;
+    c4.batch_per_worker = 16;
+    let r2 = train_sync(&data, &c2, SyncMode::FullSync);
+    let r4 = train_sync(&data, &c4, SyncMode::FullSync);
+    assert!(
+        (r2.final_accuracy - r4.final_accuracy).abs() < 0.15,
+        "{} vs {}",
+        r2.final_accuracy,
+        r4.final_accuracy
+    );
+}
+
+#[test]
+fn exact_sync_at_least_matches_compressed() {
+    let data = gaussian_blobs(4, 8, 640, 160, 1.0, 9);
+    let c = cfg(6);
+    let full = train_sync(&data, &c, SyncMode::FullSync);
+    for mode in [
+        SyncMode::Dgc { final_sparsity: 0.99, warmup_epochs: 2 },
+        SyncMode::GradDrop { ratio: 50.0 },
+    ] {
+        let run = train_sync(&data, &c, mode);
+        assert!(
+            full.final_accuracy >= run.final_accuracy - 0.05,
+            "{}: full {} vs {}",
+            run.mode_name,
+            full.final_accuracy,
+            run.final_accuracy
+        );
+    }
+}
+
+#[test]
+fn asgd_with_staleness_never_beats_sync_meaningfully() {
+    let data = gaussian_blobs(4, 8, 640, 160, 1.1, 4);
+    let c = cfg(6);
+    let sync = train_sync(&data, &c, SyncMode::FullSync);
+    let asgd = train_async(&data, &c, 3);
+    assert!(
+        sync.final_accuracy >= asgd.final_accuracy - 0.03,
+        "sync {} vs asgd {}",
+        sync.final_accuracy,
+        asgd.final_accuracy
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let data = gaussian_blobs(2, 4, 160, 40, 1.0, 8);
+    let a = train_sync(&data, &cfg(2), SyncMode::Dgc { final_sparsity: 0.95, warmup_epochs: 1 });
+    let b = train_sync(&data, &cfg(2), SyncMode::Dgc { final_sparsity: 0.95, warmup_epochs: 1 });
+    assert_eq!(a, b);
+}
