@@ -198,8 +198,8 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
         }
     };
     let frac = cfg.model.iteration_jitter();
-    for w in 0..cfg.machines {
-        jitter[w] = resample(&mut rng, frac);
+    for (w, j) in jitter.iter_mut().enumerate() {
+        *j = resample(&mut rng, frac);
         queue.schedule_at(SimTime::ZERO, Ev::Compute { worker: w, phase: Phase::Fwd(0) });
         // Fwd(0) is scheduled as "start"; we instead schedule completion:
         // handled uniformly below by treating the event as completion of
@@ -207,8 +207,8 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
     }
     // Replace the bootstrap events with proper completions.
     queue.clear();
-    for w in 0..cfg.machines {
-        let d = times[0].fwd.mul_f64(jitter[w]);
+    for (w, &j) in jitter.iter().enumerate() {
+        let d = times[0].fwd.mul_f64(j);
         queue.schedule_at(SimTime::ZERO + d, Ev::Compute { worker: w, phase: Phase::Fwd(0) });
     }
 

@@ -1,0 +1,126 @@
+//! Robustness experiment: Baseline / Slicing-only / P3 under injected
+//! faults — a compute straggler, a degraded link, a lossy network, and a
+//! worker crash. Reports throughput, iteration-time tails (p50/p99), and
+//! the reliability layer's counters for each combination.
+//!
+//! Run with: `cargo run --release -p p3-bench --bin robustness [--quick]`
+
+use p3_cluster::{
+    ClusterConfig, ClusterSim, FaultPlan, LinkDegradation, StragglerEpisode, WorkerCrash,
+};
+use p3_core::SyncStrategy;
+use p3_des::{SimDuration, SimTime};
+use p3_models::ModelSpec;
+use p3_net::Bandwidth;
+use p3_pserver::RetryPolicy;
+
+const MACHINES: usize = 4;
+const GBPS: f64 = 5.0;
+
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    let forever = SimDuration::from_secs(1_000);
+    vec![
+        ("clean", FaultPlan::none()),
+        (
+            "straggler (w1 at 2.5x)",
+            FaultPlan {
+                stragglers: vec![StragglerEpisode {
+                    worker: 1,
+                    start: SimTime::ZERO,
+                    duration: forever,
+                    slowdown: 2.5,
+                }],
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "degraded link (m0 at 25%)",
+            FaultPlan {
+                link_degradations: vec![LinkDegradation {
+                    machine: 0,
+                    start: SimTime::ZERO,
+                    duration: forever,
+                    capacity_factor: 0.25,
+                }],
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "lossy network (3% drop)",
+            FaultPlan { loss_probability: 0.03, ..FaultPlan::none() },
+        ),
+        (
+            "worker crash (w2, no restart)",
+            FaultPlan {
+                crashes: vec![WorkerCrash {
+                    worker: 2,
+                    at: SimTime::from_millis(500),
+                    rejoin_after: None,
+                }],
+                ..FaultPlan::none()
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, measure) = if quick { (1, 3) } else { (2, 8) };
+    let strategies =
+        [SyncStrategy::baseline(), SyncStrategy::slicing_only(), SyncStrategy::p3()];
+    let model = ModelSpec::resnet50();
+    p3_bench::print_header(
+        "robustness",
+        &format!(
+            "model: {}  machines: {MACHINES}  bandwidth: {GBPS} Gbps  unit: {}/sec",
+            model.name(),
+            model.unit()
+        ),
+    );
+    println!(
+        "{:<30} {:<12} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "scenario", "strategy", "thruput", "p50", "p99", "retx", "lost", "degr"
+    );
+    for (name, plan) in scenarios() {
+        for strategy in &strategies {
+            let mut cfg = ClusterConfig::new(
+                model.clone(),
+                strategy.clone(),
+                MACHINES,
+                Bandwidth::from_gbps(GBPS),
+            )
+            .with_iters(warmup, measure)
+            .with_seed(7)
+            .with_faults(plan.clone())
+            .with_retry(RetryPolicy::new(SimDuration::from_millis(20), 2.0, 16));
+            // Evict a silent worker after 200 ms so survivors keep training.
+            cfg.liveness_timeout = SimDuration::from_millis(200);
+            match ClusterSim::new(cfg).try_run() {
+                Ok(r) => println!(
+                    "{:<30} {:<12} {:>9.1} {:>9} {:>9} {:>7} {:>6} {:>6}",
+                    name,
+                    strategy.name(),
+                    r.throughput,
+                    r.p50_iteration.to_string(),
+                    r.p99_iteration.to_string(),
+                    r.faults.retransmits,
+                    r.faults.messages_lost,
+                    r.faults.degraded_rounds,
+                ),
+                Err(e) => println!("{:<30} {:<12} failed: {e}", name, strategy.name()),
+            }
+        }
+        println!();
+    }
+    println!(
+        "Reading the table: a compute straggler hurts every strategy equally —\n\
+         the sync barrier is unforgiving and no communication schedule hides\n\
+         slow math. Under message loss P3 keeps its clean-network lead: drops\n\
+         cost retransmits, not correctness. A crashed worker is evicted after\n\
+         the liveness timeout and rounds complete degraded with the survivors'\n\
+         gradients — at full speed, under every strategy. The one place P3\n\
+         falls behind is a severely degraded link: at a quarter of an already\n\
+         modest NIC, its many small slices pay the per-message overhead that\n\
+         Figure 12 of the paper charges for fine slicing."
+    );
+}

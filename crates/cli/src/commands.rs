@@ -4,8 +4,12 @@
 use crate::args::{ArgError, Args};
 use core::fmt;
 use p3_allreduce::{run_allreduce, AllreduceConfig};
-use p3_cluster::{bandwidth_sweep, ClusterConfig, ClusterSim};
+use p3_cluster::{
+    bandwidth_sweep, ClusterConfig, ClusterSim, FaultPlan, LinkDegradation, StragglerEpisode,
+    WorkerCrash,
+};
 use p3_core::SyncStrategy;
+use p3_des::{SimDuration, SimTime};
 use p3_models::ModelSpec;
 use p3_net::Bandwidth;
 use p3_tensor::{gaussian_blobs, spirals};
@@ -28,6 +32,8 @@ pub enum CliError {
         /// Valid choices.
         choices: &'static str,
     },
+    /// The simulation rejected the configuration or wedged.
+    Sim(String),
 }
 
 impl fmt::Display for CliError {
@@ -40,6 +46,7 @@ impl fmt::Display for CliError {
             CliError::UnknownName { kind, value, choices } => {
                 write!(f, "unknown {kind} `{value}` (choices: {choices})")
             }
+            CliError::Sim(why) => write!(f, "{why}"),
         }
     }
 }
@@ -93,6 +100,92 @@ fn strategy_by_name(name: &str) -> Result<SyncStrategy, CliError> {
     }
 }
 
+/// Splits one episode spec on `:` and parses each field as f64.
+fn colon_fields(
+    flag: &'static str,
+    spec: &str,
+    expected: &'static str,
+) -> Result<Vec<f64>, CliError> {
+    spec.split(':')
+        .map(|f| {
+            f.trim().parse::<f64>().map_err(|_| {
+                CliError::Args(ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: spec.to_string(),
+                    expected,
+                })
+            })
+        })
+        .collect()
+}
+
+fn bad_value(flag: &'static str, value: &str, expected: &'static str) -> CliError {
+    CliError::Args(ArgError::BadValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+        expected,
+    })
+}
+
+/// Builds a [`FaultPlan`] from the fault-injection flags shared by
+/// `simulate` and `sweep`:
+///
+/// * `--loss P` — per-message drop probability in `[0, 1)`;
+/// * `--straggler W:START:DUR:SLOWDOWN` — worker W computes SLOWDOWN×
+///   slower from START for DUR seconds (comma-separated list);
+/// * `--degrade M:START:DUR:FACTOR` — machine M's NIC runs at FACTOR of
+///   nominal capacity (comma-separated list);
+/// * `--crash W:AT[:REJOIN]` — worker W's process dies at AT seconds,
+///   restarting after REJOIN seconds if given (comma-separated list).
+fn parse_fault_plan(args: &Args) -> Result<FaultPlan, CliError> {
+    let mut plan = FaultPlan::none();
+    plan.loss_probability = args.get_or("loss", 0.0, "probability in [0, 1)")?;
+    if let Some(spec) = args.get("straggler") {
+        for part in spec.split(',') {
+            let f = colon_fields("straggler", part, "W:START:DUR:SLOWDOWN")?;
+            let [w, start, dur, slowdown] = f[..] else {
+                return Err(bad_value("straggler", part, "W:START:DUR:SLOWDOWN"));
+            };
+            plan.stragglers.push(StragglerEpisode {
+                worker: w as usize,
+                start: SimTime::from_secs_f64(start),
+                duration: SimDuration::from_secs_f64(dur),
+                slowdown,
+            });
+        }
+    }
+    if let Some(spec) = args.get("degrade") {
+        for part in spec.split(',') {
+            let f = colon_fields("degrade", part, "M:START:DUR:FACTOR")?;
+            let [m, start, dur, factor] = f[..] else {
+                return Err(bad_value("degrade", part, "M:START:DUR:FACTOR"));
+            };
+            plan.link_degradations.push(LinkDegradation {
+                machine: m as usize,
+                start: SimTime::from_secs_f64(start),
+                duration: SimDuration::from_secs_f64(dur),
+                capacity_factor: factor,
+            });
+        }
+    }
+    if let Some(spec) = args.get("crash") {
+        for part in spec.split(',') {
+            let f = colon_fields("crash", part, "W:AT[:REJOIN]")?;
+            let (w, at, rejoin) = match f[..] {
+                [w, at] => (w, at, None),
+                [w, at, rejoin] => (w, at, Some(SimDuration::from_secs_f64(rejoin))),
+                _ => return Err(bad_value("crash", part, "W:AT[:REJOIN]")),
+            };
+            plan.crashes.push(WorkerCrash {
+                worker: w as usize,
+                at: SimTime::from_secs_f64(at),
+                rejoin_after: rejoin,
+            });
+        }
+    }
+    Ok(plan)
+}
+
 /// Executes a parsed command line and returns its printable output.
 ///
 /// # Errors
@@ -121,12 +214,19 @@ COMMANDS:
   models      List the model zoo with parameter statistics
   plan        Shard-plan statistics        --model M [--strategy S] [--servers N]
   simulate    One training-cluster run     --model M [--strategy S] [--machines N]
-                                           [--gbps G] [--iters N]
+                                           [--gbps G] [--iters N] [fault flags]
   sweep       Bandwidth sweep              --model M [--gbps 1,2,4] [--machines N]
+                                           [fault flags]
   allreduce   Collective-aggregation run   --model M [--gbps G] [--layerwise] [--fifo]
   train       Real data-parallel training  [--mode full|dgc|qsgd|terngrad|onebit|asgd]
                                            [--dataset spirals|blobs] [--epochs N]
   help        This text
+
+FAULT FLAGS (simulate, sweep):
+  --loss P                        drop each message with probability P
+  --straggler W:START:DUR:SLOW    worker W computes SLOW x slower (seconds)
+  --degrade M:START:DUR:FACTOR    machine M NIC at FACTOR of capacity
+  --crash W:AT[:REJOIN]           worker W dies at AT s, restarts after REJOIN s
 "
     .to_string()
 }
@@ -183,13 +283,34 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     let machines: usize = args.get_or("machines", 4, "integer")?;
     let gbps: f64 = args.get_or("gbps", 10.0, "number")?;
     let iters: u64 = args.get_or("iters", 8, "integer")?;
+    let plan = parse_fault_plan(args)?;
+    let faulty = !plan.is_empty();
     let cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
-        .with_iters(2, iters);
-    let r = ClusterSim::new(cfg).run();
-    Ok(format!(
+        .with_iters(2, iters)
+        .with_faults(plan);
+    let r = ClusterSim::new(cfg).try_run().map_err(|e| CliError::Sim(e.to_string()))?;
+    let mut out = format!(
         "throughput: {:.1} {}/sec  |  mean iteration: {}  |  stall fraction: {:.2}\n",
         r.throughput, r.unit, r.mean_iteration, r.mean_stall_fraction
-    ))
+    );
+    let _ = writeln!(
+        out,
+        "iteration p50: {}  |  p99: {}",
+        r.p50_iteration, r.p99_iteration
+    );
+    if faulty {
+        let _ = writeln!(
+            out,
+            "faults: {} lost, {} retransmits, {} gave up, {} degraded rounds, \
+             {} flows cancelled",
+            r.faults.messages_lost,
+            r.faults.retransmits,
+            r.faults.gave_up,
+            r.faults.degraded_rounds,
+            r.faults.flows_cancelled
+        );
+    }
+    Ok(out)
 }
 
 fn sweep(args: &Args) -> Result<String, CliError> {
@@ -197,15 +318,40 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     let machines: usize = args.get_or("machines", 4, "integer")?;
     let gbps = args.get_f64_list("gbps", &[1.0, 2.0, 4.0, 8.0, 16.0])?;
     let strategies = SyncStrategy::fig7_series();
-    let pts = bandwidth_sweep(&model, &strategies, machines, &gbps, 1, 5, 42);
+    let plan = parse_fault_plan(args)?;
     let mut out = String::new();
     let _ = writeln!(out, "{:>8}  {:>10}  {:>10}  {:>10}", "Gbps", "Baseline", "Slicing", "P3");
-    for p in pts {
-        let _ = writeln!(
-            out,
-            "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}",
-            p.x, p.series[0].1, p.series[1].1, p.series[2].1
-        );
+    if plan.is_empty() {
+        let pts = bandwidth_sweep(&model, &strategies, machines, &gbps, 1, 5, 42);
+        for p in pts {
+            let _ = writeln!(
+                out,
+                "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}",
+                p.x, p.series[0].1, p.series[1].1, p.series[2].1
+            );
+        }
+    } else {
+        // Fault-injected sweep: each point runs under the same plan. A
+        // configuration that wedges prints as NaN rather than aborting the
+        // sweep.
+        for &g in &gbps {
+            let t: Vec<f64> = strategies
+                .iter()
+                .map(|s| {
+                    let cfg = ClusterConfig::new(
+                        model.clone(),
+                        s.clone(),
+                        machines,
+                        Bandwidth::from_gbps(g),
+                    )
+                    .with_iters(1, 5)
+                    .with_seed(42)
+                    .with_faults(plan.clone());
+                    ClusterSim::new(cfg).try_run().map_or(f64::NAN, |r| r.throughput)
+                })
+                .collect();
+            let _ = writeln!(out, "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}", g, t[0], t[1], t[2]);
+        }
     }
     Ok(out)
 }
@@ -333,6 +479,36 @@ mod tests {
         ));
         let msg = run("plan").unwrap_err().to_string();
         assert!(msg.contains("--model"), "{msg}");
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_counters() {
+        let out = run(
+            "simulate --model resnet50 --machines 2 --gbps 20 --iters 2 \
+             --loss 0.02 --straggler 1:0:100:2.5",
+        )
+        .unwrap();
+        assert!(out.contains("throughput:"), "{out}");
+        assert!(out.contains("p99:"), "{out}");
+        assert!(out.contains("faults:"), "{out}");
+    }
+
+    #[test]
+    fn bad_fault_specs_error() {
+        assert!(matches!(
+            run("simulate --model resnet50 --straggler nope"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        assert!(matches!(
+            run("simulate --model resnet50 --crash 0:1:2:3"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        // Structurally valid but semantically invalid: surfaces the
+        // simulator's validation error instead of panicking.
+        assert!(matches!(
+            run("simulate --model resnet50 --machines 2 --loss 2.0"),
+            Err(CliError::Sim(_))
+        ));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Experiment configuration and results.
 
+use crate::faults::FaultPlan;
 use p3_core::SyncStrategy;
 use p3_des::{SimDuration, SimTime};
 use p3_models::{ComputeProfile, ModelSpec, SampleUnit};
 use p3_net::Bandwidth;
+use p3_pserver::RetryPolicy;
 
 /// Full description of one simulated training run.
 ///
@@ -59,6 +61,15 @@ pub struct ClusterConfig {
     /// orthogonal to P3 and combinable with it). Shrinks payloads; the
     /// accuracy cost of compression is measured separately by `p3-train`.
     pub wire_compression: Option<WireCompression>,
+    /// Injected faults. The default empty plan adds zero overhead and
+    /// leaves results bit-identical to a fault-free build.
+    pub faults: FaultPlan,
+    /// Timeout/retransmit policy, armed only when the fault plan can lose
+    /// messages ([`FaultPlan::needs_reliability`]).
+    pub retry: RetryPolicy,
+    /// How long servers wait for a silent worker before dropping it from
+    /// the membership and completing rounds with the survivors.
+    pub liveness_timeout: SimDuration,
 }
 
 /// Payload shrink factors of a lossy compression scheme, as seen by the
@@ -120,6 +131,9 @@ impl ClusterConfig {
             net_efficiency: 0.25,
             flow_cap: 120e6,
             wire_compression: None,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            liveness_timeout: SimDuration::from_secs(5),
         }
     }
 
@@ -141,6 +155,18 @@ impl ClusterConfig {
         assert!(measure > 0, "must measure at least one iteration");
         self.warmup_iters = warmup;
         self.measure_iters = measure;
+        self
+    }
+
+    /// Installs a fault-injection plan (validated when the run starts).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the timeout/retransmit policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -171,8 +197,67 @@ pub struct MessageStats {
     pub pull_requests: u64,
 }
 
+/// Counters of everything the fault-injection and reliability machinery
+/// did during a run. All-zero for an empty [`FaultPlan`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped by the lossy network.
+    pub messages_lost: u64,
+    /// Retransmissions sent after a retry timeout.
+    pub retransmits: u64,
+    /// Messages abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Gradient pushes discarded because their round had already completed
+    /// (re-sent by a rejoining worker, or raced a degraded completion).
+    pub stale_pushes_dropped: u64,
+    /// Gradient pushes discarded because the same worker already
+    /// contributed to that round (duplicates from a crash/rejoin replay).
+    pub duplicate_pushes_dropped: u64,
+    /// Key-rounds completed without a gradient from every configured
+    /// worker (graceful degradation after a liveness timeout).
+    pub degraded_rounds: u64,
+    /// In-flight transmissions cancelled by worker crashes.
+    pub flows_cancelled: u64,
+}
+
+/// Why a simulated run could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The event queue drained before every worker reached its iteration
+    /// target; `progress` is each worker's completed-iteration count.
+    Deadlock {
+        /// Iterations completed per worker when the queue drained.
+        progress: Vec<u64>,
+    },
+    /// The run processed more events than the safety cap — a wedged or
+    /// pathologically slow configuration.
+    EventCapExceeded {
+        /// The cap that was hit.
+        cap: u64,
+    },
+    /// The configuration is self-contradictory (e.g. a fault plan naming a
+    /// machine that does not exist).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { progress } => {
+                write!(f, "simulation deadlocked: no events left, progress {progress:?}")
+            }
+            RunError::EventCapExceeded { cap } => {
+                write!(f, "event cap {cap} exceeded — wedged simulation")
+            }
+            RunError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Outcome of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Aggregate cluster throughput in samples/sec (the paper's y-axis).
     pub throughput: f64,
@@ -182,6 +267,11 @@ pub struct RunResult {
     pub unit: SampleUnit,
     /// Mean measured iteration duration across workers.
     pub mean_iteration: SimDuration,
+    /// Median measured iteration duration, pooled across workers.
+    pub p50_iteration: SimDuration,
+    /// 99th-percentile measured iteration duration, pooled across workers
+    /// (the tail that stragglers and faults stretch).
+    pub p99_iteration: SimDuration,
     /// Mean fraction of wall time workers spent stalled waiting for
     /// parameters (the paper's "Delay" made measurable).
     pub mean_stall_fraction: f64,
@@ -191,6 +281,8 @@ pub struct RunResult {
     pub events: u64,
     /// Delivered-message counts by protocol type.
     pub messages: MessageStats,
+    /// Fault-injection and reliability counters (all zero without faults).
+    pub faults: FaultStats,
     /// Machine-0 NIC trace, when tracing was enabled.
     pub trace: Option<UtilizationTrace>,
 }
@@ -238,10 +330,13 @@ mod tests {
             per_worker_throughput: t / 4.0,
             unit: SampleUnit::Images,
             mean_iteration: SimDuration::from_secs(1),
+            p50_iteration: SimDuration::from_secs(1),
+            p99_iteration: SimDuration::from_secs(1),
             mean_stall_fraction: 0.1,
             finished_at: SimTime::from_secs(10),
             events: 0,
             messages: MessageStats::default(),
+            faults: FaultStats::default(),
             trace: None,
         };
         assert!((mk(150.0).speedup_over(&mk(100.0)) - 1.5).abs() < 1e-12);

@@ -34,11 +34,16 @@
 pub mod bound;
 mod config;
 mod egress;
+mod faults;
 pub mod gantt;
 mod sim;
 mod sweep;
 
-pub use config::{ClusterConfig, MessageStats, RunResult, UtilizationTrace, WireCompression};
+pub use config::{
+    ClusterConfig, FaultStats, MessageStats, RunError, RunResult, UtilizationTrace,
+    WireCompression,
+};
 pub use egress::{EgressUnit, OutMsg};
+pub use faults::{FaultPlan, LinkDegradation, StragglerEpisode, WorkerCrash};
 pub use sim::ClusterSim;
 pub use sweep::{bandwidth_sweep, scalability_sweep, slice_size_sweep, throughput_of, SweepPoint};

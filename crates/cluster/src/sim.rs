@@ -1,13 +1,23 @@
 //! The event-driven cluster simulator: workers computing forward/backward
 //! passes, server shards aggregating and updating, all traffic flowing
 //! through the fluid network under the configured synchronization strategy.
+//!
+//! An optional [`FaultPlan`](crate::FaultPlan) injects stragglers, degraded
+//! links, message loss, and worker crashes. Loss and crashes arm a
+//! timeout/retransmit layer ([`RetryPolicy`](p3_pserver::RetryPolicy)); a
+//! worker silent past the liveness timeout is dropped from the membership
+//! and rounds complete with the survivors' gradients (graceful
+//! degradation). The empty plan schedules no fault events and draws no
+//! extra randomness, so fault-free results stay bit-identical.
 
-use crate::config::{ClusterConfig, MessageStats, RunResult, UtilizationTrace};
+use crate::config::{
+    ClusterConfig, FaultStats, MessageStats, RunError, RunResult, UtilizationTrace,
+};
 #[allow(unused_imports)]
 use crate::config::WireCompression;
 use crate::egress::{EgressUnit, OutMsg};
 use p3_core::{Egress, PrioQueue, PullTiming, ResponseMode, ServerProcessing};
-use p3_des::{EventQueue, SimDuration, SimTime, SplitMix64};
+use p3_des::{quantile, EventQueue, SimDuration, SimTime, SplitMix64};
 use p3_models::BlockTiming;
 use p3_net::{FlowId, MachineId, Network, NetworkConfig, Priority};
 use p3_pserver::{wire_bytes, ShardPlan, HEADER_BYTES};
@@ -15,6 +25,9 @@ use std::collections::HashMap;
 
 /// Hard cap on processed events — a run that exceeds it is wedged.
 const EVENT_CAP: u64 = 500_000_000;
+
+/// Round-membership masks are `u128` bitsets, one bit per worker.
+const MAX_MACHINES: usize = 128;
 
 /// Index of a role in per-machine `[worker, server]` state arrays.
 fn role_slot(role: Role) -> usize {
@@ -39,13 +52,28 @@ enum Role {
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     StartWorker { worker: usize },
-    Compute { worker: usize, phase: Phase },
-    EgressReady { machine: usize, role: Role, dst: MachineId },
+    /// `inc` is the worker's incarnation at scheduling time; events from a
+    /// pre-crash incarnation are stale and ignored.
+    Compute { worker: usize, phase: Phase, inc: u32 },
+    EgressReady { machine: usize, role: Role, dst: MachineId, inc: u32 },
     /// A single-consumer egress may admit its next message (the consumer
     /// thread finished serializing the previous one).
     AdmitKick { machine: usize, role: Role },
     ProcDone { server: usize },
     NetWake,
+    /// A scheduled straggler episode begins/ends on its worker.
+    StragglerStart { idx: usize },
+    StragglerEnd { idx: usize },
+    /// A scheduled link degradation begins/ends on its machine.
+    LinkDegradeStart { idx: usize },
+    LinkDegradeEnd { idx: usize },
+    /// A scheduled worker-process crash / restart.
+    Crash { idx: usize },
+    Rejoin { worker: usize },
+    /// Retry timeout for one transmission attempt of one message.
+    RetryTimer { msg_id: u64, attempt: u32 },
+    /// The membership grace period for a crashed worker expired.
+    LivenessTimeout { worker: usize },
 }
 
 /// What an in-flight message is, resolved when its flow is delivered.
@@ -62,11 +90,34 @@ enum MsgKind {
     PullReq { key: usize, round: u64 },
 }
 
+/// True for message kinds originated by the worker process (destroyed when
+/// it crashes) rather than the colocated server shard.
+fn worker_originated(kind: MsgKind) -> bool {
+    matches!(kind, MsgKind::Push { .. } | MsgKind::PullReq { .. })
+}
+
+fn sender_role_of(kind: MsgKind) -> Role {
+    if worker_originated(kind) {
+        Role::Worker
+    } else {
+        Role::Server
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct MsgCtx {
     kind: MsgKind,
     src: usize,
     dst: usize,
+    /// Wire size, kept for retransmission.
+    bytes: u64,
+    /// Network priority, kept so retransmissions re-enter the egress queue
+    /// at their original urgency.
+    priority: Priority,
+    /// Transmission attempts so far (0 = first send).
+    attempt: u32,
+    /// True while a flow for this message is in the network.
+    in_flight: bool,
 }
 
 #[derive(Debug)]
@@ -84,6 +135,25 @@ struct WorkerState {
     measure_start: Option<SimTime>,
     measure_end: Option<SimTime>,
     jitter: f64,
+    /// Compute-time multiplier from an active straggler episode (1.0 when
+    /// healthy).
+    slowdown: f64,
+    /// True while the worker process is down.
+    crashed: bool,
+    /// True if the process will never restart.
+    permanently_dead: bool,
+    /// Bumped at every crash; events carrying an older incarnation are
+    /// stale echoes of the dead process and are dropped.
+    incarnation: u32,
+    /// Iteration to restart from after a rejoin: the oldest round whose
+    /// push the crash destroyed (re-pushes of already-counted keys are
+    /// deduplicated server-side).
+    resume_iter: u64,
+    /// Start instant of the iteration in progress.
+    iter_started: SimTime,
+    /// Durations (seconds) of iterations completed inside the measurement
+    /// window, for tail quantiles.
+    measured_iters: Vec<f64>,
     egress: EgressUnit,
     rng: SplitMix64,
 }
@@ -93,8 +163,10 @@ struct ServerState {
     /// Pending received gradient messages awaiting processing.
     proc_queue: PrioQueue<ProcItem>,
     proc_busy: bool,
-    /// Per-key pushes received in the current round (indexed by key).
-    received: Vec<u32>,
+    /// Per-key bitmask of workers whose push was counted this round
+    /// (indexed by key; bit per worker). A mask instead of a counter so a
+    /// rejoining worker's replayed pushes deduplicate.
+    received: Vec<u128>,
     /// Per-key completed rounds (indexed by key).
     version: Vec<u64>,
     /// Workers whose deferred pulls await each key's next version.
@@ -108,6 +180,7 @@ struct ServerState {
 struct ProcItem {
     key: usize,
     round: u64,
+    worker: usize,
 }
 
 /// One fully configured simulation, ready to [`ClusterSim::run`].
@@ -153,6 +226,15 @@ pub struct ClusterSim {
     admit_kick_at: Vec<[Option<SimTime>; 2]>,
     events: u64,
     stats: MessageStats,
+    /// Dedicated RNG stream for message-loss draws, independent of the
+    /// placement/jitter streams so enabling loss perturbs nothing else.
+    loss_rng: SplitMix64,
+    /// Workers evicted from the aggregation membership after a liveness
+    /// timeout; servers neither expect their pushes nor send to them.
+    dead_members: Vec<bool>,
+    /// Pushes required to complete a round (live membership size).
+    expected_pushes: u32,
+    faults: FaultStats,
 }
 
 impl ClusterSim {
@@ -211,6 +293,13 @@ impl ClusterSim {
                 measure_start: None,
                 measure_end: None,
                 jitter: 1.0,
+                slowdown: 1.0,
+                crashed: false,
+                permanently_dead: false,
+                incarnation: 0,
+                resume_iter: 0,
+                iter_started: SimTime::ZERO,
+                measured_iters: Vec::new(),
                 egress: mk_worker_egress(),
                 rng: rng.fork(),
             })
@@ -244,6 +333,10 @@ impl ClusterSim {
             admit_kick_at: vec![[None; 2]; cfg.machines],
             events: 0,
             stats: MessageStats::default(),
+            loss_rng: SplitMix64::new(cfg.seed ^ 0x10_55_10_55),
+            dead_members: vec![false; cfg.machines],
+            expected_pushes: cfg.machines as u32,
+            faults: FaultStats::default(),
             cfg,
         }
     }
@@ -252,51 +345,104 @@ impl ClusterSim {
     ///
     /// # Panics
     ///
-    /// Panics if the simulation deadlocks (event queue drains before all
-    /// workers finish) or exceeds the event cap.
-    pub fn run(mut self) -> RunResult {
+    /// Panics on any [`RunError`]: an invalid fault plan, a deadlocked
+    /// simulation, or an exceeded event cap. Sweeps over possibly-bad
+    /// configurations should prefer [`ClusterSim::try_run`].
+    pub fn run(self) -> RunResult {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs to completion, returning a structured error instead of
+    /// panicking when the configuration is invalid or the run wedges.
+    pub fn try_run(mut self) -> Result<RunResult, RunError> {
+        if self.cfg.machines > MAX_MACHINES {
+            return Err(RunError::InvalidConfig(format!(
+                "{} machines exceeds the {MAX_MACHINES}-machine membership mask",
+                self.cfg.machines
+            )));
+        }
+        self.cfg
+            .faults
+            .validate(self.cfg.machines)
+            .map_err(RunError::InvalidConfig)?;
+
         let target = self.cfg.warmup_iters + self.cfg.measure_iters;
         // Staggered worker starts model real cluster skew.
-        let mut rng = SplitMix64::new(self.cfg.seed ^ 0x51A6_6E2);
+        let mut rng = SplitMix64::new(self.cfg.seed ^ 0x051A_66E2);
         for w in 0..self.cfg.machines {
             let off = SimDuration::from_nanos(
                 (rng.next_f64() * self.cfg.start_stagger.as_nanos() as f64) as u64,
             );
             self.queue.schedule_at(SimTime::ZERO + off, Ev::StartWorker { worker: w });
         }
+        self.schedule_fault_plan();
 
-        while self.workers.iter().any(|w| w.completed < target) {
+        while self
+            .workers
+            .iter()
+            .any(|w| !w.permanently_dead && w.completed < target)
+        {
             let Some((_, ev)) = self.queue.pop() else {
-                panic!(
-                    "simulation deadlocked: no events left, progress {:?}",
-                    self.workers.iter().map(|w| w.completed).collect::<Vec<_>>()
-                );
+                return Err(RunError::Deadlock {
+                    progress: self.workers.iter().map(|w| w.completed).collect(),
+                });
             };
             self.events += 1;
-            assert!(self.events < EVENT_CAP, "event cap exceeded — wedged simulation");
+            if self.events >= EVENT_CAP {
+                return Err(RunError::EventCapExceeded { cap: EVENT_CAP });
+            }
             self.dispatch(ev);
         }
 
-        self.finish(target)
+        Ok(self.finish(target))
+    }
+
+    /// Schedules every episode of the fault plan. An empty plan schedules
+    /// nothing at all — fault-free runs pay zero overhead.
+    fn schedule_fault_plan(&mut self) {
+        for (i, s) in self.cfg.faults.stragglers.iter().enumerate() {
+            self.queue.schedule_at(s.start, Ev::StragglerStart { idx: i });
+            self.queue.schedule_at(s.start + s.duration, Ev::StragglerEnd { idx: i });
+        }
+        for (i, d) in self.cfg.faults.link_degradations.iter().enumerate() {
+            self.queue.schedule_at(d.start, Ev::LinkDegradeStart { idx: i });
+            self.queue.schedule_at(d.start + d.duration, Ev::LinkDegradeEnd { idx: i });
+        }
+        for (i, c) in self.cfg.faults.crashes.iter().enumerate() {
+            self.queue.schedule_at(c.at, Ev::Crash { idx: i });
+        }
     }
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::StartWorker { worker } => {
                 let now = self.queue.now();
+                if self.workers[worker].crashed {
+                    // Crashed before ever starting; Rejoin boots it.
+                    return;
+                }
                 let w = &mut self.workers[worker];
                 w.started = true;
+                w.iter_started = now;
                 if self.cfg.warmup_iters == 0 {
                     w.measure_start = Some(now);
                 }
                 self.resample_jitter(worker);
                 self.try_start_fwd(worker, 0);
             }
-            Ev::Compute { worker, phase } => match phase {
-                Phase::Fwd(b) => self.on_fwd_done(worker, b),
-                Phase::Bwd(b) => self.on_bwd_done(worker, b),
-            },
-            Ev::EgressReady { machine, role, dst } => {
+            Ev::Compute { worker, phase, inc } => {
+                if self.workers[worker].incarnation != inc {
+                    return; // echo of a crashed incarnation
+                }
+                match phase {
+                    Phase::Fwd(b) => self.on_fwd_done(worker, b),
+                    Phase::Bwd(b) => self.on_bwd_done(worker, b),
+                }
+            }
+            Ev::EgressReady { machine, role, dst, inc } => {
+                if role == Role::Worker && self.workers[machine].incarnation != inc {
+                    return; // the egress unit this completion refers to is gone
+                }
                 match role {
                     Role::Worker => self.workers[machine].egress.complete(dst),
                     Role::Server => self.servers[machine].egress.complete(dst),
@@ -327,11 +473,51 @@ impl ClusterSim {
                 }
                 self.schedule_net_wake();
             }
+            Ev::StragglerStart { idx } => {
+                let s = self.cfg.faults.stragglers[idx];
+                self.workers[s.worker].slowdown = s.slowdown;
+            }
+            Ev::StragglerEnd { idx } => {
+                let s = self.cfg.faults.stragglers[idx];
+                self.workers[s.worker].slowdown = 1.0;
+            }
+            Ev::LinkDegradeStart { idx } => {
+                let d = self.cfg.faults.link_degradations[idx];
+                let now = self.queue.now();
+                self.net.set_port_scale(
+                    now,
+                    MachineId(d.machine),
+                    d.capacity_factor,
+                    d.capacity_factor,
+                );
+                self.schedule_net_wake();
+            }
+            Ev::LinkDegradeEnd { idx } => {
+                let d = self.cfg.faults.link_degradations[idx];
+                let now = self.queue.now();
+                self.net.set_port_scale(now, MachineId(d.machine), 1.0, 1.0);
+                self.schedule_net_wake();
+            }
+            Ev::Crash { idx } => self.on_crash(idx),
+            Ev::Rejoin { worker } => self.on_rejoin(worker),
+            Ev::RetryTimer { msg_id, attempt } => self.on_retry_timer(msg_id, attempt),
+            Ev::LivenessTimeout { worker } => self.on_liveness_timeout(worker),
         }
     }
 
     // ------------------------------------------------------------------
     // Worker compute.
+
+    /// Combined compute-time multiplier: calibrated jitter times any active
+    /// straggler slowdown.
+    fn compute_scale(&self, worker: usize) -> f64 {
+        self.workers[worker].jitter * self.workers[worker].slowdown
+    }
+
+    fn schedule_compute(&mut self, worker: usize, dur: SimDuration, phase: Phase) {
+        let inc = self.workers[worker].incarnation;
+        self.queue.schedule_in(dur, Ev::Compute { worker, phase, inc });
+    }
 
     fn fwd_ready(&self, worker: usize, block: usize) -> bool {
         let need = self.workers[worker].iter;
@@ -348,8 +534,8 @@ impl ClusterSim {
             if let Some(since) = w.stalled_since.take() {
                 w.stalled_total += now - since;
             }
-            let dur = self.block_times[block].fwd.mul_f64(self.workers[worker].jitter);
-            self.queue.schedule_in(dur, Ev::Compute { worker, phase: Phase::Fwd(block) });
+            let dur = self.block_times[block].fwd.mul_f64(self.compute_scale(worker));
+            self.schedule_compute(worker, dur, Phase::Fwd(block));
         } else {
             let w = &mut self.workers[worker];
             w.waiting_block = Some(block);
@@ -364,8 +550,8 @@ impl ClusterSim {
         if block < last {
             self.try_start_fwd(worker, block + 1);
         } else {
-            let dur = self.block_times[last].bwd.mul_f64(self.workers[worker].jitter);
-            self.queue.schedule_in(dur, Ev::Compute { worker, phase: Phase::Bwd(last) });
+            let dur = self.block_times[last].bwd.mul_f64(self.compute_scale(worker));
+            self.schedule_compute(worker, dur, Phase::Bwd(last));
         }
     }
 
@@ -376,24 +562,27 @@ impl ClusterSim {
         let keys: Vec<usize> = self.keys_of_block[block].clone();
         for k in keys {
             let slice = self.plan.slice(p3_pserver::Key(k as u64));
+            let bytes = self.push_wire(slice.params);
+            let priority = Priority(self.prio[k]);
             let msg = OutMsg {
                 dst: MachineId(slice.server.0),
-                bytes: self.push_wire(slice.params),
-                priority: Priority(self.prio[k]),
-                msg_id: self.register_msg(MsgCtx {
-                    kind: MsgKind::Push { key: k, round },
-                    src: worker,
-                    dst: slice.server.0,
-                }),
+                bytes,
+                priority,
+                msg_id: self.register_msg(
+                    MsgKind::Push { key: k, round },
+                    worker,
+                    slice.server.0,
+                    bytes,
+                    priority,
+                ),
             };
             self.workers[worker].egress.enqueue(msg);
         }
         self.kick_egress(worker, Role::Worker);
 
         if block > 0 {
-            let dur = self.block_times[block - 1].bwd.mul_f64(self.workers[worker].jitter);
-            self.queue
-                .schedule_in(dur, Ev::Compute { worker, phase: Phase::Bwd(block - 1) });
+            let dur = self.block_times[block - 1].bwd.mul_f64(self.compute_scale(worker));
+            self.schedule_compute(worker, dur, Phase::Bwd(block - 1));
         } else {
             self.on_iteration_complete(worker);
         }
@@ -401,15 +590,20 @@ impl ClusterSim {
 
     fn on_iteration_complete(&mut self, worker: usize) {
         let now = self.queue.now();
+        let warmup = self.cfg.warmup_iters;
+        let target = warmup + self.cfg.measure_iters;
         let w = &mut self.workers[worker];
         w.completed += 1;
         w.iter += 1;
-        if w.completed == self.cfg.warmup_iters {
+        let dur = (now - w.iter_started).as_secs_f64();
+        w.iter_started = now;
+        if w.completed > warmup && w.completed <= target {
+            w.measured_iters.push(dur);
+        }
+        if w.completed == warmup && w.measure_start.is_none() {
             w.measure_start = Some(now);
         }
-        if w.completed == self.cfg.warmup_iters + self.cfg.measure_iters
-            && w.measure_end.is_none()
-        {
+        if w.completed == target && w.measure_end.is_none() {
             w.measure_end = Some(now);
         }
         self.resample_jitter(worker);
@@ -460,26 +654,54 @@ impl ClusterSim {
         }
     }
 
-    fn register_msg(&mut self, ctx: MsgCtx) -> u64 {
+    fn register_msg(
+        &mut self,
+        kind: MsgKind,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        priority: Priority,
+    ) -> u64 {
         let id = self.next_msg_id;
         self.next_msg_id += 1;
-        self.msgs.insert(id, ctx);
+        self.msgs.insert(
+            id,
+            MsgCtx { kind, src, dst, bytes, priority, attempt: 0, in_flight: false },
+        );
         id
     }
 
     fn send_pull_request(&mut self, worker: usize, key: usize, round: u64) {
         let slice = self.plan.slice(p3_pserver::Key(key as u64));
+        let bytes = HEADER_BYTES as u64;
+        let priority = Priority(self.prio[key]);
         let msg = OutMsg {
             dst: MachineId(slice.server.0),
-            bytes: HEADER_BYTES as u64,
-            priority: Priority(self.prio[key]),
-            msg_id: self.register_msg(MsgCtx {
-                kind: MsgKind::PullReq { key, round },
-                src: worker,
-                dst: slice.server.0,
-            }),
+            bytes,
+            priority,
+            msg_id: self.register_msg(
+                MsgKind::PullReq { key, round },
+                worker,
+                slice.server.0,
+                bytes,
+                priority,
+            ),
         };
         self.workers[worker].egress.enqueue(msg);
+    }
+
+    /// Arms the retry timer for a just-admitted message. Only called when
+    /// the fault plan can lose messages; fault-free runs never schedule
+    /// retry events.
+    fn note_admitted(&mut self, msg_id: u64, now: SimTime) {
+        if !self.cfg.faults.needs_reliability() {
+            return;
+        }
+        let Some(ctx) = self.msgs.get_mut(&msg_id) else { return };
+        ctx.in_flight = true;
+        let attempt = ctx.attempt;
+        let timeout = self.cfg.retry.timeout_for(attempt);
+        self.queue.schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
     }
 
     /// Starts any transmissions an endpoint's scheduler allows.
@@ -491,6 +713,9 @@ impl ClusterSim {
     /// serialization/syscall cost — the source of Figure 12's small-slice
     /// falloff.
     fn kick_egress(&mut self, machine: usize, role: Role) {
+        if role == Role::Worker && self.workers[machine].crashed {
+            return; // a dead process transmits nothing
+        }
         let now = self.queue.now();
         let single = {
             let unit = match role {
@@ -519,6 +744,7 @@ impl ClusterSim {
                         m.msg_id,
                     );
                     self.flows.insert(flow, m.msg_id);
+                    self.note_admitted(m.msg_id, now);
                     let next = now + self.cfg.msg_overhead;
                     self.admit_gate[machine][slot] = next;
                     let backlog = match role {
@@ -545,6 +771,7 @@ impl ClusterSim {
                     m.msg_id,
                 );
                 self.flows.insert(flow, m.msg_id);
+                self.note_admitted(m.msg_id, now);
             }
         }
         self.schedule_net_wake();
@@ -552,7 +779,7 @@ impl ClusterSim {
 
     fn schedule_admit_kick(&mut self, machine: usize, role: Role, at: SimTime) {
         let slot = role_slot(role);
-        if self.admit_kick_at[machine][slot].map_or(true, |t| at < t) {
+        if self.admit_kick_at[machine][slot].is_none_or(|t| at < t) {
             self.queue.schedule_at(at, Ev::AdmitKick { machine, role });
             self.admit_kick_at[machine][slot] = Some(at);
         }
@@ -560,7 +787,7 @@ impl ClusterSim {
 
     fn schedule_net_wake(&mut self) {
         if let Some(t) = self.net.next_event_time() {
-            if self.next_wake.map_or(true, |w| t < w) {
+            if self.next_wake.is_none_or(|w| t < w) {
                 self.queue.schedule_at(t, Ev::NetWake);
                 self.next_wake = Some(t);
             }
@@ -568,16 +795,15 @@ impl ClusterSim {
     }
 
     fn on_delivered(&mut self, msg_id: u64) {
-        let ctx = self.msgs.remove(&msg_id).expect("delivery for unknown message");
+        let ctx = *self.msgs.get(&msg_id).expect("delivery for unknown message");
         let now = self.queue.now();
 
-        // Free the sender: single-consumer units release their window slot
-        // immediately (their per-message cost was charged at admission);
+        // Free the sender: its NIC finished transmitting whether or not the
+        // message survives the network or finds its receiver alive.
+        // Single-consumer units release their window slot immediately
+        // (their per-message cost was charged at admission);
         // per-destination lanes pay the endpoint overhead before reuse.
-        let sender_role = match ctx.kind {
-            MsgKind::Push { .. } | MsgKind::PullReq { .. } => Role::Worker,
-            MsgKind::Response { .. } | MsgKind::Notify { .. } => Role::Server,
-        };
+        let sender_role = sender_role_of(ctx.kind);
         let sender_single = {
             let unit = match sender_role {
                 Role::Worker => &self.workers[ctx.src].egress,
@@ -592,10 +818,42 @@ impl ClusterSim {
             }
             self.kick_egress(ctx.src, sender_role);
         } else {
+            let inc = match sender_role {
+                Role::Worker => self.workers[ctx.src].incarnation,
+                Role::Server => 0,
+            };
             self.queue.schedule_at(
                 now + self.cfg.msg_overhead,
-                Ev::EgressReady { machine: ctx.src, role: sender_role, dst: MachineId(ctx.dst) },
+                Ev::EgressReady {
+                    machine: ctx.src,
+                    role: sender_role,
+                    dst: MachineId(ctx.dst),
+                    inc,
+                },
             );
+        }
+
+        // Lossy network: the message died in the fabric. Keep its context
+        // (marked not-in-flight) so the retry timer retransmits it.
+        // Loopback traffic never touches the fabric and cannot be lost.
+        if self.cfg.faults.loss_probability > 0.0
+            && ctx.src != ctx.dst
+            && self.loss_rng.next_f64() < self.cfg.faults.loss_probability
+        {
+            self.faults.messages_lost += 1;
+            self.msgs.get_mut(&msg_id).expect("lost message context vanished").in_flight =
+                false;
+            return;
+        }
+        self.msgs.remove(&msg_id);
+
+        // Deliveries to a crashed worker vanish at the dead endpoint. (The
+        // colocated server shard stays alive, so server-bound messages
+        // always land.)
+        let worker_bound =
+            matches!(ctx.kind, MsgKind::Response { .. } | MsgKind::Notify { .. });
+        if worker_bound && self.workers[ctx.dst].crashed {
+            return;
         }
 
         match ctx.kind {
@@ -605,7 +863,9 @@ impl ClusterSim {
                     ServerProcessing::Priority => self.prio[key],
                     ServerProcessing::Fifo => 0,
                 };
-                self.servers[ctx.dst].proc_queue.push(prio, ProcItem { key, round });
+                self.servers[ctx.dst]
+                    .proc_queue
+                    .push(prio, ProcItem { key, round, worker: ctx.src });
                 self.kick_proc(ctx.dst);
             }
             MsgKind::PullReq { key, round } => {
@@ -667,32 +927,215 @@ impl ClusterSim {
     }
 
     // ------------------------------------------------------------------
+    // Fault handling.
+
+    fn on_retry_timer(&mut self, msg_id: u64, attempt: u32) {
+        let now = self.queue.now();
+        let Some(ctx) = self.msgs.get(&msg_id) else {
+            return; // delivered or discarded in the meantime
+        };
+        if ctx.attempt != attempt {
+            return; // an older attempt's timer; a newer one is armed
+        }
+        if ctx.in_flight {
+            // Still transiting a slow network: spurious timeout, wait more.
+            let timeout = self.cfg.retry.timeout_for(attempt);
+            self.queue.schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
+            return;
+        }
+        // The message was lost. Retransmit, or abandon it once the retry
+        // budget is spent.
+        if self.cfg.retry.exhausted(attempt) {
+            self.msgs.remove(&msg_id);
+            self.faults.gave_up += 1;
+            return;
+        }
+        let (src, dst, bytes, priority, kind) = {
+            let ctx = self.msgs.get_mut(&msg_id).expect("retry context vanished");
+            ctx.attempt += 1;
+            (ctx.src, ctx.dst, ctx.bytes, ctx.priority, ctx.kind)
+        };
+        self.faults.retransmits += 1;
+        let role = sender_role_of(kind);
+        // Re-entering the egress queue at the original priority keeps the
+        // single consumer's strict priority order intact.
+        let msg = OutMsg { dst: MachineId(dst), bytes, priority, msg_id };
+        match role {
+            Role::Worker => self.workers[src].egress.enqueue(msg),
+            Role::Server => self.servers[src].egress.enqueue(msg),
+        }
+        self.kick_egress(src, role);
+    }
+
+    fn fresh_worker_egress(&self) -> EgressUnit {
+        match self.cfg.strategy.egress {
+            Egress::SingleConsumer => EgressUnit::single(self.cfg.machines),
+            Egress::PerServerFifo => EgressUnit::per_dest(self.cfg.machines),
+        }
+    }
+
+    fn on_crash(&mut self, idx: usize) {
+        let c = self.cfg.faults.crashes[idx];
+        let now = self.queue.now();
+        let w = c.worker;
+
+        // Cancel the dead process's in-network transmissions and reclaim
+        // their bandwidth.
+        let doomed: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|&(_, mid)| {
+                let ctx = &self.msgs[mid];
+                ctx.src == w && worker_originated(ctx.kind)
+            })
+            .map(|(&f, _)| f)
+            .collect();
+        for flow in doomed {
+            let cancelled = self.net.cancel_flow(now, flow);
+            debug_assert!(cancelled, "registered flow unknown to the network");
+            self.flows.remove(&flow);
+            self.faults.flows_cancelled += 1;
+        }
+
+        // Discard every worker-originated message (queued or formerly in
+        // flight) and roll the restart point back to the oldest round whose
+        // push was destroyed — on rejoin that iteration is redone, and
+        // servers deduplicate the replayed keys they already counted.
+        let mut resume = self.workers[w].iter;
+        self.msgs.retain(|_, ctx| {
+            if ctx.src == w && worker_originated(ctx.kind) {
+                if let MsgKind::Push { round, .. } = ctx.kind {
+                    resume = resume.min(round);
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        let fresh = self.fresh_worker_egress();
+        let ws = &mut self.workers[w];
+        ws.crashed = true;
+        ws.incarnation += 1;
+        ws.resume_iter = resume;
+        ws.waiting_block = None;
+        if let Some(since) = ws.stalled_since.take() {
+            ws.stalled_total += now - since;
+        }
+        ws.egress = fresh;
+        self.admit_gate[w][role_slot(Role::Worker)] = SimTime::ZERO;
+        self.admit_kick_at[w][role_slot(Role::Worker)] = None;
+
+        match c.rejoin_after {
+            None => self.workers[w].permanently_dead = true,
+            Some(after) => self.queue.schedule_at(now + after, Ev::Rejoin { worker: w }),
+        }
+        self.queue
+            .schedule_at(now + self.cfg.liveness_timeout, Ev::LivenessTimeout { worker: w });
+        self.schedule_net_wake();
+    }
+
+    fn on_rejoin(&mut self, worker: usize) {
+        let now = self.queue.now();
+        if self.dead_members[worker] {
+            // Re-admit to the membership; rounds require its pushes again.
+            self.dead_members[worker] = false;
+            self.expected_pushes += 1;
+        }
+        let w = &mut self.workers[worker];
+        let resume = w.resume_iter;
+        w.crashed = false;
+        w.iter = resume;
+        w.completed = resume;
+        w.waiting_block = None;
+        w.stalled_since = None;
+        w.iter_started = now;
+        if !w.started {
+            w.started = true;
+            if self.cfg.warmup_iters == 0 && w.measure_start.is_none() {
+                w.measure_start = Some(now);
+            }
+        }
+        self.resample_jitter(worker);
+        // Re-sync: the restarted process pulls the current state of every
+        // key (servers answer immediately with their latest version, or
+        // defer until the resumed round completes).
+        for k in 0..self.plan.num_keys() {
+            self.send_pull_request(worker, k, resume);
+        }
+        self.kick_egress(worker, Role::Worker);
+        self.try_start_fwd(worker, 0);
+    }
+
+    fn on_liveness_timeout(&mut self, worker: usize) {
+        if !self.workers[worker].crashed || self.dead_members[worker] {
+            return; // rejoined in time, or already evicted
+        }
+        self.dead_members[worker] = true;
+        self.expected_pushes -= 1;
+        // Graceful degradation: complete every round now satisfiable by the
+        // survivors alone. (The server averages over the gradients it has —
+        // the effective batch shrinks, convergence is unaffected in
+        // expectation.)
+        for s in 0..self.servers.len() {
+            let keys: Vec<usize> = (0..self.plan.num_keys())
+                .filter(|&k| {
+                    let mask = self.servers[s].received[k];
+                    mask != 0 && mask.count_ones() >= self.expected_pushes
+                })
+                .collect();
+            let any = !keys.is_empty();
+            for k in keys {
+                self.complete_round(s, k);
+            }
+            if any {
+                self.kick_egress(s, Role::Server);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Server processing.
 
     fn kick_proc(&mut self, server: usize) {
         if self.servers[server].proc_busy {
             return;
         }
-        let Some(item) = self.servers[server].proc_queue.pop() else {
+        loop {
+            let Some(item) = self.servers[server].proc_queue.pop() else {
+                return;
+            };
+            let version = self.servers[server].version[item.key];
+            if item.round < version {
+                // The round completed without this push (degraded
+                // completion, or a rejoined worker replaying old work).
+                self.faults.stale_pushes_dropped += 1;
+                continue;
+            }
+            assert_eq!(
+                version, item.round,
+                "push for round {} processed while key {} is at version {}",
+                item.round, item.key, version
+            );
+            let bit = 1u128 << item.worker;
+            if self.servers[server].received[item.key] & bit != 0 {
+                self.faults.duplicate_pushes_dropped += 1;
+                continue;
+            }
+            let params = self.plan.slice(p3_pserver::Key(item.key as u64)).params;
+            let completing = self.servers[server].received[item.key].count_ones() + 1
+                >= self.expected_pushes;
+            let mut nanos = self.cfg.proc_fixed.as_nanos() as f64
+                + self.cfg.agg_ns_per_param * params as f64;
+            if completing {
+                nanos += self.cfg.upd_ns_per_param * params as f64;
+            }
+            self.servers[server].proc_busy = true;
+            self.servers[server].current = Some(item);
+            self.queue
+                .schedule_in(SimDuration::from_nanos(nanos as u64), Ev::ProcDone { server });
             return;
-        };
-        let params = self.plan.slice(p3_pserver::Key(item.key as u64)).params;
-        let s = &self.servers[server];
-        assert_eq!(
-            s.version[item.key], item.round,
-            "push for round {} processed while key {} is at version {}",
-            item.round, item.key, s.version[item.key]
-        );
-        let completing = s.received[item.key] + 1 == self.cfg.machines as u32;
-        let mut nanos = self.cfg.proc_fixed.as_nanos() as f64
-            + self.cfg.agg_ns_per_param * params as f64;
-        if completing {
-            nanos += self.cfg.upd_ns_per_param * params as f64;
         }
-        self.servers[server].proc_busy = true;
-        self.servers[server].current = Some(item);
-        self.queue
-            .schedule_in(SimDuration::from_nanos(nanos as u64), Ev::ProcDone { server });
     }
 
     fn on_proc_done(&mut self, server: usize) {
@@ -701,44 +1144,81 @@ impl ClusterSim {
             .take()
             .expect("ProcDone without an item in flight");
         self.servers[server].proc_busy = false;
-        self.servers[server].received[item.key] += 1;
-        if self.servers[server].received[item.key] == self.cfg.machines as u32 {
-            self.servers[server].received[item.key] = 0;
-            self.servers[server].version[item.key] += 1;
-            let version = self.servers[server].version[item.key];
-            match self.cfg.strategy.response {
-                ResponseMode::ImmediateBroadcast => {
-                    for w in 0..self.cfg.machines {
-                        self.send_response_versioned(server, item.key, w, version);
-                    }
-                }
-                ResponseMode::NotifyThenPull => {
-                    if self.cfg.strategy.pull_timing == PullTiming::Eager {
-                        let bytes = HEADER_BYTES as u64;
-                        for w in 0..self.cfg.machines {
-                            let msg = OutMsg {
-                                dst: MachineId(w),
-                                bytes,
-                                priority: Priority(self.prio[item.key]),
-                                msg_id: self.register_msg(MsgCtx {
-                                    kind: MsgKind::Notify { key: item.key, version },
-                                    src: server,
-                                    dst: w,
-                                }),
-                            };
-                            self.servers[server].egress.enqueue(msg);
-                        }
-                    }
-                    // Deferred (TF-style) pulls waiting on this version:
-                    let waiting = std::mem::take(&mut self.servers[server].pending_pulls[item.key]);
-                    for w in waiting {
-                        self.send_response_versioned(server, item.key, w, version);
-                    }
+        // Re-validate: the round may have completed (degraded) while this
+        // push was in the processing unit.
+        if item.round < self.servers[server].version[item.key] {
+            self.faults.stale_pushes_dropped += 1;
+        } else {
+            let bit = 1u128 << item.worker;
+            if self.servers[server].received[item.key] & bit != 0 {
+                self.faults.duplicate_pushes_dropped += 1;
+            } else {
+                self.servers[server].received[item.key] |= bit;
+                if self.servers[server].received[item.key].count_ones()
+                    >= self.expected_pushes
+                {
+                    self.complete_round(server, item.key);
+                    self.kick_egress(server, Role::Server);
                 }
             }
-            self.kick_egress(server, Role::Server);
         }
         self.kick_proc(server);
+    }
+
+    /// Finishes one key's aggregation round: bumps the version and sends
+    /// the update out (broadcast or notify, per strategy), skipping evicted
+    /// workers. Called from normal processing and from degraded completion
+    /// after a membership change.
+    fn complete_round(&mut self, server: usize, key: usize) {
+        let mask = self.servers[server].received[key];
+        if (mask.count_ones() as usize) < self.cfg.machines {
+            self.faults.degraded_rounds += 1;
+        }
+        self.servers[server].received[key] = 0;
+        self.servers[server].version[key] += 1;
+        let version = self.servers[server].version[key];
+        match self.cfg.strategy.response {
+            ResponseMode::ImmediateBroadcast => {
+                for w in 0..self.cfg.machines {
+                    if self.dead_members[w] {
+                        continue;
+                    }
+                    self.send_response_versioned(server, key, w, version);
+                }
+            }
+            ResponseMode::NotifyThenPull => {
+                if self.cfg.strategy.pull_timing == PullTiming::Eager {
+                    let bytes = HEADER_BYTES as u64;
+                    let priority = Priority(self.prio[key]);
+                    for w in 0..self.cfg.machines {
+                        if self.dead_members[w] {
+                            continue;
+                        }
+                        let msg = OutMsg {
+                            dst: MachineId(w),
+                            bytes,
+                            priority,
+                            msg_id: self.register_msg(
+                                MsgKind::Notify { key, version },
+                                server,
+                                w,
+                                bytes,
+                                priority,
+                            ),
+                        };
+                        self.servers[server].egress.enqueue(msg);
+                    }
+                }
+                // Deferred (TF-style) pulls waiting on this version:
+                let waiting = std::mem::take(&mut self.servers[server].pending_pulls[key]);
+                for w in waiting {
+                    if self.dead_members[w] {
+                        continue;
+                    }
+                    self.send_response_versioned(server, key, w, version);
+                }
+            }
+        }
     }
 
     fn send_response(&mut self, server: usize, key: usize, worker: usize) {
@@ -748,15 +1228,19 @@ impl ClusterSim {
 
     fn send_response_versioned(&mut self, server: usize, key: usize, worker: usize, version: u64) {
         let params = self.plan.slice(p3_pserver::Key(key as u64)).params;
+        let bytes = self.response_wire(params);
+        let priority = Priority(self.prio[key]);
         let msg = OutMsg {
             dst: MachineId(worker),
-            bytes: self.response_wire(params),
-            priority: Priority(self.prio[key]),
-            msg_id: self.register_msg(MsgCtx {
-                kind: MsgKind::Response { key, version },
-                src: server,
-                dst: worker,
-            }),
+            bytes,
+            priority,
+            msg_id: self.register_msg(
+                MsgKind::Response { key, version },
+                server,
+                worker,
+                bytes,
+                priority,
+            ),
         };
         self.servers[server].egress.enqueue(msg);
     }
@@ -771,7 +1255,13 @@ impl ClusterSim {
         let mut iter_sum = 0.0;
         let mut stall_sum = 0.0;
         let mut finished_at = SimTime::ZERO;
+        let mut survivors = 0.0;
+        let mut pooled: Vec<f64> = Vec::new();
         for w in &self.workers {
+            pooled.extend_from_slice(&w.measured_iters);
+            if w.permanently_dead {
+                continue; // its partial iterations still count in the tail
+            }
             let start = w.measure_start.expect("worker never started measuring");
             let end = w.measure_end.expect("worker never finished measuring");
             assert!(w.completed >= target);
@@ -780,8 +1270,10 @@ impl ClusterSim {
             iter_sum += secs / measure_iters;
             stall_sum += w.stalled_total.as_secs_f64() / end.as_secs_f64();
             finished_at = finished_at.max(end);
+            survivors += 1.0;
         }
-        let n = self.workers.len() as f64;
+        let p50 = quantile(&pooled, 0.50).map_or(SimDuration::ZERO, SimDuration::from_secs_f64);
+        let p99 = quantile(&pooled, 0.99).map_or(SimDuration::ZERO, SimDuration::from_secs_f64);
         let trace = self.cfg.trace_bin.map(|bin| UtilizationTrace {
             bin,
             tx_gbps: self.net.tx_trace(MachineId(0)).expect("trace enabled").gbps_series(),
@@ -789,13 +1281,16 @@ impl ClusterSim {
         });
         RunResult {
             throughput: total,
-            per_worker_throughput: total / n,
+            per_worker_throughput: total / survivors,
             unit: self.cfg.model.unit(),
-            mean_iteration: SimDuration::from_secs_f64(iter_sum / n),
-            mean_stall_fraction: stall_sum / n,
+            mean_iteration: SimDuration::from_secs_f64(iter_sum / survivors),
+            p50_iteration: p50,
+            p99_iteration: p99,
+            mean_stall_fraction: stall_sum / survivors,
             finished_at,
             events: self.events,
             messages: self.stats,
+            faults: self.faults,
             trace,
         }
     }
@@ -944,6 +1439,13 @@ mod tests {
             assert!(ClusterSim::new(c).run().throughput > 0.0);
         }
     }
+
+    #[test]
+    fn tail_quantiles_are_ordered() {
+        let r = ClusterSim::new(cfg(SyncStrategy::p3(), 4.0)).run();
+        assert!(!r.p50_iteration.is_zero());
+        assert!(r.p50_iteration <= r.p99_iteration);
+    }
 }
 
 #[cfg(test)]
@@ -1057,5 +1559,262 @@ mod message_accounting_tests {
         // iteration boundary.
         assert_eq!(m.notifies, 0);
         assert!(m.pull_requests >= keys * w, "pulls {}", m.pull_requests);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::{FaultPlan, LinkDegradation, StragglerEpisode, WorkerCrash};
+    use p3_core::SyncStrategy;
+    use p3_models::ModelSpec;
+    use p3_net::Bandwidth;
+    use p3_pserver::RetryPolicy;
+
+    fn base_cfg() -> ClusterConfig {
+        ClusterConfig::new(
+            ModelSpec::resnet50(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(8.0),
+        )
+        .with_iters(1, 3)
+        .with_seed(7)
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        // The pay-for-what-you-use guarantee: installing an empty plan must
+        // not shift a single event or random draw.
+        let clean = ClusterSim::new(base_cfg()).run();
+        let with_plan = ClusterSim::new(base_cfg().with_faults(FaultPlan::none())).run();
+        assert_eq!(clean, with_plan);
+        assert_eq!(clean.events, with_plan.events);
+        assert_eq!(clean.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn straggler_stretches_the_tail() {
+        let plan = FaultPlan {
+            stragglers: vec![StragglerEpisode {
+                worker: 1,
+                start: SimTime::ZERO,
+                duration: SimDuration::from_secs(1_000),
+                slowdown: 3.0,
+            }],
+            ..FaultPlan::none()
+        };
+        let clean = ClusterSim::new(base_cfg()).run();
+        let slow = ClusterSim::new(base_cfg().with_faults(plan)).run();
+        assert!(
+            slow.throughput < clean.throughput,
+            "straggler did not hurt: {} vs {}",
+            slow.throughput,
+            clean.throughput
+        );
+        assert!(
+            slow.p99_iteration > clean.p99_iteration,
+            "straggler did not stretch p99: {:?} vs {:?}",
+            slow.p99_iteration,
+            clean.p99_iteration
+        );
+    }
+
+    #[test]
+    fn degraded_link_slows_the_run() {
+        let plan = FaultPlan {
+            link_degradations: vec![LinkDegradation {
+                machine: 0,
+                start: SimTime::ZERO,
+                duration: SimDuration::from_secs(1_000),
+                capacity_factor: 0.1,
+            }],
+            ..FaultPlan::none()
+        };
+        let clean = ClusterSim::new(base_cfg()).run();
+        let degraded = ClusterSim::new(base_cfg().with_faults(plan)).run();
+        assert!(
+            degraded.throughput < clean.throughput * 0.95,
+            "10% link capacity barely hurt: {} vs {}",
+            degraded.throughput,
+            clean.throughput
+        );
+    }
+
+    #[test]
+    fn lossy_network_retransmits_and_completes() {
+        let plan = FaultPlan { loss_probability: 0.05, ..FaultPlan::none() };
+        let cfg = base_cfg()
+            .with_faults(plan)
+            .with_retry(RetryPolicy::new(SimDuration::from_millis(20), 2.0, 16));
+        let r = ClusterSim::new(cfg).run();
+        assert!(r.throughput > 0.0);
+        assert!(r.faults.messages_lost > 0, "5% loss lost nothing");
+        assert!(r.faults.retransmits > 0, "losses were never retransmitted");
+        assert_eq!(r.faults.gave_up, 0, "p=0.05^17 give-up should not occur");
+    }
+
+    #[test]
+    fn permanent_crash_degrades_and_survivors_finish() {
+        let mut cfg = base_cfg().with_faults(FaultPlan {
+            crashes: vec![WorkerCrash {
+                worker: 2,
+                at: SimTime::from_millis(400),
+                rejoin_after: None,
+            }],
+            ..FaultPlan::none()
+        });
+        cfg.liveness_timeout = SimDuration::from_millis(100);
+        let r = ClusterSim::new(cfg).run();
+        assert!(r.throughput > 0.0, "survivors failed to finish");
+        assert!(
+            r.faults.degraded_rounds > 0,
+            "no round completed without the dead worker"
+        );
+    }
+
+    #[test]
+    fn crash_with_rejoin_completes_all_workers() {
+        let mut cfg = base_cfg().with_faults(FaultPlan {
+            crashes: vec![WorkerCrash {
+                worker: 1,
+                at: SimTime::from_millis(400),
+                rejoin_after: Some(SimDuration::from_millis(300)),
+            }],
+            ..FaultPlan::none()
+        });
+        // Generous liveness: membership never shrinks; peers simply wait.
+        cfg.liveness_timeout = SimDuration::from_secs(30);
+        let r = ClusterSim::new(cfg).run();
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.faults.degraded_rounds, 0, "membership should not have shrunk");
+        // The rejoin re-synced state via pull requests — a message class P3
+        // never uses in healthy runs, so any count proves the restart path
+        // executed.
+        assert!(r.messages.pull_requests > 0, "rejoin resync must pull state");
+    }
+
+    #[test]
+    fn crash_then_rejoin_after_eviction_catches_up() {
+        let mut cfg = base_cfg().with_faults(FaultPlan {
+            crashes: vec![WorkerCrash {
+                worker: 3,
+                at: SimTime::from_millis(400),
+                rejoin_after: Some(SimDuration::from_millis(500)),
+            }],
+            ..FaultPlan::none()
+        });
+        // Tight liveness: the worker is evicted, rounds degrade, then it
+        // rejoins and must re-sync and still reach its iteration target.
+        cfg.liveness_timeout = SimDuration::from_millis(50);
+        let r = ClusterSim::new(cfg).run();
+        assert!(r.throughput > 0.0);
+        assert!(r.faults.degraded_rounds > 0);
+    }
+
+    #[test]
+    fn invalid_plan_is_a_structured_error() {
+        let cfg = base_cfg().with_faults(FaultPlan {
+            stragglers: vec![StragglerEpisode {
+                worker: 99,
+                start: SimTime::ZERO,
+                duration: SimDuration::from_secs(1),
+                slowdown: 2.0,
+            }],
+            ..FaultPlan::none()
+        });
+        match ClusterSim::new(cfg).try_run() {
+            Err(RunError::InvalidConfig(why)) => assert!(why.contains("out of range")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faults_work_under_baseline_strategy_too() {
+        // The per-destination egress and notify/pull protocol take the same
+        // fault paths.
+        let mut cfg = ClusterConfig::new(
+            ModelSpec::resnet50(),
+            SyncStrategy::baseline(),
+            4,
+            Bandwidth::from_gbps(8.0),
+        )
+        .with_iters(1, 3)
+        .with_seed(7)
+        .with_faults(FaultPlan {
+            loss_probability: 0.02,
+            crashes: vec![WorkerCrash {
+                worker: 0,
+                at: SimTime::from_millis(400),
+                rejoin_after: Some(SimDuration::from_millis(200)),
+            }],
+            ..FaultPlan::none()
+        });
+        cfg.liveness_timeout = SimDuration::from_secs(30);
+        cfg.retry = RetryPolicy::new(SimDuration::from_millis(20), 2.0, 16);
+        let r = ClusterSim::new(cfg).run();
+        assert!(r.throughput > 0.0);
+        assert!(r.faults.messages_lost > 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_properties {
+    use super::*;
+    use crate::faults::{FaultPlan, StragglerEpisode, WorkerCrash};
+    use p3_core::SyncStrategy;
+    use p3_models::ModelSpec;
+    use p3_net::Bandwidth;
+    use p3_pserver::RetryPolicy;
+    use proptest::prelude::*;
+
+    fn run_with(seed: u64, loss_bp: u32, straggle: bool, crash: bool) -> RunResult {
+        let mut plan = FaultPlan::none();
+        plan.loss_probability = loss_bp as f64 / 10_000.0;
+        if straggle {
+            plan.stragglers.push(StragglerEpisode {
+                worker: 1,
+                start: SimTime::from_millis(100),
+                duration: SimDuration::from_secs(2),
+                slowdown: 2.5,
+            });
+        }
+        if crash {
+            plan.crashes.push(WorkerCrash {
+                worker: 2,
+                at: SimTime::from_millis(300),
+                rejoin_after: Some(SimDuration::from_millis(200)),
+            });
+        }
+        let mut cfg = ClusterConfig::new(
+            ModelSpec::resnet50(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(10.0),
+        )
+        .with_iters(1, 2)
+        .with_seed(seed)
+        .with_faults(plan);
+        cfg.liveness_timeout = SimDuration::from_secs(30);
+        cfg.retry = RetryPolicy::new(SimDuration::from_millis(20), 2.0, 16);
+        ClusterSim::new(cfg).run()
+    }
+
+    proptest! {
+        /// Same seed + same fault plan ⇒ bit-identical results. The entire
+        /// fault subsystem is replayable.
+        #[test]
+        fn same_seed_same_plan_is_deterministic(
+            seed in 0u64..1_000,
+            loss_sel in 0u32..3,
+            straggle_sel in 0u32..2,
+            crash_sel in 0u32..2,
+        ) {
+            let loss_bp = [0u32, 100, 500][loss_sel as usize];
+            let (straggle, crash) = (straggle_sel == 1, crash_sel == 1);
+            let a = run_with(seed, loss_bp, straggle, crash);
+            let b = run_with(seed, loss_bp, straggle, crash);
+            prop_assert_eq!(a, b);
+        }
     }
 }

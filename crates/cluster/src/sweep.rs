@@ -18,6 +18,10 @@ pub struct SweepPoint {
 }
 
 /// Measured aggregate throughput of one configuration (samples/sec).
+///
+/// Returns `NaN` if the configuration fails to run (invalid setup or a
+/// wedged simulation) so a sweep over many points survives one bad one;
+/// plotting layers skip NaN points.
 pub fn throughput_of(
     model: &ModelSpec,
     strategy: &SyncStrategy,
@@ -30,7 +34,9 @@ pub fn throughput_of(
     let cfg = ClusterConfig::new(model.clone(), strategy.clone(), machines, bandwidth)
         .with_iters(warmup, measure)
         .with_seed(seed);
-    ClusterSim::new(cfg).run().throughput
+    ClusterSim::new(cfg)
+        .try_run()
+        .map_or(f64::NAN, |r| r.throughput)
 }
 
 /// Figure 7: throughput of each strategy across NIC bandwidths on a fixed

@@ -166,8 +166,8 @@ mod tests {
         // total gradient mass (residual carries the rest).
         let mut rng = SplitMix64::new(4);
         let mut dgc = Dgc::new(50, 0.0, 0.9, 0);
-        let mut total_grad = vec![0.0f32; 50];
-        let mut total_sent = vec![0.0f32; 50];
+        let mut total_grad = [0.0f32; 50];
+        let mut total_sent = [0.0f32; 50];
         for _ in 0..100 {
             let g: Vec<f32> = (0..50).map(|_| rng.normal() as f32).collect();
             for (t, &x) in total_grad.iter_mut().zip(&g) {

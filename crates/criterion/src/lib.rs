@@ -1,0 +1,259 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the criterion API its benches use:
+//! [`Criterion::benchmark_group`]/[`Criterion::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it takes a median of
+//! per-iteration wall times over a short measurement window and prints one
+//! line per benchmark. Like the real crate, running under `cargo test`
+//! (no `--bench` argument) executes each routine once as a smoke test.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How expensive a batched setup's output is to hold in memory; the stub
+/// only uses it to pick batch granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many inputs per measurement batch.
+    SmallInput,
+    /// One input per measurement batch.
+    LargeInput,
+}
+
+/// A benchmark label with a parameter, printed as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Opaque-value identity function, mirroring `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// `cargo bench`: measure and report.
+    Measure,
+    /// `cargo test` on a harness=false bench: run each routine once.
+    Smoke,
+}
+
+/// Measures one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled in by `iter*`.
+    reported: Option<f64>,
+}
+
+/// Per-iteration budget: enough samples for a stable median without the
+/// multi-second runs of the real harness.
+const MAX_SAMPLES: usize = 30;
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the median iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if matches!(self.mode, Mode::Smoke) {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up
+        let mut samples = Vec::with_capacity(MAX_SAMPLES);
+        let window = Instant::now();
+        while samples.len() < MAX_SAMPLES && window.elapsed() < TIME_BUDGET {
+            let t = Instant::now();
+            black_box(routine());
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        self.record(samples);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if matches!(self.mode, Mode::Smoke) {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup())); // warm-up
+        let mut samples = Vec::with_capacity(MAX_SAMPLES);
+        let window = Instant::now();
+        while samples.len() < MAX_SAMPLES && window.elapsed() < TIME_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        self.record(samples);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>) {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        self.reported = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { mode: self.mode, reported: None };
+        f(&mut b);
+        match self.mode {
+            Mode::Smoke => println!("bench {id} ... ok (smoke)"),
+            Mode::Measure => match b.reported {
+                Some(ns) => println!("bench {id:<50} {}", fmt_ns(ns)),
+                None => println!("bench {id:<50} (no measurement)"),
+            },
+        }
+    }
+
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(&id.to_string(), f);
+        self
+    }
+}
+
+/// See [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its own sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark over one prepared input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.c.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Runs a single named benchmark inside this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.c.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:>10.0} ns")
+    }
+}
+
+/// Entry point used by `criterion_main!`; runs every registered group.
+pub fn runner(groups: &[fn(&mut Criterion)]) {
+    // `cargo bench` passes `--bench`; `cargo test` does not. Mirror the
+    // real crate: without it, just smoke-test each routine once.
+    let measure = std::env::args().any(|a| a == "--bench");
+    let mut c = Criterion { mode: if measure { Mode::Measure } else { Mode::Smoke } };
+    for g in groups {
+        g(&mut c);
+    }
+}
+
+/// Bundles benchmark functions under one name for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() -> &'static [fn(&mut $crate::Criterion)] {
+            &[$($target),+]
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($crate::runner($group());)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_routines_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut calls = 0;
+        c.bench_function("counted", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_a_median() {
+        let mut c = Criterion { mode: Mode::Measure };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        let mut b = Bencher { mode: Mode::Measure, reported: None };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.reported.is_some());
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).ends_with('s'));
+    }
+}

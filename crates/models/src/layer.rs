@@ -272,7 +272,7 @@ impl ModelSpec {
             let Some(m) = b.arrays.iter().map(|a| a.params).max() else {
                 continue;
             };
-            if best.map_or(true, |(_, bm)| m > bm) {
+            if best.is_none_or(|(_, bm)| m > bm) {
                 best = Some((i, m));
             }
         }

@@ -82,6 +82,7 @@ impl ModelSpec {
     /// ResNet-50 (Fig. 7b).
     pub fn inception_v3() -> ModelSpec {
         /// conv + batch-norm pair, Inception's `BasicConv2d`.
+        #[allow(clippy::too_many_arguments)]
         fn basic(s: &mut ConvStack, name: &str, out_c: u64, kh: u64, kw: u64, stride: u64, ph: u64, pw: u64) {
             s.conv2d(&format!("{name}.conv"), out_c, kh, kw, stride, ph, pw, false);
             s.batch_norm(&format!("{name}.bn"));
@@ -89,6 +90,7 @@ impl ModelSpec {
         /// Concatenation of parallel branches, each built by a closure on a
         /// fresh clone of the junction; output channels are the sum of the
         /// branch outputs.
+        #[allow(clippy::type_complexity)]
         fn module(
             s: &mut ConvStack,
             branches: Vec<Box<dyn FnOnce(&mut ConvStack)>>,

@@ -370,8 +370,8 @@ mod properties {
             let tx = vec![cap; 5];
             let rx = vec![cap; 5];
             let rates = allocate_rates(&flows, &tx, &rx);
-            let mut tx_sum = vec![0.0; 5];
-            let mut rx_sum = vec![0.0; 5];
+            let mut tx_sum = [0.0; 5];
+            let mut rx_sum = [0.0; 5];
             for (f, r) in flows.iter().zip(&rates) {
                 prop_assert!(*r >= 0.0);
                 tx_sum[f.src] += r;
@@ -391,8 +391,8 @@ mod properties {
             let tx = vec![cap; 4];
             let rx = vec![cap; 4];
             let rates = allocate_rates(&flows, &tx, &rx);
-            let mut tx_sum = vec![0.0; 4];
-            let mut rx_sum = vec![0.0; 4];
+            let mut tx_sum = [0.0; 4];
+            let mut rx_sum = [0.0; 4];
             for (f, r) in flows.iter().zip(&rates) {
                 tx_sum[f.src] += r;
                 rx_sum[f.dst] += r;

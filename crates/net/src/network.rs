@@ -161,6 +161,11 @@ pub struct Network {
     tx_traces: Vec<PortTrace>,
     rx_traces: Vec<PortTrace>,
     dirty: bool, // rates stale (flow set changed since last allocation)
+    /// Per-machine transmit capacity factor in `(0, 1]` (fault injection:
+    /// a degraded NIC or congested uplink).
+    tx_scale: Vec<f64>,
+    /// Per-machine receive capacity factor in `(0, 1]`.
+    rx_scale: Vec<f64>,
 }
 
 impl Network {
@@ -178,6 +183,7 @@ impl Network {
             ),
             None => (Vec::new(), Vec::new()),
         };
+        let machines = cfg.machines;
         Network {
             cfg,
             flows: Vec::new(),
@@ -187,6 +193,8 @@ impl Network {
             tx_traces,
             rx_traces,
             dirty: false,
+            tx_scale: vec![1.0; machines],
+            rx_scale: vec![1.0; machines],
         }
     }
 
@@ -322,6 +330,50 @@ impl Network {
         done.into_iter().map(|d| d.flow).collect()
     }
 
+    /// Rescales one machine's NIC capacity mid-run (fault injection: link
+    /// degradation). Factors apply multiplicatively to the configured
+    /// per-direction bandwidth; `1.0` restores full capacity. In-flight
+    /// flows are re-allocated from `now` onward — bytes already transferred
+    /// are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range, a factor is outside `(0, 1]`,
+    /// or `now` precedes the network's last update.
+    pub fn set_port_scale(&mut self, now: SimTime, machine: MachineId, tx: f64, rx: f64) {
+        assert!(machine.0 < self.cfg.machines, "unknown machine {machine}");
+        assert!(tx > 0.0 && tx <= 1.0, "tx scale {tx} outside (0, 1]");
+        assert!(rx > 0.0 && rx <= 1.0, "rx scale {rx} outside (0, 1]");
+        self.advance(now);
+        self.tx_scale[machine.0] = tx;
+        self.rx_scale[machine.0] = rx;
+        self.dirty = true;
+        self.reallocate();
+    }
+
+    /// Aborts an in-flight transfer (fault injection: the sending process
+    /// died, or the message was dropped). The flow's port share is
+    /// redistributed from `now` onward and its delivery never happens.
+    /// Returns `false` when the flow is unknown or already delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the network's last update.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.advance(now);
+        if let Some(i) = self.flows.iter().position(|f| f.id == id) {
+            self.flows.swap_remove(i);
+            self.dirty = true;
+            self.reallocate();
+            return true;
+        }
+        if let Some(i) = self.delivering.iter().position(|d| d.flow.id == id) {
+            self.delivering.swap_remove(i);
+            return true;
+        }
+        false
+    }
+
     /// Per-machine transmit utilization trace, if tracing was enabled.
     pub fn tx_trace(&self, machine: MachineId) -> Option<&PortTrace> {
         self.tx_traces.get(machine.0)
@@ -358,8 +410,8 @@ impl Network {
         }
         self.dirty = false;
         let cap = self.cfg.bandwidth.bytes_per_sec() * self.cfg.efficiency;
-        let tx = vec![cap; self.cfg.machines];
-        let rx = vec![cap; self.cfg.machines];
+        let tx: Vec<f64> = self.tx_scale.iter().map(|s| cap * s).collect();
+        let rx: Vec<f64> = self.rx_scale.iter().map(|s| cap * s).collect();
         let specs: Vec<FlowSpec> = self
             .flows
             .iter()
@@ -507,6 +559,70 @@ mod tests {
     }
 
     #[test]
+    fn degraded_port_slows_and_recovers() {
+        let mut n = net(2, 8.0); // 1 GB/s
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 2_000_000, Priority(0), 0);
+        // At 1 ms (1 MB in), the sender's uplink degrades to a quarter.
+        let mid = SimTime::from_millis(1);
+        assert!(n.poll(mid).is_empty());
+        n.set_port_scale(mid, MachineId(0), 0.25, 1.0);
+        // Remaining 1 MB at 0.25 GB/s = 4 ms more.
+        assert_eq!(n.next_event_time(), Some(SimTime::from_millis(5)));
+        // Recovery at 3 ms: 0.5 MB left at full rate = 0.5 ms more.
+        let later = SimTime::from_millis(3);
+        assert!(n.poll(later).is_empty());
+        n.set_port_scale(later, MachineId(0), 1.0, 1.0);
+        assert_eq!(n.next_event_time(), Some(SimTime::from_micros(3500)));
+        assert_eq!(n.poll(SimTime::from_micros(3500)).len(), 1);
+    }
+
+    #[test]
+    fn rx_degradation_binds_incast() {
+        let mut n = net(3, 8.0);
+        n.set_port_scale(SimTime::ZERO, MachineId(0), 1.0, 0.5);
+        for s in 1..3 {
+            n.start_flow(SimTime::ZERO, MachineId(s), MachineId(0), 1_000_000, Priority(0), s as u64);
+        }
+        // 2 MB through a 0.5 GB/s rx port: both finish at 4 ms.
+        let t = n.next_event_time().unwrap();
+        assert!((t.as_secs_f64() - 0.004).abs() < 1e-9, "{t}");
+        assert_eq!(n.poll(t).len(), 2);
+    }
+
+    #[test]
+    fn cancelled_flow_frees_bandwidth_and_never_delivers() {
+        let mut n = net(2, 8.0);
+        let victim =
+            n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 1);
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 2);
+        // Sharing: 0.5 GB/s each. Cancel the victim at 1 ms.
+        let mid = SimTime::from_millis(1);
+        assert!(n.poll(mid).is_empty());
+        assert!(n.cancel_flow(mid, victim));
+        assert!(!n.cancel_flow(mid, victim), "double cancel must report false");
+        // Survivor has 0.5 MB left at full rate: done at 1.5 ms.
+        let t = n.next_event_time().unwrap();
+        assert_eq!(t, SimTime::from_micros(1500));
+        let done = n.poll(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 2);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn cancel_in_delivery_stage_suppresses_delivery() {
+        let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
+            .with_latency(SimDuration::from_micros(500));
+        let mut n = Network::new(cfg);
+        let id = n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 9);
+        // Drained at 1 ms, delivery due 1.5 ms; cancel in between.
+        assert!(n.poll(SimTime::from_millis(1)).is_empty());
+        assert!(n.cancel_flow(SimTime::from_micros(1200), id));
+        assert!(n.is_idle());
+        assert_eq!(n.next_event_time(), None);
+    }
+
+    #[test]
     fn flow_ids_are_unique_and_monotone() {
         let mut n = net(2, 8.0);
         let a = n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 10, Priority(0), 0);
@@ -565,6 +681,55 @@ mod properties {
             let expect = bytes as f64 / (gbps * 1e9 / 8.0);
             prop_assert!((t.as_secs_f64() - expect).abs() < 2e-9 + expect * 1e-9);
             prop_assert_eq!(n.poll(t).len(), 1);
+        }
+
+        /// Under arbitrary mid-run cancellations, every flow is either
+        /// delivered exactly once or cancelled exactly once — never both,
+        /// never neither, and the fabric always drains.
+        #[test]
+        fn conservation_under_cancellation(
+            sizes in prop::collection::vec(1u64..3_000_000, 2..16),
+            cancel_mask in prop::collection::vec(any::<bool>(), 16),
+            gbps in 1.0f64..20.0,
+        ) {
+            let cfg = NetworkConfig::new(4, Bandwidth::from_gbps(gbps))
+                .with_latency(SimDuration::from_micros(5));
+            let mut n = Network::new(cfg);
+            let mut ids = Vec::new();
+            for (i, &s) in sizes.iter().enumerate() {
+                let src = MachineId(i % 4);
+                let dst = MachineId((i + 1 + i / 4) % 4);
+                ids.push(n.start_flow(SimTime::ZERO, src, dst, s, Priority((i % 3) as u32), i as u64));
+            }
+            // Cancel the masked flows at the first network event instant.
+            let mid = n.next_event_time().unwrap();
+            let mut cancelled = vec![false; sizes.len()];
+            let early = n.poll(mid);
+            let mut delivered = vec![false; sizes.len()];
+            for c in &early {
+                delivered[c.tag as usize] = true;
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                if cancel_mask[i] && !delivered[i] {
+                    cancelled[i] = n.cancel_flow(mid, id);
+                    prop_assert!(cancelled[i], "live flow {i} failed to cancel");
+                }
+            }
+            let mut guard = 0;
+            while let Some(t) = n.next_event_time() {
+                guard += 1;
+                prop_assert!(guard < 10_000, "network did not drain");
+                for c in n.poll(t) {
+                    let i = c.tag as usize;
+                    prop_assert!(!delivered[i], "flow {i} delivered twice");
+                    prop_assert!(!cancelled[i], "cancelled flow {i} was delivered");
+                    delivered[i] = true;
+                }
+            }
+            for i in 0..sizes.len() {
+                prop_assert!(delivered[i] ^ cancelled[i], "flow {i}: delivered={} cancelled={}", delivered[i], cancelled[i]);
+            }
+            prop_assert!(n.is_idle());
         }
 
         /// Aggregate goodput through one port never exceeds its capacity.

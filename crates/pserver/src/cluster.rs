@@ -229,7 +229,7 @@ mod tests {
         let plan = sliced_plan(&[10], 3, 4);
         let mut kv = KvCluster::new(plan, 1, OptimizerKind::Sgd { lr: 1.0 });
         let init: Vec<f32> = (0..10).map(|i| i as f32).collect();
-        kv.init_arrays(&[init.clone()]);
+        kv.init_arrays(std::slice::from_ref(&init));
         assert_eq!(kv.pull_array(0), init);
         // Gradient equal to the values themselves zeroes the array.
         kv.push_array(WorkerId(0), 0, &init);

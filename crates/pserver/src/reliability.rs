@@ -1,0 +1,160 @@
+//! Timeout/retransmit policy for the push/pull protocol.
+//!
+//! The baseline protocol assumes a perfect transport: every message sent is
+//! eventually delivered. Under injected faults (lossy links, worker
+//! crashes) that assumption breaks, so the cluster simulator arms a retry
+//! timer per in-flight message. [`RetryPolicy`] is the pure policy half of
+//! that mechanism: given an attempt number it answers "how long do we wait
+//! before retransmitting?", with exponential backoff and a bounded retry
+//! budget. Keeping it here — beside the wire protocol it protects — lets
+//! both the simulator and any future real transport share one policy.
+
+use p3_des::SimDuration;
+
+/// Exponential-backoff retransmission policy for unacknowledged messages.
+///
+/// Attempt `n` (0-based) times out after `base_timeout * backoff^n`,
+/// saturating at [`RetryPolicy::MAX_TIMEOUT`]. After `max_retries`
+/// retransmissions the sender gives up on the message.
+///
+/// # Examples
+///
+/// ```
+/// use p3_des::SimDuration;
+/// use p3_pserver::RetryPolicy;
+///
+/// let p = RetryPolicy::new(SimDuration::from_millis(10), 2.0, 8);
+/// assert_eq!(p.timeout_for(0), SimDuration::from_millis(10));
+/// assert_eq!(p.timeout_for(2), SimDuration::from_millis(40));
+/// assert!(p.exhausted(8));
+/// assert!(!p.exhausted(7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Timeout before the first retransmission.
+    pub base_timeout: SimDuration,
+    /// Multiplicative backoff factor per attempt (>= 1).
+    pub backoff: f64,
+    /// Retransmissions allowed before giving up on a message.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// Ceiling on any single timeout: 60 simulated seconds.
+    pub const MAX_TIMEOUT: SimDuration = SimDuration::from_secs(60);
+
+    /// Creates a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_timeout` is zero or `backoff < 1`.
+    pub fn new(base_timeout: SimDuration, backoff: f64, max_retries: u32) -> Self {
+        assert!(base_timeout.as_nanos() > 0, "base timeout must be positive");
+        assert!(backoff >= 1.0, "backoff must be >= 1, got {backoff}");
+        RetryPolicy { base_timeout, backoff, max_retries }
+    }
+
+    /// Timeout armed for the given 0-based attempt:
+    /// `base_timeout * backoff^attempt`, capped at [`Self::MAX_TIMEOUT`].
+    pub fn timeout_for(&self, attempt: u32) -> SimDuration {
+        let cap = Self::MAX_TIMEOUT.as_nanos() as f64;
+        let scaled = self.base_timeout.as_nanos() as f64 * self.backoff.powi(attempt as i32);
+        SimDuration::from_nanos(scaled.min(cap) as u64)
+    }
+
+    /// True once `attempt` exceeds the retry budget: the message is
+    /// abandoned rather than retransmitted again.
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt >= self.max_retries
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 50 ms base, doubling per attempt, 16 retransmissions — generous
+    /// enough that a message survives p=0.5 loss with probability
+    /// 1 − 2⁻¹⁷.
+    fn default() -> Self {
+        RetryPolicy::new(SimDuration::from_millis(50), 2.0, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles() {
+        let p = RetryPolicy::new(SimDuration::from_millis(5), 2.0, 4);
+        assert_eq!(p.timeout_for(0).as_millis_f64(), 5.0);
+        assert_eq!(p.timeout_for(1).as_millis_f64(), 10.0);
+        assert_eq!(p.timeout_for(3).as_millis_f64(), 40.0);
+    }
+
+    #[test]
+    fn timeout_saturates_at_cap() {
+        let p = RetryPolicy::new(SimDuration::from_secs(1), 10.0, 32);
+        assert_eq!(p.timeout_for(30), RetryPolicy::MAX_TIMEOUT);
+    }
+
+    #[test]
+    fn unit_backoff_is_constant() {
+        let p = RetryPolicy::new(SimDuration::from_millis(7), 1.0, 3);
+        for a in 0..10 {
+            assert_eq!(p.timeout_for(a), SimDuration::from_millis(7));
+        }
+    }
+
+    #[test]
+    fn exhaustion_boundary() {
+        let p = RetryPolicy::new(SimDuration::from_millis(1), 2.0, 3);
+        assert!(!p.exhausted(0));
+        assert!(!p.exhausted(2));
+        assert!(p.exhausted(3));
+        assert!(p.exhausted(100));
+    }
+
+    #[test]
+    fn zero_retries_gives_up_immediately() {
+        let p = RetryPolicy::new(SimDuration::from_millis(1), 2.0, 0);
+        assert!(p.exhausted(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff must be >= 1")]
+    fn shrinking_backoff_rejected() {
+        RetryPolicy::new(SimDuration::from_millis(1), 0.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "base timeout must be positive")]
+    fn zero_base_rejected() {
+        RetryPolicy::new(SimDuration::from_nanos(0), 2.0, 1);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Timeouts never decrease with the attempt number and never exceed
+        /// the cap — the invariants that make retransmission converge
+        /// instead of hammering a congested link.
+        #[test]
+        fn timeouts_monotone_and_bounded(
+            base_ms in 1u64..5_000,
+            backoff in 1.0f64..8.0,
+            retries in 0u32..64,
+        ) {
+            let p = RetryPolicy::new(SimDuration::from_millis(base_ms), backoff, retries);
+            let mut last = SimDuration::from_nanos(0);
+            for a in 0..retries.saturating_add(2) {
+                let t = p.timeout_for(a);
+                prop_assert!(t >= last, "timeout shrank at attempt {}", a);
+                prop_assert!(t <= RetryPolicy::MAX_TIMEOUT);
+                last = t;
+            }
+        }
+    }
+}

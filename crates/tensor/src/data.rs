@@ -91,8 +91,8 @@ pub fn gaussian_blobs(
         let mut ys = Vec::with_capacity(n);
         for i in 0..n {
             let c = i % classes;
-            for d in 0..dim {
-                xs.push((centers[c][d] + rng.normal() * noise) as f32);
+            for &cd in centers[c].iter().take(dim) {
+                xs.push((cd + rng.normal() * noise) as f32);
             }
             ys.push(c);
         }

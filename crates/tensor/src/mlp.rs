@@ -258,6 +258,7 @@ mod tests {
         let (_, grads) = mlp.loss_and_grads(&x, &y);
         let eps = 1e-3f32;
         // Check a sample of weight coordinates in both layers.
+        #[allow(clippy::needless_range_loop)]
         for layer in 0..2 {
             for &(r, c) in &[(0usize, 0usize), (1, 2), (2, 1)] {
                 let orig = mlp.layers[layer].w.get(r, c);

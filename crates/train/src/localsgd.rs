@@ -98,7 +98,7 @@ pub fn train_local_sgd(data: &Dataset, cfg: &TrainConfig, period: u32) -> TrainR
                 w.model.import_arrays(&arrays);
             }
             step += 1;
-            if step % period == 0 {
+            if step.is_multiple_of(period) {
                 let mut models: Vec<&mut Mlp> =
                     workers.iter_mut().map(|w| &mut w.model).collect();
                 average_parameters(&mut models, &array_lens);

@@ -10,7 +10,7 @@ use crate::config::{SyncMode, TrainConfig, TrainRun};
 use crate::sync::train_sync;
 use crate::asgd::train_async;
 use p3_tensor::Dataset;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs one training job per `(config, mode)` pair, in parallel, returning
 /// results in input order.
@@ -36,21 +36,21 @@ use parking_lot::Mutex;
 /// ```
 pub fn sweep(data: &Dataset, jobs: &[(TrainConfig, SyncMode)]) -> Vec<TrainRun> {
     let results: Mutex<Vec<Option<TrainRun>>> = Mutex::new(vec![None; jobs.len()]);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, (cfg, mode)) in jobs.iter().enumerate() {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let run = match mode {
                     SyncMode::Async { staleness } => train_async(data, cfg, *staleness),
                     other => train_sync(data, cfg, *other),
                 };
-                results.lock()[i] = Some(run);
+                results.lock().expect("sweep mutex poisoned")[i] = Some(run);
             });
         }
-    })
-    .expect("sweep thread panicked");
+    });
     results
         .into_inner()
+        .expect("sweep mutex poisoned")
         .into_iter()
         .map(|r| r.expect("every job produces a run"))
         .collect()

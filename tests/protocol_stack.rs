@@ -5,7 +5,7 @@
 use bytes::BytesMut;
 use p3::core::{p3_plan, SyncStrategy};
 use p3::models::ModelSpec;
-use p3::pserver::{Key, KvServer, Message, OptimizerKind, PushOutcome, WorkerId};
+use p3::pserver::{KvServer, Message, OptimizerKind, PushOutcome, WorkerId};
 
 #[test]
 fn sliced_pushes_roundtrip_the_wire_and_update_the_server() {
