@@ -13,6 +13,7 @@ use p3_des::{SimDuration, SimTime};
 use p3_models::ModelSpec;
 use p3_net::Bandwidth;
 use p3_tensor::{gaussian_blobs, spirals};
+use p3_trace::{chrome_trace_json, MetricsRegistry};
 use p3_train::{train_async, train_sync, SyncMode, TrainConfig};
 use std::fmt::Write as _;
 
@@ -34,6 +35,8 @@ pub enum CliError {
     },
     /// The simulation rejected the configuration or wedged.
     Sim(String),
+    /// Writing an output file (trace/metrics export) failed.
+    Io(String),
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +50,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown {kind} `{value}` (choices: {choices})")
             }
             CliError::Sim(why) => write!(f, "{why}"),
+            CliError::Io(why) => write!(f, "{why}"),
         }
     }
 }
@@ -198,6 +202,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "models" => Ok(models_table()),
         "plan" => plan(args),
         "simulate" => simulate(args),
+        "timeline" => timeline(args),
         "sweep" => sweep(args),
         "allreduce" => allreduce(args),
         "train" => train(args),
@@ -215,6 +220,9 @@ COMMANDS:
   plan        Shard-plan statistics        --model M [--strategy S] [--servers N]
   simulate    One training-cluster run     --model M [--strategy S] [--machines N]
                                            [--gbps G] [--iters N] [fault flags]
+                                           [--trace-out F] [--metrics-out F]
+  timeline    ASCII Gantt of a traced run  --model M [--strategy S] [--machines N]
+                                           [--gbps G] [--iters N] [--width W]
   sweep       Bandwidth sweep              --model M [--gbps 1,2,4] [--machines N]
                                            [fault flags]
   allreduce   Collective-aggregation run   --model M [--gbps G] [--layerwise] [--fifo]
@@ -227,6 +235,10 @@ FAULT FLAGS (simulate, sweep):
   --straggler W:START:DUR:SLOW    worker W computes SLOW x slower (seconds)
   --degrade M:START:DUR:FACTOR    machine M NIC at FACTOR of capacity
   --crash W:AT[:REJOIN]           worker W dies at AT s, restarts after REJOIN s
+
+TRACE FLAGS (simulate):
+  --trace-out FILE                write a Chrome trace-event JSON (Perfetto-loadable)
+  --metrics-out FILE              write the derived metrics registry as JSON
 "
     .to_string()
 }
@@ -285,10 +297,16 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     let iters: u64 = args.get_or("iters", 8, "integer")?;
     let plan = parse_fault_plan(args)?;
     let faulty = !plan.is_empty();
-    let cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let metrics_out = args.get("metrics-out").map(str::to_string);
+    let mut cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
         .with_iters(2, iters)
         .with_faults(plan);
-    let r = ClusterSim::new(cfg).try_run().map_err(|e| CliError::Sim(e.to_string()))?;
+    if trace_out.is_some() || metrics_out.is_some() {
+        cfg = cfg.with_slice_trace();
+    }
+    let (r, log) =
+        ClusterSim::new(cfg).try_run_traced().map_err(|e| CliError::Sim(e.to_string()))?;
     let mut out = format!(
         "throughput: {:.1} {}/sec  |  mean iteration: {}  |  stall fraction: {:.2}\n",
         r.throughput, r.unit, r.mean_iteration, r.mean_stall_fraction
@@ -298,6 +316,21 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         "iteration p50: {}  |  p99: {}",
         r.p50_iteration, r.p99_iteration
     );
+    let stalls: Vec<String> =
+        r.stalled_per_worker.iter().map(|d| format!("{d}")).collect();
+    let _ = writeln!(out, "stall per worker: [{}]", stalls.join(", "));
+    if let Some(log) = &log {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, chrome_trace_json(log, machines))
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            let _ = writeln!(out, "chrome trace written: {path}");
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, MetricsRegistry::from_trace(log).to_json())
+                .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            let _ = writeln!(out, "metrics written: {path}");
+        }
+    }
     if faulty {
         let _ = writeln!(
             out,
@@ -311,6 +344,30 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+/// Runs a short traced simulation and renders the first `--iters`
+/// iterations as an ASCII Gantt chart (rows: per-worker compute/stall,
+/// per-machine tx/rx, per-server aggregation).
+fn timeline(args: &Args) -> Result<String, CliError> {
+    let model = model_by_name(args.require("model")?)?;
+    let strategy = strategy_by_name(args.get("strategy").unwrap_or("p3"))?;
+    let machines: usize = args.get_or("machines", 2, "integer")?;
+    let gbps: f64 = args.get_or("gbps", 10.0, "number")?;
+    let iters: u64 = args.get_or("iters", 1, "integer")?;
+    let width: usize = args.get_or("width", 72, "integer")?;
+    if width == 0 {
+        return Err(bad_value("width", "0", "positive integer"));
+    }
+    // Run one iteration past the rendered window so every span inside the
+    // window has its end event on record (open spans are dropped).
+    let cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
+        .with_iters(0, iters.max(1) + 1)
+        .with_slice_trace();
+    let (_, log) =
+        ClusterSim::new(cfg).try_run_traced().map_err(|e| CliError::Sim(e.to_string()))?;
+    let log = log.expect("tracing was enabled");
+    Ok(p3_cluster::ascii_timeline(&log, machines, iters, width))
 }
 
 fn sweep(args: &Args) -> Result<String, CliError> {
@@ -515,5 +572,54 @@ mod tests {
     fn allreduce_runs_small() {
         let out = run("allreduce --model resnet50 --machines 2 --gbps 20").unwrap();
         assert!(out.contains("throughput:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_reports_per_worker_stall() {
+        let out = run("simulate --model resnet50 --strategy p3 --machines 2 --gbps 20 --iters 2")
+            .unwrap();
+        assert!(out.contains("stall per worker: ["), "{out}");
+    }
+
+    #[test]
+    fn simulate_writes_trace_and_metrics_files() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("p3_cli_trace_{}.json", std::process::id()));
+        let metrics = dir.join(format!("p3_cli_metrics_{}.json", std::process::id()));
+        let line = format!(
+            "simulate --model resnet50 --machines 2 --gbps 20 --iters 2 \
+             --trace-out {} --metrics-out {}",
+            trace.display(),
+            metrics.display()
+        );
+        let out = run(&line).unwrap();
+        assert!(out.contains("chrome trace written:"), "{out}");
+        assert!(out.contains("metrics written:"), "{out}");
+
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        let spans = p3_trace::validate_chrome_trace(&doc).expect("schema-valid trace");
+        assert!(!spans.is_empty(), "trace has no complete spans");
+
+        let mdoc = std::fs::read_to_string(&metrics).unwrap();
+        assert!(mdoc.contains("\"counters\""), "{mdoc}");
+        assert!(mdoc.contains("enqueue_push"), "{mdoc}");
+
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn timeline_renders_a_gantt() {
+        let out = run("timeline --model resnet50 --machines 2 --gbps 20 --iters 1").unwrap();
+        assert!(out.contains("w0 compute"), "{out}");
+        assert!(out.contains('#'), "{out}");
+    }
+
+    #[test]
+    fn timeline_rejects_zero_width() {
+        assert!(matches!(
+            run("timeline --model resnet50 --machines 2 --width 0"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
     }
 }

@@ -46,6 +46,12 @@ pub struct ClusterConfig {
     pub latency: SimDuration,
     /// If set, record machine-0 NIC utilization with this bin width.
     pub trace_bin: Option<SimDuration>,
+    /// Record the full slice-lifecycle event trace (`p3-trace`): compute
+    /// and stall spans, egress enqueues, wire transfers, server
+    /// aggregation, round completions and fault events. Off by default;
+    /// recording draws no randomness and schedules nothing, so results are
+    /// bit-identical either way.
+    pub slice_trace: bool,
     /// Maximum random offset of worker start times (cluster skew).
     pub start_stagger: SimDuration,
     /// Fraction of nominal NIC bandwidth usable as goodput (tc shaping,
@@ -127,6 +133,7 @@ impl ClusterConfig {
             upd_ns_per_param: 3.0,
             latency: SimDuration::from_micros(50),
             trace_bin: None,
+            slice_trace: false,
             start_stagger: SimDuration::from_millis(2),
             net_efficiency: 0.25,
             flow_cap: 120e6,
@@ -155,6 +162,13 @@ impl ClusterConfig {
         assert!(measure > 0, "must measure at least one iteration");
         self.warmup_iters = warmup;
         self.measure_iters = measure;
+        self
+    }
+
+    /// Enables the slice-lifecycle event trace (see
+    /// [`ClusterConfig::slice_trace`]).
+    pub fn with_slice_trace(mut self) -> Self {
+        self.slice_trace = true;
         self
     }
 
@@ -275,6 +289,9 @@ pub struct RunResult {
     /// Mean fraction of wall time workers spent stalled waiting for
     /// parameters (the paper's "Delay" made measurable).
     pub mean_stall_fraction: f64,
+    /// Total time each worker spent stalled waiting for parameters, over
+    /// the whole run (warm-up included), indexed by machine.
+    pub stalled_per_worker: Vec<SimDuration>,
     /// Simulated instant at which the last worker finished measuring.
     pub finished_at: SimTime,
     /// Total simulator events processed (diagnostics).
@@ -333,6 +350,7 @@ mod tests {
             p50_iteration: SimDuration::from_secs(1),
             p99_iteration: SimDuration::from_secs(1),
             mean_stall_fraction: 0.1,
+            stalled_per_worker: vec![SimDuration::from_millis(100); 4],
             finished_at: SimTime::from_secs(10),
             events: 0,
             messages: MessageStats::default(),

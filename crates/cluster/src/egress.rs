@@ -153,6 +153,15 @@ impl EgressUnit {
         }
     }
 
+    /// Number of messages currently in flight (admitted but not yet
+    /// completed).
+    pub fn in_flight(&self) -> usize {
+        match self {
+            EgressUnit::Single { in_flight, .. } => *in_flight,
+            EgressUnit::PerDest { busy, .. } => busy.iter().filter(|b| **b).count(),
+        }
+    }
+
     /// Number of queued (not yet in-flight) messages.
     pub fn backlog(&self) -> usize {
         match self {
@@ -260,5 +269,73 @@ mod tests {
     #[should_panic(expected = "completed while idle")]
     fn spurious_completion_panics() {
         EgressUnit::single(1).complete(MachineId(0));
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn msg(dst: usize, prio: u32, id: u64) -> OutMsg {
+        OutMsg { dst: MachineId(dst), bytes: 100, priority: Priority(prio), msg_id: id }
+    }
+
+    proptest! {
+        /// Under any interleaving of enqueue / admit / complete, a
+        /// single-consumer unit never lets `in_flight` exceed its window.
+        #[test]
+        fn single_window_never_exceeded(
+            window in 1usize..4,
+            ops in prop::collection::vec(0u8..3, 1..80),
+        ) {
+            let mut e = EgressUnit::single(window);
+            let mut next_id = 0u64;
+            let mut inflight: Vec<MachineId> = Vec::new();
+            for op in ops {
+                match op {
+                    0 => {
+                        e.enqueue(msg((next_id % 3) as usize, (next_id % 5) as u32, next_id));
+                        next_id += 1;
+                    }
+                    1 => {
+                        if let Some(m) = e.start_one() {
+                            inflight.push(m.dst);
+                        }
+                    }
+                    _ => {
+                        if let Some(d) = inflight.pop() {
+                            e.complete(d);
+                        }
+                    }
+                }
+                prop_assert!(e.in_flight() <= window, "in_flight {} > window {}", e.in_flight(), window);
+                prop_assert_eq!(e.in_flight(), inflight.len());
+            }
+        }
+
+        /// A single-consumer unit drains strictly by priority class, FIFO
+        /// within a class (ids are assigned in enqueue order).
+        #[test]
+        fn drain_order_is_priority_then_fifo(
+            prios in prop::collection::vec(0u32..4, 1..40),
+        ) {
+            let mut e = EgressUnit::single(1);
+            for (i, &p) in prios.iter().enumerate() {
+                e.enqueue(msg(0, p, i as u64));
+            }
+            let mut drained = Vec::new();
+            while let Some(m) = e.start_one() {
+                drained.push((m.priority.0, m.msg_id));
+                e.complete(m.dst);
+            }
+            prop_assert_eq!(drained.len(), prios.len());
+            for w in drained.windows(2) {
+                prop_assert!(
+                    w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                    "out of order: {:?} then {:?}", w[0], w[1]
+                );
+            }
+        }
     }
 }

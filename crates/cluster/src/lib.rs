@@ -38,6 +38,7 @@ mod faults;
 pub mod gantt;
 mod sim;
 mod sweep;
+mod timeline;
 
 pub use config::{
     ClusterConfig, FaultStats, MessageStats, RunError, RunResult, UtilizationTrace,
@@ -47,3 +48,4 @@ pub use egress::{EgressUnit, OutMsg};
 pub use faults::{FaultPlan, LinkDegradation, StragglerEpisode, WorkerCrash};
 pub use sim::ClusterSim;
 pub use sweep::{bandwidth_sweep, scalability_sweep, slice_size_sweep, throughput_of, SweepPoint};
+pub use timeline::{ascii_timeline, timeline_schedule};

@@ -20,7 +20,10 @@ use p3_core::{Egress, PrioQueue, PullTiming, ResponseMode, ServerProcessing};
 use p3_des::{quantile, EventQueue, SimDuration, SimTime, SplitMix64};
 use p3_models::BlockTiming;
 use p3_net::{FlowId, MachineId, Network, NetworkConfig, Priority};
-use p3_pserver::{wire_bytes, ShardPlan, HEADER_BYTES};
+use p3_pserver::{wire_bytes, RetryDecision, ShardPlan, HEADER_BYTES};
+use p3_trace::{
+    ComputePhase, EndpointRole, FaultKind, MsgClass, TraceEvent, TraceHandle, TraceLog,
+};
 use std::collections::HashMap;
 
 /// Hard cap on processed events — a run that exceeds it is wedged.
@@ -101,6 +104,25 @@ fn sender_role_of(kind: MsgKind) -> Role {
         Role::Worker
     } else {
         Role::Server
+    }
+}
+
+/// Trace vocabulary for a message kind: protocol class, slice key, and
+/// round (or version, for server→worker messages).
+fn class_of(kind: MsgKind) -> (MsgClass, usize, u64) {
+    match kind {
+        MsgKind::Push { key, round } => (MsgClass::Push, key, round),
+        MsgKind::Response { key, version } => (MsgClass::Response, key, version),
+        MsgKind::Notify { key, version } => (MsgClass::Notify, key, version),
+        MsgKind::PullReq { key, round } => (MsgClass::PullRequest, key, round),
+    }
+}
+
+/// Trace vocabulary for a compute phase.
+fn trace_phase(phase: Phase) -> (ComputePhase, usize) {
+    match phase {
+        Phase::Fwd(b) => (ComputePhase::Forward, b),
+        Phase::Bwd(b) => (ComputePhase::Backward, b),
     }
 }
 
@@ -235,6 +257,11 @@ pub struct ClusterSim {
     /// Pushes required to complete a round (live membership size).
     expected_pushes: u32,
     faults: FaultStats,
+    /// Slice-lifecycle event recorder, present only when
+    /// [`ClusterConfig::slice_trace`] is set. Recording draws no
+    /// randomness and schedules nothing, so results are bit-identical with
+    /// it on or off.
+    tracer: Option<TraceHandle>,
 }
 
 impl ClusterSim {
@@ -316,9 +343,15 @@ impl ClusterSim {
             })
             .collect();
 
+        let tracer = cfg.slice_trace.then(TraceHandle::default);
+        let mut net = Network::new(net_cfg);
+        if let Some(t) = &tracer {
+            net.set_tracer(t.clone());
+        }
+
         ClusterSim {
             queue: EventQueue::new(),
-            net: Network::new(net_cfg),
+            net,
             workers,
             servers,
             plan,
@@ -337,6 +370,7 @@ impl ClusterSim {
             dead_members: vec![false; cfg.machines],
             expected_pushes: cfg.machines as u32,
             faults: FaultStats::default(),
+            tracer,
             cfg,
         }
     }
@@ -354,7 +388,24 @@ impl ClusterSim {
 
     /// Runs to completion, returning a structured error instead of
     /// panicking when the configuration is invalid or the run wedges.
-    pub fn try_run(mut self) -> Result<RunResult, RunError> {
+    pub fn try_run(self) -> Result<RunResult, RunError> {
+        self.try_run_traced().map(|(result, _)| result)
+    }
+
+    /// Runs to completion, returning the measured result together with the
+    /// recorded slice-lifecycle trace (present when
+    /// [`ClusterConfig::slice_trace`] is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`RunError`], like [`ClusterSim::run`].
+    pub fn run_traced(self) -> (RunResult, Option<TraceLog>) {
+        self.try_run_traced().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`ClusterSim::try_run`], additionally returning the recorded
+    /// trace when tracing is enabled.
+    pub fn try_run_traced(mut self) -> Result<(RunResult, Option<TraceLog>), RunError> {
         if self.cfg.machines > MAX_MACHINES {
             return Err(RunError::InvalidConfig(format!(
                 "{} machines exceeds the {MAX_MACHINES}-machine membership mask",
@@ -394,7 +445,8 @@ impl ClusterSim {
             self.dispatch(ev);
         }
 
-        Ok(self.finish(target))
+        let log = self.tracer.as_ref().map(|t| t.drain());
+        Ok((self.finish(target), log))
     }
 
     /// Schedules every episode of the fault plan. An empty plan schedules
@@ -434,6 +486,8 @@ impl ClusterSim {
                 if self.workers[worker].incarnation != inc {
                     return; // echo of a crashed incarnation
                 }
+                let (tp, block) = trace_phase(phase);
+                self.trace(TraceEvent::ComputeEnd { worker, phase: tp, block });
                 match phase {
                     Phase::Fwd(b) => self.on_fwd_done(worker, b),
                     Phase::Bwd(b) => self.on_bwd_done(worker, b),
@@ -506,6 +560,61 @@ impl ClusterSim {
     }
 
     // ------------------------------------------------------------------
+    // Tracing.
+
+    /// Records one event at the current simulated time. With tracing off
+    /// this is a single branch; recording draws no randomness and
+    /// schedules nothing, preserving determinism either way.
+    #[inline]
+    fn trace(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(self.queue.now(), event);
+        }
+    }
+
+    /// Records one fault event.
+    fn trace_fault(&self, kind: FaultKind, machine: usize, msg_id: Option<u64>) {
+        self.trace(TraceEvent::Fault { kind, machine, msg_id });
+    }
+
+    /// Enqueues `msg` on an endpoint's egress, recording the enqueue (with
+    /// the post-enqueue queue depth and priority) when tracing.
+    fn enqueue_traced(
+        &mut self,
+        machine: usize,
+        role: Role,
+        msg: OutMsg,
+        class: MsgClass,
+        key: usize,
+        round: u64,
+    ) {
+        match role {
+            Role::Worker => self.workers[machine].egress.enqueue(msg),
+            Role::Server => self.servers[machine].egress.enqueue(msg),
+        }
+        if self.tracer.is_some() {
+            let queue_depth = match role {
+                Role::Worker => self.workers[machine].egress.backlog(),
+                Role::Server => self.servers[machine].egress.backlog(),
+            };
+            let erole = match role {
+                Role::Worker => EndpointRole::Worker,
+                Role::Server => EndpointRole::Server,
+            };
+            self.trace(TraceEvent::EgressEnqueue {
+                machine,
+                role: erole,
+                msg_id: msg.msg_id,
+                class,
+                key,
+                round,
+                priority: msg.priority.0,
+                queue_depth,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Worker compute.
 
     /// Combined compute-time multiplier: calibrated jitter times any active
@@ -515,6 +624,8 @@ impl ClusterSim {
     }
 
     fn schedule_compute(&mut self, worker: usize, dur: SimDuration, phase: Phase) {
+        let (tp, block) = trace_phase(phase);
+        self.trace(TraceEvent::ComputeStart { worker, phase: tp, block });
         let inc = self.workers[worker].incarnation;
         self.queue.schedule_in(dur, Ev::Compute { worker, phase, inc });
     }
@@ -529,18 +640,41 @@ impl ClusterSim {
     fn try_start_fwd(&mut self, worker: usize, block: usize) {
         let now = self.queue.now();
         if self.fwd_ready(worker, block) {
-            let w = &mut self.workers[worker];
-            w.waiting_block = None;
-            if let Some(since) = w.stalled_since.take() {
-                w.stalled_total += now - since;
+            let was_stalled = {
+                let w = &mut self.workers[worker];
+                w.waiting_block = None;
+                match w.stalled_since.take() {
+                    Some(since) => {
+                        w.stalled_total += now - since;
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if was_stalled {
+                self.trace(TraceEvent::StallEnd { worker, block });
+            }
+            if self.tracer.is_some() {
+                let round = self.workers[worker].iter;
+                for k in self.keys_of_block[block].clone() {
+                    self.trace(TraceEvent::SliceConsumed { worker, key: k, round });
+                }
             }
             let dur = self.block_times[block].fwd.mul_f64(self.compute_scale(worker));
             self.schedule_compute(worker, dur, Phase::Fwd(block));
         } else {
-            let w = &mut self.workers[worker];
-            w.waiting_block = Some(block);
-            if w.stalled_since.is_none() {
-                w.stalled_since = Some(now);
+            let newly_stalled = {
+                let w = &mut self.workers[worker];
+                w.waiting_block = Some(block);
+                if w.stalled_since.is_none() {
+                    w.stalled_since = Some(now);
+                    true
+                } else {
+                    false
+                }
+            };
+            if newly_stalled {
+                self.trace(TraceEvent::StallStart { worker, block });
             }
         }
     }
@@ -564,6 +698,7 @@ impl ClusterSim {
             let slice = self.plan.slice(p3_pserver::Key(k as u64));
             let bytes = self.push_wire(slice.params);
             let priority = Priority(self.prio[k]);
+            self.trace(TraceEvent::GradReady { worker, key: k, round, priority: priority.0 });
             let msg = OutMsg {
                 dst: MachineId(slice.server.0),
                 bytes,
@@ -576,7 +711,7 @@ impl ClusterSim {
                     priority,
                 ),
             };
-            self.workers[worker].egress.enqueue(msg);
+            self.enqueue_traced(worker, Role::Worker, msg, MsgClass::Push, k, round);
         }
         self.kick_egress(worker, Role::Worker);
 
@@ -606,6 +741,8 @@ impl ClusterSim {
         if w.completed == target && w.measure_end.is_none() {
             w.measure_end = Some(now);
         }
+        let completed = w.completed;
+        self.trace(TraceEvent::IterationEnd { worker, iter: completed });
         self.resample_jitter(worker);
 
         // TensorFlow-style: the next graph execution issues recv ops for
@@ -687,7 +824,7 @@ impl ClusterSim {
                 priority,
             ),
         };
-        self.workers[worker].egress.enqueue(msg);
+        self.enqueue_traced(worker, Role::Worker, msg, MsgClass::PullRequest, key, round);
     }
 
     /// Arms the retry timer for a just-admitted message. Only called when
@@ -841,6 +978,7 @@ impl ClusterSim {
             && self.loss_rng.next_f64() < self.cfg.faults.loss_probability
         {
             self.faults.messages_lost += 1;
+            self.trace_fault(FaultKind::Loss, ctx.src, Some(msg_id));
             self.msgs.get_mut(&msg_id).expect("lost message context vanished").in_flight =
                 false;
             return;
@@ -943,28 +1081,36 @@ impl ClusterSim {
             self.queue.schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
             return;
         }
-        // The message was lost. Retransmit, or abandon it once the retry
-        // budget is spent.
-        if self.cfg.retry.exhausted(attempt) {
-            self.msgs.remove(&msg_id);
-            self.faults.gave_up += 1;
-            return;
+        // The message was lost. The policy decides: retransmit, or abandon
+        // it once the retry budget is spent. Either way the decision is
+        // mirrored into the trace so aggregate fault counters can be
+        // cross-checked against per-event counts.
+        let sender = ctx.src;
+        let decision = self.cfg.retry.decide(attempt);
+        if let Some(t) = &self.tracer {
+            decision.record(&mut t.clone(), now, sender, msg_id);
         }
-        let (src, dst, bytes, priority, kind) = {
-            let ctx = self.msgs.get_mut(&msg_id).expect("retry context vanished");
-            ctx.attempt += 1;
-            (ctx.src, ctx.dst, ctx.bytes, ctx.priority, ctx.kind)
-        };
-        self.faults.retransmits += 1;
-        let role = sender_role_of(kind);
-        // Re-entering the egress queue at the original priority keeps the
-        // single consumer's strict priority order intact.
-        let msg = OutMsg { dst: MachineId(dst), bytes, priority, msg_id };
-        match role {
-            Role::Worker => self.workers[src].egress.enqueue(msg),
-            Role::Server => self.servers[src].egress.enqueue(msg),
+        match decision {
+            RetryDecision::GiveUp => {
+                self.msgs.remove(&msg_id);
+                self.faults.gave_up += 1;
+            }
+            RetryDecision::Retransmit { .. } => {
+                let (src, dst, bytes, priority, kind) = {
+                    let ctx = self.msgs.get_mut(&msg_id).expect("retry context vanished");
+                    ctx.attempt += 1;
+                    (ctx.src, ctx.dst, ctx.bytes, ctx.priority, ctx.kind)
+                };
+                self.faults.retransmits += 1;
+                let role = sender_role_of(kind);
+                let (class, key, round) = class_of(kind);
+                // Re-entering the egress queue at the original priority
+                // keeps the single consumer's strict priority order intact.
+                let msg = OutMsg { dst: MachineId(dst), bytes, priority, msg_id };
+                self.enqueue_traced(src, role, msg, class, key, round);
+                self.kick_egress(src, role);
+            }
         }
-        self.kick_egress(src, role);
     }
 
     fn fresh_worker_egress(&self) -> EgressUnit {
@@ -990,11 +1136,13 @@ impl ClusterSim {
             })
             .map(|(&f, _)| f)
             .collect();
+        self.trace_fault(FaultKind::Crash, w, None);
         for flow in doomed {
             let cancelled = self.net.cancel_flow(now, flow);
             debug_assert!(cancelled, "registered flow unknown to the network");
-            self.flows.remove(&flow);
+            let mid = self.flows.remove(&flow);
             self.faults.flows_cancelled += 1;
+            self.trace_fault(FaultKind::FlowCancelled, w, mid);
         }
 
         // Discard every worker-originated message (queued or formerly in
@@ -1014,15 +1162,21 @@ impl ClusterSim {
         });
 
         let fresh = self.fresh_worker_egress();
-        let ws = &mut self.workers[w];
-        ws.crashed = true;
-        ws.incarnation += 1;
-        ws.resume_iter = resume;
-        ws.waiting_block = None;
-        if let Some(since) = ws.stalled_since.take() {
-            ws.stalled_total += now - since;
+        let stall_ended = {
+            let ws = &mut self.workers[w];
+            ws.crashed = true;
+            ws.incarnation += 1;
+            ws.resume_iter = resume;
+            let blk = ws.waiting_block.take();
+            let stalled = ws.stalled_since.take().map(|since| {
+                ws.stalled_total += now - since;
+            });
+            ws.egress = fresh;
+            stalled.and(blk)
+        };
+        if let Some(b) = stall_ended {
+            self.trace(TraceEvent::StallEnd { worker: w, block: b });
         }
-        ws.egress = fresh;
         self.admit_gate[w][role_slot(Role::Worker)] = SimTime::ZERO;
         self.admit_kick_at[w][role_slot(Role::Worker)] = None;
 
@@ -1037,6 +1191,7 @@ impl ClusterSim {
 
     fn on_rejoin(&mut self, worker: usize) {
         let now = self.queue.now();
+        self.trace_fault(FaultKind::Rejoin, worker, None);
         if self.dead_members[worker] {
             // Re-admit to the membership; rounds require its pushes again.
             self.dead_members[worker] = false;
@@ -1073,6 +1228,7 @@ impl ClusterSim {
         }
         self.dead_members[worker] = true;
         self.expected_pushes -= 1;
+        self.trace_fault(FaultKind::Eviction, worker, None);
         // Graceful degradation: complete every round now satisfiable by the
         // survivors alone. (The server averages over the gradients it has —
         // the effective batch shrinks, convergence is unaffected in
@@ -1110,6 +1266,7 @@ impl ClusterSim {
                 // The round completed without this push (degraded
                 // completion, or a rejoined worker replaying old work).
                 self.faults.stale_pushes_dropped += 1;
+                self.trace_fault(FaultKind::StalePush, server, None);
                 continue;
             }
             assert_eq!(
@@ -1120,6 +1277,7 @@ impl ClusterSim {
             let bit = 1u128 << item.worker;
             if self.servers[server].received[item.key] & bit != 0 {
                 self.faults.duplicate_pushes_dropped += 1;
+                self.trace_fault(FaultKind::DuplicatePush, server, None);
                 continue;
             }
             let params = self.plan.slice(p3_pserver::Key(item.key as u64)).params;
@@ -1132,6 +1290,12 @@ impl ClusterSim {
             }
             self.servers[server].proc_busy = true;
             self.servers[server].current = Some(item);
+            self.trace(TraceEvent::AggStart {
+                server,
+                key: item.key,
+                round: item.round,
+                worker: item.worker,
+            });
             self.queue
                 .schedule_in(SimDuration::from_nanos(nanos as u64), Ev::ProcDone { server });
             return;
@@ -1144,14 +1308,22 @@ impl ClusterSim {
             .take()
             .expect("ProcDone without an item in flight");
         self.servers[server].proc_busy = false;
+        self.trace(TraceEvent::AggEnd {
+            server,
+            key: item.key,
+            round: item.round,
+            worker: item.worker,
+        });
         // Re-validate: the round may have completed (degraded) while this
         // push was in the processing unit.
         if item.round < self.servers[server].version[item.key] {
             self.faults.stale_pushes_dropped += 1;
+            self.trace_fault(FaultKind::StalePush, server, None);
         } else {
             let bit = 1u128 << item.worker;
             if self.servers[server].received[item.key] & bit != 0 {
                 self.faults.duplicate_pushes_dropped += 1;
+                self.trace_fault(FaultKind::DuplicatePush, server, None);
             } else {
                 self.servers[server].received[item.key] |= bit;
                 if self.servers[server].received[item.key].count_ones()
@@ -1171,12 +1343,15 @@ impl ClusterSim {
     /// after a membership change.
     fn complete_round(&mut self, server: usize, key: usize) {
         let mask = self.servers[server].received[key];
-        if (mask.count_ones() as usize) < self.cfg.machines {
+        let degraded = (mask.count_ones() as usize) < self.cfg.machines;
+        if degraded {
             self.faults.degraded_rounds += 1;
+            self.trace_fault(FaultKind::DegradedRound, server, None);
         }
         self.servers[server].received[key] = 0;
         self.servers[server].version[key] += 1;
         let version = self.servers[server].version[key];
+        self.trace(TraceEvent::RoundComplete { server, key, version, degraded });
         match self.cfg.strategy.response {
             ResponseMode::ImmediateBroadcast => {
                 for w in 0..self.cfg.machines {
@@ -1206,7 +1381,14 @@ impl ClusterSim {
                                 priority,
                             ),
                         };
-                        self.servers[server].egress.enqueue(msg);
+                        self.enqueue_traced(
+                            server,
+                            Role::Server,
+                            msg,
+                            MsgClass::Notify,
+                            key,
+                            version,
+                        );
                     }
                 }
                 // Deferred (TF-style) pulls waiting on this version:
@@ -1242,7 +1424,7 @@ impl ClusterSim {
                 priority,
             ),
         };
-        self.servers[server].egress.enqueue(msg);
+        self.enqueue_traced(server, Role::Server, msg, MsgClass::Response, key, version);
     }
 
     // ------------------------------------------------------------------
@@ -1279,6 +1461,7 @@ impl ClusterSim {
             tx_gbps: self.net.tx_trace(MachineId(0)).expect("trace enabled").gbps_series(),
             rx_gbps: self.net.rx_trace(MachineId(0)).expect("trace enabled").gbps_series(),
         });
+        let stalled_per_worker = self.workers.iter().map(|w| w.stalled_total).collect();
         RunResult {
             throughput: total,
             per_worker_throughput: total / survivors,
@@ -1287,6 +1470,7 @@ impl ClusterSim {
             p50_iteration: p50,
             p99_iteration: p99,
             mean_stall_fraction: stall_sum / survivors,
+            stalled_per_worker,
             finished_at,
             events: self.events,
             messages: self.stats,
@@ -1492,6 +1676,63 @@ mod stall_tests {
         )
         .run();
         assert!(r.mean_stall_fraction < 0.05, "stall {:.3}", r.mean_stall_fraction);
+    }
+
+    #[test]
+    fn per_worker_stall_nonzero_under_straggler() {
+        use crate::faults::{FaultPlan, StragglerEpisode};
+        let plan = FaultPlan {
+            stragglers: vec![StragglerEpisode {
+                worker: 1,
+                start: SimTime::ZERO,
+                duration: SimDuration::from_secs(1_000),
+                slowdown: 3.0,
+            }],
+            ..FaultPlan::none()
+        };
+        let r = ClusterSim::new(
+            ClusterConfig::new(
+                ModelSpec::resnet50(),
+                SyncStrategy::p3(),
+                4,
+                Bandwidth::from_gbps(8.0),
+            )
+            .with_iters(1, 3)
+            .with_seed(7)
+            .with_faults(plan),
+        )
+        .run();
+        assert_eq!(r.stalled_per_worker.len(), 4);
+        // The healthy workers wait at the synchronization barrier for the
+        // 3×-slow straggler's gradients.
+        let healthy_stall = r
+            .stalled_per_worker
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 1)
+            .map(|(_, &d)| d)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert!(!healthy_stall.is_zero(), "nobody waited for the straggler");
+    }
+
+    #[test]
+    fn per_worker_stall_near_zero_when_compute_bound() {
+        let r = ClusterSim::new(
+            ClusterConfig::new(
+                ModelSpec::resnet50(),
+                SyncStrategy::p3(),
+                4,
+                Bandwidth::from_gbps(50.0),
+            )
+            .with_iters(1, 3),
+        )
+        .run();
+        assert_eq!(r.stalled_per_worker.len(), 4);
+        let total = r.finished_at.as_secs_f64();
+        for (i, d) in r.stalled_per_worker.iter().enumerate() {
+            let frac = d.as_secs_f64() / total;
+            assert!(frac < 0.05, "worker {i} stalled {frac:.3} of the run");
+        }
     }
 }
 
@@ -1755,6 +1996,127 @@ mod fault_tests {
         let r = ClusterSim::new(cfg).run();
         assert!(r.throughput > 0.0);
         assert!(r.faults.messages_lost > 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::timeline::ascii_timeline;
+    use p3_core::SyncStrategy;
+    use p3_models::ModelSpec;
+    use p3_net::Bandwidth;
+    use p3_pserver::RetryPolicy;
+    use p3_trace::{chrome_trace_json, validate_chrome_trace};
+
+    /// Two workers training VGG-19 (the paper's flagship model) for two
+    /// iterations — small enough for tests, long enough that every round-1
+    /// push → aggregate → pull chain must complete (iteration 2's forward
+    /// passes consume round-1 parameters).
+    fn vgg_cfg() -> ClusterConfig {
+        ClusterConfig::new(
+            ModelSpec::vgg19(),
+            SyncStrategy::p3(),
+            2,
+            Bandwidth::from_gbps(10.0),
+        )
+        .with_iters(0, 2)
+        .with_seed(7)
+    }
+
+    #[test]
+    fn tracing_is_bit_identical_to_untraced() {
+        // The zero-overhead guarantee: recording draws no randomness and
+        // schedules nothing, so enabling the trace must not shift a single
+        // event.
+        let plain = ClusterSim::new(vgg_cfg()).run();
+        let (traced, log) = ClusterSim::new(vgg_cfg().with_slice_trace()).run_traced();
+        assert_eq!(plain, traced);
+        assert!(!log.expect("tracing enabled").is_empty());
+    }
+
+    #[test]
+    fn untraced_runs_return_no_log() {
+        let (_, log) = ClusterSim::new(vgg_cfg()).run_traced();
+        assert!(log.is_none());
+    }
+
+    #[test]
+    fn chrome_export_contains_full_slice_chains() {
+        let cfg = vgg_cfg().with_slice_trace();
+        let machines = cfg.machines;
+        let keys = cfg.strategy.plan(&cfg.model, machines, cfg.seed).num_keys();
+        let (_, log) = ClusterSim::new(cfg).run_traced();
+        let doc = chrome_trace_json(&log.expect("tracing enabled"), machines);
+        let spans = validate_chrome_trace(&doc).expect("schema-valid Chrome trace");
+        // Every slice shows at least one complete push → aggregate → pull
+        // chain from the first iteration.
+        for k in 0..keys {
+            for name in [format!("push k{k}"), format!("agg k{k}"), format!("pull k{k}")] {
+                assert!(
+                    spans.iter().any(|s| s.name == name),
+                    "no complete '{name}' span among {} spans",
+                    spans.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_renders_nonempty_gantt() {
+        let (_, log) = ClusterSim::new(vgg_cfg().with_slice_trace()).run_traced();
+        let art = ascii_timeline(&log.expect("tracing enabled"), 2, 1, 60);
+        assert_ne!(art, "(empty trace)\n");
+        assert!(art.contains("w0 compute"));
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn fault_stats_match_traced_fault_events() {
+        use crate::faults::WorkerCrash;
+        use p3_trace::{FaultKind, TraceEvent};
+
+        let mut cfg = ClusterConfig::new(
+            ModelSpec::resnet50(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(8.0),
+        )
+        .with_iters(1, 3)
+        .with_seed(7)
+        .with_faults(FaultPlan {
+            loss_probability: 0.05,
+            crashes: vec![WorkerCrash {
+                worker: 2,
+                at: SimTime::from_millis(400),
+                rejoin_after: Some(SimDuration::from_millis(200)),
+            }],
+            ..FaultPlan::none()
+        })
+        .with_retry(RetryPolicy::new(SimDuration::from_millis(20), 2.0, 16))
+        .with_slice_trace();
+        cfg.liveness_timeout = SimDuration::from_secs(30);
+        let (r, log) = ClusterSim::new(cfg).run_traced();
+        let log = log.expect("tracing enabled");
+        let count = |kind: FaultKind| {
+            log.events()
+                .iter()
+                .filter(|te| matches!(te.event, TraceEvent::Fault { kind: k, .. } if k == kind))
+                .count() as u64
+        };
+        // Every aggregate counter equals its per-event count — the trace
+        // is a faithful journal of the fault machinery.
+        assert!(r.faults.messages_lost > 0, "5% loss lost nothing");
+        assert_eq!(r.faults.messages_lost, count(FaultKind::Loss));
+        assert_eq!(r.faults.retransmits, count(FaultKind::Retransmit));
+        assert_eq!(r.faults.gave_up, count(FaultKind::GiveUp));
+        assert_eq!(r.faults.stale_pushes_dropped, count(FaultKind::StalePush));
+        assert_eq!(r.faults.duplicate_pushes_dropped, count(FaultKind::DuplicatePush));
+        assert_eq!(r.faults.degraded_rounds, count(FaultKind::DegradedRound));
+        assert_eq!(r.faults.flows_cancelled, count(FaultKind::FlowCancelled));
+        assert_eq!(count(FaultKind::Crash), 1);
+        assert_eq!(count(FaultKind::Rejoin), 1);
     }
 }
 

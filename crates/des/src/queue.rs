@@ -67,6 +67,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     now: SimTime,
     next_seq: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -82,7 +83,21 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
+            high_water: 0,
         }
+    }
+
+    /// The largest number of events that were ever pending at once — a
+    /// cheap load signal for observability without walking the calendar.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total number of events ever scheduled on this calendar.
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
     }
 
     /// The current simulation clock: the timestamp of the most recently
@@ -119,6 +134,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time: at, seq, event });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedules `event` to fire `delay` after the current clock.
@@ -225,5 +241,19 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn high_water_and_scheduled_total_track_load() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.schedule_now(1);
+        q.schedule_now(2);
+        q.schedule_now(3);
+        q.pop();
+        q.pop();
+        q.schedule_now(4);
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.scheduled_total(), 4);
     }
 }

@@ -122,6 +122,102 @@ impl Summary {
     }
 }
 
+/// A fixed-layout histogram with exponentially growing bucket bounds, plus
+/// the full [`Summary`] statistics of everything recorded.
+///
+/// Buckets are `[0, b0), [b0, b1), …` with `b(i+1) = b(i) * growth`, and one
+/// implicit overflow bucket for samples at or above the last bound. The
+/// layout is fixed at construction so histograms from different runs of the
+/// same configuration are directly comparable bucket-by-bucket.
+///
+/// # Examples
+///
+/// ```
+/// use p3_des::Histogram;
+///
+/// // 4 buckets: [0,1e-6), [1e-6,1e-5), [1e-5,1e-4), [1e-4,1e-3), overflow.
+/// let mut h = Histogram::exponential(1e-6, 10.0, 4);
+/// h.record(5e-6);
+/// h.record(2.0);
+/// assert_eq!(h.counts()[1], 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.summary().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// Creates a histogram whose `buckets` upper bounds start at `first`
+    /// and grow by `growth` per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first` is not positive, `growth` is not greater than 1,
+    /// or `buckets` is zero.
+    pub fn exponential(first: f64, growth: f64, buckets: usize) -> Self {
+        assert!(first > 0.0 && first.is_finite(), "first bound must be positive");
+        assert!(growth > 1.0 && growth.is_finite(), "growth must exceed 1");
+        assert!(buckets > 0, "need at least one bucket");
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut b = first;
+        for _ in 0..buckets {
+            bounds.push(b);
+            b *= growth;
+        }
+        Histogram {
+            counts: vec![0; buckets],
+            bounds,
+            overflow: 0,
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one sample into its bucket and the running summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN or negative — histogram samples are
+    /// durations/depths, which are non-negative by construction.
+    pub fn record(&mut self, x: f64) {
+        assert!(x >= 0.0, "histogram samples must be non-negative, got {x}");
+        self.summary.record(x);
+        match self.bounds.iter().position(|&b| x < b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Upper bounds of the buckets (exclusive).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket sample counts, parallel to [`Histogram::bounds`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples at or above the last bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Summary statistics over every recorded sample.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+}
+
 /// The `q`-th quantile (0 ≤ q ≤ 1) of a slice using linear interpolation,
 /// matching NumPy's default.
 ///
@@ -257,5 +353,24 @@ mod tests {
     fn mean_helper() {
         assert_eq!(mean(&[]), None);
         assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::exponential(1.0, 2.0, 3); // bounds 1, 2, 4
+        assert_eq!(h.bounds(), &[1.0, 2.0, 4.0]);
+        for x in [0.0, 0.5, 1.0, 1.9, 3.0, 4.0, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.summary().max(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn histogram_rejects_negative() {
+        Histogram::exponential(1.0, 2.0, 2).record(-0.5);
     }
 }

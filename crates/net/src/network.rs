@@ -5,6 +5,7 @@ use crate::allocator::{allocate_rates_capped, FlowSpec};
 use crate::trace::PortTrace;
 use crate::types::{Bandwidth, FlowId, MachineId, Priority};
 use p3_des::{SimDuration, SimTime};
+use p3_trace::{TraceEvent, TraceHandle};
 
 /// Static description of the cluster fabric.
 ///
@@ -166,6 +167,9 @@ pub struct Network {
     tx_scale: Vec<f64>,
     /// Per-machine receive capacity factor in `(0, 1]`.
     rx_scale: Vec<f64>,
+    /// Event sink for wire-level spans; `None` (the default) records
+    /// nothing and costs one branch per flow transition.
+    tracer: Option<TraceHandle>,
 }
 
 impl Network {
@@ -195,7 +199,16 @@ impl Network {
             dirty: false,
             tx_scale: vec![1.0; machines],
             rx_scale: vec![1.0; machines],
+            tracer: None,
         }
+    }
+
+    /// Attaches a trace sink: every flow emits a `WireStart` when it enters
+    /// the fabric (loopback included) and a `WireEnd` when its last byte is
+    /// delivered, tagged with the caller's correlation tag as `msg_id`.
+    /// Tracing is purely observational — it never changes flow timing.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = Some(tracer);
     }
 
     /// The configuration this fabric was built from.
@@ -235,6 +248,18 @@ impl Network {
         self.advance(now);
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
+        if let Some(t) = &self.tracer {
+            t.record(
+                now,
+                TraceEvent::WireStart {
+                    msg_id: tag,
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                    priority: priority.0,
+                },
+            );
+        }
 
         if src == dst {
             // Loopback: never touches the NIC; fixed-rate private channel.
@@ -327,6 +352,19 @@ impl Network {
             }
         }
         done.sort_by_key(|d| (d.at, d.flow.id));
+        if let Some(t) = &self.tracer {
+            for d in &done {
+                t.record(
+                    d.at,
+                    TraceEvent::WireEnd {
+                        msg_id: d.flow.tag,
+                        src: d.flow.src.0,
+                        dst: d.flow.dst.0,
+                        bytes: d.flow.bytes,
+                    },
+                );
+            }
+        }
         done.into_iter().map(|d| d.flow).collect()
     }
 
@@ -620,6 +658,46 @@ mod tests {
         assert!(n.cancel_flow(SimTime::from_micros(1200), id));
         assert!(n.is_idle());
         assert_eq!(n.next_event_time(), None);
+    }
+
+    #[test]
+    fn tracer_sees_wire_events_including_loopback() {
+        use p3_trace::TraceEvent;
+
+        let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
+            .with_latency(SimDuration::ZERO);
+        let mut n = Network::new(cfg);
+        let handle = TraceHandle::new();
+        n.set_tracer(handle.clone());
+        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(2), 7);
+        n.start_flow(SimTime::ZERO, MachineId(1), MachineId(1), 1_000_000, Priority(0), 8);
+        let mut guard = 0;
+        while let Some(t) = n.next_event_time() {
+            n.poll(t);
+            guard += 1;
+            assert!(guard < 10);
+        }
+        let log = handle.drain();
+        let starts: Vec<u64> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::WireStart { msg_id, .. } => Some(msg_id),
+                _ => None,
+            })
+            .collect();
+        let ends: Vec<u64> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::WireEnd { msg_id, .. } => Some(msg_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![7, 8], "both flows start, loopback included");
+        let mut sorted = ends.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![7, 8], "both flows end, loopback included");
     }
 
     #[test]

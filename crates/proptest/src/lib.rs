@@ -281,7 +281,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Lengths a [`vec`] strategy may produce: a fixed size or a
+        /// Lengths a [`vec()`] strategy may produce: a fixed size or a
         /// half-open range.
         pub trait IntoSizeRange {
             /// Draws a concrete length.
@@ -301,7 +301,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S, L> {
             element: S,

@@ -42,7 +42,7 @@ mod types;
 pub use cluster::KvCluster;
 pub use optim::{Optimizer, OptimizerKind};
 pub use protocol::{wire_bytes, DecodeError, Message, HEADER_BYTES, MAGIC};
-pub use reliability::RetryPolicy;
+pub use reliability::{RetryDecision, RetryPolicy};
 pub use server::{KvServer, PushOutcome};
 pub use sharding::{ShardPlan, ShardSlice, KVSTORE_SPLIT_THRESHOLD};
 pub use types::{Key, ServerId, WorkerId};

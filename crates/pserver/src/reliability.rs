@@ -9,7 +9,40 @@
 //! budget. Keeping it here — beside the wire protocol it protects — lets
 //! both the simulator and any future real transport share one policy.
 
-use p3_des::SimDuration;
+use p3_des::{SimDuration, SimTime};
+use p3_trace::{FaultKind, TraceEvent, TraceSink};
+
+/// What the retry machinery does with a timed-out message.
+///
+/// Produced by [`RetryPolicy::decide`]; the simulator acts on the decision
+/// and [`RetryDecision::record`] emits the matching fault event so the
+/// trace mirrors exactly what happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryDecision {
+    /// Send the message again and arm a timer with this timeout.
+    Retransmit {
+        /// Timeout for the retransmitted attempt.
+        timeout: SimDuration,
+    },
+    /// The retry budget is spent; abandon the message.
+    GiveUp,
+}
+
+impl RetryDecision {
+    /// Records this decision as a trace fault event (`Retransmit` or
+    /// `GiveUp`) attributed to `machine` and `msg_id`. Pass a
+    /// [`p3_trace::NullSink`] when tracing is off.
+    pub fn record(&self, sink: &mut dyn TraceSink, at: SimTime, machine: usize, msg_id: u64) {
+        if !sink.is_enabled() {
+            return;
+        }
+        let kind = match self {
+            RetryDecision::Retransmit { .. } => FaultKind::Retransmit,
+            RetryDecision::GiveUp => FaultKind::GiveUp,
+        };
+        sink.record(at, TraceEvent::Fault { kind, machine, msg_id: Some(msg_id) });
+    }
+}
 
 /// Exponential-backoff retransmission policy for unacknowledged messages.
 ///
@@ -67,6 +100,19 @@ impl RetryPolicy {
     pub fn exhausted(&self, attempt: u32) -> bool {
         attempt >= self.max_retries
     }
+
+    /// The policy's verdict when attempt `attempt` (0-based) times out:
+    /// retransmit with the next attempt's timeout, or give up once the
+    /// budget is spent. Equivalent to [`RetryPolicy::exhausted`] +
+    /// [`RetryPolicy::timeout_for`], packaged so callers cannot pair the
+    /// wrong timeout with the wrong attempt.
+    pub fn decide(&self, attempt: u32) -> RetryDecision {
+        if self.exhausted(attempt) {
+            RetryDecision::GiveUp
+        } else {
+            RetryDecision::Retransmit { timeout: self.timeout_for(attempt + 1) }
+        }
+    }
 }
 
 impl Default for RetryPolicy {
@@ -117,6 +163,44 @@ mod tests {
     fn zero_retries_gives_up_immediately() {
         let p = RetryPolicy::new(SimDuration::from_millis(1), 2.0, 0);
         assert!(p.exhausted(0));
+    }
+
+    #[test]
+    fn decide_matches_exhausted_and_timeout() {
+        let p = RetryPolicy::new(SimDuration::from_millis(10), 2.0, 2);
+        assert_eq!(
+            p.decide(0),
+            RetryDecision::Retransmit { timeout: SimDuration::from_millis(20) }
+        );
+        assert_eq!(
+            p.decide(1),
+            RetryDecision::Retransmit { timeout: SimDuration::from_millis(40) }
+        );
+        assert_eq!(p.decide(2), RetryDecision::GiveUp);
+    }
+
+    #[test]
+    fn decisions_record_matching_fault_events() {
+        use p3_trace::{NullSink, TraceLog};
+
+        let p = RetryPolicy::new(SimDuration::from_millis(1), 2.0, 1);
+        let mut log = TraceLog::new();
+        let at = SimTime::from_millis(3);
+        p.decide(0).record(&mut log, at, 2, 99);
+        p.decide(1).record(&mut log, at, 2, 99);
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            log.events()[0].event,
+            TraceEvent::Fault { kind: FaultKind::Retransmit, machine: 2, msg_id: Some(99) }
+        );
+        assert_eq!(
+            log.events()[1].event,
+            TraceEvent::Fault { kind: FaultKind::GiveUp, machine: 2, msg_id: Some(99) }
+        );
+
+        // The no-op sink swallows everything without being consulted for
+        // event payloads.
+        p.decide(0).record(&mut NullSink, at, 2, 99);
     }
 
     #[test]

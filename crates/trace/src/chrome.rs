@@ -1,0 +1,317 @@
+//! Chrome trace-event JSON export, loadable in Perfetto / `chrome://tracing`.
+//!
+//! Layout: one *process* per machine and one *thread* per lane — `0`
+//! compute, `1` tx, `2` rx, `3` server — so a loaded trace reads like the
+//! paper's timeline figures: compute segments and stalls on the compute
+//! lane, each transfer as a span on the sender's tx lane and the receiver's
+//! rx lane, aggregation on the server lane, with instants for round
+//! updates, slice consumption and faults.
+//!
+//! Only the subset of the trace-event format that Perfetto needs is
+//! emitted: `X` (complete) spans with `ts`/`dur` in microseconds, `i`
+//! (instant) events, and `M` metadata records naming processes and
+//! threads.
+
+use crate::event::{ComputePhase, TraceEvent};
+use crate::json::{escape, format_number, parse, JsonValue};
+use crate::sink::TraceLog;
+use p3_des::SimTime;
+use std::collections::BTreeMap;
+
+/// Lane (thread) ids within each machine's process.
+const LANE_COMPUTE: u32 = 0;
+/// Transmit lane.
+const LANE_TX: u32 = 1;
+/// Receive lane.
+const LANE_RX: u32 = 2;
+/// Server (aggregation) lane.
+const LANE_SERVER: u32 = 3;
+
+fn us(t: SimTime) -> f64 {
+    t.as_nanos() as f64 / 1_000.0
+}
+
+fn span(name: &str, pid: usize, tid: u32, start: SimTime, end: SimTime) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \"dur\": {}}}",
+        escape(name),
+        format_number(us(start)),
+        format_number(us(end).max(us(start)) - us(start)),
+    )
+}
+
+fn instant(name: &str, pid: usize, tid: u32, at: SimTime) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}}}",
+        escape(name),
+        format_number(us(at)),
+    )
+}
+
+fn metadata(kind: &str, pid: usize, tid: Option<u32>, name: &str) -> String {
+    match tid {
+        Some(tid) => format!(
+            "{{\"name\": \"{kind}\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"name\": \"{}\"}}}}",
+            escape(name)
+        ),
+        None => format!(
+            "{{\"name\": \"{kind}\", \"ph\": \"M\", \"pid\": {pid}, \"args\": {{\"name\": \"{}\"}}}}",
+            escape(name)
+        ),
+    }
+}
+
+/// Renders a recorded trace as a Chrome trace-event JSON document for
+/// `machines` machines.
+///
+/// Spans whose end was never recorded (cut off by the end of the run) are
+/// dropped; a retransmitted message's wire span reflects its last
+/// transmission.
+pub fn chrome_trace_json(log: &TraceLog, machines: usize) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for m in 0..machines {
+        lines.push(metadata("process_name", m, None, &format!("machine {m}")));
+        lines.push(metadata("thread_name", m, Some(LANE_COMPUTE), "compute"));
+        lines.push(metadata("thread_name", m, Some(LANE_TX), "tx"));
+        lines.push(metadata("thread_name", m, Some(LANE_RX), "rx"));
+        lines.push(metadata("thread_name", m, Some(LANE_SERVER), "server"));
+    }
+
+    // Open-span state.
+    let mut compute_open: BTreeMap<(usize, usize, u8), SimTime> = BTreeMap::new();
+    let mut stall_open: BTreeMap<(usize, usize), SimTime> = BTreeMap::new();
+    let mut agg_open: BTreeMap<(usize, usize, u64, usize), SimTime> = BTreeMap::new();
+    // msg_id → (class label, key) learned at enqueue; wire spans are named
+    // after the protocol class even when the enqueue predates the capture.
+    let mut msg_name: BTreeMap<u64, String> = BTreeMap::new();
+    // msg_id → (start, src, dst); last start wins so a retransmitted
+    // message's span covers its final (delivered) transmission.
+    let mut wire_open: BTreeMap<u64, (SimTime, usize, usize)> = BTreeMap::new();
+
+    for te in log.events() {
+        let at = te.at;
+        match te.event {
+            TraceEvent::ComputeStart { worker, phase, block } => {
+                compute_open.insert((worker, block, phase as u8), at);
+            }
+            TraceEvent::ComputeEnd { worker, phase, block } => {
+                if let Some(t0) = compute_open.remove(&(worker, block, phase as u8)) {
+                    let name = match phase {
+                        ComputePhase::Forward => format!("fwd b{block}"),
+                        ComputePhase::Backward => format!("bwd b{block}"),
+                    };
+                    lines.push(span(&name, worker, LANE_COMPUTE, t0, at));
+                }
+            }
+            TraceEvent::StallStart { worker, block } => {
+                stall_open.insert((worker, block), at);
+            }
+            TraceEvent::StallEnd { worker, block } => {
+                if let Some(t0) = stall_open.remove(&(worker, block)) {
+                    lines.push(span(&format!("stall b{block}"), worker, LANE_COMPUTE, t0, at));
+                }
+            }
+            TraceEvent::EgressEnqueue { msg_id, class, key, .. } => {
+                msg_name.insert(msg_id, format!("{} k{key}", class.label()));
+            }
+            TraceEvent::WireStart { msg_id, src, dst, .. } => {
+                wire_open.insert(msg_id, (at, src, dst));
+            }
+            TraceEvent::WireEnd { msg_id, .. } => {
+                if let Some((t0, src, dst)) = wire_open.remove(&msg_id) {
+                    let name = msg_name
+                        .get(&msg_id)
+                        .cloned()
+                        .unwrap_or_else(|| format!("msg {msg_id}"));
+                    lines.push(span(&name, src, LANE_TX, t0, at));
+                    lines.push(span(&name, dst, LANE_RX, t0, at));
+                }
+            }
+            TraceEvent::AggStart { server, key, round, worker } => {
+                agg_open.insert((server, key, round, worker), at);
+            }
+            TraceEvent::AggEnd { server, key, round, worker } => {
+                if let Some(t0) = agg_open.remove(&(server, key, round, worker)) {
+                    lines.push(span(&format!("agg k{key}"), server, LANE_SERVER, t0, at));
+                }
+            }
+            TraceEvent::RoundComplete { server, key, version, degraded } => {
+                let name = if degraded {
+                    format!("update k{key} v{version} (degraded)")
+                } else {
+                    format!("update k{key} v{version}")
+                };
+                lines.push(instant(&name, server, LANE_SERVER, at));
+            }
+            TraceEvent::SliceConsumed { worker, key, .. } => {
+                lines.push(instant(&format!("consume k{key}"), worker, LANE_COMPUTE, at));
+            }
+            TraceEvent::GradReady { worker, key, .. } => {
+                lines.push(instant(&format!("grad k{key}"), worker, LANE_COMPUTE, at));
+            }
+            TraceEvent::IterationEnd { worker, iter } => {
+                lines.push(instant(&format!("iteration {iter}"), worker, LANE_COMPUTE, at));
+            }
+            TraceEvent::Fault { kind, machine, msg_id } => {
+                let name = match msg_id {
+                    Some(id) => format!("fault {} msg{id}", kind.label()),
+                    None => format!("fault {}", kind.label()),
+                };
+                lines.push(instant(&name, machine, LANE_COMPUTE, at));
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\": [\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One validated `X` (complete) span from a Chrome trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeSpan {
+    /// Span name.
+    pub name: String,
+    /// Process (machine) id.
+    pub pid: usize,
+    /// Thread (lane) id.
+    pub tid: u32,
+    /// Start, microseconds.
+    pub ts: f64,
+    /// Duration, microseconds.
+    pub dur: f64,
+}
+
+/// Parses and schema-checks a Chrome trace-event document, returning its
+/// complete (`X`) spans.
+///
+/// Checks: the document is an object with a `traceEvents` array; every
+/// entry is an object with a string `ph`; `X` entries carry a string
+/// `name` and numeric `pid`/`tid`/`ts`/`dur` with `dur >= 0`; `i` entries
+/// carry `name`, `pid`, `tid`, `ts`.
+pub fn validate_chrome_trace(doc: &str) -> Result<Vec<ChromeSpan>, String> {
+    let v = parse(doc).map_err(|e| e.to_string())?;
+    let events = v
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut spans = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev.as_object().ok_or(format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("event {i} missing ph"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(JsonValue::as_number)
+                .ok_or(format!("{ph} event {i} missing numeric {key}"))
+        };
+        let name = || -> Result<String, String> {
+            obj.get("name")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(format!("{ph} event {i} missing name"))
+        };
+        match ph {
+            "X" => {
+                let dur = num("dur")?;
+                if dur < 0.0 {
+                    return Err(format!("event {i} has negative dur"));
+                }
+                spans.push(ChromeSpan {
+                    name: name()?,
+                    pid: num("pid")? as usize,
+                    tid: num("tid")? as u32,
+                    ts: num("ts")?,
+                    dur,
+                });
+            }
+            "i" => {
+                name()?;
+                num("pid")?;
+                num("tid")?;
+                num("ts")?;
+            }
+            "M" => {
+                name()?;
+            }
+            other => return Err(format!("event {i} has unsupported phase '{other}'")),
+        }
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EndpointRole, MsgClass};
+    use crate::sink::TraceSink;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.record(t(0), TraceEvent::ComputeStart { worker: 0, phase: ComputePhase::Backward, block: 1 });
+        log.record(t(5), TraceEvent::ComputeEnd { worker: 0, phase: ComputePhase::Backward, block: 1 });
+        log.record(
+            t(5),
+            TraceEvent::EgressEnqueue {
+                machine: 0,
+                role: EndpointRole::Worker,
+                msg_id: 1,
+                class: MsgClass::Push,
+                key: 4,
+                round: 0,
+                priority: 2,
+                queue_depth: 0,
+            },
+        );
+        log.record(t(5), TraceEvent::WireStart { msg_id: 1, src: 0, dst: 1, bytes: 64, priority: 2 });
+        log.record(t(9), TraceEvent::WireEnd { msg_id: 1, src: 0, dst: 1, bytes: 64 });
+        log.record(t(9), TraceEvent::AggStart { server: 1, key: 4, round: 0, worker: 0 });
+        log.record(t(12), TraceEvent::AggEnd { server: 1, key: 4, round: 0, worker: 0 });
+        log.record(t(12), TraceEvent::RoundComplete { server: 1, key: 4, version: 1, degraded: false });
+        log
+    }
+
+    #[test]
+    fn export_validates_and_contains_expected_spans() {
+        let doc = chrome_trace_json(&sample_log(), 2);
+        let spans = validate_chrome_trace(&doc).expect("schema-valid");
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"bwd b1"));
+        assert!(names.contains(&"push k4"));
+        assert!(names.contains(&"agg k4"));
+        // The wire span appears on both the sender tx lane and receiver rx
+        // lane.
+        let wire: Vec<&ChromeSpan> = spans.iter().filter(|s| s.name == "push k4").collect();
+        assert_eq!(wire.len(), 2);
+        assert!(wire.iter().any(|s| s.pid == 0 && s.tid == 1));
+        assert!(wire.iter().any(|s| s.pid == 1 && s.tid == 2));
+        assert!((wire[0].dur - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfinished_spans_are_dropped() {
+        let mut log = TraceLog::new();
+        log.record(t(0), TraceEvent::WireStart { msg_id: 9, src: 0, dst: 1, bytes: 1, priority: 0 });
+        let doc = chrome_trace_json(&log, 2);
+        let spans = validate_chrome_trace(&doc).expect("schema-valid");
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": [{"ph": "X"}]}"#).is_err());
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0, "dur": -1}]}"#
+        )
+        .is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": []}"#).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! The typed event vocabulary of the simulation trace.
+//!
+//! Every event names simulator entities by plain indices (machine, key,
+//! round) so the model stays independent of the crates that emit it: the
+//! DES kernel is the only dependency, and the network, parameter-server and
+//! cluster layers all speak this vocabulary without cycles.
+//!
+//! The events cover the full slice lifecycle the paper reasons about
+//! (Figures 4–9): gradient generated → egress-enqueued (with queue depth
+//! and priority) → wire start/finish → server aggregate → round update →
+//! parameter propagation back → consumed by the next forward pass — plus
+//! compute segments, worker stall intervals, and every fault the injection
+//! subsystem can produce.
+
+/// Which half of an iteration a compute segment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputePhase {
+    /// Forward pass of one block.
+    Forward,
+    /// Backward pass of one block.
+    Backward,
+}
+
+/// Which colocated endpoint of a machine emitted an egress event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointRole {
+    /// The training worker process.
+    Worker,
+    /// The parameter-server shard.
+    Server,
+}
+
+/// Protocol class of a traced message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Worker → server gradient push.
+    Push,
+    /// Server → worker updated parameters (the "pull" leg of the paper's
+    /// push→aggregate→pull pipeline).
+    Response,
+    /// Server → worker update notification (baseline protocol only).
+    Notify,
+    /// Worker → server parameter request.
+    PullRequest,
+}
+
+impl MsgClass {
+    /// Short lower-case label used in exported span names.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Push => "push",
+            MsgClass::Response => "pull",
+            MsgClass::Notify => "notify",
+            MsgClass::PullRequest => "pullreq",
+        }
+    }
+}
+
+/// Everything the fault-injection and reliability machinery can do, one
+/// variant per [`FaultStats`](https://docs.rs/p3-cluster) counter so
+/// aggregate totals can be cross-checked against per-event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message died in the fabric (lossy network).
+    Loss,
+    /// A lost message was retransmitted after its retry timeout.
+    Retransmit,
+    /// A message was abandoned after exhausting its retry budget.
+    GiveUp,
+    /// A worker process crashed.
+    Crash,
+    /// A crashed worker restarted and re-synced.
+    Rejoin,
+    /// A silent worker was evicted from the aggregation membership.
+    Eviction,
+    /// A key-round completed without every configured worker's gradient.
+    DegradedRound,
+    /// A push was discarded because its round had already completed.
+    StalePush,
+    /// A push was discarded because the worker already contributed.
+    DuplicatePush,
+    /// An in-flight transmission was cancelled by a crash.
+    FlowCancelled,
+}
+
+impl FaultKind {
+    /// Short lower-case label used in exported event names.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Loss => "loss",
+            FaultKind::Retransmit => "retransmit",
+            FaultKind::GiveUp => "gave-up",
+            FaultKind::Crash => "crash",
+            FaultKind::Rejoin => "rejoin",
+            FaultKind::Eviction => "eviction",
+            FaultKind::DegradedRound => "degraded-round",
+            FaultKind::StalePush => "stale-push",
+            FaultKind::DuplicatePush => "duplicate-push",
+            FaultKind::FlowCancelled => "flow-cancelled",
+        }
+    }
+}
+
+/// One typed simulation event. All variants are `Copy` and allocation-free
+/// so recording costs one bounds-checked `Vec` push and disabled tracing
+/// costs one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A compute segment (forward or backward of one block) started.
+    ComputeStart {
+        /// Worker index.
+        worker: usize,
+        /// Forward or backward.
+        phase: ComputePhase,
+        /// Compute-block index.
+        block: usize,
+    },
+    /// A compute segment finished.
+    ComputeEnd {
+        /// Worker index.
+        worker: usize,
+        /// Forward or backward.
+        phase: ComputePhase,
+        /// Compute-block index.
+        block: usize,
+    },
+    /// The worker stalled waiting for parameters of a block.
+    StallStart {
+        /// Worker index.
+        worker: usize,
+        /// Block whose parameters are missing.
+        block: usize,
+    },
+    /// The stalled worker's parameters arrived; compute resumes.
+    StallEnd {
+        /// Worker index.
+        worker: usize,
+        /// Block that was waiting.
+        block: usize,
+    },
+    /// A worker finished one full iteration.
+    IterationEnd {
+        /// Worker index.
+        worker: usize,
+        /// 1-based count of completed iterations.
+        iter: u64,
+    },
+    /// A slice's gradient became available at the end of its block's
+    /// backward pass.
+    GradReady {
+        /// Worker index.
+        worker: usize,
+        /// Slice key.
+        key: usize,
+        /// Training round the gradient belongs to.
+        round: u64,
+        /// Network priority class the slice will be sent at.
+        priority: u32,
+    },
+    /// A message entered an endpoint's egress queue.
+    EgressEnqueue {
+        /// Machine hosting the endpoint.
+        machine: usize,
+        /// Worker or server side of the machine.
+        role: EndpointRole,
+        /// Correlates with the matching wire events.
+        msg_id: u64,
+        /// Protocol class.
+        class: MsgClass,
+        /// Slice key the message is about.
+        key: usize,
+        /// Round (pushes/requests) or version (responses/notifies).
+        round: u64,
+        /// Network priority class at enqueue.
+        priority: u32,
+        /// Queued (not yet in-flight) messages after this enqueue.
+        queue_depth: usize,
+    },
+    /// A transfer started occupying the fabric.
+    WireStart {
+        /// Correlation tag (the simulator's message id).
+        msg_id: u64,
+        /// Source machine.
+        src: usize,
+        /// Destination machine.
+        dst: usize,
+        /// Wire size.
+        bytes: u64,
+        /// Priority class.
+        priority: u32,
+    },
+    /// A transfer's last byte was delivered.
+    WireEnd {
+        /// Correlation tag (the simulator's message id).
+        msg_id: u64,
+        /// Source machine.
+        src: usize,
+        /// Destination machine.
+        dst: usize,
+        /// Wire size.
+        bytes: u64,
+    },
+    /// The server's processing unit started aggregating one push.
+    AggStart {
+        /// Server shard index.
+        server: usize,
+        /// Slice key.
+        key: usize,
+        /// Round being aggregated.
+        round: u64,
+        /// Worker whose gradient is being folded in.
+        worker: usize,
+    },
+    /// The server finished aggregating one push.
+    AggEnd {
+        /// Server shard index.
+        server: usize,
+        /// Slice key.
+        key: usize,
+        /// Round being aggregated.
+        round: u64,
+        /// Worker whose gradient was folded in.
+        worker: usize,
+    },
+    /// A key's aggregation round completed and the updated parameters were
+    /// sent out.
+    RoundComplete {
+        /// Server shard index.
+        server: usize,
+        /// Slice key.
+        key: usize,
+        /// New parameter version.
+        version: u64,
+        /// True if the round completed without every configured worker.
+        degraded: bool,
+    },
+    /// A slice's parameters were consumed by the next forward pass.
+    SliceConsumed {
+        /// Worker index.
+        worker: usize,
+        /// Slice key.
+        key: usize,
+        /// Round whose parameters are consumed.
+        round: u64,
+    },
+    /// Something the fault-injection/reliability machinery did.
+    Fault {
+        /// What happened.
+        kind: FaultKind,
+        /// Machine the event is attributed to.
+        machine: usize,
+        /// Message involved, when the fault concerns one.
+        msg_id: Option<u64>,
+    },
+}
