@@ -149,15 +149,22 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
     let plan: ShardPlan = match cfg.slice_params {
         Some(max) => p3_plan(&arrays, 1, max),
         None => ShardPlan::from_slices(
-            arrays.iter().enumerate().map(|(a, &p)| (a, 0, p, ServerId(0))).collect(),
+            arrays
+                .iter()
+                .enumerate()
+                .map(|(a, &p)| (a, 0, p, ServerId(0)))
+                .collect(),
             1,
         ),
     };
     let num_slices = plan.num_keys();
 
     // Consumption-order priorities (slice inherits array index).
-    let prio: Vec<u32> =
-        plan.slices().iter().map(|s| if cfg.priority { s.array as u32 } else { 0 }).collect();
+    let prio: Vec<u32> = plan
+        .slices()
+        .iter()
+        .map(|s| if cfg.priority { s.array as u32 } else { 0 })
+        .collect();
 
     // Map slices to compute blocks.
     let mut block_of_array = Vec::new();
@@ -200,7 +207,13 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
     let frac = cfg.model.iteration_jitter();
     for (w, j) in jitter.iter_mut().enumerate() {
         *j = resample(&mut rng, frac);
-        queue.schedule_at(SimTime::ZERO, Ev::Compute { worker: w, phase: Phase::Fwd(0) });
+        queue.schedule_at(
+            SimTime::ZERO,
+            Ev::Compute {
+                worker: w,
+                phase: Phase::Fwd(0),
+            },
+        );
         // Fwd(0) is scheduled as "start"; we instead schedule completion:
         // handled uniformly below by treating the event as completion of
         // the phase — so push the first completion at the fwd duration.
@@ -209,13 +222,20 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
     queue.clear();
     for (w, &j) in jitter.iter().enumerate() {
         let d = times[0].fwd.mul_f64(j);
-        queue.schedule_at(SimTime::ZERO + d, Ev::Compute { worker: w, phase: Phase::Fwd(0) });
+        queue.schedule_at(
+            SimTime::ZERO + d,
+            Ev::Compute {
+                worker: w,
+                phase: Phase::Fwd(0),
+            },
+        );
     }
 
     let target = cfg.warmup_iters + cfg.measure_iters;
-    let fwd_ready = |w: usize, b: usize, slice_version: &[u64], iter: &[u64], sob: &[Vec<usize>]| {
-        sob[b].iter().all(|&s| slice_version[s] >= iter[w])
-    };
+    let fwd_ready =
+        |w: usize, b: usize, slice_version: &[u64], iter: &[u64], sob: &[Vec<usize>]| {
+            sob[b].iter().all(|&s| slice_version[s] >= iter[w])
+        };
 
     while completed.iter().any(|&c| c < target) {
         let Some((now, ev)) = queue.pop() else {
@@ -230,7 +250,13 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
                         let nb = b + 1;
                         if fwd_ready(worker, nb, &slice_version, &iter, &slices_of_block) {
                             let d = times[nb].fwd.mul_f64(jitter[worker]);
-                            queue.schedule_in(d, Ev::Compute { worker, phase: Phase::Fwd(nb) });
+                            queue.schedule_in(
+                                d,
+                                Ev::Compute {
+                                    worker,
+                                    phase: Phase::Fwd(nb),
+                                },
+                            );
                         } else {
                             waiting[worker] = Some(nb);
                         }
@@ -238,7 +264,10 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
                         let d = times[blocks - 1].bwd.mul_f64(jitter[worker]);
                         queue.schedule_in(
                             d,
-                            Ev::Compute { worker, phase: Phase::Bwd(blocks - 1) },
+                            Ev::Compute {
+                                worker,
+                                phase: Phase::Bwd(blocks - 1),
+                            },
                         );
                     }
                 }
@@ -266,7 +295,13 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
                     }
                     if b > 0 {
                         let d = times[b - 1].bwd.mul_f64(jitter[worker]);
-                        queue.schedule_in(d, Ev::Compute { worker, phase: Phase::Bwd(b - 1) });
+                        queue.schedule_in(
+                            d,
+                            Ev::Compute {
+                                worker,
+                                phase: Phase::Bwd(b - 1),
+                            },
+                        );
                     } else {
                         // Iteration boundary.
                         completed[worker] += 1;
@@ -280,7 +315,13 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
                         }
                         if fwd_ready(worker, 0, &slice_version, &iter, &slices_of_block) {
                             let d = times[0].fwd.mul_f64(jitter[worker]);
-                            queue.schedule_in(d, Ev::Compute { worker, phase: Phase::Fwd(0) });
+                            queue.schedule_in(
+                                d,
+                                Ev::Compute {
+                                    worker,
+                                    phase: Phase::Fwd(0),
+                                },
+                            );
                         } else {
                             waiting[worker] = Some(0);
                         }
@@ -293,7 +334,9 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
                 if let Some(next) = pending.pop() {
                     collective_busy = true;
                     let bytes = plan.slices()[next].params * BYTES_PER_PARAM;
-                    let d = cfg.collective.duration(bytes, cfg.machines, link, cfg.per_step);
+                    let d = cfg
+                        .collective
+                        .duration(bytes, cfg.machines, link, cfg.per_step);
                     queue.schedule_in(d, Ev::CollectiveDone { slice: next });
                 }
                 // Wake any worker stalled on this slice's block.
@@ -302,7 +345,13 @@ pub fn run_allreduce(cfg: &AllreduceConfig) -> AllreduceResult {
                         if fwd_ready(w, b, &slice_version, &iter, &slices_of_block) {
                             waiting[w] = None;
                             let d = times[b].fwd.mul_f64(jitter[w]);
-                            queue.schedule_in(d, Ev::Compute { worker: w, phase: Phase::Fwd(b) });
+                            queue.schedule_in(
+                                d,
+                                Ev::Compute {
+                                    worker: w,
+                                    phase: Phase::Fwd(b),
+                                },
+                            );
                         }
                     }
                 }
@@ -343,7 +392,11 @@ mod tests {
         let cfg = AllreduceConfig::new(ModelSpec::resnet50(), 4, Bandwidth::from_gbps(100.0));
         let r = quick(cfg);
         let plateau = 4.0 * ModelSpec::resnet50().reference_throughput();
-        assert!((r.throughput - plateau).abs() / plateau < 0.05, "{}", r.throughput);
+        assert!(
+            (r.throughput - plateau).abs() / plateau < 0.05,
+            "{}",
+            r.throughput
+        );
     }
 
     #[test]

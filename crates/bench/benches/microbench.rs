@@ -44,9 +44,11 @@ fn bench_allocator(c: &mut Criterion) {
             })
             .collect();
         let caps = vec![1.25e9; machines];
-        g.bench_with_input(BenchmarkId::new("strict_priority_max_min", machines), &flows, |b, flows| {
-            b.iter(|| allocate_rates_capped(flows, &caps, &caps, 1.2e8))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("strict_priority_max_min", machines),
+            &flows,
+            |b, flows| b.iter(|| allocate_rates_capped(flows, &caps, &caps, 1.2e8)),
+        );
     }
     g.finish();
 }

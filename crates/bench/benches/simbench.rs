@@ -11,8 +11,8 @@ use p3_models::ModelSpec;
 use p3_net::Bandwidth;
 
 fn short_run(model: ModelSpec, strategy: SyncStrategy, gbps: f64, machines: usize) -> f64 {
-    let cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
-        .with_iters(1, 2);
+    let cfg =
+        ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps)).with_iters(1, 2);
     ClusterSim::new(cfg).run().throughput
 }
 

@@ -16,7 +16,9 @@ use p3_net::Bandwidth;
 /// "priority without slicing" arm of the decomposition.
 fn priority_without_slicing() -> SyncStrategy {
     let mut s = SyncStrategy::p3();
-    s.slicing = Slicing::KvstoreLayerwise { split_threshold: 1_000_000 };
+    s.slicing = Slicing::KvstoreLayerwise {
+        split_threshold: 1_000_000,
+    };
     s
 }
 
@@ -31,7 +33,10 @@ fn main() {
     for (model, gbps) in [(ModelSpec::resnet50(), 4.0), (ModelSpec::vgg19(), 15.0)] {
         p3_bench::print_header(
             "ablation",
-            &format!("model: {}  machines: 4  bandwidth: {gbps} Gbps", model.name()),
+            &format!(
+                "model: {}  machines: 4  bandwidth: {gbps} Gbps",
+                model.name()
+            ),
         );
         let base = run(&model, &SyncStrategy::baseline(), gbps);
         let rows: Vec<(&str, SyncStrategy)> = vec![
@@ -45,7 +50,10 @@ fn main() {
         ];
         for (label, strat) in rows {
             let t = run(&model, &strat, gbps);
-            println!("{label:>26}: {t:8.1}  ({:+6.1}% vs baseline)", (t / base - 1.0) * 100.0);
+            println!(
+                "{label:>26}: {t:8.1}  ({:+6.1}% vs baseline)",
+                (t / base - 1.0) * 100.0
+            );
         }
         // Sanity relations printed for EXPERIMENTS.md.
         let p3 = run(&model, &SyncStrategy::p3(), gbps);

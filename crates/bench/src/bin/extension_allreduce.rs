@@ -28,8 +28,15 @@ fn main() {
         println!("# x = gbps, series = PS-Baseline, PS-P3, AR-layerwise-FIFO, AR-sliced-priority");
         for &g in &gbps_list {
             let bw = Bandwidth::from_gbps(g);
-            let ps_base =
-                throughput_of(&model, &SyncStrategy::baseline(), 4, bw, warmup, measure, 42);
+            let ps_base = throughput_of(
+                &model,
+                &SyncStrategy::baseline(),
+                4,
+                bw,
+                warmup,
+                measure,
+                42,
+            );
             let ps_p3 = throughput_of(&model, &SyncStrategy::p3(), 4, bw, warmup, measure, 42);
             let mut hor = AllreduceConfig::layerwise_fifo(model.clone(), 4, bw);
             hor.warmup_iters = warmup;
@@ -49,14 +56,17 @@ fn main() {
         "VGG-19, 4 machines, 10 Gbps ring allreduce",
     );
     println!("# x = slice_params, series = AR-sliced-priority throughput");
-    for slice in [50_000u64, 200_000, 500_000, 2_000_000, 8_000_000, 50_000_000] {
-        let mut cfg =
-            AllreduceConfig::new(ModelSpec::vgg19(), 4, Bandwidth::from_gbps(10.0));
+    for slice in [
+        50_000u64, 200_000, 500_000, 2_000_000, 8_000_000, 50_000_000,
+    ] {
+        let mut cfg = AllreduceConfig::new(ModelSpec::vgg19(), 4, Bandwidth::from_gbps(10.0));
         cfg.slice_params = Some(slice);
         cfg.warmup_iters = warmup;
         cfg.measure_iters = measure;
         let t = run_allreduce(&cfg).throughput;
         println!("{slice:10} {t:10.2}");
     }
-    println!("# collectives want coarser slices than the PS's 50k: each ring pays 2(N-1) step costs");
+    println!(
+        "# collectives want coarser slices than the PS's 50k: each ring pays 2(N-1) step costs"
+    );
 }

@@ -35,16 +35,20 @@ fn main() {
         for (label, strategy, compression) in [
             ("baseline", SyncStrategy::baseline(), None),
             ("P3", SyncStrategy::p3(), None),
-            ("baseline + DGC", SyncStrategy::baseline(), Some(WireCompression::dgc(sparsity, 4))),
-            ("P3 + DGC", SyncStrategy::p3(), Some(WireCompression::dgc(sparsity, 4))),
+            (
+                "baseline + DGC",
+                SyncStrategy::baseline(),
+                Some(WireCompression::dgc(sparsity, 4)),
+            ),
+            (
+                "P3 + DGC",
+                SyncStrategy::p3(),
+                Some(WireCompression::dgc(sparsity, 4)),
+            ),
         ] {
-            let mut cfg = ClusterConfig::new(
-                model.clone(),
-                strategy,
-                4,
-                Bandwidth::from_gbps(gbps),
-            )
-            .with_iters(warmup, measure);
+            let mut cfg =
+                ClusterConfig::new(model.clone(), strategy, 4, Bandwidth::from_gbps(gbps))
+                    .with_iters(warmup, measure);
             cfg.wire_compression = compression;
             let r = ClusterSim::new(cfg).run();
             println!(

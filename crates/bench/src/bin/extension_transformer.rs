@@ -6,8 +6,8 @@
 //! The paper predates widespread Transformer adoption by months; this
 //! extension runs its exact methodology on the new architecture.
 
-use p3_cluster::{bandwidth_sweep, ClusterConfig, ClusterSim};
 use p3_cluster::bound::iteration_bound;
+use p3_cluster::{bandwidth_sweep, ClusterConfig, ClusterSim};
 use p3_core::SyncStrategy;
 use p3_models::ModelSpec;
 use p3_net::Bandwidth;
@@ -39,8 +39,7 @@ fn main() {
         Bandwidth::from_gbps(4.0),
     )
     .with_iters(warmup, measure);
-    let allowed =
-        iteration_bound(&cfg).throughput_limit(cfg.batch_per_worker, cfg.machines);
+    let allowed = iteration_bound(&cfg).throughput_limit(cfg.batch_per_worker, cfg.machines);
     for strategy in strategies {
         let mut c = cfg.clone();
         c.strategy = strategy;

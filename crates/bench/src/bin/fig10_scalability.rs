@@ -19,7 +19,11 @@ fn main() {
     ] {
         p3_bench::print_header(
             tag,
-            &format!("model: {}  bandwidth: 10 Gbps  unit: {}/sec", model.name(), model.unit()),
+            &format!(
+                "model: {}  bandwidth: 10 Gbps  unit: {}/sec",
+                model.name(),
+                model.unit()
+            ),
         );
         let pts = scalability_sweep(
             &model,

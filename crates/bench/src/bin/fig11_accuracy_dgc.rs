@@ -32,7 +32,10 @@ fn main() {
     let mut jobs = Vec::new();
     for mode in [
         SyncMode::FullSync,
-        SyncMode::Dgc { final_sparsity: dgc_sparsity, warmup_epochs: 4 },
+        SyncMode::Dgc {
+            final_sparsity: dgc_sparsity,
+            warmup_epochs: 4,
+        },
     ] {
         for &(lr, momentum, seed) in &settings {
             let mut cfg = TrainConfig::new(epochs);
@@ -46,7 +49,10 @@ fn main() {
     let runs = sweep(&data, &jobs);
     let (p3_runs, dgc_runs) = runs.split_at(settings.len());
 
-    print_header("11", "P3 vs DGC validation-accuracy band, 5 hyper-parameter settings");
+    print_header(
+        "11",
+        "P3 vs DGC validation-accuracy band, 5 hyper-parameter settings",
+    );
     let p3_band = accuracy_band(p3_runs);
     let dgc_band = accuracy_band(dgc_runs);
     println!("# x = epoch, series = p3_min, p3_max, dgc_min, dgc_max");

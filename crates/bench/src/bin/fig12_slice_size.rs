@@ -11,7 +11,9 @@ fn main() {
     let sizes: &[u64] = if quick {
         &[2_000, 50_000, 1_000_000]
     } else {
-        &[1_000, 2_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000]
+        &[
+            1_000, 2_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+        ]
     };
 
     for (tag, model, gbps) in [
@@ -21,11 +23,24 @@ fn main() {
     ] {
         p3_bench::print_header(
             tag,
-            &format!("model: {}  machines: 4  bandwidth: {gbps} Gbps", model.name()),
+            &format!(
+                "model: {}  machines: 4  bandwidth: {gbps} Gbps",
+                model.name()
+            ),
         );
-        let pts =
-            slice_size_sweep(&model, sizes, 4, Bandwidth::from_gbps(gbps), warmup, measure, 42);
-        println!("# x = slice_params, series = P3 throughput ({}/sec)", model.unit());
+        let pts = slice_size_sweep(
+            &model,
+            sizes,
+            4,
+            Bandwidth::from_gbps(gbps),
+            warmup,
+            measure,
+            42,
+        );
+        println!(
+            "# x = slice_params, series = P3 throughput ({}/sec)",
+            model.unit()
+        );
         for p in &pts {
             println!("{:10.0} {:10.2}", p.x, p.series[0].1);
         }

@@ -10,8 +10,20 @@ use p3_net::Bandwidth;
 
 fn main() {
     let cases = [
-        ("13", "ResNet-50 on TensorFlow-style at 4Gbps", ModelSpec::resnet50(), SyncStrategy::tf_style(), 4.0),
-        ("14", "InceptionV3 on Poseidon-WFBP at 1Gbps", ModelSpec::inception_v3(), SyncStrategy::poseidon_wfbp(), 1.0),
+        (
+            "13",
+            "ResNet-50 on TensorFlow-style at 4Gbps",
+            ModelSpec::resnet50(),
+            SyncStrategy::tf_style(),
+            4.0,
+        ),
+        (
+            "14",
+            "InceptionV3 on Poseidon-WFBP at 1Gbps",
+            ModelSpec::inception_v3(),
+            SyncStrategy::poseidon_wfbp(),
+            1.0,
+        ),
     ];
     for (tag, name, model, strategy, gbps) in cases {
         p3_bench::print_header(tag, name);
@@ -25,8 +37,13 @@ fn main() {
             .map(|b| (b as f64, vec![t.tx_gbps[b], t.rx_gbps[b]]))
             .collect();
         p3_bench::print_series("time_10ms", &["outbound_gbps", "inbound_gbps"], &rows);
-        let idle =
-            t.tx_gbps.iter().take(n).filter(|&&g| g < gbps * 0.05).count() as f64 / n as f64;
+        let idle = t
+            .tx_gbps
+            .iter()
+            .take(n)
+            .filter(|&&g| g < gbps * 0.05)
+            .count() as f64
+            / n as f64;
         println!("# outbound idle fraction: {idle:.2} — bursty under-utilization as in the paper");
     }
 }

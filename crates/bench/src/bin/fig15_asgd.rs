@@ -43,7 +43,11 @@ fn main() {
             c.lr = lr;
             train_async(&data, &c, cfg.workers - 1)
         })
-        .max_by(|a, b| a.final_accuracy.partial_cmp(&b.final_accuracy).expect("finite"))
+        .max_by(|a, b| {
+            a.final_accuracy
+                .partial_cmp(&b.final_accuracy)
+                .expect("finite")
+        })
         .expect("nonempty grid");
 
     p3_bench::print_header("15", "ASGD vs P3: validation accuracy vs time (minutes)");
@@ -66,6 +70,10 @@ fn main() {
             .map(|e| (e + 1) as f64 * run.iterations_per_epoch as f64 * t_iter / 60.0)
     };
     if let (Some(tp), Some(ta)) = (reach(&p3, t_sync), reach(&asgd, t_compute)) {
-        println!("# time to {:.0}% accuracy: P3 {tp:.2} min, ASGD {ta:.2} min ({:.1}x)", target * 100.0, ta / tp);
+        println!(
+            "# time to {:.0}% accuracy: P3 {tp:.2} min, ASGD {ta:.2} min ({:.1}x)",
+            target * 100.0,
+            ta / tp
+        );
     }
 }

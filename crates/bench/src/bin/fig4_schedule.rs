@@ -9,12 +9,18 @@ fn main() {
     p3_bench::print_header("4a", "aggressive (FIFO) synchronization");
     let a = schedule_sync(&spec, SyncOrder::Fifo);
     print!("{}", ascii_gantt(&a, 1.0));
-    println!("# inter-iteration delay: {} units, makespan: {}", a.iteration_gap, a.makespan);
+    println!(
+        "# inter-iteration delay: {} units, makespan: {}",
+        a.iteration_gap, a.makespan
+    );
 
     p3_bench::print_header("4b", "priority-based synchronization (P3)");
     let b = schedule_sync(&spec, SyncOrder::PriorityPreemptive);
     print!("{}", ascii_gantt(&b, 1.0));
-    println!("# inter-iteration delay: {} units, makespan: {}", b.iteration_gap, b.makespan);
+    println!(
+        "# inter-iteration delay: {} units, makespan: {}",
+        b.iteration_gap, b.makespan
+    );
 
     println!(
         "# paper claim: priority halves the delay — {} -> {} ({}x)",

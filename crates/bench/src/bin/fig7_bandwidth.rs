@@ -12,17 +12,37 @@ fn main() {
     let strategies = SyncStrategy::fig7_series();
 
     let cases: Vec<(&str, ModelSpec, Vec<f64>)> = vec![
-        ("7a", ModelSpec::resnet50(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0]),
-        ("7b", ModelSpec::inception_v3(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0]),
-        ("7c", ModelSpec::vgg19(), vec![2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0]),
-        ("7d", ModelSpec::sockeye(), vec![2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0]),
+        (
+            "7a",
+            ModelSpec::resnet50(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0],
+        ),
+        (
+            "7b",
+            ModelSpec::inception_v3(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0],
+        ),
+        (
+            "7c",
+            ModelSpec::vgg19(),
+            vec![2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0],
+        ),
+        (
+            "7d",
+            ModelSpec::sockeye(),
+            vec![2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0],
+        ),
     ];
 
     let mut claims = Vec::new();
     for (tag, model, gbps) in cases {
         p3_bench::print_header(
             tag,
-            &format!("model: {}  machines: 4  unit: {}/sec", model.name(), model.unit()),
+            &format!(
+                "model: {}  machines: 4  unit: {}/sec",
+                model.name(),
+                model.unit()
+            ),
         );
         let pts = bandwidth_sweep(&model, &strategies, 4, &gbps, warmup, measure, 42);
         p3_bench::print_sweep("bandwidth_gbps", &pts);

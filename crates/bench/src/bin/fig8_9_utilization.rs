@@ -26,7 +26,10 @@ fn main() {
     for (fig, strategy) in [("8", SyncStrategy::baseline()), ("9", SyncStrategy::p3())] {
         for (i, (name, model, gbps)) in cases.iter().enumerate() {
             let sub = ['a', 'b', 'c'][i];
-            p3_bench::print_header(&format!("{fig}{sub}"), &format!("{name}  strategy: {}", strategy.name()));
+            p3_bench::print_header(
+                &format!("{fig}{sub}"),
+                &format!("{name}  strategy: {}", strategy.name()),
+            );
             let (tx, rx, bin) = trace(model.clone(), strategy.clone(), *gbps);
             let n = tx.len().min(rx.len()).min(400);
             let rows: Vec<(f64, Vec<f64>)> = (0..n)
@@ -34,8 +37,7 @@ fn main() {
                 .collect();
             p3_bench::print_series("time_10ms", &["outbound_gbps", "inbound_gbps"], &rows);
             // Idle-time summary: fraction of bins below 5% of nominal.
-            let idle_tx =
-                tx.iter().take(n).filter(|&&g| g < gbps * 0.05).count() as f64 / n as f64;
+            let idle_tx = tx.iter().take(n).filter(|&&g| g < gbps * 0.05).count() as f64 / n as f64;
             println!("# outbound idle fraction (<5% of nominal): {idle_tx:.2}");
             // Bidirectional overlap: Σ min(tx,rx) / Σ max(tx,rx) — the
             // paper's "inbound and outbound traffics are not overlapped"

@@ -47,7 +47,10 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
         ),
         (
             "lossy network (3% drop)",
-            FaultPlan { loss_probability: 0.03, ..FaultPlan::none() },
+            FaultPlan {
+                loss_probability: 0.03,
+                ..FaultPlan::none()
+            },
         ),
         (
             "worker crash (w2, no restart)",
@@ -66,8 +69,11 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (warmup, measure) = if quick { (1, 3) } else { (2, 8) };
-    let strategies =
-        [SyncStrategy::baseline(), SyncStrategy::slicing_only(), SyncStrategy::p3()];
+    let strategies = [
+        SyncStrategy::baseline(),
+        SyncStrategy::slicing_only(),
+        SyncStrategy::p3(),
+    ];
     let model = ModelSpec::resnet50();
     p3_bench::print_header(
         "robustness",

@@ -155,7 +155,9 @@ impl BytesMut {
 
     /// An empty buffer with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of bytes written.
@@ -170,7 +172,10 @@ impl BytesMut {
 
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, start: 0 }
+        Bytes {
+            data: self.data,
+            start: 0,
+        }
     }
 }
 
@@ -243,8 +248,14 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds");
-        Bytes { data: self.data[self.start + lo..self.start + hi].to_vec(), start: 0 }
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds"
+        );
+        Bytes {
+            data: self.data[self.start + lo..self.start + hi].to_vec(),
+            start: 0,
+        }
     }
 }
 

@@ -40,7 +40,11 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "no command given (try `p3 help`)"),
             ArgError::UnexpectedPositional(t) => write!(f, "unexpected argument `{t}`"),
             ArgError::MissingFlag(n) => write!(f, "missing required flag --{n}"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} {value}: expected {expected}")
             }
         }
@@ -177,14 +181,22 @@ mod tests {
     #[test]
     fn errors_are_descriptive() {
         assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
-        assert!(matches!(parse("sim stray").unwrap_err(), ArgError::UnexpectedPositional(_)));
+        assert!(matches!(
+            parse("sim stray").unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
         let a = parse("x --gbps abc").unwrap();
         assert!(matches!(
             a.get_or("gbps", 1.0, "number").unwrap_err(),
             ArgError::BadValue { .. }
         ));
-        assert_eq!(a.require("model").unwrap_err(), ArgError::MissingFlag("model"));
-        assert!(ArgError::MissingFlag("model").to_string().contains("--model"));
+        assert_eq!(
+            a.require("model").unwrap_err(),
+            ArgError::MissingFlag("model")
+        );
+        assert!(ArgError::MissingFlag("model")
+            .to_string()
+            .contains("--model"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use p3_des::{SimDuration, SimTime};
 use p3_models::ModelSpec;
 use p3_net::Bandwidth;
 use p3_tensor::{gaussian_blobs, spirals};
+use p3_topo::{Placement, Topology};
 use p3_trace::{chrome_trace_json, MetricsRegistry};
 use p3_train::{train_async, train_sync, SyncMode, TrainConfig};
 use std::fmt::Write as _;
@@ -46,7 +47,11 @@ impl fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(f, "unknown command `{c}` (try `p3 help`)")
             }
-            CliError::UnknownName { kind, value, choices } => {
+            CliError::UnknownName {
+                kind,
+                value,
+                choices,
+            } => {
                 write!(f, "unknown {kind} `{value}` (choices: {choices})")
             }
             CliError::Sim(why) => write!(f, "{why}"),
@@ -190,6 +195,51 @@ fn parse_fault_plan(args: &Args) -> Result<FaultPlan, CliError> {
     Ok(plan)
 }
 
+/// Parses the topology/placement flags shared by `simulate` and `sweep`:
+/// `--topology racks=R,size=S,oversub=F` and
+/// `--placement spread|packed|rack-local`.
+fn parse_topology_flags(args: &Args) -> Result<(Option<Topology>, Placement), CliError> {
+    let topology = match args.get("topology") {
+        None => None,
+        Some(spec) => Some(
+            Topology::parse_spec(spec)
+                .map_err(|why| CliError::Sim(format!("--topology: {why}")))?,
+        ),
+    };
+    let placement = match args.get("placement") {
+        None => Placement::Spread,
+        Some(name) => Placement::parse(name).map_err(|_| CliError::UnknownName {
+            kind: "placement",
+            value: name.to_string(),
+            choices: "spread, packed, rack-local",
+        })?,
+    };
+    Ok((topology, placement))
+}
+
+/// Cluster size: derived from the topology when one is given, otherwise
+/// from `--machines` (defaulting to `default`). An explicit `--machines`
+/// that contradicts the topology is an error.
+fn resolve_machines(
+    args: &Args,
+    topology: Option<&Topology>,
+    default: usize,
+) -> Result<usize, CliError> {
+    let explicit: Option<usize> = match args.get("machines") {
+        None => None,
+        Some(_) => Some(args.get_or("machines", default, "integer")?),
+    };
+    match (topology, explicit) {
+        (Some(t), Some(m)) if m != t.machines() => Err(CliError::Sim(format!(
+            "--machines {m} conflicts with the topology ({}: {} machines)",
+            t.describe(),
+            t.machines()
+        ))),
+        (Some(t), _) => Ok(t.machines()),
+        (None, m) => Ok(m.unwrap_or(default)),
+    }
+}
+
 /// Executes a parsed command line and returns its printable output.
 ///
 /// # Errors
@@ -221,10 +271,12 @@ COMMANDS:
   simulate    One training-cluster run     --model M [--strategy S] [--machines N]
                                            [--gbps G] [--iters N] [fault flags]
                                            [--trace-out F] [--metrics-out F]
+                                           [topology flags] [iteration flags]
   timeline    ASCII Gantt of a traced run  --model M [--strategy S] [--machines N]
                                            [--gbps G] [--iters N] [--width W]
   sweep       Bandwidth sweep              --model M [--gbps 1,2,4] [--machines N]
-                                           [fault flags]
+                                           [fault flags] [topology flags]
+                                           [iteration flags]
   allreduce   Collective-aggregation run   --model M [--gbps G] [--layerwise] [--fifo]
   train       Real data-parallel training  [--mode full|dgc|qsgd|terngrad|onebit|asgd]
                                            [--dataset spirals|blobs] [--epochs N]
@@ -236,6 +288,16 @@ FAULT FLAGS (simulate, sweep):
   --degrade M:START:DUR:FACTOR    machine M NIC at FACTOR of capacity
   --crash W:AT[:REJOIN]           worker W dies at AT s, restarts after REJOIN s
 
+TOPOLOGY FLAGS (simulate, sweep):
+  --topology racks=R,size=S,oversub=F   rack/core fabric instead of the flat fan-out
+                                        (omit --machines; it is R*S)
+  --placement spread|packed|rack-local  server placement policy on the topology
+
+ITERATION FLAGS (simulate, sweep):
+  --warmup N                      untimed warm-up iterations (simulate: 2, sweep: 1)
+  --measure N                     timed iterations (simulate: --iters, sweep: 5)
+  --seed N                        simulation seed (sweep default: 42)
+
 TRACE FLAGS (simulate):
   --trace-out FILE                write a Chrome trace-event JSON (Perfetto-loadable)
   --metrics-out FILE              write the derived metrics registry as JSON
@@ -245,7 +307,11 @@ TRACE FLAGS (simulate):
 
 fn models_table() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<14} {:>10} {:>8} {:>14} {:>10}", "model", "params(M)", "arrays", "heaviest(%)", "unit");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>8} {:>14} {:>10}",
+        "model", "params(M)", "arrays", "heaviest(%)", "unit"
+    );
     for m in [
         ModelSpec::resnet50(),
         ModelSpec::inception_v3(),
@@ -255,9 +321,8 @@ fn models_table() -> String {
         ModelSpec::alexnet(),
         ModelSpec::transformer(),
     ] {
-        let heaviest = m.heaviest_array().expect("params").params as f64
-            / m.total_params() as f64
-            * 100.0;
+        let heaviest =
+            m.heaviest_array().expect("params").params as f64 / m.total_params() as f64 * 100.0;
         let _ = writeln!(
             out,
             "{:<14} {:>10.2} {:>8} {:>13.1}% {:>10}",
@@ -278,12 +343,21 @@ fn plan(args: &Args) -> Result<String, CliError> {
     let plan = strategy.plan(&model, servers, 0);
     let loads = plan.server_loads();
     let mut out = String::new();
-    let _ = writeln!(out, "{} under {} on {servers} servers:", model.name(), strategy.name());
+    let _ = writeln!(
+        out,
+        "{} under {} on {servers} servers:",
+        model.name(),
+        strategy.name()
+    );
     let _ = writeln!(out, "  keys:          {}", plan.num_keys());
     let _ = writeln!(out, "  total params:  {}", plan.total_params());
     let max = *loads.iter().max().expect("servers") as f64;
     let min = *loads.iter().min().expect("servers") as f64;
-    let _ = writeln!(out, "  server loads:  {loads:?}  (imbalance {:.3}x)", max / min.max(1.0));
+    let _ = writeln!(
+        out,
+        "  server loads:  {loads:?}  (imbalance {:.3}x)",
+        max / min.max(1.0)
+    );
     let biggest = plan.slices().iter().map(|s| s.params).max().expect("keys");
     let _ = writeln!(out, "  largest slice: {biggest} params");
     Ok(out)
@@ -292,21 +366,34 @@ fn plan(args: &Args) -> Result<String, CliError> {
 fn simulate(args: &Args) -> Result<String, CliError> {
     let model = model_by_name(args.require("model")?)?;
     let strategy = strategy_by_name(args.get("strategy").unwrap_or("p3"))?;
-    let machines: usize = args.get_or("machines", 4, "integer")?;
+    let (topology, placement) = parse_topology_flags(args)?;
+    let machines = resolve_machines(args, topology.as_ref(), 4)?;
     let gbps: f64 = args.get_or("gbps", 10.0, "number")?;
     let iters: u64 = args.get_or("iters", 8, "integer")?;
+    let warmup: u64 = args.get_or("warmup", 2, "integer")?;
+    let measure: u64 = args.get_or("measure", iters, "integer")?;
+    let seed: u64 = args.get_or("seed", 0x9e3779b9, "integer")?;
+    if measure == 0 {
+        return Err(bad_value("measure", "0", "positive integer"));
+    }
     let plan = parse_fault_plan(args)?;
     let faulty = !plan.is_empty();
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
     let mut cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
-        .with_iters(2, iters)
-        .with_faults(plan);
+        .with_iters(warmup, measure)
+        .with_seed(seed)
+        .with_faults(plan)
+        .with_placement(placement);
+    if let Some(t) = topology {
+        cfg = cfg.with_topology(t);
+    }
     if trace_out.is_some() || metrics_out.is_some() {
         cfg = cfg.with_slice_trace();
     }
-    let (r, log) =
-        ClusterSim::new(cfg).try_run_traced().map_err(|e| CliError::Sim(e.to_string()))?;
+    let (r, log) = ClusterSim::new(cfg)
+        .try_run_traced()
+        .map_err(|e| CliError::Sim(e.to_string()))?;
     let mut out = format!(
         "throughput: {:.1} {}/sec  |  mean iteration: {}  |  stall fraction: {:.2}\n",
         r.throughput, r.unit, r.mean_iteration, r.mean_stall_fraction
@@ -316,9 +403,25 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         "iteration p50: {}  |  p99: {}",
         r.p50_iteration, r.p99_iteration
     );
-    let stalls: Vec<String> =
-        r.stalled_per_worker.iter().map(|d| format!("{d}")).collect();
+    let stalls: Vec<String> = r
+        .stalled_per_worker
+        .iter()
+        .map(|d| format!("{d}"))
+        .collect();
     let _ = writeln!(out, "stall per worker: [{}]", stalls.join(", "));
+    if !r.links.is_empty() {
+        let _ = writeln!(out, "link utilization:");
+        for l in &r.links {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>5.1}% busy  {:>9.1} MB{}",
+                l.name,
+                l.busy_fraction * 100.0,
+                l.bytes / 1e6,
+                if l.transit { "  (core)" } else { "" }
+            );
+        }
+    }
     if let Some(log) = &log {
         if let Some(path) = &trace_out {
             std::fs::write(path, chrome_trace_json(log, machines))
@@ -326,7 +429,11 @@ fn simulate(args: &Args) -> Result<String, CliError> {
             let _ = writeln!(out, "chrome trace written: {path}");
         }
         if let Some(path) = &metrics_out {
-            std::fs::write(path, MetricsRegistry::from_trace(log).to_json())
+            let mut reg = MetricsRegistry::from_trace(log);
+            for l in &r.links {
+                reg.record_link_busy(&l.name, l.busy_fraction);
+            }
+            std::fs::write(path, reg.to_json())
                 .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
             let _ = writeln!(out, "metrics written: {path}");
         }
@@ -364,22 +471,34 @@ fn timeline(args: &Args) -> Result<String, CliError> {
     let cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
         .with_iters(0, iters.max(1) + 1)
         .with_slice_trace();
-    let (_, log) =
-        ClusterSim::new(cfg).try_run_traced().map_err(|e| CliError::Sim(e.to_string()))?;
+    let (_, log) = ClusterSim::new(cfg)
+        .try_run_traced()
+        .map_err(|e| CliError::Sim(e.to_string()))?;
     let log = log.expect("tracing was enabled");
     Ok(p3_cluster::ascii_timeline(&log, machines, iters, width))
 }
 
 fn sweep(args: &Args) -> Result<String, CliError> {
     let model = model_by_name(args.require("model")?)?;
-    let machines: usize = args.get_or("machines", 4, "integer")?;
+    let (topology, placement) = parse_topology_flags(args)?;
+    let machines = resolve_machines(args, topology.as_ref(), 4)?;
     let gbps = args.get_f64_list("gbps", &[1.0, 2.0, 4.0, 8.0, 16.0])?;
+    let warmup: u64 = args.get_or("warmup", 1, "integer")?;
+    let measure: u64 = args.get_or("measure", 5, "integer")?;
+    let seed: u64 = args.get_or("seed", 42, "integer")?;
+    if measure == 0 {
+        return Err(bad_value("measure", "0", "positive integer"));
+    }
     let strategies = SyncStrategy::fig7_series();
     let plan = parse_fault_plan(args)?;
     let mut out = String::new();
-    let _ = writeln!(out, "{:>8}  {:>10}  {:>10}  {:>10}", "Gbps", "Baseline", "Slicing", "P3");
-    if plan.is_empty() {
-        let pts = bandwidth_sweep(&model, &strategies, machines, &gbps, 1, 5, 42);
+    let _ = writeln!(
+        out,
+        "{:>8}  {:>10}  {:>10}  {:>10}",
+        "Gbps", "Baseline", "Slicing", "P3"
+    );
+    if plan.is_empty() && topology.is_none() {
+        let pts = bandwidth_sweep(&model, &strategies, machines, &gbps, warmup, measure, seed);
         for p in pts {
             let _ = writeln!(
                 out,
@@ -388,26 +507,36 @@ fn sweep(args: &Args) -> Result<String, CliError> {
             );
         }
     } else {
-        // Fault-injected sweep: each point runs under the same plan. A
-        // configuration that wedges prints as NaN rather than aborting the
-        // sweep.
+        // Fault-injected or topology sweep: each point runs under the same
+        // plan and fabric. A configuration that wedges prints as NaN rather
+        // than aborting the sweep.
         for &g in &gbps {
             let t: Vec<f64> = strategies
                 .iter()
                 .map(|s| {
-                    let cfg = ClusterConfig::new(
+                    let mut cfg = ClusterConfig::new(
                         model.clone(),
                         s.clone(),
                         machines,
                         Bandwidth::from_gbps(g),
                     )
-                    .with_iters(1, 5)
-                    .with_seed(42)
-                    .with_faults(plan.clone());
-                    ClusterSim::new(cfg).try_run().map_or(f64::NAN, |r| r.throughput)
+                    .with_iters(warmup, measure)
+                    .with_seed(seed)
+                    .with_faults(plan.clone())
+                    .with_placement(placement);
+                    if let Some(t) = &topology {
+                        cfg = cfg.with_topology(t.clone());
+                    }
+                    ClusterSim::new(cfg)
+                        .try_run()
+                        .map_or(f64::NAN, |r| r.throughput)
                 })
                 .collect();
-            let _ = writeln!(out, "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}", g, t[0], t[1], t[2]);
+            let _ = writeln!(
+                out,
+                "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}",
+                g, t[0], t[1], t[2]
+            );
         }
     }
     Ok(out)
@@ -451,7 +580,14 @@ fn train(args: &Args) -> Result<String, CliError> {
     };
     let run = match args.get("mode").unwrap_or("full") {
         "full" | "p3" => train_sync(&data, &cfg, SyncMode::FullSync),
-        "dgc" => train_sync(&data, &cfg, SyncMode::Dgc { final_sparsity: 0.99, warmup_epochs: 4 }),
+        "dgc" => train_sync(
+            &data,
+            &cfg,
+            SyncMode::Dgc {
+                final_sparsity: 0.99,
+                warmup_epochs: 4,
+            },
+        ),
         "qsgd" => train_sync(&data, &cfg, SyncMode::Qsgd { levels: 4 }),
         "terngrad" => train_sync(&data, &cfg, SyncMode::TernGrad),
         "onebit" => train_sync(&data, &cfg, SyncMode::OneBit),
@@ -465,7 +601,11 @@ fn train(args: &Args) -> Result<String, CliError> {
         }
     };
     let mut out = String::new();
-    let _ = writeln!(out, "mode: {}  epochs: {epochs}  workers: {}", run.mode_name, cfg.workers);
+    let _ = writeln!(
+        out,
+        "mode: {}  epochs: {epochs}  workers: {}",
+        run.mode_name, cfg.workers
+    );
     for r in &run.records {
         let _ = writeln!(
             out,
@@ -525,14 +665,20 @@ mod tests {
 
     #[test]
     fn unknown_command_and_names_error() {
-        assert!(matches!(run("frobnicate"), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(
+            run("frobnicate"),
+            Err(CliError::UnknownCommand(_))
+        ));
         assert!(matches!(
             run("plan --model resnet9000"),
             Err(CliError::UnknownName { kind: "model", .. })
         ));
         assert!(matches!(
             run("simulate --model vgg19 --strategy warp"),
-            Err(CliError::UnknownName { kind: "strategy", .. })
+            Err(CliError::UnknownName {
+                kind: "strategy",
+                ..
+            })
         ));
         let msg = run("plan").unwrap_err().to_string();
         assert!(msg.contains("--model"), "{msg}");
@@ -621,5 +767,103 @@ mod tests {
             run("timeline --model resnet50 --machines 2 --width 0"),
             Err(CliError::Args(ArgError::BadValue { .. }))
         ));
+    }
+
+    #[test]
+    fn simulate_with_topology_reports_link_utilization() {
+        let out = run("simulate --model resnet50 --gbps 20 --iters 2 \
+             --topology racks=2,size=2,oversub=4")
+        .unwrap();
+        assert!(out.contains("link utilization:"), "{out}");
+        assert!(out.contains("m0.tx"), "{out}");
+        assert!(out.contains("(core)"), "{out}");
+    }
+
+    #[test]
+    fn simulate_without_topology_has_no_link_section() {
+        let out = run("simulate --model resnet50 --machines 2 --gbps 20 --iters 2").unwrap();
+        assert!(!out.contains("link utilization:"), "{out}");
+    }
+
+    #[test]
+    fn topology_machine_conflict_and_bad_specs_error() {
+        let msg = run("simulate --model resnet50 --machines 8 --topology racks=2,size=2")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("conflicts with the topology"), "{msg}");
+        assert!(matches!(
+            run("simulate --model resnet50 --topology racks=two"),
+            Err(CliError::Sim(_))
+        ));
+        assert!(matches!(
+            run("simulate --model resnet50 --topology racks=2,size=2 --placement sideways"),
+            Err(CliError::UnknownName {
+                kind: "placement",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn simulate_accepts_iteration_flags() {
+        let out = run("simulate --model resnet50 --machines 2 --gbps 20 \
+             --warmup 0 --measure 2 --seed 7")
+        .unwrap();
+        assert!(out.contains("throughput:"), "{out}");
+        assert!(matches!(
+            run("simulate --model resnet50 --machines 2 --measure 0"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn sweep_over_topology_is_deterministic() {
+        let line = "sweep --model resnet50 --gbps 16 \
+                    --topology racks=2,size=2,oversub=4 --measure 2 --seed 9";
+        let a = run(line).unwrap();
+        let b = run(line).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("Baseline"), "{a}");
+    }
+
+    #[test]
+    fn sweep_accepts_iteration_flags() {
+        let out =
+            run("sweep --model resnet50 --machines 2 --gbps 16 --measure 1 --seed 3").unwrap();
+        assert!(out.contains("16.0"), "{out}");
+        assert!(matches!(
+            run("sweep --model resnet50 --machines 2 --measure 0"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn help_lists_topology_flags() {
+        let h = run("help").unwrap();
+        for flag in [
+            "--topology",
+            "--placement",
+            "--warmup",
+            "--measure",
+            "--seed",
+        ] {
+            assert!(h.contains(flag), "help missing {flag}");
+        }
+    }
+
+    #[test]
+    fn metrics_file_carries_link_gauges_under_topology() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join(format!("p3_cli_topo_metrics_{}.json", std::process::id()));
+        let line = format!(
+            "simulate --model resnet50 --gbps 20 --iters 2 \
+             --topology racks=2,size=2,oversub=4 --metrics-out {}",
+            metrics.display()
+        );
+        let out = run(&line).unwrap();
+        assert!(out.contains("metrics written:"), "{out}");
+        let mdoc = std::fs::read_to_string(&metrics).unwrap();
+        assert!(mdoc.contains("link_busy_rack0.up"), "{mdoc}");
+        let _ = std::fs::remove_file(&metrics);
     }
 }

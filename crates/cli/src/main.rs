@@ -5,8 +5,15 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
-    let tokens = if tokens.is_empty() { vec!["help".to_string()] } else { tokens };
-    match Args::parse(tokens).map_err(Into::into).and_then(|a| dispatch(&a)) {
+    let tokens = if tokens.is_empty() {
+        vec!["help".to_string()]
+    } else {
+        tokens
+    };
+    match Args::parse(tokens)
+        .map_err(Into::into)
+        .and_then(|a| dispatch(&a))
+    {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS

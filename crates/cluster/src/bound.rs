@@ -55,7 +55,11 @@ pub fn iteration_bound(cfg: &ClusterConfig) -> IterationBound {
     let volume = cfg.model.total_bytes() as f64 * 2.0 * (n - 1.0) / n;
     let rate = cfg.bandwidth.bytes_per_sec() * cfg.net_efficiency;
     let dir = SimDuration::from_secs_f64(volume / rate);
-    IterationBound { compute, tx: dir, rx: dir }
+    IterationBound {
+        compute,
+        tx: dir,
+        rx: dir,
+    }
 }
 
 #[cfg(test)]

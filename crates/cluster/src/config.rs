@@ -6,6 +6,7 @@ use p3_des::{SimDuration, SimTime};
 use p3_models::{ComputeProfile, ModelSpec, SampleUnit};
 use p3_net::Bandwidth;
 use p3_pserver::RetryPolicy;
+use p3_topo::{Placement, Topology};
 
 /// Full description of one simulated training run.
 ///
@@ -76,6 +77,15 @@ pub struct ClusterConfig {
     /// How long servers wait for a silent worker before dropping it from
     /// the membership and completing rounds with the survivors.
     pub liveness_timeout: SimDuration,
+    /// Optional rack-level topology. `None` (the default) is the paper's
+    /// flat single-switch fabric; `Some` routes traffic over the compiled
+    /// link graph (machine ports + oversubscribed rack uplinks) and must
+    /// agree with `machines` on the cluster size. A single-rack topology
+    /// is simulated result-identically to the flat fabric.
+    pub topology: Option<Topology>,
+    /// Where PS shards live relative to the racks (only meaningful with a
+    /// topology; ignored on the flat fabric).
+    pub placement: Placement,
 }
 
 /// Payload shrink factors of a lossy compression scheme, as seen by the
@@ -104,7 +114,10 @@ impl WireCompression {
         // Index+value doubles per-entry bytes.
         let push_ratio = 1.0 / (kept * 2.0);
         let response_ratio = 1.0 / ((kept * workers as f64).min(1.0) * 2.0);
-        WireCompression { push_ratio, response_ratio }
+        WireCompression {
+            push_ratio,
+            response_ratio,
+        }
     }
 }
 
@@ -141,7 +154,24 @@ impl ClusterConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             liveness_timeout: SimDuration::from_secs(5),
+            topology: None,
+            placement: Placement::Spread,
         }
+    }
+
+    /// Routes traffic over a rack-level topology instead of the flat
+    /// switch. The topology's machine count must equal `machines`
+    /// (validated when the run starts).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Chooses a PS-shard placement policy (used with
+    /// [`ClusterConfig::with_topology`]).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
     }
 
     /// Overrides the seed.
@@ -209,6 +239,12 @@ pub struct MessageStats {
     pub notifies: u64,
     /// Worker→server pull requests delivered.
     pub pull_requests: u64,
+    /// Worker→rack-aggregator partial pushes delivered (rack-local
+    /// placement only).
+    pub rack_pushes: u64,
+    /// Rack-aggregator→server combined pushes delivered (rack-local
+    /// placement only).
+    pub combined_pushes: u64,
 }
 
 /// Counters of everything the fault-injection and reliability machinery
@@ -232,6 +268,24 @@ pub struct FaultStats {
     pub degraded_rounds: u64,
     /// In-flight transmissions cancelled by worker crashes.
     pub flows_cancelled: u64,
+}
+
+/// Traffic carried by one link of a compiled topology over a whole run.
+///
+/// Only populated when the run had a [`Topology`]; the flat fabric reports
+/// an empty list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUtilization {
+    /// Link name from the compiled graph (`m3.tx`, `rack1.up`, …).
+    pub name: String,
+    /// Fraction of the run during which at least one flow crossed the
+    /// link.
+    pub busy_fraction: f64,
+    /// Total bytes carried.
+    pub bytes: f64,
+    /// True for shared fabric links (rack uplinks/downlinks) as opposed to
+    /// per-machine NIC ports.
+    pub transit: bool,
 }
 
 /// Why a simulated run could not produce a result.
@@ -258,7 +312,10 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Deadlock { progress } => {
-                write!(f, "simulation deadlocked: no events left, progress {progress:?}")
+                write!(
+                    f,
+                    "simulation deadlocked: no events left, progress {progress:?}"
+                )
             }
             RunError::EventCapExceeded { cap } => {
                 write!(f, "event cap {cap} exceeded — wedged simulation")
@@ -302,6 +359,9 @@ pub struct RunResult {
     pub faults: FaultStats,
     /// Machine-0 NIC trace, when tracing was enabled.
     pub trace: Option<UtilizationTrace>,
+    /// Per-link traffic totals of the compiled topology (empty on the flat
+    /// fabric).
+    pub links: Vec<LinkUtilization>,
 }
 
 impl RunResult {
@@ -356,6 +416,7 @@ mod tests {
             messages: MessageStats::default(),
             faults: FaultStats::default(),
             trace: None,
+            links: Vec::new(),
         };
         assert!((mk(150.0).speedup_over(&mk(100.0)) - 1.5).abs() < 1e-12);
     }

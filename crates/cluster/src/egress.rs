@@ -64,7 +64,11 @@ impl EgressUnit {
     /// Panics if `window` is zero.
     pub fn single(window: usize) -> EgressUnit {
         assert!(window > 0, "zero send window");
-        EgressUnit::Single { queue: PrioQueue::new(), in_flight: 0, window }
+        EgressUnit::Single {
+            queue: PrioQueue::new(),
+            in_flight: 0,
+            window,
+        }
     }
 
     /// Creates a per-destination FIFO (baseline-style) unit for a cluster of
@@ -94,7 +98,11 @@ impl EgressUnit {
     /// [`EgressUnit::start_ready`].
     pub fn start_one(&mut self) -> Option<OutMsg> {
         match self {
-            EgressUnit::Single { queue, in_flight, window } => {
+            EgressUnit::Single {
+                queue,
+                in_flight,
+                window,
+            } => {
                 if *in_flight < *window {
                     let m = queue.pop();
                     if m.is_some() {
@@ -173,7 +181,9 @@ impl EgressUnit {
     /// True if nothing is queued and nothing is in flight.
     pub fn is_idle(&self) -> bool {
         match self {
-            EgressUnit::Single { queue, in_flight, .. } => queue.is_empty() && *in_flight == 0,
+            EgressUnit::Single {
+                queue, in_flight, ..
+            } => queue.is_empty() && *in_flight == 0,
             EgressUnit::PerDest { queues, busy } => {
                 queues.iter().all(VecDeque::is_empty) && busy.iter().all(|b| !*b)
             }
@@ -186,7 +196,12 @@ mod tests {
     use super::*;
 
     fn msg(dst: usize, prio: u32, id: u64) -> OutMsg {
-        OutMsg { dst: MachineId(dst), bytes: 100, priority: Priority(prio), msg_id: id }
+        OutMsg {
+            dst: MachineId(dst),
+            bytes: 100,
+            priority: Priority(prio),
+            msg_id: id,
+        }
     }
 
     #[test]
@@ -278,7 +293,12 @@ mod properties {
     use proptest::prelude::*;
 
     fn msg(dst: usize, prio: u32, id: u64) -> OutMsg {
-        OutMsg { dst: MachineId(dst), bytes: 100, priority: Priority(prio), msg_id: id }
+        OutMsg {
+            dst: MachineId(dst),
+            bytes: 100,
+            priority: Priority(prio),
+            msg_id: id,
+        }
     }
 
     proptest! {

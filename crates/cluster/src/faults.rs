@@ -127,14 +127,19 @@ impl FaultPlan {
                 return Err(format!("straggler worker {} out of range", s.worker));
             }
             if s.duration.is_zero() {
-                return Err(format!("straggler on worker {} has zero duration", s.worker));
+                return Err(format!(
+                    "straggler on worker {} has zero duration",
+                    s.worker
+                ));
             }
             if s.slowdown.is_nan() || s.slowdown < 1.0 {
                 return Err(format!("straggler slowdown {} must be >= 1", s.slowdown));
             }
         }
         check_disjoint(
-            self.stragglers.iter().map(|s| (s.worker, s.start, s.duration)),
+            self.stragglers
+                .iter()
+                .map(|s| (s.worker, s.start, s.duration)),
             "straggler episodes",
         )?;
         for d in &self.link_degradations {
@@ -142,7 +147,10 @@ impl FaultPlan {
                 return Err(format!("degraded machine {} out of range", d.machine));
             }
             if d.duration.is_zero() {
-                return Err(format!("degradation on machine {} has zero duration", d.machine));
+                return Err(format!(
+                    "degradation on machine {} has zero duration",
+                    d.machine
+                ));
             }
             if !(d.capacity_factor > 0.0 && d.capacity_factor <= 1.0) {
                 return Err(format!(
@@ -152,7 +160,9 @@ impl FaultPlan {
             }
         }
         check_disjoint(
-            self.link_degradations.iter().map(|d| (d.machine, d.start, d.duration)),
+            self.link_degradations
+                .iter()
+                .map(|d| (d.machine, d.start, d.duration)),
             "link degradations",
         )?;
         if !(0.0..1.0).contains(&self.loss_probability) {
@@ -223,7 +233,10 @@ mod tests {
 
     #[test]
     fn loss_alone_needs_reliability() {
-        let p = FaultPlan { loss_probability: 0.01, ..FaultPlan::none() };
+        let p = FaultPlan {
+            loss_probability: 0.01,
+            ..FaultPlan::none()
+        };
         assert!(!p.is_empty());
         assert!(p.needs_reliability());
         assert!(p.validate(2).is_ok());
@@ -231,13 +244,19 @@ mod tests {
 
     #[test]
     fn stragglers_do_not_need_reliability() {
-        let p = FaultPlan { stragglers: vec![straggler(0, 1, 1)], ..FaultPlan::none() };
+        let p = FaultPlan {
+            stragglers: vec![straggler(0, 1, 1)],
+            ..FaultPlan::none()
+        };
         assert!(!p.needs_reliability());
     }
 
     #[test]
     fn out_of_range_indices_rejected() {
-        let p = FaultPlan { stragglers: vec![straggler(5, 0, 1)], ..FaultPlan::none() };
+        let p = FaultPlan {
+            stragglers: vec![straggler(5, 0, 1)],
+            ..FaultPlan::none()
+        };
         assert!(p.validate(4).is_err());
         let p = FaultPlan {
             crashes: vec![WorkerCrash {
@@ -269,9 +288,15 @@ mod tests {
     fn bad_scalars_rejected() {
         let mut s = straggler(0, 0, 1);
         s.slowdown = 0.5;
-        let p = FaultPlan { stragglers: vec![s], ..FaultPlan::none() };
+        let p = FaultPlan {
+            stragglers: vec![s],
+            ..FaultPlan::none()
+        };
         assert!(p.validate(1).is_err());
-        let p = FaultPlan { loss_probability: 1.0, ..FaultPlan::none() };
+        let p = FaultPlan {
+            loss_probability: 1.0,
+            ..FaultPlan::none()
+        };
         assert!(p.validate(1).is_err());
         let p = FaultPlan {
             link_degradations: vec![LinkDegradation {
@@ -292,9 +317,15 @@ mod tests {
             at: SimTime::from_secs(1),
             rejoin_after: None,
         };
-        let p = FaultPlan { crashes: vec![crash(0), crash(1)], ..FaultPlan::none() };
+        let p = FaultPlan {
+            crashes: vec![crash(0), crash(1)],
+            ..FaultPlan::none()
+        };
         assert!(p.validate(2).is_err());
-        let p = FaultPlan { crashes: vec![crash(0)], ..FaultPlan::none() };
+        let p = FaultPlan {
+            crashes: vec![crash(0)],
+            ..FaultPlan::none()
+        };
         assert!(p.validate(2).is_ok());
     }
 
@@ -305,7 +336,10 @@ mod tests {
             at: SimTime::from_secs(1),
             rejoin_after: Some(SimDuration::from_secs(1)),
         };
-        let p = FaultPlan { crashes: vec![crash, crash], ..FaultPlan::none() };
+        let p = FaultPlan {
+            crashes: vec![crash, crash],
+            ..FaultPlan::none()
+        };
         assert!(p.validate(2).is_err());
     }
 }

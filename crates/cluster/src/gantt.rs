@@ -74,7 +74,11 @@ impl PipelineSpec {
     /// The exact example of Figure 4: three layers, unit fwd/bwd, 2-unit
     /// synchronization.
     pub fn figure4() -> PipelineSpec {
-        PipelineSpec { fwd: vec![1.0; 3], bwd: vec![1.0; 3], sync: vec![2.0; 3] }
+        PipelineSpec {
+            fwd: vec![1.0; 3],
+            bwd: vec![1.0; 3],
+            sync: vec![2.0; 3],
+        }
     }
 
     fn validate(&self) {
@@ -127,20 +131,23 @@ pub fn schedule_sync(spec: &PipelineSpec, order: SyncOrder) -> Schedule {
         SyncOrder::PriorityPreemptive => (0..n).collect(),
     };
     let preemptive = order == SyncOrder::PriorityPreemptive;
-    let sync_done = serve_single_resource(
-        &release,
-        &spec.sync,
-        &priority,
-        preemptive,
-        &mut segments,
-    );
+    let sync_done =
+        serve_single_resource(&release, &spec.sync, &priority, preemptive, &mut segments);
 
     // Next iteration's forward pass.
     let mut f = f64::NEG_INFINITY;
     let mut fwd_start0 = 0.0;
     for i in 0..n {
-        let ready = if i == 0 { sync_done[0] } else { f.max(sync_done[i]) };
-        let start = if i == 0 { sync_done[0].max(bwd_end) } else { ready };
+        let ready = if i == 0 {
+            sync_done[0]
+        } else {
+            f.max(sync_done[i])
+        };
+        let start = if i == 0 {
+            sync_done[0].max(bwd_end)
+        } else {
+            ready
+        };
         if i == 0 {
             fwd_start0 = start;
         }
@@ -155,7 +162,11 @@ pub fn schedule_sync(spec: &PipelineSpec, order: SyncOrder) -> Schedule {
 
     segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
     let makespan = segments.iter().map(|s| s.end).fold(0.0, f64::max);
-    Schedule { segments, iteration_gap: fwd_start0 - bwd_end, makespan }
+    Schedule {
+        segments,
+        iteration_gap: fwd_start0 - bwd_end,
+        makespan,
+    }
 }
 
 /// Serves jobs on one resource; returns per-job completion times and
@@ -196,7 +207,11 @@ fn serve_single_resource(
             }
             Some(i) => {
                 let finish = t + remaining[i];
-                let horizon = if preemptive { finish.min(next_release) } else { finish };
+                let horizon = if preemptive {
+                    finish.min(next_release)
+                } else {
+                    finish
+                };
                 if horizon > t + eps {
                     segments.push(Segment {
                         label: format!("sync L{}", i + 1),
@@ -234,7 +249,12 @@ pub struct TandemJob {
 impl TandemJob {
     /// A job with equal time in every stage.
     pub fn uniform(label: impl Into<String>, t: f64) -> TandemJob {
-        TandemJob { label: label.into(), send: t, update: t, recv: t }
+        TandemJob {
+            label: label.into(),
+            send: t,
+            update: t,
+            recv: t,
+        }
     }
 }
 
@@ -270,7 +290,11 @@ pub fn schedule_tandem(jobs: &[TandemJob]) -> Schedule {
     assert!(!jobs.is_empty(), "no jobs");
     for j in jobs {
         for v in [j.send, j.update, j.recv] {
-            assert!(v.is_finite() && v >= 0.0, "invalid duration {v} in {}", j.label);
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "invalid duration {v} in {}",
+                j.label
+            );
         }
     }
     let mut segments = Vec::new();
@@ -286,12 +310,31 @@ pub fn schedule_tandem(jobs: &[TandemJob]) -> Schedule {
         let r0 = u1.max(recv_free);
         let r1 = r0 + j.recv;
         recv_free = r1;
-        segments.push(Segment { label: format!("send {}", j.label), lane: Lane::Send, start: s0, end: s1 });
-        segments.push(Segment { label: format!("update {}", j.label), lane: Lane::Update, start: u0, end: u1 });
-        segments.push(Segment { label: format!("recv {}", j.label), lane: Lane::Receive, start: r0, end: r1 });
+        segments.push(Segment {
+            label: format!("send {}", j.label),
+            lane: Lane::Send,
+            start: s0,
+            end: s1,
+        });
+        segments.push(Segment {
+            label: format!("update {}", j.label),
+            lane: Lane::Update,
+            start: u0,
+            end: u1,
+        });
+        segments.push(Segment {
+            label: format!("recv {}", j.label),
+            lane: Lane::Receive,
+            start: r0,
+            end: r1,
+        });
         last_end = last_end.max(r1);
     }
-    Schedule { segments, iteration_gap: 0.0, makespan: last_end }
+    Schedule {
+        segments,
+        iteration_gap: 0.0,
+        makespan: last_end,
+    }
 }
 
 /// Renders a schedule as a fixed-width ASCII Gantt chart (one row per
@@ -349,13 +392,11 @@ mod tests {
     fn figure4b_sync_order_is_preemptive() {
         let s = schedule_sync(&PipelineSpec::figure4(), SyncOrder::PriorityPreemptive);
         // L1's sync runs as one uninterrupted segment 3..5.
-        let l1: Vec<&Segment> =
-            s.segments.iter().filter(|x| x.label == "sync L1").collect();
+        let l1: Vec<&Segment> = s.segments.iter().filter(|x| x.label == "sync L1").collect();
         assert_eq!(l1.len(), 1);
         assert_eq!((l1[0].start, l1[0].end), (3.0, 5.0));
         // L3 is preempted: two segments.
-        let l3: Vec<&Segment> =
-            s.segments.iter().filter(|x| x.label == "sync L3").collect();
+        let l3: Vec<&Segment> = s.segments.iter().filter(|x| x.label == "sync L3").collect();
         assert_eq!(l3.len(), 2);
     }
 
@@ -415,7 +456,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_spec_rejected() {
-        let spec = PipelineSpec { fwd: vec![1.0], bwd: vec![1.0, 2.0], sync: vec![1.0] };
+        let spec = PipelineSpec {
+            fwd: vec![1.0],
+            bwd: vec![1.0, 2.0],
+            sync: vec![1.0],
+        };
         schedule_sync(&spec, SyncOrder::Fifo);
     }
 }

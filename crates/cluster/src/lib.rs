@@ -41,11 +41,14 @@ mod sweep;
 mod timeline;
 
 pub use config::{
-    ClusterConfig, FaultStats, MessageStats, RunError, RunResult, UtilizationTrace,
-    WireCompression,
+    ClusterConfig, FaultStats, LinkUtilization, MessageStats, RunError, RunResult,
+    UtilizationTrace, WireCompression,
 };
 pub use egress::{EgressUnit, OutMsg};
 pub use faults::{FaultPlan, LinkDegradation, StragglerEpisode, WorkerCrash};
 pub use sim::ClusterSim;
-pub use sweep::{bandwidth_sweep, scalability_sweep, slice_size_sweep, throughput_of, SweepPoint};
+pub use sweep::{
+    bandwidth_sweep, oversubscription_sweep, scalability_sweep, slice_size_sweep, throughput_of,
+    SweepPoint,
+};
 pub use timeline::{ascii_timeline, timeline_schedule};

@@ -10,17 +10,18 @@
 //! degradation). The empty plan schedules no fault events and draws no
 //! extra randomness, so fault-free results stay bit-identical.
 
-use crate::config::{
-    ClusterConfig, FaultStats, MessageStats, RunError, RunResult, UtilizationTrace,
-};
 #[allow(unused_imports)]
 use crate::config::WireCompression;
+use crate::config::{
+    ClusterConfig, FaultStats, LinkUtilization, MessageStats, RunError, RunResult, UtilizationTrace,
+};
 use crate::egress::{EgressUnit, OutMsg};
 use p3_core::{Egress, PrioQueue, PullTiming, ResponseMode, ServerProcessing};
 use p3_des::{quantile, EventQueue, SimDuration, SimTime, SplitMix64};
 use p3_models::BlockTiming;
 use p3_net::{FlowId, MachineId, Network, NetworkConfig, Priority};
 use p3_pserver::{wire_bytes, RetryDecision, ShardPlan, HEADER_BYTES};
+use p3_topo::Placement;
 use p3_trace::{
     ComputePhase, EndpointRole, FaultKind, MsgClass, TraceEvent, TraceHandle, TraceLog,
 };
@@ -54,29 +55,62 @@ enum Role {
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    StartWorker { worker: usize },
+    StartWorker {
+        worker: usize,
+    },
     /// `inc` is the worker's incarnation at scheduling time; events from a
     /// pre-crash incarnation are stale and ignored.
-    Compute { worker: usize, phase: Phase, inc: u32 },
-    EgressReady { machine: usize, role: Role, dst: MachineId, inc: u32 },
+    Compute {
+        worker: usize,
+        phase: Phase,
+        inc: u32,
+    },
+    EgressReady {
+        machine: usize,
+        role: Role,
+        dst: MachineId,
+        inc: u32,
+    },
     /// A single-consumer egress may admit its next message (the consumer
     /// thread finished serializing the previous one).
-    AdmitKick { machine: usize, role: Role },
-    ProcDone { server: usize },
+    AdmitKick {
+        machine: usize,
+        role: Role,
+    },
+    ProcDone {
+        server: usize,
+    },
     NetWake,
     /// A scheduled straggler episode begins/ends on its worker.
-    StragglerStart { idx: usize },
-    StragglerEnd { idx: usize },
+    StragglerStart {
+        idx: usize,
+    },
+    StragglerEnd {
+        idx: usize,
+    },
     /// A scheduled link degradation begins/ends on its machine.
-    LinkDegradeStart { idx: usize },
-    LinkDegradeEnd { idx: usize },
+    LinkDegradeStart {
+        idx: usize,
+    },
+    LinkDegradeEnd {
+        idx: usize,
+    },
     /// A scheduled worker-process crash / restart.
-    Crash { idx: usize },
-    Rejoin { worker: usize },
+    Crash {
+        idx: usize,
+    },
+    Rejoin {
+        worker: usize,
+    },
     /// Retry timeout for one transmission attempt of one message.
-    RetryTimer { msg_id: u64, attempt: u32 },
+    RetryTimer {
+        msg_id: u64,
+        attempt: u32,
+    },
     /// The membership grace period for a crashed worker expired.
-    LivenessTimeout { worker: usize },
+    LivenessTimeout {
+        worker: usize,
+    },
 }
 
 /// What an in-flight message is, resolved when its flow is delivered.
@@ -91,12 +125,27 @@ enum MsgKind {
     /// Worker → server parameter request; answered once `version[key] >=
     /// round`.
     PullReq { key: usize, round: u64 },
+    /// Worker → rack-aggregator partial gradient (rack-local placement):
+    /// one rack member's contribution, combined in-rack before crossing
+    /// the core.
+    RackPush { key: usize, round: u64 },
+    /// Rack-aggregator → home server combined gradient covering the
+    /// workers in `members` (a bitmask). Sums have the same wire size as
+    /// one push — that is the PHub-style core-bandwidth saving.
+    CombinedPush {
+        key: usize,
+        round: u64,
+        members: u128,
+    },
 }
 
 /// True for message kinds originated by the worker process (destroyed when
 /// it crashes) rather than the colocated server shard.
 fn worker_originated(kind: MsgKind) -> bool {
-    matches!(kind, MsgKind::Push { .. } | MsgKind::PullReq { .. })
+    matches!(
+        kind,
+        MsgKind::Push { .. } | MsgKind::PullReq { .. } | MsgKind::RackPush { .. }
+    )
 }
 
 fn sender_role_of(kind: MsgKind) -> Role {
@@ -115,6 +164,8 @@ fn class_of(kind: MsgKind) -> (MsgClass, usize, u64) {
         MsgKind::Response { key, version } => (MsgClass::Response, key, version),
         MsgKind::Notify { key, version } => (MsgClass::Notify, key, version),
         MsgKind::PullReq { key, round } => (MsgClass::PullRequest, key, round),
+        MsgKind::RackPush { key, round } => (MsgClass::RackPush, key, round),
+        MsgKind::CombinedPush { key, round, .. } => (MsgClass::CombinedPush, key, round),
     }
 }
 
@@ -202,7 +253,12 @@ struct ServerState {
 struct ProcItem {
     key: usize,
     round: u64,
+    /// Representative sender, for tracing (the pushing worker, or the
+    /// aggregator machine of a combined push).
     worker: usize,
+    /// Workers whose gradients this message carries: a single bit for a
+    /// direct push, a whole rack's mask for a combined push.
+    members: u128,
 }
 
 /// One fully configured simulation, ready to [`ClusterSim::run`].
@@ -262,6 +318,13 @@ pub struct ClusterSim {
     /// randomness and schedules nothing, so results are bit-identical with
     /// it on or off.
     tracer: Option<TraceHandle>,
+    /// Partial-sum state of rack-local aggregation: (aggregator machine,
+    /// key, round) → mask of rack members whose gradient has arrived.
+    rack_agg: HashMap<(usize, usize, u64), u128>,
+    /// A configuration contradiction detected during construction,
+    /// surfaced as [`RunError::InvalidConfig`] when the run starts
+    /// (construction itself is infallible).
+    config_error: Option<String>,
 }
 
 impl ClusterSim {
@@ -274,7 +337,24 @@ impl ClusterSim {
     pub fn new(cfg: ClusterConfig) -> Self {
         assert!(cfg.machines > 0, "at least one machine required");
         assert!(cfg.batch_per_worker > 0, "zero batch");
-        let plan = cfg.strategy.plan(&cfg.model, cfg.machines, cfg.seed);
+        let mut config_error = None;
+        let mut plan = cfg.strategy.plan(&cfg.model, cfg.machines, cfg.seed);
+        let topology_ok = match &cfg.topology {
+            Some(t) if t.machines() != cfg.machines => {
+                config_error = Some(format!(
+                    "topology covers {} machines but the cluster has {}",
+                    t.machines(),
+                    cfg.machines
+                ));
+                false
+            }
+            Some(_) => true,
+            None => false,
+        };
+        if topology_ok {
+            let topo = cfg.topology.as_ref().expect("checked above");
+            plan.map_servers(|s| cfg.placement.place_server(s, topo));
+        }
         let prio = cfg.strategy.priorities(&plan);
         let block_times = cfg.compute.block_times(&cfg.model, cfg.batch_per_worker);
 
@@ -297,6 +377,10 @@ impl ClusterSim {
                 .with_flow_cap(cfg.flow_cap);
             if let Some(bin) = cfg.trace_bin {
                 c = c.with_trace(bin);
+            }
+            if topology_ok {
+                let topo = cfg.topology.as_ref().expect("checked above");
+                c = c.with_link_graph(topo.compile(cfg.bandwidth));
             }
             c
         };
@@ -371,6 +455,8 @@ impl ClusterSim {
             expected_pushes: cfg.machines as u32,
             faults: FaultStats::default(),
             tracer,
+            rack_agg: HashMap::new(),
+            config_error,
             cfg,
         }
     }
@@ -412,10 +498,21 @@ impl ClusterSim {
                 self.cfg.machines
             )));
         }
+        if let Some(why) = self.config_error.take() {
+            return Err(RunError::InvalidConfig(why));
+        }
         self.cfg
             .faults
             .validate(self.cfg.machines)
             .map_err(RunError::InvalidConfig)?;
+        if self.cfg.topology.is_some()
+            && self.cfg.placement == Placement::RackLocal
+            && (self.cfg.faults.loss_probability > 0.0 || !self.cfg.faults.crashes.is_empty())
+        {
+            return Err(RunError::InvalidConfig(
+                "rack-local aggregation does not support message loss or worker crashes".into(),
+            ));
+        }
 
         let target = self.cfg.warmup_iters + self.cfg.measure_iters;
         // Staggered worker starts model real cluster skew.
@@ -424,7 +521,8 @@ impl ClusterSim {
             let off = SimDuration::from_nanos(
                 (rng.next_f64() * self.cfg.start_stagger.as_nanos() as f64) as u64,
             );
-            self.queue.schedule_at(SimTime::ZERO + off, Ev::StartWorker { worker: w });
+            self.queue
+                .schedule_at(SimTime::ZERO + off, Ev::StartWorker { worker: w });
         }
         self.schedule_fault_plan();
 
@@ -453,12 +551,16 @@ impl ClusterSim {
     /// nothing at all — fault-free runs pay zero overhead.
     fn schedule_fault_plan(&mut self) {
         for (i, s) in self.cfg.faults.stragglers.iter().enumerate() {
-            self.queue.schedule_at(s.start, Ev::StragglerStart { idx: i });
-            self.queue.schedule_at(s.start + s.duration, Ev::StragglerEnd { idx: i });
+            self.queue
+                .schedule_at(s.start, Ev::StragglerStart { idx: i });
+            self.queue
+                .schedule_at(s.start + s.duration, Ev::StragglerEnd { idx: i });
         }
         for (i, d) in self.cfg.faults.link_degradations.iter().enumerate() {
-            self.queue.schedule_at(d.start, Ev::LinkDegradeStart { idx: i });
-            self.queue.schedule_at(d.start + d.duration, Ev::LinkDegradeEnd { idx: i });
+            self.queue
+                .schedule_at(d.start, Ev::LinkDegradeStart { idx: i });
+            self.queue
+                .schedule_at(d.start + d.duration, Ev::LinkDegradeEnd { idx: i });
         }
         for (i, c) in self.cfg.faults.crashes.iter().enumerate() {
             self.queue.schedule_at(c.at, Ev::Crash { idx: i });
@@ -487,13 +589,22 @@ impl ClusterSim {
                     return; // echo of a crashed incarnation
                 }
                 let (tp, block) = trace_phase(phase);
-                self.trace(TraceEvent::ComputeEnd { worker, phase: tp, block });
+                self.trace(TraceEvent::ComputeEnd {
+                    worker,
+                    phase: tp,
+                    block,
+                });
                 match phase {
                     Phase::Fwd(b) => self.on_fwd_done(worker, b),
                     Phase::Bwd(b) => self.on_bwd_done(worker, b),
                 }
             }
-            Ev::EgressReady { machine, role, dst, inc } => {
+            Ev::EgressReady {
+                machine,
+                role,
+                dst,
+                inc,
+            } => {
                 if role == Role::Worker && self.workers[machine].incarnation != inc {
                     return; // the egress unit this completion refers to is gone
                 }
@@ -574,7 +685,11 @@ impl ClusterSim {
 
     /// Records one fault event.
     fn trace_fault(&self, kind: FaultKind, machine: usize, msg_id: Option<u64>) {
-        self.trace(TraceEvent::Fault { kind, machine, msg_id });
+        self.trace(TraceEvent::Fault {
+            kind,
+            machine,
+            msg_id,
+        });
     }
 
     /// Enqueues `msg` on an endpoint's egress, recording the enqueue (with
@@ -625,9 +740,14 @@ impl ClusterSim {
 
     fn schedule_compute(&mut self, worker: usize, dur: SimDuration, phase: Phase) {
         let (tp, block) = trace_phase(phase);
-        self.trace(TraceEvent::ComputeStart { worker, phase: tp, block });
+        self.trace(TraceEvent::ComputeStart {
+            worker,
+            phase: tp,
+            block,
+        });
         let inc = self.workers[worker].incarnation;
-        self.queue.schedule_in(dur, Ev::Compute { worker, phase, inc });
+        self.queue
+            .schedule_in(dur, Ev::Compute { worker, phase, inc });
     }
 
     fn fwd_ready(&self, worker: usize, block: usize) -> bool {
@@ -657,10 +777,16 @@ impl ClusterSim {
             if self.tracer.is_some() {
                 let round = self.workers[worker].iter;
                 for k in self.keys_of_block[block].clone() {
-                    self.trace(TraceEvent::SliceConsumed { worker, key: k, round });
+                    self.trace(TraceEvent::SliceConsumed {
+                        worker,
+                        key: k,
+                        round,
+                    });
                 }
             }
-            let dur = self.block_times[block].fwd.mul_f64(self.compute_scale(worker));
+            let dur = self.block_times[block]
+                .fwd
+                .mul_f64(self.compute_scale(worker));
             self.schedule_compute(worker, dur, Phase::Fwd(block));
         } else {
             let newly_stalled = {
@@ -684,7 +810,9 @@ impl ClusterSim {
         if block < last {
             self.try_start_fwd(worker, block + 1);
         } else {
-            let dur = self.block_times[last].bwd.mul_f64(self.compute_scale(worker));
+            let dur = self.block_times[last]
+                .bwd
+                .mul_f64(self.compute_scale(worker));
             self.schedule_compute(worker, dur, Phase::Bwd(last));
         }
     }
@@ -696,27 +824,33 @@ impl ClusterSim {
         let keys: Vec<usize> = self.keys_of_block[block].clone();
         for k in keys {
             let slice = self.plan.slice(p3_pserver::Key(k as u64));
+            let server = slice.server.0;
             let bytes = self.push_wire(slice.params);
             let priority = Priority(self.prio[k]);
-            self.trace(TraceEvent::GradReady { worker, key: k, round, priority: priority.0 });
+            self.trace(TraceEvent::GradReady {
+                worker,
+                key: k,
+                round,
+                priority: priority.0,
+            });
+            let (dst, kind, class) = match self.rack_push_target(worker, server) {
+                Some(agg) => (agg, MsgKind::RackPush { key: k, round }, MsgClass::RackPush),
+                None => (server, MsgKind::Push { key: k, round }, MsgClass::Push),
+            };
             let msg = OutMsg {
-                dst: MachineId(slice.server.0),
+                dst: MachineId(dst),
                 bytes,
                 priority,
-                msg_id: self.register_msg(
-                    MsgKind::Push { key: k, round },
-                    worker,
-                    slice.server.0,
-                    bytes,
-                    priority,
-                ),
+                msg_id: self.register_msg(kind, worker, dst, bytes, priority),
             };
-            self.enqueue_traced(worker, Role::Worker, msg, MsgClass::Push, k, round);
+            self.enqueue_traced(worker, Role::Worker, msg, class, k, round);
         }
         self.kick_egress(worker, Role::Worker);
 
         if block > 0 {
-            let dur = self.block_times[block - 1].bwd.mul_f64(self.compute_scale(worker));
+            let dur = self.block_times[block - 1]
+                .bwd
+                .mul_f64(self.compute_scale(worker));
             self.schedule_compute(worker, dur, Phase::Bwd(block - 1));
         } else {
             self.on_iteration_complete(worker);
@@ -742,7 +876,10 @@ impl ClusterSim {
             w.measure_end = Some(now);
         }
         let completed = w.completed;
-        self.trace(TraceEvent::IterationEnd { worker, iter: completed });
+        self.trace(TraceEvent::IterationEnd {
+            worker,
+            iter: completed,
+        });
         self.resample_jitter(worker);
 
         // TensorFlow-style: the next graph execution issues recv ops for
@@ -784,11 +921,69 @@ impl ClusterSim {
     /// Wire size of a parameter response, after any configured compression.
     fn response_wire(&self, params: u64) -> u64 {
         match self.cfg.wire_compression {
-            Some(c) => {
-                HEADER_BYTES as u64 + ((4 * params) as f64 / c.response_ratio).ceil() as u64
-            }
+            Some(c) => HEADER_BYTES as u64 + ((4 * params) as f64 / c.response_ratio).ceil() as u64,
             None => wire_bytes(params),
         }
+    }
+
+    /// The rack aggregator a worker's push detours through under
+    /// rack-local placement: set only when the key's home server is in a
+    /// different rack, so the rack's combined gradient crosses the core
+    /// once instead of once per member. Pushes within the home rack (and
+    /// everything outside rack-local placement) go direct.
+    fn rack_push_target(&self, worker: usize, server: usize) -> Option<usize> {
+        let topo = self.cfg.topology.as_ref()?;
+        if self.cfg.placement != Placement::RackLocal || topo.machines() != self.cfg.machines {
+            return None;
+        }
+        let rack = topo.rack_of(worker);
+        (topo.rack_of(server) != rack).then(|| topo.aggregator_of(rack))
+    }
+
+    /// One rack member's partial gradient arrived at its rack aggregator.
+    /// Combining is treated as free (it overlaps the remaining members'
+    /// transfers); once the whole rack has contributed, the combined
+    /// gradient is forwarded to the key's home server through the
+    /// aggregator machine's server-role egress.
+    fn on_rack_push(&mut self, agg: usize, key: usize, round: u64, from: usize) {
+        let topo = self
+            .cfg
+            .topology
+            .as_ref()
+            .expect("rack push without a topology");
+        let rack = topo.rack_of(agg);
+        let full: u128 = topo.rack_members(rack).fold(0, |m, w| m | (1u128 << w));
+        let entry = self.rack_agg.entry((agg, key, round)).or_insert(0);
+        *entry |= 1u128 << from;
+        if *entry != full {
+            return;
+        }
+        let members = self
+            .rack_agg
+            .remove(&(agg, key, round))
+            .expect("rack entry just updated");
+        let slice = self.plan.slice(p3_pserver::Key(key as u64));
+        let server = slice.server.0;
+        let bytes = self.push_wire(slice.params);
+        let priority = Priority(self.prio[key]);
+        let msg = OutMsg {
+            dst: MachineId(server),
+            bytes,
+            priority,
+            msg_id: self.register_msg(
+                MsgKind::CombinedPush {
+                    key,
+                    round,
+                    members,
+                },
+                agg,
+                server,
+                bytes,
+                priority,
+            ),
+        };
+        self.enqueue_traced(agg, Role::Server, msg, MsgClass::CombinedPush, key, round);
+        self.kick_egress(agg, Role::Server);
     }
 
     fn register_msg(
@@ -803,7 +998,15 @@ impl ClusterSim {
         self.next_msg_id += 1;
         self.msgs.insert(
             id,
-            MsgCtx { kind, src, dst, bytes, priority, attempt: 0, in_flight: false },
+            MsgCtx {
+                kind,
+                src,
+                dst,
+                bytes,
+                priority,
+                attempt: 0,
+                in_flight: false,
+            },
         );
         id
     }
@@ -834,11 +1037,14 @@ impl ClusterSim {
         if !self.cfg.faults.needs_reliability() {
             return;
         }
-        let Some(ctx) = self.msgs.get_mut(&msg_id) else { return };
+        let Some(ctx) = self.msgs.get_mut(&msg_id) else {
+            return;
+        };
         ctx.in_flight = true;
         let attempt = ctx.attempt;
         let timeout = self.cfg.retry.timeout_for(attempt);
-        self.queue.schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
+        self.queue
+            .schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
     }
 
     /// Starts any transmissions an endpoint's scheduler allows.
@@ -932,7 +1138,10 @@ impl ClusterSim {
     }
 
     fn on_delivered(&mut self, msg_id: u64) {
-        let ctx = *self.msgs.get(&msg_id).expect("delivery for unknown message");
+        let ctx = *self
+            .msgs
+            .get(&msg_id)
+            .expect("delivery for unknown message");
         let now = self.queue.now();
 
         // Free the sender: its NIC finished transmitting whether or not the
@@ -979,8 +1188,10 @@ impl ClusterSim {
         {
             self.faults.messages_lost += 1;
             self.trace_fault(FaultKind::Loss, ctx.src, Some(msg_id));
-            self.msgs.get_mut(&msg_id).expect("lost message context vanished").in_flight =
-                false;
+            self.msgs
+                .get_mut(&msg_id)
+                .expect("lost message context vanished")
+                .in_flight = false;
             return;
         }
         self.msgs.remove(&msg_id);
@@ -988,8 +1199,7 @@ impl ClusterSim {
         // Deliveries to a crashed worker vanish at the dead endpoint. (The
         // colocated server shard stays alive, so server-bound messages
         // always land.)
-        let worker_bound =
-            matches!(ctx.kind, MsgKind::Response { .. } | MsgKind::Notify { .. });
+        let worker_bound = matches!(ctx.kind, MsgKind::Response { .. } | MsgKind::Notify { .. });
         if worker_bound && self.workers[ctx.dst].crashed {
             return;
         }
@@ -997,14 +1207,19 @@ impl ClusterSim {
         match ctx.kind {
             MsgKind::Push { key, round } => {
                 self.stats.pushes += 1;
-                let prio = match self.cfg.strategy.server_processing {
-                    ServerProcessing::Priority => self.prio[key],
-                    ServerProcessing::Fifo => 0,
-                };
-                self.servers[ctx.dst]
-                    .proc_queue
-                    .push(prio, ProcItem { key, round, worker: ctx.src });
-                self.kick_proc(ctx.dst);
+                self.enqueue_proc(ctx.dst, key, round, ctx.src, 1u128 << ctx.src);
+            }
+            MsgKind::RackPush { key, round } => {
+                self.stats.rack_pushes += 1;
+                self.on_rack_push(ctx.dst, key, round, ctx.src);
+            }
+            MsgKind::CombinedPush {
+                key,
+                round,
+                members,
+            } => {
+                self.stats.combined_pushes += 1;
+                self.enqueue_proc(ctx.dst, key, round, ctx.src, members);
             }
             MsgKind::PullReq { key, round } => {
                 self.stats.pull_requests += 1;
@@ -1031,6 +1246,25 @@ impl ClusterSim {
         }
     }
 
+    /// Queues a received gradient message (direct or combined) on a
+    /// server's processing unit at the strategy's processing priority.
+    fn enqueue_proc(&mut self, server: usize, key: usize, round: u64, from: usize, members: u128) {
+        let prio = match self.cfg.strategy.server_processing {
+            ServerProcessing::Priority => self.prio[key],
+            ServerProcessing::Fifo => 0,
+        };
+        self.servers[server].proc_queue.push(
+            prio,
+            ProcItem {
+                key,
+                round,
+                worker: from,
+                members,
+            },
+        );
+        self.kick_proc(server);
+    }
+
     fn on_notify(&mut self, worker: usize, key: usize, version: u64) {
         {
             let w = &mut self.workers[worker];
@@ -1042,8 +1276,9 @@ impl ClusterSim {
         // notified (§4.2 explains why P3 removes this).
         let array = self.plan.slice(p3_pserver::Key(key as u64)).array;
         let keys = self.plan.slices_of_array(array).to_vec();
-        let all_notified =
-            keys.iter().all(|&k| self.workers[worker].notified_version[k] >= version);
+        let all_notified = keys
+            .iter()
+            .all(|&k| self.workers[worker].notified_version[k] >= version);
         if all_notified && self.cfg.strategy.pull_timing == PullTiming::Eager {
             for &k in &keys {
                 if self.workers[worker].received_version[k] < version
@@ -1078,7 +1313,8 @@ impl ClusterSim {
         if ctx.in_flight {
             // Still transiting a slow network: spurious timeout, wait more.
             let timeout = self.cfg.retry.timeout_for(attempt);
-            self.queue.schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
+            self.queue
+                .schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
             return;
         }
         // The message was lost. The policy decides: retransmit, or abandon
@@ -1106,7 +1342,12 @@ impl ClusterSim {
                 let (class, key, round) = class_of(kind);
                 // Re-entering the egress queue at the original priority
                 // keeps the single consumer's strict priority order intact.
-                let msg = OutMsg { dst: MachineId(dst), bytes, priority, msg_id };
+                let msg = OutMsg {
+                    dst: MachineId(dst),
+                    bytes,
+                    priority,
+                    msg_id,
+                };
                 self.enqueue_traced(src, role, msg, class, key, round);
                 self.kick_egress(src, role);
             }
@@ -1175,17 +1416,24 @@ impl ClusterSim {
             stalled.and(blk)
         };
         if let Some(b) = stall_ended {
-            self.trace(TraceEvent::StallEnd { worker: w, block: b });
+            self.trace(TraceEvent::StallEnd {
+                worker: w,
+                block: b,
+            });
         }
         self.admit_gate[w][role_slot(Role::Worker)] = SimTime::ZERO;
         self.admit_kick_at[w][role_slot(Role::Worker)] = None;
 
         match c.rejoin_after {
             None => self.workers[w].permanently_dead = true,
-            Some(after) => self.queue.schedule_at(now + after, Ev::Rejoin { worker: w }),
+            Some(after) => self
+                .queue
+                .schedule_at(now + after, Ev::Rejoin { worker: w }),
         }
-        self.queue
-            .schedule_at(now + self.cfg.liveness_timeout, Ev::LivenessTimeout { worker: w });
+        self.queue.schedule_at(
+            now + self.cfg.liveness_timeout,
+            Ev::LivenessTimeout { worker: w },
+        );
         self.schedule_net_wake();
     }
 
@@ -1274,17 +1522,16 @@ impl ClusterSim {
                 "push for round {} processed while key {} is at version {}",
                 item.round, item.key, version
             );
-            let bit = 1u128 << item.worker;
-            if self.servers[server].received[item.key] & bit != 0 {
+            if self.servers[server].received[item.key] & item.members != 0 {
                 self.faults.duplicate_pushes_dropped += 1;
                 self.trace_fault(FaultKind::DuplicatePush, server, None);
                 continue;
             }
             let params = self.plan.slice(p3_pserver::Key(item.key as u64)).params;
-            let completing = self.servers[server].received[item.key].count_ones() + 1
+            let completing = (self.servers[server].received[item.key] | item.members).count_ones()
                 >= self.expected_pushes;
-            let mut nanos = self.cfg.proc_fixed.as_nanos() as f64
-                + self.cfg.agg_ns_per_param * params as f64;
+            let mut nanos =
+                self.cfg.proc_fixed.as_nanos() as f64 + self.cfg.agg_ns_per_param * params as f64;
             if completing {
                 nanos += self.cfg.upd_ns_per_param * params as f64;
             }
@@ -1296,8 +1543,10 @@ impl ClusterSim {
                 round: item.round,
                 worker: item.worker,
             });
-            self.queue
-                .schedule_in(SimDuration::from_nanos(nanos as u64), Ev::ProcDone { server });
+            self.queue.schedule_in(
+                SimDuration::from_nanos(nanos as u64),
+                Ev::ProcDone { server },
+            );
             return;
         }
     }
@@ -1319,19 +1568,14 @@ impl ClusterSim {
         if item.round < self.servers[server].version[item.key] {
             self.faults.stale_pushes_dropped += 1;
             self.trace_fault(FaultKind::StalePush, server, None);
+        } else if self.servers[server].received[item.key] & item.members != 0 {
+            self.faults.duplicate_pushes_dropped += 1;
+            self.trace_fault(FaultKind::DuplicatePush, server, None);
         } else {
-            let bit = 1u128 << item.worker;
-            if self.servers[server].received[item.key] & bit != 0 {
-                self.faults.duplicate_pushes_dropped += 1;
-                self.trace_fault(FaultKind::DuplicatePush, server, None);
-            } else {
-                self.servers[server].received[item.key] |= bit;
-                if self.servers[server].received[item.key].count_ones()
-                    >= self.expected_pushes
-                {
-                    self.complete_round(server, item.key);
-                    self.kick_egress(server, Role::Server);
-                }
+            self.servers[server].received[item.key] |= item.members;
+            if self.servers[server].received[item.key].count_ones() >= self.expected_pushes {
+                self.complete_round(server, item.key);
+                self.kick_egress(server, Role::Server);
             }
         }
         self.kick_proc(server);
@@ -1351,7 +1595,12 @@ impl ClusterSim {
         self.servers[server].received[key] = 0;
         self.servers[server].version[key] += 1;
         let version = self.servers[server].version[key];
-        self.trace(TraceEvent::RoundComplete { server, key, version, degraded });
+        self.trace(TraceEvent::RoundComplete {
+            server,
+            key,
+            version,
+            degraded,
+        });
         match self.cfg.strategy.response {
             ResponseMode::ImmediateBroadcast => {
                 for w in 0..self.cfg.machines {
@@ -1458,10 +1707,36 @@ impl ClusterSim {
         let p99 = quantile(&pooled, 0.99).map_or(SimDuration::ZERO, SimDuration::from_secs_f64);
         let trace = self.cfg.trace_bin.map(|bin| UtilizationTrace {
             bin,
-            tx_gbps: self.net.tx_trace(MachineId(0)).expect("trace enabled").gbps_series(),
-            rx_gbps: self.net.rx_trace(MachineId(0)).expect("trace enabled").gbps_series(),
+            tx_gbps: self
+                .net
+                .tx_trace(MachineId(0))
+                .expect("trace enabled")
+                .gbps_series(),
+            rx_gbps: self
+                .net
+                .rx_trace(MachineId(0))
+                .expect("trace enabled")
+                .gbps_series(),
         });
         let stalled_per_worker = self.workers.iter().map(|w| w.stalled_total).collect();
+        // Per-link totals of the compiled topology (empty on the flat
+        // fabric). Busy fractions are relative to when the run ended.
+        let end_secs = self.queue.now().as_secs_f64();
+        let links = self
+            .net
+            .link_usage()
+            .into_iter()
+            .map(|l| LinkUtilization {
+                name: l.name,
+                busy_fraction: if end_secs > 0.0 {
+                    l.busy_secs / end_secs
+                } else {
+                    0.0
+                },
+                bytes: l.bytes,
+                transit: l.transit,
+            })
+            .collect();
         RunResult {
             throughput: total,
             per_worker_throughput: total / survivors,
@@ -1476,6 +1751,7 @@ impl ClusterSim {
             messages: self.stats,
             faults: self.faults,
             trace,
+            links,
         }
     }
 }
@@ -1488,9 +1764,14 @@ mod tests {
     use p3_net::Bandwidth;
 
     fn cfg(strategy: SyncStrategy, gbps: f64) -> ClusterConfig {
-        ClusterConfig::new(ModelSpec::resnet50(), strategy, 4, Bandwidth::from_gbps(gbps))
-            .with_iters(1, 2)
-            .with_seed(7)
+        ClusterConfig::new(
+            ModelSpec::resnet50(),
+            strategy,
+            4,
+            Bandwidth::from_gbps(gbps),
+        )
+        .with_iters(1, 2)
+        .with_seed(7)
     }
 
     #[test]
@@ -1527,7 +1808,11 @@ mod tests {
         let r = ClusterSim::new(c).run();
         // Loopback never binds: throughput equals the compute plateau.
         let plateau = ModelSpec::resnet50().reference_throughput();
-        assert!((r.throughput - plateau).abs() / plateau < 0.05, "got {}", r.throughput);
+        assert!(
+            (r.throughput - plateau).abs() / plateau < 0.05,
+            "got {}",
+            r.throughput
+        );
     }
 
     #[test]
@@ -1535,7 +1820,11 @@ mod tests {
         // 50 Mbps: brutally communication-bound but must terminate.
         let r = ClusterSim::new(cfg(SyncStrategy::p3(), 0.05)).run();
         assert!(r.throughput > 0.0);
-        assert!(r.throughput < 20.0, "50 Mbps cannot be compute-bound: {}", r.throughput);
+        assert!(
+            r.throughput < 20.0,
+            "50 Mbps cannot be compute-bound: {}",
+            r.throughput
+        );
     }
 
     #[test]
@@ -1643,13 +1932,8 @@ mod stall_tests {
     fn p3_stalls_less_than_baseline_when_constrained() {
         let run = |s: SyncStrategy| {
             ClusterSim::new(
-                ClusterConfig::new(
-                    ModelSpec::resnet50(),
-                    s,
-                    4,
-                    Bandwidth::from_gbps(3.0),
-                )
-                .with_iters(1, 3),
+                ClusterConfig::new(ModelSpec::resnet50(), s, 4, Bandwidth::from_gbps(3.0))
+                    .with_iters(1, 3),
             )
             .run()
         };
@@ -1675,7 +1959,11 @@ mod stall_tests {
             .with_iters(1, 3),
         )
         .run();
-        assert!(r.mean_stall_fraction < 0.05, "stall {:.3}", r.mean_stall_fraction);
+        assert!(
+            r.mean_stall_fraction < 0.05,
+            "stall {:.3}",
+            r.mean_stall_fraction
+        );
     }
 
     #[test]
@@ -1763,7 +2051,11 @@ mod message_accounting_tests {
         // The run halts the instant the last worker finishes its backward
         // pass; the final round's tail messages may still be in flight.
         let full = keys * w * rounds;
-        assert!(m.pushes <= full && m.pushes >= full - keys * w, "pushes {}", m.pushes);
+        assert!(
+            m.pushes <= full && m.pushes >= full - keys * w,
+            "pushes {}",
+            m.pushes
+        );
         assert_eq!(m.notifies, 0);
         assert_eq!(m.pull_requests, 0);
         // Responses: the final round's broadcasts may still be in flight
@@ -1784,7 +2076,11 @@ mod message_accounting_tests {
         let (m, keys, w) = run_counted(SyncStrategy::baseline(), 3);
         let rounds = 3;
         let full = keys * w * rounds;
-        assert!(m.pushes <= full && m.pushes >= full - keys * w, "pushes {}", m.pushes);
+        assert!(
+            m.pushes <= full && m.pushes >= full - keys * w,
+            "pushes {}",
+            m.pushes
+        );
         assert!(m.notifies <= full && m.notifies >= full - keys * w);
         assert!(m.pull_requests <= m.notifies);
         assert!(m.responses <= m.pull_requests);
@@ -1884,10 +2180,15 @@ mod fault_tests {
 
     #[test]
     fn lossy_network_retransmits_and_completes() {
-        let plan = FaultPlan { loss_probability: 0.05, ..FaultPlan::none() };
-        let cfg = base_cfg()
-            .with_faults(plan)
-            .with_retry(RetryPolicy::new(SimDuration::from_millis(20), 2.0, 16));
+        let plan = FaultPlan {
+            loss_probability: 0.05,
+            ..FaultPlan::none()
+        };
+        let cfg = base_cfg().with_faults(plan).with_retry(RetryPolicy::new(
+            SimDuration::from_millis(20),
+            2.0,
+            16,
+        ));
         let r = ClusterSim::new(cfg).run();
         assert!(r.throughput > 0.0);
         assert!(r.faults.messages_lost > 0, "5% loss lost nothing");
@@ -1928,11 +2229,17 @@ mod fault_tests {
         cfg.liveness_timeout = SimDuration::from_secs(30);
         let r = ClusterSim::new(cfg).run();
         assert!(r.throughput > 0.0);
-        assert_eq!(r.faults.degraded_rounds, 0, "membership should not have shrunk");
+        assert_eq!(
+            r.faults.degraded_rounds, 0,
+            "membership should not have shrunk"
+        );
         // The rejoin re-synced state via pull requests — a message class P3
         // never uses in healthy runs, so any count proves the restart path
         // executed.
-        assert!(r.messages.pull_requests > 0, "rejoin resync must pull state");
+        assert!(
+            r.messages.pull_requests > 0,
+            "rejoin resync must pull state"
+        );
     }
 
     #[test]
@@ -2053,7 +2360,11 @@ mod trace_tests {
         // Every slice shows at least one complete push → aggregate → pull
         // chain from the first iteration.
         for k in 0..keys {
-            for name in [format!("push k{k}"), format!("agg k{k}"), format!("pull k{k}")] {
+            for name in [
+                format!("push k{k}"),
+                format!("agg k{k}"),
+                format!("pull k{k}"),
+            ] {
                 assert!(
                     spans.iter().any(|s| s.name == name),
                     "no complete '{name}' span among {} spans",
@@ -2112,11 +2423,225 @@ mod trace_tests {
         assert_eq!(r.faults.retransmits, count(FaultKind::Retransmit));
         assert_eq!(r.faults.gave_up, count(FaultKind::GiveUp));
         assert_eq!(r.faults.stale_pushes_dropped, count(FaultKind::StalePush));
-        assert_eq!(r.faults.duplicate_pushes_dropped, count(FaultKind::DuplicatePush));
+        assert_eq!(
+            r.faults.duplicate_pushes_dropped,
+            count(FaultKind::DuplicatePush)
+        );
         assert_eq!(r.faults.degraded_rounds, count(FaultKind::DegradedRound));
         assert_eq!(r.faults.flows_cancelled, count(FaultKind::FlowCancelled));
         assert_eq!(count(FaultKind::Crash), 1);
         assert_eq!(count(FaultKind::Rejoin), 1);
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+    use p3_core::SyncStrategy;
+    use p3_models::ModelSpec;
+    use p3_net::Bandwidth;
+    use p3_topo::Topology;
+
+    fn base(strategy: SyncStrategy) -> ClusterConfig {
+        ClusterConfig::new(
+            ModelSpec::resnet50(),
+            strategy,
+            4,
+            Bandwidth::from_gbps(8.0),
+        )
+        .with_iters(1, 2)
+        .with_seed(7)
+    }
+
+    #[test]
+    fn single_rack_topology_is_result_identical_to_flat() {
+        // The degenerate case: one rack, oversub 1. The graph allocator
+        // mirrors the flat water-fill operand for operand, so even a
+        // traced run must not shift a single event — only the link report
+        // (absent on the flat fabric) may differ.
+        let flat = ClusterSim::new(base(SyncStrategy::p3()).with_slice_trace()).run();
+        let mut topo = ClusterSim::new(
+            base(SyncStrategy::p3())
+                .with_slice_trace()
+                .with_topology(Topology::new(1, 4, 1.0)),
+        )
+        .run();
+        assert!(
+            !topo.links.is_empty(),
+            "topology runs must report link usage"
+        );
+        topo.links.clear();
+        assert_eq!(flat, topo);
+    }
+
+    #[test]
+    fn degenerate_equivalence_holds_for_baseline_strategy_too() {
+        let flat = ClusterSim::new(base(SyncStrategy::baseline())).run();
+        let mut topo =
+            ClusterSim::new(base(SyncStrategy::baseline()).with_topology(Topology::new(1, 4, 1.0)))
+                .run();
+        topo.links.clear();
+        assert_eq!(flat, topo);
+    }
+
+    #[test]
+    fn oversubscribed_core_slows_training() {
+        let flat = ClusterSim::new(base(SyncStrategy::p3())).run();
+        let topo =
+            ClusterSim::new(base(SyncStrategy::p3()).with_topology(Topology::new(2, 2, 8.0))).run();
+        assert!(
+            topo.throughput < flat.throughput,
+            "8:1 oversubscription did not hurt: {} vs {}",
+            topo.throughput,
+            flat.throughput
+        );
+    }
+
+    #[test]
+    fn topology_runs_are_deterministic() {
+        let run = || {
+            ClusterSim::new(base(SyncStrategy::p3()).with_topology(Topology::new(2, 2, 4.0))).run()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn machine_count_mismatch_is_invalid_config() {
+        let cfg = base(SyncStrategy::p3()).with_topology(Topology::new(2, 4, 2.0));
+        match ClusterSim::new(cfg).try_run() {
+            Err(RunError::InvalidConfig(why)) => {
+                assert!(why.contains("8 machines"), "unexpected message: {why}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_report_covers_ports_and_uplinks() {
+        let r =
+            ClusterSim::new(base(SyncStrategy::p3()).with_topology(Topology::new(2, 2, 4.0))).run();
+        // 4 tx + 4 rx ports, 2 uplinks, 2 downlinks.
+        assert_eq!(r.links.len(), 12);
+        assert_eq!(r.links.iter().filter(|l| l.transit).count(), 4);
+        for l in &r.links {
+            assert!(
+                (0.0..=1.0).contains(&l.busy_fraction),
+                "{} busy {}",
+                l.name,
+                l.busy_fraction
+            );
+        }
+        // The oversubscribed core actually carried traffic.
+        let core_bytes: f64 = r.links.iter().filter(|l| l.transit).map(|l| l.bytes).sum();
+        assert!(core_bytes > 0.0, "no cross-rack traffic recorded");
+    }
+
+    #[test]
+    fn packed_placement_concentrates_servers_in_rack_zero() {
+        // With every shard packed into rack 0, rack-1 machines originate
+        // pushes only (their server shards hold no keys and send no
+        // responses), so their tx ports carry clearly less than rack-0's,
+        // which add the full response fan-out on top of their pushes.
+        let r = ClusterSim::new(
+            base(SyncStrategy::p3())
+                .with_topology(Topology::new(2, 2, 4.0))
+                .with_placement(Placement::Packed),
+        )
+        .run();
+        let tx = |m: usize| {
+            let name = format!("m{m}.tx");
+            r.links
+                .iter()
+                .find(|l| l.name == name)
+                .expect("port reported")
+                .bytes
+        };
+        assert!(
+            tx(0) > tx(2) * 1.2 && tx(1) > tx(3) * 1.2,
+            "PS-rack ports not busier: tx {:?}",
+            [tx(0), tx(1), tx(2), tx(3)]
+        );
+    }
+
+    #[test]
+    fn rack_local_aggregation_reduces_core_traffic() {
+        let run = |placement: Placement| {
+            ClusterSim::new(
+                ClusterConfig::new(
+                    ModelSpec::resnet50(),
+                    SyncStrategy::p3(),
+                    8,
+                    Bandwidth::from_gbps(8.0),
+                )
+                .with_iters(1, 2)
+                .with_seed(7)
+                .with_topology(Topology::new(2, 4, 4.0))
+                .with_placement(placement),
+            )
+            .run()
+        };
+        let spread = run(Placement::Spread);
+        let local = run(Placement::RackLocal);
+        assert!(local.messages.rack_pushes > 0, "no rack pushes happened");
+        assert!(
+            local.messages.combined_pushes > 0,
+            "no combined pushes happened"
+        );
+        assert_eq!(spread.messages.rack_pushes, 0);
+        let core = |r: &RunResult| {
+            r.links
+                .iter()
+                .filter(|l| l.transit)
+                .map(|l| l.bytes)
+                .sum::<f64>()
+        };
+        // 4 workers per remote rack collapse into 1 combined push per key:
+        // the core carries strictly less push traffic.
+        assert!(
+            core(&local) < core(&spread),
+            "rack-local {} vs spread {} core bytes",
+            core(&local),
+            core(&spread)
+        );
+        assert!(local.throughput > 0.0);
+    }
+
+    #[test]
+    fn rack_local_with_loss_is_rejected() {
+        use crate::faults::FaultPlan;
+        let cfg = base(SyncStrategy::p3())
+            .with_topology(Topology::new(2, 2, 2.0))
+            .with_placement(Placement::RackLocal)
+            .with_faults(FaultPlan {
+                loss_probability: 0.01,
+                ..FaultPlan::none()
+            });
+        match ClusterSim::new(cfg).try_run() {
+            Err(RunError::InvalidConfig(why)) => {
+                assert!(why.contains("rack-local"), "unexpected message: {why}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heterogeneous_nics_throttle_the_slow_machine() {
+        // Machine 3 gets a 10× slower NIC; its port should be the busiest.
+        let topo = Topology::new(2, 2, 1.0).with_nic(3, Bandwidth::from_gbps(0.8));
+        let r = ClusterSim::new(base(SyncStrategy::p3()).with_topology(topo)).run();
+        let busy = |name: &str| {
+            r.links
+                .iter()
+                .find(|l| l.name == name)
+                .expect("port reported")
+                .busy_fraction
+        };
+        assert!(
+            busy("m3.tx") > busy("m0.tx"),
+            "slow NIC not saturated: m3 {} vs m0 {}",
+            busy("m3.tx"),
+            busy("m0.tx")
+        );
     }
 }
 

@@ -6,6 +6,7 @@ use crate::sim::ClusterSim;
 use p3_core::SyncStrategy;
 use p3_models::ModelSpec;
 use p3_net::Bandwidth;
+use p3_topo::{Placement, Topology};
 
 /// One point of a sweep: the x-value and the aggregate throughput of each
 /// strategy at that point.
@@ -89,8 +90,47 @@ pub fn scalability_sweep(
             series: strategies
                 .iter()
                 .map(|s| {
-                    let t =
-                        throughput_of(model, s, n, bandwidth, warmup, measure, seed);
+                    let t = throughput_of(model, s, n, bandwidth, warmup, measure, seed);
+                    (s.name().to_string(), t)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Oversubscription sweep: throughput of each strategy as the core gets
+/// more oversubscribed on a fixed rack layout. `oversubs` of 1.0 is the
+/// full-bisection point (for a single rack, identical to the flat fabric);
+/// larger factors shrink the shared rack uplinks.
+#[allow(clippy::too_many_arguments)]
+pub fn oversubscription_sweep(
+    model: &ModelSpec,
+    strategies: &[SyncStrategy],
+    racks: usize,
+    rack_size: usize,
+    bandwidth: Bandwidth,
+    placement: Placement,
+    oversubs: &[f64],
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let machines = racks * rack_size;
+    oversubs
+        .iter()
+        .map(|&f| SweepPoint {
+            x: f,
+            series: strategies
+                .iter()
+                .map(|s| {
+                    let cfg = ClusterConfig::new(model.clone(), s.clone(), machines, bandwidth)
+                        .with_iters(warmup, measure)
+                        .with_seed(seed)
+                        .with_topology(Topology::new(racks, rack_size, f))
+                        .with_placement(placement);
+                    let t = ClusterSim::new(cfg)
+                        .try_run()
+                        .map_or(f64::NAN, |r| r.throughput);
                     (s.name().to_string(), t)
                 })
                 .collect(),
@@ -113,7 +153,10 @@ pub fn slice_size_sweep(
         .map(|&sz| {
             let s = SyncStrategy::p3_with_slice_params(sz);
             let t = throughput_of(model, &s, machines, bandwidth, warmup, measure, seed);
-            SweepPoint { x: sz as f64, series: vec![(s.name().to_string(), t)] }
+            SweepPoint {
+                x: sz as f64,
+                series: vec![(s.name().to_string(), t)],
+            }
         })
         .collect()
 }
@@ -131,5 +174,32 @@ mod tests {
         assert_eq!(pts[0].series.len(), 2);
         assert_eq!(pts[0].series[0].0, "Baseline");
         assert!(pts[0].series.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn oversubscription_sweep_degrades_monotonically() {
+        let model = ModelSpec::resnet50();
+        let strategies = [SyncStrategy::p3()];
+        let pts = oversubscription_sweep(
+            &model,
+            &strategies,
+            2,
+            2,
+            Bandwidth::from_gbps(8.0),
+            Placement::Spread,
+            &[1.0, 4.0],
+            1,
+            2,
+            42,
+        );
+        assert_eq!(pts.len(), 2);
+        let t = |i: usize| pts[i].series[0].1;
+        assert!(t(0) > 0.0 && t(1) > 0.0);
+        assert!(
+            t(1) <= t(0),
+            "more oversubscription sped things up: {} vs {}",
+            t(1),
+            t(0)
+        );
     }
 }

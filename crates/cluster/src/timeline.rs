@@ -18,7 +18,11 @@ use std::collections::BTreeMap;
 ///
 /// Rows: `w{m} compute` and `w{m} stall` on the compute lane, `m{m} tx` /
 /// `m{m} rx` for wire transfers, and `s{m} agg` for server aggregation.
-/// Spans still open at the cutoff are dropped.
+/// On topology runs, transfers whose rate was bound by a transit link
+/// (link id ≥ `2 * machines`, i.e. a switch uplink/downlink rather than
+/// an endpoint port) additionally appear on a `link l{id}` row, making
+/// core congestion visible as its own lane. Spans still open at the
+/// cutoff are dropped.
 pub fn timeline_schedule(log: &TraceLog, machines: usize, iterations: u64) -> Schedule {
     let mut cutoff: Option<SimTime> = None;
     if iterations > 0 {
@@ -56,10 +60,18 @@ pub fn timeline_schedule(log: &TraceLog, machines: usize, iterations: u64) -> Sc
             break;
         }
         match te.event {
-            TraceEvent::ComputeStart { worker, phase, block } => {
+            TraceEvent::ComputeStart {
+                worker,
+                phase,
+                block,
+            } => {
                 compute_open.insert((worker, block, phase as u8), at);
             }
-            TraceEvent::ComputeEnd { worker, phase, block } => {
+            TraceEvent::ComputeEnd {
+                worker,
+                phase,
+                block,
+            } => {
                 if let Some(t0) = compute_open.remove(&(worker, block, phase as u8)) {
                     push(format!("w{worker} compute"), Lane::Compute, t0, at);
                 }
@@ -72,19 +84,40 @@ pub fn timeline_schedule(log: &TraceLog, machines: usize, iterations: u64) -> Sc
                     push(format!("w{worker} stall"), Lane::Compute, t0, at);
                 }
             }
-            TraceEvent::WireStart { msg_id, src, dst, .. } => {
+            TraceEvent::WireStart {
+                msg_id, src, dst, ..
+            } => {
                 wire_open.insert(msg_id, (at, src, dst));
             }
-            TraceEvent::WireEnd { msg_id, .. } => {
+            TraceEvent::WireEnd {
+                msg_id, bottleneck, ..
+            } => {
                 if let Some((t0, src, dst)) = wire_open.remove(&msg_id) {
                     push(format!("m{src} tx"), Lane::Send, t0, at);
                     push(format!("m{dst} rx"), Lane::Receive, t0, at);
+                    // Transit (core) bottlenecks get their own lane; port
+                    // bottlenecks are already visible on the tx/rx rows.
+                    if let Some(l) = bottleneck {
+                        if l >= 2 * machines {
+                            push(format!("link l{l}"), Lane::Send, t0, at);
+                        }
+                    }
                 }
             }
-            TraceEvent::AggStart { server, key, round, worker } => {
+            TraceEvent::AggStart {
+                server,
+                key,
+                round,
+                worker,
+            } => {
                 agg_open.insert((server, key, round, worker), at);
             }
-            TraceEvent::AggEnd { server, key, round, worker } => {
+            TraceEvent::AggEnd {
+                server,
+                key,
+                round,
+                worker,
+            } => {
                 if let Some(t0) = agg_open.remove(&(server, key, round, worker)) {
                     push(format!("s{server} agg"), Lane::Update, t0, at);
                 }
@@ -95,7 +128,11 @@ pub fn timeline_schedule(log: &TraceLog, machines: usize, iterations: u64) -> Sc
 
     segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
     let makespan = segments.iter().map(|s| s.end).fold(0.0, f64::max);
-    Schedule { segments, iteration_gap: 0.0, makespan }
+    Schedule {
+        segments,
+        iteration_gap: 0.0,
+        makespan,
+    }
 }
 
 /// Renders the first `iterations` iterations of a recorded trace as a
@@ -127,26 +164,76 @@ mod tests {
         let mut log = TraceLog::new();
         log.record(
             t(0),
-            TraceEvent::ComputeStart { worker: 0, phase: ComputePhase::Forward, block: 0 },
+            TraceEvent::ComputeStart {
+                worker: 0,
+                phase: ComputePhase::Forward,
+                block: 0,
+            },
         );
         log.record(
             t(10),
-            TraceEvent::ComputeEnd { worker: 0, phase: ComputePhase::Forward, block: 0 },
+            TraceEvent::ComputeEnd {
+                worker: 0,
+                phase: ComputePhase::Forward,
+                block: 0,
+            },
         );
-        log.record(t(10), TraceEvent::WireStart { msg_id: 1, src: 0, dst: 1, bytes: 64, priority: 0 });
-        log.record(t(20), TraceEvent::WireEnd { msg_id: 1, src: 0, dst: 1, bytes: 64 });
-        log.record(t(20), TraceEvent::AggStart { server: 1, key: 0, round: 0, worker: 0 });
-        log.record(t(25), TraceEvent::AggEnd { server: 1, key: 0, round: 0, worker: 0 });
+        log.record(
+            t(10),
+            TraceEvent::WireStart {
+                msg_id: 1,
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                priority: 0,
+            },
+        );
+        log.record(
+            t(20),
+            TraceEvent::WireEnd {
+                msg_id: 1,
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                bottleneck: None,
+            },
+        );
+        log.record(
+            t(20),
+            TraceEvent::AggStart {
+                server: 1,
+                key: 0,
+                round: 0,
+                worker: 0,
+            },
+        );
+        log.record(
+            t(25),
+            TraceEvent::AggEnd {
+                server: 1,
+                key: 0,
+                round: 0,
+                worker: 0,
+            },
+        );
         log.record(t(25), TraceEvent::IterationEnd { worker: 0, iter: 1 });
         log.record(t(25), TraceEvent::IterationEnd { worker: 1, iter: 1 });
         // Past the 1-iteration cutoff:
         log.record(
             t(30),
-            TraceEvent::ComputeStart { worker: 0, phase: ComputePhase::Forward, block: 0 },
+            TraceEvent::ComputeStart {
+                worker: 0,
+                phase: ComputePhase::Forward,
+                block: 0,
+            },
         );
         log.record(
             t(40),
-            TraceEvent::ComputeEnd { worker: 0, phase: ComputePhase::Forward, block: 0 },
+            TraceEvent::ComputeEnd {
+                worker: 0,
+                phase: ComputePhase::Forward,
+                block: 0,
+            },
         );
         log
     }
@@ -168,8 +255,65 @@ mod tests {
         // The second compute span (30..40 µs) is past the cutoff at 25 µs.
         assert!((s.makespan - 25e-6).abs() < 1e-12);
         assert_eq!(
-            s.segments.iter().filter(|x| x.label == "w0 compute").count(),
+            s.segments
+                .iter()
+                .filter(|x| x.label == "w0 compute")
+                .count(),
             1
+        );
+    }
+
+    #[test]
+    fn transit_bottlenecks_get_their_own_lane() {
+        let mut log = TraceLog::new();
+        // Two machines → link ids 0..4 are ports; id 4 is the first transit
+        // link. A port-bottlenecked transfer must not grow a link row.
+        log.record(
+            t(0),
+            TraceEvent::WireStart {
+                msg_id: 1,
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                priority: 0,
+            },
+        );
+        log.record(
+            t(10),
+            TraceEvent::WireEnd {
+                msg_id: 1,
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                bottleneck: Some(4),
+            },
+        );
+        log.record(
+            t(10),
+            TraceEvent::WireStart {
+                msg_id: 2,
+                src: 1,
+                dst: 0,
+                bytes: 64,
+                priority: 0,
+            },
+        );
+        log.record(
+            t(20),
+            TraceEvent::WireEnd {
+                msg_id: 2,
+                src: 1,
+                dst: 0,
+                bytes: 64,
+                bottleneck: Some(1),
+            },
+        );
+        let s = timeline_schedule(&log, 2, 0);
+        let labels: Vec<&str> = s.segments.iter().map(|x| x.label.as_str()).collect();
+        assert!(labels.contains(&"link l4"), "{labels:?}");
+        assert!(
+            !labels.iter().any(|l| l.starts_with("link l1")),
+            "{labels:?}"
         );
     }
 
@@ -183,6 +327,9 @@ mod tests {
 
     #[test]
     fn empty_log_renders_a_marker() {
-        assert_eq!(ascii_timeline(&TraceLog::new(), 2, 0, 40), "(empty trace)\n");
+        assert_eq!(
+            ascii_timeline(&TraceLog::new(), 2, 0, 40),
+            "(empty trace)\n"
+        );
     }
 }

@@ -50,7 +50,10 @@ impl Dgc {
     /// `(0, 1)`.
     pub fn new(len: usize, momentum: f32, final_sparsity: f64, warmup_epochs: u32) -> Dgc {
         assert!(len > 0, "empty tensor");
-        assert!((0.0..1.0).contains(&momentum), "momentum {momentum} outside [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum {momentum} outside [0, 1)"
+        );
         assert!(
             final_sparsity > 0.0 && final_sparsity < 1.0,
             "sparsity {final_sparsity} outside (0, 1)"
@@ -99,7 +102,9 @@ impl Dgc {
         }
 
         // The 1e-9 guard keeps e.g. (1 − 0.999)·1000 from ceiling to 2.
-        let keep = (((1.0 - self.current_sparsity()) * n as f64) - 1e-9).ceil().max(1.0) as usize;
+        let keep = (((1.0 - self.current_sparsity()) * n as f64) - 1e-9)
+            .ceil()
+            .max(1.0) as usize;
         let keep = keep.min(n);
 
         // Threshold = k-th largest |v|. Full sort is O(n log n) but n is a
@@ -150,7 +155,7 @@ mod tests {
     #[test]
     fn residuals_accumulate_and_eventually_send() {
         let mut dgc = Dgc::new(4, 0.0, 0.75, 0); // keep 1 per step
-        // A small persistent gradient on index 2 must eventually win.
+                                                 // A small persistent gradient on index 2 must eventually win.
         let grad = vec![1.0, 0.0, 0.3, 0.0];
         let mut sent2 = 0.0f32;
         for _ in 0..10 {

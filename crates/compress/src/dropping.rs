@@ -32,7 +32,10 @@ impl GradDrop {
     pub fn new(len: usize, ratio: f64) -> GradDrop {
         assert!(len > 0, "empty tensor");
         assert!(ratio >= 1.0, "compression ratio {ratio} below 1");
-        GradDrop { ratio, residual: vec![0.0; len] }
+        GradDrop {
+            ratio,
+            residual: vec![0.0; len],
+        }
     }
 
     /// Processes one gradient: adds it to the residual, transmits the

@@ -34,7 +34,10 @@ impl Qsgd {
     /// Panics if `levels == 0`.
     pub fn new(levels: u32, seed: u64) -> Qsgd {
         assert!(levels > 0, "zero quantization levels");
-        Qsgd { levels, rng: SplitMix64::new(seed) }
+        Qsgd {
+            levels,
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// Quantizes a gradient (dense output, values on the quantization
@@ -50,7 +53,11 @@ impl Qsgd {
                 let level = g.abs() / norm * s;
                 let floor = level.floor();
                 let frac = level - floor;
-                let xi = if (self.rng.next_f64() as f32) < frac { floor + 1.0 } else { floor };
+                let xi = if (self.rng.next_f64() as f32) < frac {
+                    floor + 1.0
+                } else {
+                    floor
+                };
                 norm * g.signum() * xi / s
             })
             .collect()
@@ -73,7 +80,9 @@ pub struct TernGrad {
 impl TernGrad {
     /// Creates a ternarizer.
     pub fn new(seed: u64) -> TernGrad {
-        TernGrad { rng: SplitMix64::new(seed) }
+        TernGrad {
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// Ternarizes a gradient.
@@ -111,7 +120,9 @@ impl OneBitSgd {
     /// Panics if `len == 0`.
     pub fn new(len: usize) -> OneBitSgd {
         assert!(len > 0, "empty tensor");
-        OneBitSgd { residual: vec![0.0; len] }
+        OneBitSgd {
+            residual: vec![0.0; len],
+        }
     }
 
     /// Quantizes one gradient, updating the residual.
@@ -121,8 +132,11 @@ impl OneBitSgd {
     /// Panics if `grad.len()` differs from the construction length.
     pub fn quantize(&mut self, grad: &[f32]) -> Vec<f32> {
         assert_eq!(grad.len(), self.residual.len(), "gradient length mismatch");
-        let corrected: Vec<f32> =
-            grad.iter().zip(&self.residual).map(|(g, r)| g + r).collect();
+        let corrected: Vec<f32> = grad
+            .iter()
+            .zip(&self.residual)
+            .map(|(g, r)| g + r)
+            .collect();
         // Per-tensor reconstruction scales: mean magnitude of each sign.
         let (mut pos_sum, mut pos_n, mut neg_sum, mut neg_n) = (0.0f64, 0u32, 0.0f64, 0u32);
         for &c in &corrected {
@@ -134,8 +148,16 @@ impl OneBitSgd {
                 neg_n += 1;
             }
         }
-        let pos_scale = if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 };
-        let neg_scale = if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 };
+        let pos_scale = if pos_n > 0 {
+            (pos_sum / pos_n as f64) as f32
+        } else {
+            0.0
+        };
+        let neg_scale = if neg_n > 0 {
+            (neg_sum / neg_n as f64) as f32
+        } else {
+            0.0
+        };
         let mut out = Vec::with_capacity(corrected.len());
         for (c, r) in corrected.iter().zip(&mut self.residual) {
             let q = if *c >= 0.0 { pos_scale } else { neg_scale };
@@ -156,7 +178,11 @@ mod tests {
     use super::*;
 
     fn mean_abs_err(a: &[f32], b: &[f32]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).sum::<f64>() / a.len() as f64
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs() as f64)
+            .sum::<f64>()
+            / a.len() as f64
     }
 
     #[test]

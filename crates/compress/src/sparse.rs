@@ -34,7 +34,11 @@ impl SparseGrad {
             assert!(!seen[i as usize], "duplicate index {i}");
             seen[i as usize] = true;
         }
-        SparseGrad { len, indices, values }
+        SparseGrad {
+            len,
+            indices,
+            values,
+        }
     }
 
     /// Dense tensor length.

@@ -66,14 +66,21 @@ impl<T> Default for PrioQueue<T> {
 impl<T> PrioQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        PrioQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        PrioQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Enqueues `value` with `priority` (lower = more urgent).
     pub fn push(&mut self, priority: u32, value: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Item { priority, seq, value });
+        self.heap.push(Item {
+            priority,
+            seq,
+            value,
+        });
     }
 
     /// Removes and returns the most urgent value (FIFO among equals).

@@ -133,7 +133,9 @@ impl SyncStrategy {
     pub fn baseline() -> SyncStrategy {
         SyncStrategy {
             name: "Baseline".into(),
-            slicing: Slicing::KvstoreLayerwise { split_threshold: KVSTORE_SPLIT_THRESHOLD },
+            slicing: Slicing::KvstoreLayerwise {
+                split_threshold: KVSTORE_SPLIT_THRESHOLD,
+            },
             egress: Egress::PerServerFifo,
             server_processing: ServerProcessing::Fifo,
             response: ResponseMode::NotifyThenPull,
@@ -185,7 +187,9 @@ impl SyncStrategy {
     pub fn tf_style() -> SyncStrategy {
         SyncStrategy {
             name: "TensorFlow-style".into(),
-            slicing: Slicing::KvstoreLayerwise { split_threshold: KVSTORE_SPLIT_THRESHOLD },
+            slicing: Slicing::KvstoreLayerwise {
+                split_threshold: KVSTORE_SPLIT_THRESHOLD,
+            },
             egress: Egress::PerServerFifo,
             server_processing: ServerProcessing::Fifo,
             response: ResponseMode::NotifyThenPull,
@@ -252,9 +256,7 @@ impl SyncStrategy {
             Slicing::KvstoreLayerwise { split_threshold } => {
                 ShardPlan::kvstore(&arrays, servers, split_threshold, seed)
             }
-            Slicing::LayerwiseNoSplit => {
-                ShardPlan::kvstore(&arrays, servers, u64::MAX, seed)
-            }
+            Slicing::LayerwiseNoSplit => ShardPlan::kvstore(&arrays, servers, u64::MAX, seed),
             Slicing::MaxParams(max) => p3_plan(&arrays, servers, max),
         }
     }
@@ -283,7 +285,11 @@ impl SyncStrategy {
 
     /// All strategies compared in Figure 7, in plot order.
     pub fn fig7_series() -> Vec<SyncStrategy> {
-        vec![SyncStrategy::baseline(), SyncStrategy::slicing_only(), SyncStrategy::p3()]
+        vec![
+            SyncStrategy::baseline(),
+            SyncStrategy::slicing_only(),
+            SyncStrategy::p3(),
+        ]
     }
 }
 
@@ -295,7 +301,12 @@ mod tests {
     fn baseline_matches_paper_description() {
         let b = SyncStrategy::baseline();
         assert_eq!(b.name(), "Baseline");
-        assert_eq!(b.slicing, Slicing::KvstoreLayerwise { split_threshold: 1_000_000 });
+        assert_eq!(
+            b.slicing,
+            Slicing::KvstoreLayerwise {
+                split_threshold: 1_000_000
+            }
+        );
         assert_eq!(b.response, ResponseMode::NotifyThenPull);
     }
 
@@ -350,8 +361,9 @@ mod tests {
         let p2 = strat.priorities(&plan);
         assert_eq!(p1, p2);
         // Distinct arrays' priorities form a permutation of 0..n.
-        let mut per_array: Vec<u32> =
-            (0..plan.num_arrays()).map(|a| p1[plan.slices_of_array(a)[0]]).collect();
+        let mut per_array: Vec<u32> = (0..plan.num_arrays())
+            .map(|a| p1[plan.slices_of_array(a)[0]])
+            .collect();
         per_array.sort_unstable();
         assert_eq!(per_array, (0..plan.num_arrays() as u32).collect::<Vec<_>>());
     }

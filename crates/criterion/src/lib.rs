@@ -37,7 +37,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id combining a function name and a parameter value.
     pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -122,7 +124,10 @@ pub struct Criterion {
 
 impl Criterion {
     fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
-        let mut b = Bencher { mode: self.mode, reported: None };
+        let mut b = Bencher {
+            mode: self.mode,
+            reported: None,
+        };
         f(&mut b);
         match self.mode {
             Mode::Smoke => println!("bench {id} ... ok (smoke)"),
@@ -135,7 +140,10 @@ impl Criterion {
 
     /// A named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into() }
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
     }
 
     /// Runs a single named benchmark.
@@ -198,7 +206,9 @@ pub fn runner(groups: &[fn(&mut Criterion)]) {
     // `cargo bench` passes `--bench`; `cargo test` does not. Mirror the
     // real crate: without it, just smoke-test each routine once.
     let measure = std::env::args().any(|a| a == "--bench");
-    let mut c = Criterion { mode: if measure { Mode::Measure } else { Mode::Smoke } };
+    let mut c = Criterion {
+        mode: if measure { Mode::Measure } else { Mode::Smoke },
+    };
     for g in groups {
         g(&mut c);
     }
@@ -238,13 +248,17 @@ mod tests {
 
     #[test]
     fn measure_mode_reports_a_median() {
-        let mut c = Criterion { mode: Mode::Measure };
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
         let mut g = c.benchmark_group("grp");
-        g.sample_size(10).bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        g.sample_size(10)
+            .bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| x * 2));
         g.finish();
-        let mut b = Bencher { mode: Mode::Measure, reported: None };
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            reported: None,
+        };
         b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
         assert!(b.reported.is_some());
     }

@@ -133,7 +133,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time: at, seq, event });
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
         self.high_water = self.high_water.max(self.heap.len());
     }
 

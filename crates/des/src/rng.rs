@@ -53,7 +53,10 @@ impl SplitMix64 {
     /// Panics if `lo > hi` or either bound is non-finite.
     #[inline]
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -91,7 +94,10 @@ impl SplitMix64 {
     ///
     /// Panics if `std_dev` is negative or non-finite.
     pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "bad std_dev {std_dev}");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "bad std_dev {std_dev}"
+        );
         mean + std_dev * self.normal()
     }
 

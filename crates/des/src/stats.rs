@@ -160,7 +160,10 @@ impl Histogram {
     /// Panics if `first` is not positive, `growth` is not greater than 1,
     /// or `buckets` is zero.
     pub fn exponential(first: f64, growth: f64, buckets: usize) -> Self {
-        assert!(first > 0.0 && first.is_finite(), "first bound must be positive");
+        assert!(
+            first > 0.0 && first.is_finite(),
+            "first bound must be positive"
+        );
         assert!(growth > 1.0 && growth.is_finite(), "growth must exceed 1");
         assert!(buckets > 0, "need at least one bucket");
         let mut bounds = Vec::with_capacity(buckets);
@@ -291,8 +294,11 @@ mod tests {
             s.record(x);
         }
         let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let naive_var =
-            xs.iter().map(|x| (x - naive_mean) * (x - naive_mean)).sum::<f64>() / xs.len() as f64;
+        let naive_var = xs
+            .iter()
+            .map(|x| (x - naive_mean) * (x - naive_mean))
+            .sum::<f64>()
+            / xs.len() as f64;
         assert!((s.mean() - naive_mean).abs() < 1e-9);
         assert!((s.population_variance() - naive_var).abs() < 1e-6);
     }

@@ -354,7 +354,10 @@ mod tests {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
         assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_nanos(2_000_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
     }
 
     #[test]
@@ -367,8 +370,14 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds_to_nanos() {
-        assert_eq!(SimDuration::from_secs_f64(1.5e-9), SimDuration::from_nanos(2));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5e-9),
+            SimDuration::from_nanos(2)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
         assert_eq!(SimTime::from_secs_f64(0.0), SimTime::ZERO);
     }
 
@@ -386,7 +395,10 @@ mod tests {
 
     #[test]
     fn saturating_ops_clamp() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimTime::ZERO.saturating_duration_since(SimTime::from_secs(5)),
             SimDuration::ZERO

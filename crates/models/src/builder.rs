@@ -40,8 +40,17 @@ impl ConvStack {
     ///
     /// Panics if any dimension is zero.
     pub fn new(c: u64, h: u64, w: u64) -> Self {
-        assert!(c > 0 && h > 0 && w > 0, "degenerate input shape {c}x{h}x{w}");
-        ConvStack { blocks: Vec::new(), c, h, w, flattened: None }
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "degenerate input shape {c}x{h}x{w}"
+        );
+        ConvStack {
+            blocks: Vec::new(),
+            c,
+            h,
+            w,
+            flattened: None,
+        }
     }
 
     /// Current activation shape `(channels, height, width)`.
@@ -78,7 +87,10 @@ impl ConvStack {
         assert!(stride > 0, "zero stride in {name}");
         let h_in = self.h + 2 * ph;
         let w_in = self.w + 2 * pw;
-        assert!(h_in >= kh && w_in >= kw, "kernel {kh}x{kw} does not fit {name}");
+        assert!(
+            h_in >= kh && w_in >= kw,
+            "kernel {kh}x{kw} does not fit {name}"
+        );
         let h_out = (h_in - kh) / stride + 1;
         let w_out = (w_in - kw) / stride + 1;
         let weight = kh * kw * self.c * out_c;
@@ -87,7 +99,8 @@ impl ConvStack {
         if bias {
             arrays.push(ParamArray::new(format!("{name}.bias"), out_c));
         }
-        self.blocks.push(ComputeBlock::new(name, BlockKind::Conv, flops, arrays));
+        self.blocks
+            .push(ComputeBlock::new(name, BlockKind::Conv, flops, arrays));
         self.c = out_c;
         self.h = h_out;
         self.w = w_out;
@@ -96,13 +109,17 @@ impl ConvStack {
     /// Adds a batch-norm block over the current channels (two arrays:
     /// gamma and beta; running statistics are not synchronized).
     pub fn batch_norm(&mut self, name: &str) {
-        assert!(self.flattened.is_none(), "cannot batch-norm after flatten()");
+        assert!(
+            self.flattened.is_none(),
+            "cannot batch-norm after flatten()"
+        );
         let flops = 4 * self.c * self.h * self.w;
         let arrays = vec![
             ParamArray::new(format!("{name}.gamma"), self.c),
             ParamArray::new(format!("{name}.beta"), self.c),
         ];
-        self.blocks.push(ComputeBlock::new(name, BlockKind::BatchNorm, flops, arrays));
+        self.blocks
+            .push(ComputeBlock::new(name, BlockKind::BatchNorm, flops, arrays));
     }
 
     /// Applies max/avg pooling: spatial reduction only, no block emitted
@@ -110,7 +127,12 @@ impl ConvStack {
     pub fn max_pool(&mut self, k: u64, stride: u64) {
         assert!(self.flattened.is_none(), "cannot pool after flatten()");
         assert!(stride > 0 && k > 0, "degenerate pooling");
-        assert!(self.h >= k && self.w >= k, "pool {k} does not fit {}x{}", self.h, self.w);
+        assert!(
+            self.h >= k && self.w >= k,
+            "pool {k} does not fit {}x{}",
+            self.h,
+            self.w
+        );
         self.h = (self.h - k) / stride + 1;
         self.w = (self.w - k) / stride + 1;
     }
@@ -138,7 +160,8 @@ impl ConvStack {
         if bias {
             arrays.push(ParamArray::new(format!("{name}.bias"), out));
         }
-        self.blocks.push(ComputeBlock::new(name, BlockKind::Dense, flops, arrays));
+        self.blocks
+            .push(ComputeBlock::new(name, BlockKind::Dense, flops, arrays));
         self.flattened = Some(out);
     }
 

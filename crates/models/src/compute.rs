@@ -47,7 +47,10 @@ impl ComputeProfile {
     /// The calibration baseline: one Nvidia Quadro P4000, backward pass
     /// costing twice the forward pass (the usual 1 fwd : 2 bwd split).
     pub fn p4000() -> Self {
-        ComputeProfile { speed: 1.0, bwd_ratio: 2.0 }
+        ComputeProfile {
+            speed: 1.0,
+            bwd_ratio: 2.0,
+        }
     }
 
     /// A device `speed`× faster than the P4000 baseline.
@@ -56,8 +59,14 @@ impl ComputeProfile {
     ///
     /// Panics if `speed` is not positive.
     pub fn scaled(speed: f64) -> Self {
-        assert!(speed > 0.0 && speed.is_finite(), "invalid device speed {speed}");
-        ComputeProfile { speed, bwd_ratio: 2.0 }
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "invalid device speed {speed}"
+        );
+        ComputeProfile {
+            speed,
+            bwd_ratio: 2.0,
+        }
     }
 
     /// Overrides the backward/forward cost ratio.
@@ -66,7 +75,10 @@ impl ComputeProfile {
     ///
     /// Panics if `ratio` is not positive.
     pub fn with_bwd_ratio(mut self, ratio: f64) -> Self {
-        assert!(ratio > 0.0 && ratio.is_finite(), "invalid bwd ratio {ratio}");
+        assert!(
+            ratio > 0.0 && ratio.is_finite(),
+            "invalid bwd ratio {ratio}"
+        );
         self.bwd_ratio = ratio;
         self
     }
@@ -90,8 +102,11 @@ impl ComputeProfile {
         let iter = self.iteration_time(model, batch).as_secs_f64();
         let fwd_total = iter / (1.0 + self.bwd_ratio);
         let bwd_total = iter - fwd_total;
-        let weights: Vec<f64> =
-            model.blocks().iter().map(|b| (b.fwd_flops.max(1)) as f64).collect();
+        let weights: Vec<f64> = model
+            .blocks()
+            .iter()
+            .map(|b| (b.fwd_flops.max(1)) as f64)
+            .collect();
         let sum: f64 = weights.iter().sum();
         weights
             .iter()
@@ -127,7 +142,9 @@ mod tests {
     fn faster_device_scales_linearly() {
         let m = ModelSpec::resnet50();
         let base = ComputeProfile::p4000().iteration_time(&m, 32).as_secs_f64();
-        let fast = ComputeProfile::scaled(2.0).iteration_time(&m, 32).as_secs_f64();
+        let fast = ComputeProfile::scaled(2.0)
+            .iteration_time(&m, 32)
+            .as_secs_f64();
         assert!((base / fast - 2.0).abs() < 1e-9);
     }
 

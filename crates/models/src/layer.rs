@@ -103,7 +103,12 @@ impl ComputeBlock {
         fwd_flops: u64,
         arrays: Vec<ParamArray>,
     ) -> Self {
-        ComputeBlock { name: name.into(), kind, fwd_flops, arrays }
+        ComputeBlock {
+            name: name.into(),
+            kind,
+            fwd_flops,
+            arrays,
+        }
     }
 
     /// Total parameters across this block's arrays.

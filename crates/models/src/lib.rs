@@ -35,6 +35,4 @@ mod zoo;
 
 pub use builder::ConvStack;
 pub use compute::{BlockTiming, ComputeProfile};
-pub use layer::{
-    BlockKind, ComputeBlock, ModelSpec, ParamArray, SampleUnit, BYTES_PER_PARAM,
-};
+pub use layer::{BlockKind, ComputeBlock, ModelSpec, ParamArray, SampleUnit, BYTES_PER_PARAM};

@@ -22,8 +22,12 @@ impl ModelSpec {
         s.max_pool(3, 2);
 
         // (blocks, mid channels, out channels, first stride)
-        let stages: [(usize, u64, u64, u64); 4] =
-            [(3, 64, 256, 1), (4, 128, 512, 2), (6, 256, 1024, 2), (3, 512, 2048, 2)];
+        let stages: [(usize, u64, u64, u64); 4] = [
+            (3, 64, 256, 1),
+            (4, 128, 512, 2),
+            (6, 256, 1024, 2),
+            (3, 512, 2048, 2),
+        ];
         for (si, &(blocks, mid, out, first_stride)) in stages.iter().enumerate() {
             for b in 0..blocks {
                 let stride = if b == 0 { first_stride } else { 1 };
@@ -59,8 +63,13 @@ impl ModelSpec {
     /// the fc6 weight alone is 102.76 M (71.5% of the model), the paper's
     /// poster child for parameter slicing (Fig. 5b, Fig. 7c).
     pub fn vgg19() -> ModelSpec {
-        let cfg: &[&[u64]] =
-            &[&[64, 64], &[128, 128], &[256, 256, 256, 256], &[512, 512, 512, 512], &[512, 512, 512, 512]];
+        let cfg: &[&[u64]] = &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256, 256],
+            &[512, 512, 512, 512],
+            &[512, 512, 512, 512],
+        ];
         let mut s = ConvStack::new(3, 224, 224);
         let mut idx = 1;
         for group in cfg {
@@ -83,18 +92,33 @@ impl ModelSpec {
     pub fn inception_v3() -> ModelSpec {
         /// conv + batch-norm pair, Inception's `BasicConv2d`.
         #[allow(clippy::too_many_arguments)]
-        fn basic(s: &mut ConvStack, name: &str, out_c: u64, kh: u64, kw: u64, stride: u64, ph: u64, pw: u64) {
-            s.conv2d(&format!("{name}.conv"), out_c, kh, kw, stride, ph, pw, false);
+        fn basic(
+            s: &mut ConvStack,
+            name: &str,
+            out_c: u64,
+            kh: u64,
+            kw: u64,
+            stride: u64,
+            ph: u64,
+            pw: u64,
+        ) {
+            s.conv2d(
+                &format!("{name}.conv"),
+                out_c,
+                kh,
+                kw,
+                stride,
+                ph,
+                pw,
+                false,
+            );
             s.batch_norm(&format!("{name}.bn"));
         }
         /// Concatenation of parallel branches, each built by a closure on a
         /// fresh clone of the junction; output channels are the sum of the
         /// branch outputs.
         #[allow(clippy::type_complexity)]
-        fn module(
-            s: &mut ConvStack,
-            branches: Vec<Box<dyn FnOnce(&mut ConvStack)>>,
-        ) {
+        fn module(s: &mut ConvStack, branches: Vec<Box<dyn FnOnce(&mut ConvStack)>>) {
             let junction = s.clone();
             let base_len = junction.len();
             let mut out_c = 0;
@@ -510,7 +534,14 @@ impl ModelSpec {
         s.global_avg_pool();
         s.flatten();
         s.dense("fc", 10, true);
-        ModelSpec::from_blocks("ResNet-110", SampleUnit::Images, s.finish(), 600.0, 128, 0.0)
+        ModelSpec::from_blocks(
+            "ResNet-110",
+            SampleUnit::Images,
+            s.finish(),
+            600.0,
+            128,
+            0.0,
+        )
     }
 
     /// AlexNet (torchvision variant, 61.1 M parameters): not part of the
@@ -591,7 +622,10 @@ mod tests {
         // torchvision inception_v3 without aux logits ≈ 23.8 M.
         let m = ModelSpec::inception_v3();
         let p = m.total_params();
-        assert!((23_000_000..25_000_000).contains(&p), "InceptionV3 params {p}");
+        assert!(
+            (23_000_000..25_000_000).contains(&p),
+            "InceptionV3 params {p}"
+        );
         // Like ResNet-50, arrays are modest (≤ ~2.1 M).
         assert!(m.heaviest_array().unwrap().params < 3_000_000);
     }
@@ -632,7 +666,11 @@ mod tests {
 
     #[test]
     fn image_models_end_with_dense_classifier() {
-        for m in [ModelSpec::resnet50(), ModelSpec::vgg19(), ModelSpec::inception_v3()] {
+        for m in [
+            ModelSpec::resnet50(),
+            ModelSpec::vgg19(),
+            ModelSpec::inception_v3(),
+        ] {
             let last = m.blocks().last().unwrap();
             assert_eq!(last.kind, BlockKind::Dense, "{}", m.name());
             assert!(last.arrays[0].name.contains("fc"));
@@ -646,7 +684,11 @@ mod tests {
         // priority scheduling discussion.
         for m in [ModelSpec::vgg19(), ModelSpec::alexnet()] {
             let idx = m.heaviest_block_index().unwrap();
-            assert!(idx * 3 > m.blocks().len(), "{}: heaviest at {idx}", m.name());
+            assert!(
+                idx * 3 > m.blocks().len(),
+                "{}: heaviest at {idx}",
+                m.name()
+            );
         }
         assert_eq!(ModelSpec::sockeye().heaviest_block_index(), Some(0));
     }
@@ -665,8 +707,10 @@ mod tests {
 
     #[test]
     fn paper_models_listing() {
-        let names: Vec<String> =
-            ModelSpec::paper_models().iter().map(|m| m.name().to_string()).collect();
+        let names: Vec<String> = ModelSpec::paper_models()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
         assert_eq!(names, vec!["ResNet-50", "InceptionV3", "VGG-19", "Sockeye"]);
     }
 }

@@ -70,11 +70,18 @@ pub fn allocate_rates_capped(
     rx_cap: &[f64],
     flow_cap: f64,
 ) -> Vec<f64> {
-    assert_eq!(tx_cap.len(), rx_cap.len(), "tx/rx capacity tables differ in length");
+    assert_eq!(
+        tx_cap.len(),
+        rx_cap.len(),
+        "tx/rx capacity tables differ in length"
+    );
     assert!(flow_cap > 0.0, "non-positive flow cap");
     let machines = tx_cap.len();
     for f in flows {
-        assert!(f.src < machines && f.dst < machines, "flow {f:?} references unknown machine");
+        assert!(
+            f.src < machines && f.dst < machines,
+            "flow {f:?} references unknown machine"
+        );
     }
 
     let mut rates = vec![0.0; flows.len()];
@@ -92,9 +99,17 @@ pub fn allocate_rates_capped(
     classes.dedup();
 
     for class in classes {
-        let members: Vec<usize> =
-            (0..flows.len()).filter(|&i| flows[i].priority == class).collect();
-        water_fill(flows, &members, &mut res_tx, &mut res_rx, &mut rates, flow_cap);
+        let members: Vec<usize> = (0..flows.len())
+            .filter(|&i| flows[i].priority == class)
+            .collect();
+        water_fill(
+            flows,
+            &members,
+            &mut res_tx,
+            &mut res_rx,
+            &mut rates,
+            flow_cap,
+        );
     }
     rates
 }
@@ -206,7 +221,11 @@ mod tests {
 
     #[test]
     fn single_flow_gets_min_of_its_ports() {
-        let flows = [FlowSpec { src: 0, dst: 1, priority: Priority(0) }];
+        let flows = [FlowSpec {
+            src: 0,
+            dst: 1,
+            priority: Priority(0),
+        }];
         let rates = allocate_rates(&flows, &[100.0, 40.0], &[70.0, 30.0]);
         assert_eq!(rates, vec![30.0]); // limited by dst rx
     }
@@ -214,7 +233,11 @@ mod tests {
     #[test]
     fn fan_out_shares_tx() {
         let flows: Vec<FlowSpec> = (1..=4)
-            .map(|d| FlowSpec { src: 0, dst: d, priority: Priority(2) })
+            .map(|d| FlowSpec {
+                src: 0,
+                dst: d,
+                priority: Priority(2),
+            })
             .collect();
         let rates = allocate_rates(&flows, &caps(5, 100.0), &caps(5, 100.0));
         for r in rates {
@@ -225,7 +248,11 @@ mod tests {
     #[test]
     fn incast_shares_rx() {
         let flows: Vec<FlowSpec> = (1..=4)
-            .map(|s| FlowSpec { src: s, dst: 0, priority: Priority(2) })
+            .map(|s| FlowSpec {
+                src: s,
+                dst: 0,
+                priority: Priority(2),
+            })
             .collect();
         let rates = allocate_rates(&flows, &caps(5, 100.0), &caps(5, 100.0));
         for r in rates {
@@ -238,21 +265,40 @@ mod tests {
         // Flow A: 0->1 (shares tx of 0 with B). Flow B: 0->2 but dst 2 has a
         // tiny rx. B freezes at 10, A picks up the leftover 90.
         let flows = [
-            FlowSpec { src: 0, dst: 1, priority: Priority(1) },
-            FlowSpec { src: 0, dst: 2, priority: Priority(1) },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(1),
+            },
+            FlowSpec {
+                src: 0,
+                dst: 2,
+                priority: Priority(1),
+            },
         ];
         let tx = [100.0, 100.0, 100.0];
         let rx = [100.0, 100.0, 10.0];
         let rates = allocate_rates(&flows, &tx, &rx);
         assert!((rates[1] - 10.0).abs() < 1e-6, "B limited by rx: {rates:?}");
-        assert!((rates[0] - 90.0).abs() < 1e-6, "A takes leftover: {rates:?}");
+        assert!(
+            (rates[0] - 90.0).abs() < 1e-6,
+            "A takes leftover: {rates:?}"
+        );
     }
 
     #[test]
     fn strict_priority_starves_bulk() {
         let flows = [
-            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
-            FlowSpec { src: 0, dst: 1, priority: Priority(9) },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(0),
+            },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(9),
+            },
         ];
         let rates = allocate_rates(&flows, &caps(2, 100.0), &caps(2, 100.0));
         assert!((rates[0] - 100.0).abs() < 1e-6);
@@ -263,8 +309,16 @@ mod tests {
     fn lower_class_uses_ports_urgent_class_does_not() {
         // Urgent flow 0->1 saturates 0.tx; bulk flow 2->3 is unaffected.
         let flows = [
-            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
-            FlowSpec { src: 2, dst: 3, priority: Priority(7) },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(0),
+            },
+            FlowSpec {
+                src: 2,
+                dst: 3,
+                priority: Priority(7),
+            },
         ];
         let rates = allocate_rates(&flows, &caps(4, 100.0), &caps(4, 100.0));
         assert!((rates[0] - 100.0).abs() < 1e-6);
@@ -275,8 +329,16 @@ mod tests {
     fn bidirectional_flows_do_not_contend() {
         // tx and rx are independent: full-duplex.
         let flows = [
-            FlowSpec { src: 0, dst: 1, priority: Priority(1) },
-            FlowSpec { src: 1, dst: 0, priority: Priority(1) },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(1),
+            },
+            FlowSpec {
+                src: 1,
+                dst: 0,
+                priority: Priority(1),
+            },
         ];
         let rates = allocate_rates(&flows, &caps(2, 100.0), &caps(2, 100.0));
         assert!((rates[0] - 100.0).abs() < 1e-6);
@@ -285,7 +347,11 @@ mod tests {
 
     #[test]
     fn zero_capacity_yields_zero_rates() {
-        let flows = [FlowSpec { src: 0, dst: 1, priority: Priority(1) }];
+        let flows = [FlowSpec {
+            src: 0,
+            dst: 1,
+            priority: Priority(1),
+        }];
         let rates = allocate_rates(&flows, &[0.0, 0.0], &[0.0, 0.0]);
         assert_eq!(rates, vec![0.0]);
     }
@@ -293,13 +359,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown machine")]
     fn out_of_range_machine_panics() {
-        let flows = [FlowSpec { src: 0, dst: 5, priority: Priority(0) }];
+        let flows = [FlowSpec {
+            src: 0,
+            dst: 5,
+            priority: Priority(0),
+        }];
         allocate_rates(&flows, &caps(2, 1.0), &caps(2, 1.0));
     }
 
     #[test]
     fn flow_cap_limits_isolated_flow() {
-        let flows = [FlowSpec { src: 0, dst: 1, priority: Priority(0) }];
+        let flows = [FlowSpec {
+            src: 0,
+            dst: 1,
+            priority: Priority(0),
+        }];
         let rates = allocate_rates_capped(&flows, &caps(2, 100.0), &caps(2, 100.0), 30.0);
         assert_eq!(rates, vec![30.0]);
     }
@@ -309,8 +383,16 @@ mod tests {
         // Two flows share 0.tx; with a cap of 30, each takes 30 and the
         // rest of the port goes unused (no third flow to absorb it).
         let flows = [
-            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
-            FlowSpec { src: 0, dst: 2, priority: Priority(0) },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(0),
+            },
+            FlowSpec {
+                src: 0,
+                dst: 2,
+                priority: Priority(0),
+            },
         ];
         let rates = allocate_rates_capped(&flows, &caps(3, 100.0), &caps(3, 100.0), 30.0);
         assert_eq!(rates, vec![30.0, 30.0]);
@@ -322,8 +404,16 @@ mod tests {
     #[test]
     fn uncapped_equals_infinite_cap() {
         let flows = [
-            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
-            FlowSpec { src: 1, dst: 2, priority: Priority(1) },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(0),
+            },
+            FlowSpec {
+                src: 1,
+                dst: 2,
+                priority: Priority(1),
+            },
         ];
         let a = allocate_rates(&flows, &caps(3, 77.0), &caps(3, 77.0));
         let b = allocate_rates_capped(&flows, &caps(3, 77.0), &caps(3, 77.0), 1e18);
@@ -335,9 +425,21 @@ mod tests {
         // Class 0 takes 60 (its rx limit), class 1 takes the remaining 40 of
         // 0.tx, class 2 gets nothing from 0.tx.
         let flows = [
-            FlowSpec { src: 0, dst: 1, priority: Priority(0) },
-            FlowSpec { src: 0, dst: 2, priority: Priority(1) },
-            FlowSpec { src: 0, dst: 3, priority: Priority(2) },
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(0),
+            },
+            FlowSpec {
+                src: 0,
+                dst: 2,
+                priority: Priority(1),
+            },
+            FlowSpec {
+                src: 0,
+                dst: 3,
+                priority: Priority(2),
+            },
         ];
         let tx = [100.0, 100.0, 100.0, 100.0];
         let rx = [100.0, 60.0, 100.0, 100.0];

@@ -26,7 +26,12 @@ pub fn trace_stats(trace: &PortTrace, capacity_bps: f64) -> TraceStats {
     assert!(capacity_bps > 0.0, "non-positive capacity");
     let series = trace.gbps_series();
     if series.is_empty() {
-        return TraceStats { mean_gbps: 0.0, peak_gbps: 0.0, burstiness: 0.0, idle_fraction: 1.0 };
+        return TraceStats {
+            mean_gbps: 0.0,
+            peak_gbps: 0.0,
+            burstiness: 0.0,
+            idle_fraction: 1.0,
+        };
     }
     let mean = series.iter().sum::<f64>() / series.len() as f64;
     let peak = series.iter().copied().fold(0.0, f64::max);

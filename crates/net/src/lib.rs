@@ -36,6 +36,7 @@
 
 mod allocator;
 mod analysis;
+mod multilink;
 mod network;
 mod packet;
 mod trace;
@@ -43,7 +44,8 @@ mod types;
 
 pub use allocator::{allocate_rates, allocate_rates_capped, FlowSpec};
 pub use analysis::{overlap_coefficient, trace_stats, TraceStats};
-pub use network::{CompletedFlow, Network, NetworkConfig};
+pub use multilink::{allocate_rates_on_graph, GraphAllocation, LinkGraph, LinkId};
+pub use network::{CompletedFlow, LinkUsage, Network, NetworkConfig};
 pub use packet::{packet_simulate, PacketMessage, DEFAULT_MTU};
 pub use trace::PortTrace;
 pub use types::{Bandwidth, FlowId, MachineId, Priority};

@@ -2,6 +2,7 @@
 //! traces.
 
 use crate::allocator::{allocate_rates_capped, FlowSpec};
+use crate::multilink::{allocate_rates_on_graph, LinkGraph, LinkId};
 use crate::trace::PortTrace;
 use crate::types::{Bandwidth, FlowId, MachineId, Priority};
 use p3_des::{SimDuration, SimTime};
@@ -38,6 +39,13 @@ pub struct NetworkConfig {
     /// paper's own crossover bandwidths imply roughly 25% effective
     /// utilization — see DESIGN.md §6). Defaults to 1.0 (ideal fabric).
     pub efficiency: f64,
+    /// Optional multi-hop fabric. When set, flows are routed over the
+    /// graph's fixed paths and rates come from the multi-constraint
+    /// allocator ([`crate::allocate_rates_on_graph`]); `bandwidth` no
+    /// longer bounds the ports (the graph's per-machine port capacities
+    /// do), though it still anchors the rate-noise floor. `None` (the
+    /// default) keeps the flat single-switch model.
+    pub link_graph: Option<LinkGraph>,
 }
 
 impl NetworkConfig {
@@ -53,7 +61,26 @@ impl NetworkConfig {
             trace_bin: None,
             flow_cap: f64::INFINITY,
             efficiency: 1.0,
+            link_graph: None,
         }
+    }
+
+    /// Routes all traffic over a multi-hop link graph instead of the flat
+    /// single-switch fabric. The graph's protocol efficiency and fault
+    /// scaling are applied on top of its nominal capacities at every
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's machine count differs from `machines`.
+    pub fn with_link_graph(mut self, graph: LinkGraph) -> Self {
+        assert_eq!(
+            graph.machines(),
+            self.machines,
+            "link graph machine count does not match the cluster"
+        );
+        self.link_graph = Some(graph);
+        self
     }
 
     /// Caps every flow's rate at `bytes_per_sec`.
@@ -107,6 +134,11 @@ pub struct CompletedFlow {
     pub tag: u64,
     /// Message size in bytes.
     pub bytes: u64,
+    /// The saturated link that bounded the flow's rate under its final
+    /// allocation (a [`crate::LinkId`] index). `None` for loopback
+    /// transfers, on the flat single-switch fabric, or when the per-flow
+    /// cap (not a link) was the binding constraint.
+    pub bottleneck: Option<usize>,
 }
 
 #[derive(Debug, Clone)]
@@ -119,6 +151,8 @@ struct ActiveFlow {
     bytes: u64,
     remaining: f64,
     rate: f64, // bytes/sec under the current allocation
+    /// Saturated link bounding the current rate (link-graph mode only).
+    bottleneck: Option<LinkId>,
 }
 
 #[derive(Debug, Clone)]
@@ -170,6 +204,27 @@ pub struct Network {
     /// Event sink for wire-level spans; `None` (the default) records
     /// nothing and costs one branch per flow transition.
     tracer: Option<TraceHandle>,
+    /// Per-link busy time in seconds (link-graph mode only; indexed by
+    /// `LinkId`). A link is busy while any flow crossing it has a
+    /// positive rate.
+    link_busy: Vec<f64>,
+    /// Per-link bytes carried (link-graph mode only).
+    link_bytes: Vec<f64>,
+}
+
+/// Observed usage of one link over a run, from [`Network::link_usage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUsage {
+    /// Link name from the graph (`m3.tx`, `rack1.up`, …).
+    pub name: String,
+    /// Nominal capacity in bytes/sec.
+    pub capacity: f64,
+    /// Seconds during which at least one flow crossed the link.
+    pub busy_secs: f64,
+    /// Total bytes carried.
+    pub bytes: f64,
+    /// True for switch uplinks/downlinks, false for machine ports.
+    pub transit: bool,
 }
 
 impl Network {
@@ -188,6 +243,10 @@ impl Network {
             None => (Vec::new(), Vec::new()),
         };
         let machines = cfg.machines;
+        let num_links = cfg.link_graph.as_ref().map_or(0, LinkGraph::num_links);
+        if let Some(g) = &cfg.link_graph {
+            assert_eq!(g.machines(), machines, "link graph machine count mismatch");
+        }
         Network {
             cfg,
             flows: Vec::new(),
@@ -200,6 +259,8 @@ impl Network {
             tx_scale: vec![1.0; machines],
             rx_scale: vec![1.0; machines],
             tracer: None,
+            link_busy: vec![0.0; num_links],
+            link_bytes: vec![0.0; num_links],
         }
     }
 
@@ -267,7 +328,14 @@ impl Network {
             let at = now + self.cfg.latency + SimDuration::from_secs_f64(secs);
             self.delivering.push(Delivering {
                 at,
-                flow: CompletedFlow { id, src, dst, tag, bytes },
+                flow: CompletedFlow {
+                    id,
+                    src,
+                    dst,
+                    tag,
+                    bytes,
+                    bottleneck: None,
+                },
             });
             return id;
         }
@@ -281,6 +349,7 @@ impl Network {
             bytes,
             remaining: bytes as f64,
             rate: 0.0,
+            bottleneck: None,
         });
         self.dirty = true;
         self.reallocate();
@@ -329,6 +398,7 @@ impl Network {
                         dst: MachineId(f.dst),
                         tag: f.tag,
                         bytes: f.bytes,
+                        bottleneck: f.bottleneck.map(|l| l.0),
                     },
                 });
                 changed = true;
@@ -361,6 +431,7 @@ impl Network {
                         src: d.flow.src.0,
                         dst: d.flow.dst.0,
                         bytes: d.flow.bytes,
+                        bottleneck: d.flow.bottleneck,
                     },
                 );
             }
@@ -422,13 +493,52 @@ impl Network {
         self.rx_traces.get(machine.0)
     }
 
+    /// Observed per-link usage so far (busy time and bytes carried, one
+    /// entry per [`LinkId`]). Empty on the flat single-switch fabric.
+    /// Busy time accrues up to the last `poll`/`start_flow` instant.
+    pub fn link_usage(&self) -> Vec<LinkUsage> {
+        let Some(g) = &self.cfg.link_graph else {
+            return Vec::new();
+        };
+        (0..g.num_links())
+            .map(|l| LinkUsage {
+                name: g.link_name(LinkId(l)).to_string(),
+                capacity: g.link_cap(LinkId(l)),
+                busy_secs: self.link_busy[l],
+                bytes: self.link_bytes[l],
+                transit: g.is_transit(LinkId(l)),
+            })
+            .collect()
+    }
+
     /// Integrates flow progress from `last_update` to `now`.
     fn advance(&mut self, now: SimTime) {
-        assert!(now >= self.last_update, "network clock went backwards: {now} < {}", self.last_update);
+        assert!(
+            now >= self.last_update,
+            "network clock went backwards: {now} < {}",
+            self.last_update
+        );
         if now == self.last_update {
             return;
         }
         let dt = (now - self.last_update).as_secs_f64();
+        if let Some(g) = &self.cfg.link_graph {
+            // Per-link occupancy over the elapsed interval.
+            let mut rate_sum = vec![0.0; g.num_links()];
+            for f in &self.flows {
+                if f.rate > 0.0 {
+                    for l in g.path(f.src, f.dst) {
+                        rate_sum[l.0] += f.rate;
+                    }
+                }
+            }
+            for (l, &r) in rate_sum.iter().enumerate() {
+                if r > 0.0 {
+                    self.link_busy[l] += dt;
+                    self.link_bytes[l] += r * dt;
+                }
+            }
+        }
         for f in &mut self.flows {
             if f.rate > 0.0 {
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
@@ -448,14 +558,27 @@ impl Network {
         }
         self.dirty = false;
         let cap = self.cfg.bandwidth.bytes_per_sec() * self.cfg.efficiency;
-        let tx: Vec<f64> = self.tx_scale.iter().map(|s| cap * s).collect();
-        let rx: Vec<f64> = self.rx_scale.iter().map(|s| cap * s).collect();
         let specs: Vec<FlowSpec> = self
             .flows
             .iter()
-            .map(|f| FlowSpec { src: f.src, dst: f.dst, priority: f.priority })
+            .map(|f| FlowSpec {
+                src: f.src,
+                dst: f.dst,
+                priority: f.priority,
+            })
             .collect();
-        let rates = allocate_rates_capped(&specs, &tx, &rx, self.cfg.flow_cap);
+        let rates = if let Some(g) = &self.cfg.link_graph {
+            let caps = g.scaled_caps(self.cfg.efficiency, &self.tx_scale, &self.rx_scale);
+            let alloc = allocate_rates_on_graph(&specs, g, &caps, self.cfg.flow_cap);
+            for (f, b) in self.flows.iter_mut().zip(alloc.bottleneck) {
+                f.bottleneck = b;
+            }
+            alloc.rates
+        } else {
+            let tx: Vec<f64> = self.tx_scale.iter().map(|s| cap * s).collect();
+            let rx: Vec<f64> = self.rx_scale.iter().map(|s| cap * s).collect();
+            allocate_rates_capped(&specs, &tx, &rx, self.cfg.flow_cap)
+        };
         // A rate below one byte per simulated second is allocator noise; a
         // "running" flow at such a rate would never finish within any
         // realistic horizon and only destabilizes event times.
@@ -479,7 +602,14 @@ mod tests {
     #[test]
     fn isolated_flow_takes_size_over_bandwidth() {
         let mut n = net(2, 8.0); // 1 GB/s
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 2_000_000, Priority(0), 0);
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            2_000_000,
+            Priority(0),
+            0,
+        );
         assert_eq!(n.next_event_time(), Some(SimTime::from_millis(2)));
         let done = n.poll(SimTime::from_millis(2));
         assert_eq!(done.len(), 1);
@@ -491,7 +621,14 @@ mod tests {
         let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
             .with_latency(SimDuration::from_micros(100));
         let mut n = Network::new(cfg);
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 0);
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            1_000_000,
+            Priority(0),
+            0,
+        );
         // Drains at 1 ms, delivers at 1.1 ms.
         assert_eq!(n.next_event_time(), Some(SimTime::from_millis(1)));
         assert!(n.poll(SimTime::from_millis(1)).is_empty());
@@ -502,9 +639,23 @@ mod tests {
     #[test]
     fn two_flows_share_then_speed_up() {
         let mut n = net(3, 8.0); // 1 GB/s per port
-        // Both flows leave machine 0: share its tx at 0.5 GB/s each.
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 1);
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(2), 500_000, Priority(0), 2);
+                                 // Both flows leave machine 0: share its tx at 0.5 GB/s each.
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            1_000_000,
+            Priority(0),
+            1,
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(2),
+            500_000,
+            Priority(0),
+            2,
+        );
         // Flow 2 drains at 1 ms; flow 1 then has 0.5 MB left at full rate.
         let t1 = n.next_event_time().unwrap();
         assert_eq!(t1, SimTime::from_millis(1));
@@ -520,7 +671,14 @@ mod tests {
     #[test]
     fn priority_flow_preempts_bulk() {
         let mut n = net(2, 8.0);
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(5), 10);
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            1_000_000,
+            Priority(5),
+            10,
+        );
         // At 0.5 ms, an urgent flow arrives; bulk flow freezes.
         let mid = SimTime::from_micros(500);
         assert!(n.poll(mid).is_empty());
@@ -542,7 +700,14 @@ mod tests {
             .with_latency(SimDuration::ZERO)
             .with_trace(SimDuration::from_millis(10));
         let mut n = Network::new(cfg);
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(0), 50_000_000, Priority(0), 0);
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(0),
+            50_000_000,
+            Priority(0),
+            0,
+        );
         // 50 MB at 50 GB/s = 1 ms, even though the NIC is only 1 Gbps.
         let t = n.next_event_time().unwrap();
         assert_eq!(t, SimTime::from_millis(1));
@@ -556,7 +721,14 @@ mod tests {
             .with_latency(SimDuration::ZERO)
             .with_trace(SimDuration::from_millis(1));
         let mut n = Network::new(cfg);
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 3_000_000, Priority(0), 0);
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            3_000_000,
+            Priority(0),
+            0,
+        );
         let t = n.next_event_time().unwrap();
         n.poll(t);
         let tx = n.tx_trace(MachineId(0)).unwrap().total_bytes();
@@ -569,9 +741,16 @@ mod tests {
     #[test]
     fn incast_completion_time_reflects_sharing() {
         let mut n = net(4, 8.0); // 1 GB/s
-        // Three senders push 1 MB each into machine 0's rx.
+                                 // Three senders push 1 MB each into machine 0's rx.
         for s in 1..4 {
-            n.start_flow(SimTime::ZERO, MachineId(s), MachineId(0), 1_000_000, Priority(0), s as u64);
+            n.start_flow(
+                SimTime::ZERO,
+                MachineId(s),
+                MachineId(0),
+                1_000_000,
+                Priority(0),
+                s as u64,
+            );
         }
         // Fair share: 1/3 GB/s each; all complete at 3 ms.
         let t = n.next_event_time().unwrap();
@@ -589,7 +768,14 @@ mod tests {
     #[test]
     fn poll_is_idempotent_at_same_instant() {
         let mut n = net(2, 8.0);
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 0);
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            1_000_000,
+            Priority(0),
+            0,
+        );
         let t = n.next_event_time().unwrap();
         assert_eq!(n.poll(t).len(), 1);
         assert!(n.poll(t).is_empty());
@@ -599,7 +785,14 @@ mod tests {
     #[test]
     fn degraded_port_slows_and_recovers() {
         let mut n = net(2, 8.0); // 1 GB/s
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 2_000_000, Priority(0), 0);
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            2_000_000,
+            Priority(0),
+            0,
+        );
         // At 1 ms (1 MB in), the sender's uplink degrades to a quarter.
         let mid = SimTime::from_millis(1);
         assert!(n.poll(mid).is_empty());
@@ -619,7 +812,14 @@ mod tests {
         let mut n = net(3, 8.0);
         n.set_port_scale(SimTime::ZERO, MachineId(0), 1.0, 0.5);
         for s in 1..3 {
-            n.start_flow(SimTime::ZERO, MachineId(s), MachineId(0), 1_000_000, Priority(0), s as u64);
+            n.start_flow(
+                SimTime::ZERO,
+                MachineId(s),
+                MachineId(0),
+                1_000_000,
+                Priority(0),
+                s as u64,
+            );
         }
         // 2 MB through a 0.5 GB/s rx port: both finish at 4 ms.
         let t = n.next_event_time().unwrap();
@@ -630,14 +830,30 @@ mod tests {
     #[test]
     fn cancelled_flow_frees_bandwidth_and_never_delivers() {
         let mut n = net(2, 8.0);
-        let victim =
-            n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 1);
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 2);
+        let victim = n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            1_000_000,
+            Priority(0),
+            1,
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            1_000_000,
+            Priority(0),
+            2,
+        );
         // Sharing: 0.5 GB/s each. Cancel the victim at 1 ms.
         let mid = SimTime::from_millis(1);
         assert!(n.poll(mid).is_empty());
         assert!(n.cancel_flow(mid, victim));
-        assert!(!n.cancel_flow(mid, victim), "double cancel must report false");
+        assert!(
+            !n.cancel_flow(mid, victim),
+            "double cancel must report false"
+        );
         // Survivor has 0.5 MB left at full rate: done at 1.5 ms.
         let t = n.next_event_time().unwrap();
         assert_eq!(t, SimTime::from_micros(1500));
@@ -652,7 +868,14 @@ mod tests {
         let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
             .with_latency(SimDuration::from_micros(500));
         let mut n = Network::new(cfg);
-        let id = n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 9);
+        let id = n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            1_000_000,
+            Priority(0),
+            9,
+        );
         // Drained at 1 ms, delivery due 1.5 ms; cancel in between.
         assert!(n.poll(SimTime::from_millis(1)).is_empty());
         assert!(n.cancel_flow(SimTime::from_micros(1200), id));
@@ -664,13 +887,26 @@ mod tests {
     fn tracer_sees_wire_events_including_loopback() {
         use p3_trace::TraceEvent;
 
-        let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
-            .with_latency(SimDuration::ZERO);
+        let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0)).with_latency(SimDuration::ZERO);
         let mut n = Network::new(cfg);
         let handle = TraceHandle::new();
         n.set_tracer(handle.clone());
-        n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(2), 7);
-        n.start_flow(SimTime::ZERO, MachineId(1), MachineId(1), 1_000_000, Priority(0), 8);
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            1_000_000,
+            Priority(2),
+            7,
+        );
+        n.start_flow(
+            SimTime::ZERO,
+            MachineId(1),
+            MachineId(1),
+            1_000_000,
+            Priority(0),
+            8,
+        );
         let mut guard = 0;
         while let Some(t) = n.next_event_time() {
             n.poll(t);
@@ -703,8 +939,22 @@ mod tests {
     #[test]
     fn flow_ids_are_unique_and_monotone() {
         let mut n = net(2, 8.0);
-        let a = n.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 10, Priority(0), 0);
-        let b = n.start_flow(SimTime::ZERO, MachineId(1), MachineId(0), 10, Priority(0), 0);
+        let a = n.start_flow(
+            SimTime::ZERO,
+            MachineId(0),
+            MachineId(1),
+            10,
+            Priority(0),
+            0,
+        );
+        let b = n.start_flow(
+            SimTime::ZERO,
+            MachineId(1),
+            MachineId(0),
+            10,
+            Priority(0),
+            0,
+        );
         assert!(b > a);
     }
 }

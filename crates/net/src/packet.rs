@@ -52,9 +52,17 @@ struct Port {
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    Release { msg: usize },
-    TxDone { machine: usize, packet: QueuedPacket },
-    RxDone { machine: usize, packet: QueuedPacket },
+    Release {
+        msg: usize,
+    },
+    TxDone {
+        machine: usize,
+        packet: QueuedPacket,
+    },
+    RxDone {
+        machine: usize,
+        packet: QueuedPacket,
+    },
 }
 
 /// One message to transfer in a packet-level scenario.
@@ -111,7 +119,10 @@ pub fn packet_simulate(
     assert!(machines > 0, "no machines");
     assert!(mtu > 0, "zero MTU");
     for m in messages {
-        assert!(m.src.0 < machines && m.dst.0 < machines, "machine out of range");
+        assert!(
+            m.src.0 < machines && m.dst.0 < machines,
+            "machine out of range"
+        );
         assert!(m.bytes > 0, "zero-byte message");
     }
     let rate = bandwidth.bytes_per_sec();
@@ -277,7 +288,11 @@ mod tests {
         // Three senders into one receiver: rx at capacity; all finish ~3×
         // a solo transfer in both models.
         let bw = Bandwidth::from_gbps(2.0);
-        let msgs = [msg(1, 0, 500_000, 0), msg(2, 0, 500_000, 0), msg(3, 0, 500_000, 0)];
+        let msgs = [
+            msg(1, 0, 500_000, 0),
+            msg(2, 0, 500_000, 0),
+            msg(3, 0, 500_000, 0),
+        ];
         let p = packet_simulate(&msgs, 4, bw, DEFAULT_MTU);
         let f = fluid(&msgs, 4, bw);
         let p_max = p.iter().max().expect("nonempty").as_secs_f64();
@@ -305,6 +320,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero-byte")]
     fn zero_bytes_rejected() {
-        packet_simulate(&[msg(0, 1, 0, 0)], 2, Bandwidth::from_gbps(1.0), DEFAULT_MTU);
+        packet_simulate(
+            &[msg(0, 1, 0, 0)],
+            2,
+            Bandwidth::from_gbps(1.0),
+            DEFAULT_MTU,
+        );
     }
 }

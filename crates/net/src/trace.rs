@@ -34,7 +34,10 @@ impl PortTrace {
     /// Panics if `bin` is zero.
     pub fn new(bin: SimDuration) -> Self {
         assert!(!bin.is_zero(), "trace bin width must be positive");
-        PortTrace { bin, bytes: Vec::new() }
+        PortTrace {
+            bin,
+            bytes: Vec::new(),
+        }
     }
 
     /// Bin width.
@@ -82,7 +85,10 @@ impl PortTrace {
     /// paper plots.
     pub fn gbps_series(&self) -> Vec<f64> {
         let bin_secs = self.bin.as_secs_f64();
-        self.bytes.iter().map(|b| b * 8.0 / 1e9 / bin_secs).collect()
+        self.bytes
+            .iter()
+            .map(|b| b * 8.0 / 1e9 / bin_secs)
+            .collect()
     }
 
     /// Total bytes recorded.
@@ -113,7 +119,10 @@ impl PortTrace {
         from_bin: usize,
         to_bin: usize,
     ) -> f64 {
-        assert!(from_bin <= to_bin, "bin window reversed: {from_bin}..{to_bin}");
+        assert!(
+            from_bin <= to_bin,
+            "bin window reversed: {from_bin}..{to_bin}"
+        );
         let to = to_bin.min(self.bytes.len());
         let from = from_bin.min(to);
         if from == to {
@@ -177,7 +186,7 @@ mod tests {
         let mut t = PortTrace::new(SimDuration::from_millis(10));
         t.add_rate(ms(0), ms(10), 1.25e8); // 1 Gbps in bin 0
         t.add_rate(ms(30), ms(40), 100.0); // negligible in bin 3
-        // 4 bins total (0..4); bins 1,2,3 below 10% of 1 Gbps.
+                                           // 4 bins total (0..4); bins 1,2,3 below 10% of 1 Gbps.
         assert!((t.idle_fraction(1e9, 0.1) - 0.75).abs() < 1e-9);
     }
 
@@ -186,7 +195,7 @@ mod tests {
         let mut t = PortTrace::new(SimDuration::from_millis(10));
         t.add_rate(ms(0), ms(10), 1.25e8); // 1 Gbps in bin 0
         t.add_rate(ms(30), ms(40), 100.0); // negligible in bin 3
-        // Busy bin only.
+                                           // Busy bin only.
         assert_eq!(t.idle_fraction_window(1e9, 0.1, 0, 1), 0.0);
         // Quiet bins only.
         assert_eq!(t.idle_fraction_window(1e9, 0.1, 1, 4), 1.0);

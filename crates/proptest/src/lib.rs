@@ -45,7 +45,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Next raw 64-bit value.

@@ -41,7 +41,9 @@ impl KvCluster {
     ///
     /// Panics if `workers == 0`.
     pub fn new(plan: ShardPlan, workers: usize, optimizer: OptimizerKind) -> KvCluster {
-        let shards = (0..plan.servers()).map(|_| KvServer::new(workers, optimizer)).collect();
+        let shards = (0..plan.servers())
+            .map(|_| KvServer::new(workers, optimizer))
+            .collect();
         // Slice offsets: cumulative parameter counts within each array.
         let mut offsets = vec![0usize; plan.num_keys()];
         for array in 0..plan.num_arrays() {
@@ -51,7 +53,11 @@ impl KvCluster {
                 off += plan.slices()[si].params as usize;
             }
         }
-        KvCluster { plan, shards, offsets }
+        KvCluster {
+            plan,
+            shards,
+            offsets,
+        }
     }
 
     /// The routing plan.
@@ -98,9 +104,7 @@ impl KvCluster {
             let s = self.plan.slices()[si];
             let off = self.offsets[si];
             let part = &grad[off..off + s.params as usize];
-            if let PushOutcome::Updated { .. } =
-                self.shards[s.server.0].push(worker, s.key, part)
-            {
+            if let PushOutcome::Updated { .. } = self.shards[s.server.0].push(worker, s.key, part) {
                 updated += 1;
             }
         }
@@ -115,8 +119,10 @@ impl KvCluster {
     pub fn pull_array(&self, array: usize) -> Vec<f32> {
         let slices = self.plan.slices_of_array(array);
         assert!(!slices.is_empty(), "unknown array {array}");
-        let total: usize =
-            slices.iter().map(|&si| self.plan.slices()[si].params as usize).sum();
+        let total: usize = slices
+            .iter()
+            .map(|&si| self.plan.slices()[si].params as usize)
+            .sum();
         let mut out = vec![0.0; total];
         for &si in slices {
             let s = self.plan.slices()[si];
@@ -176,7 +182,11 @@ mod tests {
     fn sliced_training_is_bit_identical_to_unsliced() {
         let lens = [97u64, 256, 13];
         let workers = 3;
-        let opt = OptimizerKind::Momentum { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 };
+        let opt = OptimizerKind::Momentum {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        };
 
         let whole_plan = sliced_plan(&lens, 1, u64::MAX >> 1);
         let sliced = sliced_plan(&lens, 4, 10);

@@ -39,9 +39,17 @@ impl OptimizerKind {
         match self {
             OptimizerKind::Sgd { lr } => {
                 assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
-                Optimizer { kind: self, velocity: Vec::new(), _len: len }
+                Optimizer {
+                    kind: self,
+                    velocity: Vec::new(),
+                    _len: len,
+                }
             }
-            OptimizerKind::Momentum { lr, momentum, weight_decay } => {
+            OptimizerKind::Momentum {
+                lr,
+                momentum,
+                weight_decay,
+            } => {
                 assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
                 assert!(
                     (0.0..1.0).contains(&momentum),
@@ -51,7 +59,11 @@ impl OptimizerKind {
                     weight_decay.is_finite() && weight_decay >= 0.0,
                     "invalid weight decay {weight_decay}"
                 );
-                Optimizer { kind: self, velocity: vec![0.0; len], _len: len }
+                Optimizer {
+                    kind: self,
+                    velocity: vec![0.0; len],
+                    _len: len,
+                }
             }
         }
     }
@@ -66,7 +78,9 @@ pub struct Optimizer {
 
 impl fmt::Debug for Optimizer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Optimizer").field("kind", &self.kind).finish()
+        f.debug_struct("Optimizer")
+            .field("kind", &self.kind)
+            .finish()
     }
 }
 
@@ -86,7 +100,11 @@ impl Optimizer {
                     *w -= lr * g;
                 }
             }
-            OptimizerKind::Momentum { lr, momentum, weight_decay } => {
+            OptimizerKind::Momentum {
+                lr,
+                momentum,
+                weight_decay,
+            } => {
                 assert_eq!(
                     params.len(),
                     self.velocity.len(),
@@ -115,9 +133,15 @@ impl Optimizer {
         assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
         self.kind = match self.kind {
             OptimizerKind::Sgd { .. } => OptimizerKind::Sgd { lr },
-            OptimizerKind::Momentum { momentum, weight_decay, .. } => {
-                OptimizerKind::Momentum { lr, momentum, weight_decay }
-            }
+            OptimizerKind::Momentum {
+                momentum,
+                weight_decay,
+                ..
+            } => OptimizerKind::Momentum {
+                lr,
+                momentum,
+                weight_decay,
+            },
         };
     }
 }
@@ -136,8 +160,12 @@ mod tests {
 
     #[test]
     fn momentum_accumulates() {
-        let mut opt =
-            OptimizerKind::Momentum { lr: 1.0, momentum: 0.5, weight_decay: 0.0 }.build(1);
+        let mut opt = OptimizerKind::Momentum {
+            lr: 1.0,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        }
+        .build(1);
         let mut w = vec![0.0];
         opt.step(&mut w, &[1.0]); // v=1, w=-1
         assert_eq!(w, vec![-1.0]);
@@ -147,8 +175,12 @@ mod tests {
 
     #[test]
     fn weight_decay_pulls_toward_zero() {
-        let mut opt =
-            OptimizerKind::Momentum { lr: 0.1, momentum: 0.0, weight_decay: 1.0 }.build(1);
+        let mut opt = OptimizerKind::Momentum {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 1.0,
+        }
+        .build(1);
         let mut w = vec![10.0];
         opt.step(&mut w, &[0.0]); // v = 10, w = 9
         assert_eq!(w, vec![9.0]);
@@ -157,8 +189,12 @@ mod tests {
     #[test]
     fn momentum_matches_manual_unroll() {
         let (lr, m) = (0.01, 0.9);
-        let mut opt =
-            OptimizerKind::Momentum { lr, momentum: m, weight_decay: 0.0 }.build(1);
+        let mut opt = OptimizerKind::Momentum {
+            lr,
+            momentum: m,
+            weight_decay: 0.0,
+        }
+        .build(1);
         let mut w = vec![0.5f32];
         let mut v = 0.0f32;
         let mut wm = 0.5f32;
@@ -172,8 +208,12 @@ mod tests {
 
     #[test]
     fn set_lr_keeps_velocity() {
-        let mut opt =
-            OptimizerKind::Momentum { lr: 1.0, momentum: 0.5, weight_decay: 0.0 }.build(1);
+        let mut opt = OptimizerKind::Momentum {
+            lr: 1.0,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        }
+        .build(1);
         let mut w = vec![0.0];
         opt.step(&mut w, &[1.0]); // v = 1, w = -1
         opt.set_lr(0.5);
@@ -191,7 +231,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside [0, 1)")]
     fn bad_momentum_rejected() {
-        OptimizerKind::Momentum { lr: 0.1, momentum: 1.0, weight_decay: 0.0 }.build(1);
+        OptimizerKind::Momentum {
+            lr: 0.1,
+            momentum: 1.0,
+            weight_decay: 0.0,
+        }
+        .build(1);
     }
 
     #[test]

@@ -90,8 +90,14 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "frame shorter than header"),
             DecodeError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
             DecodeError::BadType(t) => write!(f, "unknown message type {t}"),
-            DecodeError::BadLength { declared, remaining } => {
-                write!(f, "payload of {declared} values but only {remaining} bytes remain")
+            DecodeError::BadLength {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "payload of {declared} values but only {remaining} bytes remain"
+                )
             }
         }
     }
@@ -112,9 +118,7 @@ impl Message {
     /// Total encoded size in bytes.
     pub fn wire_size(&self) -> usize {
         let payload = match self {
-            Message::Push { values, .. } | Message::PullResponse { values, .. } => {
-                values.len() * 4
-            }
+            Message::Push { values, .. } | Message::PullResponse { values, .. } => values.len() * 4,
             _ => 0,
         };
         HEADER_BYTES + payload
@@ -122,15 +126,20 @@ impl Message {
 
     /// Serializes the message to `buf`.
     pub fn encode<B: BufMut>(&self, buf: &mut B) {
-        let (key, worker, priority, version, values): (u64, u32, u32, u64, &[f32]) = match self
-        {
-            Message::Push { key, worker, priority, values } => {
-                (key.0, worker.0 as u32, *priority, 0, values)
-            }
+        let (key, worker, priority, version, values): (u64, u32, u32, u64, &[f32]) = match self {
+            Message::Push {
+                key,
+                worker,
+                priority,
+                values,
+            } => (key.0, worker.0 as u32, *priority, 0, values),
             Message::PullRequest { key, worker } => (key.0, worker.0 as u32, 0, 0, &[]),
-            Message::PullResponse { key, version, priority, values } => {
-                (key.0, 0, *priority, *version, values)
-            }
+            Message::PullResponse {
+                key,
+                version,
+                priority,
+                values,
+            } => (key.0, 0, *priority, *version, values),
             Message::UpdateNotify { key, version } => (key.0, 0, 0, *version, &[]),
         };
         buf.put_u16(MAGIC);
@@ -169,16 +178,29 @@ impl Message {
         let len = buf.get_u32();
         let need = len as usize * 4;
         if buf.remaining() < need {
-            return Err(DecodeError::BadLength { declared: len, remaining: buf.remaining() });
+            return Err(DecodeError::BadLength {
+                declared: len,
+                remaining: buf.remaining(),
+            });
         }
         let mut values = Vec::with_capacity(len as usize);
         for _ in 0..len {
             values.push(buf.get_f32());
         }
         match tag {
-            0 => Ok(Message::Push { key, worker, priority, values }),
+            0 => Ok(Message::Push {
+                key,
+                worker,
+                priority,
+                values,
+            }),
             1 => Ok(Message::PullRequest { key, worker }),
-            2 => Ok(Message::PullResponse { key, version, priority, values }),
+            2 => Ok(Message::PullResponse {
+                key,
+                version,
+                priority,
+                values,
+            }),
             3 => Ok(Message::UpdateNotify { key, version }),
             t => Err(DecodeError::BadType(t)),
         }
@@ -212,7 +234,10 @@ mod tests {
 
     #[test]
     fn pull_request_roundtrip() {
-        roundtrip(Message::PullRequest { key: Key(0), worker: WorkerId(0) });
+        roundtrip(Message::PullRequest {
+            key: Key(0),
+            worker: WorkerId(0),
+        });
     }
 
     #[test]
@@ -227,7 +252,10 @@ mod tests {
 
     #[test]
     fn notify_roundtrip() {
-        roundtrip(Message::UpdateNotify { key: Key(5), version: 12 });
+        roundtrip(Message::UpdateNotify {
+            key: Key(5),
+            version: 12,
+        });
     }
 
     #[test]
@@ -250,7 +278,11 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let mut buf = BytesMut::new();
-        Message::UpdateNotify { key: Key(0), version: 0 }.encode(&mut buf);
+        Message::UpdateNotify {
+            key: Key(0),
+            version: 0,
+        }
+        .encode(&mut buf);
         buf[0] = 0xFF;
         let err = Message::decode(&mut buf.freeze()).unwrap_err();
         assert!(matches!(err, DecodeError::BadMagic(_)));
@@ -259,7 +291,11 @@ mod tests {
     #[test]
     fn bad_type_rejected() {
         let mut buf = BytesMut::new();
-        Message::UpdateNotify { key: Key(0), version: 0 }.encode(&mut buf);
+        Message::UpdateNotify {
+            key: Key(0),
+            version: 0,
+        }
+        .encode(&mut buf);
         buf[2] = 200;
         let err = Message::decode(&mut buf.freeze()).unwrap_err();
         assert_eq!(err, DecodeError::BadType(200));
@@ -268,8 +304,13 @@ mod tests {
     #[test]
     fn short_payload_rejected() {
         let mut buf = BytesMut::new();
-        Message::Push { key: Key(0), worker: WorkerId(0), priority: 0, values: vec![1.0; 10] }
-            .encode(&mut buf);
+        Message::Push {
+            key: Key(0),
+            worker: WorkerId(0),
+            priority: 0,
+            values: vec![1.0; 10],
+        }
+        .encode(&mut buf);
         let mut truncated = buf.freeze().slice(0..HEADER_BYTES + 8);
         let err = Message::decode(&mut truncated).unwrap_err();
         assert!(matches!(err, DecodeError::BadLength { declared: 10, .. }));
@@ -277,7 +318,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(DecodeError::Truncated.to_string(), "frame shorter than header");
+        assert_eq!(
+            DecodeError::Truncated.to_string(),
+            "frame shorter than header"
+        );
         assert!(DecodeError::BadMagic(1).to_string().contains("magic"));
     }
 }
@@ -294,26 +338,30 @@ mod properties {
             0..64,
         );
         prop_oneof![
-            (any::<u64>(), 0usize..64, any::<u32>(), vals.clone()).prop_map(
-                |(k, w, p, values)| Message::Push {
+            (any::<u64>(), 0usize..64, any::<u32>(), vals.clone()).prop_map(|(k, w, p, values)| {
+                Message::Push {
                     key: Key(k),
                     worker: WorkerId(w),
                     priority: p,
-                    values
+                    values,
                 }
-            ),
-            (any::<u64>(), 0usize..64)
-                .prop_map(|(k, w)| Message::PullRequest { key: Key(k), worker: WorkerId(w) }),
-            (any::<u64>(), any::<u64>(), any::<u32>(), vals).prop_map(
-                |(k, v, p, values)| Message::PullResponse {
+            }),
+            (any::<u64>(), 0usize..64).prop_map(|(k, w)| Message::PullRequest {
+                key: Key(k),
+                worker: WorkerId(w)
+            }),
+            (any::<u64>(), any::<u64>(), any::<u32>(), vals).prop_map(|(k, v, p, values)| {
+                Message::PullResponse {
                     key: Key(k),
                     version: v,
                     priority: p,
-                    values
+                    values,
                 }
-            ),
-            (any::<u64>(), any::<u64>())
-                .prop_map(|(k, v)| Message::UpdateNotify { key: Key(k), version: v }),
+            }),
+            (any::<u64>(), any::<u64>()).prop_map(|(k, v)| Message::UpdateNotify {
+                key: Key(k),
+                version: v
+            }),
         ]
     }
 

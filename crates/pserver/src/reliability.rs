@@ -40,7 +40,14 @@ impl RetryDecision {
             RetryDecision::Retransmit { .. } => FaultKind::Retransmit,
             RetryDecision::GiveUp => FaultKind::GiveUp,
         };
-        sink.record(at, TraceEvent::Fault { kind, machine, msg_id: Some(msg_id) });
+        sink.record(
+            at,
+            TraceEvent::Fault {
+                kind,
+                machine,
+                msg_id: Some(msg_id),
+            },
+        );
     }
 }
 
@@ -84,7 +91,11 @@ impl RetryPolicy {
     pub fn new(base_timeout: SimDuration, backoff: f64, max_retries: u32) -> Self {
         assert!(base_timeout.as_nanos() > 0, "base timeout must be positive");
         assert!(backoff >= 1.0, "backoff must be >= 1, got {backoff}");
-        RetryPolicy { base_timeout, backoff, max_retries }
+        RetryPolicy {
+            base_timeout,
+            backoff,
+            max_retries,
+        }
     }
 
     /// Timeout armed for the given 0-based attempt:
@@ -110,7 +121,9 @@ impl RetryPolicy {
         if self.exhausted(attempt) {
             RetryDecision::GiveUp
         } else {
-            RetryDecision::Retransmit { timeout: self.timeout_for(attempt + 1) }
+            RetryDecision::Retransmit {
+                timeout: self.timeout_for(attempt + 1),
+            }
         }
     }
 }
@@ -170,11 +183,15 @@ mod tests {
         let p = RetryPolicy::new(SimDuration::from_millis(10), 2.0, 2);
         assert_eq!(
             p.decide(0),
-            RetryDecision::Retransmit { timeout: SimDuration::from_millis(20) }
+            RetryDecision::Retransmit {
+                timeout: SimDuration::from_millis(20)
+            }
         );
         assert_eq!(
             p.decide(1),
-            RetryDecision::Retransmit { timeout: SimDuration::from_millis(40) }
+            RetryDecision::Retransmit {
+                timeout: SimDuration::from_millis(40)
+            }
         );
         assert_eq!(p.decide(2), RetryDecision::GiveUp);
     }
@@ -191,11 +208,19 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(
             log.events()[0].event,
-            TraceEvent::Fault { kind: FaultKind::Retransmit, machine: 2, msg_id: Some(99) }
+            TraceEvent::Fault {
+                kind: FaultKind::Retransmit,
+                machine: 2,
+                msg_id: Some(99)
+            }
         );
         assert_eq!(
             log.events()[1].event,
-            TraceEvent::Fault { kind: FaultKind::GiveUp, machine: 2, msg_id: Some(99) }
+            TraceEvent::Fault {
+                kind: FaultKind::GiveUp,
+                machine: 2,
+                msg_id: Some(99)
+            }
         );
 
         // The no-op sink swallows everything without being consulted for

@@ -70,7 +70,11 @@ impl KvServer {
     /// Panics if `num_workers == 0`.
     pub fn new(num_workers: usize, optimizer: OptimizerKind) -> Self {
         assert!(num_workers > 0, "a cluster needs at least one worker");
-        KvServer { entries: HashMap::new(), num_workers, optimizer }
+        KvServer {
+            entries: HashMap::new(),
+            num_workers,
+            optimizer,
+        }
     }
 
     /// Registers a key with its initial parameter values.
@@ -106,8 +110,15 @@ impl KvServer {
     /// in one round (a protocol violation in synchronous SGD).
     pub fn push(&mut self, worker: WorkerId, key: Key, grad: &[f32]) -> PushOutcome {
         let nw = self.num_workers;
-        let e = self.entries.get_mut(&key).unwrap_or_else(|| panic!("unknown key {key}"));
-        assert_eq!(e.params.len(), grad.len(), "gradient length mismatch for {key}");
+        let e = self
+            .entries
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("unknown key {key}"));
+        assert_eq!(
+            e.params.len(),
+            grad.len(),
+            "gradient length mismatch for {key}"
+        );
         assert!(worker.0 < nw, "worker {worker} out of range");
         assert!(
             !e.received[worker.0],
@@ -133,7 +144,10 @@ impl KvServer {
             e.version += 1;
             PushOutcome::Updated { version: e.version }
         } else {
-            PushOutcome::Accumulated { received: e.n_received, required: nw }
+            PushOutcome::Accumulated {
+                received: e.n_received,
+                required: nw,
+            }
         }
     }
 
@@ -143,7 +157,10 @@ impl KvServer {
     ///
     /// Panics if the key is unknown.
     pub fn pull(&self, key: Key) -> (&[f32], u64) {
-        let e = self.entries.get(&key).unwrap_or_else(|| panic!("unknown key {key}"));
+        let e = self
+            .entries
+            .get(&key)
+            .unwrap_or_else(|| panic!("unknown key {key}"));
         (&e.params, e.version)
     }
 
@@ -203,9 +220,18 @@ mod tests {
         s.init(Key(0), vec![0.0]);
         for w in 0..3 {
             let out = s.push(WorkerId(w), Key(0), &[4.0]);
-            assert_eq!(out, PushOutcome::Accumulated { received: w + 1, required: 4 });
+            assert_eq!(
+                out,
+                PushOutcome::Accumulated {
+                    received: w + 1,
+                    required: 4
+                }
+            );
         }
-        assert_eq!(s.push(WorkerId(3), Key(0), &[4.0]), PushOutcome::Updated { version: 1 });
+        assert_eq!(
+            s.push(WorkerId(3), Key(0), &[4.0]),
+            PushOutcome::Updated { version: 1 }
+        );
         assert_eq!(s.pull(Key(0)).0, &[-4.0]); // w -= lr * mean(4) = -4
     }
 
@@ -271,7 +297,10 @@ mod tests {
     fn single_worker_updates_immediately() {
         let mut s = server(1);
         s.init(Key(0), vec![1.0]);
-        assert_eq!(s.push(WorkerId(0), Key(0), &[1.0]), PushOutcome::Updated { version: 1 });
+        assert_eq!(
+            s.push(WorkerId(0), Key(0), &[1.0]),
+            PushOutcome::Updated { version: 1 }
+        );
         assert_eq!(s.pull(Key(0)).0, &[0.0]);
     }
 
@@ -291,7 +320,11 @@ mod tests {
     #[test]
     fn momentum_server_matches_sequential_sgd() {
         // A PS with one worker and momentum must equal local momentum SGD.
-        let kind = OptimizerKind::Momentum { lr: 0.1, momentum: 0.9, weight_decay: 0.0 };
+        let kind = OptimizerKind::Momentum {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        };
         let mut s = KvServer::new(1, kind);
         s.init(Key(0), vec![1.0]);
         let mut local = kind.build(1);

@@ -72,7 +72,12 @@ impl ShardPlan {
         for (array, &params) in array_params.iter().enumerate() {
             assert!(params > 0, "array {array} has zero parameters");
             if params < split_threshold {
-                slices.push((array, 0, params, ServerId(rng.next_below(servers as u64) as usize)));
+                slices.push((
+                    array,
+                    0,
+                    params,
+                    ServerId(rng.next_below(servers as u64) as usize),
+                ));
             } else {
                 // Split as evenly as possible; the first `rem` parts carry
                 // one extra parameter.
@@ -100,7 +105,10 @@ impl ShardPlan {
         assert!(servers > 0, "at least one server required");
         for &(array, _, params, server) in &slices {
             assert!(params > 0, "array {array} has an empty slice");
-            assert!(server.0 < servers, "slice of array {array} on unknown server {server}");
+            assert!(
+                server.0 < servers,
+                "slice of array {array} on unknown server {server}"
+            );
         }
         Self::assemble(slices, servers)
     }
@@ -110,7 +118,13 @@ impl ShardPlan {
         let mut by_array: Vec<Vec<usize>> = vec![Vec::new(); arrays];
         let mut slices = Vec::with_capacity(raw.len());
         for (i, (array, part, params, server)) in raw.into_iter().enumerate() {
-            slices.push(ShardSlice { key: Key(i as u64), array, part, params, server });
+            slices.push(ShardSlice {
+                key: Key(i as u64),
+                array,
+                part,
+                params,
+                server,
+            });
             by_array[array].push(i);
         }
         for (array, parts) in by_array.iter().enumerate() {
@@ -121,7 +135,11 @@ impl ShardPlan {
                 );
             }
         }
-        ShardPlan { slices, by_array, servers }
+        ShardPlan {
+            slices,
+            by_array,
+            servers,
+        }
     }
 
     /// All slices, in key order (key `k` is `slices()[k]`).
@@ -157,6 +175,24 @@ impl ShardPlan {
     /// Number of server shards.
     pub fn servers(&self) -> usize {
         self.servers
+    }
+
+    /// Reassigns every slice's home server through `f` — how
+    /// topology-aware placement policies (packed PS racks, rack-local
+    /// aggregation) remap a plan built by the flat heuristics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` maps any server out of range.
+    pub fn map_servers(&mut self, f: impl Fn(usize) -> usize) {
+        for s in &mut self.slices {
+            let moved = f(s.server.0);
+            assert!(
+                moved < self.servers,
+                "placement moved a slice to unknown server {moved}"
+            );
+            s.server = ServerId(moved);
+        }
     }
 
     /// Total parameters assigned to each server (load-balance diagnostics).
@@ -248,6 +284,21 @@ mod tests {
     #[should_panic(expected = "unknown server")]
     fn out_of_range_server_rejected() {
         ShardPlan::from_slices(vec![(0, 0, 10, ServerId(5))], 2);
+    }
+
+    #[test]
+    fn map_servers_remaps_every_slice() {
+        let mut plan = ShardPlan::kvstore(&[5_000_000], 4, KVSTORE_SPLIT_THRESHOLD, 1);
+        plan.map_servers(|s| s % 2);
+        let servers: Vec<usize> = plan.slices().iter().map(|s| s.server.0).collect();
+        assert_eq!(servers, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown server")]
+    fn map_servers_rejects_out_of_range() {
+        let mut plan = ShardPlan::kvstore(&[10], 2, 100, 0);
+        plan.map_servers(|_| 9);
     }
 
     #[test]

@@ -79,7 +79,10 @@ pub fn gaussian_blobs(
     noise: f64,
     seed: u64,
 ) -> Dataset {
-    assert!(classes >= 2 && dim > 0 && train > 0 && val > 0, "degenerate dataset");
+    assert!(
+        classes >= 2 && dim > 0 && train > 0 && val > 0,
+        "degenerate dataset"
+    );
     assert!(noise > 0.0, "non-positive noise");
     let mut rng = SplitMix64::new(seed);
     // Random unit-ish centers scaled so classes are separable at noise≈1.
@@ -100,7 +103,13 @@ pub fn gaussian_blobs(
     };
     let (train_x, train_y) = sample(&mut rng, train);
     let (val_x, val_y) = sample(&mut rng, val);
-    Dataset { train_x, train_y, val_x, val_y, classes }
+    Dataset {
+        train_x,
+        train_y,
+        val_x,
+        val_y,
+        classes,
+    }
 }
 
 /// Interleaved 2-D spirals lifted into `dim` dimensions via a random linear
@@ -110,7 +119,10 @@ pub fn gaussian_blobs(
 ///
 /// Panics on degenerate arguments.
 pub fn spirals(classes: usize, dim: usize, train: usize, val: usize, seed: u64) -> Dataset {
-    assert!(classes >= 2 && dim >= 2 && train > 0 && val > 0, "degenerate dataset");
+    assert!(
+        classes >= 2 && dim >= 2 && train > 0 && val > 0,
+        "degenerate dataset"
+    );
     let mut rng = SplitMix64::new(seed);
     // Random projection from 2-D spiral space into dim dimensions.
     let proj: Vec<f64> = (0..2 * dim).map(|_| rng.normal() * 0.7).collect();
@@ -132,7 +144,13 @@ pub fn spirals(classes: usize, dim: usize, train: usize, val: usize, seed: u64) 
     };
     let (train_x, train_y) = sample(&mut rng, train);
     let (val_x, val_y) = sample(&mut rng, val);
-    Dataset { train_x, train_y, val_x, val_y, classes }
+    Dataset {
+        train_x,
+        train_y,
+        val_x,
+        val_y,
+        classes,
+    }
 }
 
 /// A deterministic shuffled mini-batch schedule: epoch `e` yields batches

@@ -34,7 +34,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
         assert!(rows > 0 && cols > 0, "degenerate matrix {rows}x{cols}");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The identity matrix.
@@ -68,7 +72,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -227,7 +235,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn relu_backward(&self, pre: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (pre.rows, pre.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (pre.rows, pre.cols),
+            "shape mismatch"
+        );
         let mut out = self.clone();
         for (v, &p) in out.data.iter_mut().zip(&pre.data) {
             if p <= 0.0 {
@@ -382,6 +394,9 @@ mod tests {
     fn randn_is_deterministic_per_seed() {
         let mut r1 = SplitMix64::new(42);
         let mut r2 = SplitMix64::new(42);
-        assert_eq!(Matrix::randn(4, 4, 0.5, &mut r1), Matrix::randn(4, 4, 0.5, &mut r2));
+        assert_eq!(
+            Matrix::randn(4, 4, 0.5, &mut r1),
+            Matrix::randn(4, 4, 0.5, &mut r2)
+        );
     }
 }

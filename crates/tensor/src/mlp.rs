@@ -54,13 +54,19 @@ impl Mlp {
     ///
     /// Panics with fewer than two sizes or any zero size.
     pub fn new(sizes: &[usize], rng: &mut SplitMix64) -> Mlp {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         assert!(sizes.iter().all(|&s| s > 0), "zero-sized layer");
         let layers = sizes
             .windows(2)
             .map(|w| {
                 let std = (2.0 / w[0] as f32).sqrt();
-                DenseLayer { w: Matrix::randn(w[0], w[1], std, rng), b: vec![0.0; w[1]] }
+                DenseLayer {
+                    w: Matrix::randn(w[0], w[1], std, rng),
+                    b: vec![0.0; w[1]],
+                }
             })
             .collect();
         Mlp { layers }
@@ -90,7 +96,11 @@ impl Mlp {
         for (i, l) in self.layers.iter().enumerate() {
             let mut z = a.matmul(&l.w);
             z.add_bias(&l.b);
-            a = if i + 1 < self.layers.len() { z.relu() } else { z };
+            a = if i + 1 < self.layers.len() {
+                z.relu()
+            } else {
+                z
+            };
         }
         a
     }
@@ -113,7 +123,11 @@ impl Mlp {
             let mut z = acts.last().expect("nonempty").matmul(&l.w);
             z.add_bias(&l.b);
             pres.push(z.clone());
-            let a = if i + 1 < self.layers.len() { z.relu() } else { z };
+            let a = if i + 1 < self.layers.len() {
+                z.relu()
+            } else {
+                z
+            };
             acts.push(a);
         }
 
@@ -140,7 +154,9 @@ impl Mlp {
             let gb = delta.col_sums();
             if i > 0 {
                 // Propagate through the previous ReLU.
-                delta = delta.matmul_t(&self.layers[i].w).relu_backward(&pres[i - 1]);
+                delta = delta
+                    .matmul_t(&self.layers[i].w)
+                    .relu_backward(&pres[i - 1]);
             }
             grads.push(DenseGrad { w: gw, b: gb });
         }
@@ -234,7 +250,12 @@ impl Mlp {
 mod tests {
     use super::*;
 
-    fn toy_batch(rng: &mut SplitMix64, n: usize, dim: usize, classes: usize) -> (Matrix, Vec<usize>) {
+    fn toy_batch(
+        rng: &mut SplitMix64,
+        n: usize,
+        dim: usize,
+        classes: usize,
+    ) -> (Matrix, Vec<usize>) {
         let x = Matrix::randn(n, dim, 1.0, rng);
         let y = (0..n).map(|i| i % classes).collect();
         (x, y)

@@ -40,6 +40,22 @@ fn span(name: &str, pid: usize, tid: u32, start: SimTime, end: SimTime) -> Strin
     )
 }
 
+fn span_with_bottleneck(
+    name: &str,
+    pid: usize,
+    tid: u32,
+    start: SimTime,
+    end: SimTime,
+    bottleneck: usize,
+) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}, \"dur\": {}, \"args\": {{\"bottleneck\": {bottleneck}}}}}",
+        escape(name),
+        format_number(us(start)),
+        format_number(us(end).max(us(start)) - us(start)),
+    )
+}
+
 fn instant(name: &str, pid: usize, tid: u32, at: SimTime) -> String {
     format!(
         "{{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {}}}",
@@ -91,10 +107,18 @@ pub fn chrome_trace_json(log: &TraceLog, machines: usize) -> String {
     for te in log.events() {
         let at = te.at;
         match te.event {
-            TraceEvent::ComputeStart { worker, phase, block } => {
+            TraceEvent::ComputeStart {
+                worker,
+                phase,
+                block,
+            } => {
                 compute_open.insert((worker, block, phase as u8), at);
             }
-            TraceEvent::ComputeEnd { worker, phase, block } => {
+            TraceEvent::ComputeEnd {
+                worker,
+                phase,
+                block,
+            } => {
                 if let Some(t0) = compute_open.remove(&(worker, block, phase as u8)) {
                     let name = match phase {
                         ComputePhase::Forward => format!("fwd b{block}"),
@@ -108,34 +132,69 @@ pub fn chrome_trace_json(log: &TraceLog, machines: usize) -> String {
             }
             TraceEvent::StallEnd { worker, block } => {
                 if let Some(t0) = stall_open.remove(&(worker, block)) {
-                    lines.push(span(&format!("stall b{block}"), worker, LANE_COMPUTE, t0, at));
+                    lines.push(span(
+                        &format!("stall b{block}"),
+                        worker,
+                        LANE_COMPUTE,
+                        t0,
+                        at,
+                    ));
                 }
             }
-            TraceEvent::EgressEnqueue { msg_id, class, key, .. } => {
+            TraceEvent::EgressEnqueue {
+                msg_id, class, key, ..
+            } => {
                 msg_name.insert(msg_id, format!("{} k{key}", class.label()));
             }
-            TraceEvent::WireStart { msg_id, src, dst, .. } => {
+            TraceEvent::WireStart {
+                msg_id, src, dst, ..
+            } => {
                 wire_open.insert(msg_id, (at, src, dst));
             }
-            TraceEvent::WireEnd { msg_id, .. } => {
+            TraceEvent::WireEnd {
+                msg_id, bottleneck, ..
+            } => {
                 if let Some((t0, src, dst)) = wire_open.remove(&msg_id) {
                     let name = msg_name
                         .get(&msg_id)
                         .cloned()
                         .unwrap_or_else(|| format!("msg {msg_id}"));
-                    lines.push(span(&name, src, LANE_TX, t0, at));
-                    lines.push(span(&name, dst, LANE_RX, t0, at));
+                    match bottleneck {
+                        Some(l) => {
+                            lines.push(span_with_bottleneck(&name, src, LANE_TX, t0, at, l));
+                            lines.push(span_with_bottleneck(&name, dst, LANE_RX, t0, at, l));
+                        }
+                        None => {
+                            lines.push(span(&name, src, LANE_TX, t0, at));
+                            lines.push(span(&name, dst, LANE_RX, t0, at));
+                        }
+                    }
                 }
             }
-            TraceEvent::AggStart { server, key, round, worker } => {
+            TraceEvent::AggStart {
+                server,
+                key,
+                round,
+                worker,
+            } => {
                 agg_open.insert((server, key, round, worker), at);
             }
-            TraceEvent::AggEnd { server, key, round, worker } => {
+            TraceEvent::AggEnd {
+                server,
+                key,
+                round,
+                worker,
+            } => {
                 if let Some(t0) = agg_open.remove(&(server, key, round, worker)) {
                     lines.push(span(&format!("agg k{key}"), server, LANE_SERVER, t0, at));
                 }
             }
-            TraceEvent::RoundComplete { server, key, version, degraded } => {
+            TraceEvent::RoundComplete {
+                server,
+                key,
+                version,
+                degraded,
+            } => {
                 let name = if degraded {
                     format!("update k{key} v{version} (degraded)")
                 } else {
@@ -144,15 +203,29 @@ pub fn chrome_trace_json(log: &TraceLog, machines: usize) -> String {
                 lines.push(instant(&name, server, LANE_SERVER, at));
             }
             TraceEvent::SliceConsumed { worker, key, .. } => {
-                lines.push(instant(&format!("consume k{key}"), worker, LANE_COMPUTE, at));
+                lines.push(instant(
+                    &format!("consume k{key}"),
+                    worker,
+                    LANE_COMPUTE,
+                    at,
+                ));
             }
             TraceEvent::GradReady { worker, key, .. } => {
                 lines.push(instant(&format!("grad k{key}"), worker, LANE_COMPUTE, at));
             }
             TraceEvent::IterationEnd { worker, iter } => {
-                lines.push(instant(&format!("iteration {iter}"), worker, LANE_COMPUTE, at));
+                lines.push(instant(
+                    &format!("iteration {iter}"),
+                    worker,
+                    LANE_COMPUTE,
+                    at,
+                ));
             }
-            TraceEvent::Fault { kind, machine, msg_id } => {
+            TraceEvent::Fault {
+                kind,
+                machine,
+                msg_id,
+            } => {
                 let name = match msg_id {
                     Some(id) => format!("fault {} msg{id}", kind.label()),
                     None => format!("fault {}", kind.label()),
@@ -181,6 +254,9 @@ pub struct ChromeSpan {
     pub ts: f64,
     /// Duration, microseconds.
     pub dur: f64,
+    /// `args.bottleneck` (the saturated link id of a wire span on a
+    /// topology run), when present.
+    pub bottleneck: Option<usize>,
 }
 
 /// Parses and schema-checks a Chrome trace-event document, returning its
@@ -189,7 +265,9 @@ pub struct ChromeSpan {
 /// Checks: the document is an object with a `traceEvents` array; every
 /// entry is an object with a string `ph`; `X` entries carry a string
 /// `name` and numeric `pid`/`tid`/`ts`/`dur` with `dur >= 0`; `i` entries
-/// carry `name`, `pid`, `tid`, `ts`.
+/// carry `name`, `pid`, `tid`, `ts`. An `X` entry may carry an `args`
+/// object; when it holds a `bottleneck` it must be a non-negative number
+/// (the link id), surfaced on the returned span.
 pub fn validate_chrome_trace(doc: &str) -> Result<Vec<ChromeSpan>, String> {
     let v = parse(doc).map_err(|e| e.to_string())?;
     let events = v
@@ -198,7 +276,9 @@ pub fn validate_chrome_trace(doc: &str) -> Result<Vec<ChromeSpan>, String> {
         .ok_or("missing traceEvents array")?;
     let mut spans = Vec::new();
     for (i, ev) in events.iter().enumerate() {
-        let obj = ev.as_object().ok_or(format!("event {i} is not an object"))?;
+        let obj = ev
+            .as_object()
+            .ok_or(format!("event {i} is not an object"))?;
         let ph = obj
             .get("ph")
             .and_then(JsonValue::as_str)
@@ -220,12 +300,26 @@ pub fn validate_chrome_trace(doc: &str) -> Result<Vec<ChromeSpan>, String> {
                 if dur < 0.0 {
                     return Err(format!("event {i} has negative dur"));
                 }
+                let mut bottleneck = None;
+                if let Some(args) = obj.get("args") {
+                    let args = args
+                        .as_object()
+                        .ok_or(format!("event {i} args is not an object"))?;
+                    if let Some(b) = args.get("bottleneck") {
+                        let b = b
+                            .as_number()
+                            .filter(|b| *b >= 0.0)
+                            .ok_or(format!("event {i} bottleneck is not a link id"))?;
+                        bottleneck = Some(b as usize);
+                    }
+                }
                 spans.push(ChromeSpan {
                     name: name()?,
                     pid: num("pid")? as usize,
                     tid: num("tid")? as u32,
                     ts: num("ts")?,
                     dur,
+                    bottleneck,
                 });
             }
             "i" => {
@@ -255,8 +349,22 @@ mod tests {
 
     fn sample_log() -> TraceLog {
         let mut log = TraceLog::new();
-        log.record(t(0), TraceEvent::ComputeStart { worker: 0, phase: ComputePhase::Backward, block: 1 });
-        log.record(t(5), TraceEvent::ComputeEnd { worker: 0, phase: ComputePhase::Backward, block: 1 });
+        log.record(
+            t(0),
+            TraceEvent::ComputeStart {
+                worker: 0,
+                phase: ComputePhase::Backward,
+                block: 1,
+            },
+        );
+        log.record(
+            t(5),
+            TraceEvent::ComputeEnd {
+                worker: 0,
+                phase: ComputePhase::Backward,
+                block: 1,
+            },
+        );
         log.record(
             t(5),
             TraceEvent::EgressEnqueue {
@@ -270,11 +378,53 @@ mod tests {
                 queue_depth: 0,
             },
         );
-        log.record(t(5), TraceEvent::WireStart { msg_id: 1, src: 0, dst: 1, bytes: 64, priority: 2 });
-        log.record(t(9), TraceEvent::WireEnd { msg_id: 1, src: 0, dst: 1, bytes: 64 });
-        log.record(t(9), TraceEvent::AggStart { server: 1, key: 4, round: 0, worker: 0 });
-        log.record(t(12), TraceEvent::AggEnd { server: 1, key: 4, round: 0, worker: 0 });
-        log.record(t(12), TraceEvent::RoundComplete { server: 1, key: 4, version: 1, degraded: false });
+        log.record(
+            t(5),
+            TraceEvent::WireStart {
+                msg_id: 1,
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                priority: 2,
+            },
+        );
+        log.record(
+            t(9),
+            TraceEvent::WireEnd {
+                msg_id: 1,
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                bottleneck: Some(2),
+            },
+        );
+        log.record(
+            t(9),
+            TraceEvent::AggStart {
+                server: 1,
+                key: 4,
+                round: 0,
+                worker: 0,
+            },
+        );
+        log.record(
+            t(12),
+            TraceEvent::AggEnd {
+                server: 1,
+                key: 4,
+                round: 0,
+                worker: 0,
+            },
+        );
+        log.record(
+            t(12),
+            TraceEvent::RoundComplete {
+                server: 1,
+                key: 4,
+                version: 1,
+                degraded: false,
+            },
+        );
         log
     }
 
@@ -293,12 +443,29 @@ mod tests {
         assert!(wire.iter().any(|s| s.pid == 0 && s.tid == 1));
         assert!(wire.iter().any(|s| s.pid == 1 && s.tid == 2));
         assert!((wire[0].dur - 4.0).abs() < 1e-9);
+        // The bottleneck link id survives the export → validate round trip
+        // on wire spans and stays absent elsewhere.
+        assert!(wire.iter().all(|s| s.bottleneck == Some(2)));
+        let bwd = spans
+            .iter()
+            .find(|s| s.name == "bwd b1")
+            .expect("compute span");
+        assert_eq!(bwd.bottleneck, None);
     }
 
     #[test]
     fn unfinished_spans_are_dropped() {
         let mut log = TraceLog::new();
-        log.record(t(0), TraceEvent::WireStart { msg_id: 9, src: 0, dst: 1, bytes: 1, priority: 0 });
+        log.record(
+            t(0),
+            TraceEvent::WireStart {
+                msg_id: 9,
+                src: 0,
+                dst: 1,
+                bytes: 1,
+                priority: 0,
+            },
+        );
         let doc = chrome_trace_json(&log, 2);
         let spans = validate_chrome_trace(&doc).expect("schema-valid");
         assert!(spans.is_empty());
@@ -312,6 +479,23 @@ mod tests {
             r#"{"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0, "dur": -1}]}"#
         )
         .is_err());
-        assert!(validate_chrome_trace(r#"{"traceEvents": []}"#).unwrap().is_empty());
+        assert!(validate_chrome_trace(r#"{"traceEvents": []}"#)
+            .unwrap()
+            .is_empty());
+        // args, when present, must be an object with a numeric non-negative
+        // bottleneck.
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0, "dur": 1, "args": 3}]}"#
+        )
+        .is_err());
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0, "dur": 1, "args": {"bottleneck": -4}}]}"#
+        )
+        .is_err());
+        let ok = validate_chrome_trace(
+            r#"{"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0, "dur": 1, "args": {"bottleneck": 9}}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ok[0].bottleneck, Some(9));
     }
 }

@@ -42,6 +42,11 @@ pub enum MsgClass {
     Notify,
     /// Worker → server parameter request.
     PullRequest,
+    /// Worker → rack-local aggregator gradient push (topology runs with
+    /// rack-local aggregation).
+    RackPush,
+    /// Rack-local aggregator → home server combined gradient push.
+    CombinedPush,
 }
 
 impl MsgClass {
@@ -52,6 +57,8 @@ impl MsgClass {
             MsgClass::Response => "pull",
             MsgClass::Notify => "notify",
             MsgClass::PullRequest => "pullreq",
+            MsgClass::RackPush => "rackpush",
+            MsgClass::CombinedPush => "aggpush",
         }
     }
 }
@@ -199,6 +206,10 @@ pub enum TraceEvent {
         dst: usize,
         /// Wire size.
         bytes: u64,
+        /// Link-graph link that bounded the flow's final rate (topology
+        /// runs only); `None` on the flat fabric, for loopback, or when
+        /// the per-flow cap was the binding constraint.
+        bottleneck: Option<usize>,
     },
     /// The server's processing unit started aggregating one push.
     AggStart {

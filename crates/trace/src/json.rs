@@ -84,7 +84,10 @@ impl std::error::Error for JsonError {}
 
 /// Parses a complete JSON document. Trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -101,7 +104,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> JsonError {
-        JsonError { offset: self.pos, message: message.to_string() }
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {

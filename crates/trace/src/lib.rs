@@ -33,7 +33,7 @@
 //! );
 //! handle.record(
 //!     SimTime::from_micros(7),
-//!     TraceEvent::WireEnd { msg_id: 0, src: 0, dst: 1, bytes: 512 },
+//!     TraceEvent::WireEnd { msg_id: 0, src: 0, dst: 1, bytes: 512, bottleneck: None },
 //! );
 //! let doc = chrome_trace_json(&handle.drain(), 2);
 //! assert_eq!(validate_chrome_trace(&doc).unwrap().len(), 2); // tx + rx lanes

@@ -40,7 +40,10 @@ impl MetricsRegistry {
 
     /// Records one observation of the named gauge.
     pub fn observe_gauge(&mut self, name: &str, value: f64) {
-        self.gauges.entry(name.to_string()).or_default().record(value);
+        self.gauges
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
     }
 
     /// Records one sample into the named stage histogram.
@@ -71,14 +74,32 @@ impl MetricsRegistry {
         self.counters.keys().map(String::as_str)
     }
 
+    /// Records the busy fraction of one fabric link as the gauge
+    /// `link_busy_<name>`. Busy fractions come from the network's per-link
+    /// occupancy accounting (topology runs), not from the trace itself —
+    /// the trace only carries each flow's bottleneck link — so the owner
+    /// of the run feeds them in alongside [`MetricsRegistry::from_trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or not finite.
+    pub fn record_link_busy(&mut self, link: &str, fraction: f64) {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "busy fraction {fraction} outside [0, 1]"
+        );
+        self.observe_gauge(&format!("link_busy_{link}"), fraction);
+    }
+
     /// Derives the full registry from a recorded trace.
     ///
     /// Computed series:
     /// - counters `enqueue_push` / `enqueue_pull` / `enqueue_notify` /
     ///   `enqueue_pullreq`, `wire_messages`, `wire_bytes_tx_m<M>` /
-    ///   `wire_bytes_rx_m<M>` (per-machine port traffic), `fault_<kind>`,
-    ///   `rounds_completed`, `rounds_degraded`, `iterations`,
-    ///   `slices_consumed`
+    ///   `wire_bytes_rx_m<M>` (per-machine port traffic),
+    ///   `wire_bottleneck_l<L>` (deliveries whose rate was bound by link
+    ///   `L` — topology runs only), `fault_<kind>`, `rounds_completed`,
+    ///   `rounds_degraded`, `iterations`, `slices_consumed`
     /// - gauges `egress_depth_p<P>` (queue depth at each enqueue, per
     ///   priority class) and `inflight_msgs` (sampled at every wire
     ///   start/end)
@@ -103,7 +124,16 @@ impl MetricsRegistry {
         for te in log.events() {
             let at = te.at;
             match te.event {
-                TraceEvent::EgressEnqueue { msg_id, class, priority, queue_depth, machine, key, round, .. } => {
+                TraceEvent::EgressEnqueue {
+                    msg_id,
+                    class,
+                    priority,
+                    queue_depth,
+                    machine,
+                    key,
+                    round,
+                    ..
+                } => {
                     m.inc_counter(&format!("enqueue_{}", class.label()), 1);
                     m.observe_gauge(&format!("egress_depth_p{priority}"), queue_depth as f64);
                     enqueue_at.insert(msg_id, (at, class));
@@ -119,12 +149,21 @@ impl MetricsRegistry {
                     }
                     wire_start_at.insert(msg_id, at);
                 }
-                TraceEvent::WireEnd { msg_id, src, dst, bytes } => {
+                TraceEvent::WireEnd {
+                    msg_id,
+                    src,
+                    dst,
+                    bytes,
+                    bottleneck,
+                } => {
                     in_flight -= 1;
                     m.observe_gauge("inflight_msgs", in_flight.max(0) as f64);
                     m.inc_counter("wire_messages", 1);
                     m.inc_counter(&format!("wire_bytes_tx_m{src}"), bytes);
                     m.inc_counter(&format!("wire_bytes_rx_m{dst}"), bytes);
+                    if let Some(l) = bottleneck {
+                        m.inc_counter(&format!("wire_bottleneck_l{l}"), 1);
+                    }
                     if let Some(t0) = wire_start_at.remove(&msg_id) {
                         m.observe_histogram("stage_wire", (at - t0).as_secs_f64());
                     }
@@ -140,13 +179,26 @@ impl MetricsRegistry {
                         _ => {}
                     }
                 }
-                TraceEvent::AggStart { server, key, round, worker } => {
+                TraceEvent::AggStart {
+                    server,
+                    key,
+                    round,
+                    worker,
+                } => {
                     if let Some(&t0) = push_delivered_at.get(&(worker, key, round)) {
-                        m.observe_histogram("stage_agg_wait", at.saturating_duration_since(t0).as_secs_f64());
+                        m.observe_histogram(
+                            "stage_agg_wait",
+                            at.saturating_duration_since(t0).as_secs_f64(),
+                        );
                     }
                     agg_start_at.insert((server, key, round, worker), at);
                 }
-                TraceEvent::AggEnd { server, key, round, worker } => {
+                TraceEvent::AggEnd {
+                    server,
+                    key,
+                    round,
+                    worker,
+                } => {
                     if let Some(t0) = agg_start_at.remove(&(server, key, round, worker)) {
                         m.observe_histogram("stage_agg", (at - t0).as_secs_f64());
                     }
@@ -157,10 +209,18 @@ impl MetricsRegistry {
                         m.inc_counter("rounds_degraded", 1);
                     }
                 }
-                TraceEvent::ComputeStart { worker, phase, block } => {
+                TraceEvent::ComputeStart {
+                    worker,
+                    phase,
+                    block,
+                } => {
                     compute_start.insert((worker, block, phase as u8), at);
                 }
-                TraceEvent::ComputeEnd { worker, phase, block } => {
+                TraceEvent::ComputeEnd {
+                    worker,
+                    phase,
+                    block,
+                } => {
                     if let Some(t0) = compute_start.remove(&(worker, block, phase as u8)) {
                         let name = match phase {
                             crate::event::ComputePhase::Forward => "compute_fwd",
@@ -269,18 +329,68 @@ mod tests {
                 queue_depth: 3,
             },
         );
-        log.record(t(10), TraceEvent::WireStart { msg_id: 7, src: 0, dst: 1, bytes: 100, priority: 5 });
-        log.record(t(30), TraceEvent::WireEnd { msg_id: 7, src: 0, dst: 1, bytes: 100 });
-        log.record(t(40), TraceEvent::AggStart { server: 1, key: 2, round: 0, worker: 0 });
-        log.record(t(55), TraceEvent::AggEnd { server: 1, key: 2, round: 0, worker: 0 });
-        log.record(t(55), TraceEvent::RoundComplete { server: 1, key: 2, version: 1, degraded: false });
-        log.record(t(55), TraceEvent::Fault { kind: FaultKind::Loss, machine: 0, msg_id: None });
+        log.record(
+            t(10),
+            TraceEvent::WireStart {
+                msg_id: 7,
+                src: 0,
+                dst: 1,
+                bytes: 100,
+                priority: 5,
+            },
+        );
+        log.record(
+            t(30),
+            TraceEvent::WireEnd {
+                msg_id: 7,
+                src: 0,
+                dst: 1,
+                bytes: 100,
+                bottleneck: Some(5),
+            },
+        );
+        log.record(
+            t(40),
+            TraceEvent::AggStart {
+                server: 1,
+                key: 2,
+                round: 0,
+                worker: 0,
+            },
+        );
+        log.record(
+            t(55),
+            TraceEvent::AggEnd {
+                server: 1,
+                key: 2,
+                round: 0,
+                worker: 0,
+            },
+        );
+        log.record(
+            t(55),
+            TraceEvent::RoundComplete {
+                server: 1,
+                key: 2,
+                version: 1,
+                degraded: false,
+            },
+        );
+        log.record(
+            t(55),
+            TraceEvent::Fault {
+                kind: FaultKind::Loss,
+                machine: 0,
+                msg_id: None,
+            },
+        );
 
         let m = MetricsRegistry::from_trace(&log);
         assert_eq!(m.counter("enqueue_push"), 1);
         assert_eq!(m.counter("wire_messages"), 1);
         assert_eq!(m.counter("wire_bytes_tx_m0"), 100);
         assert_eq!(m.counter("wire_bytes_rx_m1"), 100);
+        assert_eq!(m.counter("wire_bottleneck_l5"), 1);
         assert_eq!(m.counter("rounds_completed"), 1);
         assert_eq!(m.counter("fault_loss"), 1);
         let depth = m.gauge("egress_depth_p5").unwrap();
@@ -303,12 +413,48 @@ mod tests {
         m.observe_histogram("h", 0.01);
         let doc = m.to_json();
         let v = crate::json::parse(&doc).expect("valid JSON");
-        assert_eq!(v.get("counters").unwrap().get("a").unwrap().as_number(), Some(2.0));
         assert_eq!(
-            v.get("gauges").unwrap().get("g").unwrap().get("mean").unwrap().as_number(),
+            v.get("counters").unwrap().get("a").unwrap().as_number(),
+            Some(2.0)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .unwrap()
+                .get("g")
+                .unwrap()
+                .get("mean")
+                .unwrap()
+                .as_number(),
             Some(1.5)
         );
-        assert!(v.get("histograms").unwrap().get("h").unwrap().get("bounds").unwrap().as_array().unwrap().len() >= 4);
+        assert!(
+            v.get("histograms")
+                .unwrap()
+                .get("h")
+                .unwrap()
+                .get("bounds")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len()
+                >= 4
+        );
+    }
+
+    #[test]
+    fn link_busy_gauge_round_trips() {
+        let mut m = MetricsRegistry::new();
+        m.record_link_busy("rack0.up", 0.75);
+        m.record_link_busy("rack0.up", 0.25);
+        let g = m.gauge("link_busy_rack0.up").expect("gauge recorded");
+        assert_eq!(g.count(), 2);
+        assert!((g.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn link_busy_gauge_rejects_bad_fraction() {
+        MetricsRegistry::new().record_link_busy("x", 1.5);
     }
 
     #[test]

@@ -145,7 +145,9 @@ impl TraceSink for TraceHandle {
 
 impl fmt::Debug for TraceHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TraceHandle").field("events", &self.len()).finish()
+        f.debug_struct("TraceHandle")
+            .field("events", &self.len())
+            .finish()
     }
 }
 
@@ -160,7 +162,11 @@ mod tests {
         assert!(!sink.is_enabled());
         sink.record(
             SimTime::ZERO,
-            TraceEvent::ComputeStart { worker: 0, phase: ComputePhase::Forward, block: 0 },
+            TraceEvent::ComputeStart {
+                worker: 0,
+                phase: ComputePhase::Forward,
+                block: 0,
+            },
         );
     }
 
@@ -170,11 +176,17 @@ mod tests {
         let h2 = h.clone();
         h.record(
             SimTime::from_nanos(1),
-            TraceEvent::StallStart { worker: 0, block: 3 },
+            TraceEvent::StallStart {
+                worker: 0,
+                block: 3,
+            },
         );
         h2.record(
             SimTime::from_nanos(2),
-            TraceEvent::StallEnd { worker: 0, block: 3 },
+            TraceEvent::StallEnd {
+                worker: 0,
+                block: 3,
+            },
         );
         assert_eq!(h.len(), 2);
         let log = h.drain();

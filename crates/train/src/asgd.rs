@@ -52,15 +52,21 @@ pub fn train_async(data: &Dataset, cfg: &TrainConfig, staleness: usize) -> Train
     let mut opts: Vec<_> = array_lens.iter().map(|&l| opt_kind.build(l)).collect();
 
     // Worker shards and schedules.
-    let shards: Vec<(Matrix, Vec<usize>)> =
-        (0..cfg.workers).map(|w| data.shard(w, cfg.workers)).collect();
+    let shards: Vec<(Matrix, Vec<usize>)> = (0..cfg.workers)
+        .map(|w| data.shard(w, cfg.workers))
+        .collect();
     let schedules: Vec<BatchSchedule> = shards
         .iter()
         .enumerate()
-        .map(|(w, (_, y))| BatchSchedule::new(y.len(), cfg.batch_per_worker, cfg.seed ^ (w as u64 + 1)))
+        .map(|(w, (_, y))| {
+            BatchSchedule::new(y.len(), cfg.batch_per_worker, cfg.seed ^ (w as u64 + 1))
+        })
         .collect();
-    let rounds_per_epoch =
-        schedules.iter().map(BatchSchedule::batches_per_epoch).min().expect("workers");
+    let rounds_per_epoch = schedules
+        .iter()
+        .map(BatchSchedule::batches_per_epoch)
+        .min()
+        .expect("workers");
 
     // Delayed-gradient pipeline: a gradient computed now is applied after
     // `staleness` other updates land.
@@ -139,13 +145,20 @@ mod tests {
     fn asgd_trains_at_all() {
         let data = gaussian_blobs(3, 6, 600, 150, 0.8, 6);
         let run = train_async(&data, &cfg(6), 3);
-        assert!(run.final_accuracy > 0.6, "ASGD collapsed: {}", run.final_accuracy);
+        assert!(
+            run.final_accuracy > 0.6,
+            "ASGD collapsed: {}",
+            run.final_accuracy
+        );
     }
 
     #[test]
     fn asgd_is_deterministic() {
         let data = gaussian_blobs(2, 4, 200, 40, 1.0, 2);
-        assert_eq!(train_async(&data, &cfg(2), 3), train_async(&data, &cfg(2), 3));
+        assert_eq!(
+            train_async(&data, &cfg(2), 3),
+            train_async(&data, &cfg(2), 3)
+        );
     }
 
     #[test]
@@ -154,7 +167,11 @@ mod tests {
         // plain sequential minibatch SGD; accuracy should be solid.
         let data = gaussian_blobs(3, 6, 600, 150, 0.8, 10);
         let run = train_async(&data, &cfg(5), 0);
-        assert!(run.final_accuracy > 0.85, "no-staleness ASGD: {}", run.final_accuracy);
+        assert!(
+            run.final_accuracy > 0.85,
+            "no-staleness ASGD: {}",
+            run.final_accuracy
+        );
     }
 
     #[test]

@@ -157,12 +157,18 @@ pub struct TrainRun {
 impl TrainRun {
     /// Best validation accuracy across epochs.
     pub fn best_accuracy(&self) -> f64 {
-        self.records.iter().map(|r| r.val_accuracy).fold(0.0, f64::max)
+        self.records
+            .iter()
+            .map(|r| r.val_accuracy)
+            .fold(0.0, f64::max)
     }
 
     /// First epoch reaching `target` validation accuracy, if any.
     pub fn epochs_to_reach(&self, target: f64) -> Option<u32> {
-        self.records.iter().find(|r| r.val_accuracy >= target).map(|r| r.epoch)
+        self.records
+            .iter()
+            .find(|r| r.val_accuracy >= target)
+            .map(|r| r.epoch)
     }
 }
 
@@ -172,7 +178,10 @@ mod tests {
 
     #[test]
     fn lr_decay_schedule() {
-        let d = LrDecay { every: 10, factor: 10.0 };
+        let d = LrDecay {
+            every: 10,
+            factor: 10.0,
+        };
         assert_eq!(d.lr_at(0.1, 0), 0.1);
         assert_eq!(d.lr_at(0.1, 9), 0.1);
         assert!((d.lr_at(0.1, 10) - 0.01).abs() < 1e-9);
@@ -182,7 +191,14 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(SyncMode::FullSync.name(), "P3/FullSync");
-        assert_eq!(SyncMode::Dgc { final_sparsity: 0.999, warmup_epochs: 4 }.name(), "DGC");
+        assert_eq!(
+            SyncMode::Dgc {
+                final_sparsity: 0.999,
+                warmup_epochs: 4
+            }
+            .name(),
+            "DGC"
+        );
         assert_eq!(SyncMode::Async { staleness: 3 }.name(), "ASGD");
     }
 
@@ -191,9 +207,21 @@ mod tests {
         let run = TrainRun {
             mode_name: "x".into(),
             records: vec![
-                EpochRecord { epoch: 0, train_loss: 1.0, val_accuracy: 0.5 },
-                EpochRecord { epoch: 1, train_loss: 0.5, val_accuracy: 0.9 },
-                EpochRecord { epoch: 2, train_loss: 0.4, val_accuracy: 0.85 },
+                EpochRecord {
+                    epoch: 0,
+                    train_loss: 1.0,
+                    val_accuracy: 0.5,
+                },
+                EpochRecord {
+                    epoch: 1,
+                    train_loss: 0.5,
+                    val_accuracy: 0.9,
+                },
+                EpochRecord {
+                    epoch: 2,
+                    train_loss: 0.4,
+                    val_accuracy: 0.85,
+                },
             ],
             final_accuracy: 0.85,
             iterations_per_epoch: 10,

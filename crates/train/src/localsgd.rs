@@ -66,8 +66,11 @@ pub fn train_local_sgd(data: &Dataset, cfg: &TrainConfig, period: u32) -> TrainR
         })
         .collect();
 
-    let rounds_per_epoch =
-        workers.iter().map(|w| w.schedule.batches_per_epoch()).min().expect("workers");
+    let rounds_per_epoch = workers
+        .iter()
+        .map(|w| w.schedule.batches_per_epoch())
+        .min()
+        .expect("workers");
     let mut records = Vec::with_capacity(cfg.epochs as usize);
     let mut step: u32 = 0;
 
@@ -99,8 +102,7 @@ pub fn train_local_sgd(data: &Dataset, cfg: &TrainConfig, period: u32) -> TrainR
             }
             step += 1;
             if step.is_multiple_of(period) {
-                let mut models: Vec<&mut Mlp> =
-                    workers.iter_mut().map(|w| &mut w.model).collect();
+                let mut models: Vec<&mut Mlp> = workers.iter_mut().map(|w| &mut w.model).collect();
                 average_parameters(&mut models, &array_lens);
             }
         }
@@ -158,7 +160,11 @@ mod tests {
     fn local_sgd_trains() {
         let data = gaussian_blobs(3, 6, 600, 150, 0.8, 6);
         let run = train_local_sgd(&data, &cfg(6), 4);
-        assert!(run.final_accuracy > 0.85, "LocalSGD: {}", run.final_accuracy);
+        assert!(
+            run.final_accuracy > 0.85,
+            "LocalSGD: {}",
+            run.final_accuracy
+        );
         assert!(run.mode_name.contains("H=4"));
     }
 
@@ -196,7 +202,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let data = gaussian_blobs(2, 4, 200, 40, 1.0, 2);
-        assert_eq!(train_local_sgd(&data, &cfg(2), 3), train_local_sgd(&data, &cfg(2), 3));
+        assert_eq!(
+            train_local_sgd(&data, &cfg(2), 3),
+            train_local_sgd(&data, &cfg(2), 3)
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! across OS threads; results are ordered by input, never by completion,
 //! keeping the sweep reproducible.
 
+use crate::asgd::train_async;
 use crate::config::{SyncMode, TrainConfig, TrainRun};
 use crate::sync::train_sync;
-use crate::asgd::train_async;
 use p3_tensor::Dataset;
 use std::sync::Mutex;
 

@@ -27,15 +27,21 @@ impl Transform {
     fn new(mode: SyncMode, array_lens: &[usize], seed: u64) -> Transform {
         match mode {
             SyncMode::FullSync => Transform::Identity,
-            SyncMode::Dgc { final_sparsity, warmup_epochs } => Transform::Dgc(
+            SyncMode::Dgc {
+                final_sparsity,
+                warmup_epochs,
+            } => Transform::Dgc(
                 array_lens
                     .iter()
                     .map(|&l| Dgc::new(l, 0.9, final_sparsity, warmup_epochs))
                     .collect(),
             ),
-            SyncMode::GradDrop { ratio } => {
-                Transform::Drop(array_lens.iter().map(|&l| GradDrop::new(l, ratio)).collect())
-            }
+            SyncMode::GradDrop { ratio } => Transform::Drop(
+                array_lens
+                    .iter()
+                    .map(|&l| GradDrop::new(l, ratio))
+                    .collect(),
+            ),
             SyncMode::Qsgd { levels } => Transform::Qsgd(Qsgd::new(levels, seed)),
             SyncMode::TernGrad => Transform::Tern(TernGrad::new(seed)),
             SyncMode::OneBit => {
@@ -148,8 +154,11 @@ pub fn train_sync(data: &Dataset, cfg: &TrainConfig, mode: SyncMode) -> TrainRun
         })
         .collect();
 
-    let rounds_per_epoch =
-        workers.iter().map(|w| w.schedule.batches_per_epoch()).min().expect("workers");
+    let rounds_per_epoch = workers
+        .iter()
+        .map(|w| w.schedule.batches_per_epoch())
+        .min()
+        .expect("workers");
     let mut records = Vec::with_capacity(cfg.epochs as usize);
 
     for epoch in 0..cfg.epochs {
@@ -176,8 +185,9 @@ pub fn train_sync(data: &Dataset, cfg: &TrainConfig, mode: SyncMode) -> TrainRun
                 }
             }
             // Pull: all keys updated this round (synchronous barrier).
-            let fresh: Vec<Vec<f32>> =
-                (0..array_lens.len()).map(|k| server.pull(Key(k as u64)).0.to_vec()).collect();
+            let fresh: Vec<Vec<f32>> = (0..array_lens.len())
+                .map(|k| server.pull(Key(k as u64)).0.to_vec())
+                .collect();
             for w in &mut workers {
                 w.model.import_arrays(&fresh);
             }
@@ -252,9 +262,16 @@ mod tests {
         let dgc = train_sync(
             &data,
             &cfg,
-            SyncMode::Dgc { final_sparsity: 0.999, warmup_epochs: 4 },
+            SyncMode::Dgc {
+                final_sparsity: 0.999,
+                warmup_epochs: 4,
+            },
         );
-        assert!(dgc.final_accuracy > 0.5, "DGC failed to train: {}", dgc.final_accuracy);
+        assert!(
+            dgc.final_accuracy > 0.5,
+            "DGC failed to train: {}",
+            dgc.final_accuracy
+        );
         assert!(
             full.final_accuracy >= dgc.final_accuracy - 0.02,
             "full sync {} should not lose to DGC {}",
@@ -267,7 +284,11 @@ mod tests {
     fn quantizers_train() {
         let data = gaussian_blobs(3, 6, 600, 150, 0.8, 2);
         let cfg = quick_cfg(6);
-        for mode in [SyncMode::Qsgd { levels: 4 }, SyncMode::TernGrad, SyncMode::OneBit] {
+        for mode in [
+            SyncMode::Qsgd { levels: 4 },
+            SyncMode::TernGrad,
+            SyncMode::OneBit,
+        ] {
             let run = train_sync(&data, &cfg, mode);
             assert!(
                 run.final_accuracy > 0.7,

@@ -16,7 +16,11 @@ fn main() {
         (ModelSpec::resnet50(), vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0]),
         (ModelSpec::sockeye(), vec![2.0, 4.0, 8.0, 15.0, 30.0]),
     ] {
-        println!("== {} ({} per sec), 4 machines ==", model.name(), model.unit());
+        println!(
+            "== {} ({} per sec), 4 machines ==",
+            model.name(),
+            model.unit()
+        );
         let points = bandwidth_sweep(&model, &strategies, 4, &gbps, 2, 6, 7);
         let plateau = points.last().expect("nonempty").series[2].1;
         for p in &points {

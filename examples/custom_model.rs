@@ -46,14 +46,16 @@ fn main() {
         "{}: {:.1}M params, heaviest array = {:.1}% of model\n",
         model.name(),
         model.total_params() as f64 / 1e6,
-        100.0 * model.heaviest_array().expect("params").params as f64
-            / model.total_params() as f64
+        100.0 * model.heaviest_array().expect("params").params as f64 / model.total_params() as f64
     );
 
     let bw = Bandwidth::from_gbps(10.0);
     let base = throughput_of(&model, &SyncStrategy::baseline(), 4, bw, 2, 6, 3);
     let p3 = throughput_of(&model, &SyncStrategy::p3(), 4, bw, 2, 6, 3);
-    println!("at {bw}: baseline {base:.0} img/s, P3 {p3:.0} img/s ({:+.0}%)\n", (p3 / base - 1.0) * 100.0);
+    println!(
+        "at {bw}: baseline {base:.0} img/s, P3 {p3:.0} img/s ({:+.0}%)\n",
+        (p3 / base - 1.0) * 100.0
+    );
 
     println!("slice-size sweep (Fig. 12 methodology):");
     let sizes = [5_000u64, 20_000, 50_000, 200_000, 1_000_000];

@@ -14,12 +14,19 @@ fn main() {
     println!("VGG-19, 4 machines, {bandwidth} per NIC direction\n");
 
     let mut baseline_throughput = 0.0;
-    for strategy in [SyncStrategy::baseline(), SyncStrategy::slicing_only(), SyncStrategy::p3()] {
+    for strategy in [
+        SyncStrategy::baseline(),
+        SyncStrategy::slicing_only(),
+        SyncStrategy::p3(),
+    ] {
         let name = strategy.name().to_string();
         let cfg = ClusterConfig::new(ModelSpec::vgg19(), strategy, 4, bandwidth);
         let result = ClusterSim::new(cfg).run();
         let speedup = if baseline_throughput > 0.0 {
-            format!("  ({:+.1}% vs baseline)", (result.throughput / baseline_throughput - 1.0) * 100.0)
+            format!(
+                "  ({:+.1}% vs baseline)",
+                (result.throughput / baseline_throughput - 1.0) * 100.0
+            )
         } else {
             baseline_throughput = result.throughput;
             String::new()

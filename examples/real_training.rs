@@ -12,11 +12,17 @@ fn main() {
     let mut cfg = TrainConfig::new(25);
     cfg.hidden = vec![48, 24];
     cfg.lr = 0.1;
-    println!("3-class spirals, 4 workers x batch {}, {} epochs\n", cfg.batch_per_worker, cfg.epochs);
+    println!(
+        "3-class spirals, 4 workers x batch {}, {} epochs\n",
+        cfg.batch_per_worker, cfg.epochs
+    );
 
     let modes = [
         SyncMode::FullSync,
-        SyncMode::Dgc { final_sparsity: 0.99, warmup_epochs: 4 },
+        SyncMode::Dgc {
+            final_sparsity: 0.99,
+            warmup_epochs: 4,
+        },
         SyncMode::Qsgd { levels: 4 },
         SyncMode::TernGrad,
         SyncMode::OneBit,

@@ -13,6 +13,7 @@
 //! |---|---|---|
 //! | [`des`] | `p3-des` | simulated time, event calendar, deterministic RNG |
 //! | [`net`] | `p3-net` | fluid flow network, strict-priority max-min sharing |
+//! | [`topo`] | `p3-topo` | racks, oversubscribed cores, placement policies |
 //! | [`models`] | `p3-models` | ResNet-50 / VGG-19 / InceptionV3 / Sockeye zoo |
 //! | [`pserver`] | `p3-pserver` | sharding, push/pull protocol, KV aggregation |
 //! | [`core`] | `p3-core` | **the contribution**: slicing, priorities, strategies |
@@ -53,4 +54,5 @@ pub use p3_models as models;
 pub use p3_net as net;
 pub use p3_pserver as pserver;
 pub use p3_tensor as tensor;
+pub use p3_topo as topo;
 pub use p3_train as train;

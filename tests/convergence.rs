@@ -46,7 +46,10 @@ fn exact_sync_at_least_matches_compressed() {
     let c = cfg(6);
     let full = train_sync(&data, &c, SyncMode::FullSync);
     for mode in [
-        SyncMode::Dgc { final_sparsity: 0.99, warmup_epochs: 2 },
+        SyncMode::Dgc {
+            final_sparsity: 0.99,
+            warmup_epochs: 2,
+        },
         SyncMode::GradDrop { ratio: 50.0 },
     ] {
         let run = train_sync(&data, &c, mode);
@@ -77,7 +80,21 @@ fn asgd_with_staleness_never_beats_sync_meaningfully() {
 #[test]
 fn whole_stack_is_deterministic() {
     let data = gaussian_blobs(2, 4, 160, 40, 1.0, 8);
-    let a = train_sync(&data, &cfg(2), SyncMode::Dgc { final_sparsity: 0.95, warmup_epochs: 1 });
-    let b = train_sync(&data, &cfg(2), SyncMode::Dgc { final_sparsity: 0.95, warmup_epochs: 1 });
+    let a = train_sync(
+        &data,
+        &cfg(2),
+        SyncMode::Dgc {
+            final_sparsity: 0.95,
+            warmup_epochs: 1,
+        },
+    );
+    let b = train_sync(
+        &data,
+        &cfg(2),
+        SyncMode::Dgc {
+            final_sparsity: 0.95,
+            warmup_epochs: 1,
+        },
+    );
     assert_eq!(a, b);
 }

@@ -22,8 +22,7 @@ fn fig5_shapes_match_paper_description() {
     // VGG: one array dominates; Sockeye: heaviest block first; ResNet:
     // many modest arrays.
     let vgg = ModelSpec::vgg19();
-    let frac = vgg.heaviest_array().expect("params").params as f64
-        / vgg.total_params() as f64;
+    let frac = vgg.heaviest_array().expect("params").params as f64 / vgg.total_params() as f64;
     assert!(frac > 0.7);
     assert_eq!(ModelSpec::sockeye().heaviest_block_index(), Some(0));
     assert!(ModelSpec::resnet50().num_arrays() > 150);
@@ -47,7 +46,10 @@ fn fig7_sweep_produces_monotone_ish_curves() {
         2,
         3,
     );
-    assert!(pts[1].series[0].1 > pts[0].series[0].1, "more bandwidth, more throughput");
+    assert!(
+        pts[1].series[0].1 > pts[0].series[0].1,
+        "more bandwidth, more throughput"
+    );
 }
 
 #[test]

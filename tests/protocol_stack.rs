@@ -31,7 +31,13 @@ fn sliced_pushes_roundtrip_the_wire_and_update_the_server() {
             let mut buf = BytesMut::new();
             msg.encode(&mut buf);
             let decoded = Message::decode(&mut buf.freeze()).expect("valid frame");
-            let Message::Push { key, worker, values, .. } = decoded else {
+            let Message::Push {
+                key,
+                worker,
+                values,
+                ..
+            } = decoded
+            else {
                 panic!("wrong message type");
             };
             let outcome = server.push(worker, key, &values);
