@@ -1,0 +1,1099 @@
+//! The replay checker: one forward pass over the event log driving a small
+//! model of every entity the simulator traces (messages, egress queues,
+//! NIC ports, server processing units, worker compute), flagging any
+//! transition the real system could not have produced.
+
+use crate::report::{AuditReport, Invariant, Violation};
+use p3_trace::{EndpointRole, FaultKind, MsgClass, TraceEvent, TraceLog, TraceMeta};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Violations reported per invariant before the rest are counted as
+/// suppressed: enough to diagnose, bounded on pathological traces.
+const MAX_PER_INVARIANT: usize = 20;
+
+/// Work cap for the quadratic capacity-window scan of one busy period;
+/// beyond it window anchors are strided (the check stays sound, just
+/// coarser).
+const CAPACITY_WORK_CAP: u64 = 4_000_000;
+
+/// Relative tolerance on capacity windows, covering the fluid allocator's
+/// floating-point drains.
+const CAPACITY_REL_TOL: f64 = 1e-6;
+/// Absolute byte slack per capacity window.
+const CAPACITY_ABS_SLACK: f64 = 2048.0;
+
+/// What the auditor may assume about the run beyond the events themselves.
+///
+/// Every field is optional; `None` skips the checks that need it (the
+/// report's `skipped` notes say so). Build one from exported metadata with
+/// [`AuditOptions::from_meta`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditOptions {
+    /// Number of machines (workers == server shards) in the run.
+    pub machines: Option<usize>,
+    /// Whether endpoints use single-consumer strict-priority egress
+    /// (`true`, P3) or per-destination FIFO lanes (`false`, baseline).
+    pub single_consumer: Option<bool>,
+    /// In-flight window per single-consumer endpoint.
+    pub window: Option<usize>,
+    /// Effective per-direction NIC capacity in bytes/sec on a uniform
+    /// fabric.
+    pub port_bytes_per_sec: Option<f64>,
+}
+
+impl AuditOptions {
+    /// Adopts whatever an exported trace's metadata pins down.
+    pub fn from_meta(meta: &TraceMeta) -> AuditOptions {
+        AuditOptions {
+            machines: (meta.machines > 0).then_some(meta.machines),
+            single_consumer: meta.single_consumer,
+            window: meta.window,
+            port_bytes_per_sec: meta.port_bytes_per_sec,
+        }
+    }
+}
+
+/// Audits a trace using only what the event stream itself implies
+/// (configuration-dependent checks are skipped). See [`check_with`].
+pub fn check(log: &TraceLog) -> AuditReport {
+    check_with(log, &AuditOptions::default())
+}
+
+/// Audits a trace against the full invariant catalog
+/// ([`Invariant`](crate::Invariant)), enabling the configuration-dependent
+/// checks `opts` provides facts for.
+pub fn check_with(log: &TraceLog, opts: &AuditOptions) -> AuditReport {
+    let mut c = Checker::new(opts.clone());
+    for (i, e) in log.events().iter().enumerate() {
+        c.step(i, e.at.as_nanos(), &e.event);
+    }
+    c.finish(log.len())
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MsgState {
+    /// Enqueued on an egress queue, not yet transmitting.
+    Queued,
+    /// Occupying the fabric.
+    InFlight,
+    /// Last byte delivered (and, for pushes, claimable by an aggregation).
+    Delivered,
+    /// Died in the fabric; retry timer pending.
+    Lost,
+    /// Retransmit decided; the re-enqueue is due.
+    RetryPending,
+    /// Abandoned, cancelled, or destroyed by a crash.
+    Dead,
+}
+
+#[derive(Debug, Clone)]
+struct MsgInfo {
+    endpoint: (usize, u8),
+    class: MsgClass,
+    key: usize,
+    round: u64,
+    priority: u32,
+    bytes: Option<u64>,
+    dst: Option<usize>,
+    state: MsgState,
+    open_start: Option<u64>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct WorkerState {
+    open_compute: Option<(u64, u8, usize)>,
+    open_stall: Option<(u64, usize)>,
+    window_start: Option<u64>,
+    window_valid: bool,
+    compute_ns: u64,
+    stall_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    src: usize,
+    dst: usize,
+    start: u64,
+    end: u64,
+    bytes: u64,
+}
+
+/// Violation bookkeeping, split out so handlers can report while holding
+/// mutable borrows of the replay state.
+#[derive(Debug, Default)]
+struct Reporter {
+    violations: Vec<Violation>,
+    per_invariant: BTreeMap<Invariant, usize>,
+    suppressed: usize,
+}
+
+impl Reporter {
+    fn violate(&mut self, inv: Invariant, index: Option<usize>, at: u64, message: String) {
+        let n = self.per_invariant.entry(inv).or_insert(0);
+        *n += 1;
+        if *n > MAX_PER_INVARIANT {
+            self.suppressed += 1;
+            return;
+        }
+        self.violations.push(Violation {
+            invariant: inv,
+            index,
+            at_nanos: at,
+            message,
+        });
+    }
+}
+
+struct Checker {
+    opts: AuditOptions,
+    rep: Reporter,
+
+    prev_t: u64,
+    msgs: BTreeMap<u64, MsgInfo>,
+    queued: BTreeMap<(usize, u8), BTreeMap<u64, u32>>,
+    inflight: BTreeMap<(usize, u8), usize>,
+    lane_busy: BTreeMap<(usize, u8, usize), u64>,
+    attempts: Vec<Attempt>,
+    grad_ready: BTreeSet<(usize, usize, u64)>,
+    delivered_pushes: BTreeMap<(usize, usize, u64, usize), Vec<u64>>,
+    received: BTreeMap<(usize, usize), u64>,
+    crashed: BTreeSet<usize>,
+    versions: BTreeMap<(usize, usize), u64>,
+    open_agg: BTreeMap<usize, (usize, u64, usize)>,
+    agg_members: BTreeMap<(usize, usize, u64), BTreeSet<usize>>,
+    rack_seen: bool,
+    workers: BTreeMap<usize, WorkerState>,
+}
+
+const ROLE_WORKER: u8 = 0;
+const ROLE_SERVER: u8 = 1;
+
+fn role_code(r: EndpointRole) -> u8 {
+    match r {
+        EndpointRole::Worker => ROLE_WORKER,
+        EndpointRole::Server => ROLE_SERVER,
+    }
+}
+
+fn is_push_class(c: MsgClass) -> bool {
+    matches!(c, MsgClass::Push | MsgClass::CombinedPush)
+}
+
+impl Checker {
+    fn new(opts: AuditOptions) -> Checker {
+        Checker {
+            opts,
+            rep: Reporter::default(),
+            prev_t: 0,
+            msgs: BTreeMap::new(),
+            queued: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            lane_busy: BTreeMap::new(),
+            attempts: Vec::new(),
+            grad_ready: BTreeSet::new(),
+            delivered_pushes: BTreeMap::new(),
+            received: BTreeMap::new(),
+            crashed: BTreeSet::new(),
+            versions: BTreeMap::new(),
+            open_agg: BTreeMap::new(),
+            agg_members: BTreeMap::new(),
+            rack_seen: false,
+            workers: BTreeMap::new(),
+        }
+    }
+
+    fn worker(&mut self, w: usize) -> &mut WorkerState {
+        self.workers.entry(w).or_insert_with(|| WorkerState {
+            window_valid: true,
+            ..WorkerState::default()
+        })
+    }
+
+    fn step(&mut self, i: usize, t: u64, ev: &TraceEvent) {
+        if t < self.prev_t {
+            self.rep.violate(
+                Invariant::MonotoneClock,
+                Some(i),
+                t,
+                format!(
+                    "recorded at {t}ns after an event at {}ns — the DES clock ran backwards",
+                    self.prev_t
+                ),
+            );
+        }
+        self.prev_t = self.prev_t.max(t);
+
+        match *ev {
+            TraceEvent::ComputeStart {
+                worker,
+                phase,
+                block,
+            } => {
+                let ph = phase as u8;
+                let st = self.worker(worker);
+                if st.window_start.is_none() {
+                    st.window_start = Some(t);
+                }
+                let busy = st.open_compute.is_some() || st.open_stall.is_some();
+                st.open_compute = Some((t, ph, block));
+                if busy {
+                    self.rep.violate(
+                        Invariant::CausalOrder,
+                        Some(i),
+                        t,
+                        format!("worker {worker} starts compute while already busy"),
+                    );
+                }
+            }
+            TraceEvent::ComputeEnd {
+                worker,
+                phase,
+                block,
+            } => {
+                let ph = phase as u8;
+                let st = self.worker(worker);
+                match st.open_compute.take() {
+                    Some((t0, p0, b0)) if p0 == ph && b0 == block => {
+                        st.compute_ns += t - t0;
+                    }
+                    other => {
+                        st.open_compute = None;
+                        self.rep.violate(
+                            Invariant::CausalOrder,
+                            Some(i),
+                            t,
+                            format!(
+                                "worker {worker} ends compute segment {ph}/{block} but {other:?} \
+                                 was open"
+                            ),
+                        );
+                    }
+                }
+            }
+            TraceEvent::StallStart { worker, block } => {
+                let st = self.worker(worker);
+                if st.window_start.is_none() {
+                    st.window_start = Some(t);
+                }
+                let busy = st.open_compute.is_some() || st.open_stall.is_some();
+                st.open_stall = Some((t, block));
+                if busy {
+                    self.rep.violate(
+                        Invariant::CausalOrder,
+                        Some(i),
+                        t,
+                        format!("worker {worker} stalls while already busy"),
+                    );
+                }
+            }
+            TraceEvent::StallEnd { worker, block } => {
+                let st = self.worker(worker);
+                match st.open_stall.take() {
+                    Some((t0, b0)) if b0 == block => {
+                        st.stall_ns += t - t0;
+                    }
+                    other => {
+                        st.open_stall = None;
+                        self.rep.violate(
+                            Invariant::CausalOrder,
+                            Some(i),
+                            t,
+                            format!(
+                                "worker {worker} ends a stall on block {block} but {other:?} was \
+                                 open"
+                            ),
+                        );
+                    }
+                }
+            }
+            TraceEvent::IterationEnd { worker, .. } => {
+                let st = self.worker(worker);
+                let mut mismatch = None;
+                if st.window_valid {
+                    if let Some(t0) = st.window_start {
+                        let span = t.saturating_sub(t0);
+                        let accounted = st.compute_ns + st.stall_ns;
+                        if accounted != span {
+                            mismatch = Some((span, st.compute_ns, st.stall_ns));
+                        }
+                    }
+                }
+                st.window_valid = true;
+                st.window_start = Some(t);
+                st.compute_ns = 0;
+                st.stall_ns = 0;
+                if let Some((span, compute, stall)) = mismatch {
+                    self.rep.violate(
+                        Invariant::StallAccounting,
+                        Some(i),
+                        t,
+                        format!(
+                            "worker {worker}: iteration span {span}ns != compute {compute}ns + \
+                             stall {stall}ns (unaccounted {}ns)",
+                            span as i128 - (compute + stall) as i128
+                        ),
+                    );
+                }
+            }
+            TraceEvent::GradReady {
+                worker, key, round, ..
+            } => {
+                self.grad_ready.insert((worker, key, round));
+            }
+            TraceEvent::EgressEnqueue {
+                machine,
+                role,
+                msg_id,
+                class,
+                key,
+                round,
+                priority,
+                queue_depth,
+            } => {
+                self.on_enqueue(
+                    i,
+                    t,
+                    (machine, role_code(role)),
+                    msg_id,
+                    class,
+                    key,
+                    round,
+                    priority,
+                    queue_depth,
+                );
+            }
+            TraceEvent::WireStart {
+                msg_id,
+                src,
+                dst,
+                bytes,
+                priority,
+            } => {
+                self.on_wire_start(i, t, msg_id, src, dst, bytes, priority);
+            }
+            TraceEvent::WireEnd {
+                msg_id,
+                src,
+                dst,
+                bytes,
+                ..
+            } => {
+                self.on_wire_end(i, t, msg_id, src, dst, bytes);
+            }
+            TraceEvent::AggStart {
+                server,
+                key,
+                round,
+                worker,
+            } => {
+                self.on_agg_start(i, t, server, key, round, worker);
+            }
+            TraceEvent::AggEnd {
+                server,
+                key,
+                round,
+                worker,
+            } => match self.open_agg.remove(&server) {
+                Some((k, r, w)) if (k, r, w) == (key, round, worker) => {
+                    if self.conservation_enabled() {
+                        self.agg_members
+                            .entry((server, key, round))
+                            .or_default()
+                            .insert(worker);
+                    }
+                }
+                other => {
+                    self.rep.violate(
+                        Invariant::CausalOrder,
+                        Some(i),
+                        t,
+                        format!(
+                            "server {server} finishes aggregating k{key} r{round} from \
+                                 w{worker} but its processing unit held {other:?}"
+                        ),
+                    );
+                }
+            },
+            TraceEvent::RoundComplete {
+                server,
+                key,
+                version,
+                degraded,
+            } => {
+                self.on_round_complete(i, t, server, key, version, degraded);
+            }
+            TraceEvent::SliceConsumed { worker, key, round } => {
+                let have = self.received.get(&(worker, key)).copied().unwrap_or(0);
+                if have < round {
+                    self.rep.violate(
+                        Invariant::CausalOrder,
+                        Some(i),
+                        t,
+                        format!(
+                            "worker {worker} consumes k{key} at round {round} while holding \
+                             version {have}"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Fault {
+                kind,
+                machine,
+                msg_id,
+            } => {
+                self.on_fault(i, t, kind, machine, msg_id);
+            }
+        }
+    }
+
+    fn conservation_enabled(&self) -> bool {
+        self.opts.machines.is_some() && !self.rack_seen
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_enqueue(
+        &mut self,
+        i: usize,
+        t: u64,
+        endpoint: (usize, u8),
+        msg_id: u64,
+        class: MsgClass,
+        key: usize,
+        round: u64,
+        priority: u32,
+        queue_depth: usize,
+    ) {
+        if matches!(class, MsgClass::RackPush | MsgClass::CombinedPush) && !self.rack_seen {
+            // Rack-local aggregation folds several workers into one wire
+            // message; per-worker aggregation accounting no longer applies.
+            self.rack_seen = true;
+            self.agg_members.clear();
+        }
+        if endpoint.1 == ROLE_WORKER
+            && matches!(class, MsgClass::Push | MsgClass::RackPush)
+            && !self.grad_ready.contains(&(endpoint.0, key, round))
+        {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!(
+                    "worker {} enqueues a push for k{key} r{round} before its gradient is ready",
+                    endpoint.0
+                ),
+            );
+        }
+        match self.msgs.get_mut(&msg_id) {
+            None => {
+                self.msgs.insert(
+                    msg_id,
+                    MsgInfo {
+                        endpoint,
+                        class,
+                        key,
+                        round,
+                        priority,
+                        bytes: None,
+                        dst: None,
+                        state: MsgState::Queued,
+                        open_start: None,
+                    },
+                );
+            }
+            Some(info) => {
+                if info.state != MsgState::RetryPending {
+                    let state = info.state;
+                    self.rep.violate(
+                        Invariant::CausalOrder,
+                        Some(i),
+                        t,
+                        format!("msg {msg_id} re-enqueued while {state:?} (no retransmit decided)"),
+                    );
+                }
+                if info.endpoint != endpoint || info.priority != priority {
+                    self.rep.violate(
+                        Invariant::CausalOrder,
+                        Some(i),
+                        t,
+                        format!("msg {msg_id} retransmitted from a different endpoint or priority"),
+                    );
+                }
+                info.state = MsgState::Queued;
+            }
+        }
+        let q = self.queued.entry(endpoint).or_default();
+        q.insert(msg_id, priority);
+        let depth = q.len();
+        if depth != queue_depth {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!(
+                    "endpoint m{}/{} reports queue depth {queue_depth} but {depth} messages are \
+                     queued",
+                    endpoint.0,
+                    if endpoint.1 == ROLE_WORKER {
+                        "worker"
+                    } else {
+                        "server"
+                    }
+                ),
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_wire_start(
+        &mut self,
+        i: usize,
+        t: u64,
+        msg_id: u64,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        priority: u32,
+    ) {
+        let Some(info) = self.msgs.get_mut(&msg_id) else {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!("msg {msg_id} starts transmitting without ever being enqueued"),
+            );
+            return;
+        };
+        if info.state != MsgState::Queued {
+            let state = info.state;
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!("msg {msg_id} starts transmitting while {state:?}"),
+            );
+        }
+        if info.endpoint.0 != src {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!(
+                    "msg {msg_id} transmits from machine {src} but was enqueued on machine {}",
+                    info.endpoint.0
+                ),
+            );
+        }
+        if info.priority != priority {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!(
+                    "msg {msg_id} transmits at priority {priority} but was enqueued at {}",
+                    info.priority
+                ),
+            );
+        }
+        match info.bytes {
+            None => info.bytes = Some(bytes),
+            Some(b) if b != bytes => {
+                self.rep.violate(
+                    Invariant::ByteConservation,
+                    Some(i),
+                    t,
+                    format!("msg {msg_id} changed size between attempts: {b} -> {bytes} bytes"),
+                );
+            }
+            _ => {}
+        }
+        if let Some(d) = info.dst {
+            if d != dst {
+                self.rep.violate(
+                    Invariant::CausalOrder,
+                    Some(i),
+                    t,
+                    format!("msg {msg_id} changed destination between attempts: {d} -> {dst}"),
+                );
+            }
+        }
+        info.dst = Some(dst);
+        info.state = MsgState::InFlight;
+        info.open_start = Some(t);
+        let endpoint = info.endpoint;
+        let msg_prio = priority;
+
+        if let Some(q) = self.queued.get_mut(&endpoint) {
+            q.remove(&msg_id);
+        }
+        if self.opts.single_consumer == Some(true) {
+            let inversion = self
+                .queued
+                .get(&endpoint)
+                .into_iter()
+                .flatten()
+                .filter(|&(_, &p)| p < msg_prio)
+                .map(|(&id, &p)| (id, p))
+                .next();
+            if let Some((qid, qp)) = inversion {
+                self.rep.violate(
+                    Invariant::PriorityInversion,
+                    Some(i),
+                    t,
+                    format!(
+                        "msg {msg_id} (priority {msg_prio}) starts while more urgent msg {qid} \
+                         (priority {qp}) waits in the same queue"
+                    ),
+                );
+            }
+        }
+
+        let n = self.inflight.entry(endpoint).or_insert(0);
+        *n += 1;
+        let n = *n;
+        match self.opts.single_consumer {
+            Some(true) => {
+                if let Some(w) = self.opts.window {
+                    if n > w {
+                        self.rep.violate(
+                            Invariant::InFlightWindow,
+                            Some(i),
+                            t,
+                            format!(
+                                "endpoint m{}/{} has {n} messages in flight (window {w})",
+                                endpoint.0, endpoint.1
+                            ),
+                        );
+                    }
+                }
+            }
+            Some(false) => {
+                let lane = (endpoint.0, endpoint.1, dst);
+                if let Some(&other) = self.lane_busy.get(&lane) {
+                    self.rep.violate(
+                        Invariant::InFlightWindow,
+                        Some(i),
+                        t,
+                        format!(
+                            "msg {msg_id} starts on FIFO lane m{}->m{dst} while msg {other} is \
+                             still in flight",
+                            endpoint.0
+                        ),
+                    );
+                }
+                self.lane_busy.insert(lane, msg_id);
+            }
+            None => {}
+        }
+    }
+
+    fn on_wire_end(&mut self, i: usize, t: u64, msg_id: u64, src: usize, dst: usize, bytes: u64) {
+        let Some(info) = self.msgs.get_mut(&msg_id) else {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!("msg {msg_id} delivered without ever being enqueued"),
+            );
+            return;
+        };
+        if info.state != MsgState::InFlight {
+            let state = info.state;
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!("msg {msg_id} delivered while {state:?}"),
+            );
+        }
+        if info.bytes.is_some_and(|b| b != bytes) || info.dst.is_some_and(|d| d != dst) {
+            self.rep.violate(
+                Invariant::ByteConservation,
+                Some(i),
+                t,
+                format!(
+                    "msg {msg_id} delivered as {bytes} bytes to m{dst} but started as {:?} bytes \
+                     to m{:?}",
+                    info.bytes, info.dst
+                ),
+            );
+        }
+        info.state = MsgState::Delivered;
+        let endpoint = info.endpoint;
+        let class = info.class;
+        let key = info.key;
+        let round = info.round;
+        if let Some(t0) = info.open_start.take() {
+            if src != dst {
+                self.attempts.push(Attempt {
+                    src,
+                    dst,
+                    start: t0,
+                    end: t,
+                    bytes,
+                });
+            }
+        }
+        if let Some(n) = self.inflight.get_mut(&endpoint) {
+            *n = n.saturating_sub(1);
+        }
+        self.lane_busy.remove(&(endpoint.0, endpoint.1, dst));
+
+        if is_push_class(class) {
+            // `worker` on the matching AggStart is the pushing machine
+            // (the rack aggregator, for combined pushes).
+            self.delivered_pushes
+                .entry((dst, key, round, src))
+                .or_default()
+                .push(msg_id);
+        }
+        if class == MsgClass::Response && !self.crashed.contains(&dst) {
+            let have = self.received.entry((dst, key)).or_insert(0);
+            *have = (*have).max(round);
+        }
+    }
+
+    fn on_agg_start(
+        &mut self,
+        i: usize,
+        t: u64,
+        server: usize,
+        key: usize,
+        round: u64,
+        worker: usize,
+    ) {
+        if let Some(&(k, r, w)) = self.open_agg.get(&server) {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!(
+                    "server {server} starts aggregating k{key} r{round} while still processing \
+                     k{k} r{r} from w{w} — the processing unit is serial"
+                ),
+            );
+        }
+        let version = self.versions.get(&(server, key)).copied().unwrap_or(0);
+        if round != version {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!(
+                    "server {server} aggregates k{key} at round {round} while the key is at \
+                     version {version}"
+                ),
+            );
+        }
+        let claimed = self
+            .delivered_pushes
+            .get_mut(&(server, key, round, worker))
+            .and_then(|ids| {
+                let pos = ids.iter().position(|id| {
+                    self.msgs
+                        .get(id)
+                        .is_some_and(|m| m.state == MsgState::Delivered)
+                });
+                pos.map(|p| ids.remove(p))
+            });
+        if claimed.is_none() {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!(
+                    "server {server} aggregates k{key} r{round} from w{worker} but no matching \
+                     push was delivered"
+                ),
+            );
+        }
+        self.open_agg.insert(server, (key, round, worker));
+    }
+
+    fn on_round_complete(
+        &mut self,
+        i: usize,
+        t: u64,
+        server: usize,
+        key: usize,
+        version: u64,
+        degraded: bool,
+    ) {
+        let prev = self.versions.get(&(server, key)).copied().unwrap_or(0);
+        if version != prev + 1 {
+            self.rep.violate(
+                Invariant::CausalOrder,
+                Some(i),
+                t,
+                format!(
+                    "server {server} completes k{key} at version {version} after version {prev} \
+                     — versions must advance by exactly one"
+                ),
+            );
+        }
+        self.versions.insert((server, key), version);
+        let members = self
+            .agg_members
+            .remove(&(server, key, version.saturating_sub(1)));
+        if !degraded && self.conservation_enabled() {
+            let machines = self.opts.machines.unwrap_or(0);
+            let unique = members.map(|m| m.len()).unwrap_or(0);
+            if unique != machines {
+                self.rep.violate(
+                    Invariant::ByteConservation,
+                    Some(i),
+                    t,
+                    format!(
+                        "server {server} completes k{key} v{version} with full membership but \
+                         only {unique}/{machines} workers' pushes were aggregated"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn on_fault(&mut self, i: usize, t: u64, kind: FaultKind, machine: usize, msg_id: Option<u64>) {
+        match kind {
+            FaultKind::Loss => {
+                self.msg_transition(i, t, msg_id, MsgState::Delivered, MsgState::Lost, "lost");
+                if let Some(id) = msg_id {
+                    if let Some(info) = self.msgs.get(&id) {
+                        if is_push_class(info.class) {
+                            if let (Some(dst), key, round) = (info.dst, info.key, info.round) {
+                                if let Some(ids) = self.delivered_pushes.get_mut(&(
+                                    dst,
+                                    key,
+                                    round,
+                                    info.endpoint.0,
+                                )) {
+                                    ids.retain(|&x| x != id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            FaultKind::Retransmit => {
+                self.msg_transition(
+                    i,
+                    t,
+                    msg_id,
+                    MsgState::Lost,
+                    MsgState::RetryPending,
+                    "retransmitted",
+                );
+            }
+            FaultKind::GiveUp => {
+                self.msg_transition(i, t, msg_id, MsgState::Lost, MsgState::Dead, "abandoned");
+            }
+            FaultKind::FlowCancelled => {
+                if let Some(id) = msg_id {
+                    if let Some(info) = self.msgs.get_mut(&id) {
+                        if info.state != MsgState::InFlight {
+                            let state = info.state;
+                            self.rep.violate(
+                                Invariant::CausalOrder,
+                                Some(i),
+                                t,
+                                format!("msg {id} cancelled while {state:?} (not in flight)"),
+                            );
+                        }
+                        info.state = MsgState::Dead;
+                        info.open_start = None;
+                        let endpoint = info.endpoint;
+                        let dst = info.dst;
+                        if let Some(n) = self.inflight.get_mut(&endpoint) {
+                            *n = n.saturating_sub(1);
+                        }
+                        if let Some(d) = dst {
+                            self.lane_busy.remove(&(endpoint.0, endpoint.1, d));
+                        }
+                    }
+                }
+            }
+            FaultKind::Crash => {
+                self.crashed.insert(machine);
+                // The dead process's queued (and retry-pending) messages
+                // are destroyed with it; in-flight ones are cancelled by
+                // the FlowCancelled events that follow.
+                let endpoint = (machine, ROLE_WORKER);
+                if let Some(q) = self.queued.get_mut(&endpoint) {
+                    for (id, _) in std::mem::take(q) {
+                        if let Some(info) = self.msgs.get_mut(&id) {
+                            info.state = MsgState::Dead;
+                        }
+                    }
+                }
+                for info in self.msgs.values_mut() {
+                    if info.endpoint == endpoint
+                        && matches!(info.state, MsgState::Lost | MsgState::RetryPending)
+                    {
+                        info.state = MsgState::Dead;
+                    }
+                }
+                let st = self.worker(machine);
+                st.open_compute = None;
+                st.window_valid = false;
+                st.window_start = None;
+                st.compute_ns = 0;
+                st.stall_ns = 0;
+                // An open stall is closed by the StallEnd the crash emits.
+            }
+            FaultKind::Rejoin => {
+                self.crashed.remove(&machine);
+                let st = self.worker(machine);
+                st.window_valid = false;
+                st.window_start = None;
+            }
+            FaultKind::Eviction
+            | FaultKind::DegradedRound
+            | FaultKind::StalePush
+            | FaultKind::DuplicatePush => {}
+        }
+    }
+
+    fn msg_transition(
+        &mut self,
+        i: usize,
+        t: u64,
+        msg_id: Option<u64>,
+        from: MsgState,
+        to: MsgState,
+        what: &str,
+    ) {
+        let Some(id) = msg_id else { return };
+        match self.msgs.get_mut(&id) {
+            Some(info) => {
+                if info.state != from {
+                    let state = info.state;
+                    self.rep.violate(
+                        Invariant::CausalOrder,
+                        Some(i),
+                        t,
+                        format!("msg {id} {what} while {state:?} (expected {from:?})"),
+                    );
+                }
+                info.state = to;
+            }
+            None => {
+                self.rep.violate(
+                    Invariant::CausalOrder,
+                    Some(i),
+                    t,
+                    format!("msg {id} {what} but was never enqueued"),
+                );
+            }
+        }
+    }
+
+    fn finish(mut self, events: usize) -> AuditReport {
+        let mut skipped = Vec::new();
+        match self.opts.port_bytes_per_sec {
+            Some(cap) if cap > 0.0 => self.check_capacity(cap),
+            _ => skipped.push(
+                "capacity-feasibility: no uniform port capacity in the trace metadata \
+                 (topology fabrics carry per-link limits the flat check cannot express)"
+                    .to_string(),
+            ),
+        }
+        if self.opts.single_consumer.is_none() {
+            skipped.push(
+                "priority-inversion / in-flight-window: egress discipline unknown (no metadata)"
+                    .to_string(),
+            );
+        }
+        if !self.conservation_enabled() {
+            skipped.push(if self.rack_seen {
+                "per-round aggregation accounting: rack-local aggregation combines workers"
+                    .to_string()
+            } else {
+                "per-round aggregation accounting: machine count unknown (no metadata)".to_string()
+            });
+        }
+        AuditReport {
+            events,
+            violations: self.rep.violations,
+            suppressed: self.rep.suppressed,
+            skipped,
+        }
+    }
+
+    /// Hall-style feasibility: for any window `[a, b]`, flows fully inside
+    /// it cannot deliver more than `cap * (b - a)` bytes through one port.
+    /// Delivery spans include the propagation latency, which only loosens
+    /// the bound, so a violation is a genuine over-commitment.
+    fn check_capacity(&mut self, cap: f64) {
+        let attempts = std::mem::take(&mut self.attempts);
+        let mut tx: BTreeMap<usize, Vec<Attempt>> = BTreeMap::new();
+        let mut rx: BTreeMap<usize, Vec<Attempt>> = BTreeMap::new();
+        for a in attempts {
+            tx.entry(a.src).or_default().push(a);
+            rx.entry(a.dst).or_default().push(a);
+        }
+        for (port, mut list, dir) in tx
+            .into_iter()
+            .map(|(p, l)| (p, l, "tx"))
+            .chain(rx.into_iter().map(|(p, l)| (p, l, "rx")))
+        {
+            list.sort_by_key(|a| (a.start, a.end));
+            let mut period: Vec<Attempt> = Vec::new();
+            let mut max_end = 0u64;
+            let mut done = false;
+            for a in list.into_iter().chain(std::iter::once(Attempt {
+                src: 0,
+                dst: 0,
+                start: u64::MAX,
+                end: u64::MAX,
+                bytes: 0,
+            })) {
+                if a.start >= max_end && !period.is_empty() {
+                    if self.check_busy_period(cap, port, dir, &period) {
+                        done = true;
+                    }
+                    period.clear();
+                }
+                if done {
+                    break;
+                }
+                if a.start != u64::MAX {
+                    max_end = max_end.max(a.end);
+                    period.push(a);
+                }
+            }
+        }
+    }
+
+    /// Checks one maximal busy period of a port; returns true once a
+    /// violation is recorded (one per port is enough to act on).
+    fn check_busy_period(&mut self, cap: f64, port: usize, dir: &str, period: &[Attempt]) -> bool {
+        let mut by_end: Vec<&Attempt> = period.iter().collect();
+        by_end.sort_by_key(|a| (a.end, a.start));
+        let k = period.len() as u64;
+        let stride = ((k * k) / CAPACITY_WORK_CAP + 1) as usize;
+        for anchor in period.iter().step_by(stride) {
+            let a = anchor.start;
+            let mut sum = 0u64;
+            for iv in &by_end {
+                if iv.start < a || iv.end <= a {
+                    continue;
+                }
+                sum += iv.bytes;
+                let span_secs = (iv.end - a) as f64 / 1e9;
+                if sum as f64 > cap * span_secs * (1.0 + CAPACITY_REL_TOL) + CAPACITY_ABS_SLACK {
+                    self.rep.violate(
+                        Invariant::CapacityFeasibility,
+                        None,
+                        a,
+                        format!(
+                            "port m{port} ({dir}): {sum} bytes delivered in a {:.3}ms window — \
+                             exceeds capacity {:.0} bytes/sec",
+                            (iv.end - a) as f64 / 1e6,
+                            cap
+                        ),
+                    );
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}

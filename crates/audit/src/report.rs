@@ -1,0 +1,192 @@
+//! Audit results: the invariant catalog, violations, and the report.
+
+use std::fmt;
+
+/// The invariant catalog (DESIGN.md §10). Every check the auditor performs
+/// falls under exactly one of these, and a violation names its invariant so
+/// a failing `p3 audit` run is actionable without reading the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Invariant {
+    /// Events are recorded at nondecreasing simulated times: producers
+    /// record at the DES clock, which never runs backwards.
+    MonotoneClock,
+    /// The slice lifecycle is causal: gradient ready → egress enqueue →
+    /// wire start → wire end → aggregate (claiming a delivered push) →
+    /// round complete (versions advance by exactly one) → consumed only
+    /// once the worker holds a sufficient version. Includes the serial
+    /// server processing unit and legal retransmit state transitions.
+    CausalOrder,
+    /// Bytes are conserved: a message's wire size never changes between
+    /// attempts, start and delivery report identical sizes, and under a
+    /// full-membership round every worker's push is aggregated exactly
+    /// once.
+    ByteConservation,
+    /// Flows are feasible: over any window, the bytes delivered through
+    /// one NIC port cannot exceed its effective capacity × window length.
+    CapacityFeasibility,
+    /// Single-consumer egress never inverts priorities: a transfer cannot
+    /// start while a strictly more urgent message sits in the same queue.
+    PriorityInversion,
+    /// Endpoints respect their transmission window: at most `window`
+    /// messages in flight per single-consumer endpoint, at most one per
+    /// FIFO lane.
+    InFlightWindow,
+    /// Worker time is fully accounted: between consecutive iteration
+    /// boundaries, compute + stall exactly tiles the span (a worker is
+    /// never idle for an unexplained reason).
+    StallAccounting,
+}
+
+impl Invariant {
+    /// Stable kebab-case name used in reports and CI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::MonotoneClock => "monotone-clock",
+            Invariant::CausalOrder => "causal-order",
+            Invariant::ByteConservation => "byte-conservation",
+            Invariant::CapacityFeasibility => "capacity-feasibility",
+            Invariant::PriorityInversion => "priority-inversion",
+            Invariant::InFlightWindow => "in-flight-window",
+            Invariant::StallAccounting => "stall-accounting",
+        }
+    }
+
+    /// All catalog entries, in report order.
+    pub const ALL: [Invariant; 7] = [
+        Invariant::MonotoneClock,
+        Invariant::CausalOrder,
+        Invariant::ByteConservation,
+        Invariant::CapacityFeasibility,
+        Invariant::PriorityInversion,
+        Invariant::InFlightWindow,
+        Invariant::StallAccounting,
+    ];
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One invariant violation, anchored to the offending event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which catalog entry was violated.
+    pub invariant: Invariant,
+    /// Index of the offending event in the trace (recording order), when
+    /// the violation is attributable to one event.
+    pub index: Option<usize>,
+    /// Simulated time of the offending event, in nanoseconds.
+    pub at_nanos: u64,
+    /// Human-readable explanation with the entities involved.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(
+                f,
+                "[{}] event #{i} @ {}ns: {}",
+                self.invariant, self.at_nanos, self.message
+            ),
+            None => write!(f, "[{}] {}", self.invariant, self.message),
+        }
+    }
+}
+
+/// Everything one audit pass concluded.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Number of trace events replayed.
+    pub events: usize,
+    /// Violations found, in discovery order (capped per invariant; see
+    /// [`AuditReport::suppressed`]).
+    pub violations: Vec<Violation>,
+    /// Violations beyond the per-invariant reporting cap.
+    pub suppressed: usize,
+    /// Checks that could not run and why (e.g. no capacity metadata).
+    pub skipped: Vec<String>,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Names of the distinct invariants violated, in catalog order.
+    pub fn violated_invariants(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for inv in Invariant::ALL {
+            if self.violations.iter().any(|v| v.invariant == inv) {
+                names.push(inv.name());
+            }
+        }
+        names
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "audit: clean — {} events", self.events)?;
+        } else {
+            write!(
+                f,
+                "audit: FAILED — {} violation(s) in {} events (invariants: {})",
+                self.violations.len() + self.suppressed,
+                self.events,
+                self.violated_invariants().join(", ")
+            )?;
+            for v in &self.violations {
+                write!(f, "\n  {v}")?;
+            }
+            if self.suppressed > 0 {
+                write!(f, "\n  … and {} more", self.suppressed)?;
+            }
+        }
+        for s in &self.skipped {
+            write!(f, "\n  note: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_formats_violations_and_notes() {
+        let mut r = AuditReport {
+            events: 10,
+            ..AuditReport::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.to_string().contains("clean"));
+        r.violations.push(Violation {
+            invariant: Invariant::ByteConservation,
+            index: Some(3),
+            at_nanos: 42,
+            message: "msg 7 shrank".into(),
+        });
+        r.skipped.push("no capacity metadata".into());
+        assert!(!r.is_clean());
+        let s = r.to_string();
+        assert!(s.contains("byte-conservation"), "{s}");
+        assert!(s.contains("event #3"), "{s}");
+        assert!(s.contains("note: no capacity"), "{s}");
+        assert_eq!(r.violated_invariants(), vec!["byte-conservation"]);
+    }
+
+    #[test]
+    fn invariant_names_are_stable() {
+        let names: Vec<&str> = Invariant::ALL.iter().map(|i| i.name()).collect();
+        assert_eq!(names.len(), 7);
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! Negative tests: hand-built valid traces, each mutated to break exactly
+//! one invariant, asserting the auditor flags that invariant and no other.
+//!
+//! This is the auditor's own audit — if a mutation slips through, the
+//! checker is not actually enforcing what it claims.
+
+use p3_audit::{check_with, AuditOptions};
+use p3_des::SimTime;
+use p3_trace::{ComputePhase, EndpointRole, MsgClass, TraceEvent, TraceHandle, TraceLog};
+
+fn build(events: &[(u64, TraceEvent)]) -> TraceLog {
+    let h = TraceHandle::new();
+    for &(t, e) in events {
+        h.record(SimTime::from_nanos(t), e);
+    }
+    h.drain()
+}
+
+fn opts(machines: usize, window: usize) -> AuditOptions {
+    AuditOptions {
+        machines: Some(machines),
+        single_consumer: Some(true),
+        window: Some(window),
+        port_bytes_per_sec: Some(2e11),
+    }
+}
+
+/// A complete, legal round: two workers compute, push key 0 to server 0,
+/// the server aggregates both and answers, both workers consume v1.
+fn base_round() -> Vec<(u64, TraceEvent)> {
+    use ComputePhase::{Backward, Forward};
+    use EndpointRole::{Server, Worker};
+    vec![
+        (
+            0,
+            TraceEvent::ComputeStart {
+                worker: 0,
+                phase: Forward,
+                block: 0,
+            },
+        ),
+        (
+            0,
+            TraceEvent::ComputeStart {
+                worker: 1,
+                phase: Forward,
+                block: 0,
+            },
+        ),
+        (
+            10_000,
+            TraceEvent::ComputeEnd {
+                worker: 0,
+                phase: Forward,
+                block: 0,
+            },
+        ),
+        (
+            10_000,
+            TraceEvent::ComputeStart {
+                worker: 0,
+                phase: Backward,
+                block: 0,
+            },
+        ),
+        (
+            10_000,
+            TraceEvent::ComputeEnd {
+                worker: 1,
+                phase: Forward,
+                block: 0,
+            },
+        ),
+        (
+            10_000,
+            TraceEvent::ComputeStart {
+                worker: 1,
+                phase: Backward,
+                block: 0,
+            },
+        ),
+        (
+            20_000,
+            TraceEvent::ComputeEnd {
+                worker: 0,
+                phase: Backward,
+                block: 0,
+            },
+        ),
+        (
+            20_000,
+            TraceEvent::GradReady {
+                worker: 0,
+                key: 0,
+                round: 0,
+                priority: 0,
+            },
+        ),
+        (
+            20_000,
+            TraceEvent::EgressEnqueue {
+                machine: 0,
+                role: Worker,
+                msg_id: 0,
+                class: MsgClass::Push,
+                key: 0,
+                round: 0,
+                priority: 0,
+                queue_depth: 1,
+            },
+        ),
+        (
+            20_000,
+            TraceEvent::WireStart {
+                msg_id: 0,
+                src: 0,
+                dst: 0,
+                bytes: 1_000_000,
+                priority: 0,
+            },
+        ),
+        (20_000, TraceEvent::IterationEnd { worker: 0, iter: 1 }),
+        (
+            21_000,
+            TraceEvent::WireEnd {
+                msg_id: 0,
+                src: 0,
+                dst: 0,
+                bytes: 1_000_000,
+                bottleneck: None,
+            },
+        ),
+        (
+            21_000,
+            TraceEvent::AggStart {
+                server: 0,
+                key: 0,
+                round: 0,
+                worker: 0,
+            },
+        ),
+        (
+            22_000,
+            TraceEvent::ComputeEnd {
+                worker: 1,
+                phase: Backward,
+                block: 0,
+            },
+        ),
+        (
+            22_000,
+            TraceEvent::GradReady {
+                worker: 1,
+                key: 0,
+                round: 0,
+                priority: 0,
+            },
+        ),
+        (
+            22_000,
+            TraceEvent::EgressEnqueue {
+                machine: 1,
+                role: Worker,
+                msg_id: 1,
+                class: MsgClass::Push,
+                key: 0,
+                round: 0,
+                priority: 0,
+                queue_depth: 1,
+            },
+        ),
+        (
+            22_000,
+            TraceEvent::WireStart {
+                msg_id: 1,
+                src: 1,
+                dst: 0,
+                bytes: 1_000_000,
+                priority: 0,
+            },
+        ),
+        (22_000, TraceEvent::IterationEnd { worker: 1, iter: 1 }),
+        (
+            25_000,
+            TraceEvent::AggEnd {
+                server: 0,
+                key: 0,
+                round: 0,
+                worker: 0,
+            },
+        ),
+        (
+            30_000,
+            TraceEvent::WireEnd {
+                msg_id: 1,
+                src: 1,
+                dst: 0,
+                bytes: 1_000_000,
+                bottleneck: None,
+            },
+        ),
+        (
+            30_000,
+            TraceEvent::AggStart {
+                server: 0,
+                key: 0,
+                round: 0,
+                worker: 1,
+            },
+        ),
+        (
+            34_000,
+            TraceEvent::AggEnd {
+                server: 0,
+                key: 0,
+                round: 0,
+                worker: 1,
+            },
+        ),
+        (
+            34_000,
+            TraceEvent::RoundComplete {
+                server: 0,
+                key: 0,
+                version: 1,
+                degraded: false,
+            },
+        ),
+        (
+            34_000,
+            TraceEvent::EgressEnqueue {
+                machine: 0,
+                role: Server,
+                msg_id: 2,
+                class: MsgClass::Response,
+                key: 0,
+                round: 1,
+                priority: 0,
+                queue_depth: 1,
+            },
+        ),
+        (
+            34_000,
+            TraceEvent::WireStart {
+                msg_id: 2,
+                src: 0,
+                dst: 0,
+                bytes: 2_000_000,
+                priority: 0,
+            },
+        ),
+        (
+            34_000,
+            TraceEvent::EgressEnqueue {
+                machine: 0,
+                role: Server,
+                msg_id: 3,
+                class: MsgClass::Response,
+                key: 0,
+                round: 1,
+                priority: 0,
+                queue_depth: 1,
+            },
+        ),
+        (
+            35_000,
+            TraceEvent::WireEnd {
+                msg_id: 2,
+                src: 0,
+                dst: 0,
+                bytes: 2_000_000,
+                bottleneck: None,
+            },
+        ),
+        (
+            35_000,
+            TraceEvent::WireStart {
+                msg_id: 3,
+                src: 0,
+                dst: 1,
+                bytes: 2_000_000,
+                priority: 0,
+            },
+        ),
+        (
+            46_000,
+            TraceEvent::WireEnd {
+                msg_id: 3,
+                src: 0,
+                dst: 1,
+                bytes: 2_000_000,
+                bottleneck: None,
+            },
+        ),
+        (
+            46_000,
+            TraceEvent::SliceConsumed {
+                worker: 0,
+                key: 0,
+                round: 1,
+            },
+        ),
+        (
+            46_000,
+            TraceEvent::SliceConsumed {
+                worker: 1,
+                key: 0,
+                round: 1,
+            },
+        ),
+    ]
+}
+
+fn assert_only(log: &TraceLog, o: &AuditOptions, invariant: &str) {
+    let report = check_with(log, o);
+    assert!(
+        !report.is_clean(),
+        "mutation for {invariant} was not caught"
+    );
+    assert_eq!(
+        report.violated_invariants(),
+        vec![invariant],
+        "expected only {invariant}, got:\n{report}"
+    );
+}
+
+#[test]
+fn base_round_is_clean() {
+    let report = check_with(&build(&base_round()), &opts(2, 2));
+    assert!(report.is_clean(), "valid trace flagged:\n{report}");
+    assert_eq!(report.events, base_round().len());
+}
+
+#[test]
+fn base_round_without_metadata_is_clean_with_notes() {
+    let report = p3_audit::check(&build(&base_round()));
+    assert!(report.is_clean(), "valid trace flagged:\n{report}");
+    assert!(!report.skipped.is_empty(), "gated checks should be noted");
+}
+
+#[test]
+fn clock_regression_is_monotone_violation() {
+    let mut evs = base_round();
+    // The first WireEnd recorded at 19µs after the 20µs events around it.
+    let idx = evs
+        .iter()
+        .position(|(_, e)| matches!(e, TraceEvent::WireEnd { msg_id: 0, .. }))
+        .unwrap();
+    evs[idx].0 = 19_000;
+    // Keep the paired AggStart legal relative to the new delivery time.
+    assert_only(&build(&evs), &opts(2, 2), "monotone-clock");
+}
+
+#[test]
+fn swapped_wire_events_are_causal_violation() {
+    let mut evs = base_round();
+    let start = evs
+        .iter()
+        .position(|(_, e)| matches!(e, TraceEvent::WireStart { msg_id: 1, .. }))
+        .unwrap();
+    let end = evs
+        .iter()
+        .position(|(_, e)| matches!(e, TraceEvent::WireEnd { msg_id: 1, .. }))
+        .unwrap();
+    // Deliver msg 1 before it ever started transmitting.
+    let (t_start, t_end) = (evs[start].0, evs[end].0);
+    evs.swap(start, end);
+    evs[start].0 = t_start;
+    evs[end].0 = t_end;
+    assert_only(&build(&evs), &opts(2, 2), "causal-order");
+}
+
+#[test]
+fn inflated_byte_count_is_conservation_violation() {
+    let mut evs = base_round();
+    for (_, e) in &mut evs {
+        if let TraceEvent::WireEnd {
+            msg_id: 1, bytes, ..
+        } = e
+        {
+            *bytes += 500_000;
+        }
+    }
+    assert_only(&build(&evs), &opts(2, 2), "byte-conservation");
+}
+
+#[test]
+fn missing_aggregation_is_conservation_violation() {
+    // Drop worker 1's aggregation but still complete the round at full
+    // membership: the server claims a gradient it never folded in.
+    let evs: Vec<_> = base_round()
+        .into_iter()
+        .filter(|(_, e)| {
+            !matches!(
+                e,
+                TraceEvent::AggStart { worker: 1, .. } | TraceEvent::AggEnd { worker: 1, .. }
+            )
+        })
+        .collect();
+    assert_only(&build(&evs), &opts(2, 2), "byte-conservation");
+}
+
+#[test]
+fn stretched_iteration_is_stall_accounting_violation() {
+    let mut evs = base_round();
+    // Worker 0's iteration boundary drifts 1µs past its accounted time.
+    let idx = evs
+        .iter()
+        .position(|(_, e)| matches!(e, TraceEvent::IterationEnd { worker: 0, .. }))
+        .unwrap();
+    evs[idx].0 = 21_000;
+    assert_only(&build(&evs), &opts(2, 2), "stall-accounting");
+}
+
+/// A worker with three ready gradients for distinct keys, draining its
+/// queue one message at a time in priority order.
+fn priority_drain(order: &[u64]) -> Vec<(u64, TraceEvent)> {
+    use EndpointRole::Worker;
+    // msg 0 -> key 0 priority 5, msg 1 -> key 1 priority 1, msg 2 -> key 2
+    // priority 3. Strict priority drains 1, 2, 0.
+    let prio = [5u32, 1, 3];
+    let mut evs = vec![
+        (
+            0,
+            TraceEvent::GradReady {
+                worker: 0,
+                key: 0,
+                round: 0,
+                priority: 5,
+            },
+        ),
+        (
+            0,
+            TraceEvent::GradReady {
+                worker: 0,
+                key: 1,
+                round: 0,
+                priority: 1,
+            },
+        ),
+        (
+            0,
+            TraceEvent::GradReady {
+                worker: 0,
+                key: 2,
+                round: 0,
+                priority: 3,
+            },
+        ),
+    ];
+    for id in 0..3u64 {
+        evs.push((
+            0,
+            TraceEvent::EgressEnqueue {
+                machine: 0,
+                role: Worker,
+                msg_id: id,
+                class: MsgClass::Push,
+                key: id as usize,
+                round: 0,
+                priority: prio[id as usize],
+                queue_depth: id as usize + 1,
+            },
+        ));
+    }
+    let mut t = 1_000;
+    for &id in order {
+        evs.push((
+            t,
+            TraceEvent::WireStart {
+                msg_id: id,
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                priority: prio[id as usize],
+            },
+        ));
+        evs.push((
+            t + 8_000,
+            TraceEvent::WireEnd {
+                msg_id: id,
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                bottleneck: None,
+            },
+        ));
+        t += 10_000;
+    }
+    evs
+}
+
+#[test]
+fn priority_order_drain_is_clean() {
+    let report = check_with(&build(&priority_drain(&[1, 2, 0])), &opts(2, 1));
+    assert!(
+        report.is_clean(),
+        "strict-priority drain flagged:\n{report}"
+    );
+}
+
+#[test]
+fn reordered_drain_is_priority_inversion() {
+    // Least-urgent message 0 jumps the queue ahead of messages 1 and 2.
+    assert_only(
+        &build(&priority_drain(&[0, 1, 2])),
+        &opts(2, 1),
+        "priority-inversion",
+    );
+}
+
+#[test]
+fn window_overrun_is_inflight_violation() {
+    use EndpointRole::Worker;
+    // Three equal-priority pushes all on the wire at once under window 2.
+    let mut evs = vec![
+        (
+            0,
+            TraceEvent::GradReady {
+                worker: 0,
+                key: 0,
+                round: 0,
+                priority: 0,
+            },
+        ),
+        (
+            0,
+            TraceEvent::GradReady {
+                worker: 0,
+                key: 1,
+                round: 0,
+                priority: 0,
+            },
+        ),
+        (
+            0,
+            TraceEvent::GradReady {
+                worker: 0,
+                key: 2,
+                round: 0,
+                priority: 0,
+            },
+        ),
+    ];
+    for id in 0..3u64 {
+        evs.push((
+            0,
+            TraceEvent::EgressEnqueue {
+                machine: 0,
+                role: Worker,
+                msg_id: id,
+                class: MsgClass::Push,
+                key: id as usize,
+                round: 0,
+                priority: 0,
+                queue_depth: id as usize + 1,
+            },
+        ));
+    }
+    for id in 0..3u64 {
+        evs.push((
+            1_000,
+            TraceEvent::WireStart {
+                msg_id: id,
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                priority: 0,
+            },
+        ));
+    }
+    for id in 0..3u64 {
+        evs.push((
+            40_000 + id,
+            TraceEvent::WireEnd {
+                msg_id: id,
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                bottleneck: None,
+            },
+        ));
+    }
+    assert_only(&build(&evs), &opts(2, 2), "in-flight-window");
+}
+
+#[test]
+fn overcommitted_port_is_capacity_violation() {
+    use EndpointRole::Worker;
+    // Four 1MB transfers leave machine 0's port in the same 8µs window:
+    // 4MB / 8µs = 5e11 B/s against a 2e11 B/s port. Each flow alone fits.
+    let mut evs = Vec::new();
+    for id in 0..4u64 {
+        evs.push((
+            0,
+            TraceEvent::GradReady {
+                worker: 0,
+                key: id as usize,
+                round: 0,
+                priority: 0,
+            },
+        ));
+        evs.push((
+            0,
+            TraceEvent::EgressEnqueue {
+                machine: 0,
+                role: Worker,
+                msg_id: id,
+                class: MsgClass::Push,
+                key: id as usize,
+                round: 0,
+                priority: 0,
+                queue_depth: id as usize + 1,
+            },
+        ));
+    }
+    for id in 0..4u64 {
+        evs.push((
+            1_000,
+            TraceEvent::WireStart {
+                msg_id: id,
+                src: 0,
+                dst: 1 + id as usize,
+                bytes: 1_000_000,
+                priority: 0,
+            },
+        ));
+    }
+    for id in 0..4u64 {
+        evs.push((
+            9_000,
+            TraceEvent::WireEnd {
+                msg_id: id,
+                src: 0,
+                dst: 1 + id as usize,
+                bytes: 1_000_000,
+                bottleneck: None,
+            },
+        ));
+    }
+    let o = AuditOptions {
+        machines: Some(5),
+        single_consumer: Some(true),
+        window: Some(5),
+        port_bytes_per_sec: Some(2e11),
+    };
+    assert_only(&build(&evs), &o, "capacity-feasibility");
+    // The same schedule on a fat enough port is clean.
+    let fat = AuditOptions {
+        port_bytes_per_sec: Some(6e11),
+        ..o
+    };
+    assert!(check_with(&build(&evs), &fat).is_clean());
+}
+
+#[test]
+fn phantom_aggregation_is_causal_violation() {
+    // An AggStart for a worker whose push never arrived.
+    let mut evs = base_round();
+    for (_, e) in &mut evs {
+        if let TraceEvent::AggStart { worker, .. } = e {
+            if *worker == 1 {
+                *worker = 0; // claims worker 0's push twice
+            }
+        }
+        if let TraceEvent::AggEnd { worker, .. } = e {
+            if *worker == 1 {
+                *worker = 0;
+            }
+        }
+    }
+    // Double-claiming w0 leaves w1's gradient out of the full-membership
+    // round as well, so both the claim and the membership check fire.
+    let report = check_with(&build(&evs), &opts(2, 2));
+    assert!(!report.is_clean());
+    assert!(
+        report.violated_invariants().contains(&"causal-order"),
+        "{report}"
+    );
+}
+
+#[test]
+fn skipped_version_is_causal_violation() {
+    let mut evs = base_round();
+    for (_, e) in &mut evs {
+        if let TraceEvent::RoundComplete { version, .. } = e {
+            *version = 2; // versions must advance by exactly one
+        }
+    }
+    // Downstream responses/consumes reference v1 which now never existed;
+    // the version jump itself must be among the causal findings.
+    let report = check_with(&build(&evs), &opts(2, 2));
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("advance by exactly one")),
+        "{report}"
+    );
+}
+
+#[test]
+fn premature_consume_is_causal_violation() {
+    // Worker 1 consumes version 1 before its response is delivered.
+    let mut evs = base_round();
+    let end = evs
+        .iter()
+        .position(|(_, e)| matches!(e, TraceEvent::WireEnd { msg_id: 3, .. }))
+        .unwrap();
+    evs.insert(
+        end,
+        (
+            40_000,
+            TraceEvent::SliceConsumed {
+                worker: 1,
+                key: 0,
+                round: 1,
+            },
+        ),
+    );
+    assert_only(&build(&evs), &opts(2, 2), "causal-order");
+}
+
+#[test]
+fn queue_depth_lie_is_causal_violation() {
+    let mut evs = base_round();
+    for (_, e) in &mut evs {
+        if let TraceEvent::EgressEnqueue {
+            msg_id: 1,
+            queue_depth,
+            ..
+        } = e
+        {
+            *queue_depth = 7;
+        }
+    }
+    assert_only(&build(&evs), &opts(2, 2), "causal-order");
+}

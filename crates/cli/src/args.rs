@@ -1,17 +1,20 @@
 //! Dependency-free command-line argument parsing.
 //!
-//! Grammar: `p3 <command> [--flag value]... [--switch]...`. Flags are
-//! `--name value` pairs; a flag followed by another flag (or nothing) is a
-//! boolean switch.
+//! Grammar: `p3 <command> [positional]... [--flag value]... [--switch]...`.
+//! Flags are `--name value` pairs; a flag followed by another flag (or
+//! nothing) is a boolean switch. Bare tokens after the command are
+//! collected as positionals; commands that take none reject them at
+//! dispatch with [`ArgError::UnexpectedPositional`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed command line: the command word plus flag map.
+/// Parsed command line: the command word, positionals, and flag map.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     command: String,
-    flags: HashMap<String, String>,
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
 }
 
 /// Argument errors, printable as user-facing messages.
@@ -58,30 +61,53 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] on an empty command line or stray positionals.
+    /// Returns [`ArgError`] on an empty command line.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
         let mut it = tokens.into_iter().peekable();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
         if command.starts_with("--") {
             return Err(ArgError::UnexpectedPositional(command));
         }
-        let mut flags = HashMap::new();
+        let mut positionals = Vec::new();
+        let mut flags = BTreeMap::new();
         while let Some(tok) = it.next() {
             let Some(name) = tok.strip_prefix("--") else {
-                return Err(ArgError::UnexpectedPositional(tok));
+                positionals.push(tok);
+                continue;
             };
-            let value = match it.peek() {
-                Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
-                _ => String::from("true"), // boolean switch
+            let value = match it.next_if(|v| !v.starts_with("--")) {
+                Some(v) => v,
+                None => String::from("true"), // boolean switch
             };
             flags.insert(name.to_string(), value);
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            positionals,
+            flags,
+        })
     }
 
     /// The command word.
     pub fn command(&self) -> &str {
         &self.command
+    }
+
+    /// Bare (non-flag) tokens after the command, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Fails if any positional was given — for commands that take none.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::UnexpectedPositional`] naming the first stray token.
+    pub fn reject_positionals(&self) -> Result<(), ArgError> {
+        match self.positionals.first() {
+            Some(tok) => Err(ArgError::UnexpectedPositional(tok.clone())),
+            None => Ok(()),
+        }
     }
 
     /// Raw flag value, if present.
@@ -179,10 +205,28 @@ mod tests {
     }
 
     #[test]
+    fn positionals_are_collected_and_rejectable() {
+        let a = parse("audit run.json --strict").unwrap();
+        assert_eq!(a.positionals(), ["run.json"]);
+        assert!(a.switch("strict"));
+        assert!(matches!(
+            a.reject_positionals().unwrap_err(),
+            ArgError::UnexpectedPositional(t) if t == "run.json"
+        ));
+        assert!(parse("simulate --model vgg19")
+            .unwrap()
+            .reject_positionals()
+            .is_ok());
+    }
+
+    #[test]
     fn errors_are_descriptive() {
         assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
         assert!(matches!(
-            parse("sim stray").unwrap_err(),
+            parse("sim stray")
+                .unwrap()
+                .reject_positionals()
+                .unwrap_err(),
             ArgError::UnexpectedPositional(_)
         ));
         let a = parse("x --gbps abc").unwrap();

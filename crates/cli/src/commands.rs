@@ -14,7 +14,7 @@ use p3_models::ModelSpec;
 use p3_net::Bandwidth;
 use p3_tensor::{gaussian_blobs, spirals};
 use p3_topo::{Placement, Topology};
-use p3_trace::{chrome_trace_json, MetricsRegistry};
+use p3_trace::{export_trace_json, import_trace_json, MetricsRegistry};
 use p3_train::{train_async, train_sync, SyncMode, TrainConfig};
 use std::fmt::Write as _;
 
@@ -38,6 +38,9 @@ pub enum CliError {
     Sim(String),
     /// Writing an output file (trace/metrics export) failed.
     Io(String),
+    /// A trace audit found invariant violations; the string is the full
+    /// report.
+    Audit(String),
 }
 
 impl fmt::Display for CliError {
@@ -56,6 +59,7 @@ impl fmt::Display for CliError {
             }
             CliError::Sim(why) => write!(f, "{why}"),
             CliError::Io(why) => write!(f, "{why}"),
+            CliError::Audit(report) => write!(f, "{report}"),
         }
     }
 }
@@ -247,6 +251,10 @@ fn resolve_machines(
 /// Returns a [`CliError`] for unknown commands, unknown names or malformed
 /// flags.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    // Only `audit` takes a positional (the trace file).
+    if args.command() != "audit" {
+        args.reject_positionals()?;
+    }
     match args.command() {
         "help" | "-h" | "--help" => Ok(help()),
         "models" => Ok(models_table()),
@@ -256,6 +264,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "sweep" => sweep(args),
         "allreduce" => allreduce(args),
         "train" => train(args),
+        "audit" => audit(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -280,6 +289,8 @@ COMMANDS:
   allreduce   Collective-aggregation run   --model M [--gbps G] [--layerwise] [--fifo]
   train       Real data-parallel training  [--mode full|dgc|qsgd|terngrad|onebit|asgd]
                                            [--dataset spirals|blobs] [--epochs N]
+  audit       Check a trace file against   p3 audit FILE
+              the invariant catalog        (FILE from `p3 simulate --trace-out`)
   help        This text
 
 FAULT FLAGS (simulate, sweep):
@@ -299,8 +310,11 @@ ITERATION FLAGS (simulate, sweep):
   --seed N                        simulation seed (sweep default: 42)
 
 TRACE FLAGS (simulate):
-  --trace-out FILE                write a Chrome trace-event JSON (Perfetto-loadable)
+  --trace-out FILE                write the event trace as JSON: Perfetto-loadable
+                                  and auditable with `p3 audit FILE`
   --metrics-out FILE              write the derived metrics registry as JSON
+  --audit                         replay the run's trace through the invariant
+                                  catalog (DESIGN.md §10); violations fail the run
 "
     .to_string()
 }
@@ -321,8 +335,10 @@ fn models_table() -> String {
         ModelSpec::alexnet(),
         ModelSpec::transformer(),
     ] {
-        let heaviest =
-            m.heaviest_array().expect("params").params as f64 / m.total_params() as f64 * 100.0;
+        let Some(h) = m.heaviest_array() else {
+            continue; // zoo models all have parameters
+        };
+        let heaviest = h.params as f64 / m.total_params() as f64 * 100.0;
         let _ = writeln!(
             out,
             "{:<14} {:>10.2} {:>8} {:>13.1}% {:>10}",
@@ -351,14 +367,20 @@ fn plan(args: &Args) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "  keys:          {}", plan.num_keys());
     let _ = writeln!(out, "  total params:  {}", plan.total_params());
-    let max = *loads.iter().max().expect("servers") as f64;
-    let min = *loads.iter().min().expect("servers") as f64;
+    let empty = || CliError::Sim(format!("{} produced an empty shard plan", model.name()));
+    let max = *loads.iter().max().ok_or_else(empty)? as f64;
+    let min = *loads.iter().min().ok_or_else(empty)? as f64;
     let _ = writeln!(
         out,
         "  server loads:  {loads:?}  (imbalance {:.3}x)",
         max / min.max(1.0)
     );
-    let biggest = plan.slices().iter().map(|s| s.params).max().expect("keys");
+    let biggest = plan
+        .slices()
+        .iter()
+        .map(|s| s.params)
+        .max()
+        .ok_or_else(empty)?;
     let _ = writeln!(out, "  largest slice: {biggest} params");
     Ok(out)
 }
@@ -380,6 +402,7 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     let faulty = !plan.is_empty();
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
+    let audited = args.switch("audit");
     let mut cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
         .with_iters(warmup, measure)
         .with_seed(seed)
@@ -391,9 +414,14 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     if trace_out.is_some() || metrics_out.is_some() {
         cfg = cfg.with_slice_trace();
     }
-    let (r, log) = ClusterSim::new(cfg)
-        .try_run_traced()
-        .map_err(|e| CliError::Sim(e.to_string()))?;
+    if audited {
+        cfg = cfg.with_audit();
+    }
+    let meta = cfg.trace_meta();
+    let (r, log) = ClusterSim::new(cfg).try_run_traced().map_err(|e| match e {
+        p3_cluster::RunError::AuditFailed(report) => CliError::Audit(report),
+        other => CliError::Sim(other.to_string()),
+    })?;
     let mut out = format!(
         "throughput: {:.1} {}/sec  |  mean iteration: {}  |  stall fraction: {:.2}\n",
         r.throughput, r.unit, r.mean_iteration, r.mean_stall_fraction
@@ -422,9 +450,12 @@ fn simulate(args: &Args) -> Result<String, CliError> {
             );
         }
     }
+    if audited {
+        let _ = writeln!(out, "audit: clean (invariant catalog, DESIGN.md §10)");
+    }
     if let Some(log) = &log {
         if let Some(path) = &trace_out {
-            std::fs::write(path, chrome_trace_json(log, machines))
+            std::fs::write(path, export_trace_json(log, &meta))
                 .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
             let _ = writeln!(out, "chrome trace written: {path}");
         }
@@ -474,8 +505,37 @@ fn timeline(args: &Args) -> Result<String, CliError> {
     let (_, log) = ClusterSim::new(cfg)
         .try_run_traced()
         .map_err(|e| CliError::Sim(e.to_string()))?;
-    let log = log.expect("tracing was enabled");
+    let log = log.ok_or_else(|| CliError::Sim("traced run produced no event log".into()))?;
     Ok(p3_cluster::ascii_timeline(&log, machines, iters, width))
+}
+
+/// Replays an exported trace file through the invariant catalog
+/// (`p3-audit`). Accepts the spliced JSON written by
+/// `p3 simulate --trace-out`; configuration-gated checks use the embedded
+/// metadata. Violations exit non-zero with the full report.
+fn audit(args: &Args) -> Result<String, CliError> {
+    let path = match args.positionals() {
+        [p] => p.as_str(),
+        [] => args.require("file")?,
+        [_, extra, ..] => {
+            return Err(CliError::Args(ArgError::UnexpectedPositional(
+                extra.clone(),
+            )))
+        }
+    };
+    let doc = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let (log, meta) = import_trace_json(&doc).map_err(|why| {
+        CliError::Io(format!(
+            "{path}: {why} (expected a trace written by `p3 simulate --trace-out`)"
+        ))
+    })?;
+    let opts = p3_audit::AuditOptions::from_meta(&meta);
+    let report = p3_audit::check_with(&log, &opts);
+    if report.is_clean() {
+        Ok(format!("{path}: {report}\n"))
+    } else {
+        Err(CliError::Audit(format!("{path}: {report}")))
+    }
 }
 
 fn sweep(args: &Args) -> Result<String, CliError> {

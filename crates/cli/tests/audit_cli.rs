@@ -1,0 +1,100 @@
+//! End-to-end coverage for `p3 audit`: clean traces pass, each mutated
+//! fixture fails naming exactly the invariant it breaks, and the
+//! `--audit` simulate flag runs the checker inline.
+
+use std::path::{Path, PathBuf};
+
+use p3_cli::{dispatch, Args, CliError};
+
+fn run(line: &str) -> Result<String, CliError> {
+    let args = Args::parse(line.split_whitespace().map(String::from)).expect("parse");
+    dispatch(&args)
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/audit")
+        .join(name)
+}
+
+fn audit_fixture(name: &str) -> Result<String, CliError> {
+    run(&format!("audit {}", fixture(name).display()))
+}
+
+#[test]
+fn clean_fixture_audits_clean() {
+    let out = audit_fixture("clean_round.json").expect("clean trace must audit clean");
+    assert!(out.contains("audit: clean"), "{out}");
+}
+
+#[test]
+fn mutated_fixtures_name_their_invariant() {
+    // One checked-in trace per invariant in the catalog; `p3 audit` must
+    // reject each one and say which invariant broke.
+    let cases = [
+        ("monotone_clock.json", "monotone-clock"),
+        ("causal_order.json", "causal-order"),
+        ("byte_conservation.json", "byte-conservation"),
+        ("capacity_feasibility.json", "capacity-feasibility"),
+        ("priority_inversion.json", "priority-inversion"),
+        ("in_flight_window.json", "in-flight-window"),
+        ("stall_accounting.json", "stall-accounting"),
+    ];
+    for (file, invariant) in cases {
+        match audit_fixture(file) {
+            Err(CliError::Audit(report)) => assert!(
+                report.contains(invariant),
+                "{file}: report does not name {invariant}:\n{report}"
+            ),
+            other => panic!("{file}: expected an audit failure, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn audit_accepts_file_flag_form() {
+    let out = run(&format!(
+        "audit --file {}",
+        fixture("clean_round.json").display()
+    ))
+    .unwrap();
+    assert!(out.contains("audit: clean"), "{out}");
+}
+
+#[test]
+fn audit_rejects_missing_and_non_trace_files() {
+    let err = run("audit /nonexistent/trace.json").unwrap_err();
+    assert!(matches!(err, CliError::Io(_)), "{err:?}");
+
+    let garbage = std::env::temp_dir().join(format!("p3-garbage-{}.json", std::process::id()));
+    std::fs::write(&garbage, "{\"traceEvents\": []}").unwrap();
+    let err = run(&format!("audit {}", garbage.display())).unwrap_err();
+    let _ = std::fs::remove_file(&garbage);
+    let msg = err.to_string();
+    assert!(msg.contains("p3 simulate --trace-out"), "{msg}");
+}
+
+#[test]
+fn simulated_trace_round_trips_through_audit() {
+    let trace = std::env::temp_dir().join(format!("p3-audit-e2e-{}.json", std::process::id()));
+    run(&format!(
+        "simulate --model resnet50 --strategy p3 --machines 2 --gbps 20 --iters 2 \
+         --trace-out {}",
+        trace.display()
+    ))
+    .expect("simulate");
+    let out = run(&format!("audit {}", trace.display()));
+    let _ = std::fs::remove_file(&trace);
+    let out = out.expect("simulator trace must satisfy the invariant catalog");
+    assert!(out.contains("audit: clean"), "{out}");
+}
+
+#[test]
+fn simulate_audit_flag_checks_inline() {
+    let out = run(
+        "simulate --model resnet50 --strategy p3 --machines 2 --gbps 20 --iters 2 \
+                   --audit",
+    )
+    .expect("audited run");
+    assert!(out.contains("audit: clean"), "{out}");
+}

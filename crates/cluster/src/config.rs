@@ -53,6 +53,12 @@ pub struct ClusterConfig {
     /// recording draws no randomness and schedules nothing, so results are
     /// bit-identical either way.
     pub slice_trace: bool,
+    /// Audit the recorded event trace against the invariant catalog
+    /// (`p3-audit`, DESIGN.md §10) when the run finishes; a violation turns
+    /// the run into [`RunError::AuditFailed`]. Implies nothing by itself —
+    /// enable tracing too, or use [`ClusterConfig::with_audit`] which sets
+    /// both.
+    pub audit: bool,
     /// Maximum random offset of worker start times (cluster skew).
     pub start_stagger: SimDuration,
     /// Fraction of nominal NIC bandwidth usable as goodput (tc shaping,
@@ -147,6 +153,7 @@ impl ClusterConfig {
             latency: SimDuration::from_micros(50),
             trace_bin: None,
             slice_trace: false,
+            audit: false,
             start_stagger: SimDuration::from_millis(2),
             net_efficiency: 0.25,
             flow_cap: 120e6,
@@ -200,6 +207,39 @@ impl ClusterConfig {
     pub fn with_slice_trace(mut self) -> Self {
         self.slice_trace = true;
         self
+    }
+
+    /// Enables the inline trace audit: the run records the slice-lifecycle
+    /// trace and, on completion, replays it through `p3-audit`'s invariant
+    /// catalog. Any violation fails the run with
+    /// [`RunError::AuditFailed`].
+    pub fn with_audit(mut self) -> Self {
+        self.slice_trace = true;
+        self.audit = true;
+        self
+    }
+
+    /// The audit-relevant facts of this configuration, for embedding in an
+    /// exported trace (`p3_trace::export_trace_json`) so `p3 audit` can run
+    /// the configuration-gated checks offline.
+    pub fn trace_meta(&self) -> p3_trace::TraceMeta {
+        p3_trace::TraceMeta {
+            machines: self.machines,
+            single_consumer: Some(matches!(
+                self.strategy.egress,
+                p3_core::Egress::SingleConsumer
+            )),
+            window: Some(self.machines),
+            // Uniform per-port capacity only exists on the flat fabric;
+            // topology runs bound flows per link, which the flat check
+            // cannot express.
+            port_bytes_per_sec: self
+                .topology
+                .is_none()
+                .then(|| self.bandwidth.bytes_per_sec() * self.net_efficiency),
+            strategy: Some(self.strategy.name().to_string()),
+            model: Some(self.model.name().to_string()),
+        }
     }
 
     /// Installs a fault-injection plan (validated when the run starts).
@@ -306,6 +346,10 @@ pub enum RunError {
     /// The configuration is self-contradictory (e.g. a fault plan naming a
     /// machine that does not exist).
     InvalidConfig(String),
+    /// The run finished but its event trace violated the invariant catalog
+    /// (only with [`ClusterConfig::with_audit`]); the string is the full
+    /// audit report.
+    AuditFailed(String),
 }
 
 impl std::fmt::Display for RunError {
@@ -321,6 +365,9 @@ impl std::fmt::Display for RunError {
                 write!(f, "event cap {cap} exceeded — wedged simulation")
             }
             RunError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            RunError::AuditFailed(report) => {
+                write!(f, "trace audit failed:\n{report}")
+            }
         }
     }
 }

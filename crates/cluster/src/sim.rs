@@ -25,7 +25,7 @@ use p3_topo::Placement;
 use p3_trace::{
     ComputePhase, EndpointRole, FaultKind, MsgClass, TraceEvent, TraceHandle, TraceLog,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hard cap on processed events — a run that exceeds it is wedged.
 const EVENT_CAP: u64 = 500_000_000;
@@ -293,8 +293,8 @@ pub struct ClusterSim {
     block_times: Vec<BlockTiming>,
     /// Key indices per compute block, in block order.
     keys_of_block: Vec<Vec<usize>>,
-    msgs: HashMap<u64, MsgCtx>,
-    flows: HashMap<FlowId, u64>,
+    msgs: BTreeMap<u64, MsgCtx>,
+    flows: BTreeMap<FlowId, u64>,
     next_msg_id: u64,
     next_wake: Option<SimTime>,
     /// Per-(machine, role) earliest next admission instant for
@@ -320,7 +320,7 @@ pub struct ClusterSim {
     tracer: Option<TraceHandle>,
     /// Partial-sum state of rack-local aggregation: (aggregator machine,
     /// key, round) → mask of rack members whose gradient has arrived.
-    rack_agg: HashMap<(usize, usize, u64), u128>,
+    rack_agg: BTreeMap<(usize, usize, u64), u128>,
     /// A configuration contradiction detected during construction,
     /// surfaced as [`RunError::InvalidConfig`] when the run starts
     /// (construction itself is infallible).
@@ -442,8 +442,8 @@ impl ClusterSim {
             prio,
             block_times,
             keys_of_block,
-            msgs: HashMap::new(),
-            flows: HashMap::new(),
+            msgs: BTreeMap::new(),
+            flows: BTreeMap::new(),
             next_msg_id: 0,
             next_wake: None,
             admit_gate: vec![[SimTime::ZERO; 2]; cfg.machines],
@@ -455,7 +455,7 @@ impl ClusterSim {
             expected_pushes: cfg.machines as u32,
             faults: FaultStats::default(),
             tracer,
-            rack_agg: HashMap::new(),
+            rack_agg: BTreeMap::new(),
             config_error,
             cfg,
         }
@@ -544,6 +544,18 @@ impl ClusterSim {
         }
 
         let log = self.tracer.as_ref().map(|t| t.drain());
+        if self.cfg.audit {
+            let Some(log) = &log else {
+                return Err(RunError::InvalidConfig(
+                    "audit requested but slice tracing is off (use with_audit)".into(),
+                ));
+            };
+            let opts = p3_audit::AuditOptions::from_meta(&self.cfg.trace_meta());
+            let report = p3_audit::check_with(log, &opts);
+            if !report.is_clean() {
+                return Err(RunError::AuditFailed(report.to_string()));
+            }
+        }
         Ok((self.finish(target), log))
     }
 

@@ -1,0 +1,9 @@
+// Fixture: an allow marker with no justification is itself a finding.
+
+// p3-lint: allow(unordered):
+use std::collections::HashMap;
+
+pub fn unjustified() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}

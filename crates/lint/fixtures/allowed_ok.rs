@@ -1,0 +1,25 @@
+// Fixture: a justified allow marker silences the rule, and test-only code
+// is exempt. This file must lint clean.
+
+// p3-lint: allow(unordered): interner scratch map, drained before any iteration
+use std::collections::HashMap;
+
+pub fn scratch() -> usize {
+    // p3-lint: allow(unordered): never iterated, lookup only
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_use_anything() {
+        let s: HashSet<u32> = HashSet::new();
+        let t = Instant::now();
+        assert!(s.is_empty());
+        let _ = t.elapsed();
+    }
+}

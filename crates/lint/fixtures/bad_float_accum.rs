@@ -1,0 +1,9 @@
+// Fixture: float accumulation over an unordered iterator must be flagged
+// (summation order changes the result under non-associative float adds).
+use std::collections::BTreeMap;
+
+pub fn unordered_sum(weights: &BTreeMap<u64, f64>) -> (f64, f64) {
+    let total: f64 = weights.values().sum();
+    let folded = weights.values().fold(0.0_f64, |acc, w| acc + w);
+    (total, folded)
+}

@@ -1,0 +1,9 @@
+// Fixture: unordered collections in simulation code must be flagged.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn order_leaks() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}

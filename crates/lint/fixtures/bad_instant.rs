@@ -1,0 +1,8 @@
+// Fixture: host wall clocks must be flagged in simulation code.
+use std::time::Instant;
+
+pub fn wall_clock_leaks() -> std::time::Duration {
+    let t0 = Instant::now();
+    let _ = std::time::SystemTime::UNIX_EPOCH;
+    t0.elapsed()
+}

@@ -1,0 +1,6 @@
+// Fixture: ambient OS-seeded randomness must be flagged.
+pub fn ambient_randomness() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    rng.gen::<u64>() ^ x
+}

@@ -1,0 +1,690 @@
+//! # p3-lint — workspace determinism lint
+//!
+//! The simulator's contract is bit-identical results for a given seed, on
+//! every platform, on every run. The classic ways Rust code silently
+//! breaks that contract are all *legal* code, so the compiler won't help:
+//!
+//! * `std::collections::HashMap`/`HashSet` — `RandomState` seeds the hash
+//!   per process, so iteration order differs between runs. Any result or
+//!   trace derived from iterating one is nondeterministic. Use `BTreeMap`/
+//!   `BTreeSet`, or justify with `// p3-lint: allow(unordered): why`.
+//! * `Instant::now` / `SystemTime` — wall clocks leak host timing into
+//!   simulated results. The DES clock is the only time source.
+//! * `thread_rng` / `rand::random` — ambient OS-seeded randomness; all
+//!   randomness must come from the run's seeded generators.
+//! * float accumulation over unordered iterators — `.values()` into
+//!   `.sum()`/`.fold()` makes the rounding order (hence the result) depend
+//!   on iteration order.
+//!
+//! The lint is a token scanner, not a type checker: comments, strings and
+//! `#[cfg(test)]` items are stripped before matching, so tests may use
+//! whatever they like. A hazard the scanner cannot see (e.g. a re-exported
+//! alias) is out of scope — the run-twice determinism tests are the
+//! backstop.
+//!
+//! It also enforces a per-crate **unwrap budget**: the number of
+//! `.unwrap()`/`.expect(` calls in non-test code may not exceed the count
+//! recorded in `p3-lint.toml`, and the recorded count is only ever lowered.
+//! New code must propagate errors instead of panicking.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates the determinism rules apply to: everything that can influence a
+/// simulated result. The CLI, offline tooling and vendored dependencies
+/// are exempt (they run outside the simulation).
+pub const SIM_CRATES: [&str; 11] = [
+    "des",
+    "core",
+    "net",
+    "cluster",
+    "trace",
+    "topo",
+    "pserver",
+    "allreduce",
+    "models",
+    "compress",
+    "audit",
+];
+
+/// Crates whose unwrap budget is ratcheted (the sim crates plus the CLI,
+/// whose panics are user-facing crashes).
+pub const BUDGET_CRATES: [&str; 12] = [
+    "des",
+    "core",
+    "net",
+    "cluster",
+    "trace",
+    "topo",
+    "pserver",
+    "allreduce",
+    "models",
+    "compress",
+    "audit",
+    "cli",
+];
+
+/// One banned-pattern rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Rule name, as used in `allow(...)` markers.
+    pub name: &'static str,
+    /// Identifier-delimited patterns that trigger the rule.
+    pub patterns: &'static [&'static str],
+    /// Short justification shown with each finding.
+    pub why: &'static str,
+}
+
+/// The banned-pattern catalog.
+pub const RULES: [Rule; 3] = [
+    Rule {
+        name: "unordered",
+        patterns: &["HashMap", "HashSet"],
+        why: "iteration order is seeded per process; use BTreeMap/BTreeSet",
+    },
+    Rule {
+        name: "wall-clock",
+        patterns: &["Instant::now", "SystemTime"],
+        why: "host time leaks into simulated results; use the DES clock",
+    },
+    Rule {
+        name: "ambient-rng",
+        patterns: &["thread_rng", "rand::random"],
+        why: "OS-seeded randomness; use the run's seeded generators",
+    },
+];
+
+/// Rule name for the float-accumulation heuristic (it needs statement
+/// context, so it is not a plain pattern rule).
+pub const FLOAT_ACCUM_RULE: &str = "float-accum-unordered";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule that fired (or `unwrap-budget` / `allow-marker`).
+    pub rule: String,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Source text with comments, strings and test items blanked out
+/// (structure and line numbers preserved), plus the allow markers found in
+/// the comments.
+#[derive(Debug)]
+pub struct Stripped {
+    /// The blanked source.
+    pub code: String,
+    /// line (1-based) → allowed rule name, from `p3-lint: allow(rule): reason`.
+    pub allows: BTreeMap<usize, String>,
+    /// Markers missing the required justification text.
+    pub bad_markers: Vec<usize>,
+}
+
+/// Strips comments, string/char literals and `#[cfg(test)]`/`#[test]`
+/// items from Rust source, preserving line structure so findings carry
+/// real line numbers. Allow markers are collected from comments before
+/// they are blanked.
+pub fn strip(source: &str) -> Stripped {
+    let mut allows = BTreeMap::new();
+    let mut bad_markers = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        if let Some(pos) = line.find("p3-lint:") {
+            let marker = &line[pos + "p3-lint:".len()..];
+            let marker = marker.trim();
+            if let Some(rest) = marker.strip_prefix("allow(") {
+                if let Some(close) = rest.find(')') {
+                    let rule = rest[..close].trim().to_string();
+                    let reason = rest[close + 1..].trim_start_matches(':').trim();
+                    if reason.is_empty() {
+                        bad_markers.push(i + 1);
+                    } else {
+                        allows.insert(i + 1, rule);
+                    }
+                } else {
+                    bad_markers.push(i + 1);
+                }
+            } else {
+                bad_markers.push(i + 1);
+            }
+        }
+    }
+
+    let b = source.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string: r"..." or r#"..."# with any number of #s.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut k = i + 1;
+                            let mut h = 0;
+                            while k < b.len() && b[k] == b'#' && h < hashes {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                out.extend(std::iter::repeat_n(b' ', k - i));
+                                i = k;
+                                break 'raw;
+                            }
+                        }
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                } else {
+                    out.push(b'r');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. 'x' / '\n' are literals; 'a
+                // followed by an identifier continuation is a lifetime.
+                if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                    while i < b.len() && b[i] != b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    let mut code = String::from_utf8(out).unwrap_or_default();
+    blank_test_items(&mut code);
+    Stripped {
+        code,
+        allows,
+        bad_markers,
+    }
+}
+
+/// Blanks every item annotated `#[cfg(test)]` or `#[test]` (attribute
+/// through the end of its balanced-brace body), in place.
+fn blank_test_items(code: &mut String) {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for (pos, _) in code.match_indices("#[cfg(test)]") {
+        spans.push(item_span(code, pos));
+    }
+    for (pos, _) in code.match_indices("#[test]") {
+        spans.push(item_span(code, pos));
+    }
+    let mut bytes: Vec<u8> = code.bytes().collect();
+    for (a, z) in spans {
+        for c in bytes[a..z].iter_mut() {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+    }
+    *code = String::from_utf8(bytes).unwrap_or_default();
+}
+
+/// Extent of the item starting at an attribute: from the attribute to the
+/// closing brace of the first balanced `{}` block after it (or the next
+/// `;` for brace-less items).
+fn item_span(code: &str, start: usize) -> (usize, usize) {
+    let b = code.as_bytes();
+    let mut i = start;
+    let mut depth = 0usize;
+    let mut seen_brace = false;
+    while i < b.len() {
+        match b[i] {
+            b'{' => {
+                depth += 1;
+                seen_brace = true;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if seen_brace && depth == 0 {
+                    return (start, i + 1);
+                }
+            }
+            b';' if !seen_brace => return (start, i + 1),
+            _ => {}
+        }
+        i += 1;
+    }
+    (start, b.len())
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// True if `pat` occurs at `pos` in `code` delimited by non-identifier
+/// characters (so `HashMap` does not match `MyHashMapLike`).
+fn delimited(code: &str, pos: usize, pat: &str) -> bool {
+    let b = code.as_bytes();
+    let before_ok = pos == 0 || !is_ident(b[pos - 1]);
+    let end = pos + pat.len();
+    let after_ok = end >= b.len() || !is_ident(b[end]);
+    before_ok && after_ok
+}
+
+fn line_of(code: &str, pos: usize) -> usize {
+    code[..pos].bytes().filter(|&c| c == b'\n').count() + 1
+}
+
+fn allowed(stripped: &Stripped, line: usize, rule: &str) -> bool {
+    // A marker covers its own line and the following line.
+    [line, line.saturating_sub(1)]
+        .iter()
+        .any(|l| stripped.allows.get(l).is_some_and(|r| r == rule))
+}
+
+/// Lints one file's source text. `path` is used only for reporting.
+pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
+    let stripped = strip(source);
+    let mut findings = Vec::new();
+    for &line in &stripped.bad_markers {
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line,
+            rule: "allow-marker".into(),
+            message: "malformed p3-lint marker: use `p3-lint: allow(rule): reason` \
+                      with a non-empty reason"
+                .into(),
+        });
+    }
+    for rule in RULES {
+        for pat in rule.patterns {
+            for (pos, _) in stripped.code.match_indices(pat) {
+                if !delimited(&stripped.code, pos, pat) {
+                    continue;
+                }
+                let line = line_of(&stripped.code, pos);
+                if allowed(&stripped, line, rule.name) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line,
+                    rule: rule.name.into(),
+                    message: format!("`{pat}`: {}", rule.why),
+                });
+            }
+        }
+    }
+    findings.extend(float_accum_findings(path, &stripped));
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Heuristic for order-dependent float accumulation: a single statement
+/// that iterates `.values()` and reduces with `.sum(` or `.fold(`. With
+/// unordered maps already banned this mostly guards allow-listed ones.
+fn float_accum_findings(path: &Path, stripped: &Stripped) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for stmt in stripped.code.split(';') {
+        if !stmt.contains(".values()") {
+            continue;
+        }
+        if !(stmt.contains(".sum(") || stmt.contains(".fold(")) {
+            continue;
+        }
+        let offset = stmt.as_ptr() as usize - stripped.code.as_ptr() as usize;
+        let pos = offset + stmt.find(".values()").unwrap_or(0);
+        let line = line_of(&stripped.code, pos);
+        if allowed(stripped, line, FLOAT_ACCUM_RULE) {
+            continue;
+        }
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line,
+            rule: FLOAT_ACCUM_RULE.into(),
+            message: "float reduction over `.values()`: rounding order depends on \
+                      iteration order"
+                .into(),
+        });
+    }
+    findings
+}
+
+/// Counts `.unwrap()` / `.expect(` calls in non-test code.
+pub fn count_unwraps(source: &str) -> usize {
+    let stripped = strip(source);
+    stripped.code.matches(".unwrap()").count() + stripped.code.matches(".expect(").count()
+}
+
+/// The unwrap budget: crate name (short, without the `p3-` prefix) →
+/// maximum allowed non-test `.unwrap()`/`.expect(` count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget(pub BTreeMap<String, usize>);
+
+impl Budget {
+    /// Parses `p3-lint.toml`: a `[unwrap-budget]` section of `name = N`
+    /// lines (comments and blank lines ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Budget, String> {
+        let mut map = BTreeMap::new();
+        let mut in_section = false;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_section = line == "[unwrap-budget]";
+                continue;
+            }
+            if !in_section {
+                continue;
+            }
+            let Some((name, value)) = line.split_once('=') else {
+                return Err(format!("p3-lint.toml:{}: expected `name = N`", i + 1));
+            };
+            let n: usize = value.trim().parse().map_err(|_| {
+                format!("p3-lint.toml:{}: `{}` is not a count", i + 1, value.trim())
+            })?;
+            map.insert(name.trim().to_string(), n);
+        }
+        Ok(Budget(map))
+    }
+}
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Pattern findings across all checked files.
+    pub findings: Vec<Finding>,
+    /// crate → (counted, budget) where counted exceeds budget.
+    pub over_budget: Vec<(String, usize, usize)>,
+    /// crate → (counted, budget) where the budget can be ratcheted down.
+    pub slack: Vec<(String, usize, usize)>,
+    /// Files checked.
+    pub files: usize,
+}
+
+impl WorkspaceReport {
+    /// True when nothing blocks: no findings and no crate over budget.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.over_budget.is_empty()
+    }
+}
+
+impl fmt::Display for WorkspaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        for (name, counted, budget) in &self.over_budget {
+            writeln!(
+                f,
+                "crate {name}: {counted} unwrap/expect calls exceed the budget of {budget} \
+                 (p3-lint.toml ratchets down only — propagate errors instead)"
+            )?;
+        }
+        for (name, counted, budget) in &self.slack {
+            writeln!(
+                f,
+                "note: crate {name} uses {counted} of {budget} budgeted unwraps — \
+                 lower it in p3-lint.toml"
+            )?;
+        }
+        if self.is_clean() {
+            writeln!(f, "p3-lint: clean — {} files checked", self.files)?;
+        } else {
+            writeln!(
+                f,
+                "p3-lint: FAILED — {} finding(s), {} crate(s) over budget",
+                self.findings.len(),
+                self.over_budget.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rust_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints the workspace rooted at `root` (the directory holding
+/// `Cargo.toml` and `crates/`): pattern rules over [`SIM_CRATES`], unwrap
+/// budgets over [`BUDGET_CRATES`] against `<root>/p3-lint.toml`.
+///
+/// # Errors
+///
+/// Returns a message when the budget file is missing or malformed, or a
+/// budgeted crate directory cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<WorkspaceReport, String> {
+    let budget_path = root.join("p3-lint.toml");
+    let budget_text = std::fs::read_to_string(&budget_path)
+        .map_err(|e| format!("{}: {e}", budget_path.display()))?;
+    let budget = Budget::parse(&budget_text)?;
+
+    let mut report = WorkspaceReport::default();
+    for name in SIM_CRATES {
+        let src = root.join("crates").join(name).join("src");
+        let mut files = Vec::new();
+        rust_files(&src, &mut files);
+        if files.is_empty() {
+            return Err(format!("no Rust sources under {}", src.display()));
+        }
+        for f in files {
+            let source =
+                std::fs::read_to_string(&f).map_err(|e| format!("{}: {e}", f.display()))?;
+            let rel = f.strip_prefix(root).unwrap_or(&f).to_path_buf();
+            report.findings.extend(lint_source(&rel, &source));
+            report.files += 1;
+        }
+    }
+    for name in BUDGET_CRATES {
+        let src = root.join("crates").join(name).join("src");
+        let mut files = Vec::new();
+        rust_files(&src, &mut files);
+        let mut counted = 0;
+        for f in &files {
+            let source = std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
+            counted += count_unwraps(&source);
+        }
+        match budget.0.get(name) {
+            None => {
+                return Err(format!(
+                    "p3-lint.toml has no unwrap budget for crate `{name}` — add `{name} = \
+                     {counted}`"
+                ))
+            }
+            Some(&b) if counted > b => report.over_budget.push((name.into(), counted, b)),
+            Some(&b) if counted < b => report.slack.push((name.into(), counted, b)),
+            Some(_) => {}
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), src)
+    }
+
+    #[test]
+    fn flags_hashmap_outside_tests() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let f = lint_str(src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "unordered"));
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_tests_comments_and_strings() {
+        let src = r##"
+// HashMap in a comment
+fn f() { let s = "HashMap"; let _ = s; }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _ = HashMap::<u32, u32>::new(); }
+}
+"##;
+        assert!(lint_str(src).is_empty(), "{:?}", lint_str(src));
+    }
+
+    #[test]
+    fn allow_marker_needs_reason() {
+        let with_reason = "// p3-lint: allow(unordered): key order never observed\nuse std::collections::HashMap;\n";
+        assert!(lint_str(with_reason).is_empty());
+        let no_reason = "// p3-lint: allow(unordered)\nuse std::collections::HashMap;\n";
+        let f = lint_str(no_reason);
+        assert!(f.iter().any(|x| x.rule == "allow-marker"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "unordered"), "{f:?}");
+    }
+
+    #[test]
+    fn flags_wall_clock_and_rng() {
+        let f = lint_str("fn f() { let t = Instant::now(); }\n");
+        assert!(f.iter().any(|x| x.rule == "wall-clock"), "{f:?}");
+        let f = lint_str("fn f() { let r = thread_rng(); }\n");
+        assert!(f.iter().any(|x| x.rule == "ambient-rng"), "{f:?}");
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(lint_str("struct MyHashMapLike;\n").is_empty());
+        assert!(lint_str("fn spawn_thread_rngs() {}\n").is_empty());
+    }
+
+    #[test]
+    fn flags_float_accum_over_values() {
+        let src = "fn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().sum() }\n";
+        let f = lint_str(src);
+        assert!(f.iter().any(|x| x.rule == FLOAT_ACCUM_RULE), "{f:?}");
+        let allowed = "// p3-lint: allow(float-accum-unordered): BTreeMap order is fixed\nfn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().sum() }\n";
+        assert!(lint_str(allowed).is_empty());
+    }
+
+    #[test]
+    fn counts_unwraps_outside_tests_only() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 { x.unwrap() + x.expect("set") }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+"#;
+        assert_eq!(count_unwraps(src), 2);
+    }
+
+    #[test]
+    fn budget_parses() {
+        let b = Budget::parse("# ratchet\n[unwrap-budget]\ncluster = 3 # why\ncli = 10\n").unwrap();
+        assert_eq!(b.0.get("cluster"), Some(&3));
+        assert_eq!(b.0.get("cli"), Some(&10));
+        assert!(Budget::parse("[unwrap-budget]\ncluster three\n").is_err());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_stripped() {
+        let src = "fn f() { let s = r#\"HashMap\"#; let c = 'H'; let _ = (s, c); }\n";
+        assert!(lint_str(src).is_empty(), "{:?}", lint_str(src));
+    }
+}

@@ -1,0 +1,27 @@
+//! The `p3-lint` binary: lint the workspace, print the report, exit
+//! non-zero on any violation. Run from the workspace root (CI does), or
+//! pass the root as the single argument.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match p3_lint::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(why) => {
+            eprintln!("p3-lint: {why}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Mutation-style negative tests: each `fixtures/bad_*.rs` file contains a
+//! determinism hazard the lint claims to catch; if the scanner regresses,
+//! these fail. `allowed_ok.rs` proves justified markers and test-only code
+//! are exempt, and the workspace self-lint pins the repo itself clean.
+
+use std::path::Path;
+
+use p3_lint::{lint_source, lint_workspace, Finding};
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    lint_source(&path, &source)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn hashmap_fixture_trips_unordered() {
+    let f = lint_fixture("bad_hashmap.rs");
+    assert!(!f.is_empty());
+    assert!(
+        rules(&f).iter().all(|r| *r == "unordered"),
+        "unexpected rules: {f:?}"
+    );
+    // Both the HashMap and the HashSet lines are reported.
+    let lines: Vec<usize> = f.iter().map(|x| x.line).collect();
+    assert!(lines.contains(&2) && lines.contains(&3), "{lines:?}");
+}
+
+#[test]
+fn instant_fixture_trips_wall_clock() {
+    let f = lint_fixture("bad_instant.rs");
+    assert!(rules(&f).contains(&"wall-clock"), "{f:?}");
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "wall-clock" && x.message.contains("Instant::now")),
+        "{f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "wall-clock" && x.message.contains("SystemTime")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn thread_rng_fixture_trips_ambient_rng() {
+    let f = lint_fixture("bad_thread_rng.rs");
+    assert!(rules(&f).contains(&"ambient-rng"), "{f:?}");
+    assert!(
+        f.iter().any(|x| x.message.contains("thread_rng"))
+            && f.iter().any(|x| x.message.contains("rand::random")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn float_accum_fixture_trips_heuristic() {
+    let f = lint_fixture("bad_float_accum.rs");
+    let hits: Vec<&Finding> = f
+        .iter()
+        .filter(|x| x.rule == "float-accum-unordered")
+        .collect();
+    // Both the `.sum()` and the `.fold()` statements are caught.
+    assert_eq!(hits.len(), 2, "{f:?}");
+}
+
+#[test]
+fn justified_allow_and_test_code_are_exempt() {
+    let f = lint_fixture("allowed_ok.rs");
+    assert!(f.is_empty(), "expected clean, got {f:?}");
+}
+
+#[test]
+fn allow_marker_without_reason_is_a_finding() {
+    let f = lint_fixture("allow_no_reason.rs");
+    assert!(rules(&f).contains(&"allow-marker"), "{f:?}");
+}
+
+#[test]
+fn findings_render_with_file_line_and_rule() {
+    let f = lint_fixture("bad_hashmap.rs");
+    let rendered = f[0].to_string();
+    assert!(rendered.contains("bad_hashmap.rs:2"), "{rendered}");
+    assert!(rendered.contains("[unordered]"), "{rendered}");
+}
+
+#[test]
+fn workspace_self_lint_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = lint_workspace(root).expect("lint_workspace");
+    assert!(report.is_clean(), "{report}");
+    assert!(
+        report.files > 40,
+        "suspiciously few files: {}",
+        report.files
+    );
+}

@@ -10,7 +10,7 @@
 
 use crate::optim::{Optimizer, OptimizerKind};
 use crate::types::{Key, WorkerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of accepting one gradient push.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +56,7 @@ struct Entry {
 /// ```
 #[derive(Debug)]
 pub struct KvServer {
-    entries: HashMap<Key, Entry>,
+    entries: BTreeMap<Key, Entry>,
     num_workers: usize,
     optimizer: OptimizerKind,
 }
@@ -71,7 +71,7 @@ impl KvServer {
     pub fn new(num_workers: usize, optimizer: OptimizerKind) -> Self {
         assert!(num_workers > 0, "a cluster needs at least one worker");
         KvServer {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             num_workers,
             optimizer,
         }

@@ -1,0 +1,714 @@
+//! Lossless typed-event trace files.
+//!
+//! [`chrome_trace_json`](crate::chrome_trace_json) is deliberately lossy:
+//! it renders spans for humans and drops whatever Perfetto cannot show
+//! (exact priorities, queue depths, unfinished transfers). The offline
+//! auditor (`p3-audit`) needs the opposite — every [`TraceEvent`] exactly
+//! as recorded, plus enough run metadata to evaluate capacity and
+//! scheduling invariants.
+//!
+//! [`export_trace_json`] therefore writes one JSON document carrying both
+//! views side by side:
+//!
+//! ```json
+//! {
+//!   "traceEvents": [ ... ],          // Chrome/Perfetto spans (lossy)
+//!   "p3TraceVersion": 1,
+//!   "p3Meta": { "machines": 4, ... },
+//!   "p3Events": [ [t, "ws", ...], ... ]  // every event, lossless
+//! }
+//! ```
+//!
+//! The Chrome trace-event format ignores unknown top-level keys, so the
+//! file still loads in Perfetto unchanged, and
+//! [`validate_chrome_trace`](crate::validate_chrome_trace) keeps working.
+//! [`import_trace_json`] round-trips the `p3Events` array back into a
+//! [`TraceLog`].
+//!
+//! Events are encoded as compact JSON arrays `[nanos, tag, fields…]`; the
+//! tag is a two-letter code per variant. All integers fit in an `f64`
+//! mantissa at simulation scale (2⁵³ ns ≈ 104 days).
+
+use crate::chrome::chrome_trace_json;
+use crate::event::{ComputePhase, EndpointRole, FaultKind, MsgClass, TraceEvent};
+use crate::json::{self, format_number, JsonValue};
+use crate::sink::{TraceLog, TraceSink};
+use p3_des::SimTime;
+use std::fmt::Write as _;
+
+/// Format version written as `p3TraceVersion`.
+pub const TRACE_FORMAT_VERSION: u64 = 1;
+
+/// Run metadata embedded in an exported trace so an offline auditor can
+/// evaluate invariants that depend on configuration, not just on the event
+/// stream (egress discipline, in-flight window, NIC capacity).
+///
+/// Every field except `machines` is optional: `None` means "unknown", and
+/// the auditor skips the checks that would need it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceMeta {
+    /// Number of machines in the run.
+    pub machines: usize,
+    /// `Some(true)` if every endpoint drains one strict-priority queue
+    /// through a single consumer (P3-style); `Some(false)` for
+    /// per-destination FIFO lanes (baseline); `None` if unknown.
+    pub single_consumer: Option<bool>,
+    /// Maximum messages one single-consumer endpoint may have in flight.
+    pub window: Option<usize>,
+    /// Effective per-direction NIC goodput in bytes/sec (nominal bandwidth
+    /// × efficiency), when every machine's port is identical (flat
+    /// fabric). `None` on heterogeneous/topology fabrics, where per-port
+    /// capacity cannot be summarized by one number.
+    pub port_bytes_per_sec: Option<f64>,
+    /// Strategy display name, for report headers.
+    pub strategy: Option<String>,
+    /// Model display name, for report headers.
+    pub model: Option<String>,
+}
+
+fn opt_bool(v: Option<bool>) -> String {
+    match v {
+        Some(true) => "true".into(),
+        Some(false) => "false".into(),
+        None => "null".into(),
+    }
+}
+
+fn meta_json(meta: &TraceMeta) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"machines\":{}", meta.machines);
+    let _ = write!(
+        out,
+        ",\"singleConsumer\":{}",
+        opt_bool(meta.single_consumer)
+    );
+    match meta.window {
+        Some(w) => {
+            let _ = write!(out, ",\"window\":{w}");
+        }
+        None => out.push_str(",\"window\":null"),
+    }
+    match meta.port_bytes_per_sec {
+        Some(c) => {
+            let _ = write!(out, ",\"portBytesPerSec\":{}", format_number(c));
+        }
+        None => out.push_str(",\"portBytesPerSec\":null"),
+    }
+    if let Some(s) = &meta.strategy {
+        let _ = write!(out, ",\"strategy\":\"{}\"", json::escape(s));
+    }
+    if let Some(m) = &meta.model {
+        let _ = write!(out, ",\"model\":\"{}\"", json::escape(m));
+    }
+    out.push('}');
+    out
+}
+
+fn phase_code(p: ComputePhase) -> u64 {
+    match p {
+        ComputePhase::Forward => 0,
+        ComputePhase::Backward => 1,
+    }
+}
+
+fn role_code(r: EndpointRole) -> u64 {
+    match r {
+        EndpointRole::Worker => 0,
+        EndpointRole::Server => 1,
+    }
+}
+
+fn class_code(c: MsgClass) -> u64 {
+    match c {
+        MsgClass::Push => 0,
+        MsgClass::Response => 1,
+        MsgClass::Notify => 2,
+        MsgClass::PullRequest => 3,
+        MsgClass::RackPush => 4,
+        MsgClass::CombinedPush => 5,
+    }
+}
+
+fn fault_code(k: FaultKind) -> u64 {
+    match k {
+        FaultKind::Loss => 0,
+        FaultKind::Retransmit => 1,
+        FaultKind::GiveUp => 2,
+        FaultKind::Crash => 3,
+        FaultKind::Rejoin => 4,
+        FaultKind::Eviction => 5,
+        FaultKind::DegradedRound => 6,
+        FaultKind::StalePush => 7,
+        FaultKind::DuplicatePush => 8,
+        FaultKind::FlowCancelled => 9,
+    }
+}
+
+fn event_row(at: SimTime, ev: &TraceEvent) -> String {
+    let t = at.as_nanos();
+    match *ev {
+        TraceEvent::ComputeStart {
+            worker,
+            phase,
+            block,
+        } => format!("[{t},\"cs\",{worker},{},{block}]", phase_code(phase)),
+        TraceEvent::ComputeEnd {
+            worker,
+            phase,
+            block,
+        } => format!("[{t},\"ce\",{worker},{},{block}]", phase_code(phase)),
+        TraceEvent::StallStart { worker, block } => format!("[{t},\"ss\",{worker},{block}]"),
+        TraceEvent::StallEnd { worker, block } => format!("[{t},\"se\",{worker},{block}]"),
+        TraceEvent::IterationEnd { worker, iter } => format!("[{t},\"it\",{worker},{iter}]"),
+        TraceEvent::GradReady {
+            worker,
+            key,
+            round,
+            priority,
+        } => format!("[{t},\"gr\",{worker},{key},{round},{priority}]"),
+        TraceEvent::EgressEnqueue {
+            machine,
+            role,
+            msg_id,
+            class,
+            key,
+            round,
+            priority,
+            queue_depth,
+        } => format!(
+            "[{t},\"eq\",{machine},{},{msg_id},{},{key},{round},{priority},{queue_depth}]",
+            role_code(role),
+            class_code(class)
+        ),
+        TraceEvent::WireStart {
+            msg_id,
+            src,
+            dst,
+            bytes,
+            priority,
+        } => format!("[{t},\"ws\",{msg_id},{src},{dst},{bytes},{priority}]"),
+        TraceEvent::WireEnd {
+            msg_id,
+            src,
+            dst,
+            bytes,
+            bottleneck,
+        } => {
+            let b = match bottleneck {
+                Some(l) => l.to_string(),
+                None => "null".into(),
+            };
+            format!("[{t},\"we\",{msg_id},{src},{dst},{bytes},{b}]")
+        }
+        TraceEvent::AggStart {
+            server,
+            key,
+            round,
+            worker,
+        } => format!("[{t},\"as\",{server},{key},{round},{worker}]"),
+        TraceEvent::AggEnd {
+            server,
+            key,
+            round,
+            worker,
+        } => format!("[{t},\"ae\",{server},{key},{round},{worker}]"),
+        TraceEvent::RoundComplete {
+            server,
+            key,
+            version,
+            degraded,
+        } => format!(
+            "[{t},\"rc\",{server},{key},{version},{}]",
+            u8::from(degraded)
+        ),
+        TraceEvent::SliceConsumed { worker, key, round } => {
+            format!("[{t},\"sc\",{worker},{key},{round}]")
+        }
+        TraceEvent::Fault {
+            kind,
+            machine,
+            msg_id,
+        } => {
+            let m = match msg_id {
+                Some(id) => id.to_string(),
+                None => "null".into(),
+            };
+            format!("[{t},\"ft\",{},{machine},{m}]", fault_code(kind))
+        }
+    }
+}
+
+/// Exports a trace as one JSON document carrying both the lossy Chrome
+/// spans (`traceEvents`, for Perfetto) and the lossless typed events plus
+/// run metadata (`p3Events`/`p3Meta`, for `p3 audit`).
+///
+/// # Examples
+///
+/// ```
+/// use p3_des::SimTime;
+/// use p3_trace::{export_trace_json, import_trace_json, TraceEvent, TraceHandle, TraceMeta};
+///
+/// let h = TraceHandle::new();
+/// h.record(
+///     SimTime::from_micros(1),
+///     TraceEvent::WireStart { msg_id: 0, src: 0, dst: 1, bytes: 64, priority: 2 },
+/// );
+/// let meta = TraceMeta { machines: 2, ..TraceMeta::default() };
+/// let doc = export_trace_json(&h.drain(), &meta);
+/// let (log, parsed) = import_trace_json(&doc).unwrap();
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(parsed.machines, 2);
+/// ```
+pub fn export_trace_json(log: &TraceLog, meta: &TraceMeta) -> String {
+    let chrome = chrome_trace_json(log, meta.machines);
+    let trimmed = chrome.trim_end();
+    debug_assert!(trimmed.ends_with('}'), "chrome export is a JSON object");
+    let mut out = String::with_capacity(trimmed.len() + 64 * log.len());
+    out.push_str(&trimmed[..trimmed.len() - 1]);
+    let _ = write!(out, ",\n\"p3TraceVersion\": {TRACE_FORMAT_VERSION}");
+    let _ = write!(out, ",\n\"p3Meta\": {}", meta_json(meta));
+    out.push_str(",\n\"p3Events\": [\n");
+    let mut first = true;
+    for e in log.events() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&event_row(e.at, &e.event));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn num(v: &JsonValue, row: usize, what: &str) -> Result<f64, String> {
+    v.as_number()
+        .ok_or_else(|| format!("p3Events[{row}]: {what} is not a number"))
+}
+
+fn uint(v: &JsonValue, row: usize, what: &str) -> Result<u64, String> {
+    let n = num(v, row, what)?;
+    if n < 0.0 || n.fract() != 0.0 || n >= 9.007_199_254_740_992e15 {
+        return Err(format!("p3Events[{row}]: {what} is not a u64 ({n})"));
+    }
+    Ok(n as u64)
+}
+
+fn idx(v: &JsonValue, row: usize, what: &str) -> Result<usize, String> {
+    Ok(uint(v, row, what)? as usize)
+}
+
+fn opt_uint(v: &JsonValue, row: usize, what: &str) -> Result<Option<u64>, String> {
+    match v {
+        JsonValue::Null => Ok(None),
+        other => uint(other, row, what).map(Some),
+    }
+}
+
+fn decode_phase(code: u64, row: usize) -> Result<ComputePhase, String> {
+    match code {
+        0 => Ok(ComputePhase::Forward),
+        1 => Ok(ComputePhase::Backward),
+        c => Err(format!("p3Events[{row}]: unknown phase code {c}")),
+    }
+}
+
+fn decode_role(code: u64, row: usize) -> Result<EndpointRole, String> {
+    match code {
+        0 => Ok(EndpointRole::Worker),
+        1 => Ok(EndpointRole::Server),
+        c => Err(format!("p3Events[{row}]: unknown role code {c}")),
+    }
+}
+
+fn decode_class(code: u64, row: usize) -> Result<MsgClass, String> {
+    match code {
+        0 => Ok(MsgClass::Push),
+        1 => Ok(MsgClass::Response),
+        2 => Ok(MsgClass::Notify),
+        3 => Ok(MsgClass::PullRequest),
+        4 => Ok(MsgClass::RackPush),
+        5 => Ok(MsgClass::CombinedPush),
+        c => Err(format!("p3Events[{row}]: unknown class code {c}")),
+    }
+}
+
+fn decode_fault(code: u64, row: usize) -> Result<FaultKind, String> {
+    match code {
+        0 => Ok(FaultKind::Loss),
+        1 => Ok(FaultKind::Retransmit),
+        2 => Ok(FaultKind::GiveUp),
+        3 => Ok(FaultKind::Crash),
+        4 => Ok(FaultKind::Rejoin),
+        5 => Ok(FaultKind::Eviction),
+        6 => Ok(FaultKind::DegradedRound),
+        7 => Ok(FaultKind::StalePush),
+        8 => Ok(FaultKind::DuplicatePush),
+        9 => Ok(FaultKind::FlowCancelled),
+        c => Err(format!("p3Events[{row}]: unknown fault code {c}")),
+    }
+}
+
+fn decode_row(row: &[JsonValue], i: usize) -> Result<(SimTime, TraceEvent), String> {
+    let need = |n: usize| -> Result<(), String> {
+        if row.len() != n + 2 {
+            Err(format!(
+                "p3Events[{i}]: expected {} fields, got {}",
+                n + 2,
+                row.len()
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    if row.len() < 2 {
+        return Err(format!("p3Events[{i}]: row too short"));
+    }
+    let at = SimTime::from_nanos(uint(&row[0], i, "timestamp")?);
+    let tag = row[1]
+        .as_str()
+        .ok_or_else(|| format!("p3Events[{i}]: tag is not a string"))?;
+    let ev = match tag {
+        "cs" | "ce" => {
+            need(3)?;
+            let worker = idx(&row[2], i, "worker")?;
+            let phase = decode_phase(uint(&row[3], i, "phase")?, i)?;
+            let block = idx(&row[4], i, "block")?;
+            if tag == "cs" {
+                TraceEvent::ComputeStart {
+                    worker,
+                    phase,
+                    block,
+                }
+            } else {
+                TraceEvent::ComputeEnd {
+                    worker,
+                    phase,
+                    block,
+                }
+            }
+        }
+        "ss" | "se" => {
+            need(2)?;
+            let worker = idx(&row[2], i, "worker")?;
+            let block = idx(&row[3], i, "block")?;
+            if tag == "ss" {
+                TraceEvent::StallStart { worker, block }
+            } else {
+                TraceEvent::StallEnd { worker, block }
+            }
+        }
+        "it" => {
+            need(2)?;
+            TraceEvent::IterationEnd {
+                worker: idx(&row[2], i, "worker")?,
+                iter: uint(&row[3], i, "iter")?,
+            }
+        }
+        "gr" => {
+            need(4)?;
+            TraceEvent::GradReady {
+                worker: idx(&row[2], i, "worker")?,
+                key: idx(&row[3], i, "key")?,
+                round: uint(&row[4], i, "round")?,
+                priority: uint(&row[5], i, "priority")? as u32,
+            }
+        }
+        "eq" => {
+            need(8)?;
+            TraceEvent::EgressEnqueue {
+                machine: idx(&row[2], i, "machine")?,
+                role: decode_role(uint(&row[3], i, "role")?, i)?,
+                msg_id: uint(&row[4], i, "msg_id")?,
+                class: decode_class(uint(&row[5], i, "class")?, i)?,
+                key: idx(&row[6], i, "key")?,
+                round: uint(&row[7], i, "round")?,
+                priority: uint(&row[8], i, "priority")? as u32,
+                queue_depth: idx(&row[9], i, "queue_depth")?,
+            }
+        }
+        "ws" => {
+            need(5)?;
+            TraceEvent::WireStart {
+                msg_id: uint(&row[2], i, "msg_id")?,
+                src: idx(&row[3], i, "src")?,
+                dst: idx(&row[4], i, "dst")?,
+                bytes: uint(&row[5], i, "bytes")?,
+                priority: uint(&row[6], i, "priority")? as u32,
+            }
+        }
+        "we" => {
+            need(5)?;
+            TraceEvent::WireEnd {
+                msg_id: uint(&row[2], i, "msg_id")?,
+                src: idx(&row[3], i, "src")?,
+                dst: idx(&row[4], i, "dst")?,
+                bytes: uint(&row[5], i, "bytes")?,
+                bottleneck: opt_uint(&row[6], i, "bottleneck")?.map(|l| l as usize),
+            }
+        }
+        "as" | "ae" => {
+            need(4)?;
+            let server = idx(&row[2], i, "server")?;
+            let key = idx(&row[3], i, "key")?;
+            let round = uint(&row[4], i, "round")?;
+            let worker = idx(&row[5], i, "worker")?;
+            if tag == "as" {
+                TraceEvent::AggStart {
+                    server,
+                    key,
+                    round,
+                    worker,
+                }
+            } else {
+                TraceEvent::AggEnd {
+                    server,
+                    key,
+                    round,
+                    worker,
+                }
+            }
+        }
+        "rc" => {
+            need(4)?;
+            TraceEvent::RoundComplete {
+                server: idx(&row[2], i, "server")?,
+                key: idx(&row[3], i, "key")?,
+                version: uint(&row[4], i, "version")?,
+                degraded: uint(&row[5], i, "degraded")? != 0,
+            }
+        }
+        "sc" => {
+            need(3)?;
+            TraceEvent::SliceConsumed {
+                worker: idx(&row[2], i, "worker")?,
+                key: idx(&row[3], i, "key")?,
+                round: uint(&row[4], i, "round")?,
+            }
+        }
+        "ft" => {
+            need(3)?;
+            TraceEvent::Fault {
+                kind: decode_fault(uint(&row[2], i, "kind")?, i)?,
+                machine: idx(&row[3], i, "machine")?,
+                msg_id: opt_uint(&row[4], i, "msg_id")?,
+            }
+        }
+        other => return Err(format!("p3Events[{i}]: unknown tag {other:?}")),
+    };
+    Ok((at, ev))
+}
+
+fn meta_from_json(v: &JsonValue) -> Result<TraceMeta, String> {
+    let machines = v
+        .get("machines")
+        .and_then(JsonValue::as_number)
+        .ok_or("p3Meta.machines missing or not a number")? as usize;
+    let single_consumer = match v.get("singleConsumer") {
+        Some(JsonValue::Bool(b)) => Some(*b),
+        _ => None,
+    };
+    let window = v
+        .get("window")
+        .and_then(JsonValue::as_number)
+        .map(|w| w as usize);
+    let port_bytes_per_sec = v.get("portBytesPerSec").and_then(JsonValue::as_number);
+    let strategy = v
+        .get("strategy")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    let model = v
+        .get("model")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    Ok(TraceMeta {
+        machines,
+        single_consumer,
+        window,
+        port_bytes_per_sec,
+        strategy,
+        model,
+    })
+}
+
+/// Parses a document written by [`export_trace_json`] back into the typed
+/// event log and its metadata.
+///
+/// Fails with a description when the document is not JSON, lacks the
+/// `p3Events` array (e.g. a plain Chrome trace), or contains a malformed
+/// row.
+pub fn import_trace_json(doc: &str) -> Result<(TraceLog, TraceMeta), String> {
+    let v = json::parse(doc).map_err(|e| e.to_string())?;
+    let events = v
+        .get("p3Events")
+        .ok_or("no p3Events array: not a p3 typed trace (re-export with a current build)")?
+        .as_array()
+        .ok_or("p3Events is not an array")?;
+    let meta = match v.get("p3Meta") {
+        Some(m) => meta_from_json(m)?,
+        None => TraceMeta::default(),
+    };
+    let mut log = TraceLog::new();
+    for (i, row) in events.iter().enumerate() {
+        let row = row
+            .as_array()
+            .ok_or_else(|| format!("p3Events[{i}] is not an array"))?;
+        let (at, ev) = decode_row(row, i)?;
+        log.record(at, ev);
+    }
+    Ok((log, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceHandle;
+
+    fn sample_log() -> TraceLog {
+        let h = TraceHandle::new();
+        let mut t = 0u64;
+        let mut rec = |ev: TraceEvent| {
+            t += 100;
+            h.record(SimTime::from_nanos(t), ev);
+        };
+        rec(TraceEvent::ComputeStart {
+            worker: 0,
+            phase: ComputePhase::Forward,
+            block: 0,
+        });
+        rec(TraceEvent::ComputeEnd {
+            worker: 0,
+            phase: ComputePhase::Forward,
+            block: 0,
+        });
+        rec(TraceEvent::StallStart {
+            worker: 1,
+            block: 2,
+        });
+        rec(TraceEvent::StallEnd {
+            worker: 1,
+            block: 2,
+        });
+        rec(TraceEvent::GradReady {
+            worker: 0,
+            key: 3,
+            round: 1,
+            priority: 7,
+        });
+        rec(TraceEvent::EgressEnqueue {
+            machine: 0,
+            role: EndpointRole::Worker,
+            msg_id: 11,
+            class: MsgClass::Push,
+            key: 3,
+            round: 1,
+            priority: 7,
+            queue_depth: 1,
+        });
+        rec(TraceEvent::WireStart {
+            msg_id: 11,
+            src: 0,
+            dst: 1,
+            bytes: 4096,
+            priority: 7,
+        });
+        rec(TraceEvent::WireEnd {
+            msg_id: 11,
+            src: 0,
+            dst: 1,
+            bytes: 4096,
+            bottleneck: Some(4),
+        });
+        rec(TraceEvent::AggStart {
+            server: 1,
+            key: 3,
+            round: 1,
+            worker: 0,
+        });
+        rec(TraceEvent::AggEnd {
+            server: 1,
+            key: 3,
+            round: 1,
+            worker: 0,
+        });
+        rec(TraceEvent::RoundComplete {
+            server: 1,
+            key: 3,
+            version: 2,
+            degraded: true,
+        });
+        rec(TraceEvent::SliceConsumed {
+            worker: 0,
+            key: 3,
+            round: 2,
+        });
+        rec(TraceEvent::IterationEnd { worker: 0, iter: 2 });
+        rec(TraceEvent::Fault {
+            kind: FaultKind::Retransmit,
+            machine: 0,
+            msg_id: Some(11),
+        });
+        rec(TraceEvent::Fault {
+            kind: FaultKind::Crash,
+            machine: 1,
+            msg_id: None,
+        });
+        h.drain()
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        let log = sample_log();
+        let meta = TraceMeta {
+            machines: 2,
+            single_consumer: Some(true),
+            window: Some(2),
+            port_bytes_per_sec: Some(3.125e8),
+            strategy: Some("P3".into()),
+            model: Some("resnet50".into()),
+        };
+        let doc = export_trace_json(&log, &meta);
+        let (back, meta2) = import_trace_json(&doc).unwrap();
+        assert_eq!(meta2, meta);
+        assert_eq!(back.len(), log.len());
+        for (a, b) in log.events().iter().zip(back.events()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stays_a_valid_chrome_trace() {
+        let log = sample_log();
+        let meta = TraceMeta {
+            machines: 2,
+            ..TraceMeta::default()
+        };
+        let doc = export_trace_json(&log, &meta);
+        crate::validate_chrome_trace(&doc).expect("Perfetto view still schema-valid");
+    }
+
+    #[test]
+    fn rejects_plain_chrome_traces_with_guidance() {
+        let log = sample_log();
+        let doc = chrome_trace_json(&log, 2);
+        let err = import_trace_json(&doc).unwrap_err();
+        assert!(err.contains("p3Events"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let doc = r#"{"p3Events": [[1, "ws", 1]]}"#;
+        assert!(import_trace_json(doc).is_err());
+        let doc = r#"{"p3Events": [[1, "zz", 1, 2, 3]]}"#;
+        assert!(import_trace_json(doc).unwrap_err().contains("unknown tag"));
+        let doc = r#"{"p3Events": [[-5, "it", 0, 1]]}"#;
+        assert!(import_trace_json(doc).is_err());
+    }
+
+    #[test]
+    fn meta_defaults_when_absent() {
+        let doc = r#"{"p3Events": []}"#;
+        let (log, meta) = import_trace_json(doc).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(meta, TraceMeta::default());
+    }
+}

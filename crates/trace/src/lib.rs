@@ -44,11 +44,13 @@
 
 mod chrome;
 mod event;
+mod export;
 pub mod json;
 mod metrics;
 mod sink;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeSpan};
 pub use event::{ComputePhase, EndpointRole, FaultKind, MsgClass, TraceEvent};
+pub use export::{export_trace_json, import_trace_json, TraceMeta, TRACE_FORMAT_VERSION};
 pub use metrics::MetricsRegistry;
 pub use sink::{NullSink, TimedEvent, TraceHandle, TraceLog, TraceSink};

@@ -18,6 +18,8 @@
 //! | [`pserver`] | `p3-pserver` | sharding, push/pull protocol, KV aggregation |
 //! | [`core`] | `p3-core` | **the contribution**: slicing, priorities, strategies |
 //! | [`cluster`] | `p3-cluster` | end-to-end training-cluster simulation |
+//! | [`trace`] | `p3-trace` | typed event traces, Perfetto export, trace files |
+//! | [`audit`] | `p3-audit` | offline invariant auditor for exported traces |
 //! | [`tensor`] | `p3-tensor` | matrix ops, exact-backprop MLP, datasets |
 //! | [`compress`] | `p3-compress` | DGC, QSGD, TernGrad, 1-bit SGD baselines |
 //! | [`train`] | `p3-train` | real synchronous / DGC / ASGD training |
@@ -46,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use p3_allreduce as allreduce;
+pub use p3_audit as audit;
 pub use p3_cluster as cluster;
 pub use p3_compress as compress;
 pub use p3_core as core;
@@ -55,4 +58,5 @@ pub use p3_net as net;
 pub use p3_pserver as pserver;
 pub use p3_tensor as tensor;
 pub use p3_topo as topo;
+pub use p3_trace as trace;
 pub use p3_train as train;

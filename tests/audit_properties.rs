@@ -1,0 +1,116 @@
+//! Property tests for the trace auditor: every trace the simulator
+//! actually produces — across random cluster shapes, bandwidths, seeds,
+//! strategies and fault rates — must satisfy the invariant catalog
+//! (DESIGN.md §10). A failure here means either a simulator bug or an
+//! over-strict auditor; both are worth knowing about.
+
+use p3::audit::{check_with, AuditOptions};
+use p3::cluster::{ClusterConfig, ClusterSim, FaultPlan};
+use p3::core::SyncStrategy;
+use p3::models::{BlockKind, ComputeBlock, ModelSpec, ParamArray, SampleUnit};
+use p3::net::Bandwidth;
+use p3::topo::Topology;
+use proptest::prelude::*;
+
+fn tiny_model(head_params: u64) -> ModelSpec {
+    let blocks = vec![
+        ComputeBlock::new(
+            "conv1",
+            BlockKind::Conv,
+            30_000_000,
+            vec![ParamArray::new("conv1.weight", 50_000)],
+        ),
+        ComputeBlock::new(
+            "head",
+            BlockKind::Dense,
+            10_000_000,
+            vec![ParamArray::new("head.weight", head_params)],
+        ),
+    ];
+    ModelSpec::from_blocks("TinyProp", SampleUnit::Images, blocks, 900.0, 32, 0.0)
+}
+
+fn audit_clean(cfg: ClusterConfig) -> Result<(), String> {
+    let cfg = cfg.with_slice_trace();
+    let meta = cfg.trace_meta();
+    let (_, log) = ClusterSim::new(cfg)
+        .try_run_traced()
+        .map_err(|e| format!("run failed: {e}"))?;
+    let log = log.expect("slice tracing was enabled");
+    let report = check_with(&log, &AuditOptions::from_meta(&meta));
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("audit failed on a real trace:\n{report}"))
+    }
+}
+
+proptest! {
+    /// Flat clusters: any shape, both strategies, any seed.
+    #[test]
+    fn simulator_traces_always_audit_clean(
+        machines in 2usize..5,
+        gbps in 2.0f64..20.0,
+        seed in 0u64..1_000_000,
+        head in 200_000u64..1_500_000,
+        p3_strategy in any::<bool>(),
+    ) {
+        let strategy = if p3_strategy { SyncStrategy::p3() } else { SyncStrategy::baseline() };
+        let cfg = ClusterConfig::new(
+            tiny_model(head),
+            strategy,
+            machines,
+            Bandwidth::from_gbps(gbps),
+        )
+        .with_iters(0, 2)
+        .with_seed(seed);
+        if let Err(why) = audit_clean(cfg) {
+            prop_assert!(false, "machines={machines} gbps={gbps:.1} seed={seed} p3={p3_strategy}: {why}");
+        }
+    }
+
+    /// Lossy clusters: the retransmit machinery must not break causality,
+    /// conservation or capacity accounting.
+    #[test]
+    fn lossy_traces_audit_clean(
+        machines in 2usize..4,
+        loss in 0.0f64..0.15,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut faults = FaultPlan::none();
+        faults.loss_probability = loss;
+        let cfg = ClusterConfig::new(
+            tiny_model(600_000),
+            SyncStrategy::p3(),
+            machines,
+            Bandwidth::from_gbps(6.0),
+        )
+        .with_iters(0, 2)
+        .with_seed(seed)
+        .with_faults(faults);
+        if let Err(why) = audit_clean(cfg) {
+            prop_assert!(false, "machines={machines} loss={loss} seed={seed}: {why}");
+        }
+    }
+
+    /// Rack topologies: per-port capacity is unknown to the auditor there
+    /// (heterogeneous fabric), but every other invariant still applies.
+    #[test]
+    fn topology_traces_audit_clean(
+        oversub in 1.0f64..4.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = ClusterConfig::new(
+            tiny_model(600_000),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(6.0),
+        )
+        .with_iters(0, 2)
+        .with_seed(seed)
+        .with_topology(Topology::new(2, 2, oversub));
+        if let Err(why) = audit_clean(cfg) {
+            prop_assert!(false, "oversub={oversub} seed={seed}: {why}");
+        }
+    }
+}
