@@ -18,6 +18,10 @@ pub enum Collective {
     /// Binary-tree reduce + broadcast: `2·log₂N` rounds of the full
     /// payload — latency-friendly, bandwidth-suboptimal.
     Tree,
+    /// Recursive halving–doubling (Rabenseifner): bandwidth-optimal like
+    /// the ring (`2S(N−1)/N` per NIC) but only `2·log₂N` latency-bearing
+    /// steps. Requires a power-of-two machine count.
+    HalvingDoubling,
 }
 
 impl Collective {
@@ -27,8 +31,9 @@ impl Collective {
     ///
     /// # Panics
     ///
-    /// Panics if `machines == 0`, `bytes == 0`, or `link_bytes_per_sec`
-    /// is not positive.
+    /// Panics if `machines == 0`, `bytes == 0`, `link_bytes_per_sec` is
+    /// not positive, or halving–doubling runs on a non-power-of-two
+    /// cluster.
     pub fn duration(
         &self,
         bytes: u64,
@@ -58,6 +63,17 @@ impl Collective {
                 let transfer = SimDuration::from_secs_f64(bytes as f64 / link_bytes_per_sec);
                 (transfer + per_step) * rounds
             }
+            Collective::HalvingDoubling => {
+                assert!(
+                    machines.is_power_of_two(),
+                    "halving-doubling requires a power-of-two machine count, got {machines}"
+                );
+                // Each phase moves S(N−1)/N through every NIC across
+                // log₂N steps of halving (then doubling) exchanges.
+                let log = machines.trailing_zeros() as u64;
+                let wire = 2.0 * bytes as f64 * (n - 1.0) / n;
+                SimDuration::from_secs_f64(wire / link_bytes_per_sec) + per_step * (2 * log)
+            }
         }
     }
 
@@ -69,7 +85,7 @@ impl Collective {
         }
         let n = machines as f64;
         match self {
-            Collective::Ring => 2.0 * bytes as f64 * (n - 1.0) / n,
+            Collective::Ring | Collective::HalvingDoubling => 2.0 * bytes as f64 * (n - 1.0) / n,
             Collective::Tree => 2.0 * bytes as f64 * n.log2().ceil(),
         }
     }
@@ -133,5 +149,25 @@ mod tests {
     #[should_panic(expected = "empty allreduce")]
     fn zero_bytes_rejected() {
         Collective::Ring.duration(0, 4, 1e9, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn halving_doubling_matches_ring_bandwidth_with_fewer_steps() {
+        // Same 2S(N−1)/N wire bytes, so identical at zero latency…
+        let hd = Collective::HalvingDoubling.duration(8_000_000, 8, 1e9, SimDuration::ZERO);
+        let ring = Collective::Ring.duration(8_000_000, 8, 1e9, SimDuration::ZERO);
+        assert_eq!(hd, ring);
+        // …but 2·log₂N latency steps instead of 2(N−1): faster when
+        // per-step costs dominate.
+        let per_step = SimDuration::from_millis(1);
+        let hd = Collective::HalvingDoubling.duration(100, 32, 1e9, per_step);
+        let ring = Collective::Ring.duration(100, 32, 1e9, per_step);
+        assert!(hd < ring);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn halving_doubling_rejects_odd_clusters() {
+        Collective::HalvingDoubling.duration(1_000, 6, 1e9, SimDuration::ZERO);
     }
 }

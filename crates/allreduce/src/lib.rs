@@ -26,7 +26,9 @@
 #![warn(missing_debug_implementations)]
 
 mod collective;
+mod schedule;
 mod sim;
 
 pub use collective::Collective;
+pub use schedule::{CollectiveSchedule, ScheduleKind, Transfer};
 pub use sim::{run_allreduce, AllreduceConfig, AllreduceResult, DEFAULT_COLLECTIVE_SLICE};

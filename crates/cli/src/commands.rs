@@ -1,12 +1,15 @@
 //! Command implementations. Each returns its output as a `String` so tests
 //! can assert on it; `main` prints.
 
+// p3-lint: allow(file-length): one function per subcommand plus their
+// tests; grows a few lines per flag, split when a command outgrows a screen.
+
 use crate::args::{ArgError, Args};
 use core::fmt;
 use p3_allreduce::{run_allreduce, AllreduceConfig};
 use p3_cluster::{
-    bandwidth_sweep, ClusterConfig, ClusterSim, FaultPlan, LinkDegradation, StragglerEpisode,
-    WorkerCrash,
+    bandwidth_sweep, BackendKind, ClusterConfig, ClusterSim, FaultPlan, LinkDegradation,
+    StragglerEpisode, WorkerCrash,
 };
 use p3_core::SyncStrategy;
 use p3_des::{SimDuration, SimTime};
@@ -279,6 +282,8 @@ COMMANDS:
   plan        Shard-plan statistics        --model M [--strategy S] [--servers N]
   simulate    One training-cluster run     --model M [--strategy S] [--machines N]
                                            [--gbps G] [--iters N] [fault flags]
+                                           [--backend ps|ring|halving-doubling]
+                                           [--slice-params N]
                                            [--trace-out F] [--metrics-out F]
                                            [topology flags] [iteration flags]
   timeline    ASCII Gantt of a traced run  --model M [--strategy S] [--machines N]
@@ -387,7 +392,18 @@ fn plan(args: &Args) -> Result<String, CliError> {
 
 fn simulate(args: &Args) -> Result<String, CliError> {
     let model = model_by_name(args.require("model")?)?;
-    let strategy = strategy_by_name(args.get("strategy").unwrap_or("p3"))?;
+    let mut strategy = strategy_by_name(args.get("strategy").unwrap_or("p3"))?;
+    // Collectives want far coarser slices than the PS optimum (the
+    // fusion-buffer economics of EXPERIMENTS.md's slice-size sweep), so
+    // the granularity is overridable per run.
+    if let Some(n) = args.get("slice-params") {
+        let n: u64 = n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| bad_value("slice-params", n, "positive parameter count"))?;
+        strategy.slicing = p3_core::Slicing::MaxParams(n);
+    }
     let (topology, placement) = parse_topology_flags(args)?;
     let machines = resolve_machines(args, topology.as_ref(), 4)?;
     let gbps: f64 = args.get_or("gbps", 10.0, "number")?;
@@ -398,6 +414,12 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     if measure == 0 {
         return Err(bad_value("measure", "0", "positive integer"));
     }
+    let backend = match args.get("backend").unwrap_or("ps") {
+        "ps" => BackendKind::Ps,
+        "ring" => BackendKind::Ring,
+        "halving-doubling" => BackendKind::HalvingDoubling,
+        other => return Err(bad_value("backend", other, "ps|ring|halving-doubling")),
+    };
     let plan = parse_fault_plan(args)?;
     let faulty = !plan.is_empty();
     let trace_out = args.get("trace-out").map(str::to_string);
@@ -407,6 +429,7 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         .with_iters(warmup, measure)
         .with_seed(seed)
         .with_faults(plan)
+        .with_backend(backend)
         .with_placement(placement);
     if let Some(t) = topology {
         cfg = cfg.with_topology(t);
@@ -449,6 +472,14 @@ fn simulate(args: &Args) -> Result<String, CliError> {
                 if l.transit { "  (core)" } else { "" }
             );
         }
+    }
+    if backend.is_collective() {
+        let _ = writeln!(
+            out,
+            "backend: {}  |  collective chunks: {}",
+            backend.name(),
+            r.messages.collective_chunks
+        );
     }
     if audited {
         let _ = writeln!(out, "audit: clean (invariant catalog, DESIGN.md §10)");
@@ -742,6 +773,40 @@ mod tests {
         ));
         let msg = run("plan").unwrap_err().to_string();
         assert!(msg.contains("--model"), "{msg}");
+    }
+
+    #[test]
+    fn simulate_with_ring_backend_audits_clean() {
+        let out = run(
+            "simulate --model resnet50 --machines 2 --gbps 20 --iters 2 \
+             --backend ring --slice-params 2000000 --audit",
+        )
+        .unwrap();
+        assert!(out.contains("backend: ring"), "{out}");
+        assert!(out.contains("collective chunks:"), "{out}");
+        assert!(out.contains("audit: clean"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_slice_params() {
+        assert!(matches!(
+            run("simulate --model resnet50 --slice-params 0"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_backend() {
+        assert!(matches!(
+            run("simulate --model resnet50 --backend gossip"),
+            Err(CliError::Args(ArgError::BadValue { .. }))
+        ));
+        // Halving–doubling needs a power-of-two cluster: the simulator's
+        // validation error surfaces, not a panic.
+        assert!(matches!(
+            run("simulate --model resnet50 --machines 3 --backend halving-doubling"),
+            Err(CliError::Sim(_))
+        ));
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct ClusterConfig {
     /// layer-granular messages of the baseline; sliced strategies spread
     /// across connections.
     pub flow_cap: f64,
+    /// Parallel channels per collective transfer (NCCL-style): each ring /
+    /// halving–doubling transfer is split into this many concurrent flows
+    /// so a single peer-to-peer stream is not pinned to the `flow_cap`
+    /// single-flow ceiling. Ignored by the PS backend, whose sliced pushes
+    /// already spread across many connections.
+    pub collective_channels: usize,
     /// Optional gradient compression on the wire (§6: compression is
     /// orthogonal to P3 and combinable with it). Shrinks payloads; the
     /// accuracy cost of compression is measured separately by `p3-train`.
@@ -92,6 +98,47 @@ pub struct ClusterConfig {
     /// Where PS shards live relative to the racks (only meaningful with a
     /// topology; ignored on the flat fabric).
     pub placement: Placement,
+    /// Which communication backend aggregates gradients: the parameter
+    /// server (the paper's setting) or a collective allreduce hosted on
+    /// the same engine, network, and fault machinery.
+    pub backend: BackendKind,
+}
+
+/// The gradient-aggregation mechanism of a run.
+///
+/// All backends share the worker compute engine, the fluid network, the
+/// fault machinery, and the trace/audit pipeline; they differ only in how
+/// ready gradients travel and how updated parameters come back (the
+/// `CommBackend` seam, DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Sharded parameter server: push → aggregate → pull, under the
+    /// configured [`SyncStrategy`](p3_core::SyncStrategy).
+    #[default]
+    Ps,
+    /// Ring allreduce: each slice's gradients circulate in `2(N−1)`
+    /// neighbour-to-neighbour chunk steps, one collective in flight at a
+    /// time (Horovod-style serialization), scheduled by slice priority.
+    Ring,
+    /// Recursive halving–doubling allreduce: `2·log₂N` pairwise exchange
+    /// steps; requires a power-of-two machine count.
+    HalvingDoubling,
+}
+
+impl BackendKind {
+    /// Stable lower-case name, as accepted by `p3 simulate --backend`.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Ps => "ps",
+            BackendKind::Ring => "ring",
+            BackendKind::HalvingDoubling => "halving-doubling",
+        }
+    }
+
+    /// True for the collective (non-parameter-server) backends.
+    pub fn is_collective(self) -> bool {
+        self != BackendKind::Ps
+    }
 }
 
 /// Payload shrink factors of a lossy compression scheme, as seen by the
@@ -157,9 +204,11 @@ impl ClusterConfig {
             start_stagger: SimDuration::from_millis(2),
             net_efficiency: 0.25,
             flow_cap: 120e6,
+            collective_channels: 4,
             wire_compression: None,
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            backend: BackendKind::Ps,
             liveness_timeout: SimDuration::from_secs(5),
             topology: None,
             placement: Placement::Spread,
@@ -225,10 +274,12 @@ impl ClusterConfig {
     pub fn trace_meta(&self) -> p3_trace::TraceMeta {
         p3_trace::TraceMeta {
             machines: self.machines,
-            single_consumer: Some(matches!(
-                self.strategy.egress,
-                p3_core::Egress::SingleConsumer
-            )),
+            // Collective backends force single-lane worker egress (chunk
+            // steps are strictly ordered), whatever the strategy says.
+            single_consumer: Some(
+                self.backend.is_collective()
+                    || matches!(self.strategy.egress, p3_core::Egress::SingleConsumer),
+            ),
             window: Some(self.machines),
             // Uniform per-port capacity only exists on the flat fabric;
             // topology runs bound flows per link, which the flat check
@@ -251,6 +302,21 @@ impl ClusterConfig {
     /// Overrides the timeout/retransmit policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Selects the gradient-aggregation backend (validated when the run
+    /// starts: halving–doubling needs a power-of-two cluster, and the
+    /// collective backends reject crash plans and wire compression).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the number of parallel channels each collective transfer
+    /// is split into (validated when the run starts: must be at least one).
+    pub fn with_collective_channels(mut self, channels: usize) -> Self {
+        self.collective_channels = channels;
         self
     }
 }
@@ -285,6 +351,9 @@ pub struct MessageStats {
     /// Rack-aggregator→server combined pushes delivered (rack-local
     /// placement only).
     pub combined_pushes: u64,
+    /// Worker→worker collective chunks delivered (reduce-scatter plus
+    /// allgather; ring and halving–doubling backends only).
+    pub collective_chunks: u64,
 }
 
 /// Counters of everything the fault-injection and reliability machinery

@@ -1,0 +1,286 @@
+//! Collective communication backend: `p3-allreduce`'s ring and
+//! halving–doubling schedules re-hosted on the cluster engine, so
+//! allreduce runs get the fluid network, topology contention, fault
+//! injection, tracing, and the audit for free.
+//!
+//! Semantics (mirroring `p3_allreduce::run_allreduce`'s analytic model,
+//! which remains the closed-form reference):
+//!
+//! - A slice's collective launches once **every** worker has finished the
+//!   backward pass of the slice's block (an allreduce is inherently a
+//!   barrier per tensor).
+//! - Ready slices wait in a priority queue; **one collective is in flight
+//!   at a time** (Horovod-style coordinator serialization), so priority
+//!   decides who goes next — P3's scheduling generalized to collectives.
+//! - Each schedule step's chunks travel through the worker endpoints'
+//!   single-lane egress and the fluid network like any other message:
+//!   they pay `msg_overhead` at admission, contend for links, can be lost
+//!   and retransmitted, and appear in the trace as `ReduceScatter` /
+//!   `AllGather` chunks.
+//! - When the last allgather chunk lands, every worker's
+//!   `received_version` for the slice advances and stalled forward passes
+//!   are rechecked — the same contract the PS backend satisfies with its
+//!   `Response` broadcast.
+//!
+//! Stragglers and degraded links work unchanged. Message loss works, but
+//! a chunk that exhausts its retry budget (`GiveUp`) wedges the collective
+//! and surfaces as a structured `Deadlock` — configure a generous retry
+//! budget with loss. Worker crashes and wire compression are rejected at
+//! config validation (a dead rank has no counterpart in a ring; compressed
+//! collectives are future work, see ROADMAP).
+
+use super::backend::CommBackend;
+use super::types::{MsgCtx, MsgKind, Role};
+use super::ClusterSim;
+use crate::egress::OutMsg;
+use p3_allreduce::CollectiveSchedule;
+use p3_core::PrioQueue;
+use p3_net::{MachineId, Priority};
+use p3_pserver::HEADER_BYTES;
+use p3_trace::{MsgClass, TraceEvent};
+
+/// The one collective currently occupying the network.
+#[derive(Debug, Clone, Copy)]
+struct ActiveCollective {
+    key: usize,
+    round: u64,
+    step: usize,
+    /// Chunks of the current step not yet delivered.
+    outstanding: usize,
+}
+
+/// All collective-backend state, hung off the sim as
+/// `Option<CollectiveState>` (`None` under the PS backend, so PS runs
+/// carry no dead weight). The backend's hooks temporarily take the state
+/// out of the sim while they run — it and the rest of the sim are mutated
+/// side by side, and its absence doubles as the "is a collective already
+/// being handled?" re-entrancy guard.
+#[derive(Debug)]
+pub(crate) struct CollectiveState {
+    schedule: CollectiveSchedule,
+    /// Per-block count of workers whose backward pass for that block has
+    /// finished this round. Rounds cannot be confused: a worker only
+    /// reaches round r+1's backward after every slice of round r
+    /// completed its collective (the forward pass gates on it).
+    block_ready: Vec<u32>,
+    /// Slices whose gradients are ready cluster-wide, keyed by network
+    /// priority: the next collective to launch is the most urgent one.
+    pending: PrioQueue<(usize, u64)>,
+    active: Option<ActiveCollective>,
+}
+
+impl CollectiveState {
+    pub(crate) fn new(schedule: CollectiveSchedule, blocks: usize) -> Self {
+        CollectiveState {
+            schedule,
+            block_ready: vec![0; blocks],
+            pending: PrioQueue::new(),
+            active: None,
+        }
+    }
+}
+
+/// Ring / halving–doubling allreduce hosted on the engine. Which schedule
+/// runs is decided by the [`CollectiveSchedule`] built from
+/// [`BackendKind`](crate::BackendKind) at construction.
+pub(crate) struct CollectiveBackend;
+
+impl CommBackend for CollectiveBackend {
+    fn grads_ready(sim: &mut ClusterSim, worker: usize, block: usize, round: u64) {
+        let Some(mut st) = sim.collective.take() else {
+            unreachable!("collective backend without collective state")
+        };
+        let keys = &sim.keys_of_block[block];
+        for &k in keys {
+            sim.trace(TraceEvent::GradReady {
+                worker,
+                key: k,
+                round,
+                priority: sim.prio[k],
+            });
+        }
+        st.block_ready[block] += 1;
+        if st.block_ready[block] >= sim.cfg.machines as u32 {
+            // The whole cluster finished this block: its slices are
+            // eligible.
+            st.block_ready[block] = 0;
+            for &k in keys {
+                st.pending.push(sim.prio[k], (k, round));
+            }
+            if st.active.is_none() {
+                Self::start_next(sim, &mut st);
+            }
+        }
+        sim.collective = Some(st);
+    }
+
+    fn delivered(sim: &mut ClusterSim, ctx: MsgCtx) {
+        let Some(mut st) = sim.collective.take() else {
+            unreachable!("collective backend without collective state")
+        };
+        Self::on_chunk_delivered(sim, &mut st, ctx);
+        sim.collective = Some(st);
+    }
+
+    fn iteration_started(_sim: &mut ClusterSim, _worker: usize) {
+        // Nothing to do: parameters arrive via allgather completion, never
+        // by pulling.
+    }
+}
+
+impl CollectiveBackend {
+    fn on_chunk_delivered(sim: &mut ClusterSim, st: &mut CollectiveState, ctx: MsgCtx) {
+        let chunk_step = match ctx.kind {
+            MsgKind::ReduceScatter { step, .. } | MsgKind::AllGather { step, .. } => step,
+            other => unreachable!("{other:?} delivered under a collective backend"),
+        };
+        sim.stats.collective_chunks += 1;
+        let Some(mut a) = st.active else {
+            unreachable!("chunk delivered with no active collective")
+        };
+        assert_eq!(
+            chunk_step, a.step,
+            "chunk from step {chunk_step} delivered while step {} is active",
+            a.step
+        );
+        a.outstanding -= 1;
+        if a.outstanding > 0 {
+            st.active = Some(a);
+            return;
+        }
+        a.step += 1;
+        // (The degenerate single-machine collective arrives here with
+        // `step == 1 > steps() == 0` and completes immediately.)
+        if a.step < st.schedule.steps() {
+            a.outstanding = Self::launch_step(sim, st, a.key, a.round, a.step);
+            st.active = Some(a);
+            return;
+        }
+        st.active = None;
+        Self::complete(sim, st, a.key, a.round);
+    }
+
+    /// Launches the most urgent pending collective, if any.
+    fn start_next(sim: &mut ClusterSim, st: &mut CollectiveState) {
+        debug_assert!(st.active.is_none(), "collective already in flight");
+        let Some((key, round)) = st.pending.pop() else {
+            return;
+        };
+        let outstanding = if st.schedule.steps() == 0 {
+            Self::launch_degenerate(sim, key, round)
+        } else {
+            Self::launch_step(sim, st, key, round, 0)
+        };
+        st.active = Some(ActiveCollective {
+            key,
+            round,
+            step: 0,
+            outstanding,
+        });
+    }
+
+    /// Single-machine cluster: an allreduce with yourself moves no
+    /// gradients, but one loopback allgather chunk still flows so the
+    /// trace and the delivery path stay uniform with real clusters.
+    fn launch_degenerate(sim: &mut ClusterSim, key: usize, round: u64) -> usize {
+        let version = round + 1;
+        let bytes = HEADER_BYTES as u64;
+        let priority = Priority(sim.prio[key]);
+        let msg_id = sim.register_msg(
+            MsgKind::AllGather {
+                key,
+                version,
+                step: 0,
+            },
+            0,
+            0,
+            bytes,
+            priority,
+        );
+        let msg = OutMsg {
+            dst: MachineId(0),
+            bytes,
+            priority,
+            msg_id,
+        };
+        sim.enqueue_traced(0, Role::Worker, msg, MsgClass::AllGather, key, version);
+        sim.kick_egress(0, Role::Worker);
+        1
+    }
+
+    /// Enqueues every chunk of one schedule step on its sender's egress
+    /// and returns the number of chunks in flight. Each schedule transfer
+    /// is split into `collective_channels` concurrent flows (NCCL-style
+    /// channels) so one peer-to-peer stream is not pinned to the
+    /// single-flow goodput ceiling (`ClusterConfig::flow_cap`).
+    fn launch_step(
+        sim: &mut ClusterSim,
+        st: &CollectiveState,
+        key: usize,
+        round: u64,
+        step: usize,
+    ) -> usize {
+        let payload = 4 * sim.plan.slice(p3_pserver::Key(key as u64)).params;
+        let transfers = st.schedule.transfers(step, payload);
+        let allgather = st.schedule.is_allgather(step);
+        let priority = Priority(sim.prio[key]);
+        let channels = sim.cfg.collective_channels as u64;
+        let mut chunks = 0;
+        for t in &transfers {
+            let (kind, class, tag) = if allgather {
+                let version = round + 1;
+                (
+                    MsgKind::AllGather { key, version, step },
+                    MsgClass::AllGather,
+                    version,
+                )
+            } else {
+                (
+                    MsgKind::ReduceScatter { key, round, step },
+                    MsgClass::ReduceScatter,
+                    round,
+                )
+            };
+            // Near-even split; the last channel takes the remainder.
+            let per = t.bytes / channels;
+            for c in 0..channels {
+                let slab = if c == channels - 1 {
+                    t.bytes - per * (channels - 1)
+                } else {
+                    per
+                };
+                let bytes = slab + HEADER_BYTES as u64;
+                let msg_id = sim.register_msg(kind, t.src, t.dst, bytes, priority);
+                let msg = OutMsg {
+                    dst: MachineId(t.dst),
+                    bytes,
+                    priority,
+                    msg_id,
+                };
+                sim.enqueue_traced(t.src, Role::Worker, msg, class, key, tag);
+                chunks += 1;
+            }
+        }
+        for t in &transfers {
+            sim.kick_egress(t.src, Role::Worker);
+        }
+        chunks
+    }
+
+    /// The last allgather chunk landed: every worker now holds the
+    /// aggregated parameters for this slice — the collective equivalent of
+    /// the PS backend's response broadcast.
+    fn complete(sim: &mut ClusterSim, st: &mut CollectiveState, key: usize, round: u64) {
+        let version = round + 1;
+        for w in 0..sim.cfg.machines {
+            let rv = &mut sim.workers[w].received_version[key];
+            if version > *rv {
+                *rv = version;
+            }
+        }
+        for w in 0..sim.cfg.machines {
+            sim.recheck_waiting(w);
+        }
+        Self::start_next(sim, st);
+    }
+}

@@ -1,0 +1,161 @@
+//! Membership layer: worker-process crashes, restarts, and liveness-based
+//! eviction. A crash destroys the process's queued and in-flight messages
+//! and rolls its restart point back; an eviction shrinks the aggregation
+//! membership so rounds complete degraded with the survivors.
+
+use super::types::{role_slot, worker_originated, Ev, MsgKind, Role};
+use super::ClusterSim;
+use crate::egress::EgressUnit;
+use p3_core::Egress;
+use p3_des::SimTime;
+use p3_net::FlowId;
+use p3_trace::{FaultKind, TraceEvent};
+
+impl ClusterSim {
+    fn fresh_worker_egress(&self) -> EgressUnit {
+        if self.cfg.backend.is_collective() {
+            return EgressUnit::single(self.cfg.machines);
+        }
+        match self.cfg.strategy.egress {
+            Egress::SingleConsumer => EgressUnit::single(self.cfg.machines),
+            Egress::PerServerFifo => EgressUnit::per_dest(self.cfg.machines),
+        }
+    }
+
+    pub(crate) fn on_crash(&mut self, idx: usize) {
+        let c = self.cfg.faults.crashes[idx];
+        let now = self.queue.now();
+        let w = c.worker;
+
+        // Cancel the dead process's in-network transmissions and reclaim
+        // their bandwidth.
+        let doomed: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|&(_, mid)| {
+                let ctx = &self.msgs[mid];
+                ctx.src == w && worker_originated(ctx.kind)
+            })
+            .map(|(&f, _)| f)
+            .collect();
+        self.trace_fault(FaultKind::Crash, w, None);
+        for flow in doomed {
+            let cancelled = self.net.cancel_flow(now, flow);
+            debug_assert!(cancelled, "registered flow unknown to the network");
+            let mid = self.flows.remove(&flow);
+            self.faults.flows_cancelled += 1;
+            self.trace_fault(FaultKind::FlowCancelled, w, mid);
+        }
+
+        // Discard every worker-originated message (queued or formerly in
+        // flight) and roll the restart point back to the oldest round whose
+        // push was destroyed — on rejoin that iteration is redone, and
+        // servers deduplicate the replayed keys they already counted.
+        let mut resume = self.workers[w].iter;
+        self.msgs.retain(|_, ctx| {
+            if ctx.src == w && worker_originated(ctx.kind) {
+                if let MsgKind::Push { round, .. } = ctx.kind {
+                    resume = resume.min(round);
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        let fresh = self.fresh_worker_egress();
+        let stall_ended = {
+            let ws = &mut self.workers[w];
+            ws.crashed = true;
+            ws.incarnation += 1;
+            ws.resume_iter = resume;
+            let blk = ws.waiting_block.take();
+            let stalled = ws.stalled_since.take().map(|since| {
+                ws.stalled_total += now - since;
+            });
+            ws.egress = fresh;
+            stalled.and(blk)
+        };
+        if let Some(b) = stall_ended {
+            self.trace(TraceEvent::StallEnd {
+                worker: w,
+                block: b,
+            });
+        }
+        self.admit_gate[w][role_slot(Role::Worker)] = SimTime::ZERO;
+        self.admit_kick_at[w][role_slot(Role::Worker)] = None;
+
+        match c.rejoin_after {
+            None => self.workers[w].permanently_dead = true,
+            Some(after) => self
+                .queue
+                .schedule_at(now + after, Ev::Rejoin { worker: w }),
+        }
+        self.queue.schedule_at(
+            now + self.cfg.liveness_timeout,
+            Ev::LivenessTimeout { worker: w },
+        );
+        self.schedule_net_wake();
+    }
+
+    pub(crate) fn on_rejoin(&mut self, worker: usize) {
+        let now = self.queue.now();
+        self.trace_fault(FaultKind::Rejoin, worker, None);
+        if self.dead_members[worker] {
+            // Re-admit to the membership; rounds require its pushes again.
+            self.dead_members[worker] = false;
+            self.expected_pushes += 1;
+        }
+        let w = &mut self.workers[worker];
+        let resume = w.resume_iter;
+        w.crashed = false;
+        w.iter = resume;
+        w.completed = resume;
+        w.waiting_block = None;
+        w.stalled_since = None;
+        w.iter_started = now;
+        if !w.started {
+            w.started = true;
+            if self.cfg.warmup_iters == 0 && w.measure_start.is_none() {
+                w.measure_start = Some(now);
+            }
+        }
+        self.resample_jitter(worker);
+        // Re-sync: the restarted process pulls the current state of every
+        // key (servers answer immediately with their latest version, or
+        // defer until the resumed round completes).
+        for k in 0..self.plan.num_keys() {
+            self.send_pull_request(worker, k, resume);
+        }
+        self.kick_egress(worker, Role::Worker);
+        self.try_start_fwd(worker, 0);
+    }
+
+    pub(crate) fn on_liveness_timeout(&mut self, worker: usize) {
+        if !self.workers[worker].crashed || self.dead_members[worker] {
+            return; // rejoined in time, or already evicted
+        }
+        self.dead_members[worker] = true;
+        self.expected_pushes -= 1;
+        self.trace_fault(FaultKind::Eviction, worker, None);
+        // Graceful degradation: complete every round now satisfiable by the
+        // survivors alone. (The server averages over the gradients it has —
+        // the effective batch shrinks, convergence is unaffected in
+        // expectation.)
+        for s in 0..self.servers.len() {
+            let keys: Vec<usize> = (0..self.plan.num_keys())
+                .filter(|&k| {
+                    let mask = self.servers[s].received[k];
+                    mask != 0 && mask.count_ones() >= self.expected_pushes
+                })
+                .collect();
+            let any = !keys.is_empty();
+            for k in keys {
+                self.complete_round(s, k);
+            }
+            if any {
+                self.kick_egress(s, Role::Server);
+            }
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! The layered event-driven cluster engine: workers computing
+//! forward/backward passes, a pluggable communication backend moving
+//! gradients and parameters, all traffic flowing through the fluid network.
+//!
+//! The engine is split into composable layers (DESIGN.md §11):
+//!
+//! - [`worker`] — the compute engine: forward/backward scheduling, stall
+//!   accounting, iteration bookkeeping, jitter.
+//! - [`transport`] — the network adapter: egress admission, flow
+//!   start/delivery, loss draws, retry timers, trace recording.
+//! - [`server`] — the parameter-server engine: shard processing queues,
+//!   aggregation, round completion, response fan-out, rack aggregation.
+//! - [`membership`] — crash/rejoin/eviction handling.
+//! - [`backend`] — the [`CommBackend`](backend::CommBackend) seam: how
+//!   ready gradients travel and how parameters come back. The PS backend
+//!   implements the paper's push→aggregate→pull; the collective backend
+//!   ([`collective`]) re-hosts `p3-allreduce`'s ring and halving–doubling
+//!   schedules on the same engine.
+//!
+//! An optional [`FaultPlan`](crate::FaultPlan) injects stragglers, degraded
+//! links, message loss, and worker crashes. Loss and crashes arm a
+//! timeout/retransmit layer ([`RetryPolicy`](p3_pserver::RetryPolicy)); a
+//! worker silent past the liveness timeout is dropped from the membership
+//! and rounds complete with the survivors' gradients (graceful
+//! degradation). The empty plan schedules no fault events and draws no
+//! extra randomness, so fault-free results stay bit-identical.
+
+mod backend;
+mod collective;
+mod membership;
+mod server;
+mod transport;
+mod types;
+mod worker;
+
+#[cfg(test)]
+mod fault_tests;
+#[cfg(test)]
+mod tests;
+
+use crate::config::{
+    BackendKind, ClusterConfig, FaultStats, LinkUtilization, MessageStats, RunError, RunResult,
+    UtilizationTrace,
+};
+use crate::egress::EgressUnit;
+use collective::CollectiveState;
+use p3_allreduce::{CollectiveSchedule, ScheduleKind};
+use p3_core::{Egress, PrioQueue};
+use p3_des::{quantile, EventQueue, SimDuration, SimTime, SplitMix64};
+use p3_models::BlockTiming;
+use p3_net::{FlowId, MachineId, Network, NetworkConfig};
+use p3_pserver::ShardPlan;
+use p3_topo::Placement;
+use p3_trace::{TraceHandle, TraceLog};
+use std::collections::BTreeMap;
+use types::{
+    role_slot, trace_phase, Ev, MsgCtx, Phase, Role, ServerState, WorkerState, EVENT_CAP,
+    MAX_MACHINES,
+};
+
+/// One fully configured simulation, ready to [`ClusterSim::run`].
+///
+/// # Examples
+///
+/// ```
+/// use p3_cluster::{ClusterConfig, ClusterSim};
+/// use p3_core::SyncStrategy;
+/// use p3_models::ModelSpec;
+/// use p3_net::Bandwidth;
+///
+/// let cfg = ClusterConfig::new(
+///     ModelSpec::resnet50(),
+///     SyncStrategy::p3(),
+///     4,
+///     Bandwidth::from_gbps(10.0),
+/// ).with_iters(1, 2);
+/// let result = ClusterSim::new(cfg).run();
+/// assert!(result.throughput > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    queue: EventQueue<Ev>,
+    net: Network,
+    workers: Vec<WorkerState>,
+    servers: Vec<ServerState>,
+    plan: ShardPlan,
+    prio: Vec<u32>,
+    /// Forward/backward durations per compute block for a full batch.
+    block_times: Vec<BlockTiming>,
+    /// Key indices per compute block, in block order.
+    keys_of_block: Vec<Vec<usize>>,
+    msgs: BTreeMap<u64, MsgCtx>,
+    flows: BTreeMap<FlowId, u64>,
+    next_msg_id: u64,
+    next_wake: Option<SimTime>,
+    /// Per-(machine, role) earliest next admission instant for
+    /// single-consumer egress (serial per-message serialization cost).
+    admit_gate: Vec<[SimTime; 2]>,
+    /// Deduplication of scheduled AdmitKick events.
+    admit_kick_at: Vec<[Option<SimTime>; 2]>,
+    events: u64,
+    stats: MessageStats,
+    /// Dedicated RNG stream for message-loss draws, independent of the
+    /// placement/jitter streams so enabling loss perturbs nothing else.
+    loss_rng: SplitMix64,
+    /// Workers evicted from the aggregation membership after a liveness
+    /// timeout; servers neither expect their pushes nor send to them.
+    dead_members: Vec<bool>,
+    /// Pushes required to complete a round (live membership size).
+    expected_pushes: u32,
+    faults: FaultStats,
+    /// Slice-lifecycle event recorder, present only when
+    /// [`ClusterConfig::slice_trace`] is set. Recording draws no
+    /// randomness and schedules nothing, so results are bit-identical with
+    /// it on or off.
+    tracer: Option<TraceHandle>,
+    /// Partial-sum state of rack-local aggregation: (aggregator machine,
+    /// key, round) → mask of rack members whose gradient has arrived.
+    rack_agg: BTreeMap<(usize, usize, u64), u128>,
+    /// Collective-backend state (ring / halving–doubling schedules and the
+    /// one-at-a-time active collective); `None` under the PS backend.
+    collective: Option<CollectiveState>,
+    /// A configuration contradiction detected during construction,
+    /// surfaced as [`RunError::InvalidConfig`] when the run starts
+    /// (construction itself is infallible).
+    config_error: Option<String>,
+}
+
+impl ClusterSim {
+    /// Builds the simulation state for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero machines, zero
+    /// batch).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.machines > 0, "at least one machine required");
+        assert!(cfg.batch_per_worker > 0, "zero batch");
+        let mut config_error = None;
+        let mut plan = cfg.strategy.plan(&cfg.model, cfg.machines, cfg.seed);
+        let topology_ok = match &cfg.topology {
+            Some(t) if t.machines() != cfg.machines => {
+                config_error = Some(format!(
+                    "topology covers {} machines but the cluster has {}",
+                    t.machines(),
+                    cfg.machines
+                ));
+                false
+            }
+            Some(_) => true,
+            None => false,
+        };
+        if topology_ok {
+            let topo = cfg.topology.as_ref().expect("checked above");
+            plan.map_servers(|s| cfg.placement.place_server(s, topo));
+        }
+        let prio = cfg.strategy.priorities(&plan);
+        let block_times = cfg.compute.block_times(&cfg.model, cfg.batch_per_worker);
+
+        // Map arrays to compute blocks, then keys to blocks.
+        let mut block_of_array = Vec::new();
+        for (b, blk) in cfg.model.blocks().iter().enumerate() {
+            for _ in &blk.arrays {
+                block_of_array.push(b);
+            }
+        }
+        let mut keys_of_block: Vec<Vec<usize>> = vec![Vec::new(); cfg.model.blocks().len()];
+        for (k, s) in plan.slices().iter().enumerate() {
+            keys_of_block[block_of_array[s.array]].push(k);
+        }
+
+        let net_cfg = {
+            let mut c = NetworkConfig::new(cfg.machines, cfg.bandwidth)
+                .with_latency(cfg.latency)
+                .with_efficiency(cfg.net_efficiency)
+                .with_flow_cap(cfg.flow_cap);
+            if let Some(bin) = cfg.trace_bin {
+                c = c.with_trace(bin);
+            }
+            if topology_ok {
+                let topo = cfg.topology.as_ref().expect("checked above");
+                c = c.with_link_graph(topo.compile(cfg.bandwidth));
+            }
+            c
+        };
+
+        // Collective backends step every worker through strictly ordered
+        // chunk sends, so their egress is always single-lane whatever the
+        // strategy says; the PS backend follows the strategy.
+        let num_keys = plan.num_keys();
+        let mk_worker_egress = || {
+            if cfg.backend.is_collective() {
+                return EgressUnit::single(cfg.machines);
+            }
+            match cfg.strategy.egress {
+                Egress::SingleConsumer => EgressUnit::single(cfg.machines),
+                Egress::PerServerFifo => EgressUnit::per_dest(cfg.machines),
+            }
+        };
+        let collective = match cfg.backend {
+            BackendKind::Ps => None,
+            BackendKind::Ring | BackendKind::HalvingDoubling => {
+                let kind = if cfg.backend == BackendKind::Ring {
+                    ScheduleKind::Ring
+                } else {
+                    ScheduleKind::HalvingDoubling
+                };
+                match CollectiveSchedule::new(kind, cfg.machines) {
+                    Ok(schedule) => Some(CollectiveState::new(schedule, cfg.model.blocks().len())),
+                    Err(why) => {
+                        config_error.get_or_insert(why);
+                        None
+                    }
+                }
+            }
+        };
+        let mut rng = SplitMix64::new(cfg.seed ^ 0xC0FF_EE00);
+        let workers = (0..cfg.machines)
+            .map(|_| WorkerState {
+                iter: 0,
+                completed: 0,
+                received_version: vec![0; num_keys],
+                notified_version: vec![0; num_keys],
+                waiting_block: None,
+                stalled_since: None,
+                stalled_total: SimDuration::ZERO,
+                started: false,
+                measure_start: None,
+                measure_end: None,
+                jitter: 1.0,
+                slowdown: 1.0,
+                crashed: false,
+                permanently_dead: false,
+                incarnation: 0,
+                resume_iter: 0,
+                iter_started: SimTime::ZERO,
+                measured_iters: Vec::new(),
+                egress: mk_worker_egress(),
+                rng: rng.fork(),
+            })
+            .collect();
+        let servers = (0..cfg.machines)
+            .map(|_| ServerState {
+                proc_queue: PrioQueue::new(),
+                proc_busy: false,
+                received: vec![0; num_keys],
+                version: vec![0; num_keys],
+                pending_pulls: vec![Vec::new(); num_keys],
+                current: None,
+                egress: mk_worker_egress(),
+            })
+            .collect();
+
+        let tracer = cfg.slice_trace.then(TraceHandle::default);
+        let mut net = Network::new(net_cfg);
+        if let Some(t) = &tracer {
+            net.set_tracer(t.clone());
+        }
+
+        ClusterSim {
+            queue: EventQueue::new(),
+            net,
+            workers,
+            servers,
+            plan,
+            prio,
+            block_times,
+            keys_of_block,
+            msgs: BTreeMap::new(),
+            flows: BTreeMap::new(),
+            next_msg_id: 0,
+            next_wake: None,
+            admit_gate: vec![[SimTime::ZERO; 2]; cfg.machines],
+            admit_kick_at: vec![[None; 2]; cfg.machines],
+            events: 0,
+            stats: MessageStats::default(),
+            loss_rng: SplitMix64::new(cfg.seed ^ 0x10_55_10_55),
+            dead_members: vec![false; cfg.machines],
+            expected_pushes: cfg.machines as u32,
+            faults: FaultStats::default(),
+            tracer,
+            rack_agg: BTreeMap::new(),
+            collective,
+            config_error,
+            cfg,
+        }
+    }
+
+    /// Runs to completion and reports measured throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`RunError`]: an invalid fault plan, a deadlocked
+    /// simulation, or an exceeded event cap. Sweeps over possibly-bad
+    /// configurations should prefer [`ClusterSim::try_run`].
+    pub fn run(self) -> RunResult {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs to completion, returning a structured error instead of
+    /// panicking when the configuration is invalid or the run wedges.
+    pub fn try_run(self) -> Result<RunResult, RunError> {
+        self.try_run_traced().map(|(result, _)| result)
+    }
+
+    /// Runs to completion, returning the measured result together with the
+    /// recorded slice-lifecycle trace (present when
+    /// [`ClusterConfig::slice_trace`] is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`RunError`], like [`ClusterSim::run`].
+    pub fn run_traced(self) -> (RunResult, Option<TraceLog>) {
+        self.try_run_traced().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`ClusterSim::try_run`], additionally returning the recorded
+    /// trace when tracing is enabled.
+    pub fn try_run_traced(mut self) -> Result<(RunResult, Option<TraceLog>), RunError> {
+        if self.cfg.machines > MAX_MACHINES {
+            return Err(RunError::InvalidConfig(format!(
+                "{} machines exceeds the {MAX_MACHINES}-machine membership mask",
+                self.cfg.machines
+            )));
+        }
+        if let Some(why) = self.config_error.take() {
+            return Err(RunError::InvalidConfig(why));
+        }
+        self.cfg
+            .faults
+            .validate(self.cfg.machines)
+            .map_err(RunError::InvalidConfig)?;
+        if self.cfg.topology.is_some()
+            && self.cfg.placement == Placement::RackLocal
+            && (self.cfg.faults.loss_probability > 0.0 || !self.cfg.faults.crashes.is_empty())
+        {
+            return Err(RunError::InvalidConfig(
+                "rack-local aggregation does not support message loss or worker crashes".into(),
+            ));
+        }
+        if self.cfg.backend.is_collective() {
+            if !self.cfg.faults.crashes.is_empty() {
+                return Err(RunError::InvalidConfig(
+                    "collective backends do not support worker crashes (a dead rank wedges \
+                     the schedule; use the ps backend for crash experiments)"
+                        .into(),
+                ));
+            }
+            if self.cfg.wire_compression.is_some() {
+                return Err(RunError::InvalidConfig(
+                    "wire compression is not yet modelled for collective backends".into(),
+                ));
+            }
+            if self.cfg.collective_channels == 0 {
+                return Err(RunError::InvalidConfig(
+                    "collective backends need at least one channel per transfer".into(),
+                ));
+            }
+        }
+
+        let target = self.cfg.warmup_iters + self.cfg.measure_iters;
+        // Staggered worker starts model real cluster skew.
+        let mut rng = SplitMix64::new(self.cfg.seed ^ 0x051A_66E2);
+        for w in 0..self.cfg.machines {
+            let off = SimDuration::from_nanos(
+                (rng.next_f64() * self.cfg.start_stagger.as_nanos() as f64) as u64,
+            );
+            self.queue
+                .schedule_at(SimTime::ZERO + off, Ev::StartWorker { worker: w });
+        }
+        self.schedule_fault_plan();
+
+        while self
+            .workers
+            .iter()
+            .any(|w| !w.permanently_dead && w.completed < target)
+        {
+            let Some((_, ev)) = self.queue.pop() else {
+                return Err(RunError::Deadlock {
+                    progress: self.workers.iter().map(|w| w.completed).collect(),
+                });
+            };
+            self.events += 1;
+            if self.events >= EVENT_CAP {
+                return Err(RunError::EventCapExceeded { cap: EVENT_CAP });
+            }
+            self.dispatch(ev);
+        }
+
+        let log = self.tracer.as_ref().map(|t| t.drain());
+        if self.cfg.audit {
+            let Some(log) = &log else {
+                return Err(RunError::InvalidConfig(
+                    "audit requested but slice tracing is off (use with_audit)".into(),
+                ));
+            };
+            let opts = p3_audit::AuditOptions::from_meta(&self.cfg.trace_meta());
+            let report = p3_audit::check_with(log, &opts);
+            if !report.is_clean() {
+                return Err(RunError::AuditFailed(report.to_string()));
+            }
+        }
+        Ok((self.finish(target), log))
+    }
+
+    /// Schedules every episode of the fault plan. An empty plan schedules
+    /// nothing at all — fault-free runs pay zero overhead.
+    fn schedule_fault_plan(&mut self) {
+        for (i, s) in self.cfg.faults.stragglers.iter().enumerate() {
+            self.queue
+                .schedule_at(s.start, Ev::StragglerStart { idx: i });
+            self.queue
+                .schedule_at(s.start + s.duration, Ev::StragglerEnd { idx: i });
+        }
+        for (i, d) in self.cfg.faults.link_degradations.iter().enumerate() {
+            self.queue
+                .schedule_at(d.start, Ev::LinkDegradeStart { idx: i });
+            self.queue
+                .schedule_at(d.start + d.duration, Ev::LinkDegradeEnd { idx: i });
+        }
+        for (i, c) in self.cfg.faults.crashes.iter().enumerate() {
+            self.queue.schedule_at(c.at, Ev::Crash { idx: i });
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::StartWorker { worker } => {
+                let now = self.queue.now();
+                if self.workers[worker].crashed {
+                    // Crashed before ever starting; Rejoin boots it.
+                    return;
+                }
+                let w = &mut self.workers[worker];
+                w.started = true;
+                w.iter_started = now;
+                if self.cfg.warmup_iters == 0 {
+                    w.measure_start = Some(now);
+                }
+                self.resample_jitter(worker);
+                self.try_start_fwd(worker, 0);
+            }
+            Ev::Compute { worker, phase, inc } => {
+                if self.workers[worker].incarnation != inc {
+                    return; // echo of a crashed incarnation
+                }
+                let (tp, block) = trace_phase(phase);
+                self.trace(p3_trace::TraceEvent::ComputeEnd {
+                    worker,
+                    phase: tp,
+                    block,
+                });
+                match phase {
+                    Phase::Fwd(b) => self.on_fwd_done(worker, b),
+                    Phase::Bwd(b) => self.on_bwd_done(worker, b),
+                }
+            }
+            Ev::EgressReady {
+                machine,
+                role,
+                dst,
+                inc,
+            } => {
+                if role == Role::Worker && self.workers[machine].incarnation != inc {
+                    return; // the egress unit this completion refers to is gone
+                }
+                match role {
+                    Role::Worker => self.workers[machine].egress.complete(dst),
+                    Role::Server => self.servers[machine].egress.complete(dst),
+                }
+                self.kick_egress(machine, role);
+            }
+            Ev::AdmitKick { machine, role } => {
+                let now = self.queue.now();
+                let slot = role_slot(role);
+                if self.admit_kick_at[machine][slot] == Some(now) {
+                    self.admit_kick_at[machine][slot] = None;
+                }
+                self.kick_egress(machine, role);
+            }
+            Ev::ProcDone { server } => self.on_proc_done(server),
+            Ev::NetWake => {
+                let now = self.queue.now();
+                if self.next_wake == Some(now) {
+                    self.next_wake = None;
+                }
+                let done = self.net.poll(now);
+                for flow in done {
+                    let msg_id = self
+                        .flows
+                        .remove(&flow.id)
+                        .expect("completed flow without a registered message");
+                    self.on_delivered(msg_id);
+                }
+                self.schedule_net_wake();
+            }
+            Ev::StragglerStart { idx } => {
+                let s = self.cfg.faults.stragglers[idx];
+                self.workers[s.worker].slowdown = s.slowdown;
+            }
+            Ev::StragglerEnd { idx } => {
+                let s = self.cfg.faults.stragglers[idx];
+                self.workers[s.worker].slowdown = 1.0;
+            }
+            Ev::LinkDegradeStart { idx } => {
+                let d = self.cfg.faults.link_degradations[idx];
+                let now = self.queue.now();
+                self.net.set_port_scale(
+                    now,
+                    MachineId(d.machine),
+                    d.capacity_factor,
+                    d.capacity_factor,
+                );
+                self.schedule_net_wake();
+            }
+            Ev::LinkDegradeEnd { idx } => {
+                let d = self.cfg.faults.link_degradations[idx];
+                let now = self.queue.now();
+                self.net.set_port_scale(now, MachineId(d.machine), 1.0, 1.0);
+                self.schedule_net_wake();
+            }
+            Ev::Crash { idx } => self.on_crash(idx),
+            Ev::Rejoin { worker } => self.on_rejoin(worker),
+            Ev::RetryTimer { msg_id, attempt } => self.on_retry_timer(msg_id, attempt),
+            Ev::LivenessTimeout { worker } => self.on_liveness_timeout(worker),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Results.
+
+    fn finish(self, target: u64) -> RunResult {
+        let batch = self.cfg.batch_per_worker as f64;
+        let measure_iters = self.cfg.measure_iters as f64;
+        let mut total = 0.0;
+        let mut iter_sum = 0.0;
+        let mut stall_sum = 0.0;
+        let mut finished_at = SimTime::ZERO;
+        let mut survivors = 0.0;
+        let mut pooled: Vec<f64> = Vec::new();
+        for w in &self.workers {
+            pooled.extend_from_slice(&w.measured_iters);
+            if w.permanently_dead {
+                continue; // its partial iterations still count in the tail
+            }
+            let start = w.measure_start.expect("worker never started measuring");
+            let end = w.measure_end.expect("worker never finished measuring");
+            assert!(w.completed >= target);
+            let secs = (end - start).as_secs_f64();
+            total += measure_iters * batch / secs;
+            iter_sum += secs / measure_iters;
+            stall_sum += w.stalled_total.as_secs_f64() / end.as_secs_f64();
+            finished_at = finished_at.max(end);
+            survivors += 1.0;
+        }
+        let p50 = quantile(&pooled, 0.50).map_or(SimDuration::ZERO, SimDuration::from_secs_f64);
+        let p99 = quantile(&pooled, 0.99).map_or(SimDuration::ZERO, SimDuration::from_secs_f64);
+        let trace = self.cfg.trace_bin.map(|bin| UtilizationTrace {
+            bin,
+            tx_gbps: self
+                .net
+                .tx_trace(MachineId(0))
+                .expect("trace enabled")
+                .gbps_series(),
+            rx_gbps: self
+                .net
+                .rx_trace(MachineId(0))
+                .expect("trace enabled")
+                .gbps_series(),
+        });
+        let stalled_per_worker = self.workers.iter().map(|w| w.stalled_total).collect();
+        // Per-link totals of the compiled topology (empty on the flat
+        // fabric). Busy fractions are relative to when the run ended.
+        let end_secs = self.queue.now().as_secs_f64();
+        let links = self
+            .net
+            .link_usage()
+            .into_iter()
+            .map(|l| LinkUtilization {
+                name: l.name,
+                busy_fraction: if end_secs > 0.0 {
+                    l.busy_secs / end_secs
+                } else {
+                    0.0
+                },
+                bytes: l.bytes,
+                transit: l.transit,
+            })
+            .collect();
+        RunResult {
+            throughput: total,
+            per_worker_throughput: total / survivors,
+            unit: self.cfg.model.unit(),
+            mean_iteration: SimDuration::from_secs_f64(iter_sum / survivors),
+            p50_iteration: p50,
+            p99_iteration: p99,
+            mean_stall_fraction: stall_sum / survivors,
+            stalled_per_worker,
+            finished_at,
+            events: self.events,
+            messages: self.stats,
+            faults: self.faults,
+            trace,
+            links,
+        }
+    }
+}

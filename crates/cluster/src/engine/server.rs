@@ -1,0 +1,331 @@
+//! Parameter-server engine: shard processing queues, gradient aggregation,
+//! round completion and response fan-out, deferred pulls, notify
+//! propagation, and rack-local partial aggregation. Only the PS backend
+//! drives this layer; collective backends leave every shard idle.
+
+use super::types::{Ev, MsgKind, ProcItem, Role};
+use super::ClusterSim;
+use crate::egress::OutMsg;
+use p3_core::{PullTiming, ResponseMode, ServerProcessing};
+use p3_des::SimDuration;
+use p3_net::{MachineId, Priority};
+use p3_pserver::HEADER_BYTES;
+use p3_topo::Placement;
+use p3_trace::{FaultKind, MsgClass, TraceEvent};
+
+impl ClusterSim {
+    // ------------------------------------------------------------------
+    // Worker-side PS protocol helpers.
+
+    pub(crate) fn send_pull_request(&mut self, worker: usize, key: usize, round: u64) {
+        let slice = self.plan.slice(p3_pserver::Key(key as u64));
+        let bytes = HEADER_BYTES as u64;
+        let priority = Priority(self.prio[key]);
+        let msg = OutMsg {
+            dst: MachineId(slice.server.0),
+            bytes,
+            priority,
+            msg_id: self.register_msg(
+                MsgKind::PullReq { key, round },
+                worker,
+                slice.server.0,
+                bytes,
+                priority,
+            ),
+        };
+        self.enqueue_traced(worker, Role::Worker, msg, MsgClass::PullRequest, key, round);
+    }
+
+    pub(crate) fn on_notify(&mut self, worker: usize, key: usize, version: u64) {
+        {
+            let w = &mut self.workers[worker];
+            if version > w.notified_version[key] {
+                w.notified_version[key] = version;
+            }
+        }
+        // MXNet pulls a layer only once every one of its parts has
+        // notified (§4.2 explains why P3 removes this).
+        let array = self.plan.slice(p3_pserver::Key(key as u64)).array;
+        let keys = self.plan.slices_of_array(array).to_vec();
+        let all_notified = keys
+            .iter()
+            .all(|&k| self.workers[worker].notified_version[k] >= version);
+        if all_notified && self.cfg.strategy.pull_timing == PullTiming::Eager {
+            for &k in &keys {
+                if self.workers[worker].received_version[k] < version
+                    && self.workers[worker].notified_version[k] >= version
+                {
+                    self.send_pull_request(worker, k, version);
+                }
+            }
+            self.kick_egress(worker, Role::Worker);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rack-local aggregation.
+
+    /// The rack aggregator a worker's push detours through under
+    /// rack-local placement: set only when the key's home server is in a
+    /// different rack, so the rack's combined gradient crosses the core
+    /// once instead of once per member. Pushes within the home rack (and
+    /// everything outside rack-local placement) go direct.
+    pub(crate) fn rack_push_target(&self, worker: usize, server: usize) -> Option<usize> {
+        let topo = self.cfg.topology.as_ref()?;
+        if self.cfg.placement != Placement::RackLocal || topo.machines() != self.cfg.machines {
+            return None;
+        }
+        let rack = topo.rack_of(worker);
+        (topo.rack_of(server) != rack).then(|| topo.aggregator_of(rack))
+    }
+
+    /// One rack member's partial gradient arrived at its rack aggregator.
+    /// Combining is treated as free (it overlaps the remaining members'
+    /// transfers); once the whole rack has contributed, the combined
+    /// gradient is forwarded to the key's home server through the
+    /// aggregator machine's server-role egress.
+    pub(crate) fn on_rack_push(&mut self, agg: usize, key: usize, round: u64, from: usize) {
+        let topo = self
+            .cfg
+            .topology
+            .as_ref()
+            .expect("rack push without a topology");
+        let rack = topo.rack_of(agg);
+        let full: u128 = topo.rack_members(rack).fold(0, |m, w| m | (1u128 << w));
+        let entry = self.rack_agg.entry((agg, key, round)).or_insert(0);
+        *entry |= 1u128 << from;
+        if *entry != full {
+            return;
+        }
+        let members = self
+            .rack_agg
+            .remove(&(agg, key, round))
+            .expect("rack entry just updated");
+        let slice = self.plan.slice(p3_pserver::Key(key as u64));
+        let server = slice.server.0;
+        let bytes = self.push_wire(slice.params);
+        let priority = Priority(self.prio[key]);
+        let msg = OutMsg {
+            dst: MachineId(server),
+            bytes,
+            priority,
+            msg_id: self.register_msg(
+                MsgKind::CombinedPush {
+                    key,
+                    round,
+                    members,
+                },
+                agg,
+                server,
+                bytes,
+                priority,
+            ),
+        };
+        self.enqueue_traced(agg, Role::Server, msg, MsgClass::CombinedPush, key, round);
+        self.kick_egress(agg, Role::Server);
+    }
+
+    // ------------------------------------------------------------------
+    // Server processing.
+
+    /// Queues a received gradient message (direct or combined) on a
+    /// server's processing unit at the strategy's processing priority.
+    pub(crate) fn enqueue_proc(
+        &mut self,
+        server: usize,
+        key: usize,
+        round: u64,
+        from: usize,
+        members: u128,
+    ) {
+        let prio = match self.cfg.strategy.server_processing {
+            ServerProcessing::Priority => self.prio[key],
+            ServerProcessing::Fifo => 0,
+        };
+        self.servers[server].proc_queue.push(
+            prio,
+            ProcItem {
+                key,
+                round,
+                worker: from,
+                members,
+            },
+        );
+        self.kick_proc(server);
+    }
+
+    pub(crate) fn kick_proc(&mut self, server: usize) {
+        if self.servers[server].proc_busy {
+            return;
+        }
+        loop {
+            let Some(item) = self.servers[server].proc_queue.pop() else {
+                return;
+            };
+            let version = self.servers[server].version[item.key];
+            if item.round < version {
+                // The round completed without this push (degraded
+                // completion, or a rejoined worker replaying old work).
+                self.faults.stale_pushes_dropped += 1;
+                self.trace_fault(FaultKind::StalePush, server, None);
+                continue;
+            }
+            assert_eq!(
+                version, item.round,
+                "push for round {} processed while key {} is at version {}",
+                item.round, item.key, version
+            );
+            if self.servers[server].received[item.key] & item.members != 0 {
+                self.faults.duplicate_pushes_dropped += 1;
+                self.trace_fault(FaultKind::DuplicatePush, server, None);
+                continue;
+            }
+            let params = self.plan.slice(p3_pserver::Key(item.key as u64)).params;
+            let completing = (self.servers[server].received[item.key] | item.members).count_ones()
+                >= self.expected_pushes;
+            let mut nanos =
+                self.cfg.proc_fixed.as_nanos() as f64 + self.cfg.agg_ns_per_param * params as f64;
+            if completing {
+                nanos += self.cfg.upd_ns_per_param * params as f64;
+            }
+            self.servers[server].proc_busy = true;
+            self.servers[server].current = Some(item);
+            self.trace(TraceEvent::AggStart {
+                server,
+                key: item.key,
+                round: item.round,
+                worker: item.worker,
+            });
+            self.queue.schedule_in(
+                SimDuration::from_nanos(nanos as u64),
+                Ev::ProcDone { server },
+            );
+            return;
+        }
+    }
+
+    pub(crate) fn on_proc_done(&mut self, server: usize) {
+        let item = self.servers[server]
+            .current
+            .take()
+            .expect("ProcDone without an item in flight");
+        self.servers[server].proc_busy = false;
+        self.trace(TraceEvent::AggEnd {
+            server,
+            key: item.key,
+            round: item.round,
+            worker: item.worker,
+        });
+        // Re-validate: the round may have completed (degraded) while this
+        // push was in the processing unit.
+        if item.round < self.servers[server].version[item.key] {
+            self.faults.stale_pushes_dropped += 1;
+            self.trace_fault(FaultKind::StalePush, server, None);
+        } else if self.servers[server].received[item.key] & item.members != 0 {
+            self.faults.duplicate_pushes_dropped += 1;
+            self.trace_fault(FaultKind::DuplicatePush, server, None);
+        } else {
+            self.servers[server].received[item.key] |= item.members;
+            if self.servers[server].received[item.key].count_ones() >= self.expected_pushes {
+                self.complete_round(server, item.key);
+                self.kick_egress(server, Role::Server);
+            }
+        }
+        self.kick_proc(server);
+    }
+
+    /// Finishes one key's aggregation round: bumps the version and sends
+    /// the update out (broadcast or notify, per strategy), skipping evicted
+    /// workers. Called from normal processing and from degraded completion
+    /// after a membership change.
+    pub(crate) fn complete_round(&mut self, server: usize, key: usize) {
+        let mask = self.servers[server].received[key];
+        let degraded = (mask.count_ones() as usize) < self.cfg.machines;
+        if degraded {
+            self.faults.degraded_rounds += 1;
+            self.trace_fault(FaultKind::DegradedRound, server, None);
+        }
+        self.servers[server].received[key] = 0;
+        self.servers[server].version[key] += 1;
+        let version = self.servers[server].version[key];
+        self.trace(TraceEvent::RoundComplete {
+            server,
+            key,
+            version,
+            degraded,
+        });
+        match self.cfg.strategy.response {
+            ResponseMode::ImmediateBroadcast => {
+                for w in 0..self.cfg.machines {
+                    if self.dead_members[w] {
+                        continue;
+                    }
+                    self.send_response_versioned(server, key, w, version);
+                }
+            }
+            ResponseMode::NotifyThenPull => {
+                if self.cfg.strategy.pull_timing == PullTiming::Eager {
+                    let bytes = HEADER_BYTES as u64;
+                    let priority = Priority(self.prio[key]);
+                    for w in 0..self.cfg.machines {
+                        if self.dead_members[w] {
+                            continue;
+                        }
+                        let msg = OutMsg {
+                            dst: MachineId(w),
+                            bytes,
+                            priority,
+                            msg_id: self.register_msg(
+                                MsgKind::Notify { key, version },
+                                server,
+                                w,
+                                bytes,
+                                priority,
+                            ),
+                        };
+                        self.enqueue_traced(
+                            server,
+                            Role::Server,
+                            msg,
+                            MsgClass::Notify,
+                            key,
+                            version,
+                        );
+                    }
+                }
+                // Deferred (TF-style) pulls waiting on this version:
+                let waiting = std::mem::take(&mut self.servers[server].pending_pulls[key]);
+                for w in waiting {
+                    if self.dead_members[w] {
+                        continue;
+                    }
+                    self.send_response_versioned(server, key, w, version);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn send_response(&mut self, server: usize, key: usize, worker: usize) {
+        let version = self.servers[server].version[key];
+        self.send_response_versioned(server, key, worker, version);
+    }
+
+    fn send_response_versioned(&mut self, server: usize, key: usize, worker: usize, version: u64) {
+        let params = self.plan.slice(p3_pserver::Key(key as u64)).params;
+        let bytes = self.response_wire(params);
+        let priority = Priority(self.prio[key]);
+        let msg = OutMsg {
+            dst: MachineId(worker),
+            bytes,
+            priority,
+            msg_id: self.register_msg(
+                MsgKind::Response { key, version },
+                server,
+                worker,
+                bytes,
+                priority,
+            ),
+        };
+        self.enqueue_traced(server, Role::Server, msg, MsgClass::Response, key, version);
+    }
+}

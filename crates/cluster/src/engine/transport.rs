@@ -1,0 +1,368 @@
+//! Transport layer: the engine's adapter onto the fluid [`Network`].
+//! Owns message registration, egress admission (single-consumer gates and
+//! per-destination lanes), flow start and delivery, loss draws, retry
+//! timers, and trace recording of the enqueue→wire lifecycle.
+//!
+//! Delivery is protocol-agnostic: once the sender is freed and the loss
+//! draw survives, the payload is handed to the configured
+//! [`CommBackend`](super::backend::CommBackend) for protocol handling.
+//!
+//! [`Network`]: p3_net::Network
+
+use super::types::{class_of, role_slot, sender_role_of, Ev, MsgCtx, MsgKind, Role};
+use super::ClusterSim;
+use crate::egress::{EgressUnit, OutMsg};
+use p3_des::SimTime;
+use p3_net::{MachineId, Priority};
+use p3_pserver::{wire_bytes, RetryDecision, HEADER_BYTES};
+use p3_trace::{EndpointRole, FaultKind, MsgClass, TraceEvent};
+
+impl ClusterSim {
+    // ------------------------------------------------------------------
+    // Tracing.
+
+    /// Records one event at the current simulated time. With tracing off
+    /// this is a single branch; recording draws no randomness and
+    /// schedules nothing, preserving determinism either way.
+    #[inline]
+    pub(crate) fn trace(&self, event: TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(self.queue.now(), event);
+        }
+    }
+
+    /// Records one fault event.
+    pub(crate) fn trace_fault(&self, kind: FaultKind, machine: usize, msg_id: Option<u64>) {
+        self.trace(TraceEvent::Fault {
+            kind,
+            machine,
+            msg_id,
+        });
+    }
+
+    /// Enqueues `msg` on an endpoint's egress, recording the enqueue (with
+    /// the post-enqueue queue depth and priority) when tracing.
+    pub(crate) fn enqueue_traced(
+        &mut self,
+        machine: usize,
+        role: Role,
+        msg: OutMsg,
+        class: MsgClass,
+        key: usize,
+        round: u64,
+    ) {
+        match role {
+            Role::Worker => self.workers[machine].egress.enqueue(msg),
+            Role::Server => self.servers[machine].egress.enqueue(msg),
+        }
+        if self.tracer.is_some() {
+            let queue_depth = match role {
+                Role::Worker => self.workers[machine].egress.backlog(),
+                Role::Server => self.servers[machine].egress.backlog(),
+            };
+            let erole = match role {
+                Role::Worker => EndpointRole::Worker,
+                Role::Server => EndpointRole::Server,
+            };
+            self.trace(TraceEvent::EgressEnqueue {
+                machine,
+                role: erole,
+                msg_id: msg.msg_id,
+                class,
+                key,
+                round,
+                priority: msg.priority.0,
+                queue_depth,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wire sizes and message registration.
+
+    /// Wire size of a gradient push for `params` parameters, after any
+    /// configured compression.
+    pub(crate) fn push_wire(&self, params: u64) -> u64 {
+        match self.cfg.wire_compression {
+            Some(c) => HEADER_BYTES as u64 + ((4 * params) as f64 / c.push_ratio).ceil() as u64,
+            None => wire_bytes(params),
+        }
+    }
+
+    /// Wire size of a parameter response, after any configured compression.
+    pub(crate) fn response_wire(&self, params: u64) -> u64 {
+        match self.cfg.wire_compression {
+            Some(c) => HEADER_BYTES as u64 + ((4 * params) as f64 / c.response_ratio).ceil() as u64,
+            None => wire_bytes(params),
+        }
+    }
+
+    pub(crate) fn register_msg(
+        &mut self,
+        kind: MsgKind,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        priority: Priority,
+    ) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.msgs.insert(
+            id,
+            MsgCtx {
+                kind,
+                src,
+                dst,
+                bytes,
+                priority,
+                attempt: 0,
+                in_flight: false,
+            },
+        );
+        id
+    }
+
+    /// Arms the retry timer for a just-admitted message. Only called when
+    /// the fault plan can lose messages; fault-free runs never schedule
+    /// retry events.
+    fn note_admitted(&mut self, msg_id: u64, now: SimTime) {
+        if !self.cfg.faults.needs_reliability() {
+            return;
+        }
+        let Some(ctx) = self.msgs.get_mut(&msg_id) else {
+            return;
+        };
+        ctx.in_flight = true;
+        let attempt = ctx.attempt;
+        let timeout = self.cfg.retry.timeout_for(attempt);
+        self.queue
+            .schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
+    }
+
+    // ------------------------------------------------------------------
+    // Egress admission.
+
+    /// Starts any transmissions an endpoint's scheduler allows.
+    ///
+    /// Per-destination (baseline) lanes transmit whenever idle — each
+    /// connection has its own sender thread in MXNet. A single-consumer
+    /// (P3) endpoint serializes per-message work on one thread: it admits
+    /// at most one message per `msg_overhead`, modelling the consumer's
+    /// serialization/syscall cost — the source of Figure 12's small-slice
+    /// falloff.
+    pub(crate) fn kick_egress(&mut self, machine: usize, role: Role) {
+        if role == Role::Worker && self.workers[machine].crashed {
+            return; // a dead process transmits nothing
+        }
+        let now = self.queue.now();
+        let single = {
+            let unit = match role {
+                Role::Worker => &self.workers[machine].egress,
+                Role::Server => &self.servers[machine].egress,
+            };
+            matches!(unit, EgressUnit::Single { .. })
+        };
+        if single {
+            let slot = role_slot(role);
+            let gate = self.admit_gate[machine][slot];
+            if now < gate {
+                self.schedule_admit_kick(machine, role, gate);
+            } else {
+                let admitted = match role {
+                    Role::Worker => self.workers[machine].egress.start_one(),
+                    Role::Server => self.servers[machine].egress.start_one(),
+                };
+                if let Some(m) = admitted {
+                    let flow = self.net.start_flow(
+                        now,
+                        MachineId(machine),
+                        m.dst,
+                        m.bytes,
+                        m.priority,
+                        m.msg_id,
+                    );
+                    self.flows.insert(flow, m.msg_id);
+                    self.note_admitted(m.msg_id, now);
+                    let next = now + self.cfg.msg_overhead;
+                    self.admit_gate[machine][slot] = next;
+                    let backlog = match role {
+                        Role::Worker => self.workers[machine].egress.backlog(),
+                        Role::Server => self.servers[machine].egress.backlog(),
+                    };
+                    if backlog > 0 {
+                        self.schedule_admit_kick(machine, role, next);
+                    }
+                }
+            }
+        } else {
+            let ready = match role {
+                Role::Worker => self.workers[machine].egress.start_ready(),
+                Role::Server => self.servers[machine].egress.start_ready(),
+            };
+            for m in ready {
+                let flow = self.net.start_flow(
+                    now,
+                    MachineId(machine),
+                    m.dst,
+                    m.bytes,
+                    m.priority,
+                    m.msg_id,
+                );
+                self.flows.insert(flow, m.msg_id);
+                self.note_admitted(m.msg_id, now);
+            }
+        }
+        self.schedule_net_wake();
+    }
+
+    fn schedule_admit_kick(&mut self, machine: usize, role: Role, at: SimTime) {
+        let slot = role_slot(role);
+        if self.admit_kick_at[machine][slot].is_none_or(|t| at < t) {
+            self.queue.schedule_at(at, Ev::AdmitKick { machine, role });
+            self.admit_kick_at[machine][slot] = Some(at);
+        }
+    }
+
+    pub(crate) fn schedule_net_wake(&mut self) {
+        if let Some(t) = self.net.next_event_time() {
+            if self.next_wake.is_none_or(|w| t < w) {
+                self.queue.schedule_at(t, Ev::NetWake);
+                self.next_wake = Some(t);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delivery.
+
+    pub(crate) fn on_delivered(&mut self, msg_id: u64) {
+        let ctx = *self
+            .msgs
+            .get(&msg_id)
+            .expect("delivery for unknown message");
+        let now = self.queue.now();
+
+        // Free the sender: its NIC finished transmitting whether or not the
+        // message survives the network or finds its receiver alive.
+        // Single-consumer units release their window slot immediately
+        // (their per-message cost was charged at admission);
+        // per-destination lanes pay the endpoint overhead before reuse.
+        let sender_role = sender_role_of(ctx.kind);
+        let sender_single = {
+            let unit = match sender_role {
+                Role::Worker => &self.workers[ctx.src].egress,
+                Role::Server => &self.servers[ctx.src].egress,
+            };
+            matches!(unit, EgressUnit::Single { .. })
+        };
+        if sender_single {
+            match sender_role {
+                Role::Worker => self.workers[ctx.src].egress.complete(MachineId(ctx.dst)),
+                Role::Server => self.servers[ctx.src].egress.complete(MachineId(ctx.dst)),
+            }
+            self.kick_egress(ctx.src, sender_role);
+        } else {
+            let inc = match sender_role {
+                Role::Worker => self.workers[ctx.src].incarnation,
+                Role::Server => 0,
+            };
+            self.queue.schedule_at(
+                now + self.cfg.msg_overhead,
+                Ev::EgressReady {
+                    machine: ctx.src,
+                    role: sender_role,
+                    dst: MachineId(ctx.dst),
+                    inc,
+                },
+            );
+        }
+
+        // Lossy network: the message died in the fabric. Keep its context
+        // (marked not-in-flight) so the retry timer retransmits it.
+        // Loopback traffic never touches the fabric and cannot be lost.
+        if self.cfg.faults.loss_probability > 0.0
+            && ctx.src != ctx.dst
+            && self.loss_rng.next_f64() < self.cfg.faults.loss_probability
+        {
+            self.faults.messages_lost += 1;
+            self.trace_fault(FaultKind::Loss, ctx.src, Some(msg_id));
+            self.msgs
+                .get_mut(&msg_id)
+                .expect("lost message context vanished")
+                .in_flight = false;
+            return;
+        }
+        self.msgs.remove(&msg_id);
+
+        // Deliveries to a crashed worker vanish at the dead endpoint. (The
+        // colocated server shard stays alive, so server-bound messages
+        // always land.)
+        let worker_bound = matches!(
+            ctx.kind,
+            MsgKind::Response { .. }
+                | MsgKind::Notify { .. }
+                | MsgKind::ReduceScatter { .. }
+                | MsgKind::AllGather { .. }
+        );
+        if worker_bound && self.workers[ctx.dst].crashed {
+            return;
+        }
+
+        self.backend_delivered(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Retransmission.
+
+    pub(crate) fn on_retry_timer(&mut self, msg_id: u64, attempt: u32) {
+        let now = self.queue.now();
+        let Some(ctx) = self.msgs.get(&msg_id) else {
+            return; // delivered or discarded in the meantime
+        };
+        if ctx.attempt != attempt {
+            return; // an older attempt's timer; a newer one is armed
+        }
+        if ctx.in_flight {
+            // Still transiting a slow network: spurious timeout, wait more.
+            let timeout = self.cfg.retry.timeout_for(attempt);
+            self.queue
+                .schedule_at(now + timeout, Ev::RetryTimer { msg_id, attempt });
+            return;
+        }
+        // The message was lost. The policy decides: retransmit, or abandon
+        // it once the retry budget is spent. Either way the decision is
+        // mirrored into the trace so aggregate fault counters can be
+        // cross-checked against per-event counts.
+        let sender = ctx.src;
+        let decision = self.cfg.retry.decide(attempt);
+        if let Some(t) = &self.tracer {
+            decision.record(&mut t.clone(), now, sender, msg_id);
+        }
+        match decision {
+            RetryDecision::GiveUp => {
+                self.msgs.remove(&msg_id);
+                self.faults.gave_up += 1;
+            }
+            RetryDecision::Retransmit { .. } => {
+                let (src, dst, bytes, priority, kind) = {
+                    let ctx = self.msgs.get_mut(&msg_id).expect("retry context vanished");
+                    ctx.attempt += 1;
+                    (ctx.src, ctx.dst, ctx.bytes, ctx.priority, ctx.kind)
+                };
+                self.faults.retransmits += 1;
+                let role = sender_role_of(kind);
+                let (class, key, round) = class_of(kind);
+                // Re-entering the egress queue at the original priority
+                // keeps the single consumer's strict priority order intact.
+                let msg = OutMsg {
+                    dst: MachineId(dst),
+                    bytes,
+                    priority,
+                    msg_id,
+                };
+                self.enqueue_traced(src, role, msg, class, key, round);
+                self.kick_egress(src, role);
+            }
+        }
+    }
+}

@@ -34,19 +34,19 @@
 pub mod bound;
 mod config;
 mod egress;
+mod engine;
 mod faults;
 pub mod gantt;
-mod sim;
 mod sweep;
 mod timeline;
 
 pub use config::{
-    ClusterConfig, FaultStats, LinkUtilization, MessageStats, RunError, RunResult,
+    BackendKind, ClusterConfig, FaultStats, LinkUtilization, MessageStats, RunError, RunResult,
     UtilizationTrace, WireCompression,
 };
 pub use egress::{EgressUnit, OutMsg};
+pub use engine::ClusterSim;
 pub use faults::{FaultPlan, LinkDegradation, StragglerEpisode, WorkerCrash};
-pub use sim::ClusterSim;
 pub use sweep::{
     bandwidth_sweep, oversubscription_sweep, scalability_sweep, slice_size_sweep, throughput_of,
     SweepPoint,

@@ -2,7 +2,7 @@
 //! the integration tests.
 
 use crate::config::ClusterConfig;
-use crate::sim::ClusterSim;
+use crate::engine::ClusterSim;
 use p3_core::SyncStrategy;
 use p3_models::ModelSpec;
 use p3_net::Bandwidth;

@@ -102,6 +102,17 @@ pub const RULES: [Rule; 3] = [
 /// context, so it is not a plain pattern rule).
 pub const FLOAT_ACCUM_RULE: &str = "float-accum-unordered";
 
+/// Rule name for the file-length limit (file-scoped, so it is not a plain
+/// pattern rule: one `p3-lint: allow(file-length): reason` marker anywhere
+/// in the file silences it).
+pub const FILE_LENGTH_RULE: &str = "file-length";
+
+/// Maximum physical lines (code, comments and tests alike) per source
+/// file before [`FILE_LENGTH_RULE`] fires. Files past this size are where
+/// god-loops grow; split the module instead (the engine decomposition in
+/// `crates/cluster/src/engine/` is the pattern).
+pub const MAX_FILE_LINES: usize = 800;
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -395,8 +406,34 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
         }
     }
     findings.extend(float_accum_findings(path, &stripped));
+    if let Some(f) = file_length_finding(path, source, &stripped) {
+        findings.push(f);
+    }
     findings.sort_by_key(|f| f.line);
     findings
+}
+
+/// Flags files longer than [`MAX_FILE_LINES`] physical lines. The finding
+/// anchors at the first line past the limit; an
+/// `allow(file-length)` marker anywhere in the file silences it.
+fn file_length_finding(path: &Path, source: &str, stripped: &Stripped) -> Option<Finding> {
+    let lines = source.lines().count();
+    if lines <= MAX_FILE_LINES {
+        return None;
+    }
+    if stripped.allows.values().any(|r| r == FILE_LENGTH_RULE) {
+        return None;
+    }
+    Some(Finding {
+        file: path.to_path_buf(),
+        line: MAX_FILE_LINES + 1,
+        rule: FILE_LENGTH_RULE.into(),
+        message: format!(
+            "{lines} lines exceed the {MAX_FILE_LINES}-line limit: split the module \
+             (crates/cluster/src/engine/ is the pattern) or justify with \
+             `p3-lint: allow(file-length): reason`"
+        ),
+    })
 }
 
 /// Heuristic for order-dependent float accumulation: a single statement
@@ -650,6 +687,18 @@ mod tests {
     fn word_boundaries_respected() {
         assert!(lint_str("struct MyHashMapLike;\n").is_empty());
         assert!(lint_str("fn spawn_thread_rngs() {}\n").is_empty());
+    }
+
+    #[test]
+    fn flags_overlong_files() {
+        let long = "fn a() {}\n".repeat(MAX_FILE_LINES + 1);
+        let f = lint_str(&long);
+        assert!(f.iter().any(|x| x.rule == FILE_LENGTH_RULE), "{f:?}");
+        assert_eq!(f[0].line, MAX_FILE_LINES + 1);
+        let at_limit = "fn a() {}\n".repeat(MAX_FILE_LINES);
+        assert!(lint_str(&at_limit).is_empty());
+        let allowed = format!("// p3-lint: allow(file-length): split tracked elsewhere\n{long}");
+        assert!(lint_str(&allowed).is_empty());
     }
 
     #[test]

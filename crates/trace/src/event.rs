@@ -47,6 +47,13 @@ pub enum MsgClass {
     RackPush,
     /// Rack-local aggregator → home server combined gradient push.
     CombinedPush,
+    /// Worker → worker partial-gradient chunk of a collective's
+    /// reduce-scatter phase (ring or halving–doubling backend).
+    ReduceScatter,
+    /// Worker → worker aggregated-parameter chunk of a collective's
+    /// allgather phase. Carries the post-collective version, like a
+    /// parameter-server `Response`.
+    AllGather,
 }
 
 impl MsgClass {
@@ -59,6 +66,8 @@ impl MsgClass {
             MsgClass::PullRequest => "pullreq",
             MsgClass::RackPush => "rackpush",
             MsgClass::CombinedPush => "aggpush",
+            MsgClass::ReduceScatter => "rscatter",
+            MsgClass::AllGather => "allgather",
         }
     }
 }

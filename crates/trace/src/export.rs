@@ -126,6 +126,8 @@ fn class_code(c: MsgClass) -> u64 {
         MsgClass::PullRequest => 3,
         MsgClass::RackPush => 4,
         MsgClass::CombinedPush => 5,
+        MsgClass::ReduceScatter => 6,
+        MsgClass::AllGather => 7,
     }
 }
 
@@ -328,6 +330,8 @@ fn decode_class(code: u64, row: usize) -> Result<MsgClass, String> {
         3 => Ok(MsgClass::PullRequest),
         4 => Ok(MsgClass::RackPush),
         5 => Ok(MsgClass::CombinedPush),
+        6 => Ok(MsgClass::ReduceScatter),
+        7 => Ok(MsgClass::AllGather),
         c => Err(format!("p3Events[{row}]: unknown class code {c}")),
     }
 }

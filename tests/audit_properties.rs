@@ -114,3 +114,39 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Collective backends: randomized cluster shapes, bandwidths and
+    /// seeds under ring and halving–doubling allreduce must produce
+    /// audit-clean traces too — the engine's collective chunks obey the
+    /// same causality, conservation and capacity invariants as PS
+    /// messages. (Halving–doubling additionally requires a power-of-two
+    /// cluster, so its size is drawn from {2, 4}.)
+    #[test]
+    fn collective_traces_always_audit_clean(
+        machines in 2usize..6,
+        gbps in 2.0f64..20.0,
+        seed in 0u64..1_000_000,
+        head in 200_000u64..1_500_000,
+        ring in any::<bool>(),
+    ) {
+        use p3::cluster::BackendKind;
+        let (backend, machines) = if ring {
+            (BackendKind::Ring, machines)
+        } else {
+            (BackendKind::HalvingDoubling, if machines < 4 { 2 } else { 4 })
+        };
+        let cfg = ClusterConfig::new(
+            tiny_model(head),
+            SyncStrategy::p3(),
+            machines,
+            Bandwidth::from_gbps(gbps),
+        )
+        .with_iters(0, 2)
+        .with_seed(seed)
+        .with_backend(backend);
+        if let Err(why) = audit_clean(cfg) {
+            prop_assert!(false, "backend={} machines={machines} gbps={gbps:.1} seed={seed}: {why}", backend.name());
+        }
+    }
+}

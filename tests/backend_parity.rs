@@ -1,0 +1,75 @@
+//! Parity between the engine-hosted ring backend and the closed-form
+//! analytic allreduce simulator (`p3_allreduce::run_allreduce`).
+//!
+//! The two models are calibrated differently — the analytic model charges
+//! a fixed `per_step` cost plus busiest-link serialization at a protocol
+//! efficiency, while the engine runs every chunk through per-message
+//! admission gates and the fluid network — so exact agreement is not
+//! expected. Under a matched calibration (see [`analytic_ring_throughput`])
+//! they track each other within a few percent; this test pins the
+//! flat-topology discrepancy to a documented band (EXPERIMENTS.md,
+//! "Engine vs analytic allreduce") so either model drifting silently
+//! fails CI.
+
+use p3::allreduce::{run_allreduce, AllreduceConfig, DEFAULT_COLLECTIVE_SLICE};
+use p3::cluster::{BackendKind, ClusterConfig, ClusterSim};
+use p3::core::SyncStrategy;
+use p3::des::SimDuration;
+use p3::models::ModelSpec;
+use p3::net::Bandwidth;
+
+/// VGG-19 on four machines — the paper's flagship model. 4 Gbps is deep in
+/// the communication-bound regime (the transport model dominates); 15 Gbps
+/// is the paper's flagship operating point, where the run is
+/// compute-bound with full overlap (both models converge on compute time).
+const MACHINES: usize = 4;
+
+fn engine_ring_throughput(gbps: f64) -> f64 {
+    // Matched slicing: the engine uses the strategy's shard plan, so give
+    // it the analytic model's collective slice size.
+    let cfg = ClusterConfig::new(
+        ModelSpec::vgg19(),
+        SyncStrategy::p3_with_slice_params(DEFAULT_COLLECTIVE_SLICE),
+        MACHINES,
+        Bandwidth::from_gbps(gbps),
+    )
+    .with_iters(2, 8)
+    .with_seed(17)
+    .with_backend(BackendKind::Ring);
+    ClusterSim::new(cfg).run().throughput
+}
+
+fn analytic_ring_throughput(gbps: f64) -> f64 {
+    let mut cfg = AllreduceConfig::new(ModelSpec::vgg19(), MACHINES, Bandwidth::from_gbps(gbps));
+    cfg.warmup_iters = 2;
+    cfg.measure_iters = 8;
+    cfg.seed = 17;
+    // Matched calibration. The engine derates NIC goodput by
+    // `ClusterConfig::net_efficiency` (0.25) and splits every transfer into
+    // `collective_channels` (4) flows, each admitted 100 µs (`msg_overhead`)
+    // apart and delivered after 50 µs one-way latency — so the analytic
+    // side uses the same efficiency and a per-step constant of
+    // 4 × 100 µs + 50 µs = 450 µs.
+    cfg.net_efficiency = 0.25;
+    cfg.per_step = SimDuration::from_micros(450);
+    run_allreduce(&cfg).throughput
+}
+
+#[test]
+fn engine_ring_tracks_analytic_allreduce_on_flat_topology() {
+    // Measured ratios (EXPERIMENTS.md): 1.030 at 4 Gbps (comm-bound),
+    // 1.006 at 15 Gbps (compute-bound); the band leaves margin on both
+    // sides. The engine lands slightly above because the fluid network
+    // overlaps a chunk's admission gate with the previous chunk's
+    // drain, which the analytic per-step constant charges in full.
+    for gbps in [4.0, 15.0] {
+        let engine = engine_ring_throughput(gbps);
+        let analytic = analytic_ring_throughput(gbps);
+        let ratio = engine / analytic;
+        assert!(
+            (0.90..=1.15).contains(&ratio),
+            "at {gbps} Gbps: engine {engine:.1} vs analytic {analytic:.1} samples/s \
+             (ratio {ratio:.3}) left the documented tolerance band [0.90, 1.15]"
+        );
+    }
+}

@@ -154,3 +154,52 @@ fn rack_local_placement_is_run_twice_deterministic() {
         .with_placement(Placement::RackLocal)
     });
 }
+
+#[test]
+fn ring_backend_is_run_twice_deterministic() {
+    use p3::cluster::BackendKind;
+    assert_deterministic("ring", || {
+        ClusterConfig::new(
+            tiny_model(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(5.0),
+        )
+        .with_iters(1, 2)
+        .with_seed(7)
+        .with_backend(BackendKind::Ring)
+    });
+}
+
+#[test]
+fn halving_doubling_backend_is_run_twice_deterministic() {
+    use p3::cluster::BackendKind;
+    assert_deterministic("halving-doubling", || {
+        ClusterConfig::new(
+            tiny_model(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(5.0),
+        )
+        .with_iters(1, 2)
+        .with_seed(11)
+        .with_backend(BackendKind::HalvingDoubling)
+    });
+}
+
+#[test]
+fn ring_backend_on_topology_is_run_twice_deterministic() {
+    use p3::cluster::BackendKind;
+    assert_deterministic("ring-topology", || {
+        ClusterConfig::new(
+            tiny_model(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(5.0),
+        )
+        .with_iters(1, 2)
+        .with_seed(19)
+        .with_backend(BackendKind::Ring)
+        .with_topology(Topology::new(2, 2, 2.0))
+    });
+}

@@ -1,0 +1,93 @@
+//! Golden-digest pin for the parameter-server path.
+//!
+//! The engine decomposition (DESIGN.md §11) promised that splitting
+//! `ClusterSim` into layers would be behaviour-preserving: the PS path
+//! must produce **bit-identical traces** to the pre-refactor monolith.
+//! This test pins that promise to a constant captured from the
+//! pre-refactor build. If it ever fails, the engine changed observable
+//! scheduling behaviour — either revert, or (for an intentional protocol
+//! change) regenerate the constant and call the change out in the PR.
+
+use p3::cluster::{ClusterConfig, ClusterSim};
+use p3::core::SyncStrategy;
+use p3::models::{BlockKind, ComputeBlock, ModelSpec, ParamArray, SampleUnit};
+use p3::net::Bandwidth;
+use p3::trace::export_trace_json;
+
+/// Digest of the exported trace for [`golden_config`], captured from the
+/// pre-refactor monolithic `sim.rs` (commit 6ef229d lineage).
+const GOLDEN_TRACE_FNV: u64 = 0x669f_9a98_2fe6_3e83;
+/// Throughput bits for the same run.
+const GOLDEN_THROUGHPUT_BITS: u64 = 0x40a3_86b6_3905_ca76;
+/// Simulator events processed for the same run.
+const GOLDEN_EVENTS: u64 = 1639;
+
+/// Same skewed three-block model as `tests/determinism.rs`: fast to run
+/// in debug builds, still exercises slicing, priorities, and stalls.
+fn tiny_model() -> ModelSpec {
+    let blocks = vec![
+        ComputeBlock::new(
+            "conv1",
+            BlockKind::Conv,
+            40_000_000,
+            vec![ParamArray::new("conv1.weight", 40_000)],
+        ),
+        ComputeBlock::new(
+            "conv2",
+            BlockKind::Conv,
+            40_000_000,
+            vec![ParamArray::new("conv2.weight", 120_000)],
+        ),
+        ComputeBlock::new(
+            "head",
+            BlockKind::Dense,
+            10_000_000,
+            vec![
+                ParamArray::new("head.weight", 900_000),
+                ParamArray::new("head.bias", 3_000),
+            ],
+        ),
+    ];
+    ModelSpec::from_blocks("TinyDet", SampleUnit::Images, blocks, 800.0, 32, 0.0)
+}
+
+fn golden_config() -> ClusterConfig {
+    ClusterConfig::new(
+        tiny_model(),
+        SyncStrategy::p3(),
+        4,
+        Bandwidth::from_gbps(5.0),
+    )
+    .with_iters(1, 2)
+    .with_seed(7)
+    .with_slice_trace()
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn ps_trace_digest_matches_pre_refactor_golden() {
+    let cfg = golden_config();
+    let meta = cfg.trace_meta();
+    let (result, log) = ClusterSim::new(cfg)
+        .try_run_traced()
+        .expect("golden config must run clean");
+    let log = log.expect("slice tracing was enabled");
+    let doc = export_trace_json(&log, &meta);
+    let digest = fnv(&doc);
+    assert_eq!(
+        (digest, result.throughput.to_bits(), result.events),
+        (GOLDEN_TRACE_FNV, GOLDEN_THROUGHPUT_BITS, GOLDEN_EVENTS),
+        "PS-path trace diverged from the pre-refactor golden digest \
+         (got fnv={digest:#018x} throughput_bits={:#018x} events={})",
+        result.throughput.to_bits(),
+        result.events,
+    );
+}
