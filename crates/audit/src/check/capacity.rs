@@ -1,0 +1,109 @@
+//! Port-capacity feasibility: Hall-style windows over every busy period
+//! of every NIC port, in both directions.
+
+use super::Checker;
+use crate::report::Invariant;
+use std::collections::BTreeMap;
+
+/// Work cap for the quadratic capacity-window scan of one busy period;
+/// beyond it window anchors are strided (the check stays sound, just
+/// coarser).
+const CAPACITY_WORK_CAP: u64 = 4_000_000;
+
+/// Relative tolerance on capacity windows, covering the fluid allocator's
+/// floating-point drains.
+const CAPACITY_REL_TOL: f64 = 1e-6;
+/// Absolute byte slack per capacity window.
+const CAPACITY_ABS_SLACK: f64 = 2048.0;
+
+/// One completed wire transfer, kept for the offline capacity scan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Attempt {
+    pub(crate) src: usize,
+    pub(crate) dst: usize,
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) bytes: u64,
+}
+
+impl Checker {
+    /// Hall-style feasibility: for any window `[a, b]`, flows fully inside
+    /// it cannot deliver more than `cap * (b - a)` bytes through one port.
+    /// Delivery spans include the propagation latency, which only loosens
+    /// the bound, so a violation is a genuine over-commitment.
+    pub(super) fn check_capacity(&mut self, cap: f64) {
+        let attempts = std::mem::take(&mut self.attempts);
+        let mut tx: BTreeMap<usize, Vec<Attempt>> = BTreeMap::new();
+        let mut rx: BTreeMap<usize, Vec<Attempt>> = BTreeMap::new();
+        for a in attempts {
+            tx.entry(a.src).or_default().push(a);
+            rx.entry(a.dst).or_default().push(a);
+        }
+        for (port, mut list, dir) in tx
+            .into_iter()
+            .map(|(p, l)| (p, l, "tx"))
+            .chain(rx.into_iter().map(|(p, l)| (p, l, "rx")))
+        {
+            list.sort_by_key(|a| (a.start, a.end));
+            let mut period: Vec<Attempt> = Vec::new();
+            let mut max_end = 0u64;
+            let mut done = false;
+            for a in list.into_iter().chain(std::iter::once(Attempt {
+                src: 0,
+                dst: 0,
+                start: u64::MAX,
+                end: u64::MAX,
+                bytes: 0,
+            })) {
+                if a.start >= max_end && !period.is_empty() {
+                    if self.check_busy_period(cap, port, dir, &period) {
+                        done = true;
+                    }
+                    period.clear();
+                }
+                if done {
+                    break;
+                }
+                if a.start != u64::MAX {
+                    max_end = max_end.max(a.end);
+                    period.push(a);
+                }
+            }
+        }
+    }
+
+    /// Checks one maximal busy period of a port; returns true once a
+    /// violation is recorded (one per port is enough to act on).
+    fn check_busy_period(&mut self, cap: f64, port: usize, dir: &str, period: &[Attempt]) -> bool {
+        let mut by_end: Vec<&Attempt> = period.iter().collect();
+        by_end.sort_by_key(|a| (a.end, a.start));
+        let k = period.len() as u64;
+        let stride = ((k * k) / CAPACITY_WORK_CAP + 1) as usize;
+        for anchor in period.iter().step_by(stride) {
+            let a = anchor.start;
+            let mut sum = 0u64;
+            for iv in &by_end {
+                if iv.start < a || iv.end <= a {
+                    continue;
+                }
+                sum += iv.bytes;
+                let span_secs = (iv.end - a) as f64 / 1e9;
+                if sum as f64 > cap * span_secs * (1.0 + CAPACITY_REL_TOL) + CAPACITY_ABS_SLACK {
+                    self.rep.violate(
+                        Invariant::CapacityFeasibility,
+                        None,
+                        a,
+                        format!(
+                            "port m{port} ({dir}): {sum} bytes delivered in a {:.3}ms window — \
+                             exceeds capacity {:.0} bytes/sec",
+                            (iv.end - a) as f64 / 1e6,
+                            cap
+                        ),
+                    );
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}

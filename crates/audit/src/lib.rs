@@ -38,6 +38,8 @@
 
 mod check;
 mod report;
+mod resume;
 
 pub use check::{check, check_with, AuditOptions};
 pub use report::{AuditReport, Invariant, Violation};
+pub use resume::check_resume_equivalence;

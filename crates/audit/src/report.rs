@@ -35,6 +35,10 @@ pub enum Invariant {
     /// boundaries, compute + stall exactly tiles the span (a worker is
     /// never idle for an unexplained reason).
     StallAccounting,
+    /// A resumed run replays the uninterrupted run exactly: its trace is a
+    /// bit-identical suffix of the full run's trace (same events, same
+    /// simulated times, same payloads).
+    ResumeEquivalence,
 }
 
 impl Invariant {
@@ -48,11 +52,12 @@ impl Invariant {
             Invariant::PriorityInversion => "priority-inversion",
             Invariant::InFlightWindow => "in-flight-window",
             Invariant::StallAccounting => "stall-accounting",
+            Invariant::ResumeEquivalence => "resume-equivalence",
         }
     }
 
     /// All catalog entries, in report order.
-    pub const ALL: [Invariant; 7] = [
+    pub const ALL: [Invariant; 8] = [
         Invariant::MonotoneClock,
         Invariant::CausalOrder,
         Invariant::ByteConservation,
@@ -60,6 +65,7 @@ impl Invariant {
         Invariant::PriorityInversion,
         Invariant::InFlightWindow,
         Invariant::StallAccounting,
+        Invariant::ResumeEquivalence,
     ];
 }
 
@@ -184,7 +190,7 @@ mod tests {
     #[test]
     fn invariant_names_are_stable() {
         let names: Vec<&str> = Invariant::ALL.iter().map(|i| i.name()).collect();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 8);
         for n in names {
             assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
         }

@@ -22,6 +22,7 @@ fn opts(machines: usize, window: usize) -> AuditOptions {
         single_consumer: Some(true),
         window: Some(window),
         port_bytes_per_sec: Some(2e11),
+        collective: None,
     }
 }
 
@@ -643,6 +644,7 @@ fn overcommitted_port_is_capacity_violation() {
         single_consumer: Some(true),
         window: Some(5),
         port_bytes_per_sec: Some(2e11),
+        collective: None,
     };
     assert_only(&build(&evs), &o, "capacity-feasibility");
     // The same schedule on a fat enough port is clean.

@@ -44,6 +44,38 @@ fn bench_fig10_point(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_snapshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot");
+    g.sample_size(10);
+    let mk = || {
+        ClusterConfig::new(
+            ModelSpec::resnet50(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(10.0),
+        )
+        .with_iters(1, 2)
+    };
+    // Capture one mid-run snapshot (first iteration boundary), then bench
+    // the codec round-trip and the state digest on that fixed state.
+    let mut bytes: Option<Vec<u8>> = None;
+    ClusterSim::new(mk())
+        .try_run_traced_with_snapshots(1, |_, snap| {
+            bytes.get_or_insert(snap);
+        })
+        .expect("benchmark run");
+    let bytes = bytes.expect("a snapshot at the first iteration boundary");
+    let sim = ClusterSim::restore(mk(), &bytes).expect("restore captured snapshot");
+    g.bench_function("encode_resnet50_4m_mid_run", |b| b.iter(|| sim.snapshot()));
+    g.bench_function("state_hash_resnet50_4m_mid_run", |b| {
+        b.iter(|| sim.state_hash())
+    });
+    g.bench_function("restore_resnet50_4m_mid_run", |b| {
+        b.iter(|| ClusterSim::restore(mk(), &bytes).expect("restore"))
+    });
+    g.finish();
+}
+
 fn bench_gantt(c: &mut Criterion) {
     c.bench_function("fig4_schedule_pair", |b| {
         let spec = PipelineSpec::figure4();
@@ -55,5 +87,11 @@ fn bench_gantt(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fig7_points, bench_fig10_point, bench_gantt);
+criterion_group!(
+    benches,
+    bench_fig7_points,
+    bench_fig10_point,
+    bench_snapshot,
+    bench_gantt
+);
 criterion_main!(benches);

@@ -286,11 +286,12 @@ COMMANDS:
                                            [--slice-params N]
                                            [--trace-out F] [--metrics-out F]
                                            [topology flags] [iteration flags]
+                                           [snapshot flags]
   timeline    ASCII Gantt of a traced run  --model M [--strategy S] [--machines N]
                                            [--gbps G] [--iters N] [--width W]
   sweep       Bandwidth sweep              --model M [--gbps 1,2,4] [--machines N]
                                            [fault flags] [topology flags]
-                                           [iteration flags]
+                                           [iteration flags] [--out F] [--resume]
   allreduce   Collective-aggregation run   --model M [--gbps G] [--layerwise] [--fifo]
   train       Real data-parallel training  [--mode full|dgc|qsgd|terngrad|onebit|asgd]
                                            [--dataset spirals|blobs] [--epochs N]
@@ -320,6 +321,20 @@ TRACE FLAGS (simulate):
   --metrics-out FILE              write the derived metrics registry as JSON
   --audit                         replay the run's trace through the invariant
                                   catalog (DESIGN.md §10); violations fail the run
+
+SNAPSHOT FLAGS (simulate):
+  --snapshot-every N              snapshot every N completed iterations (with
+                                  --snapshot-out; the latest snapshot wins)
+  --snapshot-out FILE             where to write snapshots (implies every 1)
+  --resume-from FILE              restore FILE and run it to completion; the
+                                  resumed trace and final event hash are
+                                  bit-identical to the uninterrupted run's
+  --hash-every N                  emit a rolling state-hash trace event every N
+                                  simulator events (divergence bisection)
+
+SWEEP RESUME (sweep):
+  --out FILE                      stream each completed row to FILE
+  --resume                        reuse rows already present in --out FILE
 "
     .to_string()
 }
@@ -425,6 +440,26 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
     let audited = args.switch("audit");
+    let hash_every: u64 = args.get_or("hash-every", 0, "integer")?;
+    let snapshot_every: u64 = args.get_or("snapshot-every", 0, "integer")?;
+    let snapshot_out = args.get("snapshot-out").map(str::to_string);
+    let resume_from = args.get("resume-from").map(str::to_string);
+    if snapshot_every > 0 && snapshot_out.is_none() {
+        return Err(CliError::Args(ArgError::MissingFlag("snapshot-out")));
+    }
+    // `--snapshot-out` alone snapshots every completed iteration.
+    let snapshot_every = if snapshot_out.is_some() && snapshot_every == 0 {
+        1
+    } else {
+        snapshot_every
+    };
+    if resume_from.is_some() && (snapshot_out.is_some() || audited) {
+        return Err(CliError::Sim(
+            "--resume-from cannot be combined with --snapshot-out or --audit \
+             (a resumed trace is a suffix of the full run; audit the full trace instead)"
+                .into(),
+        ));
+    }
     let mut cfg = ClusterConfig::new(model, strategy, machines, Bandwidth::from_gbps(gbps))
         .with_iters(warmup, measure)
         .with_seed(seed)
@@ -437,14 +472,46 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     if trace_out.is_some() || metrics_out.is_some() {
         cfg = cfg.with_slice_trace();
     }
+    if hash_every > 0 {
+        cfg = cfg.with_state_hash_every(hash_every);
+    }
     if audited {
         cfg = cfg.with_audit();
     }
     let meta = cfg.trace_meta();
-    let (r, log) = ClusterSim::new(cfg).try_run_traced().map_err(|e| match e {
+    let sim_err = |e: p3_cluster::RunError| match e {
         p3_cluster::RunError::AuditFailed(report) => CliError::Audit(report),
         other => CliError::Sim(other.to_string()),
-    })?;
+    };
+    let mut snapshot_at: Option<u64> = None;
+    let (r, log) = match (&resume_from, &snapshot_out) {
+        (Some(path), _) => {
+            let bytes = std::fs::read(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            ClusterSim::restore(cfg, &bytes)
+                .map_err(|e| sim_err(p3_cluster::RunError::Snapshot(e)))?
+                .resume_traced()
+                .map_err(sim_err)?
+        }
+        (None, Some(path)) => {
+            let mut write_err: Option<String> = None;
+            let ran = ClusterSim::new(cfg).try_run_traced_with_snapshots(
+                snapshot_every,
+                |iter, bytes| {
+                    if write_err.is_none() {
+                        match std::fs::write(path, &bytes) {
+                            Ok(()) => snapshot_at = Some(iter),
+                            Err(e) => write_err = Some(format!("{path}: {e}")),
+                        }
+                    }
+                },
+            );
+            if let Some(why) = write_err {
+                return Err(CliError::Io(why));
+            }
+            ran.map_err(sim_err)?
+        }
+        (None, None) => ClusterSim::new(cfg).try_run_traced().map_err(sim_err)?,
+    };
     let mut out = format!(
         "throughput: {:.1} {}/sec  |  mean iteration: {}  |  stall fraction: {:.2}\n",
         r.throughput, r.unit, r.mean_iteration, r.mean_stall_fraction
@@ -454,6 +521,23 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         "iteration p50: {}  |  p99: {}",
         r.p50_iteration, r.p99_iteration
     );
+    let _ = writeln!(out, "event hash: {:#018x}", r.event_hash);
+    if let Some(path) = &resume_from {
+        let _ = writeln!(out, "resumed from: {path}");
+    }
+    if let Some(path) = &snapshot_out {
+        match snapshot_at {
+            Some(iter) => {
+                let _ = writeln!(out, "snapshot written: {path} (iteration {iter})");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "no snapshot taken: run finished before iteration {snapshot_every}"
+                );
+            }
+        }
+    }
     let stalls: Vec<String> = r
         .stalled_per_worker
         .iter()
@@ -504,12 +588,13 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "faults: {} lost, {} retransmits, {} gave up, {} degraded rounds, \
-             {} flows cancelled",
+             {} flows cancelled, {} collectives aborted",
             r.faults.messages_lost,
             r.faults.retransmits,
             r.faults.gave_up,
             r.faults.degraded_rounds,
-            r.faults.flows_cancelled
+            r.faults.flows_cancelled,
+            r.faults.collectives_aborted
         );
     }
     Ok(out)
@@ -582,12 +667,88 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     }
     let strategies = SyncStrategy::fig7_series();
     let plan = parse_fault_plan(args)?;
+    let out_path = args.get("out").map(str::to_string);
+    let resume = args.switch("resume");
+    if resume && out_path.is_none() {
+        return Err(CliError::Args(ArgError::MissingFlag("out")));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:>8}  {:>10}  {:>10}  {:>10}",
         "Gbps", "Baseline", "Slicing", "P3"
     );
+    if let Some(path) = &out_path {
+        // Resumable sweep: each completed row is streamed to the results
+        // file, and `--resume` reuses rows already present instead of
+        // recomputing them — an interrupted sweep loses at most one cell.
+        let mut done: Vec<(String, String)> = Vec::new();
+        if resume {
+            match std::fs::read_to_string(path) {
+                Ok(doc) => {
+                    for line in doc.lines().filter(|l| !l.trim().is_empty()) {
+                        if let Some(key) = line.split_whitespace().next() {
+                            done.push((key.to_string(), line.to_string()));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(CliError::Io(format!("{path}: {e}"))),
+            }
+        }
+        let mut reused = 0usize;
+        for &g in &gbps {
+            let key = format!("{g:.1}");
+            let line = match done.iter().find(|(k, _)| *k == key) {
+                Some((_, line)) => {
+                    reused += 1;
+                    line.clone()
+                }
+                None => {
+                    let t: Vec<f64> = if plan.is_empty() && topology.is_none() {
+                        bandwidth_sweep(&model, &strategies, machines, &[g], warmup, measure, seed)
+                            .iter()
+                            .flat_map(|p| p.series.iter().map(|s| s.1))
+                            .collect()
+                    } else {
+                        strategies
+                            .iter()
+                            .map(|s| {
+                                let mut cfg = ClusterConfig::new(
+                                    model.clone(),
+                                    s.clone(),
+                                    machines,
+                                    Bandwidth::from_gbps(g),
+                                )
+                                .with_iters(warmup, measure)
+                                .with_seed(seed)
+                                .with_faults(plan.clone())
+                                .with_placement(placement);
+                                if let Some(t) = &topology {
+                                    cfg = cfg.with_topology(t.clone());
+                                }
+                                ClusterSim::new(cfg)
+                                    .try_run()
+                                    .map_or(f64::NAN, |r| r.throughput)
+                            })
+                            .collect()
+                    };
+                    let line =
+                        format!("{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}", g, t[0], t[1], t[2]);
+                    done.push((key, line.clone()));
+                    let doc: String = done.iter().map(|(_, l)| format!("{l}\n")).collect();
+                    std::fs::write(path, doc).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                    line
+                }
+            };
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out, "results file: {path}");
+        if reused > 0 {
+            let _ = writeln!(out, "resumed: {reused} row(s) reused");
+        }
+        return Ok(out);
+    }
     if plan.is_empty() && topology.is_none() {
         let pts = bandwidth_sweep(&model, &strategies, machines, &gbps, warmup, measure, seed);
         for p in pts {
@@ -974,6 +1135,105 @@ mod tests {
         ] {
             assert!(h.contains(flag), "help missing {flag}");
         }
+    }
+
+    /// Pulls the `event hash: 0x…` line out of a simulate report.
+    fn event_hash_line(out: &str) -> &str {
+        out.lines()
+            .find(|l| l.starts_with("event hash:"))
+            .expect("simulate reports its event hash")
+    }
+
+    #[test]
+    fn snapshot_then_resume_matches_full_run_digest() {
+        let dir = std::env::temp_dir();
+        let snap = dir.join(format!("p3_cli_snap_{}.bin", std::process::id()));
+        let base = "simulate --model resnet50 --machines 2 --gbps 20 --iters 3";
+        let full = run(base).unwrap();
+        let snapped = run(&format!(
+            "{base} --snapshot-every 1 --snapshot-out {}",
+            snap.display()
+        ))
+        .unwrap();
+        assert!(snapped.contains("snapshot written:"), "{snapped}");
+        assert_eq!(event_hash_line(&full), event_hash_line(&snapped));
+        let resumed = run(&format!("{base} --resume-from {}", snap.display())).unwrap();
+        assert!(resumed.contains("resumed from:"), "{resumed}");
+        // The rolling hash survives the snapshot, so the resumed run's
+        // final digest equals the uninterrupted run's.
+        assert_eq!(event_hash_line(&full), event_hash_line(&resumed));
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn resume_from_corrupt_file_is_a_structured_error() {
+        let dir = std::env::temp_dir();
+        let snap = dir.join(format!("p3_cli_badsnap_{}.bin", std::process::id()));
+        std::fs::write(&snap, b"this is not a snapshot").unwrap();
+        let msg = run(&format!(
+            "simulate --model resnet50 --machines 2 --resume-from {}",
+            snap.display()
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(msg.contains("snapshot"), "{msg}");
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn snapshot_flag_validation_errors() {
+        assert!(matches!(
+            run("simulate --model resnet50 --snapshot-every 2"),
+            Err(CliError::Args(ArgError::MissingFlag("snapshot-out")))
+        ));
+        let msg = run("simulate --model resnet50 --resume-from x.bin --audit")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("--resume-from"), "{msg}");
+    }
+
+    #[test]
+    fn ring_backend_with_crash_completes_and_audits_clean() {
+        // Before the degraded-group reform this configuration was rejected
+        // at validation; now the collective reforms over the survivors.
+        let out = run(
+            "simulate --model resnet50 --machines 2 --gbps 20 --iters 3 \
+             --backend ring --slice-params 2000000 --crash 1:0.2:0.3 --audit",
+        )
+        .unwrap();
+        assert!(out.contains("backend: ring"), "{out}");
+        assert!(out.contains("collectives aborted"), "{out}");
+        assert!(out.contains("audit: clean"), "{out}");
+    }
+
+    #[test]
+    fn sweep_out_streams_rows_and_resume_reuses_them() {
+        let dir = std::env::temp_dir();
+        let res = dir.join(format!("p3_cli_sweep_{}.txt", std::process::id()));
+        let line = format!(
+            "sweep --model resnet50 --machines 2 --gbps 8,16 --measure 1 --seed 3 --out {}",
+            res.display()
+        );
+        let fresh = run(&line).unwrap();
+        assert!(fresh.contains("results file:"), "{fresh}");
+        let doc = std::fs::read_to_string(&res).unwrap();
+        assert_eq!(doc.lines().count(), 2, "{doc}");
+        let resumed = run(&format!("{line} --resume")).unwrap();
+        assert!(resumed.contains("resumed: 2 row(s) reused"), "{resumed}");
+        // Reused rows render identically to freshly computed ones.
+        for l in doc.lines() {
+            assert!(fresh.contains(l), "{fresh}");
+            assert!(resumed.contains(l), "{resumed}");
+        }
+        let _ = std::fs::remove_file(&res);
+    }
+
+    #[test]
+    fn sweep_resume_requires_out() {
+        assert!(matches!(
+            run("sweep --model resnet50 --resume"),
+            Err(CliError::Args(ArgError::MissingFlag("out")))
+        ));
     }
 
     #[test]

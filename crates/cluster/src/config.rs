@@ -1,6 +1,7 @@
 //! Experiment configuration and results.
 
 use crate::faults::FaultPlan;
+use crate::snap::SnapshotError;
 use p3_core::SyncStrategy;
 use p3_des::{SimDuration, SimTime};
 use p3_models::{ComputeProfile, ModelSpec, SampleUnit};
@@ -102,6 +103,11 @@ pub struct ClusterConfig {
     /// server (the paper's setting) or a collective allreduce hosted on
     /// the same engine, network, and fault machinery.
     pub backend: BackendKind,
+    /// Emit a [`p3_trace::TraceEvent::StateHash`] trace event every this
+    /// many simulator events (requires `slice_trace`). `0` (the default)
+    /// disables emission; the rolling hash itself is always maintained and
+    /// reported as [`RunResult::event_hash`].
+    pub hash_every: u64,
 }
 
 /// The gradient-aggregation mechanism of a run.
@@ -212,6 +218,7 @@ impl ClusterConfig {
             liveness_timeout: SimDuration::from_secs(5),
             topology: None,
             placement: Placement::Spread,
+            hash_every: 0,
         }
     }
 
@@ -290,6 +297,7 @@ impl ClusterConfig {
                 .then(|| self.bandwidth.bytes_per_sec() * self.net_efficiency),
             strategy: Some(self.strategy.name().to_string()),
             model: Some(self.model.name().to_string()),
+            collective: Some(self.backend.is_collective()),
         }
     }
 
@@ -317,6 +325,17 @@ impl ClusterConfig {
     /// is split into (validated when the run starts: must be at least one).
     pub fn with_collective_channels(mut self, channels: usize) -> Self {
         self.collective_channels = channels;
+        self
+    }
+
+    /// Emits a rolling state-hash trace event every `every` simulator
+    /// events (and enables the slice trace, which carries them). Two runs
+    /// of the same configuration record identical hash streams; comparing
+    /// streams of two diverging configurations bisects the divergence to
+    /// the first differing event.
+    pub fn with_state_hash_every(mut self, every: u64) -> Self {
+        self.hash_every = every;
+        self.slice_trace = true;
         self
     }
 }
@@ -377,6 +396,10 @@ pub struct FaultStats {
     pub degraded_rounds: u64,
     /// In-flight transmissions cancelled by worker crashes.
     pub flows_cancelled: u64,
+    /// Collectives aborted mid-flight by a membership change and
+    /// relaunched over the surviving group (ring / halving–doubling
+    /// backends only).
+    pub collectives_aborted: u64,
 }
 
 /// Traffic carried by one link of a compiled topology over a whole run.
@@ -419,6 +442,9 @@ pub enum RunError {
     /// (only with [`ClusterConfig::with_audit`]); the string is the full
     /// audit report.
     AuditFailed(String),
+    /// A snapshot file could not be decoded (truncated, corrupt, wrong
+    /// version, or taken under a different configuration).
+    Snapshot(SnapshotError),
 }
 
 impl std::fmt::Display for RunError {
@@ -437,6 +463,7 @@ impl std::fmt::Display for RunError {
             RunError::AuditFailed(report) => {
                 write!(f, "trace audit failed:\n{report}")
             }
+            RunError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -469,6 +496,11 @@ pub struct RunResult {
     pub finished_at: SimTime,
     /// Total simulator events processed (diagnostics).
     pub events: u64,
+    /// Rolling state hash folded over every processed `(time, event)`
+    /// pair. Two runs of the same configuration finish with equal hashes;
+    /// it is the cheap digest for run-twice and resume-equivalence
+    /// comparisons.
+    pub event_hash: u64,
     /// Delivered-message counts by protocol type.
     pub messages: MessageStats,
     /// Fault-injection and reliability counters (all zero without faults).
@@ -529,6 +561,7 @@ mod tests {
             stalled_per_worker: vec![SimDuration::from_millis(100); 4],
             finished_at: SimTime::from_secs(10),
             events: 0,
+            event_hash: 0,
             messages: MessageStats::default(),
             faults: FaultStats::default(),
             trace: None,

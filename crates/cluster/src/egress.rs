@@ -178,6 +178,21 @@ impl EgressUnit {
         }
     }
 
+    /// Drops queued (not yet in-flight) messages for which `keep` returns
+    /// false, preserving the relative order of the survivors. In-flight
+    /// messages are untouched — they complete (or are cancelled) through
+    /// the normal flow lifecycle.
+    pub fn retain(&mut self, mut keep: impl FnMut(&OutMsg) -> bool) {
+        match self {
+            EgressUnit::Single { queue, .. } => queue.retain(&mut keep),
+            EgressUnit::PerDest { queues, .. } => {
+                for q in queues {
+                    q.retain(&mut keep);
+                }
+            }
+        }
+    }
+
     /// True if nothing is queued and nothing is in flight.
     pub fn is_idle(&self) -> bool {
         match self {

@@ -45,6 +45,17 @@ pub(crate) trait CommBackend {
 
     /// A worker crossed an iteration boundary (deferred-pull hook).
     fn iteration_started(sim: &mut ClusterSim, worker: usize);
+
+    /// A worker process crashed. Called at the end of the membership
+    /// layer's crash handling (the worker's own egress and in-network
+    /// flows are already gone); the backend reforms whatever group state
+    /// referenced the dead rank.
+    fn worker_crashed(sim: &mut ClusterSim, worker: usize);
+
+    /// A crashed worker restarted. The backend re-syncs the rejoiner's
+    /// parameter state (a PS worker re-pulls every key; a collective
+    /// worker adopts the completed versions and joins future barriers).
+    fn worker_rejoined(sim: &mut ClusterSim, worker: usize);
 }
 
 /// The paper's protocol: sharded parameter server with push → aggregate →
@@ -139,6 +150,22 @@ impl CommBackend for PsBackend {
             sim.kick_egress(worker, Role::Worker);
         }
     }
+
+    fn worker_crashed(_sim: &mut ClusterSim, _worker: usize) {
+        // Nothing beyond the membership layer's generic teardown: servers
+        // keep aggregating, rounds complete degraded via the liveness
+        // timeout.
+    }
+
+    fn worker_rejoined(sim: &mut ClusterSim, worker: usize) {
+        // Re-sync: the restarted process pulls the current state of every
+        // key (servers answer immediately with their latest version, or
+        // defer until the resumed round completes).
+        let resume = sim.workers[worker].resume_iter;
+        for k in 0..sim.plan.num_keys() {
+            sim.send_pull_request(worker, k, resume);
+        }
+    }
 }
 
 impl ClusterSim {
@@ -165,6 +192,24 @@ impl ClusterSim {
             BackendKind::Ps => PsBackend::iteration_started(self, worker),
             BackendKind::Ring | BackendKind::HalvingDoubling => {
                 CollectiveBackend::iteration_started(self, worker)
+            }
+        }
+    }
+
+    pub(crate) fn backend_worker_crashed(&mut self, worker: usize) {
+        match self.cfg.backend {
+            BackendKind::Ps => PsBackend::worker_crashed(self, worker),
+            BackendKind::Ring | BackendKind::HalvingDoubling => {
+                CollectiveBackend::worker_crashed(self, worker)
+            }
+        }
+    }
+
+    pub(crate) fn backend_worker_rejoined(&mut self, worker: usize) {
+        match self.cfg.backend {
+            BackendKind::Ps => PsBackend::worker_rejoined(self, worker),
+            BackendKind::Ring | BackendKind::HalvingDoubling => {
+                CollectiveBackend::worker_rejoined(self, worker)
             }
         }
     }

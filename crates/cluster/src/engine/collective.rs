@@ -6,9 +6,10 @@
 //! Semantics (mirroring `p3_allreduce::run_allreduce`'s analytic model,
 //! which remains the closed-form reference):
 //!
-//! - A slice's collective launches once **every** worker has finished the
-//!   backward pass of the slice's block (an allreduce is inherently a
-//!   barrier per tensor).
+//! - A slice's collective launches once **every live** worker has finished
+//!   the backward pass of the slice's block (an allreduce is inherently a
+//!   barrier per tensor). The participant set is frozen into a membership
+//!   mask when the barrier fires.
 //! - Ready slices wait in a priority queue; **one collective is in flight
 //!   at a time** (Horovod-style coordinator serialization), so priority
 //!   decides who goes next — P3's scheduling generalized to collectives.
@@ -17,7 +18,7 @@
 //!   they pay `msg_overhead` at admission, contend for links, can be lost
 //!   and retransmitted, and appear in the trace as `ReduceScatter` /
 //!   `AllGather` chunks.
-//! - When the last allgather chunk lands, every worker's
+//! - When the last allgather chunk lands, every live worker's
 //!   `received_version` for the slice advances and stalled forward passes
 //!   are rechecked — the same contract the PS backend satisfies with its
 //!   `Response` broadcast.
@@ -25,28 +26,40 @@
 //! Stragglers and degraded links work unchanged. Message loss works, but
 //! a chunk that exhausts its retry budget (`GiveUp`) wedges the collective
 //! and surfaces as a structured `Deadlock` — configure a generous retry
-//! budget with loss. Worker crashes and wire compression are rejected at
-//! config validation (a dead rank has no counterpart in a ring; compressed
-//! collectives are future work, see ROADMAP).
+//! budget with loss.
+//!
+//! **Crash tolerance (degraded-group reform).** A worker crash mid-run no
+//! longer wedges the schedule: the in-flight collective (if the crashed
+//! rank participates) is aborted — its queued chunks are purged, its
+//! in-network chunks cancelled, and a `CollectiveAbort` fault recorded —
+//! and the slice is requeued to relaunch from step 0 over the surviving
+//! group. Barriers and queued launches drop the dead rank's bit from
+//! their membership masks, a halving–doubling group whose survivor count
+//! is not a power of two falls back to the ring schedule for that launch,
+//! and a rejoining worker syncs to the completed versions and joins
+//! future barriers only (its in-progress round was already aggregated
+//! degraded without it).
 
 use super::backend::CommBackend;
 use super::types::{MsgCtx, MsgKind, Role};
 use super::ClusterSim;
 use crate::egress::OutMsg;
-use p3_allreduce::CollectiveSchedule;
+use p3_allreduce::{CollectiveSchedule, ScheduleKind};
 use p3_core::PrioQueue;
-use p3_net::{MachineId, Priority};
+use p3_net::{FlowId, MachineId, Priority};
 use p3_pserver::HEADER_BYTES;
-use p3_trace::{MsgClass, TraceEvent};
+use p3_trace::{FaultKind, MsgClass, TraceEvent};
 
 /// The one collective currently occupying the network.
 #[derive(Debug, Clone, Copy)]
-struct ActiveCollective {
-    key: usize,
-    round: u64,
-    step: usize,
+pub(crate) struct ActiveCollective {
+    pub(crate) key: usize,
+    pub(crate) round: u64,
+    pub(crate) step: usize,
     /// Chunks of the current step not yet delivered.
-    outstanding: usize,
+    pub(crate) outstanding: usize,
+    /// Participating workers, frozen at launch (one bit per machine).
+    pub(crate) members: u128,
 }
 
 /// All collective-backend state, hung off the sim as
@@ -57,27 +70,58 @@ struct ActiveCollective {
 /// being handled?" re-entrancy guard.
 #[derive(Debug)]
 pub(crate) struct CollectiveState {
-    schedule: CollectiveSchedule,
-    /// Per-block count of workers whose backward pass for that block has
-    /// finished this round. Rounds cannot be confused: a worker only
-    /// reaches round r+1's backward after every slice of round r
-    /// completed its collective (the forward pass gates on it).
-    block_ready: Vec<u32>,
+    /// Requested algorithm (a launch may fall back to ring when the
+    /// surviving group size does not satisfy it).
+    pub(crate) kind: ScheduleKind,
+    /// Per-block mask of workers whose backward pass for that block has
+    /// finished in round `block_round[block]`.
+    pub(crate) block_ready: Vec<u128>,
+    /// The round each block's readiness mask belongs to. A replayed
+    /// backward from an older round (a rejoined worker redoing work that
+    /// was already aggregated degraded) is discarded; a newer round
+    /// supersedes the mask.
+    pub(crate) block_round: Vec<u64>,
     /// Slices whose gradients are ready cluster-wide, keyed by network
     /// priority: the next collective to launch is the most urgent one.
-    pending: PrioQueue<(usize, u64)>,
-    active: Option<ActiveCollective>,
+    /// Each entry carries the membership mask frozen when its barrier
+    /// fired (crashes strip bits from queued entries too).
+    pub(crate) pending: PrioQueue<(usize, u64, u128)>,
+    pub(crate) active: Option<ActiveCollective>,
+    /// Per-key highest version completed by a collective; a rejoining
+    /// worker syncs its `received_version` to this.
+    pub(crate) completed_version: Vec<u64>,
 }
 
 impl CollectiveState {
-    pub(crate) fn new(schedule: CollectiveSchedule, blocks: usize) -> Self {
+    pub(crate) fn new(schedule: CollectiveSchedule, blocks: usize, num_keys: usize) -> Self {
         CollectiveState {
-            schedule,
+            kind: schedule.kind(),
             block_ready: vec![0; blocks],
+            block_round: vec![0; blocks],
             pending: PrioQueue::new(),
             active: None,
+            completed_version: vec![0; num_keys],
         }
     }
+}
+
+/// The schedule actually used for a launch over `count` survivors:
+/// halving–doubling needs a power of two, so a degraded group that lost
+/// it falls back to the (any-size) ring.
+pub(crate) fn effective_kind(kind: ScheduleKind, count: usize) -> ScheduleKind {
+    if kind == ScheduleKind::HalvingDoubling && !count.is_power_of_two() {
+        ScheduleKind::Ring
+    } else {
+        kind
+    }
+}
+
+/// The machines participating in `members`, ascending — the dense rank →
+/// machine map for a (possibly degraded) launch.
+fn group_machines(members: u128) -> Vec<usize> {
+    (0..u128::BITS as usize)
+        .filter(|&m| members & (1u128 << m) != 0)
+        .collect()
 }
 
 /// Ring / halving–doubling allreduce hosted on the engine. Which schedule
@@ -99,18 +143,20 @@ impl CommBackend for CollectiveBackend {
                 priority: sim.prio[k],
             });
         }
-        st.block_ready[block] += 1;
-        if st.block_ready[block] >= sim.cfg.machines as u32 {
-            // The whole cluster finished this block: its slices are
-            // eligible.
-            st.block_ready[block] = 0;
-            for &k in keys {
-                st.pending.push(sim.prio[k], (k, round));
-            }
-            if st.active.is_none() {
-                Self::start_next(sim, &mut st);
-            }
+        if round < st.block_round[block] {
+            // A rejoined worker replaying a round that was already
+            // aggregated degraded without it; nothing to contribute.
+            sim.collective = Some(st);
+            return;
         }
+        if round > st.block_round[block] {
+            // First worker to reach a new round supersedes the mask (any
+            // leftover bits belong to contributions already consumed).
+            st.block_round[block] = round;
+            st.block_ready[block] = 0;
+        }
+        st.block_ready[block] |= 1u128 << worker;
+        Self::check_barrier(sim, &mut st, block);
         sim.collective = Some(st);
     }
 
@@ -126,9 +172,65 @@ impl CommBackend for CollectiveBackend {
         // Nothing to do: parameters arrive via allgather completion, never
         // by pulling.
     }
+
+    fn worker_crashed(sim: &mut ClusterSim, worker: usize) {
+        let Some(mut st) = sim.collective.take() else {
+            unreachable!("collective backend without collective state")
+        };
+        Self::on_member_lost(sim, &mut st, worker);
+        sim.collective = Some(st);
+    }
+
+    fn worker_rejoined(sim: &mut ClusterSim, worker: usize) {
+        let Some(mut st) = sim.collective.take() else {
+            unreachable!("collective backend without collective state")
+        };
+        // Re-sync: the restarted process adopts the collectively-agreed
+        // parameters (every completed version), then participates in
+        // future barriers only — its in-progress round was aggregated
+        // degraded without it.
+        for (k, &v) in st.completed_version.iter().enumerate() {
+            let rv = &mut sim.workers[worker].received_version[k];
+            if v > *rv {
+                *rv = v;
+            }
+        }
+        // A fully-crashed group may have parked pending launches; now that
+        // a rank is back the queue can drain again.
+        if st.active.is_none() {
+            Self::start_next(sim, &mut st);
+        }
+        sim.collective = Some(st);
+    }
 }
 
 impl CollectiveBackend {
+    /// Mask of workers currently able to participate in a barrier.
+    fn live_mask(sim: &ClusterSim) -> u128 {
+        sim.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.crashed)
+            .fold(0u128, |m, (i, _)| m | (1u128 << i))
+    }
+
+    /// Fires `block`'s barrier if every live worker has contributed,
+    /// freezing the live set as the launch membership.
+    fn check_barrier(sim: &mut ClusterSim, st: &mut CollectiveState, block: usize) {
+        let live = Self::live_mask(sim);
+        if live == 0 || st.block_ready[block] & live != live {
+            return;
+        }
+        st.block_ready[block] = 0;
+        let round = st.block_round[block];
+        for &k in &sim.keys_of_block[block] {
+            st.pending.push(sim.prio[k], (k, round, live));
+        }
+        if st.active.is_none() {
+            Self::start_next(sim, st);
+        }
+    }
+
     fn on_chunk_delivered(sim: &mut ClusterSim, st: &mut CollectiveState, ctx: MsgCtx) {
         let chunk_step = match ctx.kind {
             MsgKind::ReduceScatter { step, .. } | MsgKind::AllGather { step, .. } => step,
@@ -149,10 +251,11 @@ impl CollectiveBackend {
             return;
         }
         a.step += 1;
-        // (The degenerate single-machine collective arrives here with
+        // (The degenerate single-member collective arrives here with
         // `step == 1 > steps() == 0` and completes immediately.)
-        if a.step < st.schedule.steps() {
-            a.outstanding = Self::launch_step(sim, st, a.key, a.round, a.step);
+        let schedule = Self::group_schedule(st.kind, a.members);
+        if a.step < schedule.steps() {
+            a.outstanding = Self::launch_step(sim, st, &a, a.step);
             st.active = Some(a);
             return;
         }
@@ -160,51 +263,82 @@ impl CollectiveBackend {
         Self::complete(sim, st, a.key, a.round);
     }
 
-    /// Launches the most urgent pending collective, if any.
-    fn start_next(sim: &mut ClusterSim, st: &mut CollectiveState) {
-        debug_assert!(st.active.is_none(), "collective already in flight");
-        let Some((key, round)) = st.pending.pop() else {
-            return;
-        };
-        let outstanding = if st.schedule.steps() == 0 {
-            Self::launch_degenerate(sim, key, round)
-        } else {
-            Self::launch_step(sim, st, key, round, 0)
-        };
-        st.active = Some(ActiveCollective {
-            key,
-            round,
-            step: 0,
-            outstanding,
-        });
+    /// The transfer schedule for a launch over `members`.
+    fn group_schedule(kind: ScheduleKind, members: u128) -> CollectiveSchedule {
+        let count = members.count_ones() as usize;
+        match CollectiveSchedule::new(effective_kind(kind, count), count) {
+            Ok(s) => s,
+            Err(why) => unreachable!("schedule over {count} survivors rejected: {why}"),
+        }
     }
 
-    /// Single-machine cluster: an allreduce with yourself moves no
-    /// gradients, but one loopback allgather chunk still flows so the
-    /// trace and the delivery path stay uniform with real clusters.
-    fn launch_degenerate(sim: &mut ClusterSim, key: usize, round: u64) -> usize {
-        let version = round + 1;
+    /// Launches the most urgent pending collective, if any. Entries whose
+    /// membership crashed away entirely complete immediately (their
+    /// gradients died with the processes; the version still advances so
+    /// rejoining workers do not wedge on it).
+    fn start_next(sim: &mut ClusterSim, st: &mut CollectiveState) {
+        debug_assert!(st.active.is_none(), "collective already in flight");
+        while let Some((key, round, members)) = st.pending.pop() {
+            if members == 0 {
+                Self::complete(sim, st, key, round);
+                if st.active.is_some() {
+                    // `complete` chained into `start_next` and launched.
+                    return;
+                }
+                continue;
+            }
+            let schedule = Self::group_schedule(st.kind, members);
+            let a = ActiveCollective {
+                key,
+                round,
+                step: 0,
+                outstanding: 0,
+                members,
+            };
+            let outstanding = if schedule.steps() == 0 {
+                Self::launch_degenerate(sim, &a)
+            } else {
+                Self::launch_step(sim, st, &a, 0)
+            };
+            st.active = Some(ActiveCollective { outstanding, ..a });
+            return;
+        }
+    }
+
+    /// Single-member group: an allreduce with yourself moves no gradients,
+    /// but one loopback allgather chunk still flows so the trace and the
+    /// delivery path stay uniform with real groups.
+    fn launch_degenerate(sim: &mut ClusterSim, a: &ActiveCollective) -> usize {
+        let machine = group_machines(a.members)[0];
+        let version = a.round + 1;
         let bytes = HEADER_BYTES as u64;
-        let priority = Priority(sim.prio[key]);
+        let priority = Priority(sim.prio[a.key]);
         let msg_id = sim.register_msg(
             MsgKind::AllGather {
-                key,
+                key: a.key,
                 version,
                 step: 0,
             },
-            0,
-            0,
+            machine,
+            machine,
             bytes,
             priority,
         );
         let msg = OutMsg {
-            dst: MachineId(0),
+            dst: MachineId(machine),
             bytes,
             priority,
             msg_id,
         };
-        sim.enqueue_traced(0, Role::Worker, msg, MsgClass::AllGather, key, version);
-        sim.kick_egress(0, Role::Worker);
+        sim.enqueue_traced(
+            machine,
+            Role::Worker,
+            msg,
+            MsgClass::AllGather,
+            a.key,
+            version,
+        );
+        sim.kick_egress(machine, Role::Worker);
         1
     }
 
@@ -212,21 +346,27 @@ impl CollectiveBackend {
     /// and returns the number of chunks in flight. Each schedule transfer
     /// is split into `collective_channels` concurrent flows (NCCL-style
     /// channels) so one peer-to-peer stream is not pinned to the
-    /// single-flow goodput ceiling (`ClusterConfig::flow_cap`).
+    /// single-flow goodput ceiling (`ClusterConfig::flow_cap`). Schedule
+    /// ranks are mapped onto the (possibly degraded) member machines in
+    /// ascending order.
     fn launch_step(
         sim: &mut ClusterSim,
         st: &CollectiveState,
-        key: usize,
-        round: u64,
+        a: &ActiveCollective,
         step: usize,
     ) -> usize {
+        let schedule = Self::group_schedule(st.kind, a.members);
+        let machines = group_machines(a.members);
+        let key = a.key;
+        let round = a.round;
         let payload = 4 * sim.plan.slice(p3_pserver::Key(key as u64)).params;
-        let transfers = st.schedule.transfers(step, payload);
-        let allgather = st.schedule.is_allgather(step);
+        let transfers = schedule.transfers(step, payload);
+        let allgather = schedule.is_allgather(step);
         let priority = Priority(sim.prio[key]);
         let channels = sim.cfg.collective_channels as u64;
         let mut chunks = 0;
         for t in &transfers {
+            let (src, dst) = (machines[t.src], machines[t.dst]);
             let (kind, class, tag) = if allgather {
                 let version = round + 1;
                 (
@@ -250,37 +390,152 @@ impl CollectiveBackend {
                     per
                 };
                 let bytes = slab + HEADER_BYTES as u64;
-                let msg_id = sim.register_msg(kind, t.src, t.dst, bytes, priority);
+                let msg_id = sim.register_msg(kind, src, dst, bytes, priority);
                 let msg = OutMsg {
-                    dst: MachineId(t.dst),
+                    dst: MachineId(dst),
                     bytes,
                     priority,
                     msg_id,
                 };
-                sim.enqueue_traced(t.src, Role::Worker, msg, class, key, tag);
+                sim.enqueue_traced(src, Role::Worker, msg, class, key, tag);
                 chunks += 1;
             }
         }
         for t in &transfers {
-            sim.kick_egress(t.src, Role::Worker);
+            sim.kick_egress(machines[t.src], Role::Worker);
         }
         chunks
     }
 
-    /// The last allgather chunk landed: every worker now holds the
+    /// The last allgather chunk landed: every live worker now holds the
     /// aggregated parameters for this slice — the collective equivalent of
     /// the PS backend's response broadcast.
     fn complete(sim: &mut ClusterSim, st: &mut CollectiveState, key: usize, round: u64) {
         let version = round + 1;
+        if version > st.completed_version[key] {
+            st.completed_version[key] = version;
+        }
         for w in 0..sim.cfg.machines {
+            if sim.workers[w].crashed {
+                continue;
+            }
             let rv = &mut sim.workers[w].received_version[key];
             if version > *rv {
                 *rv = version;
             }
         }
         for w in 0..sim.cfg.machines {
-            sim.recheck_waiting(w);
+            if !sim.workers[w].crashed {
+                sim.recheck_waiting(w);
+            }
         }
         Self::start_next(sim, st);
+    }
+
+    /// A participant crashed: reform the collective machinery around the
+    /// survivors. The active collective (if the dead rank is in it) is
+    /// aborted — queued chunks purged, in-network chunks cancelled — and
+    /// requeued to restart from step 0 over the surviving group; barrier
+    /// masks and queued launches lose the dead rank's bit; newly
+    /// satisfiable barriers fire.
+    fn on_member_lost(sim: &mut ClusterSim, st: &mut CollectiveState, worker: usize) {
+        let bit = 1u128 << worker;
+
+        if let Some(a) = st.active {
+            if a.members & bit != 0 {
+                Self::abort_active(sim, st, worker);
+            }
+        }
+
+        // Strip the dead rank from queued launches and barrier masks.
+        let stripped: Vec<(u32, (usize, u64, u128))> = st
+            .pending
+            .snapshot_sorted()
+            .into_iter()
+            .map(|(p, (k, r, m))| (p, (k, r, m & !bit)))
+            .collect();
+        st.pending = stripped.into_iter().collect();
+        for mask in &mut st.block_ready {
+            *mask &= !bit;
+        }
+
+        // The group shrank: barriers that were waiting only on the dead
+        // rank are now satisfied.
+        for block in 0..st.block_ready.len() {
+            if st.block_ready[block] != 0 {
+                Self::check_barrier(sim, st, block);
+            }
+        }
+        if st.active.is_none() {
+            Self::start_next(sim, st);
+        }
+    }
+
+    /// Tears down the in-flight collective: every queued chunk is purged
+    /// from its sender's egress, every in-network chunk flow is cancelled
+    /// (freeing its sender's consumer slot), all chunk contexts are
+    /// dropped so armed retry timers lapse, and the slice is requeued over
+    /// the surviving members.
+    fn abort_active(sim: &mut ClusterSim, st: &mut CollectiveState, crashed: usize) {
+        let Some(a) = st.active.take() else {
+            unreachable!("abort without an active collective")
+        };
+        let now = sim.queue.now();
+        let bit = 1u128 << crashed;
+
+        let is_chunk = |kind: MsgKind| {
+            matches!(
+                kind,
+                MsgKind::ReduceScatter { .. } | MsgKind::AllGather { .. }
+            )
+        };
+
+        // Purge chunks still queued on live senders' egress units. (The
+        // crashed worker's egress was already replaced wholesale by the
+        // membership layer.)
+        let queued: Vec<u64> = sim
+            .msgs
+            .iter()
+            .filter(|(_, ctx)| is_chunk(ctx.kind) && !ctx.in_flight)
+            .filter(|(id, _)| !sim.flows.values().any(|mid| mid == *id))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &queued {
+            for w in sim.workers.iter_mut() {
+                w.egress.retain(|m| m.msg_id != *id);
+            }
+            sim.msgs.remove(id);
+        }
+
+        // Cancel chunks already in the network and free their senders'
+        // consumer slots.
+        let doomed: Vec<(FlowId, u64)> = sim
+            .flows
+            .iter()
+            .filter(|(_, mid)| sim.msgs.get(mid).is_some_and(|c| is_chunk(c.kind)))
+            .map(|(&f, &mid)| (f, mid))
+            .collect();
+        for (flow, mid) in doomed {
+            let cancelled = sim.net.cancel_flow(now, flow);
+            debug_assert!(cancelled, "registered flow unknown to the network");
+            sim.flows.remove(&flow);
+            sim.faults.flows_cancelled += 1;
+            let Some(ctx) = sim.msgs.remove(&mid) else {
+                unreachable!("cancelled flow without a message context")
+            };
+            sim.trace_fault(FaultKind::FlowCancelled, ctx.src, Some(mid));
+            if ctx.src != crashed {
+                sim.workers[ctx.src].egress.complete(MachineId(ctx.dst));
+            }
+        }
+
+        sim.faults.collectives_aborted += 1;
+        sim.trace_fault(FaultKind::CollectiveAbort, crashed, None);
+        sim.schedule_net_wake();
+
+        // Requeue over the survivors; `on_member_lost` relaunches once the
+        // masks are consistent.
+        st.pending
+            .push(sim.prio[a.key], (a.key, a.round, a.members & !bit));
     }
 }

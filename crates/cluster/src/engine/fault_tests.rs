@@ -163,6 +163,73 @@ fn crash_then_rejoin_after_eviction_catches_up() {
 }
 
 #[test]
+fn collective_crash_aborts_in_flight_collective_and_completes() {
+    use crate::config::BackendKind;
+    use p3_trace::{FaultKind, TraceEvent};
+
+    let mut cfg = base_cfg()
+        .with_backend(BackendKind::Ring)
+        .with_faults(FaultPlan {
+            crashes: vec![WorkerCrash {
+                worker: 2,
+                at: SimTime::from_millis(900),
+                rejoin_after: Some(SimDuration::from_millis(200)),
+            }],
+            ..FaultPlan::none()
+        })
+        .with_slice_trace();
+    cfg.liveness_timeout = SimDuration::from_secs(30);
+    let (r, log) = ClusterSim::new(cfg).run_traced();
+    let log = log.expect("tracing enabled");
+    assert!(r.throughput > 0.0, "survivors failed to finish");
+    assert!(
+        r.faults.collectives_aborted >= 1,
+        "a crash at 900ms should land mid-collective"
+    );
+    // The counter is a faithful journal of the abort machinery: every
+    // abort left exactly one CollectiveAbort fault event in the trace.
+    let aborts = log
+        .events()
+        .iter()
+        .filter(|te| {
+            matches!(
+                te.event,
+                TraceEvent::Fault {
+                    kind: FaultKind::CollectiveAbort,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(r.faults.collectives_aborted, aborts);
+    // The abort cancelled the dead worker's in-network chunks.
+    assert!(r.faults.flows_cancelled > 0, "abort cancelled no flows");
+}
+
+#[test]
+fn halving_doubling_permanent_crash_reforms_over_survivors() {
+    use crate::config::BackendKind;
+
+    let mut cfg = base_cfg()
+        .with_backend(BackendKind::HalvingDoubling)
+        .with_faults(FaultPlan {
+            crashes: vec![WorkerCrash {
+                worker: 3,
+                at: SimTime::from_millis(900),
+                rejoin_after: None,
+            }],
+            ..FaultPlan::none()
+        });
+    cfg.liveness_timeout = SimDuration::from_millis(100);
+    let r = ClusterSim::new(cfg).run();
+    assert!(r.throughput > 0.0, "survivors failed to finish");
+    assert!(
+        r.faults.collectives_aborted >= 1,
+        "the in-flight collective should have aborted"
+    );
+}
+
+#[test]
 fn invalid_plan_is_a_structured_error() {
     let cfg = base_cfg().with_faults(FaultPlan {
         stragglers: vec![StragglerEpisode {

@@ -96,6 +96,9 @@ impl ClusterSim {
             Ev::LivenessTimeout { worker: w },
         );
         self.schedule_net_wake();
+        // The worker's own messages are gone; let the backend reform any
+        // group state (a collective aborts and relaunches over survivors).
+        self.backend_worker_crashed(w);
     }
 
     pub(crate) fn on_rejoin(&mut self, worker: usize) {
@@ -121,12 +124,7 @@ impl ClusterSim {
             }
         }
         self.resample_jitter(worker);
-        // Re-sync: the restarted process pulls the current state of every
-        // key (servers answer immediately with their latest version, or
-        // defer until the resumed round completes).
-        for k in 0..self.plan.num_keys() {
-            self.send_pull_request(worker, k, resume);
-        }
+        self.backend_worker_rejoined(worker);
         self.kick_egress(worker, Role::Worker);
         self.try_start_fwd(worker, 0);
     }

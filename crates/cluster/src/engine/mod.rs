@@ -29,6 +29,7 @@ mod backend;
 mod collective;
 mod membership;
 mod server;
+mod snapshot;
 mod transport;
 mod types;
 mod worker;
@@ -43,6 +44,7 @@ use crate::config::{
     UtilizationTrace,
 };
 use crate::egress::EgressUnit;
+use crate::snap::SnapshotError;
 use collective::CollectiveState;
 use p3_allreduce::{CollectiveSchedule, ScheduleKind};
 use p3_core::{Egress, PrioQueue};
@@ -121,6 +123,10 @@ pub struct ClusterSim {
     /// Collective-backend state (ring / halving–doubling schedules and the
     /// one-at-a-time active collective); `None` under the PS backend.
     collective: Option<CollectiveState>,
+    /// Rolling FNV-1a hash folded over every processed `(time, event)`
+    /// pair — the per-event digest that localizes a divergence between two
+    /// runs to the exact event (see [`p3_trace::TraceEvent::StateHash`]).
+    hash: u64,
     /// A configuration contradiction detected during construction,
     /// surfaced as [`RunError::InvalidConfig`] when the run starts
     /// (construction itself is infallible).
@@ -139,20 +145,18 @@ impl ClusterSim {
         assert!(cfg.batch_per_worker > 0, "zero batch");
         let mut config_error = None;
         let mut plan = cfg.strategy.plan(&cfg.model, cfg.machines, cfg.seed);
-        let topology_ok = match &cfg.topology {
+        let active_topo = match &cfg.topology {
             Some(t) if t.machines() != cfg.machines => {
                 config_error = Some(format!(
                     "topology covers {} machines but the cluster has {}",
                     t.machines(),
                     cfg.machines
                 ));
-                false
+                None
             }
-            Some(_) => true,
-            None => false,
+            other => other.as_ref(),
         };
-        if topology_ok {
-            let topo = cfg.topology.as_ref().expect("checked above");
+        if let Some(topo) = active_topo {
             plan.map_servers(|s| cfg.placement.place_server(s, topo));
         }
         let prio = cfg.strategy.priorities(&plan);
@@ -178,8 +182,7 @@ impl ClusterSim {
             if let Some(bin) = cfg.trace_bin {
                 c = c.with_trace(bin);
             }
-            if topology_ok {
-                let topo = cfg.topology.as_ref().expect("checked above");
+            if let Some(topo) = active_topo {
                 c = c.with_link_graph(topo.compile(cfg.bandwidth));
             }
             c
@@ -207,7 +210,11 @@ impl ClusterSim {
                     ScheduleKind::HalvingDoubling
                 };
                 match CollectiveSchedule::new(kind, cfg.machines) {
-                    Ok(schedule) => Some(CollectiveState::new(schedule, cfg.model.blocks().len())),
+                    Ok(schedule) => Some(CollectiveState::new(
+                        schedule,
+                        cfg.model.blocks().len(),
+                        num_keys,
+                    )),
                     Err(why) => {
                         config_error.get_or_insert(why);
                         None
@@ -282,6 +289,7 @@ impl ClusterSim {
             tracer,
             rack_agg: BTreeMap::new(),
             collective,
+            hash: 0,
             config_error,
             cfg,
         }
@@ -318,6 +326,91 @@ impl ClusterSim {
     /// Like [`ClusterSim::try_run`], additionally returning the recorded
     /// trace when tracing is enabled.
     pub fn try_run_traced(mut self) -> Result<(RunResult, Option<TraceLog>), RunError> {
+        self.validate()?;
+        self.begin();
+        self.run_loop(&mut NoSnapshots)?;
+        self.finalize(true)
+    }
+
+    /// Like [`ClusterSim::try_run_traced`], additionally invoking `hook`
+    /// with `(min_completed_iterations, snapshot_bytes)` every time the
+    /// slowest live worker crosses a multiple of `every` completed
+    /// iterations. The snapshot restores via [`ClusterSim::restore`] and
+    /// resumes via [`ClusterSim::resume_traced`] bit-identically to the
+    /// uninterrupted run.
+    ///
+    /// `every == 0` disables snapshotting (equivalent to
+    /// [`ClusterSim::try_run_traced`]).
+    pub fn try_run_traced_with_snapshots<F: FnMut(u64, Vec<u8>)>(
+        mut self,
+        every: u64,
+        mut hook: F,
+    ) -> Result<(RunResult, Option<TraceLog>), RunError> {
+        self.validate()?;
+        self.begin();
+        if every == 0 {
+            self.run_loop(&mut NoSnapshots)?;
+        } else {
+            let mut taker = SnapshotTaker {
+                every,
+                next_at: every,
+                hook: &mut hook,
+            };
+            self.run_loop(&mut taker)?;
+        }
+        self.finalize(true)
+    }
+
+    /// Reconstructs a mid-run simulation from snapshot bytes produced by
+    /// [`ClusterSim::try_run_traced_with_snapshots`]. The configuration
+    /// must be the one the snapshot was taken under (checked via a
+    /// fingerprint in the header).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: truncated/corrupt bytes, wrong magic or
+    /// format version, or a configuration mismatch.
+    pub fn restore(cfg: ClusterConfig, bytes: &[u8]) -> Result<ClusterSim, SnapshotError> {
+        snapshot::restore(cfg, bytes)
+    }
+
+    /// Serializes the complete dynamic engine state (clock, pending
+    /// events, network flows, endpoint queues, RNG streams, counters) into
+    /// a versioned byte stream. See `snap.rs` for the format.
+    pub fn snapshot(&self) -> Vec<u8> {
+        snapshot::snapshot(self)
+    }
+
+    /// A digest of the complete dynamic engine state (the FNV-1a hash of
+    /// [`ClusterSim::snapshot`]'s byte stream). Two runs of the same
+    /// configuration have equal state hashes at the same event count; the
+    /// first event after which they differ is where they diverged.
+    pub fn state_hash(&self) -> u64 {
+        crate::snap::fnv64(&self.snapshot())
+    }
+
+    /// Rolling per-event hash folded so far (also reported as
+    /// [`RunResult::event_hash`] when the run finishes).
+    pub fn event_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Continues a run restored by [`ClusterSim::restore`] to completion.
+    ///
+    /// Unlike [`ClusterSim::try_run_traced`] this neither re-validates the
+    /// configuration nor re-schedules worker starts or the fault plan —
+    /// all of that already happened in the original run and lives in the
+    /// snapshot's event queue. The returned trace covers only the resumed
+    /// portion (it is a bit-identical suffix of the uninterrupted run's
+    /// trace), so the inline audit is skipped: its invariants span the
+    /// whole run and would see unpaired events.
+    pub fn resume_traced(mut self) -> Result<(RunResult, Option<TraceLog>), RunError> {
+        self.run_loop(&mut NoSnapshots)?;
+        self.finalize(false)
+    }
+
+    /// Static configuration checks shared by every way of starting a run.
+    fn validate(&mut self) -> Result<(), RunError> {
         if self.cfg.machines > MAX_MACHINES {
             return Err(RunError::InvalidConfig(format!(
                 "{} machines exceeds the {MAX_MACHINES}-machine membership mask",
@@ -340,13 +433,6 @@ impl ClusterSim {
             ));
         }
         if self.cfg.backend.is_collective() {
-            if !self.cfg.faults.crashes.is_empty() {
-                return Err(RunError::InvalidConfig(
-                    "collective backends do not support worker crashes (a dead rank wedges \
-                     the schedule; use the ps backend for crash experiments)"
-                        .into(),
-                ));
-            }
             if self.cfg.wire_compression.is_some() {
                 return Err(RunError::InvalidConfig(
                     "wire compression is not yet modelled for collective backends".into(),
@@ -358,8 +444,11 @@ impl ClusterSim {
                 ));
             }
         }
+        Ok(())
+    }
 
-        let target = self.cfg.warmup_iters + self.cfg.measure_iters;
+    /// Seeds the event queue: staggered worker starts and the fault plan.
+    fn begin(&mut self) {
         // Staggered worker starts model real cluster skew.
         let mut rng = SplitMix64::new(self.cfg.seed ^ 0x051A_66E2);
         for w in 0..self.cfg.machines {
@@ -370,13 +459,20 @@ impl ClusterSim {
                 .schedule_at(SimTime::ZERO + off, Ev::StartWorker { worker: w });
         }
         self.schedule_fault_plan();
+    }
 
+    /// The engine's main loop: pop, hash, dispatch, until every live
+    /// worker reached the target iteration count. The rolling hash folds
+    /// each `(time, event)` pair *before* dispatch, so a `StateHash`
+    /// trace row at event `n` commits to the first `n` events processed.
+    fn run_loop<S: SnapshotSink>(&mut self, snapshots: &mut S) -> Result<(), RunError> {
+        let target = self.cfg.warmup_iters + self.cfg.measure_iters;
         while self
             .workers
             .iter()
             .any(|w| !w.permanently_dead && w.completed < target)
         {
-            let Some((_, ev)) = self.queue.pop() else {
+            let Some((t, ev)) = self.queue.pop() else {
                 return Err(RunError::Deadlock {
                     progress: self.workers.iter().map(|w| w.completed).collect(),
                 });
@@ -385,11 +481,25 @@ impl ClusterSim {
             if self.events >= EVENT_CAP {
                 return Err(RunError::EventCapExceeded { cap: EVENT_CAP });
             }
+            self.hash = snapshot::fold_event(self.hash, t, &ev);
             self.dispatch(ev);
+            if self.cfg.hash_every > 0 && self.events.is_multiple_of(self.cfg.hash_every) {
+                self.trace(p3_trace::TraceEvent::StateHash {
+                    events: self.events,
+                    hash: self.hash,
+                });
+            }
+            snapshots.after_event(self);
         }
+        Ok(())
+    }
 
+    /// Drains the trace, runs the inline audit (full runs only), and
+    /// computes the measured result.
+    fn finalize(self, audit: bool) -> Result<(RunResult, Option<TraceLog>), RunError> {
+        let target = self.cfg.warmup_iters + self.cfg.measure_iters;
         let log = self.tracer.as_ref().map(|t| t.drain());
-        if self.cfg.audit {
+        if audit && self.cfg.audit {
             let Some(log) = &log else {
                 return Err(RunError::InvalidConfig(
                     "audit requested but slice tracing is off (use with_audit)".into(),
@@ -402,6 +512,17 @@ impl ClusterSim {
             }
         }
         Ok((self.finish(target), log))
+    }
+
+    /// The slowest live worker's completed-iteration count — the
+    /// progress floor a snapshot is labelled with.
+    fn min_completed(&self) -> u64 {
+        self.workers
+            .iter()
+            .filter(|w| !w.permanently_dead)
+            .map(|w| w.completed)
+            .min()
+            .unwrap_or(0)
     }
 
     /// Schedules every episode of the fault plan. An empty plan schedules
@@ -603,6 +724,41 @@ impl ClusterSim {
             faults: self.faults,
             trace,
             links,
+            event_hash: self.hash,
+        }
+    }
+}
+
+/// What the run loop does after dispatching each event — the seam that
+/// keeps the hot loop monomorphic for the common no-snapshot case while
+/// letting callers capture periodic snapshots.
+trait SnapshotSink {
+    fn after_event(&mut self, sim: &ClusterSim);
+}
+
+/// The default sink: no snapshots, zero per-event work.
+struct NoSnapshots;
+
+impl SnapshotSink for NoSnapshots {
+    fn after_event(&mut self, _sim: &ClusterSim) {}
+}
+
+/// Captures a snapshot every time the slowest live worker crosses a
+/// multiple of `every` completed iterations.
+struct SnapshotTaker<'a> {
+    every: u64,
+    next_at: u64,
+    hook: &'a mut dyn FnMut(u64, Vec<u8>),
+}
+
+impl SnapshotSink for SnapshotTaker<'_> {
+    fn after_event(&mut self, sim: &ClusterSim) {
+        let floor = sim.min_completed();
+        if floor >= self.next_at {
+            (self.hook)(floor, sim.snapshot());
+            // Skip past multiples crossed in one jump so every snapshot
+            // reflects a distinct progress floor.
+            self.next_at = (floor / self.every + 1) * self.every;
         }
     }
 }

@@ -92,15 +92,15 @@ impl ClusterSim {
             .expect("rack push without a topology");
         let rack = topo.rack_of(agg);
         let full: u128 = topo.rack_members(rack).fold(0, |m, w| m | (1u128 << w));
-        let entry = self.rack_agg.entry((agg, key, round)).or_insert(0);
-        *entry |= 1u128 << from;
-        if *entry != full {
+        let members = {
+            let entry = self.rack_agg.entry((agg, key, round)).or_insert(0);
+            *entry |= 1u128 << from;
+            *entry
+        };
+        if members != full {
             return;
         }
-        let members = self
-            .rack_agg
-            .remove(&(agg, key, round))
-            .expect("rack entry just updated");
+        self.rack_agg.remove(&(agg, key, round));
         let slice = self.plan.slice(p3_pserver::Key(key as u64));
         let server = slice.server.0;
         let bytes = self.push_wire(slice.params);

@@ -1,0 +1,430 @@
+//! Snapshot serialization: walks a live [`ClusterSim`] and writes every
+//! piece of dynamic state through the [`crate::snap`] codec. Field order
+//! here is the format — [`super::decode`] mirrors it exactly, and any
+//! reordering is a (version-bumped) format change.
+
+use super::super::collective::CollectiveState;
+use super::super::types::{Ev, MsgCtx, MsgKind, Phase, ProcItem, ServerState, WorkerState};
+use super::super::ClusterSim;
+use super::{config_fingerprint, role_tag};
+use crate::egress::{EgressUnit, OutMsg};
+use crate::snap::SnapWriter;
+use p3_net::NetworkSnapshot;
+
+/// Serializes the complete dynamic state of a simulation.
+pub(in crate::engine) fn snapshot(sim: &ClusterSim) -> Vec<u8> {
+    let mut w = SnapWriter::new(config_fingerprint(&sim.cfg));
+    let now = sim.queue.now();
+    w.u64(now.as_nanos());
+
+    let pending = sim.queue.pending_sorted();
+    w.usize(pending.len());
+    for (t, ev) in &pending {
+        w.u64(t.as_nanos());
+        encode_ev(&mut w, *ev);
+    }
+
+    for ws in &sim.workers {
+        encode_worker(&mut w, ws);
+    }
+    for ss in &sim.servers {
+        encode_server(&mut w, ss);
+    }
+    encode_net(&mut w, &sim.net.snapshot());
+
+    w.usize(sim.msgs.len());
+    for (&id, ctx) in &sim.msgs {
+        w.u64(id);
+        encode_msg_ctx(&mut w, ctx);
+    }
+    w.usize(sim.flows.len());
+    for (&flow, &mid) in &sim.flows {
+        w.u64(flow.0);
+        w.u64(mid);
+    }
+    w.u64(sim.next_msg_id);
+    w.opt_u64(sim.next_wake.map(|t| t.as_nanos()));
+    for gate in &sim.admit_gate {
+        w.u64(gate[0].as_nanos());
+        w.u64(gate[1].as_nanos());
+    }
+    for kick in &sim.admit_kick_at {
+        w.opt_u64(kick[0].map(|t| t.as_nanos()));
+        w.opt_u64(kick[1].map(|t| t.as_nanos()));
+    }
+    w.u64(sim.events);
+
+    w.u64(sim.stats.pushes);
+    w.u64(sim.stats.responses);
+    w.u64(sim.stats.notifies);
+    w.u64(sim.stats.pull_requests);
+    w.u64(sim.stats.rack_pushes);
+    w.u64(sim.stats.combined_pushes);
+    w.u64(sim.stats.collective_chunks);
+
+    w.u64(sim.loss_rng.state());
+    for &dead in &sim.dead_members {
+        w.bool(dead);
+    }
+    w.u32(sim.expected_pushes);
+
+    w.u64(sim.faults.messages_lost);
+    w.u64(sim.faults.retransmits);
+    w.u64(sim.faults.gave_up);
+    w.u64(sim.faults.stale_pushes_dropped);
+    w.u64(sim.faults.duplicate_pushes_dropped);
+    w.u64(sim.faults.degraded_rounds);
+    w.u64(sim.faults.flows_cancelled);
+    w.u64(sim.faults.collectives_aborted);
+
+    w.usize(sim.rack_agg.len());
+    for (&(machine, key, round), &mask) in &sim.rack_agg {
+        w.usize(machine);
+        w.usize(key);
+        w.u64(round);
+        w.u128(mask);
+    }
+
+    match &sim.collective {
+        None => w.bool(false),
+        Some(st) => {
+            w.bool(true);
+            encode_collective(&mut w, st);
+        }
+    }
+    w.u64(sim.hash);
+    w.finish()
+}
+
+fn encode_ev(w: &mut SnapWriter, ev: Ev) {
+    match ev {
+        Ev::StartWorker { worker } => {
+            w.u8(0);
+            w.usize(worker);
+        }
+        Ev::Compute { worker, phase, inc } => {
+            w.u8(1);
+            w.usize(worker);
+            match phase {
+                Phase::Fwd(b) => {
+                    w.u8(0);
+                    w.usize(b);
+                }
+                Phase::Bwd(b) => {
+                    w.u8(1);
+                    w.usize(b);
+                }
+            }
+            w.u32(inc);
+        }
+        Ev::EgressReady {
+            machine,
+            role,
+            dst,
+            inc,
+        } => {
+            w.u8(2);
+            w.usize(machine);
+            w.u8(role_tag(role));
+            w.usize(dst.0);
+            w.u32(inc);
+        }
+        Ev::AdmitKick { machine, role } => {
+            w.u8(3);
+            w.usize(machine);
+            w.u8(role_tag(role));
+        }
+        Ev::ProcDone { server } => {
+            w.u8(4);
+            w.usize(server);
+        }
+        Ev::NetWake => w.u8(5),
+        Ev::StragglerStart { idx } => {
+            w.u8(6);
+            w.usize(idx);
+        }
+        Ev::StragglerEnd { idx } => {
+            w.u8(7);
+            w.usize(idx);
+        }
+        Ev::LinkDegradeStart { idx } => {
+            w.u8(8);
+            w.usize(idx);
+        }
+        Ev::LinkDegradeEnd { idx } => {
+            w.u8(9);
+            w.usize(idx);
+        }
+        Ev::Crash { idx } => {
+            w.u8(10);
+            w.usize(idx);
+        }
+        Ev::Rejoin { worker } => {
+            w.u8(11);
+            w.usize(worker);
+        }
+        Ev::RetryTimer { msg_id, attempt } => {
+            w.u8(12);
+            w.u64(msg_id);
+            w.u32(attempt);
+        }
+        Ev::LivenessTimeout { worker } => {
+            w.u8(13);
+            w.usize(worker);
+        }
+    }
+}
+
+fn encode_worker(w: &mut SnapWriter, ws: &WorkerState) {
+    w.u64(ws.iter);
+    w.u64(ws.completed);
+    w.usize(ws.received_version.len());
+    for &v in &ws.received_version {
+        w.u64(v);
+    }
+    w.usize(ws.notified_version.len());
+    for &v in &ws.notified_version {
+        w.u64(v);
+    }
+    w.opt_usize(ws.waiting_block);
+    w.opt_u64(ws.stalled_since.map(|t| t.as_nanos()));
+    w.u64(ws.stalled_total.as_nanos());
+    w.bool(ws.started);
+    w.opt_u64(ws.measure_start.map(|t| t.as_nanos()));
+    w.opt_u64(ws.measure_end.map(|t| t.as_nanos()));
+    w.f64(ws.jitter);
+    w.f64(ws.slowdown);
+    w.bool(ws.crashed);
+    w.bool(ws.permanently_dead);
+    w.u32(ws.incarnation);
+    w.u64(ws.resume_iter);
+    w.u64(ws.iter_started.as_nanos());
+    w.usize(ws.measured_iters.len());
+    for &secs in &ws.measured_iters {
+        w.f64(secs);
+    }
+    encode_egress(w, &ws.egress);
+    w.u64(ws.rng.state());
+}
+
+fn encode_server(w: &mut SnapWriter, ss: &ServerState) {
+    let items = ss.proc_queue.snapshot_sorted();
+    w.usize(items.len());
+    for (prio, item) in &items {
+        w.u32(*prio);
+        encode_proc_item(w, item);
+    }
+    w.bool(ss.proc_busy);
+    w.usize(ss.received.len());
+    for &mask in &ss.received {
+        w.u128(mask);
+    }
+    w.usize(ss.version.len());
+    for &v in &ss.version {
+        w.u64(v);
+    }
+    w.usize(ss.pending_pulls.len());
+    for pulls in &ss.pending_pulls {
+        w.usize(pulls.len());
+        for &worker in pulls {
+            w.usize(worker);
+        }
+    }
+    match &ss.current {
+        None => w.bool(false),
+        Some(item) => {
+            w.bool(true);
+            encode_proc_item(w, item);
+        }
+    }
+    encode_egress(w, &ss.egress);
+}
+
+fn encode_proc_item(w: &mut SnapWriter, item: &ProcItem) {
+    w.usize(item.key);
+    w.u64(item.round);
+    w.usize(item.worker);
+    w.u128(item.members);
+}
+
+fn encode_egress(w: &mut SnapWriter, egress: &EgressUnit) {
+    match egress {
+        EgressUnit::Single {
+            queue,
+            in_flight,
+            window,
+        } => {
+            w.u8(0);
+            w.usize(*window);
+            w.usize(*in_flight);
+            let msgs = queue.snapshot_sorted();
+            w.usize(msgs.len());
+            for (_, msg) in &msgs {
+                encode_out_msg(w, msg);
+            }
+        }
+        EgressUnit::PerDest { queues, busy } => {
+            w.u8(1);
+            w.usize(queues.len());
+            for lane in queues {
+                w.usize(lane.len());
+                for msg in lane {
+                    encode_out_msg(w, msg);
+                }
+            }
+            w.usize(busy.len());
+            for &b in busy {
+                w.bool(b);
+            }
+        }
+    }
+}
+
+fn encode_out_msg(w: &mut SnapWriter, msg: &OutMsg) {
+    w.usize(msg.dst.0);
+    w.u64(msg.bytes);
+    w.u32(msg.priority.0);
+    w.u64(msg.msg_id);
+}
+
+fn encode_msg_ctx(w: &mut SnapWriter, ctx: &MsgCtx) {
+    encode_msg_kind(w, ctx.kind);
+    w.usize(ctx.src);
+    w.usize(ctx.dst);
+    w.u64(ctx.bytes);
+    w.u32(ctx.priority.0);
+    w.u32(ctx.attempt);
+    w.bool(ctx.in_flight);
+}
+
+fn encode_msg_kind(w: &mut SnapWriter, kind: MsgKind) {
+    match kind {
+        MsgKind::Push { key, round } => {
+            w.u8(0);
+            w.usize(key);
+            w.u64(round);
+        }
+        MsgKind::Response { key, version } => {
+            w.u8(1);
+            w.usize(key);
+            w.u64(version);
+        }
+        MsgKind::Notify { key, version } => {
+            w.u8(2);
+            w.usize(key);
+            w.u64(version);
+        }
+        MsgKind::PullReq { key, round } => {
+            w.u8(3);
+            w.usize(key);
+            w.u64(round);
+        }
+        MsgKind::RackPush { key, round } => {
+            w.u8(4);
+            w.usize(key);
+            w.u64(round);
+        }
+        MsgKind::CombinedPush {
+            key,
+            round,
+            members,
+        } => {
+            w.u8(5);
+            w.usize(key);
+            w.u64(round);
+            w.u128(members);
+        }
+        MsgKind::ReduceScatter { key, round, step } => {
+            w.u8(6);
+            w.usize(key);
+            w.u64(round);
+            w.usize(step);
+        }
+        MsgKind::AllGather { key, version, step } => {
+            w.u8(7);
+            w.usize(key);
+            w.u64(version);
+            w.usize(step);
+        }
+    }
+}
+
+fn encode_net(w: &mut SnapWriter, snap: &NetworkSnapshot) {
+    w.usize(snap.flows.len());
+    for f in &snap.flows {
+        w.u64(f.id);
+        w.usize(f.src);
+        w.usize(f.dst);
+        w.u32(f.priority);
+        w.u64(f.tag);
+        w.u64(f.bytes);
+        w.f64(f.remaining);
+        w.f64(f.rate);
+        w.opt_usize(f.bottleneck);
+    }
+    w.usize(snap.delivering.len());
+    for d in &snap.delivering {
+        w.u64(d.at.as_nanos());
+        w.u64(d.flow.id.0);
+        w.usize(d.flow.src.0);
+        w.usize(d.flow.dst.0);
+        w.u64(d.flow.tag);
+        w.u64(d.flow.bytes);
+        w.opt_usize(d.flow.bottleneck);
+    }
+    w.u64(snap.last_update.as_nanos());
+    w.u64(snap.next_flow_id);
+    encode_f64s(w, &snap.tx_scale);
+    encode_f64s(w, &snap.rx_scale);
+    encode_f64s(w, &snap.link_busy);
+    encode_f64s(w, &snap.link_bytes);
+    w.usize(snap.tx_bins.len());
+    for bins in &snap.tx_bins {
+        encode_f64s(w, bins);
+    }
+    w.usize(snap.rx_bins.len());
+    for bins in &snap.rx_bins {
+        encode_f64s(w, bins);
+    }
+}
+
+fn encode_f64s(w: &mut SnapWriter, values: &[f64]) {
+    w.usize(values.len());
+    for &v in values {
+        w.f64(v);
+    }
+}
+
+fn encode_collective(w: &mut SnapWriter, st: &CollectiveState) {
+    w.usize(st.block_ready.len());
+    for &mask in &st.block_ready {
+        w.u128(mask);
+    }
+    w.usize(st.block_round.len());
+    for &r in &st.block_round {
+        w.u64(r);
+    }
+    let pending = st.pending.snapshot_sorted();
+    w.usize(pending.len());
+    for (prio, (key, round, members)) in &pending {
+        w.u32(*prio);
+        w.usize(*key);
+        w.u64(*round);
+        w.u128(*members);
+    }
+    match &st.active {
+        None => w.bool(false),
+        Some(a) => {
+            w.bool(true);
+            w.usize(a.key);
+            w.u64(a.round);
+            w.usize(a.step);
+            w.usize(a.outstanding);
+            w.u128(a.members);
+        }
+    }
+    w.usize(st.completed_version.len());
+    for &v in &st.completed_version {
+        w.u64(v);
+    }
+}

@@ -1,0 +1,115 @@
+//! Whole-engine snapshot, restore, and the per-event rolling hash.
+//!
+//! [`snapshot`] serializes every piece of *dynamic* engine state — the
+//! clock, pending events, endpoint queues, in-flight messages and network
+//! flows, RNG streams, counters — through the versioned [`crate::snap`]
+//! codec. Static state (the shard plan, priorities, block timings, link
+//! graph) is deliberately excluded: it is a pure function of the
+//! [`ClusterConfig`] and is rebuilt by [`ClusterSim::new`] on restore. A
+//! fingerprint of the configuration's `Debug` form travels in the header
+//! so a snapshot cannot be restored under a different configuration.
+//!
+//! [`restore`] is the inverse. It never panics on malformed input: every
+//! length, index, and cross-reference that the engine would later trust
+//! (and index with) is validated here, and violations surface as
+//! [`SnapshotError::Corrupt`].
+//!
+//! [`fold_event`] is the cheap rolling digest: an allocation-free FNV-1a
+//! fold over each `(time, event)` pair the run loop processes. Equal
+//! configurations produce equal fold sequences, so two runs that diverge
+//! do so at the exact event where their hashes first differ.
+//!
+//! The module splits along the codec direction: [`encode`] writes a live
+//! engine out, [`decode`] validates bytes back into one. This file keeps
+//! only what both sides (and the hot loop) share.
+//!
+//! [`ClusterSim::new`]: super::ClusterSim::new
+//! [`ClusterConfig`]: crate::config::ClusterConfig
+
+mod decode;
+mod encode;
+
+pub(super) use decode::restore;
+pub(super) use encode::snapshot;
+
+use super::types::{Ev, Phase, Role};
+use crate::config::ClusterConfig;
+use crate::snap::{fnv64, fnv64_fold, SnapshotError};
+use p3_des::SimTime;
+
+/// Digest of the configuration a snapshot belongs to. The `Debug` form
+/// covers every field (the struct derives it exhaustively), so any
+/// configuration change — model, strategy, faults, seed — changes the
+/// fingerprint and [`restore`] refuses the stale snapshot.
+fn config_fingerprint(cfg: &ClusterConfig) -> u64 {
+    fnv64(format!("{cfg:?}").as_bytes())
+}
+
+fn check(ok: bool, what: &str) -> Result<(), SnapshotError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(SnapshotError::Corrupt(what.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rolling per-event hash.
+
+/// Folds one processed `(time, event)` pair into the rolling run digest.
+/// Allocation-free: called once per event in the hot loop.
+pub(super) fn fold_event(h: u64, t: SimTime, ev: &Ev) -> u64 {
+    let h = fnv64_fold(h, t.as_nanos());
+    match *ev {
+        Ev::StartWorker { worker } => fnv64_fold(fnv64_fold(h, 0), worker as u64),
+        Ev::Compute { worker, phase, inc } => {
+            let h = fnv64_fold(fnv64_fold(h, 1), worker as u64);
+            let (p, b) = match phase {
+                Phase::Fwd(b) => (0, b),
+                Phase::Bwd(b) => (1, b),
+            };
+            fnv64_fold(fnv64_fold(fnv64_fold(h, p), b as u64), inc as u64)
+        }
+        Ev::EgressReady {
+            machine,
+            role,
+            dst,
+            inc,
+        } => {
+            let h = fnv64_fold(fnv64_fold(h, 2), machine as u64);
+            let h = fnv64_fold(h, role_tag(role) as u64);
+            fnv64_fold(fnv64_fold(h, dst.0 as u64), inc as u64)
+        }
+        Ev::AdmitKick { machine, role } => {
+            let h = fnv64_fold(fnv64_fold(h, 3), machine as u64);
+            fnv64_fold(h, role_tag(role) as u64)
+        }
+        Ev::ProcDone { server } => fnv64_fold(fnv64_fold(h, 4), server as u64),
+        Ev::NetWake => fnv64_fold(h, 5),
+        Ev::StragglerStart { idx } => fnv64_fold(fnv64_fold(h, 6), idx as u64),
+        Ev::StragglerEnd { idx } => fnv64_fold(fnv64_fold(h, 7), idx as u64),
+        Ev::LinkDegradeStart { idx } => fnv64_fold(fnv64_fold(h, 8), idx as u64),
+        Ev::LinkDegradeEnd { idx } => fnv64_fold(fnv64_fold(h, 9), idx as u64),
+        Ev::Crash { idx } => fnv64_fold(fnv64_fold(h, 10), idx as u64),
+        Ev::Rejoin { worker } => fnv64_fold(fnv64_fold(h, 11), worker as u64),
+        Ev::RetryTimer { msg_id, attempt } => {
+            fnv64_fold(fnv64_fold(fnv64_fold(h, 12), msg_id), attempt as u64)
+        }
+        Ev::LivenessTimeout { worker } => fnv64_fold(fnv64_fold(h, 13), worker as u64),
+    }
+}
+
+fn role_tag(role: Role) -> u8 {
+    match role {
+        Role::Worker => 0,
+        Role::Server => 1,
+    }
+}
+
+fn role_from(tag: u8) -> Result<Role, SnapshotError> {
+    match tag {
+        0 => Ok(Role::Worker),
+        1 => Ok(Role::Server),
+        _ => Err(SnapshotError::Corrupt(format!("bad role tag {tag}"))),
+    }
+}

@@ -37,6 +37,7 @@ mod egress;
 mod engine;
 mod faults;
 pub mod gantt;
+mod snap;
 mod sweep;
 mod timeline;
 
@@ -47,6 +48,7 @@ pub use config::{
 pub use egress::{EgressUnit, OutMsg};
 pub use engine::ClusterSim;
 pub use faults::{FaultPlan, LinkDegradation, StragglerEpisode, WorkerCrash};
+pub use snap::{SnapshotError, SNAP_MAGIC, SNAP_VERSION};
 pub use sweep::{
     bandwidth_sweep, oversubscription_sweep, scalability_sweep, slice_size_sweep, throughput_of,
     SweepPoint,

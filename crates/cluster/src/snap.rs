@@ -1,0 +1,394 @@
+//! Hand-rolled binary codec for engine snapshots.
+//!
+//! Snapshots must round-trip bit-exactly (floating-point rates included)
+//! and fail loudly on malformed input, so the format is a flat
+//! little-endian byte stream with an explicit magic + version header and
+//! no external dependencies. Every scalar the engine holds maps onto one
+//! of the primitives here; composites are written as `len` followed by
+//! elements.
+//!
+//! Layout: `b"P3SNAP\0\0"` (8 bytes) · format version (`u32`) · config
+//! fingerprint (`u64`) · body. Readers verify magic and version before
+//! touching the body and report [`SnapshotError::Truncated`] instead of
+//! panicking when the stream ends early.
+
+use std::error::Error;
+use std::fmt;
+
+/// Magic prefix identifying a snapshot byte stream.
+pub const SNAP_MAGIC: [u8; 8] = *b"P3SNAP\0\0";
+
+/// Current snapshot format version. Bump on any layout change; readers
+/// reject other versions rather than guessing.
+pub const SNAP_VERSION: u32 = 1;
+
+/// Why a snapshot byte stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The stream ended before the expected data did.
+    Truncated,
+    /// The stream does not start with the snapshot magic.
+    BadMagic,
+    /// The stream's format version is not the one this build writes.
+    UnsupportedVersion {
+        /// Version found in the stream header.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The stream decoded but its contents are inconsistent.
+    Corrupt(String),
+    /// The snapshot was taken under a different configuration than the
+    /// one it is being restored into.
+    ConfigMismatch,
+    /// Reading or writing the snapshot file failed.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, expected } => {
+                write!(
+                    f,
+                    "snapshot format v{found} unsupported (expected v{expected})"
+                )
+            }
+            SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+            SnapshotError::ConfigMismatch => {
+                write!(f, "snapshot was taken under a different configuration")
+            }
+            SnapshotError::Io(why) => write!(f, "snapshot io: {why}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// FNV-1a over a byte slice; used for the config fingerprint and the
+/// rolling state hash.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds one `u64` into a rolling FNV-1a hash.
+pub fn fnv64_fold(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only snapshot encoder.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Starts a stream with the magic, format version, and config
+    /// fingerprint already written.
+    pub fn new(config_fingerprint: u64) -> SnapWriter {
+        let mut w = SnapWriter { buf: Vec::new() };
+        w.buf.extend_from_slice(&SNAP_MAGIC);
+        w.u32(SNAP_VERSION);
+        w.u64(config_fingerprint);
+        w
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u128` little-endian.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64` (lengths, indices).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes an optional `u64` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes an optional `usize` as a presence byte plus the value.
+    pub fn opt_usize(&mut self, v: Option<usize>) {
+        self.opt_u64(v.map(|x| x as u64));
+    }
+}
+
+/// Cursor-based snapshot decoder. Every accessor returns
+/// [`SnapshotError::Truncated`] instead of panicking when the stream
+/// runs out.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Validates the header (magic + version) and returns a reader
+    /// positioned at the config fingerprint along with that fingerprint.
+    pub fn new(data: &'a [u8]) -> Result<(SnapReader<'a>, u64), SnapshotError> {
+        if data.len() < SNAP_MAGIC.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        if data[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut r = SnapReader {
+            data,
+            pos: SNAP_MAGIC.len(),
+        };
+        let version = r.u32()?;
+        if version != SNAP_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                expected: SNAP_VERSION,
+            });
+        }
+        let fingerprint = r.u64()?;
+        Ok((r, fingerprint))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.data.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Fails unless the whole stream was consumed — trailing bytes mean
+    /// the stream and the decoder disagree about the layout.
+    pub fn expect_end(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes",
+                self.data.len() - self.pos
+            )))
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any byte other than 0/1 is corrupt.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Corrupt(format!("bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let s = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, SnapshotError> {
+        let s = self.take(16)?;
+        let mut b = [0u8; 16];
+        b.copy_from_slice(s);
+        Ok(u128::from_le_bytes(b))
+    }
+
+    /// Reads a `usize` written as `u64`, rejecting values that do not fit.
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapshotError::Corrupt(format!("usize overflow: {v}")))
+    }
+
+    /// Reads a length field, sanity-capped so a corrupt stream cannot
+    /// trigger a huge allocation.
+    pub fn len(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.usize()?;
+        // No engine collection remotely approaches this; a larger value
+        // is a mis-framed stream.
+        if v > 1 << 32 {
+            return Err(SnapshotError::Corrupt(format!("implausible length {v}")));
+        }
+        Ok(v)
+    }
+
+    /// Reads an `f64` from its exact bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an optional `u64`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads an optional `usize`.
+    pub fn opt_usize(&mut self) -> Result<Option<usize>, SnapshotError> {
+        match self.opt_u64()? {
+            Some(v) => usize::try_from(v)
+                .map(Some)
+                .map_err(|_| SnapshotError::Corrupt(format!("usize overflow: {v}"))),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new(0xfeed);
+        w.u8(7);
+        w.bool(true);
+        w.bool(false);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX);
+        w.u128(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        w.usize(42);
+        w.f64(-0.125);
+        w.f64(f64::NAN);
+        w.opt_u64(Some(99));
+        w.opt_u64(None);
+        w.opt_usize(Some(3));
+        let bytes = w.finish();
+
+        let (mut r, fp) = SnapReader::new(&bytes).unwrap();
+        assert_eq!(fp, 0xfeed);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u128().unwrap(), 0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.f64().unwrap().is_nan()); // exact bit pattern preserved
+        assert_eq!(r.opt_u64().unwrap(), Some(99));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_usize().unwrap(), Some(3));
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = SnapWriter::new(1).finish();
+        bytes[0] = b'X';
+        assert_eq!(
+            SnapReader::new(&bytes).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = SnapWriter::new(1).finish();
+        bytes[8] = 0xff; // low byte of the version field
+        assert!(matches!(
+            SnapReader::new(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion {
+                found: 0xff,
+                expected: SNAP_VERSION
+            }
+        ));
+    }
+
+    #[test]
+    fn truncation_reported_not_panicked() {
+        let mut w = SnapWriter::new(1);
+        w.u64(5);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let r = SnapReader::new(&bytes[..cut]);
+            match r {
+                Err(SnapshotError::Truncated) => {}
+                Ok((mut rd, _)) => assert_eq!(rd.u64().unwrap_err(), SnapshotError::Truncated),
+                Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut bytes = SnapWriter::new(1).finish();
+        bytes.push(0);
+        let (r, _) = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(r.expect_end(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_bool_byte_is_corrupt() {
+        let mut w = SnapWriter::new(1);
+        w.u8(2);
+        let bytes = w.finish();
+        let (mut r, _) = SnapReader::new(&bytes).unwrap();
+        assert!(matches!(r.bool(), Err(SnapshotError::Corrupt(_))));
+    }
+}

@@ -112,6 +112,28 @@ impl<T> PrioQueue<T> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Keeps only the values for which `keep` returns true, preserving
+    /// the relative pop order (priority, then FIFO) of the survivors.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        self.heap.retain(|i| keep(&i.value));
+    }
+}
+
+impl<T: Clone> PrioQueue<T> {
+    /// Every queued `(priority, value)` in pop order, without disturbing
+    /// the queue. This is the serialization view for snapshots: re-pushing
+    /// the returned pairs in order onto a fresh queue reproduces the exact
+    /// pop sequence (fresh sequence numbers assigned in pop order preserve
+    /// the FIFO tie-break).
+    pub fn snapshot_sorted(&self) -> Vec<(u32, T)> {
+        let mut items: Vec<&Item<T>> = self.heap.iter().collect();
+        items.sort_by_key(|i| (i.priority, i.seq));
+        items
+            .into_iter()
+            .map(|i| (i.priority, i.value.clone()))
+            .collect()
+    }
 }
 
 impl<T> Extend<(u32, T)> for PrioQueue<T> {

@@ -172,6 +172,44 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E: Clone> EventQueue<E> {
+    /// All pending events in pop order (`(time, seq)` ascending), without
+    /// disturbing the calendar. This is the serialization view for
+    /// snapshots: re-scheduling the returned events in order onto a fresh
+    /// calendar (see [`EventQueue::from_pending`]) reproduces the exact pop
+    /// sequence, because fresh sequence numbers assigned in pop order
+    /// preserve the FIFO tie-break and any later event gets a larger
+    /// sequence number in both calendars.
+    pub fn pending_sorted(&self) -> Vec<(SimTime, E)> {
+        let mut pending: Vec<&Scheduled<E>> = self.heap.iter().collect();
+        pending.sort_by_key(|s| (s.time, s.seq));
+        pending
+            .into_iter()
+            .map(|s| (s.time, s.event.clone()))
+            .collect()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Rebuilds a calendar from a snapshot: the clock is set to `now` and
+    /// `pending` (in pop order, as produced by
+    /// [`EventQueue::pending_sorted`]) is re-scheduled with fresh sequence
+    /// numbers. The restored calendar pops the same `(time, event)`
+    /// sequence as the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pending event is earlier than `now`.
+    pub fn from_pending(now: SimTime, pending: Vec<(SimTime, E)>) -> Self {
+        let mut q = EventQueue::new();
+        q.now = now;
+        for (at, event) in pending {
+            q.schedule_at(at, event);
+        }
+        q
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

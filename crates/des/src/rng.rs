@@ -101,6 +101,13 @@ impl SplitMix64 {
         mean + std_dev * self.normal()
     }
 
+    /// The generator's current internal state. Feeding it back through
+    /// [`SplitMix64::new`] reconstructs a generator whose future stream is
+    /// bit-identical — the basis for simulator snapshot/restore.
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Forks an independent generator; the fork's stream is decorrelated from
     /// the parent's continuation.
     pub fn fork(&mut self) -> SplitMix64 {

@@ -45,7 +45,10 @@ mod types;
 pub use allocator::{allocate_rates, allocate_rates_capped, FlowSpec};
 pub use analysis::{overlap_coefficient, trace_stats, TraceStats};
 pub use multilink::{allocate_rates_on_graph, GraphAllocation, LinkGraph, LinkId};
-pub use network::{CompletedFlow, LinkUsage, Network, NetworkConfig};
+pub use network::{
+    CompletedFlow, DeliveringSnapshot, FlowSnapshot, LinkUsage, Network, NetworkConfig,
+    NetworkSnapshot,
+};
 pub use packet::{packet_simulate, PacketMessage, DEFAULT_MTU};
 pub use trace::PortTrace;
 pub use types::{Bandwidth, FlowId, MachineId, Priority};

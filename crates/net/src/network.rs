@@ -215,6 +215,71 @@ pub struct Network {
     link_bytes: Vec<f64>,
 }
 
+/// Dynamic state of one in-flight flow, as captured by
+/// [`Network::snapshot`]. Field order mirrors the private `ActiveFlow`;
+/// float fields carry exact bit patterns so a restored fabric continues
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSnapshot {
+    /// Flow handle (monotone, unique for the run).
+    pub id: u64,
+    /// Transmitting machine index.
+    pub src: usize,
+    /// Receiving machine index.
+    pub dst: usize,
+    /// Priority class.
+    pub priority: u32,
+    /// Caller correlation tag.
+    pub tag: u64,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Bytes not yet drained.
+    pub remaining: f64,
+    /// Current allocated rate in bytes/sec.
+    pub rate: f64,
+    /// Saturated link bounding the rate (link-graph mode only).
+    pub bottleneck: Option<usize>,
+}
+
+/// A drained transfer awaiting its delivery instant, as captured by
+/// [`Network::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveringSnapshot {
+    /// Delivery instant.
+    pub at: SimTime,
+    /// The completed transfer to hand back at `at`.
+    pub flow: CompletedFlow,
+}
+
+/// The full dynamic state of a [`Network`], sufficient to resume the fluid
+/// model bit-identically on a fresh fabric built from the same
+/// [`NetworkConfig`]. Static configuration (bandwidths, link graph,
+/// latency) is not captured — it is rebuilt from the config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSnapshot {
+    /// In-flight flows, in the fabric's internal (semantically
+    /// significant) order.
+    pub flows: Vec<FlowSnapshot>,
+    /// Drained transfers awaiting delivery.
+    pub delivering: Vec<DeliveringSnapshot>,
+    /// Instant the fluid model was last integrated to.
+    pub last_update: SimTime,
+    /// Next flow handle to hand out.
+    pub next_flow_id: u64,
+    /// Per-machine transmit capacity factors (fault injection).
+    pub tx_scale: Vec<f64>,
+    /// Per-machine receive capacity factors.
+    pub rx_scale: Vec<f64>,
+    /// Per-link busy seconds (link-graph mode; empty otherwise).
+    pub link_busy: Vec<f64>,
+    /// Per-link bytes carried.
+    pub link_bytes: Vec<f64>,
+    /// Per-machine transmit utilization bins (empty when tracing is off).
+    pub tx_bins: Vec<Vec<f64>>,
+    /// Per-machine receive utilization bins.
+    pub rx_bins: Vec<Vec<f64>>,
+}
+
 /// Observed usage of one link over a run, from [`Network::link_usage`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkUsage {
@@ -512,6 +577,103 @@ impl Network {
                 transit: g.is_transit(LinkId(l)),
             })
             .collect()
+    }
+
+    /// Captures the fabric's full dynamic state. Restoring it with
+    /// [`Network::restore_from`] onto a fresh fabric built from the same
+    /// configuration resumes the fluid model bit-identically (rates are
+    /// carried verbatim rather than recomputed, so no reallocation noise
+    /// enters at the restore point).
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        NetworkSnapshot {
+            flows: self
+                .flows
+                .iter()
+                .map(|f| FlowSnapshot {
+                    id: f.id.0,
+                    src: f.src,
+                    dst: f.dst,
+                    priority: f.priority.0,
+                    tag: f.tag,
+                    bytes: f.bytes,
+                    remaining: f.remaining,
+                    rate: f.rate,
+                    bottleneck: f.bottleneck.map(|l| l.0),
+                })
+                .collect(),
+            delivering: self
+                .delivering
+                .iter()
+                .map(|d| DeliveringSnapshot {
+                    at: d.at,
+                    flow: d.flow,
+                })
+                .collect(),
+            last_update: self.last_update,
+            next_flow_id: self.next_flow_id,
+            tx_scale: self.tx_scale.clone(),
+            rx_scale: self.rx_scale.clone(),
+            link_busy: self.link_busy.clone(),
+            link_bytes: self.link_bytes.clone(),
+            tx_bins: self
+                .tx_traces
+                .iter()
+                .map(|t| t.bytes_per_bin().to_vec())
+                .collect(),
+            rx_bins: self
+                .rx_traces
+                .iter()
+                .map(|t| t.bytes_per_bin().to_vec())
+                .collect(),
+        }
+    }
+
+    /// Overwrites this fabric's dynamic state with a snapshot taken from a
+    /// fabric with the same configuration (see [`Network::snapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's per-machine vectors do not match this
+    /// fabric's machine count.
+    pub fn restore_from(&mut self, snap: &NetworkSnapshot) {
+        assert_eq!(snap.tx_scale.len(), self.cfg.machines, "snapshot mismatch");
+        assert_eq!(snap.rx_scale.len(), self.cfg.machines, "snapshot mismatch");
+        self.flows = snap
+            .flows
+            .iter()
+            .map(|f| ActiveFlow {
+                id: FlowId(f.id),
+                src: f.src,
+                dst: f.dst,
+                priority: Priority(f.priority),
+                tag: f.tag,
+                bytes: f.bytes,
+                remaining: f.remaining,
+                rate: f.rate,
+                bottleneck: f.bottleneck.map(LinkId),
+            })
+            .collect();
+        self.delivering = snap
+            .delivering
+            .iter()
+            .map(|d| Delivering {
+                at: d.at,
+                flow: d.flow,
+            })
+            .collect();
+        self.last_update = snap.last_update;
+        self.next_flow_id = snap.next_flow_id;
+        self.tx_scale = snap.tx_scale.clone();
+        self.rx_scale = snap.rx_scale.clone();
+        self.link_busy = snap.link_busy.clone();
+        self.link_bytes = snap.link_bytes.clone();
+        self.dirty = false;
+        for (t, bins) in self.tx_traces.iter_mut().zip(&snap.tx_bins) {
+            t.restore_bins(bins.clone());
+        }
+        for (t, bins) in self.rx_traces.iter_mut().zip(&snap.rx_bins) {
+            t.restore_bins(bins.clone());
+        }
     }
 
     /// Integrates flow progress from `last_update` to `now`.

@@ -81,6 +81,13 @@ impl PortTrace {
         &self.bytes
     }
 
+    /// Replaces the accumulated bins wholesale (snapshot restore). The bin
+    /// width is unchanged; `bins` must come from a trace with the same
+    /// width (see [`PortTrace::bytes_per_bin`]).
+    pub fn restore_bins(&mut self, bins: Vec<f64>) {
+        self.bytes = bins;
+    }
+
     /// Average throughput per bin in gigabits per second — the series the
     /// paper plots.
     pub fn gbps_series(&self) -> Vec<f64> {

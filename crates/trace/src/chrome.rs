@@ -232,6 +232,9 @@ pub fn chrome_trace_json(log: &TraceLog, machines: usize) -> String {
                 };
                 lines.push(instant(&name, machine, LANE_COMPUTE, at));
             }
+            // Engine bookkeeping, not a machine-attributable span: the hash
+            // stream is for digest comparison, not for the Perfetto view.
+            TraceEvent::StateHash { .. } => {}
         }
     }
 

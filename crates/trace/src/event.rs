@@ -97,6 +97,9 @@ pub enum FaultKind {
     DuplicatePush,
     /// An in-flight transmission was cancelled by a crash.
     FlowCancelled,
+    /// An in-flight collective was aborted by a membership change and
+    /// will be relaunched over the surviving group.
+    CollectiveAbort,
 }
 
 impl FaultKind {
@@ -113,6 +116,7 @@ impl FaultKind {
             FaultKind::StalePush => "stale-push",
             FaultKind::DuplicatePush => "duplicate-push",
             FaultKind::FlowCancelled => "flow-cancelled",
+            FaultKind::CollectiveAbort => "collective-abort",
         }
     }
 }
@@ -271,5 +275,16 @@ pub enum TraceEvent {
         machine: usize,
         /// Message involved, when the fault concerns one.
         msg_id: Option<u64>,
+    },
+    /// The engine's rolling state hash after processing a simulator event
+    /// (emitted every `hash_every` events when enabled). Two runs of the
+    /// same configuration produce identical hash sequences; the first
+    /// differing `(events, hash)` pair between two diverging runs
+    /// localizes the divergence to an exact event.
+    StateHash {
+        /// Simulator events processed when the hash was taken.
+        events: u64,
+        /// The rolling hash value.
+        hash: u64,
     },
 }

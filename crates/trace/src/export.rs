@@ -64,6 +64,11 @@ pub struct TraceMeta {
     pub strategy: Option<String>,
     /// Model display name, for report headers.
     pub model: Option<String>,
+    /// `Some(true)` when aggregation runs over a collective backend
+    /// (ring / halving–doubling) rather than parameter servers; `None` if
+    /// unknown. Collective rejoins sync worker versions in place instead
+    /// of over the wire, which the auditor must model.
+    pub collective: Option<bool>,
 }
 
 fn opt_bool(v: Option<bool>) -> String {
@@ -100,6 +105,7 @@ fn meta_json(meta: &TraceMeta) -> String {
     if let Some(m) = &meta.model {
         let _ = write!(out, ",\"model\":\"{}\"", json::escape(m));
     }
+    let _ = write!(out, ",\"collective\":{}", opt_bool(meta.collective));
     out.push('}');
     out
 }
@@ -143,6 +149,7 @@ fn fault_code(k: FaultKind) -> u64 {
         FaultKind::StalePush => 7,
         FaultKind::DuplicatePush => 8,
         FaultKind::FlowCancelled => 9,
+        FaultKind::CollectiveAbort => 10,
     }
 }
 
@@ -237,6 +244,9 @@ fn event_row(at: SimTime, ev: &TraceEvent) -> String {
             };
             format!("[{t},\"ft\",{},{machine},{m}]", fault_code(kind))
         }
+        // The hash is a full 64-bit value, wider than an f64 mantissa, so
+        // it travels as a hex string rather than a JSON number.
+        TraceEvent::StateHash { events, hash } => format!("[{t},\"sh\",{events},\"{hash:016x}\"]"),
     }
 }
 
@@ -348,6 +358,7 @@ fn decode_fault(code: u64, row: usize) -> Result<FaultKind, String> {
         7 => Ok(FaultKind::StalePush),
         8 => Ok(FaultKind::DuplicatePush),
         9 => Ok(FaultKind::FlowCancelled),
+        10 => Ok(FaultKind::CollectiveAbort),
         c => Err(format!("p3Events[{row}]: unknown fault code {c}")),
     }
 }
@@ -497,6 +508,17 @@ fn decode_row(row: &[JsonValue], i: usize) -> Result<(SimTime, TraceEvent), Stri
                 msg_id: opt_uint(&row[4], i, "msg_id")?,
             }
         }
+        "sh" => {
+            need(2)?;
+            let hex = row[3]
+                .as_str()
+                .ok_or_else(|| format!("p3Events[{i}]: hash is not a string"))?;
+            TraceEvent::StateHash {
+                events: uint(&row[2], i, "events")?,
+                hash: u64::from_str_radix(hex, 16)
+                    .map_err(|_| format!("p3Events[{i}]: hash {hex:?} is not hex"))?,
+            }
+        }
         other => return Err(format!("p3Events[{i}]: unknown tag {other:?}")),
     };
     Ok((at, ev))
@@ -524,6 +546,10 @@ fn meta_from_json(v: &JsonValue) -> Result<TraceMeta, String> {
         .get("model")
         .and_then(JsonValue::as_str)
         .map(str::to_string);
+    let collective = match v.get("collective") {
+        Some(JsonValue::Bool(b)) => Some(*b),
+        _ => None,
+    };
     Ok(TraceMeta {
         machines,
         single_consumer,
@@ -531,6 +557,7 @@ fn meta_from_json(v: &JsonValue) -> Result<TraceMeta, String> {
         port_bytes_per_sec,
         strategy,
         model,
+        collective,
     })
 }
 
@@ -656,6 +683,15 @@ mod tests {
             machine: 1,
             msg_id: None,
         });
+        rec(TraceEvent::Fault {
+            kind: FaultKind::CollectiveAbort,
+            machine: 1,
+            msg_id: None,
+        });
+        rec(TraceEvent::StateHash {
+            events: 1000,
+            hash: 0xdead_beef_cafe_f00d,
+        });
         h.drain()
     }
 
@@ -669,6 +705,7 @@ mod tests {
             port_bytes_per_sec: Some(3.125e8),
             strategy: Some("P3".into()),
             model: Some("resnet50".into()),
+            collective: Some(false),
         };
         let doc = export_trace_json(&log, &meta);
         let (back, meta2) = import_trace_json(&doc).unwrap();

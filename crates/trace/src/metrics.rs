@@ -242,7 +242,7 @@ impl MetricsRegistry {
                 TraceEvent::Fault { kind, .. } => {
                     m.inc_counter(&format!("fault_{}", kind.label()), 1);
                 }
-                TraceEvent::GradReady { .. } => {}
+                TraceEvent::GradReady { .. } | TraceEvent::StateHash { .. } => {}
             }
         }
         m

@@ -187,6 +187,71 @@ fn halving_doubling_backend_is_run_twice_deterministic() {
     });
 }
 
+/// A mid-run crash with a later rejoin, exercising the fault machinery
+/// (and, under collective backends, abort-and-reform of the in-flight
+/// collective) inside the run-twice digest net.
+fn crash_rejoin_plan() -> FaultPlan {
+    use p3::cluster::WorkerCrash;
+    use p3::des::{SimDuration, SimTime};
+    FaultPlan {
+        crashes: vec![WorkerCrash {
+            worker: 1,
+            at: SimTime::from_millis(40),
+            rejoin_after: Some(SimDuration::from_millis(30)),
+        }],
+        ..FaultPlan::none()
+    }
+}
+
+#[test]
+fn ps_crash_rejoin_is_run_twice_deterministic() {
+    assert_deterministic("ps-crash", || {
+        ClusterConfig::new(
+            tiny_model(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(5.0),
+        )
+        .with_iters(1, 2)
+        .with_seed(7)
+        .with_faults(crash_rejoin_plan())
+    });
+}
+
+#[test]
+fn ring_crash_rejoin_is_run_twice_deterministic() {
+    use p3::cluster::BackendKind;
+    assert_deterministic("ring-crash", || {
+        ClusterConfig::new(
+            tiny_model(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(5.0),
+        )
+        .with_iters(1, 2)
+        .with_seed(7)
+        .with_backend(BackendKind::Ring)
+        .with_faults(crash_rejoin_plan())
+    });
+}
+
+#[test]
+fn halving_doubling_crash_rejoin_is_run_twice_deterministic() {
+    use p3::cluster::BackendKind;
+    assert_deterministic("halving-doubling-crash", || {
+        ClusterConfig::new(
+            tiny_model(),
+            SyncStrategy::p3(),
+            4,
+            Bandwidth::from_gbps(5.0),
+        )
+        .with_iters(1, 2)
+        .with_seed(11)
+        .with_backend(BackendKind::HalvingDoubling)
+        .with_faults(crash_rejoin_plan())
+    });
+}
+
 #[test]
 fn ring_backend_on_topology_is_run_twice_deterministic() {
     use p3::cluster::BackendKind;

@@ -15,8 +15,11 @@ use p3::net::Bandwidth;
 use p3::trace::export_trace_json;
 
 /// Digest of the exported trace for [`golden_config`], captured from the
-/// pre-refactor monolithic `sim.rs` (commit 6ef229d lineage).
-const GOLDEN_TRACE_FNV: u64 = 0x669f_9a98_2fe6_3e83;
+/// pre-refactor monolithic `sim.rs` (commit 6ef229d lineage), re-pinned
+/// when the export metadata gained the `collective` field (the event
+/// stream, throughput bits, and event count are unchanged from the
+/// original capture — only the embedded `p3Meta` header grew).
+const GOLDEN_TRACE_FNV: u64 = 0x425b_a9d2_bb57_3d7a;
 /// Throughput bits for the same run.
 const GOLDEN_THROUGHPUT_BITS: u64 = 0x40a3_86b6_3905_ca76;
 /// Simulator events processed for the same run.

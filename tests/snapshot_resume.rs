@@ -1,0 +1,300 @@
+//! Snapshot/resume robustness: a run interrupted at an iteration
+//! boundary and resumed from its snapshot must be bit-identical to the
+//! uninterrupted run — same result, same rolling event hash, and a trace
+//! that is an exact suffix of the full trace — across the parameter-server
+//! and collective backends, with and without faults. Malformed snapshot
+//! bytes must surface as structured [`SnapshotError`]s, never panics.
+
+use p3::audit::check_resume_equivalence;
+use p3::cluster::{BackendKind, ClusterConfig, ClusterSim, FaultPlan, SnapshotError, WorkerCrash};
+use p3::core::SyncStrategy;
+use p3::des::{SimDuration, SimTime};
+use p3::models::{BlockKind, ComputeBlock, ModelSpec, ParamArray, SampleUnit};
+use p3::net::Bandwidth;
+use p3::trace::TraceEvent;
+
+/// Same small skewed model as `tests/determinism.rs`: fast in debug
+/// builds, still exercises slicing, priorities, and multi-block overlap.
+fn tiny_model() -> ModelSpec {
+    let blocks = vec![
+        ComputeBlock::new(
+            "conv1",
+            BlockKind::Conv,
+            40_000_000,
+            vec![ParamArray::new("conv1.weight", 40_000)],
+        ),
+        ComputeBlock::new(
+            "conv2",
+            BlockKind::Conv,
+            40_000_000,
+            vec![ParamArray::new("conv2.weight", 120_000)],
+        ),
+        ComputeBlock::new(
+            "head",
+            BlockKind::Dense,
+            10_000_000,
+            vec![
+                ParamArray::new("head.weight", 900_000),
+                ParamArray::new("head.bias", 3_000),
+            ],
+        ),
+    ];
+    ModelSpec::from_blocks("TinyDet", SampleUnit::Images, blocks, 800.0, 32, 0.0)
+}
+
+fn base(backend: BackendKind, seed: u64) -> ClusterConfig {
+    ClusterConfig::new(
+        tiny_model(),
+        SyncStrategy::p3(),
+        4,
+        Bandwidth::from_gbps(5.0),
+    )
+    .with_iters(1, 2)
+    .with_seed(seed)
+    .with_backend(backend)
+    .with_slice_trace()
+}
+
+fn crash_plan(worker: usize, at_ms: u64, rejoin_ms: u64) -> FaultPlan {
+    FaultPlan {
+        crashes: vec![WorkerCrash {
+            worker,
+            at: SimTime::from_millis(at_ms),
+            rejoin_after: Some(SimDuration::from_millis(rejoin_ms)),
+        }],
+        ..FaultPlan::none()
+    }
+}
+
+/// Runs `mk()` uninterrupted, runs it again snapshotting at the first
+/// iteration boundary, restores that snapshot under a fresh config, and
+/// asserts all three agree: the snapshotting run is bit-identical to the
+/// plain one, the resumed run reproduces the full result (rolling event
+/// hash included), and the resumed trace is an exact suffix of the full
+/// trace.
+fn assert_snapshot_resume_bit_identical(label: &str, mk: impl Fn() -> ClusterConfig) {
+    let (full, full_log) = ClusterSim::new(mk())
+        .try_run_traced()
+        .unwrap_or_else(|e| panic!("{label}: full run failed: {e}"));
+    let full_log = full_log.expect("slice tracing was enabled");
+
+    let mut snap: Option<(u64, Vec<u8>)> = None;
+    let (snapped, _) = ClusterSim::new(mk())
+        .try_run_traced_with_snapshots(1, |iter, bytes| {
+            if snap.is_none() {
+                snap = Some((iter, bytes));
+            }
+        })
+        .unwrap_or_else(|e| panic!("{label}: snapshotting run failed: {e}"));
+    assert_eq!(full, snapped, "{label}: taking snapshots perturbed the run");
+    let (iter, bytes) = snap.unwrap_or_else(|| panic!("{label}: no snapshot was taken"));
+    assert!(iter >= 1, "{label}: snapshot label below the floor");
+
+    let (resumed, resumed_log) = ClusterSim::restore(mk(), &bytes)
+        .unwrap_or_else(|e| panic!("{label}: restore failed: {e}"))
+        .resume_traced()
+        .unwrap_or_else(|e| panic!("{label}: resumed run failed: {e}"));
+    let resumed_log = resumed_log.expect("slice tracing was enabled");
+    assert_eq!(
+        full, resumed,
+        "{label}: resumed run diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        full.event_hash, resumed.event_hash,
+        "{label}: rolling event hash diverged"
+    );
+    let report = check_resume_equivalence(&full_log, &resumed_log);
+    assert!(
+        report.is_clean(),
+        "{label}: resumed trace is not a suffix of the full trace:\n{report}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Resume equivalence per backend, clean and faulty.
+
+#[test]
+fn ps_snapshot_resume_is_bit_identical() {
+    assert_snapshot_resume_bit_identical("ps", || base(BackendKind::Ps, 7));
+}
+
+#[test]
+fn ring_snapshot_resume_is_bit_identical() {
+    assert_snapshot_resume_bit_identical("ring", || base(BackendKind::Ring, 7));
+}
+
+#[test]
+fn halving_doubling_snapshot_resume_is_bit_identical() {
+    assert_snapshot_resume_bit_identical("halving-doubling", || {
+        base(BackendKind::HalvingDoubling, 11)
+    });
+}
+
+#[test]
+fn ps_crash_rejoin_snapshot_resume_is_bit_identical() {
+    assert_snapshot_resume_bit_identical("ps-crash", || {
+        base(BackendKind::Ps, 7).with_faults(crash_plan(1, 40, 30))
+    });
+}
+
+#[test]
+fn ring_crash_rejoin_snapshot_resume_is_bit_identical() {
+    assert_snapshot_resume_bit_identical("ring-crash", || {
+        base(BackendKind::Ring, 7).with_faults(crash_plan(2, 40, 30))
+    });
+}
+
+// ---------------------------------------------------------------------
+// Malformed snapshots are structured errors, never panics.
+
+fn snapshot_fixture() -> (ClusterConfig, Vec<u8>) {
+    let mut snap: Option<Vec<u8>> = None;
+    ClusterSim::new(base(BackendKind::Ps, 7))
+        .try_run_traced_with_snapshots(1, |_, bytes| {
+            if snap.is_none() {
+                snap = Some(bytes);
+            }
+        })
+        .expect("fixture run failed");
+    (base(BackendKind::Ps, 7), snap.expect("no snapshot taken"))
+}
+
+#[test]
+fn valid_snapshot_restores_cleanly() {
+    let (cfg, bytes) = snapshot_fixture();
+    assert!(ClusterSim::restore(cfg, &bytes).is_ok());
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let (cfg, mut bytes) = snapshot_fixture();
+    bytes[0] ^= 0xff;
+    assert_eq!(
+        ClusterSim::restore(cfg, &bytes).map(|_| ()).unwrap_err(),
+        SnapshotError::BadMagic
+    );
+}
+
+#[test]
+fn wrong_version_is_rejected_with_both_versions_named() {
+    let (cfg, mut bytes) = snapshot_fixture();
+    bytes[8] = 99; // low byte of the little-endian format version (v1)
+    match ClusterSim::restore(cfg, &bytes).map(|_| ()).unwrap_err() {
+        SnapshotError::UnsupportedVersion { found, expected } => {
+            assert_eq!(found, 99);
+            assert_eq!(expected, p3::cluster::SNAP_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_snapshot_is_rejected() {
+    let (cfg, bytes) = snapshot_fixture();
+    let cut = &bytes[..bytes.len() - 5];
+    assert_eq!(
+        ClusterSim::restore(cfg, cut).map(|_| ()).unwrap_err(),
+        SnapshotError::Truncated
+    );
+}
+
+#[test]
+fn every_truncation_point_errors_instead_of_panicking() {
+    // Sweep prefixes of the byte stream (strided to stay fast): every cut
+    // must produce a structured error — truncation can never panic or,
+    // worse, restore successfully.
+    let (_, bytes) = snapshot_fixture();
+    let mut cut = 0;
+    while cut < bytes.len() {
+        let err = ClusterSim::restore(base(BackendKind::Ps, 7), &bytes[..cut]).map(|_| ());
+        assert!(err.is_err(), "truncation at {cut}/{} restored", bytes.len());
+        cut += 97;
+    }
+}
+
+#[test]
+fn trailing_garbage_is_corrupt() {
+    let (cfg, mut bytes) = snapshot_fixture();
+    bytes.push(0);
+    match ClusterSim::restore(cfg, &bytes).map(|_| ()).unwrap_err() {
+        SnapshotError::Corrupt(why) => assert!(why.contains("trailing"), "{why}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_from_a_different_config_is_a_mismatch() {
+    let (_, bytes) = snapshot_fixture(); // taken under seed 7
+    assert_eq!(
+        ClusterSim::restore(base(BackendKind::Ps, 8), &bytes)
+            .map(|_| ())
+            .unwrap_err(),
+        SnapshotError::ConfigMismatch
+    );
+}
+
+#[test]
+fn snapshot_from_a_different_backend_is_a_mismatch() {
+    let (_, bytes) = snapshot_fixture(); // taken under the PS backend
+    assert_eq!(
+        ClusterSim::restore(base(BackendKind::Ring, 7), &bytes)
+            .map(|_| ())
+            .unwrap_err(),
+        SnapshotError::ConfigMismatch
+    );
+}
+
+// ---------------------------------------------------------------------
+// Divergence bisection via the rolling state-hash stream.
+
+#[test]
+fn state_hash_stream_bisects_divergence_to_the_first_differing_event() {
+    // Two configurations that agree until a fault fires: the clean run
+    // and the same run with a mid-flight crash. Their per-event hash
+    // streams must share a non-empty common prefix (the pre-fault events)
+    // and then diverge — the first differing row IS the divergence point,
+    // no re-running or manual diffing required.
+    let hashes = |cfg: ClusterConfig| -> Vec<(u64, u64)> {
+        let (_, log) = ClusterSim::new(cfg.with_state_hash_every(1))
+            .try_run_traced()
+            .expect("run failed");
+        log.expect("tracing enabled")
+            .events()
+            .iter()
+            .filter_map(|te| match te.event {
+                TraceEvent::StateHash { events, hash } => Some((events, hash)),
+                _ => None,
+            })
+            .collect()
+    };
+    let clean = hashes(base(BackendKind::Ps, 7));
+    let crashed = hashes(base(BackendKind::Ps, 7).with_faults(crash_plan(1, 40, 30)));
+    let first = clean
+        .iter()
+        .zip(&crashed)
+        .position(|(a, b)| a != b)
+        .expect("a crash must eventually diverge the event stream");
+    assert!(
+        first > 0,
+        "runs share no common prefix — bisection degenerates"
+    );
+    assert_eq!(
+        clean[..first],
+        crashed[..first],
+        "prefix before the divergence point must be identical"
+    );
+    // Both streams index hash rows by event count, so the row where they
+    // split names the exact event to inspect.
+    assert_eq!(clean[first].0, crashed[first].0);
+}
+
+#[test]
+fn identical_configs_have_identical_hash_streams() {
+    let run = || {
+        let (r, _) = ClusterSim::new(base(BackendKind::Ring, 7))
+            .try_run_traced()
+            .expect("run failed");
+        r.event_hash
+    };
+    assert_eq!(run(), run());
+}
