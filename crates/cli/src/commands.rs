@@ -8,8 +8,8 @@ use crate::args::{ArgError, Args};
 use core::fmt;
 use p3_allreduce::{run_allreduce, AllreduceConfig};
 use p3_cluster::{
-    bandwidth_sweep, BackendKind, ClusterConfig, ClusterSim, FaultPlan, LinkDegradation,
-    StragglerEpisode, WorkerCrash,
+    BackendKind, ClusterConfig, ClusterSim, FaultPlan, LinkDegradation, StragglerEpisode,
+    WorkerCrash,
 };
 use p3_core::SyncStrategy;
 use p3_des::{SimDuration, SimTime};
@@ -44,6 +44,9 @@ pub enum CliError {
     /// A trace audit found invariant violations; the string is the full
     /// report.
     Audit(String),
+    /// `p3 compare` found performance or determinism regressions; the
+    /// string is the full comparison report.
+    Regression(String),
 }
 
 impl fmt::Display for CliError {
@@ -63,6 +66,7 @@ impl fmt::Display for CliError {
             CliError::Sim(why) => write!(f, "{why}"),
             CliError::Io(why) => write!(f, "{why}"),
             CliError::Audit(report) => write!(f, "{report}"),
+            CliError::Regression(report) => write!(f, "{report}"),
         }
     }
 }
@@ -135,7 +139,7 @@ fn colon_fields(
         .collect()
 }
 
-fn bad_value(flag: &'static str, value: &str, expected: &'static str) -> CliError {
+pub(crate) fn bad_value(flag: &'static str, value: &str, expected: &'static str) -> CliError {
     CliError::Args(ArgError::BadValue {
         flag: flag.to_string(),
         value: value.to_string(),
@@ -254,8 +258,9 @@ fn resolve_machines(
 /// Returns a [`CliError`] for unknown commands, unknown names or malformed
 /// flags.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
-    // Only `audit` takes a positional (the trace file).
-    if args.command() != "audit" {
+    // Only `audit` (the trace file) and `compare` (the two reports) take
+    // positionals.
+    if !matches!(args.command(), "audit" | "compare") {
         args.reject_positionals()?;
     }
     match args.command() {
@@ -268,6 +273,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "allreduce" => allreduce(args),
         "train" => train(args),
         "audit" => audit(args),
+        "bench" => crate::perf::bench(args),
+        "compare" => crate::perf::compare(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -297,6 +304,12 @@ COMMANDS:
                                            [--dataset spirals|blobs] [--epochs N]
   audit       Check a trace file against   p3 audit FILE
               the invariant catalog        (FILE from `p3 simulate --trace-out`)
+  bench       Benchmark the engine across  [--quick] [--machines A,B,...]
+              worker counts and backends   [--out FILE]  (writes BENCH_simulate.json)
+  compare     Diff two bench reports       p3 compare BASELINE CANDIDATE
+              and fail on regressions      [--tolerance T]  (default 0.1)
+                                           [--subset]  skip baseline rungs the
+                                           candidate does not cover
   help        This text
 
 FAULT FLAGS (simulate, sweep):
@@ -321,6 +334,10 @@ TRACE FLAGS (simulate):
   --metrics-out FILE              write the derived metrics registry as JSON
   --audit                         replay the run's trace through the invariant
                                   catalog (DESIGN.md §10); violations fail the run
+  --profile-out FILE              profile the engine itself (timers per event
+                                  type, allocator work counters, events/sec) and
+                                  write the report as versioned JSON; profiling
+                                  never perturbs results (DESIGN.md §13)
 
 SNAPSHOT FLAGS (simulate):
   --snapshot-every N              snapshot every N completed iterations (with
@@ -439,6 +456,7 @@ fn simulate(args: &Args) -> Result<String, CliError> {
     let faulty = !plan.is_empty();
     let trace_out = args.get("trace-out").map(str::to_string);
     let metrics_out = args.get("metrics-out").map(str::to_string);
+    let profile_out = args.get("profile-out").map(str::to_string);
     let audited = args.switch("audit");
     let hash_every: u64 = args.get_or("hash-every", 0, "integer")?;
     let snapshot_every: u64 = args.get_or("snapshot-every", 0, "integer")?;
@@ -484,17 +502,26 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         other => CliError::Sim(other.to_string()),
     };
     let mut snapshot_at: Option<u64> = None;
+    // Wall-clock measurement lives in the CLI, outside the deterministic
+    // core; the engine-side profiler is enabled only with --profile-out.
+    let profiled = |sim: ClusterSim| {
+        if profile_out.is_some() {
+            sim.with_profiling()
+        } else {
+            sim
+        }
+    };
+    let run_started = std::time::Instant::now();
     let (r, log) = match (&resume_from, &snapshot_out) {
         (Some(path), _) => {
             let bytes = std::fs::read(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
-            ClusterSim::restore(cfg, &bytes)
-                .map_err(|e| sim_err(p3_cluster::RunError::Snapshot(e)))?
-                .resume_traced()
-                .map_err(sim_err)?
+            let sim = ClusterSim::restore(cfg, &bytes)
+                .map_err(|e| sim_err(p3_cluster::RunError::Snapshot(e)))?;
+            profiled(sim).resume_traced().map_err(sim_err)?
         }
         (None, Some(path)) => {
             let mut write_err: Option<String> = None;
-            let ran = ClusterSim::new(cfg).try_run_traced_with_snapshots(
+            let ran = profiled(ClusterSim::new(cfg)).try_run_traced_with_snapshots(
                 snapshot_every,
                 |iter, bytes| {
                     if write_err.is_none() {
@@ -510,8 +537,11 @@ fn simulate(args: &Args) -> Result<String, CliError> {
             }
             ran.map_err(sim_err)?
         }
-        (None, None) => ClusterSim::new(cfg).try_run_traced().map_err(sim_err)?,
+        (None, None) => profiled(ClusterSim::new(cfg))
+            .try_run_traced()
+            .map_err(sim_err)?,
     };
+    let run_wall = run_started.elapsed().as_secs_f64();
     let mut out = format!(
         "throughput: {:.1} {}/sec  |  mean iteration: {}  |  stall fraction: {:.2}\n",
         r.throughput, r.unit, r.mean_iteration, r.mean_stall_fraction
@@ -521,7 +551,27 @@ fn simulate(args: &Args) -> Result<String, CliError> {
         "iteration p50: {}  |  p99: {}",
         r.p50_iteration, r.p99_iteration
     );
+    let _ = writeln!(
+        out,
+        "engine: {} events ({:.0} events/sec)  |  peak in-flight flows: {}",
+        r.events,
+        if run_wall > 0.0 {
+            r.events as f64 / run_wall
+        } else {
+            0.0
+        },
+        r.peak_in_flight_flows
+    );
     let _ = writeln!(out, "event hash: {:#018x}", r.event_hash);
+    if let Some(path) = &profile_out {
+        let profile = r
+            .profile
+            .as_ref()
+            .ok_or_else(|| CliError::Sim("profiled run produced no profile report".into()))?;
+        std::fs::write(path, profile.to_json())
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        let _ = writeln!(out, "profile written: {path}");
+    }
     if let Some(path) = &resume_from {
         let _ = writeln!(out, "resumed from: {path}");
     }
@@ -675,9 +725,41 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>8}  {:>10}  {:>10}  {:>10}",
-        "Gbps", "Baseline", "Slicing", "P3"
+        "{:>8}  {:>10}  {:>10}  {:>10}  {:>6}",
+        "Gbps", "Baseline", "Slicing", "P3", "Peak"
     );
+    // One rendered row: per-strategy throughput plus the row's peak
+    // in-flight flow count (the max across its strategies — deterministic,
+    // so rows stay reusable under --resume). A configuration that wedges
+    // prints as NaN rather than aborting the sweep.
+    let row_line = |g: f64| -> String {
+        let mut peak = 0u64;
+        let t: Vec<f64> = strategies
+            .iter()
+            .map(|s| {
+                let mut cfg =
+                    ClusterConfig::new(model.clone(), s.clone(), machines, Bandwidth::from_gbps(g))
+                        .with_iters(warmup, measure)
+                        .with_seed(seed)
+                        .with_faults(plan.clone())
+                        .with_placement(placement);
+                if let Some(t) = &topology {
+                    cfg = cfg.with_topology(t.clone());
+                }
+                match ClusterSim::new(cfg).try_run() {
+                    Ok(r) => {
+                        peak = peak.max(r.peak_in_flight_flows);
+                        r.throughput
+                    }
+                    Err(_) => f64::NAN,
+                }
+            })
+            .collect();
+        format!(
+            "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}  {:>6}",
+            g, t[0], t[1], t[2], peak
+        )
+    };
     if let Some(path) = &out_path {
         // Resumable sweep: each completed row is streamed to the results
         // file, and `--resume` reuses rows already present instead of
@@ -705,36 +787,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
                     line.clone()
                 }
                 None => {
-                    let t: Vec<f64> = if plan.is_empty() && topology.is_none() {
-                        bandwidth_sweep(&model, &strategies, machines, &[g], warmup, measure, seed)
-                            .iter()
-                            .flat_map(|p| p.series.iter().map(|s| s.1))
-                            .collect()
-                    } else {
-                        strategies
-                            .iter()
-                            .map(|s| {
-                                let mut cfg = ClusterConfig::new(
-                                    model.clone(),
-                                    s.clone(),
-                                    machines,
-                                    Bandwidth::from_gbps(g),
-                                )
-                                .with_iters(warmup, measure)
-                                .with_seed(seed)
-                                .with_faults(plan.clone())
-                                .with_placement(placement);
-                                if let Some(t) = &topology {
-                                    cfg = cfg.with_topology(t.clone());
-                                }
-                                ClusterSim::new(cfg)
-                                    .try_run()
-                                    .map_or(f64::NAN, |r| r.throughput)
-                            })
-                            .collect()
-                    };
-                    let line =
-                        format!("{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}", g, t[0], t[1], t[2]);
+                    let line = row_line(g);
                     done.push((key, line.clone()));
                     let doc: String = done.iter().map(|(_, l)| format!("{l}\n")).collect();
                     std::fs::write(path, doc).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
@@ -749,47 +802,8 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         }
         return Ok(out);
     }
-    if plan.is_empty() && topology.is_none() {
-        let pts = bandwidth_sweep(&model, &strategies, machines, &gbps, warmup, measure, seed);
-        for p in pts {
-            let _ = writeln!(
-                out,
-                "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}",
-                p.x, p.series[0].1, p.series[1].1, p.series[2].1
-            );
-        }
-    } else {
-        // Fault-injected or topology sweep: each point runs under the same
-        // plan and fabric. A configuration that wedges prints as NaN rather
-        // than aborting the sweep.
-        for &g in &gbps {
-            let t: Vec<f64> = strategies
-                .iter()
-                .map(|s| {
-                    let mut cfg = ClusterConfig::new(
-                        model.clone(),
-                        s.clone(),
-                        machines,
-                        Bandwidth::from_gbps(g),
-                    )
-                    .with_iters(warmup, measure)
-                    .with_seed(seed)
-                    .with_faults(plan.clone())
-                    .with_placement(placement);
-                    if let Some(t) = &topology {
-                        cfg = cfg.with_topology(t.clone());
-                    }
-                    ClusterSim::new(cfg)
-                        .try_run()
-                        .map_or(f64::NAN, |r| r.throughput)
-                })
-                .collect();
-            let _ = writeln!(
-                out,
-                "{:>8.1}  {:>10.1}  {:>10.1}  {:>10.1}",
-                g, t[0], t[1], t[2]
-            );
-        }
+    for &g in &gbps {
+        let _ = writeln!(out, "{}", row_line(g));
     }
     Ok(out)
 }

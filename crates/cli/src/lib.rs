@@ -20,6 +20,7 @@
 
 mod args;
 mod commands;
+mod perf;
 
 pub use args::{ArgError, Args};
 pub use commands::{dispatch, CliError};

@@ -496,6 +496,11 @@ pub struct RunResult {
     pub finished_at: SimTime,
     /// Total simulator events processed (diagnostics).
     pub events: u64,
+    /// Most flows ever simultaneously in the network — a deterministic
+    /// measure of how much concurrent traffic the run drove (and of the
+    /// allocator work each reallocation performed). Snapshot-carried, so a
+    /// resumed run reports the same peak.
+    pub peak_in_flight_flows: u64,
     /// Rolling state hash folded over every processed `(time, event)`
     /// pair. Two runs of the same configuration finish with equal hashes;
     /// it is the cheap digest for run-twice and resume-equivalence
@@ -510,6 +515,12 @@ pub struct RunResult {
     /// Per-link traffic totals of the compiled topology (empty on the flat
     /// fabric).
     pub links: Vec<LinkUtilization>,
+    /// Engine self-profile (wall-clock timers, work counters, events/sec),
+    /// present only when the run was started via
+    /// [`ClusterSim::with_profiling`](crate::ClusterSim::with_profiling).
+    /// Wall-clock readings vary run to run; every determinism-sensitive
+    /// field of this struct is independent of whether profiling was on.
+    pub profile: Option<p3_prof::ProfileReport>,
 }
 
 impl RunResult {
@@ -561,11 +572,13 @@ mod tests {
             stalled_per_worker: vec![SimDuration::from_millis(100); 4],
             finished_at: SimTime::from_secs(10),
             events: 0,
+            peak_in_flight_flows: 0,
             event_hash: 0,
             messages: MessageStats::default(),
             faults: FaultStats::default(),
             trace: None,
             links: Vec::new(),
+            profile: None,
         };
         assert!((mk(150.0).speedup_over(&mk(100.0)) - 1.5).abs() < 1e-12);
     }

@@ -28,6 +28,7 @@
 mod backend;
 mod collective;
 mod membership;
+mod results;
 mod server;
 mod snapshot;
 mod transport;
@@ -39,18 +40,16 @@ mod fault_tests;
 #[cfg(test)]
 mod tests;
 
-use crate::config::{
-    BackendKind, ClusterConfig, FaultStats, LinkUtilization, MessageStats, RunError, RunResult,
-    UtilizationTrace,
-};
+use crate::config::{BackendKind, ClusterConfig, FaultStats, MessageStats, RunError, RunResult};
 use crate::egress::EgressUnit;
 use crate::snap::SnapshotError;
 use collective::CollectiveState;
 use p3_allreduce::{CollectiveSchedule, ScheduleKind};
 use p3_core::{Egress, PrioQueue};
-use p3_des::{quantile, EventQueue, SimDuration, SimTime, SplitMix64};
+use p3_des::{EventQueue, SimDuration, SimTime, SplitMix64};
 use p3_models::BlockTiming;
 use p3_net::{FlowId, MachineId, Network, NetworkConfig};
+use p3_prof::{SimProfiler, SpanToken};
 use p3_pserver::ShardPlan;
 use p3_topo::Placement;
 use p3_trace::{TraceHandle, TraceLog};
@@ -131,6 +130,12 @@ pub struct ClusterSim {
     /// surfaced as [`RunError::InvalidConfig`] when the run starts
     /// (construction itself is infallible).
     config_error: Option<String>,
+    /// Engine self-profiler, present only with
+    /// [`ClusterSim::with_profiling`]. Never snapshotted and never read by
+    /// simulation logic: it only accumulates wall-clock spans and copies of
+    /// already-deterministic counters, so a profiled run's event stream is
+    /// bit-identical to an unprofiled one (pinned by test).
+    prof: Option<SimProfiler>,
 }
 
 impl ClusterSim {
@@ -291,7 +296,38 @@ impl ClusterSim {
             collective,
             hash: 0,
             config_error,
+            prof: None,
             cfg,
+        }
+    }
+
+    /// Enables engine self-profiling: scoped wall-clock timers around the
+    /// hot paths (per-event-type dispatch, network polling, flow starts,
+    /// backend delivery, snapshot capture) plus the network's deterministic
+    /// work counters, frozen into [`RunResult::profile`] when the run
+    /// finishes.
+    ///
+    /// Profiling is observation-only — it draws no randomness, schedules
+    /// nothing, and feeds no wall-clock value back into simulation state —
+    /// so results stay bit-identical with it on or off.
+    #[must_use]
+    pub fn with_profiling(mut self) -> Self {
+        self.prof = Some(SimProfiler::new());
+        self
+    }
+
+    /// Opens a profiler span, or `None` when profiling is off (one untaken
+    /// branch — the unprofiled hot path stays clean).
+    #[inline]
+    pub(crate) fn prof_begin(&self) -> Option<SpanToken> {
+        self.prof.as_ref().map(|p| p.begin())
+    }
+
+    /// Closes a span opened by [`ClusterSim::prof_begin`].
+    #[inline]
+    pub(crate) fn prof_end(&mut self, key: &'static str, span: Option<SpanToken>) {
+        if let (Some(p), Some(s)) = (&mut self.prof, span) {
+            p.record(key, s);
         }
     }
 
@@ -482,14 +518,23 @@ impl ClusterSim {
                 return Err(RunError::EventCapExceeded { cap: EVENT_CAP });
             }
             self.hash = snapshot::fold_event(self.hash, t, &ev);
+            let span = self.prof_begin();
+            let key = ev.dispatch_key();
             self.dispatch(ev);
+            self.prof_end(key, span);
             if self.cfg.hash_every > 0 && self.events.is_multiple_of(self.cfg.hash_every) {
                 self.trace(p3_trace::TraceEvent::StateHash {
                     events: self.events,
                     hash: self.hash,
                 });
             }
-            snapshots.after_event(self);
+            if S::ACTIVE {
+                let span = self.prof_begin();
+                snapshots.after_event(self);
+                self.prof_end("snapshot/capture", span);
+            } else {
+                snapshots.after_event(self);
+            }
         }
         Ok(())
     }
@@ -606,7 +651,9 @@ impl ClusterSim {
                 if self.next_wake == Some(now) {
                     self.next_wake = None;
                 }
+                let span = self.prof_begin();
                 let done = self.net.poll(now);
+                self.prof_end("net/poll", span);
                 for flow in done {
                     let msg_id = self
                         .flows
@@ -647,92 +694,16 @@ impl ClusterSim {
             Ev::LivenessTimeout { worker } => self.on_liveness_timeout(worker),
         }
     }
-
-    // ------------------------------------------------------------------
-    // Results.
-
-    fn finish(self, target: u64) -> RunResult {
-        let batch = self.cfg.batch_per_worker as f64;
-        let measure_iters = self.cfg.measure_iters as f64;
-        let mut total = 0.0;
-        let mut iter_sum = 0.0;
-        let mut stall_sum = 0.0;
-        let mut finished_at = SimTime::ZERO;
-        let mut survivors = 0.0;
-        let mut pooled: Vec<f64> = Vec::new();
-        for w in &self.workers {
-            pooled.extend_from_slice(&w.measured_iters);
-            if w.permanently_dead {
-                continue; // its partial iterations still count in the tail
-            }
-            let start = w.measure_start.expect("worker never started measuring");
-            let end = w.measure_end.expect("worker never finished measuring");
-            assert!(w.completed >= target);
-            let secs = (end - start).as_secs_f64();
-            total += measure_iters * batch / secs;
-            iter_sum += secs / measure_iters;
-            stall_sum += w.stalled_total.as_secs_f64() / end.as_secs_f64();
-            finished_at = finished_at.max(end);
-            survivors += 1.0;
-        }
-        let p50 = quantile(&pooled, 0.50).map_or(SimDuration::ZERO, SimDuration::from_secs_f64);
-        let p99 = quantile(&pooled, 0.99).map_or(SimDuration::ZERO, SimDuration::from_secs_f64);
-        let trace = self.cfg.trace_bin.map(|bin| UtilizationTrace {
-            bin,
-            tx_gbps: self
-                .net
-                .tx_trace(MachineId(0))
-                .expect("trace enabled")
-                .gbps_series(),
-            rx_gbps: self
-                .net
-                .rx_trace(MachineId(0))
-                .expect("trace enabled")
-                .gbps_series(),
-        });
-        let stalled_per_worker = self.workers.iter().map(|w| w.stalled_total).collect();
-        // Per-link totals of the compiled topology (empty on the flat
-        // fabric). Busy fractions are relative to when the run ended.
-        let end_secs = self.queue.now().as_secs_f64();
-        let links = self
-            .net
-            .link_usage()
-            .into_iter()
-            .map(|l| LinkUtilization {
-                name: l.name,
-                busy_fraction: if end_secs > 0.0 {
-                    l.busy_secs / end_secs
-                } else {
-                    0.0
-                },
-                bytes: l.bytes,
-                transit: l.transit,
-            })
-            .collect();
-        RunResult {
-            throughput: total,
-            per_worker_throughput: total / survivors,
-            unit: self.cfg.model.unit(),
-            mean_iteration: SimDuration::from_secs_f64(iter_sum / survivors),
-            p50_iteration: p50,
-            p99_iteration: p99,
-            mean_stall_fraction: stall_sum / survivors,
-            stalled_per_worker,
-            finished_at,
-            events: self.events,
-            messages: self.stats,
-            faults: self.faults,
-            trace,
-            links,
-            event_hash: self.hash,
-        }
-    }
 }
 
 /// What the run loop does after dispatching each event — the seam that
 /// keeps the hot loop monomorphic for the common no-snapshot case while
 /// letting callers capture periodic snapshots.
 trait SnapshotSink {
+    /// Whether this sink does any per-event work. `false` lets the run
+    /// loop compile the profiler's snapshot timer out of the common
+    /// no-snapshot path entirely.
+    const ACTIVE: bool;
     fn after_event(&mut self, sim: &ClusterSim);
 }
 
@@ -740,6 +711,7 @@ trait SnapshotSink {
 struct NoSnapshots;
 
 impl SnapshotSink for NoSnapshots {
+    const ACTIVE: bool = false;
     fn after_event(&mut self, _sim: &ClusterSim) {}
 }
 
@@ -752,6 +724,7 @@ struct SnapshotTaker<'a> {
 }
 
 impl SnapshotSink for SnapshotTaker<'_> {
+    const ACTIVE: bool = true;
     fn after_event(&mut self, sim: &ClusterSim) {
         let floor = sim.min_completed();
         if floor >= self.next_at {

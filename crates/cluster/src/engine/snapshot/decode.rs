@@ -14,7 +14,8 @@ use crate::snap::{SnapReader, SnapshotError};
 use p3_core::PrioQueue;
 use p3_des::{EventQueue, SimDuration, SimTime, SplitMix64};
 use p3_net::{
-    CompletedFlow, DeliveringSnapshot, FlowId, FlowSnapshot, MachineId, NetworkSnapshot, Priority,
+    CompletedFlow, DeliveringSnapshot, FlowId, FlowSnapshot, MachineId, NetStats, NetworkSnapshot,
+    Priority,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -554,6 +555,13 @@ fn decode_net(
     for _ in 0..n {
         rx_bins.push(decode_f64s(r, None, "trace bins")?);
     }
+    let stats = NetStats {
+        reallocations: r.u64()?,
+        flows_touched: r.u64()?,
+        waterfill_rounds: r.u64()?,
+        ports_touched: r.u64()?,
+        peak_in_flight: r.u64()?,
+    };
     Ok(NetworkSnapshot {
         flows,
         delivering,
@@ -565,6 +573,7 @@ fn decode_net(
         link_bytes,
         tx_bins,
         rx_bins,
+        stats,
     })
 }
 

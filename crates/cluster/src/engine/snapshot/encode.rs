@@ -386,6 +386,11 @@ fn encode_net(w: &mut SnapWriter, snap: &NetworkSnapshot) {
     for bins in &snap.rx_bins {
         encode_f64s(w, bins);
     }
+    w.u64(snap.stats.reallocations);
+    w.u64(snap.stats.flows_touched);
+    w.u64(snap.stats.waterfill_rounds);
+    w.u64(snap.stats.ports_touched);
+    w.u64(snap.stats.peak_in_flight);
 }
 
 fn encode_f64s(w: &mut SnapWriter, values: &[f64]) {

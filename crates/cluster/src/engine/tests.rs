@@ -166,6 +166,68 @@ fn tail_quantiles_are_ordered() {
     assert!(r.p50_iteration <= r.p99_iteration);
 }
 
+#[test]
+fn profiling_is_bit_identical_to_an_unprofiled_run() {
+    // The tentpole invariant of the profiler: turning it on must not
+    // perturb the simulation. The rolling event hash commits to every
+    // (time, event) pair processed, so equal hashes mean the two runs
+    // dispatched the exact same event stream.
+    let plain = ClusterSim::new(cfg(SyncStrategy::p3(), 8.0)).run();
+    let profiled = ClusterSim::new(cfg(SyncStrategy::p3(), 8.0))
+        .with_profiling()
+        .run();
+    assert_eq!(plain.event_hash, profiled.event_hash);
+    assert_eq!(plain.events, profiled.events);
+    assert_eq!(plain.throughput.to_bits(), profiled.throughput.to_bits());
+    assert_eq!(plain.peak_in_flight_flows, profiled.peak_in_flight_flows);
+    assert!(plain.profile.is_none());
+    assert!(profiled.profile.is_some());
+}
+
+#[test]
+fn profile_reports_dispatch_timers_and_work_counters() {
+    let r = ClusterSim::new(cfg(SyncStrategy::p3(), 8.0))
+        .with_profiling()
+        .run();
+    let p = r.profile.expect("profiling was enabled");
+    assert_eq!(p.events, r.events);
+    assert!(p.wall_seconds > 0.0);
+    let timer_keys: Vec<&str> = p.timers.iter().map(|t| t.key.as_str()).collect();
+    assert!(timer_keys.contains(&"dispatch/NetWake"));
+    assert!(timer_keys.contains(&"dispatch/Compute"));
+    assert!(timer_keys.contains(&"net/poll"));
+    assert!(timer_keys.contains(&"net/start_flow"));
+    assert!(timer_keys.contains(&"backend/delivered"));
+    // Every dispatched event lands in exactly one dispatch/* timer.
+    let dispatched: u64 = p
+        .timers
+        .iter()
+        .filter(|t| t.key.starts_with("dispatch/"))
+        .map(|t| t.calls)
+        .sum();
+    assert_eq!(dispatched, r.events);
+    let counter = |key: &str| {
+        p.counters
+            .iter()
+            .find(|c| c.key == key)
+            .unwrap_or_else(|| panic!("missing counter {key}"))
+            .value
+    };
+    assert!(counter("net/reallocations") > 0);
+    assert!(counter("net/waterfill_rounds") > 0);
+    assert_eq!(counter("net/peak_in_flight"), r.peak_in_flight_flows);
+    assert!(counter("heap/scheduled_total") >= r.events);
+    assert!(counter("heap/high_water") > 0);
+}
+
+#[test]
+fn peak_in_flight_is_deterministic_and_nonzero() {
+    let a = ClusterSim::new(cfg(SyncStrategy::p3(), 8.0)).run();
+    let b = ClusterSim::new(cfg(SyncStrategy::p3(), 8.0)).run();
+    assert!(a.peak_in_flight_flows > 0);
+    assert_eq!(a.peak_in_flight_flows, b.peak_in_flight_flows);
+}
+
 mod stall_tests {
     use super::super::ClusterSim;
     use crate::config::ClusterConfig;

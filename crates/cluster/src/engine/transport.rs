@@ -173,6 +173,7 @@ impl ClusterSim {
                     Role::Server => self.servers[machine].egress.start_one(),
                 };
                 if let Some(m) = admitted {
+                    let span = self.prof_begin();
                     let flow = self.net.start_flow(
                         now,
                         MachineId(machine),
@@ -181,6 +182,7 @@ impl ClusterSim {
                         m.priority,
                         m.msg_id,
                     );
+                    self.prof_end("net/start_flow", span);
                     self.flows.insert(flow, m.msg_id);
                     self.note_admitted(m.msg_id, now);
                     let next = now + self.cfg.msg_overhead;
@@ -200,6 +202,7 @@ impl ClusterSim {
                 Role::Server => self.servers[machine].egress.start_ready(),
             };
             for m in ready {
+                let span = self.prof_begin();
                 let flow = self.net.start_flow(
                     now,
                     MachineId(machine),
@@ -208,6 +211,7 @@ impl ClusterSim {
                     m.priority,
                     m.msg_id,
                 );
+                self.prof_end("net/start_flow", span);
                 self.flows.insert(flow, m.msg_id);
                 self.note_admitted(m.msg_id, now);
             }
@@ -308,7 +312,9 @@ impl ClusterSim {
             return;
         }
 
+        let span = self.prof_begin();
         self.backend_delivered(ctx);
+        self.prof_end("backend/delivered", span);
     }
 
     // ------------------------------------------------------------------

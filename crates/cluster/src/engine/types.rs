@@ -98,6 +98,29 @@ pub(crate) enum Ev {
     },
 }
 
+impl Ev {
+    /// The profiler's dispatch-timer key for this event variant. Static
+    /// strings so the hot-loop hook allocates nothing.
+    pub(crate) fn dispatch_key(&self) -> &'static str {
+        match self {
+            Ev::StartWorker { .. } => "dispatch/StartWorker",
+            Ev::Compute { .. } => "dispatch/Compute",
+            Ev::EgressReady { .. } => "dispatch/EgressReady",
+            Ev::AdmitKick { .. } => "dispatch/AdmitKick",
+            Ev::ProcDone { .. } => "dispatch/ProcDone",
+            Ev::NetWake => "dispatch/NetWake",
+            Ev::StragglerStart { .. } => "dispatch/StragglerStart",
+            Ev::StragglerEnd { .. } => "dispatch/StragglerEnd",
+            Ev::LinkDegradeStart { .. } => "dispatch/LinkDegradeStart",
+            Ev::LinkDegradeEnd { .. } => "dispatch/LinkDegradeEnd",
+            Ev::Crash { .. } => "dispatch/Crash",
+            Ev::Rejoin { .. } => "dispatch/Rejoin",
+            Ev::RetryTimer { .. } => "dispatch/RetryTimer",
+            Ev::LivenessTimeout { .. } => "dispatch/LivenessTimeout",
+        }
+    }
+}
+
 /// What an in-flight message is, resolved when its flow is delivered.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum MsgKind {

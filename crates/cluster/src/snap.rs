@@ -19,8 +19,9 @@ use std::fmt;
 pub const SNAP_MAGIC: [u8; 8] = *b"P3SNAP\0\0";
 
 /// Current snapshot format version. Bump on any layout change; readers
-/// reject other versions rather than guessing.
-pub const SNAP_VERSION: u32 = 1;
+/// reject other versions rather than guessing. v2 appended the network's
+/// deterministic work counters ([`p3_net::NetStats`]) to the net section.
+pub const SNAP_VERSION: u32 = 2;
 
 /// Why a snapshot byte stream could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -26,6 +26,11 @@
 //! `.unwrap()`/`.expect(` calls in non-test code may not exceed the count
 //! recorded in `p3-lint.toml`, and the recorded count is only ever lowered.
 //! New code must propagate errors instead of panicking.
+//!
+//! A crate whose purpose is to violate one rule can exempt exactly that
+//! rule via the `[crate-allow]` section of `p3-lint.toml` ([`CrateAllow`]):
+//! `p3-prof` is the profiling crate, so `Instant::now` is legal there and
+//! nowhere else in the simulation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -36,8 +41,11 @@ use std::path::{Path, PathBuf};
 
 /// Crates the determinism rules apply to: everything that can influence a
 /// simulated result. The CLI, offline tooling and vendored dependencies
-/// are exempt (they run outside the simulation).
-pub const SIM_CRATES: [&str; 11] = [
+/// are exempt (they run outside the simulation). A crate may carve out a
+/// *specific* rule via the `[crate-allow]` section of `p3-lint.toml`
+/// (see [`CrateAllow`]) — e.g. `p3-prof` measures wall time by design, so
+/// it allows `wall-clock` while every other rule still applies to it.
+pub const SIM_CRATES: [&str; 12] = [
     "des",
     "core",
     "net",
@@ -49,11 +57,12 @@ pub const SIM_CRATES: [&str; 11] = [
     "models",
     "compress",
     "audit",
+    "prof",
 ];
 
 /// Crates whose unwrap budget is ratcheted (the sim crates plus the CLI,
 /// whose panics are user-facing crashes).
-pub const BUDGET_CRATES: [&str; 12] = [
+pub const BUDGET_CRATES: [&str; 13] = [
     "des",
     "core",
     "net",
@@ -65,6 +74,7 @@ pub const BUDGET_CRATES: [&str; 12] = [
     "models",
     "compress",
     "audit",
+    "prof",
     "cli",
 ];
 
@@ -511,6 +521,96 @@ impl Budget {
     }
 }
 
+/// Crate-scoped rule exemptions: crate name (short, without the `p3-`
+/// prefix) → rule names that do not apply to that crate.
+///
+/// This is the *blanket* escape hatch, distinct from the per-line
+/// `allow(rule)` marker: a crate whose very purpose violates one rule
+/// (e.g. `p3-prof` exists to read the wall clock) declares that rule here
+/// once, and every other rule still applies to it line by line. Entries
+/// live in the `[crate-allow]` section of `p3-lint.toml` so exemptions
+/// are reviewed in one place rather than scattered through sources.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrateAllow(pub BTreeMap<String, Vec<String>>);
+
+impl CrateAllow {
+    /// Parses the `[crate-allow]` section of `p3-lint.toml`: lines of
+    /// `name = ["rule", ...]` (comments and blank lines ignored; a
+    /// missing section means no exemptions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<CrateAllow, String> {
+        let mut map = BTreeMap::new();
+        let mut in_section = false;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_section = line == "[crate-allow]";
+                continue;
+            }
+            if !in_section {
+                continue;
+            }
+            let Some((name, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "p3-lint.toml:{}: expected `name = [\"rule\", ...]`",
+                    i + 1
+                ));
+            };
+            let value = value.trim();
+            let Some(list) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) else {
+                return Err(format!(
+                    "p3-lint.toml:{}: `{value}` is not a [\"rule\", ...] list",
+                    i + 1
+                ));
+            };
+            let mut rules = Vec::new();
+            for item in list.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue;
+                }
+                let Some(rule) = item.strip_prefix('"').and_then(|r| r.strip_suffix('"')) else {
+                    return Err(format!(
+                        "p3-lint.toml:{}: `{item}` is not a quoted rule name",
+                        i + 1
+                    ));
+                };
+                rules.push(rule.to_string());
+            }
+            map.insert(name.trim().to_string(), rules);
+        }
+        Ok(CrateAllow(map))
+    }
+
+    /// True when `rule` is exempted for `krate`.
+    pub fn allows(&self, krate: &str, rule: &str) -> bool {
+        self.0
+            .get(krate)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Lints one file's source text as part of crate `krate`: same as
+/// [`lint_source`], minus the findings whose rule the crate exempts via
+/// `[crate-allow]`.
+pub fn lint_source_for_crate(
+    krate: &str,
+    path: &Path,
+    source: &str,
+    allow: &CrateAllow,
+) -> Vec<Finding> {
+    lint_source(path, source)
+        .into_iter()
+        .filter(|f| !allow.allows(krate, &f.rule))
+        .collect()
+}
+
 /// Result of linting a whole workspace.
 #[derive(Debug, Default)]
 pub struct WorkspaceReport {
@@ -592,6 +692,7 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceReport, String> {
     let budget_text = std::fs::read_to_string(&budget_path)
         .map_err(|e| format!("{}: {e}", budget_path.display()))?;
     let budget = Budget::parse(&budget_text)?;
+    let crate_allow = CrateAllow::parse(&budget_text)?;
 
     let mut report = WorkspaceReport::default();
     for name in SIM_CRATES {
@@ -605,7 +706,9 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceReport, String> {
             let source =
                 std::fs::read_to_string(&f).map_err(|e| format!("{}: {e}", f.display()))?;
             let rel = f.strip_prefix(root).unwrap_or(&f).to_path_buf();
-            report.findings.extend(lint_source(&rel, &source));
+            report
+                .findings
+                .extend(lint_source_for_crate(name, &rel, &source, &crate_allow));
             report.files += 1;
         }
     }
@@ -729,6 +832,36 @@ mod tests {
         assert_eq!(b.0.get("cluster"), Some(&3));
         assert_eq!(b.0.get("cli"), Some(&10));
         assert!(Budget::parse("[unwrap-budget]\ncluster three\n").is_err());
+    }
+
+    #[test]
+    fn crate_allow_parses_lists() {
+        let text = "[unwrap-budget]\nprof = 0\n[crate-allow]\nprof = [\"wall-clock\"] # why\n";
+        let a = CrateAllow::parse(text).unwrap();
+        assert!(a.allows("prof", "wall-clock"));
+        assert!(!a.allows("prof", "unordered"));
+        assert!(!a.allows("cluster", "wall-clock"));
+        assert!(CrateAllow::parse("[crate-allow]\nprof = wall-clock\n").is_err());
+        assert!(CrateAllow::parse("[crate-allow]\nprof = [wall-clock]\n").is_err());
+        // A file with no section at all means no exemptions.
+        assert_eq!(
+            CrateAllow::parse("[unwrap-budget]\ncli = 0\n").unwrap(),
+            CrateAllow::default()
+        );
+    }
+
+    #[test]
+    fn crate_allow_filters_only_the_listed_rule() {
+        let allow = CrateAllow::parse("[crate-allow]\nprof = [\"wall-clock\"]\n").unwrap();
+        let src = "fn f() { let t = Instant::now(); let m = HashMap::<u32, u32>::new(); }\n";
+        let prof = lint_source_for_crate("prof", Path::new("t.rs"), src, &allow);
+        assert!(prof.iter().all(|f| f.rule != "wall-clock"), "{prof:?}");
+        assert!(prof.iter().any(|f| f.rule == "unordered"), "{prof:?}");
+        let cluster = lint_source_for_crate("cluster", Path::new("t.rs"), src, &allow);
+        assert!(
+            cluster.iter().any(|f| f.rule == "wall-clock"),
+            "{cluster:?}"
+        );
     }
 
     #[test]

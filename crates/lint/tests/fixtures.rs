@@ -5,7 +5,7 @@
 
 use std::path::Path;
 
-use p3_lint::{lint_source, lint_workspace, Finding};
+use p3_lint::{lint_source, lint_source_for_crate, lint_workspace, CrateAllow, Finding};
 
 fn lint_fixture(name: &str) -> Vec<Finding> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -89,6 +89,42 @@ fn findings_render_with_file_line_and_rule() {
     let rendered = f[0].to_string();
     assert!(rendered.contains("bad_hashmap.rs:2"), "{rendered}");
     assert!(rendered.contains("[unordered]"), "{rendered}");
+}
+
+/// The real `p3-lint.toml` exempts `wall-clock` for `p3-prof` and for
+/// no other crate: `Instant::now` must still be rejected in the engine
+/// crates (`p3-cluster`, `p3-net`, `p3-des`, …) after the crate-scoped
+/// allowlist is applied.
+#[test]
+fn wall_clock_stays_banned_outside_prof() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let toml = std::fs::read_to_string(root.join("p3-lint.toml")).expect("p3-lint.toml");
+    let allow = CrateAllow::parse(&toml).expect("crate-allow section");
+
+    assert!(allow.allows("prof", "wall-clock"));
+    for krate in ["cluster", "net", "des"] {
+        assert!(
+            !allow.allows(krate, "wall-clock"),
+            "wall-clock must not be exempted for p3-{krate}"
+        );
+    }
+
+    let src = "fn f() {\n    let t = Instant::now();\n}\n";
+    for krate in ["cluster", "net", "des"] {
+        let f = lint_source_for_crate(krate, Path::new("hot.rs"), src, &allow);
+        assert!(
+            f.iter().any(|x| x.rule == "wall-clock"),
+            "p3-{krate} should reject Instant::now: {f:?}"
+        );
+    }
+    let f = lint_source_for_crate("prof", Path::new("hot.rs"), src, &allow);
+    assert!(
+        f.is_empty(),
+        "p3-prof is exempt from wall-clock only: {f:?}"
+    );
 }
 
 #[test]

@@ -11,6 +11,23 @@
 
 use crate::types::Priority;
 
+/// Work performed by one allocator invocation: how many water-fill raise
+/// rounds ran and how many flow/port slots they examined. Counting is
+/// pure integer arithmetic bolted alongside the float math — the rate
+/// arithmetic itself is untouched, which the graph-vs-flat bit-identity
+/// property tests pin down — so the counters are as deterministic as the
+/// rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocWork {
+    /// Water-fill raise rounds executed.
+    pub rounds: u64,
+    /// Flow slots examined, summed over rounds.
+    pub flow_touches: u64,
+    /// Ports (or links, for the graph allocator) carrying at least one
+    /// active flow, summed over rounds.
+    pub port_touches: u64,
+}
+
 /// One flow's routing and urgency, as seen by the allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowSpec {
@@ -70,6 +87,24 @@ pub fn allocate_rates_capped(
     rx_cap: &[f64],
     flow_cap: f64,
 ) -> Vec<f64> {
+    allocate_rates_capped_with_work(flows, tx_cap, rx_cap, flow_cap, &mut AllocWork::default())
+}
+
+/// Like [`allocate_rates_capped`], but additionally accumulates the
+/// allocator's effort (water-fill rounds, flow and port touches) into
+/// `work` — the simulator's self-profiling counters. The returned rates
+/// are bit-identical to the uncounted variant.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`allocate_rates_capped`].
+pub fn allocate_rates_capped_with_work(
+    flows: &[FlowSpec],
+    tx_cap: &[f64],
+    rx_cap: &[f64],
+    flow_cap: f64,
+    work: &mut AllocWork,
+) -> Vec<f64> {
     assert_eq!(
         tx_cap.len(),
         rx_cap.len(),
@@ -109,14 +144,16 @@ pub fn allocate_rates_capped(
             &mut res_rx,
             &mut rates,
             flow_cap,
+            work,
         );
     }
     rates
 }
 
 /// Progressive filling of one priority class on the residual capacities.
-/// On return, `rates` holds each member's max-min rate and the residuals are
-/// reduced by the allocation.
+/// On return, `rates` holds each member's max-min rate, the residuals are
+/// reduced by the allocation, and `work` has accumulated the effort spent.
+#[allow(clippy::too_many_arguments)]
 fn water_fill(
     flows: &[FlowSpec],
     members: &[usize],
@@ -124,6 +161,7 @@ fn water_fill(
     res_rx: &mut [f64],
     rates: &mut [f64],
     flow_cap: f64,
+    work: &mut AllocWork,
 ) {
     const EPS: f64 = 1e-9;
     /// Residual capacity below this (bytes/sec — one byte per ~12 days) is
@@ -149,6 +187,10 @@ fn water_fill(
             tx_count[flows[i].src] += 1;
             rx_count[flows[i].dst] += 1;
         }
+        work.rounds += 1;
+        work.flow_touches += active.len() as u64;
+        work.port_touches += tx_count.iter().filter(|&&c| c > 0).count() as u64
+            + rx_count.iter().filter(|&&c| c > 0).count() as u64;
 
         // The common rate increment is limited by the tightest port, or by
         // the first flow to reach the per-flow ceiling.
@@ -447,6 +489,47 @@ mod tests {
         assert!((rates[0] - 60.0).abs() < 1e-6);
         assert!((rates[1] - 40.0).abs() < 1e-6);
         assert!(rates[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn work_counters_are_filled_without_perturbing_rates() {
+        let flows = [
+            FlowSpec {
+                src: 0,
+                dst: 1,
+                priority: Priority(0),
+            },
+            FlowSpec {
+                src: 0,
+                dst: 2,
+                priority: Priority(1),
+            },
+        ];
+        let plain = allocate_rates_capped(&flows, &caps(3, 100.0), &caps(3, 100.0), 30.0);
+        let mut work = AllocWork::default();
+        let counted = allocate_rates_capped_with_work(
+            &flows,
+            &caps(3, 100.0),
+            &caps(3, 100.0),
+            30.0,
+            &mut work,
+        );
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&plain), bits(&counted), "counting changed a rate bit");
+        // Two priority classes: at least one round each, and every round
+        // touches one flow over two ports.
+        assert!(work.rounds >= 2, "{work:?}");
+        assert_eq!(work.flow_touches, work.rounds, "{work:?}");
+        assert_eq!(work.port_touches, 2 * work.rounds, "{work:?}");
+    }
+
+    #[test]
+    fn empty_input_reports_zero_work() {
+        let mut work = AllocWork::default();
+        let rates =
+            allocate_rates_capped_with_work(&[], &caps(2, 10.0), &caps(2, 10.0), 1.0, &mut work);
+        assert!(rates.is_empty());
+        assert_eq!(work, AllocWork::default());
     }
 }
 

@@ -14,7 +14,7 @@
 //! bit-for-bit — same epsilons, same freeze rule, same iteration
 //! arithmetic — which the property tests below pin down.
 
-use crate::allocator::FlowSpec;
+use crate::allocator::{AllocWork, FlowSpec};
 use crate::types::Priority;
 
 /// Index of one unidirectional link in a [`LinkGraph`].
@@ -279,6 +279,24 @@ pub fn allocate_rates_on_graph(
     caps: &[f64],
     flow_cap: f64,
 ) -> GraphAllocation {
+    allocate_rates_on_graph_with_work(flows, graph, caps, flow_cap, &mut AllocWork::default())
+}
+
+/// Like [`allocate_rates_on_graph`], but additionally accumulates the
+/// allocator's effort (water-fill rounds, flow and link touches) into
+/// `work` — the simulator's self-profiling counters. The returned
+/// allocation is bit-identical to the uncounted variant.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`allocate_rates_on_graph`].
+pub fn allocate_rates_on_graph_with_work(
+    flows: &[FlowSpec],
+    graph: &LinkGraph,
+    caps: &[f64],
+    flow_cap: f64,
+    work: &mut AllocWork,
+) -> GraphAllocation {
     assert_eq!(
         caps.len(),
         graph.num_links(),
@@ -321,6 +339,7 @@ pub fn allocate_rates_on_graph(
             &mut rates,
             flow_cap,
             &mut bottleneck,
+            work,
         );
     }
     GraphAllocation { rates, bottleneck }
@@ -339,6 +358,7 @@ fn water_fill_graph(
     rates: &mut [f64],
     flow_cap: f64,
     bottleneck: &mut [Option<LinkId>],
+    work: &mut AllocWork,
 ) {
     const EPS: f64 = 1e-9;
     /// Residual capacity below this (bytes/sec) is numerical noise left
@@ -360,6 +380,9 @@ fn water_fill_graph(
                 count[l.0] += 1;
             }
         }
+        work.rounds += 1;
+        work.flow_touches += active.len() as u64;
+        work.port_touches += count.iter().filter(|&&c| c > 0).count() as u64;
 
         // The common rate increment is limited by the tightest link, or by
         // the first flow to reach the per-flow ceiling.
@@ -570,6 +593,24 @@ mod tests {
         let mut g = LinkGraph::new(&[10.0, 10.0, 10.0]);
         let port = g.rx_link(2);
         g.set_transit(0, 1, &[port]);
+    }
+
+    #[test]
+    fn work_counters_are_filled_without_perturbing_allocation() {
+        let g = two_racks(100.0, 50.0);
+        let flows = [flow(0, 3, 0), flow(1, 2, 1)];
+        let caps = g.caps().to_vec();
+        let plain = allocate_rates_on_graph(&flows, &g, &caps, f64::INFINITY);
+        let mut work = AllocWork::default();
+        let counted =
+            allocate_rates_on_graph_with_work(&flows, &g, &caps, f64::INFINITY, &mut work);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&plain.rates), bits(&counted.rates));
+        assert_eq!(plain.bottleneck, counted.bottleneck);
+        assert!(work.rounds >= 2, "one round per priority class: {work:?}");
+        assert!(work.flow_touches >= work.rounds, "{work:?}");
+        // Each flow's path crosses at least tx, core, rx.
+        assert!(work.port_touches >= 3 * work.rounds, "{work:?}");
     }
 }
 

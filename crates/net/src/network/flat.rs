@@ -1,0 +1,21 @@
+//! Flat single-switch rate computation.
+//!
+//! The default fabric model: every machine hangs off one non-blocking
+//! switch, so the only capacity constraints are the per-machine NIC ports
+//! (tx and rx), scaled by the protocol-efficiency factor and any
+//! fault-injected port degradation. Rates come from the strict-priority
+//! max-min allocator in [`crate::allocator`].
+
+use super::Network;
+use crate::allocator::{allocate_rates_capped_with_work, AllocWork, FlowSpec};
+
+/// Computes flat-fabric rates for `specs` (parallel to the network's
+/// active flows). `cap` is the effective per-port capacity in bytes/sec
+/// (nominal bandwidth times protocol efficiency); per-machine fault
+/// scaling is applied on top. Allocator effort is accumulated into
+/// `work`.
+pub(super) fn rates(net: &Network, specs: &[FlowSpec], cap: f64, work: &mut AllocWork) -> Vec<f64> {
+    let tx: Vec<f64> = net.tx_scale.iter().map(|s| cap * s).collect();
+    let rx: Vec<f64> = net.rx_scale.iter().map(|s| cap * s).collect();
+    allocate_rates_capped_with_work(specs, &tx, &rx, net.cfg.flow_cap, work)
+}

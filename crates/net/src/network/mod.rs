@@ -1,0 +1,666 @@
+//! The fluid network: flow lifecycle, exact completion events, utilization
+//! traces.
+//!
+//! The module splits along the fabric model: `config` holds the static
+//! cluster description, `flat` the flat single-switch rate computation,
+//! `multihop` the link-graph generalization plus per-link accounting.
+//! This file keeps the [`Network`] facade — flow lifecycle, snapshots,
+//! and the deterministic work counters ([`NetStats`]) — and dispatches
+//! rate recomputation to whichever fabric model the configuration
+//! selects.
+
+mod config;
+mod flat;
+mod multihop;
+#[cfg(test)]
+mod tests;
+
+pub use config::NetworkConfig;
+
+use crate::allocator::{AllocWork, FlowSpec};
+use crate::multilink::LinkId;
+use crate::trace::PortTrace;
+use crate::types::{FlowId, MachineId, Priority};
+use p3_des::{SimDuration, SimTime};
+use p3_trace::{TraceEvent, TraceHandle};
+
+/// A finished transfer, handed back by [`Network::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedFlow {
+    /// Handle returned by [`Network::start_flow`].
+    pub id: FlowId,
+    /// Transmitting machine.
+    pub src: MachineId,
+    /// Receiving machine.
+    pub dst: MachineId,
+    /// Caller-supplied correlation tag.
+    pub tag: u64,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// The saturated link that bounded the flow's rate under its final
+    /// allocation (a [`crate::LinkId`] index). `None` for loopback
+    /// transfers, on the flat single-switch fabric, or when the per-flow
+    /// cap (not a link) was the binding constraint.
+    pub bottleneck: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    id: FlowId,
+    src: usize,
+    dst: usize,
+    priority: Priority,
+    tag: u64,
+    bytes: u64,
+    remaining: f64,
+    rate: f64, // bytes/sec under the current allocation
+    /// Saturated link bounding the current rate (link-graph mode only).
+    bottleneck: Option<LinkId>,
+}
+
+#[derive(Debug, Clone)]
+struct Delivering {
+    at: SimTime,
+    flow: CompletedFlow,
+}
+
+/// Deterministic work counters of a fabric: how much flow and allocator
+/// machinery a run exercised. Every field is pure integer accounting
+/// driven by the simulation's own (deterministic) event sequence — no
+/// wall clock, no sampling — so two runs of the same configuration report
+/// identical stats, and a snapshot/resume pair reports the same totals as
+/// the uninterrupted run. The float arithmetic of the fluid model is
+/// untouched by the counting (pinned by the allocator bit-identity
+/// property tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Rate recomputations (the flow set or port capacities changed).
+    pub reallocations: u64,
+    /// Active flows summed over all reallocations — the allocator's input
+    /// volume.
+    pub flows_touched: u64,
+    /// Water-fill raise rounds summed over all reallocations.
+    pub waterfill_rounds: u64,
+    /// Ports (flat fabric) or links (graph fabric) carrying at least one
+    /// active flow, summed over all water-fill rounds.
+    pub ports_touched: u64,
+    /// Peak number of concurrently active NIC flows (loopback excluded).
+    pub peak_in_flight: u64,
+}
+
+/// The simulated cluster fabric.
+///
+/// `Network` is driven by its owner (the cluster simulator): the owner calls
+/// [`Network::start_flow`] to begin transfers, [`Network::next_event_time`]
+/// to learn when the fabric next changes state, and [`Network::poll`] to
+/// advance the fluid model to the current instant and collect completed
+/// transfers.
+///
+/// # Examples
+///
+/// ```
+/// use p3_des::{SimDuration, SimTime};
+/// use p3_net::{Bandwidth, MachineId, Network, NetworkConfig, Priority};
+///
+/// let cfg = NetworkConfig::new(2, Bandwidth::from_gbps(8.0))
+///     .with_latency(SimDuration::ZERO);
+/// let mut net = Network::new(cfg);
+/// // 1 MB at 1 GB/s takes 1 ms.
+/// net.start_flow(SimTime::ZERO, MachineId(0), MachineId(1), 1_000_000, Priority(0), 7);
+/// let done_at = net.next_event_time().unwrap();
+/// assert_eq!(done_at, SimTime::from_millis(1));
+/// let done = net.poll(done_at);
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].tag, 7);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetworkConfig,
+    flows: Vec<ActiveFlow>,
+    delivering: Vec<Delivering>,
+    last_update: SimTime,
+    next_flow_id: u64,
+    tx_traces: Vec<PortTrace>,
+    rx_traces: Vec<PortTrace>,
+    dirty: bool, // rates stale (flow set changed since last allocation)
+    /// Per-machine transmit capacity factor in `(0, 1]` (fault injection:
+    /// a degraded NIC or congested uplink).
+    tx_scale: Vec<f64>,
+    /// Per-machine receive capacity factor in `(0, 1]`.
+    rx_scale: Vec<f64>,
+    /// Event sink for wire-level spans; `None` (the default) records
+    /// nothing and costs one branch per flow transition.
+    tracer: Option<TraceHandle>,
+    /// Per-link busy time in seconds (link-graph mode only; indexed by
+    /// `LinkId`). A link is busy while any flow crossing it has a
+    /// positive rate.
+    link_busy: Vec<f64>,
+    /// Per-link bytes carried (link-graph mode only).
+    link_bytes: Vec<f64>,
+    /// Deterministic work counters (see [`NetStats`]).
+    stats: NetStats,
+}
+
+/// Dynamic state of one in-flight flow, as captured by
+/// [`Network::snapshot`]. Field order mirrors the private `ActiveFlow`;
+/// float fields carry exact bit patterns so a restored fabric continues
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSnapshot {
+    /// Flow handle (monotone, unique for the run).
+    pub id: u64,
+    /// Transmitting machine index.
+    pub src: usize,
+    /// Receiving machine index.
+    pub dst: usize,
+    /// Priority class.
+    pub priority: u32,
+    /// Caller correlation tag.
+    pub tag: u64,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Bytes not yet drained.
+    pub remaining: f64,
+    /// Current allocated rate in bytes/sec.
+    pub rate: f64,
+    /// Saturated link bounding the rate (link-graph mode only).
+    pub bottleneck: Option<usize>,
+}
+
+/// A drained transfer awaiting its delivery instant, as captured by
+/// [`Network::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveringSnapshot {
+    /// Delivery instant.
+    pub at: SimTime,
+    /// The completed transfer to hand back at `at`.
+    pub flow: CompletedFlow,
+}
+
+/// The full dynamic state of a [`Network`], sufficient to resume the fluid
+/// model bit-identically on a fresh fabric built from the same
+/// [`NetworkConfig`]. Static configuration (bandwidths, link graph,
+/// latency) is not captured — it is rebuilt from the config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSnapshot {
+    /// In-flight flows, in the fabric's internal (semantically
+    /// significant) order.
+    pub flows: Vec<FlowSnapshot>,
+    /// Drained transfers awaiting delivery.
+    pub delivering: Vec<DeliveringSnapshot>,
+    /// Instant the fluid model was last integrated to.
+    pub last_update: SimTime,
+    /// Next flow handle to hand out.
+    pub next_flow_id: u64,
+    /// Per-machine transmit capacity factors (fault injection).
+    pub tx_scale: Vec<f64>,
+    /// Per-machine receive capacity factors.
+    pub rx_scale: Vec<f64>,
+    /// Per-link busy seconds (link-graph mode; empty otherwise).
+    pub link_busy: Vec<f64>,
+    /// Per-link bytes carried.
+    pub link_bytes: Vec<f64>,
+    /// Per-machine transmit utilization bins (empty when tracing is off).
+    pub tx_bins: Vec<Vec<f64>>,
+    /// Per-machine receive utilization bins.
+    pub rx_bins: Vec<Vec<f64>>,
+    /// Deterministic work counters, carried so a resumed run reports the
+    /// same totals as the uninterrupted one.
+    pub stats: NetStats,
+}
+
+/// Observed usage of one link over a run, from [`Network::link_usage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUsage {
+    /// Link name from the graph (`m3.tx`, `rack1.up`, …).
+    pub name: String,
+    /// Nominal capacity in bytes/sec.
+    pub capacity: f64,
+    /// Seconds during which at least one flow crossed the link.
+    pub busy_secs: f64,
+    /// Total bytes carried.
+    pub bytes: f64,
+    /// True for switch uplinks/downlinks, false for machine ports.
+    pub transit: bool,
+}
+
+impl Network {
+    /// Builds an idle fabric from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.machines` is zero.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        assert!(cfg.machines > 0, "a cluster needs at least one machine");
+        let (tx_traces, rx_traces) = match cfg.trace_bin {
+            Some(bin) => (
+                (0..cfg.machines).map(|_| PortTrace::new(bin)).collect(),
+                (0..cfg.machines).map(|_| PortTrace::new(bin)).collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        let machines = cfg.machines;
+        let num_links = multihop::num_links(&cfg.link_graph);
+        if let Some(g) = &cfg.link_graph {
+            assert_eq!(g.machines(), machines, "link graph machine count mismatch");
+        }
+        Network {
+            cfg,
+            flows: Vec::new(),
+            delivering: Vec::new(),
+            last_update: SimTime::ZERO,
+            next_flow_id: 0,
+            tx_traces,
+            rx_traces,
+            dirty: false,
+            tx_scale: vec![1.0; machines],
+            rx_scale: vec![1.0; machines],
+            tracer: None,
+            link_busy: vec![0.0; num_links],
+            link_bytes: vec![0.0; num_links],
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Attaches a trace sink: every flow emits a `WireStart` when it enters
+    /// the fabric (loopback included) and a `WireEnd` when its last byte is
+    /// delivered, tagged with the caller's correlation tag as `msg_id`.
+    /// Tracing is purely observational — it never changes flow timing.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The configuration this fabric was built from.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Number of transfers currently using NIC bandwidth.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Deterministic work counters accumulated so far (see [`NetStats`]).
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// True when no transfer is in flight or awaiting delivery.
+    pub fn is_idle(&self) -> bool {
+        self.flows.is_empty() && self.delivering.is_empty()
+    }
+
+    /// Begins a transfer of `bytes` from `src` to `dst` with the given
+    /// priority class and caller tag, starting at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the network's last update, if either machine
+    /// is out of range, or if `bytes` is zero.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: MachineId,
+        dst: MachineId,
+        bytes: u64,
+        priority: Priority,
+        tag: u64,
+    ) -> FlowId {
+        assert!(src.0 < self.cfg.machines, "unknown src {src}");
+        assert!(dst.0 < self.cfg.machines, "unknown dst {dst}");
+        assert!(bytes > 0, "zero-byte transfer");
+        self.advance(now);
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        if let Some(t) = &self.tracer {
+            t.record(
+                now,
+                TraceEvent::WireStart {
+                    msg_id: tag,
+                    src: src.0,
+                    dst: dst.0,
+                    bytes,
+                    priority: priority.0,
+                },
+            );
+        }
+
+        if src == dst {
+            // Loopback: never touches the NIC; fixed-rate private channel.
+            let secs = bytes as f64 / self.cfg.loopback.bytes_per_sec();
+            let at = now + self.cfg.latency + SimDuration::from_secs_f64(secs);
+            self.delivering.push(Delivering {
+                at,
+                flow: CompletedFlow {
+                    id,
+                    src,
+                    dst,
+                    tag,
+                    bytes,
+                    bottleneck: None,
+                },
+            });
+            return id;
+        }
+
+        self.flows.push(ActiveFlow {
+            id,
+            src: src.0,
+            dst: dst.0,
+            priority,
+            tag,
+            bytes,
+            remaining: bytes as f64,
+            rate: 0.0,
+            bottleneck: None,
+        });
+        // Flows only ever join here, so sampling at the push is exact.
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.flows.len() as u64);
+        self.dirty = true;
+        self.reallocate();
+        id
+    }
+
+    /// The earliest future instant at which the fabric changes state (a flow
+    /// drains or a drained message is delivered), or `None` when idle.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for f in &self.flows {
+            if f.rate > 0.0 {
+                let secs = f.remaining / f.rate;
+                let ns = (secs * 1e9).ceil().max(0.0).min(u64::MAX as f64) as u64;
+                let t = self.last_update.saturating_add(SimDuration::from_nanos(ns));
+                best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+            }
+        }
+        for d in &self.delivering {
+            best = Some(best.map_or(d.at, |b: SimTime| b.min(d.at)));
+        }
+        best
+    }
+
+    /// Advances the fluid model to `now` and returns every transfer whose
+    /// last byte has been delivered (drain time + latency ≤ `now`), in
+    /// delivery order.
+    pub fn poll(&mut self, now: SimTime) -> Vec<CompletedFlow> {
+        self.advance(now);
+
+        // Flows that drained move to the latency (delivery) stage.
+        let mut changed = false;
+        let latency = self.cfg.latency;
+        let mut i = 0;
+        while i < self.flows.len() {
+            let f = &self.flows[i];
+            // Sub-nanosecond residue from ceil-rounding counts as drained.
+            let eps = f.rate * 1e-9 + 1e-9;
+            if f.remaining <= eps {
+                let f = self.flows.swap_remove(i);
+                self.delivering.push(Delivering {
+                    at: now + latency,
+                    flow: CompletedFlow {
+                        id: f.id,
+                        src: MachineId(f.src),
+                        dst: MachineId(f.dst),
+                        tag: f.tag,
+                        bytes: f.bytes,
+                        bottleneck: f.bottleneck.map(|l| l.0),
+                    },
+                });
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if changed {
+            self.dirty = true;
+            self.reallocate();
+        }
+
+        // Deliveries due now.
+        let mut done: Vec<Delivering> = Vec::new();
+        let mut i = 0;
+        while i < self.delivering.len() {
+            if self.delivering[i].at <= now {
+                done.push(self.delivering.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done.sort_by_key(|d| (d.at, d.flow.id));
+        if let Some(t) = &self.tracer {
+            for d in &done {
+                t.record(
+                    d.at,
+                    TraceEvent::WireEnd {
+                        msg_id: d.flow.tag,
+                        src: d.flow.src.0,
+                        dst: d.flow.dst.0,
+                        bytes: d.flow.bytes,
+                        bottleneck: d.flow.bottleneck,
+                    },
+                );
+            }
+        }
+        done.into_iter().map(|d| d.flow).collect()
+    }
+
+    /// Rescales one machine's NIC capacity mid-run (fault injection: link
+    /// degradation). Factors apply multiplicatively to the configured
+    /// per-direction bandwidth; `1.0` restores full capacity. In-flight
+    /// flows are re-allocated from `now` onward — bytes already transferred
+    /// are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range, a factor is outside `(0, 1]`,
+    /// or `now` precedes the network's last update.
+    pub fn set_port_scale(&mut self, now: SimTime, machine: MachineId, tx: f64, rx: f64) {
+        assert!(machine.0 < self.cfg.machines, "unknown machine {machine}");
+        assert!(tx > 0.0 && tx <= 1.0, "tx scale {tx} outside (0, 1]");
+        assert!(rx > 0.0 && rx <= 1.0, "rx scale {rx} outside (0, 1]");
+        self.advance(now);
+        self.tx_scale[machine.0] = tx;
+        self.rx_scale[machine.0] = rx;
+        self.dirty = true;
+        self.reallocate();
+    }
+
+    /// Aborts an in-flight transfer (fault injection: the sending process
+    /// died, or the message was dropped). The flow's port share is
+    /// redistributed from `now` onward and its delivery never happens.
+    /// Returns `false` when the flow is unknown or already delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the network's last update.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> bool {
+        self.advance(now);
+        if let Some(i) = self.flows.iter().position(|f| f.id == id) {
+            self.flows.swap_remove(i);
+            self.dirty = true;
+            self.reallocate();
+            return true;
+        }
+        if let Some(i) = self.delivering.iter().position(|d| d.flow.id == id) {
+            self.delivering.swap_remove(i);
+            return true;
+        }
+        false
+    }
+
+    /// Per-machine transmit utilization trace, if tracing was enabled.
+    pub fn tx_trace(&self, machine: MachineId) -> Option<&PortTrace> {
+        self.tx_traces.get(machine.0)
+    }
+
+    /// Per-machine receive utilization trace, if tracing was enabled.
+    pub fn rx_trace(&self, machine: MachineId) -> Option<&PortTrace> {
+        self.rx_traces.get(machine.0)
+    }
+
+    /// Observed per-link usage so far (busy time and bytes carried, one
+    /// entry per [`LinkId`]). Empty on the flat single-switch fabric.
+    /// Busy time accrues up to the last `poll`/`start_flow` instant.
+    pub fn link_usage(&self) -> Vec<LinkUsage> {
+        multihop::usage(self)
+    }
+
+    /// Captures the fabric's full dynamic state. Restoring it with
+    /// [`Network::restore_from`] onto a fresh fabric built from the same
+    /// configuration resumes the fluid model bit-identically (rates are
+    /// carried verbatim rather than recomputed, so no reallocation noise
+    /// enters at the restore point).
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        NetworkSnapshot {
+            flows: self
+                .flows
+                .iter()
+                .map(|f| FlowSnapshot {
+                    id: f.id.0,
+                    src: f.src,
+                    dst: f.dst,
+                    priority: f.priority.0,
+                    tag: f.tag,
+                    bytes: f.bytes,
+                    remaining: f.remaining,
+                    rate: f.rate,
+                    bottleneck: f.bottleneck.map(|l| l.0),
+                })
+                .collect(),
+            delivering: self
+                .delivering
+                .iter()
+                .map(|d| DeliveringSnapshot {
+                    at: d.at,
+                    flow: d.flow,
+                })
+                .collect(),
+            last_update: self.last_update,
+            next_flow_id: self.next_flow_id,
+            tx_scale: self.tx_scale.clone(),
+            rx_scale: self.rx_scale.clone(),
+            link_busy: self.link_busy.clone(),
+            link_bytes: self.link_bytes.clone(),
+            tx_bins: self
+                .tx_traces
+                .iter()
+                .map(|t| t.bytes_per_bin().to_vec())
+                .collect(),
+            rx_bins: self
+                .rx_traces
+                .iter()
+                .map(|t| t.bytes_per_bin().to_vec())
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites this fabric's dynamic state with a snapshot taken from a
+    /// fabric with the same configuration (see [`Network::snapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's per-machine vectors do not match this
+    /// fabric's machine count.
+    pub fn restore_from(&mut self, snap: &NetworkSnapshot) {
+        assert_eq!(snap.tx_scale.len(), self.cfg.machines, "snapshot mismatch");
+        assert_eq!(snap.rx_scale.len(), self.cfg.machines, "snapshot mismatch");
+        self.flows = snap
+            .flows
+            .iter()
+            .map(|f| ActiveFlow {
+                id: FlowId(f.id),
+                src: f.src,
+                dst: f.dst,
+                priority: Priority(f.priority),
+                tag: f.tag,
+                bytes: f.bytes,
+                remaining: f.remaining,
+                rate: f.rate,
+                bottleneck: f.bottleneck.map(LinkId),
+            })
+            .collect();
+        self.delivering = snap
+            .delivering
+            .iter()
+            .map(|d| Delivering {
+                at: d.at,
+                flow: d.flow,
+            })
+            .collect();
+        self.last_update = snap.last_update;
+        self.next_flow_id = snap.next_flow_id;
+        self.tx_scale = snap.tx_scale.clone();
+        self.rx_scale = snap.rx_scale.clone();
+        self.link_busy = snap.link_busy.clone();
+        self.link_bytes = snap.link_bytes.clone();
+        self.stats = snap.stats;
+        self.dirty = false;
+        for (t, bins) in self.tx_traces.iter_mut().zip(&snap.tx_bins) {
+            t.restore_bins(bins.clone());
+        }
+        for (t, bins) in self.rx_traces.iter_mut().zip(&snap.rx_bins) {
+            t.restore_bins(bins.clone());
+        }
+    }
+
+    /// Integrates flow progress from `last_update` to `now`.
+    fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_update,
+            "network clock went backwards: {now} < {}",
+            self.last_update
+        );
+        if now == self.last_update {
+            return;
+        }
+        let dt = (now - self.last_update).as_secs_f64();
+        multihop::account_advance(self, dt);
+        for f in &mut self.flows {
+            if f.rate > 0.0 {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+                if !self.tx_traces.is_empty() {
+                    self.tx_traces[f.src].add_rate(self.last_update, now, f.rate);
+                    self.rx_traces[f.dst].add_rate(self.last_update, now, f.rate);
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Recomputes the strict-priority max-min rates, dispatching to the
+    /// flat or multi-hop fabric model.
+    fn reallocate(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        self.stats.reallocations += 1;
+        self.stats.flows_touched += self.flows.len() as u64;
+        let cap = self.cfg.bandwidth.bytes_per_sec() * self.cfg.efficiency;
+        let specs: Vec<FlowSpec> = self
+            .flows
+            .iter()
+            .map(|f| FlowSpec {
+                src: f.src,
+                dst: f.dst,
+                priority: f.priority,
+            })
+            .collect();
+        let mut work = AllocWork::default();
+        let rates = if self.cfg.link_graph.is_some() {
+            multihop::rates(self, &specs, &mut work)
+        } else {
+            flat::rates(self, &specs, cap, &mut work)
+        };
+        self.stats.waterfill_rounds += work.rounds;
+        self.stats.ports_touched += work.port_touches;
+        // A rate below one byte per simulated second is allocator noise; a
+        // "running" flow at such a rate would never finish within any
+        // realistic horizon and only destabilizes event times.
+        let floor = (cap * 1e-12).max(1e-6);
+        for (f, r) in self.flows.iter_mut().zip(rates) {
+            f.rate = if r < floor { 0.0 } else { r };
+        }
+    }
+}

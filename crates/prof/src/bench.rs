@@ -1,0 +1,201 @@
+//! The [`BenchReport`]: one `p3 bench` sweep of the engine across worker
+//! counts and backends, serialized as `BENCH_simulate.json`.
+//!
+//! A point mixes two kinds of measurement. `events`, `event_hash`,
+//! `sim_seconds`, `peak_in_flight` and `throughput` are *deterministic* —
+//! any two builds of the same code produce identical values, so the
+//! regression differ holds them to exact equality. `wall_seconds` and
+//! `events_per_sec` are wall-clock and machine-dependent, so the differ
+//! only holds them to a tolerance band.
+
+use crate::report::{get_array, get_f64, get_str, get_u64, parse_checked, ReportError};
+use p3_trace::json::{escape, format_number};
+
+/// Version stamp of the [`BenchReport`] JSON schema.
+pub const BENCH_FORMAT_VERSION: u64 = 1;
+
+/// Discriminator value of the `"format"` member of a bench document.
+pub(crate) const BENCH_FORMAT: &str = "p3-bench";
+
+/// One measured configuration of the bench sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Backend name (`ps`, `ring`, `halving-doubling`).
+    pub backend: String,
+    /// Cluster size (one worker per machine).
+    pub machines: u64,
+    /// Simulator events the run dispatched (deterministic).
+    pub events: u64,
+    /// Rolling event digest of the run (deterministic).
+    pub event_hash: u64,
+    /// Simulated seconds the run covered (deterministic).
+    pub sim_seconds: f64,
+    /// Peak concurrently active network flows (deterministic).
+    pub peak_in_flight: u64,
+    /// Aggregate training throughput in samples/sec (deterministic).
+    pub throughput: f64,
+    /// Wall time the run took, in seconds (machine-dependent).
+    pub wall_seconds: f64,
+    /// Engine throughput in events/sec (machine-dependent).
+    pub events_per_sec: f64,
+}
+
+impl BenchPoint {
+    /// The identity of this point within a sweep.
+    pub fn key(&self) -> (String, u64) {
+        (self.backend.clone(), self.machines)
+    }
+}
+
+/// A full bench sweep, ready to serialize or diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_FORMAT_VERSION`]).
+    pub version: u64,
+    /// Measured points, in sweep order.
+    pub points: Vec<BenchPoint>,
+}
+
+impl BenchReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": \"{BENCH_FORMAT}\",\n"));
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str("  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                concat!(
+                    "\n    {{\"backend\": \"{}\", \"machines\": {}, ",
+                    "\"events\": {}, \"event_hash\": \"{:#018x}\", ",
+                    "\"sim_seconds\": {}, \"peak_in_flight\": {}, ",
+                    "\"throughput\": {}, \"wall_seconds\": {}, ",
+                    "\"events_per_sec\": {}}}"
+                ),
+                escape(&p.backend),
+                p.machines,
+                p.events,
+                p.event_hash,
+                format_number(p.sim_seconds),
+                p.peak_in_flight,
+                format_number(p.throughput),
+                format_number(p.wall_seconds),
+                format_number(p.events_per_sec),
+            ));
+        }
+        out.push_str(if self.points.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a report back from JSON. Never panics: every malformed
+    /// input maps to a [`ReportError`].
+    pub fn from_json(text: &str) -> Result<BenchReport, ReportError> {
+        let root = parse_checked(text, BENCH_FORMAT, BENCH_FORMAT_VERSION)?;
+        let mut points = Vec::new();
+        for p in get_array(&root, "points")? {
+            let hash_text = get_str(p, "event_hash")?;
+            let digits = hash_text.strip_prefix("0x").ok_or_else(|| {
+                ReportError::Schema(format!(
+                    "member `event_hash` is not a 0x-prefixed hex string: `{hash_text}`"
+                ))
+            })?;
+            let event_hash = u64::from_str_radix(digits, 16).map_err(|_| {
+                ReportError::Schema(format!(
+                    "member `event_hash` is not a 64-bit hex value: `{hash_text}`"
+                ))
+            })?;
+            points.push(BenchPoint {
+                backend: get_str(p, "backend")?.to_string(),
+                machines: get_u64(p, "machines")?,
+                events: get_u64(p, "events")?,
+                event_hash,
+                sim_seconds: get_f64(p, "sim_seconds")?,
+                peak_in_flight: get_u64(p, "peak_in_flight")?,
+                throughput: get_f64(p, "throughput")?,
+                wall_seconds: get_f64(p, "wall_seconds")?,
+                events_per_sec: get_f64(p, "events_per_sec")?,
+            });
+        }
+        Ok(BenchReport {
+            version: BENCH_FORMAT_VERSION,
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn point(backend: &str, machines: u64) -> BenchPoint {
+        BenchPoint {
+            backend: backend.to_string(),
+            machines,
+            events: 1000 * machines,
+            event_hash: 0xdead_beef_0000_0000 | machines,
+            sim_seconds: 1.5,
+            peak_in_flight: 3 * machines,
+            throughput: 100.0 * machines as f64,
+            wall_seconds: 0.25,
+            events_per_sec: 4000.0 * machines as f64,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = BenchReport {
+            version: BENCH_FORMAT_VERSION,
+            points: vec![point("ps", 16), point("ring", 32)],
+        };
+        assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = BenchReport {
+            version: BENCH_FORMAT_VERSION,
+            points: Vec::new(),
+        };
+        assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn profile_document_is_a_schema_error() {
+        let doc = r#"{"format": "p3-profile", "version": 1, "points": []}"#;
+        assert!(matches!(
+            BenchReport::from_json(doc),
+            Err(ReportError::Schema(ref s)) if s.contains("format")
+        ));
+    }
+
+    #[test]
+    fn bad_hash_is_a_schema_error() {
+        let doc = r#"{"format": "p3-bench", "version": 1, "points": [
+            {"backend": "ps", "machines": 4, "events": 1, "event_hash": "xyz",
+             "sim_seconds": 1, "peak_in_flight": 1, "throughput": 1,
+             "wall_seconds": 1, "events_per_sec": 1}]}"#;
+        assert!(matches!(
+            BenchReport::from_json(doc),
+            Err(ReportError::Schema(ref s)) if s.contains("event_hash")
+        ));
+    }
+
+    #[test]
+    fn negative_machines_is_a_schema_error() {
+        let doc = r#"{"format": "p3-bench", "version": 1, "points": [
+            {"backend": "ps", "machines": -4}]}"#;
+        assert!(matches!(
+            BenchReport::from_json(doc),
+            Err(ReportError::Schema(_))
+        ));
+    }
+}

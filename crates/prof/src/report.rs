@@ -1,0 +1,350 @@
+//! The per-run [`ProfileReport`]: versioned JSON written by
+//! `p3 simulate --profile-out`, parsed back for tests and tooling.
+//!
+//! Hand-rolled like every other serialized artifact in the workspace (the
+//! policy is offline and dependency-free): writing is string assembly,
+//! reading goes through `p3_trace::json` and surfaces every failure as a
+//! structured [`ReportError`] — malformed input must never panic.
+
+use p3_trace::json::{escape, format_number, parse, JsonValue};
+use std::fmt;
+
+/// Version stamp of the [`ProfileReport`] JSON schema.
+pub const PROFILE_FORMAT_VERSION: u64 = 1;
+
+/// Discriminator value of the `"format"` member of a profile document.
+pub(crate) const PROFILE_FORMAT: &str = "p3-profile";
+
+/// One scoped timer in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimerEntry {
+    /// Timer key, e.g. `dispatch/Compute` or `net/poll`.
+    pub key: String,
+    /// Number of recorded spans.
+    pub calls: u64,
+    /// Total wall time across all spans, in seconds.
+    pub seconds: f64,
+}
+
+/// One monotonic counter in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterEntry {
+    /// Counter key, e.g. `net/reallocations`.
+    pub key: String,
+    /// Final value.
+    pub value: u64,
+}
+
+/// Everything one profiled run measured about the simulator itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Schema version ([`PROFILE_FORMAT_VERSION`]).
+    pub version: u64,
+    /// Wall time the run took, in seconds.
+    pub wall_seconds: f64,
+    /// How far the simulated clock advanced, in seconds.
+    pub sim_seconds: f64,
+    /// Simulator events dispatched.
+    pub events: u64,
+    /// `events / wall_seconds` — the engine's own throughput.
+    pub events_per_sec: f64,
+    /// `sim_seconds / wall_seconds` — how much faster than real time the
+    /// simulation ran.
+    pub sim_rate: f64,
+    /// Scoped timers, sorted by key.
+    pub timers: Vec<TimerEntry>,
+    /// Monotonic counters, sorted by key.
+    pub counters: Vec<CounterEntry>,
+}
+
+/// Why a serialized report could not be understood.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The document is not JSON at all.
+    Json(String),
+    /// The document is JSON but not this schema (wrong `"format"`
+    /// discriminator, missing member, ill-typed value…). The string names
+    /// the offending member.
+    Schema(String),
+    /// The document is a future (or alien) version of this schema.
+    Version {
+        /// Version stamp found in the document.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "not valid JSON: {e}"),
+            ReportError::Schema(what) => write!(f, "schema mismatch: {what}"),
+            ReportError::Version { found, expected } => {
+                write!(
+                    f,
+                    "unsupported report version {found} (expected {expected})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+// ---------------------------------------------------------------------
+// Typed member access shared by the profile and bench readers.
+
+pub(crate) fn get<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ReportError> {
+    v.get(key)
+        .ok_or_else(|| ReportError::Schema(format!("missing member `{key}`")))
+}
+
+pub(crate) fn get_u64(v: &JsonValue, key: &str) -> Result<u64, ReportError> {
+    let n = get(v, key)?
+        .as_number()
+        .ok_or_else(|| ReportError::Schema(format!("member `{key}` is not a number")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+        return Err(ReportError::Schema(format!(
+            "member `{key}` is not a non-negative integer: {n}"
+        )));
+    }
+    Ok(n as u64)
+}
+
+pub(crate) fn get_f64(v: &JsonValue, key: &str) -> Result<f64, ReportError> {
+    get(v, key)?
+        .as_number()
+        .ok_or_else(|| ReportError::Schema(format!("member `{key}` is not a number")))
+}
+
+pub(crate) fn get_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, ReportError> {
+    get(v, key)?
+        .as_str()
+        .ok_or_else(|| ReportError::Schema(format!("member `{key}` is not a string")))
+}
+
+pub(crate) fn get_array<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], ReportError> {
+    get(v, key)?
+        .as_array()
+        .ok_or_else(|| ReportError::Schema(format!("member `{key}` is not an array")))
+}
+
+/// Parses a document and checks its `"format"` discriminator and
+/// `"version"` stamp, returning the root value.
+pub(crate) fn parse_checked(
+    text: &str,
+    format: &str,
+    version: u64,
+) -> Result<JsonValue, ReportError> {
+    let root = parse(text).map_err(|e| ReportError::Json(e.to_string()))?;
+    if root.as_object().is_none() {
+        return Err(ReportError::Schema("document root is not an object".into()));
+    }
+    let found_format = get_str(&root, "format")?;
+    if found_format != format {
+        return Err(ReportError::Schema(format!(
+            "member `format` is `{found_format}`, expected `{format}`"
+        )));
+    }
+    let found = get_u64(&root, "version")?;
+    if found != version {
+        return Err(ReportError::Version {
+            found,
+            expected: version,
+        });
+    }
+    Ok(root)
+}
+
+impl ProfileReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": \"{PROFILE_FORMAT}\",\n"));
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!(
+            "  \"wall_seconds\": {},\n",
+            format_number(self.wall_seconds)
+        ));
+        out.push_str(&format!(
+            "  \"sim_seconds\": {},\n",
+            format_number(self.sim_seconds)
+        ));
+        out.push_str(&format!("  \"events\": {},\n", self.events));
+        out.push_str(&format!(
+            "  \"events_per_sec\": {},\n",
+            format_number(self.events_per_sec)
+        ));
+        out.push_str(&format!(
+            "  \"sim_rate\": {},\n",
+            format_number(self.sim_rate)
+        ));
+        out.push_str("  \"timers\": [");
+        for (i, t) in self.timers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"key\": \"{}\", \"calls\": {}, \"seconds\": {}}}",
+                escape(&t.key),
+                t.calls,
+                format_number(t.seconds)
+            ));
+        }
+        out.push_str(if self.timers.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"key\": \"{}\", \"value\": {}}}",
+                escape(&c.key),
+                c.value
+            ));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a report back from JSON. Never panics: every malformed
+    /// input maps to a [`ReportError`].
+    pub fn from_json(text: &str) -> Result<ProfileReport, ReportError> {
+        let root = parse_checked(text, PROFILE_FORMAT, PROFILE_FORMAT_VERSION)?;
+        let mut timers = Vec::new();
+        for t in get_array(&root, "timers")? {
+            timers.push(TimerEntry {
+                key: get_str(t, "key")?.to_string(),
+                calls: get_u64(t, "calls")?,
+                seconds: get_f64(t, "seconds")?,
+            });
+        }
+        let mut counters = Vec::new();
+        for c in get_array(&root, "counters")? {
+            counters.push(CounterEntry {
+                key: get_str(c, "key")?.to_string(),
+                value: get_u64(c, "value")?,
+            });
+        }
+        Ok(ProfileReport {
+            version: PROFILE_FORMAT_VERSION,
+            wall_seconds: get_f64(&root, "wall_seconds")?,
+            sim_seconds: get_f64(&root, "sim_seconds")?,
+            events: get_u64(&root, "events")?,
+            events_per_sec: get_f64(&root, "events_per_sec")?,
+            sim_rate: get_f64(&root, "sim_rate")?,
+            timers,
+            counters,
+        })
+    }
+
+    /// The value of counter `key`, if present.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.key == key).map(|c| c.value)
+    }
+
+    /// The timer entry for `key`, if present.
+    pub fn timer(&self, key: &str) -> Option<&TimerEntry> {
+        self.timers.iter().find(|t| t.key == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileReport {
+        ProfileReport {
+            version: PROFILE_FORMAT_VERSION,
+            wall_seconds: 0.125,
+            sim_seconds: 3.5,
+            events: 4096,
+            events_per_sec: 32768.0,
+            sim_rate: 28.0,
+            timers: vec![TimerEntry {
+                key: "dispatch/Compute".into(),
+                calls: 128,
+                seconds: 0.0625,
+            }],
+            counters: vec![CounterEntry {
+                key: "net/reallocations".into(),
+                value: 77,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let back = ProfileReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = ProfileReport {
+            timers: Vec::new(),
+            counters: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(ProfileReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn garbage_is_a_json_error() {
+        assert!(matches!(
+            ProfileReport::from_json("not json at all"),
+            Err(ReportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_format_is_a_schema_error() {
+        let doc = r#"{"format": "p3-bench", "version": 1}"#;
+        assert!(matches!(
+            ProfileReport::from_json(doc),
+            Err(ReportError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn future_version_is_a_version_error() {
+        let doc = r#"{"format": "p3-profile", "version": 99, "timers": [], "counters": []}"#;
+        assert_eq!(
+            ProfileReport::from_json(doc),
+            Err(ReportError::Version {
+                found: 99,
+                expected: PROFILE_FORMAT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn missing_member_is_a_schema_error() {
+        let doc = r#"{"format": "p3-profile", "version": 1, "timers": [], "counters": []}"#;
+        let err = ProfileReport::from_json(doc).unwrap_err();
+        assert!(
+            matches!(err, ReportError::Schema(ref s) if s.contains("wall_seconds")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let r = sample();
+        assert_eq!(r.counter("net/reallocations"), Some(77));
+        assert_eq!(r.counter("absent"), None);
+        assert_eq!(r.timer("dispatch/Compute").unwrap().calls, 128);
+    }
+}

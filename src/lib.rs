@@ -24,6 +24,7 @@
 //! | [`compress`] | `p3-compress` | DGC, QSGD, TernGrad, 1-bit SGD baselines |
 //! | [`train`] | `p3-train` | real synchronous / DGC / ASGD training |
 //! | [`allreduce`] | `p3-allreduce` | P3 principles on ring/tree collectives |
+//! | [`prof`] | `p3-prof` | simulator self-profiling and perf-regression reports |
 //!
 //! # Quick start
 //!
@@ -55,6 +56,7 @@ pub use p3_core as core;
 pub use p3_des as des;
 pub use p3_models as models;
 pub use p3_net as net;
+pub use p3_prof as prof;
 pub use p3_pserver as pserver;
 pub use p3_tensor as tensor;
 pub use p3_topo as topo;
