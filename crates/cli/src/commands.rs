@@ -82,7 +82,7 @@ impl From<ArgError> for CliError {
 const MODEL_CHOICES: &str =
     "resnet50, inception_v3, vgg19, sockeye, resnet110, alexnet, transformer";
 
-fn model_by_name(name: &str) -> Result<ModelSpec, CliError> {
+pub(crate) fn model_by_name(name: &str) -> Result<ModelSpec, CliError> {
     match name {
         "resnet50" => Ok(ModelSpec::resnet50()),
         "inception_v3" | "inception" => Ok(ModelSpec::inception_v3()),
@@ -209,7 +209,7 @@ fn parse_fault_plan(args: &Args) -> Result<FaultPlan, CliError> {
 /// Parses the topology/placement flags shared by `simulate` and `sweep`:
 /// `--topology racks=R,size=S,oversub=F` and
 /// `--placement spread|packed|rack-local`.
-fn parse_topology_flags(args: &Args) -> Result<(Option<Topology>, Placement), CliError> {
+pub(crate) fn parse_topology_flags(args: &Args) -> Result<(Option<Topology>, Placement), CliError> {
     let topology = match args.get("topology") {
         None => None,
         Some(spec) => Some(
@@ -231,7 +231,7 @@ fn parse_topology_flags(args: &Args) -> Result<(Option<Topology>, Placement), Cl
 /// Cluster size: derived from the topology when one is given, otherwise
 /// from `--machines` (defaulting to `default`). An explicit `--machines`
 /// that contradicts the topology is an error.
-fn resolve_machines(
+pub(crate) fn resolve_machines(
     args: &Args,
     topology: Option<&Topology>,
     default: usize,
@@ -275,6 +275,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "audit" => audit(args),
         "bench" => crate::perf::bench(args),
         "compare" => crate::perf::compare(args),
+        "tune" => crate::tune::tune_cmd(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -299,6 +300,17 @@ COMMANDS:
   sweep       Bandwidth sweep              --model M [--gbps 1,2,4] [--machines N]
                                            [fault flags] [topology flags]
                                            [iteration flags] [--out F] [--resume]
+                                           [--jobs N]  parallel rows, deterministic order
+  tune        Search for the best config   [--models A,B] [--gbps 1,2] [--machines N]
+              per (model,bandwidth,fault)  [--faults none,loss,straggler,crash]
+              cell: grid + genetic, Pareto [--grid slice=..;policy=..;backend=..;
+              frontier over (iter time,     channels=..;placement=..]
+              wire bytes, p99 stall)       [--genetic-generations G] [--population P]
+                                           [--jobs N] [--seed S] [--warmup W]
+                                           [--screen-measure N] [--measure N]
+                                           [--out FILE]  write the TuneReport JSON
+                                           [--audit]  replay recommended configs
+                                           [topology flags: --topology only]
   allreduce   Collective-aggregation run   --model M [--gbps G] [--layerwise] [--fifo]
   train       Real data-parallel training  [--mode full|dgc|qsgd|terngrad|onebit|asgd]
                                            [--dataset spirals|blobs] [--epochs N]
@@ -717,6 +729,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     }
     let strategies = SyncStrategy::fig7_series();
     let plan = parse_fault_plan(args)?;
+    let jobs: usize = args.get_or("jobs", 1, "integer")?;
     let out_path = args.get("out").map(str::to_string);
     let resume = args.switch("resume");
     if resume && out_path.is_none() {
@@ -778,6 +791,23 @@ fn sweep(args: &Args) -> Result<String, CliError> {
                 Err(e) => return Err(CliError::Io(format!("{path}: {e}"))),
             }
         }
+        // Rows not already in the file are computed on the thread pool and
+        // merged back in bandwidth order, so the streamed file is
+        // byte-identical whatever --jobs is.
+        let missing: Vec<f64> = gbps
+            .iter()
+            .copied()
+            .filter(|g| {
+                let key = format!("{g:.1}");
+                !done.iter().any(|(k, _)| *k == key)
+            })
+            .collect();
+        let computed = p3_tune::run_indexed(jobs, missing.len(), |i| row_line(missing[i]));
+        let mut fresh: Vec<(String, String)> = missing
+            .iter()
+            .map(|g| format!("{g:.1}"))
+            .zip(computed)
+            .collect();
         let mut reused = 0usize;
         for &g in &gbps {
             let key = format!("{g:.1}");
@@ -787,7 +817,11 @@ fn sweep(args: &Args) -> Result<String, CliError> {
                     line.clone()
                 }
                 None => {
-                    let line = row_line(g);
+                    let idx = fresh
+                        .iter()
+                        .position(|(k, _)| *k == key)
+                        .ok_or_else(|| CliError::Sim(format!("sweep row {key} went missing")))?;
+                    let (_, line) = fresh.remove(idx);
                     done.push((key, line.clone()));
                     let doc: String = done.iter().map(|(_, l)| format!("{l}\n")).collect();
                     std::fs::write(path, doc).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
@@ -802,8 +836,8 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         }
         return Ok(out);
     }
-    for &g in &gbps {
-        let _ = writeln!(out, "{}", row_line(g));
+    for line in p3_tune::run_indexed(jobs, gbps.len(), |i| row_line(gbps[i])) {
+        let _ = writeln!(out, "{line}");
     }
     Ok(out)
 }

@@ -30,6 +30,7 @@ mod collective;
 mod membership;
 mod results;
 mod server;
+mod sink;
 mod snapshot;
 mod transport;
 mod types;
@@ -53,11 +54,17 @@ use p3_prof::{SimProfiler, SpanToken};
 use p3_pserver::ShardPlan;
 use p3_topo::Placement;
 use p3_trace::{TraceHandle, TraceLog};
+use sink::{NoSnapshots, SnapshotOnce, SnapshotSink, SnapshotTaker};
 use std::collections::BTreeMap;
 use types::{
     role_slot, trace_phase, Ev, MsgCtx, Phase, Role, ServerState, WorkerState, EVENT_CAP,
     MAX_MACHINES,
 };
+
+/// What [`ClusterSim::try_run_traced_snapshot_at`] produces: the run's
+/// result, its trace log (when slice tracing was enabled), and the
+/// one-shot warmup-boundary snapshot (when the boundary was reached).
+pub type SnapshottedRun = (RunResult, Option<TraceLog>, Option<Vec<u8>>);
 
 /// One fully configured simulation, ready to [`ClusterSim::run`].
 ///
@@ -397,6 +404,37 @@ impl ClusterSim {
         self.finalize(true)
     }
 
+    /// Like [`ClusterSim::try_run_traced`], additionally capturing exactly
+    /// one snapshot the first time the slowest live worker reaches
+    /// `at_iteration` completed iterations. This is the search harness's
+    /// warm-start hook: `p3 tune` snapshots each candidate at the warmup
+    /// boundary during its screening run, then confirms frontier members
+    /// by restoring the snapshot and extending the measurement window
+    /// ([`ClusterSim::extend_measurement`]) instead of re-simulating the
+    /// warmup prefix.
+    ///
+    /// `at_iteration == 0` captures nothing (equivalent to
+    /// [`ClusterSim::try_run_traced`] with a `None` snapshot).
+    pub fn try_run_traced_snapshot_at(
+        mut self,
+        at_iteration: u64,
+    ) -> Result<SnapshottedRun, RunError> {
+        self.validate()?;
+        self.begin();
+        let mut snap = None;
+        if at_iteration == 0 {
+            self.run_loop(&mut NoSnapshots)?;
+        } else {
+            let mut once = SnapshotOnce {
+                at: at_iteration,
+                out: &mut snap,
+            };
+            self.run_loop(&mut once)?;
+        }
+        let (result, log) = self.finalize(true)?;
+        Ok((result, log, snap))
+    }
+
     /// Reconstructs a mid-run simulation from snapshot bytes produced by
     /// [`ClusterSim::try_run_traced_with_snapshots`]. The configuration
     /// must be the one the snapshot was taken under (checked via a
@@ -443,6 +481,47 @@ impl ClusterSim {
     pub fn resume_traced(mut self) -> Result<(RunResult, Option<TraceLog>), RunError> {
         self.run_loop(&mut NoSnapshots)?;
         self.finalize(false)
+    }
+
+    /// Rebases a restored run's measurement window to `measure_iters`
+    /// iterations past warmup — the second half of the search harness's
+    /// warm-start: a snapshot taken at the warmup boundary under a short
+    /// screening measurement can serve a longer confirmation run of the
+    /// same candidate, because no event before the snapshot depends on
+    /// the measurement target as long as no worker had reached it. That
+    /// precondition is what this method verifies: every live worker must
+    /// still be strictly below the *new* target with its measurement
+    /// window open. Call between [`ClusterSim::restore`] and
+    /// [`ClusterSim::resume_traced`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InvalidConfig`] when `measure_iters` is zero, or when
+    /// some worker already closed its measurement window (snapshot taken
+    /// too late) or already completed the rebased target (new window too
+    /// short), either of which would make the replayed prefix depend on
+    /// the old target.
+    pub fn extend_measurement(&mut self, measure_iters: u64) -> Result<(), RunError> {
+        if measure_iters == 0 {
+            return Err(RunError::InvalidConfig(
+                "cannot rebase measurement to zero iterations".into(),
+            ));
+        }
+        let new_target = self.cfg.warmup_iters + measure_iters;
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.permanently_dead {
+                continue;
+            }
+            if w.measure_end.is_some() || w.completed >= new_target {
+                return Err(RunError::InvalidConfig(format!(
+                    "cannot rebase measurement to {measure_iters} iterations: worker {i} \
+                     already completed {} of them (snapshot taken too late for this window)",
+                    w.completed.saturating_sub(self.cfg.warmup_iters)
+                )));
+            }
+        }
+        self.cfg.measure_iters = measure_iters;
+        Ok(())
     }
 
     /// Static configuration checks shared by every way of starting a run.
@@ -692,46 +771,6 @@ impl ClusterSim {
             Ev::Rejoin { worker } => self.on_rejoin(worker),
             Ev::RetryTimer { msg_id, attempt } => self.on_retry_timer(msg_id, attempt),
             Ev::LivenessTimeout { worker } => self.on_liveness_timeout(worker),
-        }
-    }
-}
-
-/// What the run loop does after dispatching each event — the seam that
-/// keeps the hot loop monomorphic for the common no-snapshot case while
-/// letting callers capture periodic snapshots.
-trait SnapshotSink {
-    /// Whether this sink does any per-event work. `false` lets the run
-    /// loop compile the profiler's snapshot timer out of the common
-    /// no-snapshot path entirely.
-    const ACTIVE: bool;
-    fn after_event(&mut self, sim: &ClusterSim);
-}
-
-/// The default sink: no snapshots, zero per-event work.
-struct NoSnapshots;
-
-impl SnapshotSink for NoSnapshots {
-    const ACTIVE: bool = false;
-    fn after_event(&mut self, _sim: &ClusterSim) {}
-}
-
-/// Captures a snapshot every time the slowest live worker crosses a
-/// multiple of `every` completed iterations.
-struct SnapshotTaker<'a> {
-    every: u64,
-    next_at: u64,
-    hook: &'a mut dyn FnMut(u64, Vec<u8>),
-}
-
-impl SnapshotSink for SnapshotTaker<'_> {
-    const ACTIVE: bool = true;
-    fn after_event(&mut self, sim: &ClusterSim) {
-        let floor = sim.min_completed();
-        if floor >= self.next_at {
-            (self.hook)(floor, sim.snapshot());
-            // Skip past multiples crossed in one jump so every snapshot
-            // reflects a distinct progress floor.
-            self.next_at = (floor / self.every + 1) * self.every;
         }
     }
 }

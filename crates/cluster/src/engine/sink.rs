@@ -1,0 +1,63 @@
+//! Per-event snapshot hooks for the run loop.
+//!
+//! The loop in `engine/mod.rs` is generic over [`SnapshotSink`] so the
+//! common no-snapshot path pays nothing for the capability: `ACTIVE` is a
+//! const the compiler folds away, and [`NoSnapshots`] is a ZST.
+
+use super::ClusterSim;
+
+/// What the run loop does after dispatching each event — the seam that
+/// keeps the hot loop monomorphic for the common no-snapshot case while
+/// letting callers capture periodic snapshots.
+pub(super) trait SnapshotSink {
+    /// Whether this sink does any per-event work. `false` lets the run
+    /// loop compile the profiler's snapshot timer out of the common
+    /// no-snapshot path entirely.
+    const ACTIVE: bool;
+    fn after_event(&mut self, sim: &ClusterSim);
+}
+
+/// The default sink: no snapshots, zero per-event work.
+pub(super) struct NoSnapshots;
+
+impl SnapshotSink for NoSnapshots {
+    const ACTIVE: bool = false;
+    fn after_event(&mut self, _sim: &ClusterSim) {}
+}
+
+/// Captures a snapshot every time the slowest live worker crosses a
+/// multiple of `every` completed iterations.
+pub(super) struct SnapshotTaker<'a> {
+    pub(super) every: u64,
+    pub(super) next_at: u64,
+    pub(super) hook: &'a mut dyn FnMut(u64, Vec<u8>),
+}
+
+impl SnapshotSink for SnapshotTaker<'_> {
+    const ACTIVE: bool = true;
+    fn after_event(&mut self, sim: &ClusterSim) {
+        let floor = sim.min_completed();
+        if floor >= self.next_at {
+            (self.hook)(floor, sim.snapshot());
+            // Skip past multiples crossed in one jump so every snapshot
+            // reflects a distinct progress floor.
+            self.next_at = (floor / self.every + 1) * self.every;
+        }
+    }
+}
+
+/// Captures exactly one snapshot the first time the slowest live worker
+/// reaches `at` completed iterations, then goes dormant.
+pub(super) struct SnapshotOnce<'a> {
+    pub(super) at: u64,
+    pub(super) out: &'a mut Option<Vec<u8>>,
+}
+
+impl SnapshotSink for SnapshotOnce<'_> {
+    const ACTIVE: bool = true;
+    fn after_event(&mut self, sim: &ClusterSim) {
+        if self.out.is_none() && sim.min_completed() >= self.at {
+            *self.out = Some(sim.snapshot());
+        }
+    }
+}

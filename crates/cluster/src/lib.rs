@@ -46,7 +46,7 @@ pub use config::{
     UtilizationTrace, WireCompression,
 };
 pub use egress::{EgressUnit, OutMsg};
-pub use engine::ClusterSim;
+pub use engine::{ClusterSim, SnapshottedRun};
 pub use faults::{FaultPlan, LinkDegradation, StragglerEpisode, WorkerCrash};
 pub use snap::{SnapshotError, SNAP_MAGIC, SNAP_VERSION};
 pub use sweep::{

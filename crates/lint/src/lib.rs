@@ -45,7 +45,7 @@ use std::path::{Path, PathBuf};
 /// *specific* rule via the `[crate-allow]` section of `p3-lint.toml`
 /// (see [`CrateAllow`]) — e.g. `p3-prof` measures wall time by design, so
 /// it allows `wall-clock` while every other rule still applies to it.
-pub const SIM_CRATES: [&str; 12] = [
+pub const SIM_CRATES: [&str; 13] = [
     "des",
     "core",
     "net",
@@ -58,11 +58,12 @@ pub const SIM_CRATES: [&str; 12] = [
     "compress",
     "audit",
     "prof",
+    "tune",
 ];
 
 /// Crates whose unwrap budget is ratcheted (the sim crates plus the CLI,
 /// whose panics are user-facing crashes).
-pub const BUDGET_CRATES: [&str; 13] = [
+pub const BUDGET_CRATES: [&str; 14] = [
     "des",
     "core",
     "net",
@@ -75,6 +76,7 @@ pub const BUDGET_CRATES: [&str; 13] = [
     "compress",
     "audit",
     "prof",
+    "tune",
     "cli",
 ];
 

@@ -34,6 +34,14 @@ pub use bench::{BenchPoint, BenchReport, BENCH_FORMAT_VERSION};
 pub use compare::{compare_reports, compare_reports_subset, Comparison};
 pub use report::{CounterEntry, ProfileReport, ReportError, TimerEntry, PROFILE_FORMAT_VERSION};
 
+/// Typed JSON-member access shared by every versioned report format in
+/// the workspace. Downstream crates that define their own report schema
+/// (the tuner's `TuneReport`) build their readers from these so all
+/// formats fail with the same structured [`ReportError`]s.
+pub mod schema {
+    pub use crate::report::{get, get_array, get_f64, get_str, get_u64, parse_checked};
+}
+
 use std::collections::BTreeMap;
 use std::time::Instant;
 

@@ -93,14 +93,18 @@ impl fmt::Display for ReportError {
 impl std::error::Error for ReportError {}
 
 // ---------------------------------------------------------------------
-// Typed member access shared by the profile and bench readers.
+// Typed member access shared by the profile and bench readers, and —
+// via the crate's public `schema` module — by downstream report formats
+// (the tuner's `TuneReport` is the first).
 
-pub(crate) fn get<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ReportError> {
+/// Fetches member `key` of object `v`, or a schema error naming it.
+pub fn get<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ReportError> {
     v.get(key)
         .ok_or_else(|| ReportError::Schema(format!("missing member `{key}`")))
 }
 
-pub(crate) fn get_u64(v: &JsonValue, key: &str) -> Result<u64, ReportError> {
+/// Fetches member `key` as a non-negative integer.
+pub fn get_u64(v: &JsonValue, key: &str) -> Result<u64, ReportError> {
     let n = get(v, key)?
         .as_number()
         .ok_or_else(|| ReportError::Schema(format!("member `{key}` is not a number")))?;
@@ -112,19 +116,22 @@ pub(crate) fn get_u64(v: &JsonValue, key: &str) -> Result<u64, ReportError> {
     Ok(n as u64)
 }
 
-pub(crate) fn get_f64(v: &JsonValue, key: &str) -> Result<f64, ReportError> {
+/// Fetches member `key` as a number.
+pub fn get_f64(v: &JsonValue, key: &str) -> Result<f64, ReportError> {
     get(v, key)?
         .as_number()
         .ok_or_else(|| ReportError::Schema(format!("member `{key}` is not a number")))
 }
 
-pub(crate) fn get_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, ReportError> {
+/// Fetches member `key` as a string.
+pub fn get_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, ReportError> {
     get(v, key)?
         .as_str()
         .ok_or_else(|| ReportError::Schema(format!("member `{key}` is not a string")))
 }
 
-pub(crate) fn get_array<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], ReportError> {
+/// Fetches member `key` as an array.
+pub fn get_array<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], ReportError> {
     get(v, key)?
         .as_array()
         .ok_or_else(|| ReportError::Schema(format!("member `{key}` is not an array")))
@@ -132,11 +139,7 @@ pub(crate) fn get_array<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValu
 
 /// Parses a document and checks its `"format"` discriminator and
 /// `"version"` stamp, returning the root value.
-pub(crate) fn parse_checked(
-    text: &str,
-    format: &str,
-    version: u64,
-) -> Result<JsonValue, ReportError> {
+pub fn parse_checked(text: &str, format: &str, version: u64) -> Result<JsonValue, ReportError> {
     let root = parse(text).map_err(|e| ReportError::Json(e.to_string()))?;
     if root.as_object().is_none() {
         return Err(ReportError::Schema("document root is not an object".into()));

@@ -27,6 +27,14 @@ pub enum JsonValue {
 }
 
 impl JsonValue {
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value if it is a number.
     pub fn as_number(&self) -> Option<f64> {
         match self {

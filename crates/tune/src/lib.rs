@@ -1,0 +1,49 @@
+//! Deterministic parallel search harness over the P3 cluster simulator —
+//! the engine behind `p3 tune`.
+//!
+//! The simulator is deterministic, snapshot-resumable and cheap, which
+//! makes it an embarrassingly-parallel fitness function: this crate
+//! searches the configuration space P3's win depends on (slice size,
+//! priority policy, backend, collective channels, shard placement) for a
+//! user-given set of deployment **cells** (model × machines × bandwidth ×
+//! topology × fault class).
+//!
+//! The search runs in three stages, each fanned across a fixed-size
+//! thread pool by [`runner::run_indexed`] and merged **by job index,
+//! never completion order** — the invariant that makes the resulting
+//! [`TuneReport`] byte-identical run-to-run and across `--jobs` values:
+//!
+//! 1. **Grid screening** ([`SearchSpace::grid`]): every cross-product
+//!    candidate gets a short measured run, which also captures a snapshot
+//!    at the warmup boundary.
+//! 2. **Genetic refinement** ([`tune`] with `generations > 0`): per-cell
+//!    tournament selection + crossover + mutation over the axes, with the
+//!    slice axis free to leave the grid. Seeded [`p3_des::SplitMix64`]
+//!    streams keyed by (seed, cell, generation) keep it reproducible.
+//! 3. **Frontier confirmation**: the Pareto frontier over (iteration
+//!    time, bytes on wire, p99 stall) is re-measured over a longer
+//!    window, warm-starting from the stage-1 snapshots via
+//!    `ClusterSim::restore` + `extend_measurement` so the warmup prefix
+//!    is never simulated twice.
+//!
+//! The recommended configuration per cell is the confirmed frontier's
+//! fastest member; `verify_recommended` replays each one under the full
+//! trace audit.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod eval;
+pub mod pareto;
+pub mod report;
+pub mod runner;
+pub mod search;
+pub mod space;
+
+pub use eval::{EvalParams, Evaluation, Objectives};
+pub use report::{CellReport, ConfigEntry, TuneReport, TUNE_FORMAT_VERSION};
+pub use runner::run_indexed;
+pub use search::{
+    tune, verify_recommended, CellOutcome, SearchCost, TuneError, TuneOutcome, TuneSettings,
+};
+pub use space::{Candidate, Cell, FaultClass, PriorityPolicy, SearchSpace};

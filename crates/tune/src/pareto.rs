@@ -1,0 +1,98 @@
+//! Pareto frontier over the tuner's three objectives, with a
+//! deterministic total order for presentation and tie-breaking.
+
+use crate::eval::Evaluation;
+use std::cmp::Ordering;
+
+/// Indices of the non-dominated feasible evaluations, sorted by
+/// [`presentation_order`] (fastest first). Infeasible evaluations never
+/// make the frontier. Duplicate objective vectors all survive (none
+/// dominates the other); the caller deduplicates candidates upstream.
+pub fn frontier(evals: &[Evaluation]) -> Vec<usize> {
+    let mut out: Vec<usize> = (0..evals.len())
+        .filter(|&i| {
+            let Some(oi) = evals[i].objectives() else {
+                return false;
+            };
+            !evals
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.objectives().is_some_and(|oj| oj.dominates(oi)))
+        })
+        .collect();
+    out.sort_by(|&a, &b| presentation_order(&evals[a], &evals[b]));
+    out
+}
+
+/// Total order for reporting: iteration time, then wire bytes, then p99
+/// stall, then the candidate key — every comparison deterministic, so
+/// frontier listings and "recommended" picks are byte-stable. Infeasible
+/// evaluations sort last (they only meet this comparator in population
+/// rankings, never on a frontier).
+pub fn presentation_order(a: &Evaluation, b: &Evaluation) -> Ordering {
+    match (a.objectives(), b.objectives()) {
+        (Some(oa), Some(ob)) => oa
+            .iter_secs
+            .total_cmp(&ob.iter_secs)
+            .then(oa.wire_bytes.cmp(&ob.wire_bytes))
+            .then(oa.stall_p99_secs.total_cmp(&ob.stall_p99_secs))
+            .then_with(|| a.candidate.key().cmp(&b.candidate.key())),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => a.candidate.key().cmp(&b.candidate.key()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Objectives;
+    use crate::space::{Candidate, PriorityPolicy};
+    use p3_cluster::BackendKind;
+    use p3_topo::Placement;
+
+    fn eval(slice: u64, iter: f64, wire: u64, stall: f64) -> Evaluation {
+        Evaluation {
+            candidate: Candidate {
+                slice,
+                policy: PriorityPolicy::Consumption,
+                backend: BackendKind::Ps,
+                channels: 4,
+                placement: Placement::Spread,
+            },
+            outcome: Ok(Objectives {
+                iter_secs: iter,
+                wire_bytes: wire,
+                stall_p99_secs: stall,
+            }),
+            refined: false,
+            events: 0,
+            event_hash: 0,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let evals = vec![
+            eval(1, 1.0, 100, 0.1), // dominated by the next one
+            eval(2, 0.9, 90, 0.1),
+            eval(3, 1.5, 10, 0.2), // cheaper on wire: survives
+        ];
+        assert_eq!(frontier(&evals), vec![1, 2]);
+    }
+
+    #[test]
+    fn infeasible_never_on_frontier() {
+        let mut bad = eval(9, 0.0, 0, 0.0);
+        bad.outcome = Err("rejected".into());
+        let evals = vec![bad, eval(1, 1.0, 1, 0.0)];
+        assert_eq!(frontier(&evals), vec![1]);
+    }
+
+    #[test]
+    fn order_is_total_and_key_tied() {
+        let a = eval(1, 1.0, 1, 0.0);
+        let b = eval(2, 1.0, 1, 0.0);
+        assert_eq!(presentation_order(&a, &b), Ordering::Less); // slice=1 < slice=2 in key
+    }
+}

@@ -1,0 +1,458 @@
+//! The versioned `TuneReport`: the search's byte-stable JSON artifact
+//! and the human-readable recommended-config table.
+//!
+//! Hand-rolled like every serialized artifact in the workspace; reading
+//! goes through `p3_prof::schema`'s typed accessors so malformed input
+//! surfaces as structured [`ReportError`]s, never a panic. The report
+//! deliberately contains **no wall-clock values** — search cost appears
+//! as deterministic counters — because byte-identity across repeated
+//! runs and across `--jobs` values is the contract tests pin.
+
+use crate::eval::Objectives;
+use crate::search::{SearchCost, TuneOutcome, TuneSettings};
+use p3_prof::schema::{get, get_array, get_f64, get_str, get_u64, parse_checked};
+use p3_prof::ReportError;
+use p3_trace::json::{escape, format_number, JsonValue};
+
+/// Version stamp of the [`TuneReport`] JSON schema.
+pub const TUNE_FORMAT_VERSION: u64 = 1;
+
+/// Discriminator value of the `"format"` member of a tune document.
+const TUNE_FORMAT: &str = "p3-tune";
+
+/// One frontier (or recommended) configuration in a cell's report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigEntry {
+    /// Candidate key (`backend=...,slice=...,...`).
+    pub candidate: String,
+    /// Slice size.
+    pub slice: u64,
+    /// Priority policy name.
+    pub policy: String,
+    /// Backend name.
+    pub backend: String,
+    /// Collective channels.
+    pub channels: u64,
+    /// Placement name.
+    pub placement: String,
+    /// Measured objectives.
+    pub objectives: Objectives,
+    /// Whether the numbers come from a refinement run.
+    pub refined: bool,
+    /// Simulator events the scoring run dispatched.
+    pub events: u64,
+    /// Rolling event hash of the scoring run.
+    pub event_hash: u64,
+}
+
+/// One cell in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Cell display name.
+    pub name: String,
+    /// Machines in the cell.
+    pub machines: u64,
+    /// Per-machine bandwidth, Gbit/s.
+    pub gbps: f64,
+    /// Fault class name.
+    pub fault: String,
+    /// Candidates evaluated.
+    pub evaluated: u64,
+    /// Of those, how many the engine rejected or failed.
+    pub infeasible: u64,
+    /// The Pareto frontier, fastest first.
+    pub frontier: Vec<ConfigEntry>,
+    /// The recommended configuration (the frontier head), if any
+    /// candidate was feasible.
+    pub recommended: Option<ConfigEntry>,
+}
+
+/// The whole tuning artifact written by `p3 tune --out`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// Schema version ([`TUNE_FORMAT_VERSION`]).
+    pub version: u64,
+    /// Master seed of the search.
+    pub seed: u64,
+    /// Warmup iterations per run.
+    pub warmup: u64,
+    /// Measured iterations of screening runs.
+    pub screen_measure: u64,
+    /// Measured iterations of refinement runs.
+    pub measure: u64,
+    /// Genetic generations.
+    pub generations: u64,
+    /// Genetic population per cell.
+    pub population: u64,
+    /// Deterministic search-cost counters.
+    pub cost: SearchCost,
+    /// Per-cell results.
+    pub cells: Vec<CellReport>,
+}
+
+impl TuneReport {
+    /// Assembles the report from a finished search. (`jobs` is absent on
+    /// purpose: the report must not depend on the thread count.)
+    pub fn from_outcome(outcome: &TuneOutcome, settings: &TuneSettings) -> TuneReport {
+        let cells = outcome
+            .cells
+            .iter()
+            .map(|o| {
+                let entry = |ei: usize| {
+                    let e = &o.evaluations[ei];
+                    let obj = e.objectives().copied().unwrap_or(Objectives {
+                        iter_secs: 0.0,
+                        wire_bytes: 0,
+                        stall_p99_secs: 0.0,
+                    });
+                    ConfigEntry {
+                        candidate: e.candidate.key(),
+                        slice: e.candidate.slice,
+                        policy: e.candidate.policy.name().to_string(),
+                        backend: e.candidate.backend.name().to_string(),
+                        channels: e.candidate.channels as u64,
+                        placement: e.candidate.placement.name().to_string(),
+                        objectives: obj,
+                        refined: e.refined,
+                        events: e.events,
+                        event_hash: e.event_hash,
+                    }
+                };
+                CellReport {
+                    name: o.cell.name(),
+                    machines: o.cell.machines as u64,
+                    gbps: o.cell.gbps,
+                    fault: o.cell.fault.name().to_string(),
+                    evaluated: o.evaluations.len() as u64,
+                    infeasible: o.evaluations.iter().filter(|e| e.outcome.is_err()).count() as u64,
+                    frontier: o.frontier.iter().map(|&ei| entry(ei)).collect(),
+                    recommended: o.recommended.map(entry),
+                }
+            })
+            .collect();
+        TuneReport {
+            version: TUNE_FORMAT_VERSION,
+            seed: settings.seed,
+            warmup: settings.params.warmup,
+            screen_measure: settings.params.screen_measure,
+            measure: settings.params.measure,
+            generations: settings.generations,
+            population: settings.population as u64,
+            cost: outcome.cost,
+            cells,
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON. Deterministic: equal
+    /// reports produce equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": \"{TUNE_FORMAT}\",\n"));
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"warmup\": {},\n", self.warmup));
+        out.push_str(&format!("  \"screen_measure\": {},\n", self.screen_measure));
+        out.push_str(&format!("  \"measure\": {},\n", self.measure));
+        out.push_str(&format!("  \"generations\": {},\n", self.generations));
+        out.push_str(&format!("  \"population\": {},\n", self.population));
+        out.push_str("  \"cost\": {\n");
+        out.push_str(&format!(
+            "    \"screening_runs\": {},\n",
+            self.cost.screening_runs
+        ));
+        out.push_str(&format!(
+            "    \"refinement_runs\": {},\n",
+            self.cost.refinement_runs
+        ));
+        out.push_str(&format!(
+            "    \"warm_restores\": {},\n",
+            self.cost.warm_restores
+        ));
+        out.push_str(&format!(
+            "    \"warm_fallbacks\": {},\n",
+            self.cost.warm_fallbacks
+        ));
+        out.push_str(&format!("    \"cache_hits\": {},\n", self.cost.cache_hits));
+        out.push_str(&format!("    \"infeasible\": {},\n", self.cost.infeasible));
+        out.push_str(&format!("    \"sim_events\": {}\n", self.cost.sim_events));
+        out.push_str("  },\n");
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", escape(&c.name)));
+            out.push_str(&format!("      \"machines\": {},\n", c.machines));
+            out.push_str(&format!("      \"gbps\": {},\n", format_number(c.gbps)));
+            out.push_str(&format!("      \"fault\": \"{}\",\n", escape(&c.fault)));
+            out.push_str(&format!("      \"evaluated\": {},\n", c.evaluated));
+            out.push_str(&format!("      \"infeasible\": {},\n", c.infeasible));
+            out.push_str("      \"frontier\": [");
+            for (j, e) in c.frontier.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        ");
+                out.push_str(&entry_json(e));
+            }
+            out.push_str(if c.frontier.is_empty() {
+                "],\n"
+            } else {
+                "\n      ],\n"
+            });
+            match &c.recommended {
+                Some(e) => {
+                    out.push_str("      \"recommended\": ");
+                    out.push_str(&entry_json(e));
+                    out.push('\n');
+                }
+                None => out.push_str("      \"recommended\": null\n"),
+            }
+            out.push_str("    }");
+        }
+        out.push_str(if self.cells.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a report back from JSON. Never panics: every malformed
+    /// input maps to a [`ReportError`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReportError`]: not JSON, wrong schema, future version.
+    pub fn from_json(text: &str) -> Result<TuneReport, ReportError> {
+        let root = parse_checked(text, TUNE_FORMAT, TUNE_FORMAT_VERSION)?;
+        let cost_v = get(&root, "cost")?;
+        let cost = SearchCost {
+            screening_runs: get_u64(cost_v, "screening_runs")?,
+            refinement_runs: get_u64(cost_v, "refinement_runs")?,
+            warm_restores: get_u64(cost_v, "warm_restores")?,
+            warm_fallbacks: get_u64(cost_v, "warm_fallbacks")?,
+            cache_hits: get_u64(cost_v, "cache_hits")?,
+            infeasible: get_u64(cost_v, "infeasible")?,
+            sim_events: get_u64(cost_v, "sim_events")?,
+        };
+        let mut cells = Vec::new();
+        for c in get_array(&root, "cells")? {
+            let mut frontier = Vec::new();
+            for e in get_array(c, "frontier")? {
+                frontier.push(entry_from_json(e)?);
+            }
+            let recommended = match get(c, "recommended")? {
+                JsonValue::Null => None,
+                other => Some(entry_from_json(other)?),
+            };
+            cells.push(CellReport {
+                name: get_str(c, "name")?.to_string(),
+                machines: get_u64(c, "machines")?,
+                gbps: get_f64(c, "gbps")?,
+                fault: get_str(c, "fault")?.to_string(),
+                evaluated: get_u64(c, "evaluated")?,
+                infeasible: get_u64(c, "infeasible")?,
+                frontier,
+                recommended,
+            });
+        }
+        Ok(TuneReport {
+            version: TUNE_FORMAT_VERSION,
+            seed: get_u64(&root, "seed")?,
+            warmup: get_u64(&root, "warmup")?,
+            screen_measure: get_u64(&root, "screen_measure")?,
+            measure: get_u64(&root, "measure")?,
+            generations: get_u64(&root, "generations")?,
+            population: get_u64(&root, "population")?,
+            cost,
+            cells,
+        })
+    }
+
+    /// The human-readable recommended-config table `p3 tune` prints.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<42} {:>16} {:>10} {:>12} {:>3} {:>10} {:>10} {:>10} {:>10}\n",
+            "Cell",
+            "Backend",
+            "Slice",
+            "Policy",
+            "Ch",
+            "Place",
+            "Iter(ms)",
+            "Wire(MB)",
+            "p99 stall"
+        ));
+        for c in &self.cells {
+            match &c.recommended {
+                Some(e) => out.push_str(&format!(
+                    "{:<42} {:>16} {:>10} {:>12} {:>3} {:>10} {:>10.2} {:>10.1} {:>9.2}ms\n",
+                    c.name,
+                    e.backend,
+                    e.slice,
+                    e.policy,
+                    e.channels,
+                    e.placement,
+                    e.objectives.iter_secs * 1e3,
+                    e.objectives.wire_bytes as f64 / 1e6,
+                    e.objectives.stall_p99_secs * 1e3,
+                )),
+                None => out.push_str(&format!("{:<42} {:>16}\n", c.name, "(no feasible config)")),
+            }
+        }
+        out
+    }
+}
+
+fn entry_json(e: &ConfigEntry) -> String {
+    format!(
+        "{{\"candidate\": \"{}\", \"slice\": {}, \"policy\": \"{}\", \"backend\": \"{}\", \
+         \"channels\": {}, \"placement\": \"{}\", \"iter_secs\": {}, \"wire_bytes\": {}, \
+         \"stall_p99_secs\": {}, \"refined\": {}, \"events\": {}, \"event_hash\": \"{:#018x}\"}}",
+        escape(&e.candidate),
+        e.slice,
+        escape(&e.policy),
+        escape(&e.backend),
+        e.channels,
+        escape(&e.placement),
+        format_number(e.objectives.iter_secs),
+        e.objectives.wire_bytes,
+        format_number(e.objectives.stall_p99_secs),
+        e.refined,
+        e.events,
+        e.event_hash,
+    )
+}
+
+fn entry_from_json(v: &JsonValue) -> Result<ConfigEntry, ReportError> {
+    let refined = get(v, "refined")?
+        .as_bool()
+        .ok_or_else(|| ReportError::Schema("member `refined` is not a boolean".into()))?;
+    let hash_str = get_str(v, "event_hash")?;
+    let event_hash = hash_str
+        .strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| {
+            ReportError::Schema(format!("member `event_hash` is not a hex hash: {hash_str}"))
+        })?;
+    Ok(ConfigEntry {
+        candidate: get_str(v, "candidate")?.to_string(),
+        slice: get_u64(v, "slice")?,
+        policy: get_str(v, "policy")?.to_string(),
+        backend: get_str(v, "backend")?.to_string(),
+        channels: get_u64(v, "channels")?,
+        placement: get_str(v, "placement")?.to_string(),
+        objectives: Objectives {
+            iter_secs: get_f64(v, "iter_secs")?,
+            wire_bytes: get_u64(v, "wire_bytes")?,
+            stall_p99_secs: get_f64(v, "stall_p99_secs")?,
+        },
+        refined,
+        events: get_u64(v, "events")?,
+        event_hash,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TuneReport {
+        let entry = ConfigEntry {
+            candidate: "backend=ps,slice=50000,policy=consumption,channels=4,placement=spread"
+                .into(),
+            slice: 50_000,
+            policy: "consumption".into(),
+            backend: "ps".into(),
+            channels: 4,
+            placement: "spread".into(),
+            objectives: Objectives {
+                iter_secs: 0.125,
+                wire_bytes: 123_456_789,
+                stall_p99_secs: 0.015,
+            },
+            refined: true,
+            events: 42_000,
+            event_hash: 0xDEAD_BEEF_1234_5678,
+        };
+        TuneReport {
+            version: TUNE_FORMAT_VERSION,
+            seed: 42,
+            warmup: 2,
+            screen_measure: 3,
+            measure: 10,
+            generations: 2,
+            population: 8,
+            cost: SearchCost {
+                screening_runs: 24,
+                refinement_runs: 3,
+                warm_restores: 2,
+                warm_fallbacks: 1,
+                cache_hits: 5,
+                infeasible: 1,
+                sim_events: 1_000_000,
+            },
+            cells: vec![CellReport {
+                name: "resnet50/m4/10gbps/flat/none".into(),
+                machines: 4,
+                gbps: 10.0,
+                fault: "none".into(),
+                evaluated: 24,
+                infeasible: 1,
+                frontier: vec![entry.clone()],
+                recommended: Some(entry),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let back = TuneReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_frontier_round_trips() {
+        let mut r = sample();
+        r.cells[0].frontier.clear();
+        r.cells[0].recommended = None;
+        assert_eq!(TuneReport::from_json(&r.to_json()).expect("round trip"), r);
+    }
+
+    #[test]
+    fn garbage_is_a_json_error() {
+        assert!(matches!(
+            TuneReport::from_json("nope"),
+            Err(ReportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_format_is_a_schema_error() {
+        assert!(matches!(
+            TuneReport::from_json(r#"{"format": "p3-profile", "version": 1}"#),
+            Err(ReportError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn future_version_is_a_version_error() {
+        assert!(matches!(
+            TuneReport::from_json(r#"{"format": "p3-tune", "version": 99}"#),
+            Err(ReportError::Version { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn table_lists_recommended_configs() {
+        let t = sample().table();
+        assert!(t.contains("resnet50/m4/10gbps/flat/none"), "{t}");
+        assert!(t.contains("50000"), "{t}");
+    }
+}

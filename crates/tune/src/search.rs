@@ -1,0 +1,495 @@
+//! The search driver: grid screening, seeded genetic refinement,
+//! Pareto-frontier confirmation — every stage fanned across the
+//! deterministic runner and merged in candidate order, so the outcome is
+//! byte-identical for any `jobs` count.
+
+use crate::eval::{audit_replay, refine, screen, EvalParams, Evaluation, RefinePath, Screened};
+use crate::pareto::{frontier, presentation_order};
+use crate::runner::run_indexed;
+use crate::space::{Candidate, Cell, SearchSpace};
+use p3_des::SplitMix64;
+use p3_prof::{ProfileReport, SimProfiler};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Snapshots kept per cell for warm-starting refinement. Beyond this the
+/// tuner falls back to fresh confirmation runs (bit-identical, just
+/// slower) instead of holding every warmup snapshot in memory. The cap
+/// applies in deterministic merge order, so which candidates warm-start
+/// never depends on thread timing.
+const SNAPSHOT_CAP_PER_CELL: usize = 512;
+
+/// Everything that parameterizes one `tune` invocation besides the cells.
+#[derive(Debug, Clone)]
+pub struct TuneSettings {
+    /// Candidate axes.
+    pub space: SearchSpace,
+    /// Iteration counts for screening/refinement runs.
+    pub params: EvalParams,
+    /// Genetic generations after the grid (0 = grid only).
+    pub generations: u64,
+    /// Genetic population per cell.
+    pub population: usize,
+    /// Master seed: feeds both the simulations and the genetic RNG.
+    pub seed: u64,
+    /// Worker threads for the fan-out (1 = inline).
+    pub jobs: usize,
+}
+
+impl Default for TuneSettings {
+    fn default() -> Self {
+        TuneSettings {
+            space: SearchSpace::default_space(),
+            params: EvalParams::default(),
+            generations: 2,
+            population: 8,
+            seed: 42,
+            jobs: 1,
+        }
+    }
+}
+
+/// Deterministic counters describing what the search spent — these go
+/// into the report (wall-clock time deliberately does not: the report
+/// must be byte-identical run-to-run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchCost {
+    /// Screening simulations launched (grid + genetic, feasible or not).
+    pub screening_runs: u64,
+    /// Confirmation simulations of frontier members.
+    pub refinement_runs: u64,
+    /// Refinements served from a warmup snapshot.
+    pub warm_restores: u64,
+    /// Refinements that fell back to a fresh full run.
+    pub warm_fallbacks: u64,
+    /// Genetic children that had already been evaluated (no run needed).
+    pub cache_hits: u64,
+    /// Candidates the engine rejected or that failed to complete.
+    pub infeasible: u64,
+    /// Total simulator events dispatched across every run.
+    pub sim_events: u64,
+}
+
+/// One cell's search result.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The deployment searched.
+    pub cell: Cell,
+    /// Every candidate evaluated, sorted by candidate key.
+    pub evaluations: Vec<Evaluation>,
+    /// Indices into `evaluations`: the Pareto frontier (post-refinement),
+    /// fastest first.
+    pub frontier: Vec<usize>,
+    /// Index into `evaluations` of the recommended configuration — the
+    /// frontier member with the lowest confirmed iteration time (ties:
+    /// wire bytes, then candidate key). `None` when nothing was feasible.
+    pub recommended: Option<usize>,
+}
+
+/// The full result of [`tune`].
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Per-cell results, in input cell order.
+    pub cells: Vec<CellOutcome>,
+    /// Deterministic search-cost counters.
+    pub cost: SearchCost,
+    /// Wall-clock profile of the search stages (`tune/screen`,
+    /// `tune/genetic`, `tune/refine` spans). Informational only — never
+    /// serialized into the byte-stable report.
+    pub profile: ProfileReport,
+}
+
+/// Why a search could not run (as opposed to individual candidates
+/// failing, which the report records as infeasible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// Empty/malformed space, no cells, or zero-iteration windows.
+    InvalidSearch(String),
+    /// A recommended configuration failed its audit replay.
+    AuditFailed {
+        /// Cell whose recommendation failed.
+        cell: String,
+        /// Candidate key.
+        candidate: String,
+        /// Audit report.
+        why: String,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::InvalidSearch(why) => write!(f, "invalid search: {why}"),
+            TuneError::AuditFailed {
+                cell,
+                candidate,
+                why,
+            } => write!(
+                f,
+                "recommended config for {cell} ({candidate}) failed its audit replay: {why}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Per-cell working state while the search runs.
+struct CellState {
+    cell: Cell,
+    evals: BTreeMap<String, Evaluation>,
+    snapshots: BTreeMap<String, Vec<u8>>,
+}
+
+impl CellState {
+    fn absorb(&mut self, key: String, screened: Screened, cost: &mut SearchCost) {
+        cost.screening_runs += 1;
+        cost.sim_events += screened.evaluation.events;
+        if let Some(bytes) = screened.snapshot {
+            if self.snapshots.len() < SNAPSHOT_CAP_PER_CELL {
+                self.snapshots.insert(key.clone(), bytes);
+            }
+        }
+        self.evals.insert(key, screened.evaluation);
+    }
+
+    /// Evaluated keys ranked by the presentation order (feasible and
+    /// fastest first) — the genetic selection pressure.
+    fn ranked_keys(&self) -> Vec<String> {
+        let mut keys: Vec<&String> = self.evals.keys().collect();
+        keys.sort_by(|a, b| presentation_order(&self.evals[*a], &self.evals[*b]));
+        keys.into_iter().cloned().collect()
+    }
+}
+
+/// Runs the whole search: grid screening over every cell, `generations`
+/// rounds of genetic refinement, then warm-started confirmation of each
+/// cell's Pareto frontier.
+///
+/// # Errors
+///
+/// [`TuneError::InvalidSearch`] on an empty space/cell list or
+/// zero-iteration measurement windows. Individual candidate failures are
+/// recorded in the outcome, not raised.
+pub fn tune(cells: &[Cell], settings: &TuneSettings) -> Result<TuneOutcome, TuneError> {
+    settings
+        .space
+        .validate()
+        .map_err(TuneError::InvalidSearch)?;
+    if cells.is_empty() {
+        return Err(TuneError::InvalidSearch("no cells to tune".into()));
+    }
+    if settings.params.screen_measure == 0 || settings.params.measure == 0 {
+        return Err(TuneError::InvalidSearch(
+            "screening and refinement need at least one measured iteration".into(),
+        ));
+    }
+    if settings.generations > 0 && settings.population < 2 {
+        return Err(TuneError::InvalidSearch(
+            "genetic refinement needs a population of at least 2".into(),
+        ));
+    }
+    let mut prof = SimProfiler::new();
+    let mut cost = SearchCost::default();
+    let base_channels = settings.space.channels[0];
+    let mut states: Vec<CellState> = cells
+        .iter()
+        .map(|c| CellState {
+            cell: c.clone(),
+            evals: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+        })
+        .collect();
+
+    // --- Stage 1: grid screening across every cell. -------------------
+    let grid = settings.space.grid();
+    let mut pending: Vec<(usize, Candidate)> = Vec::new();
+    for (ci, state) in states.iter().enumerate() {
+        let mut seen = BTreeSet::new();
+        for cand in &grid {
+            let n = cand.normalized_for(&state.cell, base_channels);
+            if seen.insert(n.key()) {
+                pending.push((ci, n));
+            }
+        }
+    }
+    screen_pending(&mut states, &pending, settings, &mut cost, &mut prof);
+
+    // --- Stage 2: genetic refinement, one population per cell. --------
+    let span = prof.begin();
+    let mut populations: Vec<Vec<String>> = states
+        .iter()
+        .map(|s| truncate_ranked(s.ranked_keys(), settings.population))
+        .collect();
+    for g in 0..settings.generations {
+        let mut pending: Vec<(usize, Candidate)> = Vec::new();
+        for (ci, state) in states.iter().enumerate() {
+            let pop = &populations[ci];
+            if pop.len() < 2 {
+                continue;
+            }
+            let mut rng = SplitMix64::new(generation_seed(settings.seed, ci, g));
+            let mut scheduled = BTreeSet::new();
+            for _ in 0..settings.population {
+                let a = tournament(state, pop, &mut rng);
+                let b = tournament(state, pop, &mut rng);
+                let child = settings.space.crossover(a, b, &mut rng);
+                let child = settings.space.mutate(&child, &mut rng);
+                let child = child.normalized_for(&state.cell, base_channels);
+                let key = child.key();
+                if state.evals.contains_key(&key) || !scheduled.insert(key) {
+                    cost.cache_hits += 1;
+                } else {
+                    pending.push((ci, child));
+                }
+            }
+        }
+        screen_pending(&mut states, &pending, settings, &mut cost, &mut prof);
+        for (ci, state) in states.iter().enumerate() {
+            // Elitist reselection over everything evaluated so far: the
+            // best `population` keys survive into the next generation.
+            populations[ci] = truncate_ranked(state.ranked_keys(), settings.population);
+        }
+    }
+    prof.record("tune/genetic", span);
+
+    // --- Stage 3: confirm each cell's frontier (warm-started). --------
+    let mut outcomes: Vec<CellOutcome> = states
+        .iter()
+        .map(|s| {
+            let evaluations: Vec<Evaluation> = s.evals.values().cloned().collect();
+            let front = frontier(&evaluations);
+            CellOutcome {
+                cell: s.cell.clone(),
+                evaluations,
+                frontier: front,
+                recommended: None,
+            }
+        })
+        .collect();
+    let refine_jobs: Vec<(usize, usize)> = outcomes
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, o)| o.frontier.iter().map(move |&ei| (ci, ei)))
+        .collect();
+    let span = prof.begin();
+    let refined = run_indexed(settings.jobs, refine_jobs.len(), |i| {
+        let (ci, ei) = refine_jobs[i];
+        let state = &states[ci];
+        let eval = &outcomes[ci].evaluations[ei];
+        let snap = state
+            .snapshots
+            .get(&eval.candidate.key())
+            .map(Vec::as_slice);
+        refine(
+            &state.cell,
+            eval,
+            &settings.params,
+            cell_seed(settings.seed, ci),
+            snap,
+        )
+    });
+    prof.record("tune/refine", span);
+    for (&(ci, ei), (eval, path)) in refine_jobs.iter().zip(refined) {
+        cost.refinement_runs += 1;
+        cost.sim_events += eval.events;
+        match path {
+            RefinePath::WarmStart => cost.warm_restores += 1,
+            RefinePath::Fresh => cost.warm_fallbacks += 1,
+        }
+        outcomes[ci].evaluations[ei] = eval;
+    }
+    for o in &mut outcomes {
+        // Re-derive the frontier from the confirmed numbers: a member
+        // whose refined measurement turns out dominated drops off.
+        o.frontier = frontier(&o.evaluations);
+        o.recommended = o.frontier.first().copied();
+        cost.infeasible += o.evaluations.iter().filter(|e| e.outcome.is_err()).count() as u64;
+    }
+
+    record_cost(&mut prof, &cost);
+    let profile = prof.report(cost.sim_events, 0.0);
+    Ok(TuneOutcome {
+        cells: outcomes,
+        cost,
+        profile,
+    })
+}
+
+/// Replays every recommended configuration as a fresh full run with the
+/// inline audit enabled, in parallel, failing on the first (in cell
+/// order) that is not clean. Returns how many were audited.
+///
+/// # Errors
+///
+/// [`TuneError::AuditFailed`] naming the cell and candidate.
+pub fn verify_recommended(
+    outcome: &TuneOutcome,
+    settings: &TuneSettings,
+) -> Result<u64, TuneError> {
+    let jobs: Vec<(usize, &Candidate)> = outcome
+        .cells
+        .iter()
+        .enumerate()
+        .filter_map(|(ci, o)| o.recommended.map(|ei| (ci, &o.evaluations[ei].candidate)))
+        .collect();
+    let verdicts = run_indexed(settings.jobs, jobs.len(), |i| {
+        let (ci, cand) = jobs[i];
+        audit_replay(
+            &outcome.cells[ci].cell,
+            cand,
+            &settings.params,
+            cell_seed(settings.seed, ci),
+        )
+    });
+    for (&(ci, cand), verdict) in jobs.iter().zip(&verdicts) {
+        if let Err(why) = verdict {
+            return Err(TuneError::AuditFailed {
+                cell: outcome.cells[ci].cell.name(),
+                candidate: cand.key(),
+                why: why.clone(),
+            });
+        }
+    }
+    Ok(verdicts.len() as u64)
+}
+
+/// Fans the pending (cell, candidate) screening runs across the pool and
+/// merges the results in job order.
+fn screen_pending(
+    states: &mut [CellState],
+    pending: &[(usize, Candidate)],
+    settings: &TuneSettings,
+    cost: &mut SearchCost,
+    prof: &mut SimProfiler,
+) {
+    let span = prof.begin();
+    let screened = run_indexed(settings.jobs, pending.len(), |i| {
+        let (ci, cand) = &pending[i];
+        screen(
+            &states[*ci].cell,
+            cand,
+            &settings.params,
+            cell_seed(settings.seed, *ci),
+        )
+    });
+    prof.record("tune/screen", span);
+    for ((ci, cand), s) in pending.iter().zip(screened) {
+        states[*ci].absorb(cand.key(), s, cost);
+    }
+}
+
+/// Tournament selection: two uniform draws, the better one (dominance
+/// first, presentation order as tie-break) wins.
+fn tournament<'a>(state: &'a CellState, pop: &'a [String], rng: &mut SplitMix64) -> &'a Candidate {
+    let a = &pop[(rng.next_u64() % pop.len() as u64) as usize];
+    let b = &pop[(rng.next_u64() % pop.len() as u64) as usize];
+    let ea = &state.evals[a];
+    let eb = &state.evals[b];
+    let winner = match (ea.objectives(), eb.objectives()) {
+        (Some(oa), Some(ob)) if oa.dominates(ob) => ea,
+        (Some(oa), Some(ob)) if ob.dominates(oa) => eb,
+        _ => {
+            if presentation_order(ea, eb).is_le() {
+                ea
+            } else {
+                eb
+            }
+        }
+    };
+    &winner.candidate
+}
+
+fn truncate_ranked(mut keys: Vec<String>, population: usize) -> Vec<String> {
+    keys.truncate(population);
+    keys
+}
+
+/// The simulation seed every candidate of cell `ci` runs under — fixed
+/// within the cell so candidates race on equal terms.
+fn cell_seed(seed: u64, ci: usize) -> u64 {
+    seed.wrapping_add((ci as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The genetic RNG stream for (cell, generation) — independent of job
+/// count and of every other cell's stream.
+fn generation_seed(seed: u64, ci: usize, g: u64) -> u64 {
+    seed ^ (ci as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ g.wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+fn record_cost(prof: &mut SimProfiler, cost: &SearchCost) {
+    prof.set("tune/screening_runs", cost.screening_runs);
+    prof.set("tune/refinement_runs", cost.refinement_runs);
+    prof.set("tune/warm_restores", cost.warm_restores);
+    prof.set("tune/warm_fallbacks", cost.warm_fallbacks);
+    prof.set("tune/cache_hits", cost.cache_hits);
+    prof.set("tune/infeasible", cost.infeasible);
+    prof.set("tune/sim_events", cost.sim_events);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::FaultClass;
+    use crate::space::PriorityPolicy;
+    use p3_cluster::BackendKind;
+    use p3_models::ModelSpec;
+    use p3_topo::Placement;
+
+    fn tiny_settings() -> TuneSettings {
+        TuneSettings {
+            space: SearchSpace {
+                slices: vec![1_000_000, 4_000_000],
+                policies: vec![PriorityPolicy::Consumption, PriorityPolicy::Uniform],
+                backends: vec![BackendKind::Ps],
+                channels: vec![4],
+                placements: vec![Placement::Spread],
+            },
+            params: EvalParams {
+                warmup: 1,
+                screen_measure: 2,
+                measure: 3,
+            },
+            generations: 1,
+            population: 4,
+            seed: 42,
+            jobs: 2,
+        }
+    }
+
+    fn tiny_cells() -> Vec<Cell> {
+        vec![Cell {
+            model: ModelSpec::alexnet(),
+            machines: 3,
+            gbps: 10.0,
+            topology: None,
+            fault: FaultClass::None,
+        }]
+    }
+
+    #[test]
+    fn tune_produces_a_frontier_and_recommendation() {
+        let outcome = tune(&tiny_cells(), &tiny_settings()).expect("search runs");
+        let cell = &outcome.cells[0];
+        assert!(!cell.frontier.is_empty());
+        let rec = cell.recommended.expect("recommended config");
+        assert!(cell.evaluations[rec].refined);
+        assert!(outcome.cost.screening_runs >= 4);
+        assert!(outcome.cost.warm_restores + outcome.cost.warm_fallbacks >= 1);
+    }
+
+    #[test]
+    fn recommended_config_audits_clean() {
+        let settings = tiny_settings();
+        let outcome = tune(&tiny_cells(), &settings).expect("search runs");
+        assert_eq!(verify_recommended(&outcome, &settings), Ok(1));
+    }
+
+    #[test]
+    fn empty_cells_rejected() {
+        assert!(matches!(
+            tune(&[], &tiny_settings()),
+            Err(TuneError::InvalidSearch(_))
+        ));
+    }
+}

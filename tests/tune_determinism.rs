@@ -1,0 +1,131 @@
+//! The `p3-tune` search harness's two headline guarantees, end to end:
+//!
+//! 1. **Byte-identical reports.** The same search produces the same
+//!    `TuneReport` JSON, byte for byte, run to run AND across worker
+//!    counts — results are merged by candidate index, never completion
+//!    order, and no wall-clock value reaches the report.
+//! 2. **Recommendations replay clean.** Every recommended config, re-run
+//!    from scratch with the inline trace audit enabled, passes the full
+//!    invariant catalog — across random cluster shapes and seeds.
+
+use p3::models::{BlockKind, ComputeBlock, ModelSpec, ParamArray, SampleUnit};
+use p3::tune::{
+    tune, verify_recommended, Cell, EvalParams, FaultClass, SearchSpace, TuneReport, TuneSettings,
+};
+use proptest::prelude::*;
+
+/// Small skewed model: enough blocks to exercise slicing and priorities,
+/// small enough for a debug-build search over many candidates.
+fn tiny_model() -> ModelSpec {
+    let blocks = vec![
+        ComputeBlock::new(
+            "conv1",
+            BlockKind::Conv,
+            40_000_000,
+            vec![ParamArray::new("conv1.weight", 40_000)],
+        ),
+        ComputeBlock::new(
+            "conv2",
+            BlockKind::Conv,
+            40_000_000,
+            vec![ParamArray::new("conv2.weight", 120_000)],
+        ),
+        ComputeBlock::new(
+            "head",
+            BlockKind::Dense,
+            10_000_000,
+            vec![
+                ParamArray::new("head.weight", 900_000),
+                ParamArray::new("head.bias", 3_000),
+            ],
+        ),
+    ];
+    ModelSpec::from_blocks("TinyTune", SampleUnit::Images, blocks, 800.0, 32, 0.0)
+}
+
+fn cell(machines: usize, gbps: f64, fault: FaultClass) -> Cell {
+    Cell {
+        model: tiny_model(),
+        machines,
+        gbps,
+        topology: None,
+        fault,
+    }
+}
+
+fn small_settings(jobs: usize, seed: u64) -> TuneSettings {
+    TuneSettings {
+        space: SearchSpace::parse("slice=500000,2000000;policy=consumption,generation;backend=ps")
+            .expect("valid space"),
+        params: EvalParams {
+            warmup: 1,
+            screen_measure: 2,
+            measure: 3,
+        },
+        generations: 1,
+        population: 4,
+        seed,
+        jobs,
+    }
+}
+
+fn report_json(cells: &[Cell], settings: &TuneSettings) -> String {
+    let outcome = tune(cells, settings).expect("search runs");
+    TuneReport::from_outcome(&outcome, settings).to_json()
+}
+
+/// Grid + one genetic generation over two cells: the report must be byte
+/// stable across repeated runs and across `jobs` 1 vs 4. The `jobs` knob
+/// may change scheduling arbitrarily but must never reach the report.
+#[test]
+fn tune_report_is_byte_identical_across_runs_and_jobs() {
+    let cells = vec![
+        cell(3, 5.0, FaultClass::None),
+        cell(4, 10.0, FaultClass::Loss),
+    ];
+    let serial = report_json(&cells, &small_settings(1, 42));
+    let serial_again = report_json(&cells, &small_settings(1, 42));
+    assert_eq!(serial, serial_again, "run-to-run report drift at --jobs 1");
+    let parallel = report_json(&cells, &small_settings(4, 42));
+    assert_eq!(serial, parallel, "--jobs changed report bytes");
+    let parallel_again = report_json(&cells, &small_settings(4, 42));
+    assert_eq!(parallel, parallel_again, "run-to-run drift at --jobs 4");
+}
+
+/// The report round-trips through its own parser, and the search found a
+/// nonempty frontier with a recommendation for a healthy cell.
+#[test]
+fn tune_report_round_trips_and_recommends() {
+    let cells = vec![cell(3, 8.0, FaultClass::None)];
+    let settings = small_settings(2, 7);
+    let outcome = tune(&cells, &settings).expect("search runs");
+    let report = TuneReport::from_outcome(&outcome, &settings);
+    let json = report.to_json();
+    let parsed = TuneReport::from_json(&json).expect("report parses");
+    assert_eq!(parsed, report, "JSON round-trip lost information");
+    let c = &report.cells[0];
+    assert!(!c.frontier.is_empty(), "no Pareto frontier members");
+    assert!(c.recommended.is_some(), "no recommended config");
+}
+
+proptest! {
+    /// Any recommended config, on any cluster shape the tuner searched,
+    /// replays audit-clean when re-simulated from scratch over the full
+    /// measurement window.
+    #[test]
+    fn recommended_configs_replay_audit_clean(
+        machines in 2usize..5,
+        gbps in 3.0f64..20.0,
+        seed in 0u64..1_000_000,
+        lossy in any::<bool>(),
+    ) {
+        let fault = if lossy { FaultClass::Loss } else { FaultClass::None };
+        let cells = vec![cell(machines, gbps, fault)];
+        let mut settings = small_settings(1, seed);
+        settings.generations = 0; // grid only: keep each case cheap
+        let outcome = tune(&cells, &settings).expect("search runs");
+        let audited = verify_recommended(&outcome, &settings)
+            .expect("recommended config failed its audit replay");
+        prop_assert_eq!(audited, 1, "expected exactly one recommendation");
+    }
+}
