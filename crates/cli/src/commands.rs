@@ -47,6 +47,9 @@ pub enum CliError {
     /// `p3 compare` found performance or determinism regressions; the
     /// string is the full comparison report.
     Regression(String),
+    /// `p3 lint` found budget overruns or baseline regressions; the string
+    /// is the rendered findings report.
+    Lint(String),
 }
 
 impl fmt::Display for CliError {
@@ -67,6 +70,7 @@ impl fmt::Display for CliError {
             CliError::Io(why) => write!(f, "{why}"),
             CliError::Audit(report) => write!(f, "{report}"),
             CliError::Regression(report) => write!(f, "{report}"),
+            CliError::Lint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -276,6 +280,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "bench" => crate::perf::bench(args),
         "compare" => crate::perf::compare(args),
         "tune" => crate::tune::tune_cmd(args),
+        "lint" => lint(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -322,6 +327,10 @@ COMMANDS:
               and fail on regressions      [--tolerance T]  (default 0.1)
                                            [--subset]  skip baseline rungs the
                                            candidate does not cover
+  lint        Static determinism analysis  [--root DIR]  workspace root (default .)
+              of the workspace: taint,     [--json]  deterministic JSON report
+              panic/unwrap ratchets,       [--baseline]  print a fresh
+              schema drift, coverage       [findings-baseline] section to ratchet
   help        This text
 
 FAULT FLAGS (simulate, sweep):
@@ -716,6 +725,31 @@ fn audit(args: &Args) -> Result<String, CliError> {
     }
 }
 
+fn lint(args: &Args) -> Result<String, CliError> {
+    let root = args.get("root").unwrap_or(".");
+    let report = p3_lint::lint_workspace(std::path::Path::new(root))
+        .map_err(|why| CliError::Io(format!("{root}: {why}")))?;
+    if args.switch("baseline") {
+        // Ratcheting aid: always succeeds so the fresh section can be
+        // pasted into `p3-lint.toml` even when the current run is dirty.
+        let mut out = String::from("[findings-baseline]\n");
+        for (rule, n) in &report.counts {
+            let _ = writeln!(out, "\"{rule}\" = {n}");
+        }
+        return Ok(out);
+    }
+    let rendered = if args.switch("json") {
+        p3_lint::report::report_json(&report)
+    } else {
+        report.to_string()
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Lint(rendered))
+    }
+}
+
 fn sweep(args: &Args) -> Result<String, CliError> {
     let model = model_by_name(args.require("model")?)?;
     let (topology, placement) = parse_topology_flags(args)?;
@@ -929,9 +963,31 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let h = run("help").unwrap();
-        for cmd in ["models", "plan", "simulate", "sweep", "allreduce", "train"] {
+        for cmd in [
+            "models",
+            "plan",
+            "simulate",
+            "sweep",
+            "allreduce",
+            "train",
+            "lint",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn lint_runs_clean_on_this_workspace() {
+        // Tests run with the crate dir as cwd; the workspace root is two up.
+        let out = run("lint --root ../..").unwrap();
+        assert!(out.contains("clean"), "{out}");
+
+        let json = run("lint --root ../.. --json").unwrap();
+        assert!(json.contains("\"format\": \"p3-lint\""), "{json}");
+        assert!(json.contains("\"clean\": true"), "{json}");
+
+        let baseline = run("lint --root ../.. --baseline").unwrap();
+        assert!(baseline.starts_with("[findings-baseline]"), "{baseline}");
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! Ambient environment reads: every form of `env::var` is banned in sim
+//! crates — configuration enters through explicit recorded inputs.
+pub fn node() -> String {
+    std::env::var("P3_NODE").unwrap_or_default()
+}
+
+pub fn all() -> usize {
+    std::env::vars().count()
+}
+
+pub fn raw() -> bool {
+    std::env::var_os("P3_DEBUG").is_some()
+}

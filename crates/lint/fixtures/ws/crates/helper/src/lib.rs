@@ -1,0 +1,26 @@
+//! Impure helper crate: exempt (via `[crate-allow]`) from every rule it
+//! violates, so the token scanner reports nothing here. Everything below
+//! is a laundering vector the taint pass must track across the crate
+//! boundary into `sim1`.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub use rand::thread_rng as fresh_entropy;
+
+pub fn now_secs() -> f64 {
+    Instant::now().elapsed().as_secs_f64()
+}
+
+pub fn node_name() -> String {
+    std::env::var("P3_NODE").unwrap_or_default()
+}
+
+pub fn scratch_total() -> f64 {
+    let m: HashMap<u32, f64> = HashMap::new();
+    m.values().sum()
+}
+
+pub fn blessed_epoch() -> u64 {
+    let _reviewed = Instant::now();
+    0
+}

@@ -1,0 +1,26 @@
+//! Pure-looking simulation crate: no banned token appears anywhere in
+//! this file, so the v1 token scanner reports nothing. Every hazard is an
+//! indirect one — a cross-crate wrapper, a re-exported alias, an env read
+//! behind a helper — that only the call-graph taint pass can see.
+use p3_helper::now_secs;
+
+pub fn step_time() -> f64 {
+    now_secs()
+}
+
+pub fn draw() -> u64 {
+    let _gen = p3_helper::fresh_entropy();
+    0
+}
+
+pub fn node() -> String {
+    p3_helper::node_name()
+}
+
+pub fn mix() -> f64 {
+    p3_helper::scratch_total()
+}
+
+pub fn epoch() -> u64 {
+    p3_helper::blessed_epoch()
+}

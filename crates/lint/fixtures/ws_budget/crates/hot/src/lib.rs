@@ -1,0 +1,15 @@
+//! Over-budget fixture: 1 unwrap, 2 panic macros, 3 index sites.
+pub fn f(v: &[u64], x: Option<u64>) -> u64 {
+    let a = v[0] + v[1] + v[2];
+    if a > 10 {
+        panic!("too big")
+    }
+    match x {
+        Some(y) => y + a,
+        None => unreachable!(),
+    }
+}
+
+pub fn g(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

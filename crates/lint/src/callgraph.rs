@@ -1,0 +1,708 @@
+//! Item and call-graph extraction over stripped sources.
+//!
+//! This is deliberately *not* a Rust front end: it is a token-level
+//! extractor tuned for the patterns this workspace actually writes. It
+//! resolves `use` aliases (including `pub use` re-exports and grouped
+//! imports), attributes functions to their `impl`/`trait` context, and
+//! records every call site with its candidate targets — workspace
+//! functions by (crate, type, name), everything else as an alias-expanded
+//! external path. Over-approximation is fine (a call may list several
+//! candidates); *missing* an edge that launders a banned API is the
+//! failure mode the taint pass exists to close, so resolution prefers
+//! recall over precision.
+
+use crate::lexer::{brace_span_end, line_of, tokenize, Stripped, Token};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// One function (free or associated) found in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Short crate name (`prof`, `cluster`, …).
+    pub krate: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub type_ctx: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: PathBuf,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `crate::Type::name` or `crate::name` — the key sanitizer entries use.
+    pub qualified: String,
+    /// Byte span of the body in the file's code view (empty for bodiless
+    /// trait-method declarations).
+    pub body: (usize, usize),
+}
+
+/// A resolved call target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// A workspace function, by node index.
+    Node(usize),
+    /// Anything else, as the alias-expanded path (e.g.
+    /// `std::time::Instant::now`). Method calls that match no workspace
+    /// node are recorded as `.name`.
+    External(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the calling [`FnNode`].
+    pub caller: usize,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// The callee as written (`SimProfiler::new`, `.begin`, `gen_seed`).
+    pub raw: String,
+    /// Candidate targets (several when only the method name is known).
+    pub targets: Vec<Callee>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All functions, in deterministic (file, position) order.
+    pub nodes: Vec<FnNode>,
+    /// All call sites.
+    pub calls: Vec<CallSite>,
+}
+
+/// One stripped source file fed to [`build`].
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Short crate name.
+    pub krate: String,
+    /// Workspace-relative path (used in findings).
+    pub path: PathBuf,
+    /// The stripped views.
+    pub stripped: Stripped,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "as", "in", "fn", "let", "else", "unsafe",
+    "move", "where", "impl", "use", "pub", "mod", "struct", "enum", "trait", "type", "const",
+    "static", "ref", "mut", "dyn", "box", "break", "continue",
+];
+
+/// Per-file import state: local aliases plus the crate's `pub use`
+/// re-exports (merged across files at build time).
+#[derive(Debug, Default)]
+struct Imports {
+    /// Last path segment → full path segments.
+    aliases: BTreeMap<String, Vec<String>>,
+    /// Re-exported name → full path segments (crate-wide).
+    exports: BTreeMap<String, Vec<String>>,
+}
+
+/// A type context span: `impl`/`trait` body with its subject type name.
+#[derive(Debug)]
+struct CtxSpan {
+    name: String,
+    span: (usize, usize),
+}
+
+/// Per-file first-pass state: imports, type contexts, tokens and the ids
+/// of the nodes declared in the file.
+type FilePass = (Imports, Vec<CtxSpan>, Vec<Token>, Vec<usize>);
+
+/// Builds the call graph over all `files`. Files must arrive in a
+/// deterministic order (the workspace walk sorts them).
+pub fn build(files: &[SourceFile]) -> CallGraph {
+    let crate_names: Vec<&str> = {
+        let mut v: Vec<&str> = files.iter().map(|f| f.krate.as_str()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    // First pass: imports, exports, contexts and function nodes per file.
+    let mut graph = CallGraph::default();
+    let mut per_file: Vec<FilePass> = Vec::new();
+    let mut crate_exports: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+    for file in files {
+        let code = &file.stripped.code;
+        let toks = tokenize(code);
+        let imports = parse_imports(code, &toks);
+        let ctxs = parse_contexts(code, &toks);
+        let mut node_ids = Vec::new();
+        for (name, start, body) in parse_fns(code, &toks) {
+            let type_ctx = innermost_ctx(&ctxs, start).map(str::to_string);
+            let qualified = match &type_ctx {
+                Some(t) => format!("{}::{t}::{name}", file.krate),
+                None => format!("{}::{name}", file.krate),
+            };
+            node_ids.push(graph.nodes.len());
+            graph.nodes.push(FnNode {
+                krate: file.krate.clone(),
+                type_ctx,
+                name,
+                file: file.path.clone(),
+                line: line_of(code, start),
+                qualified,
+                body,
+            });
+        }
+        for (name, path) in &imports.exports {
+            crate_exports
+                .entry(file.krate.clone())
+                .or_default()
+                .insert(name.clone(), path.clone());
+        }
+        per_file.push((imports, ctxs, toks, node_ids));
+    }
+
+    // Second pass: call sites, resolved against the full node index.
+    for (fi, file) in files.iter().enumerate() {
+        let code = &file.stripped.code;
+        let (imports, ctxs, toks, node_ids) = &per_file[fi];
+        for i in 1..toks.len() {
+            if toks[i].text(code) != "(" || !toks[i - 1].ident {
+                continue;
+            }
+            let name_tok = toks[i - 1];
+            let name = name_tok.text(code);
+            if KEYWORDS.contains(&name) || name.as_bytes()[0].is_ascii_digit() {
+                continue;
+            }
+            // `name!(` is a macro invocation, not a call.
+            if i >= 2 && toks[i - 2].text(code) == "!" {
+                continue;
+            }
+            let caller = match innermost_fn(&graph, node_ids, name_tok.start) {
+                Some(c) => c,
+                None => continue, // const initializer etc.
+            };
+            let (raw, targets) = if i >= 2 && toks[i - 2].text(code) == "." {
+                resolve_method(&graph, code, name)
+            } else {
+                let segs = path_segments(code, toks, i - 1);
+                let impl_ty = innermost_ctx(ctxs, name_tok.start);
+                resolve_path(
+                    &graph,
+                    &crate_names,
+                    &crate_exports,
+                    imports,
+                    &file.krate,
+                    impl_ty,
+                    segs,
+                )
+            };
+            graph.calls.push(CallSite {
+                caller,
+                line: line_of(code, name_tok.start),
+                raw,
+                targets,
+            });
+        }
+    }
+    graph
+}
+
+/// Path segments ending at token index `last` (an identifier), walking
+/// back across `::` pairs.
+fn path_segments(code: &str, toks: &[Token], last: usize) -> Vec<String> {
+    let mut segs = vec![toks[last].text(code).to_string()];
+    let mut j = last;
+    while j >= 3
+        && toks[j - 1].text(code) == ":"
+        && toks[j - 2].text(code) == ":"
+        && toks[j - 3].ident
+    {
+        let t = toks[j - 3].text(code);
+        if t.as_bytes()[0].is_ascii_digit() {
+            break;
+        }
+        segs.insert(0, t.to_string());
+        j -= 3;
+    }
+    segs
+}
+
+fn innermost_ctx(ctxs: &[CtxSpan], pos: usize) -> Option<&str> {
+    ctxs.iter()
+        .filter(|c| c.span.0 <= pos && pos < c.span.1)
+        .min_by_key(|c| c.span.1 - c.span.0)
+        .map(|c| c.name.as_str())
+}
+
+fn innermost_fn(graph: &CallGraph, node_ids: &[usize], pos: usize) -> Option<usize> {
+    node_ids
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let (a, z) = graph.nodes[id].body;
+            a <= pos && pos < z
+        })
+        .min_by_key(|&id| {
+            let (a, z) = graph.nodes[id].body;
+            z - a
+        })
+}
+
+fn resolve_method(graph: &CallGraph, _code: &str, name: &str) -> (String, Vec<Callee>) {
+    let raw = format!(".{name}");
+    let targets: Vec<Callee> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.type_ctx.is_some() && n.name == name)
+        .map(|(i, _)| Callee::Node(i))
+        .collect();
+    if targets.is_empty() {
+        (raw.clone(), vec![Callee::External(raw)])
+    } else {
+        (raw, targets)
+    }
+}
+
+/// Normalizes a crate segment: `p3_foo` → `foo`.
+fn short_crate(seg: &str) -> &str {
+    seg.strip_prefix("p3_").unwrap_or(seg)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_path(
+    graph: &CallGraph,
+    crate_names: &[&str],
+    crate_exports: &BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    imports: &Imports,
+    own_crate: &str,
+    impl_ty: Option<&str>,
+    mut segs: Vec<String>,
+) -> (String, Vec<Callee>) {
+    let raw = segs.join("::");
+    // `Self::f` → the enclosing impl type.
+    if segs[0] == "Self" {
+        match impl_ty {
+            Some(t) => segs[0] = t.to_string(),
+            None => return (raw.clone(), vec![Callee::External(raw)]),
+        }
+    }
+    // `crate::`/`self::`/`super::` prefixes pin resolution to this crate.
+    while segs.len() > 1 && matches!(segs[0].as_str(), "crate" | "self" | "super") {
+        segs.remove(0);
+    }
+    // Expand a `use` alias of the head segment.
+    if let Some(path) = imports.aliases.get(&segs[0]) {
+        let mut expanded = path.clone();
+        expanded.extend(segs.drain(1..));
+        segs = expanded;
+    }
+    let head_short = short_crate(&segs[0]).to_string();
+
+    let mut targets = Vec::new();
+    if crate_names.contains(&head_short.as_str()) && segs.len() > 1 {
+        // `other_crate::…`: expand that crate's re-exports, then match its
+        // nodes by (type, name) with module segments tolerated.
+        if segs.len() == 2 {
+            if let Some(exp) = crate_exports.get(&head_short).and_then(|m| m.get(&segs[1])) {
+                let expanded = exp.join("::");
+                return (
+                    raw,
+                    classify_in_workspace(graph, crate_names, exp, &expanded)
+                        .unwrap_or_else(|| vec![Callee::External(expanded)]),
+                );
+            }
+        }
+        targets.extend(match_in_crate(graph, &head_short, &segs[1..]));
+    } else if segs.len() >= 2 && !crate_names.contains(&head_short.as_str()) {
+        // `Type::f` / `module::f` without a crate prefix: same crate.
+        targets.extend(match_in_crate(graph, own_crate, &segs));
+    } else if segs.len() == 1 {
+        // Bare call: free functions of this crate.
+        targets.extend(
+            graph
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.krate == own_crate && n.type_ctx.is_none() && n.name == segs[0])
+                .map(|(i, _)| Callee::Node(i)),
+        );
+    }
+    if targets.is_empty() {
+        targets.push(Callee::External(segs.join("::")));
+    }
+    (raw, targets)
+}
+
+/// Resolves an already-expanded path (from a re-export) against the
+/// workspace, or `None` if it points outside it.
+fn classify_in_workspace(
+    graph: &CallGraph,
+    crate_names: &[&str],
+    segs: &[String],
+    _joined: &str,
+) -> Option<Vec<Callee>> {
+    if segs.len() < 2 {
+        return None;
+    }
+    let head = short_crate(&segs[0]).to_string();
+    if !crate_names.contains(&head.as_str()) {
+        return None;
+    }
+    let t = match_in_crate(graph, &head, &segs[1..]);
+    if t.is_empty() {
+        None
+    } else {
+        Some(t)
+    }
+}
+
+/// Nodes of `krate` matching a path remainder: last segment is the fn
+/// name; the one before it (if any) may be its `impl` type *or* a module,
+/// so free functions match either way.
+fn match_in_crate(graph: &CallGraph, krate: &str, rest: &[String]) -> Vec<Callee> {
+    let name = match rest.last() {
+        Some(n) => n,
+        None => return Vec::new(),
+    };
+    let qualifier = (rest.len() >= 2).then(|| rest[rest.len() - 2].as_str());
+    graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            n.krate == krate
+                && n.name == *name
+                && match (qualifier, &n.type_ctx) {
+                    (Some(q), Some(t)) => q == t,
+                    (Some(_), None) => true, // `module::f` — module not tracked
+                    (None, Some(_)) => false,
+                    (None, None) => true,
+                }
+        })
+        .map(|(i, _)| Callee::Node(i))
+        .collect()
+}
+
+/// Parses `use` declarations (including grouped and renamed imports) into
+/// alias and export tables.
+fn parse_imports(code: &str, toks: &[Token]) -> Imports {
+    let mut imports = Imports::default();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].ident && toks[i].text(code) == "use" {
+            let is_pub = i > 0 && toks[i - 1].text(code) == "pub";
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].text(code) != ";" {
+                j += 1;
+            }
+            let decl = &code[toks[i].end..toks[j.min(toks.len() - 1)].start];
+            record_use_tree(decl.trim(), &[], is_pub, &mut imports);
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    imports
+}
+
+/// Records one `use` tree (textual, whitespace-tolerant): `a::b::C`,
+/// `a::b as x`, `a::{B, C as D, d::E}` — one brace level of nesting per
+/// recursion step, `*` globs skipped.
+fn record_use_tree(decl: &str, prefix: &[String], is_pub: bool, imports: &mut Imports) {
+    let decl = decl.trim();
+    if decl.is_empty() || decl == "*" {
+        return;
+    }
+    if let Some(open) = decl.find('{') {
+        // `path::{…}` — split the group at top level.
+        let base = decl[..open].trim().trim_end_matches(':').trim();
+        let mut new_prefix: Vec<String> = prefix.to_vec();
+        new_prefix.extend(split_path(base));
+        let Some(close) = decl.rfind('}') else {
+            return;
+        };
+        let inner = &decl[open + 1..close];
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        for (k, c) in inner.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    record_use_tree(&inner[start..k], &new_prefix, is_pub, imports);
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+        record_use_tree(&inner[start..], &new_prefix, is_pub, imports);
+        return;
+    }
+    let (path_part, alias) = match decl.split_once(" as ") {
+        Some((p, a)) => (p.trim(), Some(a.trim().to_string())),
+        None => (decl, None),
+    };
+    let mut full: Vec<String> = prefix.to_vec();
+    full.extend(split_path(path_part));
+    let Some(last) = full.last().cloned() else {
+        return;
+    };
+    if last == "*" {
+        return;
+    }
+    let name = match alias {
+        Some(a) => a,
+        None if last == "self" => {
+            full.pop();
+            match full.last() {
+                Some(l) => l.clone(),
+                None => return,
+            }
+        }
+        None => last,
+    };
+    if name == "_" {
+        return;
+    }
+    imports.aliases.insert(name.clone(), full.clone());
+    if is_pub {
+        imports.exports.insert(name, full);
+    }
+}
+
+fn split_path(p: &str) -> Vec<String> {
+    p.split("::")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Finds `impl`/`trait` blocks and their subject type names.
+fn parse_contexts(code: &str, toks: &[Token]) -> Vec<CtxSpan> {
+    let mut ctxs = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].ident {
+            continue;
+        }
+        let kw = toks[i].text(code);
+        if kw != "impl" && kw != "trait" {
+            continue;
+        }
+        // Only item position: after `;`/`}`/`]`/`{`, after `pub`/`unsafe`,
+        // or at the start. `-> impl Trait` and `&dyn Trait` are skipped.
+        if i > 0 {
+            let prev = toks[i - 1].text(code);
+            if !matches!(prev, ";" | "}" | "]" | "{" | "pub" | "unsafe") {
+                continue;
+            }
+        }
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut last_seg: Option<String> = None;
+        let mut capture = true;
+        while j < toks.len() {
+            let t = toks[j].text(code);
+            match t {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" if angle <= 0 => break,
+                ";" if angle <= 0 => break,
+                "for" if toks[j].ident && angle <= 0 => {
+                    last_seg = None;
+                    capture = true;
+                }
+                "where" if toks[j].ident && angle <= 0 => capture = false,
+                _ if toks[j].ident && angle <= 0 && capture => {
+                    last_seg = Some(t.to_string());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text(code) != "{" {
+            continue;
+        }
+        let Some(name) = last_seg else { continue };
+        let end = brace_span_end(code, toks[j].start);
+        ctxs.push(CtxSpan {
+            name,
+            span: (toks[j].start, end),
+        });
+    }
+    ctxs
+}
+
+/// Finds `fn` items: `(name, start offset, body span)`. Bodiless trait
+/// declarations get an empty span.
+fn parse_fns(code: &str, toks: &[Token]) -> Vec<(String, usize, (usize, usize))> {
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].ident || toks[i].text(code) != "fn" {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.ident) else {
+            continue;
+        };
+        let name = name_tok.text(code).to_string();
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        let mut body = (name_tok.start, name_tok.start);
+        while j < toks.len() {
+            match toks[j].text(code) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "{" if paren == 0 => {
+                    let open = toks[j].start;
+                    body = (open, brace_span_end(code, open));
+                    break;
+                }
+                ";" if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        fns.push((name, toks[i].start, body));
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::strip;
+
+    fn file(krate: &str, path: &str, src: &str) -> SourceFile {
+        SourceFile {
+            krate: krate.into(),
+            path: PathBuf::from(path),
+            stripped: strip(src),
+        }
+    }
+
+    #[test]
+    fn extracts_fns_with_impl_context() {
+        let g = build(&[file(
+            "a",
+            "a.rs",
+            "pub struct P;\nimpl P {\n  pub fn new() -> P { P }\n  fn go(&self) {}\n}\nfn free() {}\n",
+        )]);
+        let quals: Vec<&str> = g.nodes.iter().map(|n| n.qualified.as_str()).collect();
+        assert_eq!(quals, vec!["a::P::new", "a::P::go", "a::free"]);
+    }
+
+    #[test]
+    fn trait_impl_attributes_to_the_type_after_for() {
+        let g = build(&[file(
+            "a",
+            "a.rs",
+            "struct T;\nimpl Default for T {\n  fn default() -> T { T::new() }\n}\nimpl T { fn new() -> T { T } }\n",
+        )]);
+        assert!(g.nodes.iter().any(|n| n.qualified == "a::T::default"));
+        // default() calls T::new — resolved to the node.
+        let new_id = g
+            .nodes
+            .iter()
+            .position(|n| n.qualified == "a::T::new")
+            .unwrap();
+        assert!(g
+            .calls
+            .iter()
+            .any(|c| c.raw == "T::new" && c.targets.contains(&Callee::Node(new_id))));
+    }
+
+    #[test]
+    fn self_calls_resolve_through_the_impl_type() {
+        let g = build(&[file(
+            "a",
+            "a.rs",
+            "struct T;\nimpl T {\n fn new() -> T { T }\n fn mk() -> T { Self::new() }\n}\n",
+        )]);
+        let new_id = g
+            .nodes
+            .iter()
+            .position(|n| n.qualified == "a::T::new")
+            .unwrap();
+        assert!(g
+            .calls
+            .iter()
+            .any(|c| c.raw == "Self::new" && c.targets.contains(&Callee::Node(new_id))));
+    }
+
+    #[test]
+    fn use_alias_expands_to_external_path() {
+        let g = build(&[file(
+            "a",
+            "a.rs",
+            "use std::time::Instant as Clock;\nfn f() -> f64 { let _ = Clock::now(); 0.0 }\n",
+        )]);
+        assert!(g.calls.iter().any(|c| c.raw == "Clock::now"
+            && c.targets
+                .contains(&Callee::External("std::time::Instant::now".into()))));
+    }
+
+    #[test]
+    fn grouped_use_and_cross_crate_resolution() {
+        let helper = file("h", "h.rs", "pub fn now_secs() -> f64 { 0.0 }\n");
+        let user = file(
+            "a",
+            "a.rs",
+            "use p3_h::now_secs;\nfn f() -> f64 { now_secs() }\n",
+        );
+        // Bare call through a use-alias of another crate's free fn.
+        let g = build(&[user, helper]);
+        let h_id = g
+            .nodes
+            .iter()
+            .position(|n| n.qualified == "h::now_secs")
+            .unwrap();
+        assert!(
+            g.calls
+                .iter()
+                .any(|c| c.raw == "now_secs" && c.targets.contains(&Callee::Node(h_id))),
+            "{:?}",
+            g.calls
+        );
+    }
+
+    #[test]
+    fn pub_use_reexport_resolves_to_the_underlying_path() {
+        let helper = file("h", "h.rs", "pub use rand::thread_rng as fresh_rng;\n");
+        let user = file("a", "a.rs", "fn f() { let _ = p3_h::fresh_rng(); }\n");
+        let g = build(&[user, helper]);
+        assert!(
+            g.calls.iter().any(|c| c.raw == "p3_h::fresh_rng"
+                && c.targets
+                    .contains(&Callee::External("rand::thread_rng".into()))),
+            "{:?}",
+            g.calls
+        );
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_across_crates() {
+        let helper = file(
+            "h",
+            "h.rs",
+            "pub struct Prof;\nimpl Prof { pub fn begin(&self) {} }\n",
+        );
+        let user = file("a", "a.rs", "fn f(p: &p3_h::Prof) { p.begin(); }\n");
+        let g = build(&[user, helper]);
+        let id = g
+            .nodes
+            .iter()
+            .position(|n| n.qualified == "h::Prof::begin")
+            .unwrap();
+        assert!(g
+            .calls
+            .iter()
+            .any(|c| c.raw == ".begin" && c.targets.contains(&Callee::Node(id))));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let g = build(&[file(
+            "a",
+            "a.rs",
+            "fn f(x: u32) -> u32 { if x > 0 { panic!(\"no\") } else { x } }\n",
+        )]);
+        assert!(
+            g.calls.iter().all(|c| c.raw != "panic" && c.raw != "if"),
+            "{:?}",
+            g.calls
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Invariant-coverage lint: every checker in the audit catalog must be
+//! exercised by at least one test or fixture.
+//!
+//! The audit crate's `Invariant` enum *is* the catalog (DESIGN.md §10): a
+//! variant with no test anywhere in the workspace is a checker that can
+//! silently rot. This pass extracts the variant list from the enum
+//! definition and searches a test corpus — `tests/` files, `#[cfg(test)]`
+//! spans inside `src`, and fixture file names — for any spelling of the
+//! invariant (CamelCase, kebab-case or snake_case). A variant nobody
+//! names is reported at its definition line.
+
+use crate::lexer::{delimited, line_of, strip, tokenize};
+use crate::Finding;
+use std::path::{Path, PathBuf};
+
+/// Rule name for invariant-coverage findings.
+pub const COVERAGE_RULE: &str = "invariant-coverage";
+
+/// One searchable corpus entry: a path (searched too — fixture file names
+/// count as references) and its text.
+#[derive(Debug)]
+pub struct CorpusEntry {
+    /// Path, workspace-relative.
+    pub path: PathBuf,
+    /// Searchable text (file content, or empty for name-only entries).
+    pub text: String,
+}
+
+/// Variant names of `enum {enum_name}` in `catalog_src`, with the 1-based
+/// line each is defined on.
+pub fn enum_variants(catalog_src: &str, enum_name: &str) -> Vec<(String, usize)> {
+    let stripped = strip(catalog_src);
+    let code = &stripped.code;
+    let toks = tokenize(code);
+    let mut variants = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].ident && toks[i].text(code) == "enum") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.text(code) != enum_name {
+            continue;
+        }
+        // Walk to the opening brace, then take depth-1 idents that start a
+        // variant (first token after `{` or a depth-1 `,`).
+        let mut j = i + 2;
+        while j < toks.len() && toks[j].text(code) != "{" {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        let mut expect_variant = false;
+        while j < toks.len() {
+            match toks[j].text(code) {
+                "{" | "(" => {
+                    if depth == 0 {
+                        expect_variant = true;
+                    }
+                    depth += 1;
+                }
+                "}" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return variants;
+                    }
+                }
+                "," if depth == 1 => expect_variant = true,
+                t if toks[j].ident && depth == 1 && expect_variant => {
+                    if t.as_bytes()[0].is_ascii_uppercase() {
+                        variants.push((t.to_string(), line_of(code, toks[j].start)));
+                    }
+                    expect_variant = false;
+                }
+                _ => {
+                    if depth == 1 {
+                        expect_variant = false;
+                    }
+                }
+            }
+            j += 1;
+        }
+        break;
+    }
+    variants
+}
+
+/// `CamelCase` → `kebab-case` / `snake_case` spellings.
+fn spellings(variant: &str) -> [String; 3] {
+    let mut kebab = String::new();
+    for (i, c) in variant.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                kebab.push('-');
+            }
+            kebab.push(c.to_ascii_lowercase());
+        } else {
+            kebab.push(c);
+        }
+    }
+    let snake = kebab.replace('-', "_");
+    [variant.to_string(), kebab, snake]
+}
+
+fn mentions(text: &str, needle: &str) -> bool {
+    text.match_indices(needle)
+        .any(|(pos, _)| delimited(text, pos, needle))
+}
+
+/// Reports every variant of `enum {enum_name}` (defined in `catalog_path`
+/// / `catalog_src`) that no corpus entry mentions under any spelling.
+pub fn check_invariant_coverage(
+    catalog_path: &Path,
+    catalog_src: &str,
+    enum_name: &str,
+    corpus: &[CorpusEntry],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (variant, line) in enum_variants(catalog_src, enum_name) {
+        let names = spellings(&variant);
+        let covered = corpus.iter().any(|e| {
+            let in_path = e
+                .path
+                .to_str()
+                .is_some_and(|p| names.iter().any(|n| p.contains(n.as_str())));
+            in_path || names.iter().any(|n| mentions(&e.text, n))
+        });
+        if !covered {
+            findings.push(Finding {
+                file: catalog_path.to_path_buf(),
+                line,
+                rule: COVERAGE_RULE.into(),
+                message: format!(
+                    "invariant `{variant}` ({}) has no test or fixture exercising it",
+                    names[1]
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CATALOG: &str = r#"
+/// Catalog.
+pub enum Invariant {
+    /// Clock goes forward.
+    MonotoneClock,
+    /// Order is causal.
+    CausalOrder,
+}
+"#;
+
+    fn entry(path: &str, text: &str) -> CorpusEntry {
+        CorpusEntry {
+            path: PathBuf::from(path),
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn variants_are_extracted_with_lines() {
+        let v = enum_variants(CATALOG, "Invariant");
+        let names: Vec<&str> = v.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["MonotoneClock", "CausalOrder"]);
+    }
+
+    #[test]
+    fn any_spelling_or_fixture_filename_counts_as_coverage() {
+        let corpus = [
+            entry(
+                "tests/clock.rs",
+                "assert!(msg.contains(\"monotone-clock\"))",
+            ),
+            entry("tests/fixtures/causal_order_bad.json", ""),
+        ];
+        let f = check_invariant_coverage(Path::new("report.rs"), CATALOG, "Invariant", &corpus);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn uncovered_variant_is_reported_at_its_definition() {
+        let corpus = [entry("tests/clock.rs", "uses Invariant::MonotoneClock")];
+        let f = check_invariant_coverage(Path::new("report.rs"), CATALOG, "Invariant", &corpus);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("CausalOrder"), "{f:?}");
+        assert!(f[0].message.contains("causal-order"), "{f:?}");
+    }
+
+    #[test]
+    fn substring_spellings_do_not_count() {
+        // `MonotoneClockX` is a different identifier.
+        let corpus = [entry("tests/t.rs", "MonotoneClockXyz")];
+        let f = check_invariant_coverage(Path::new("report.rs"), CATALOG, "Invariant", &corpus);
+        assert!(
+            f.iter().any(|x| x.message.contains("MonotoneClock")),
+            "{f:?}"
+        );
+    }
+}

@@ -12,29 +12,62 @@
 //!   simulated results. The DES clock is the only time source.
 //! * `thread_rng` / `rand::random` — ambient OS-seeded randomness; all
 //!   randomness must come from the run's seeded generators.
+//! * `env::var` — ambient process state; configuration enters through
+//!   explicit, recorded inputs, never the environment.
 //! * float accumulation over unordered iterators — `.values()` into
 //!   `.sum()`/`.fold()` makes the rounding order (hence the result) depend
 //!   on iteration order.
 //!
-//! The lint is a token scanner, not a type checker: comments, strings and
-//! `#[cfg(test)]` items are stripped before matching, so tests may use
-//! whatever they like. A hazard the scanner cannot see (e.g. a re-exported
-//! alias) is out of scope — the run-twice determinism tests are the
-//! backstop.
+//! The lint runs as **multiple passes over one shared stripped view** of
+//! each source file ([`lexer`]):
 //!
-//! It also enforces a per-crate **unwrap budget**: the number of
-//! `.unwrap()`/`.expect(` calls in non-test code may not exceed the count
-//! recorded in `p3-lint.toml`, and the recorded count is only ever lowered.
-//! New code must propagate errors instead of panicking.
+//! 1. **Token rules** — the banned-pattern catalog above, matched
+//!    identifier-delimited in non-test code ([`lint_source`]).
+//! 2. **Determinism taint** ([`taint`]) — an item/call-graph extractor
+//!    ([`callgraph`]) resolves `use` aliases, `pub use` re-exports and
+//!    cross-crate calls; impurity seeded at banned APIs propagates to
+//!    every transitive caller and is reported where a clean sim-crate
+//!    function first reaches a chain the token rules cannot see (a
+//!    helper in an exempt crate, a re-exported alias). Reviewed-safe
+//!    functions are named in `[taint-sanitizer]` with a mandatory reason.
+//! 3. **Panic paths** ([`panics`]) — per-crate ratchets over
+//!    `panic!`-family macros (`[panic-budget]`) and, for hot-path crates,
+//!    slice indexing (`[index-budget]`), extending the existing
+//!    `.unwrap()`/`.expect(` budget (`[unwrap-budget]`).
+//! 4. **Schema drift** ([`schema`]) — the versioned wire formats (the
+//!    profile/bench/tune JSON reports, the trace export, the snapshot
+//!    codec) are cross-checked against their parsers: every member a
+//!    writer emits must have a reader, version constants must be
+//!    validated, every encoder must have its decoder.
+//! 5. **Invariant coverage** ([`coverage`]) — every checker in the
+//!    p3-audit catalog must be exercised by at least one test or fixture.
+//!
+//! Findings are compared against the ratcheted `[findings-baseline]`
+//! section of `p3-lint.toml`: a per-rule count may only go down, so new
+//! debt fails CI while known debt is paid off incrementally. `p3 lint
+//! --json` emits the whole report as deterministic JSON ([`report`]) that
+//! CI byte-compares across two runs.
 //!
 //! A crate whose purpose is to violate one rule can exempt exactly that
 //! rule via the `[crate-allow]` section of `p3-lint.toml` ([`CrateAllow`]):
 //! `p3-prof` is the profiling crate, so `Instant::now` is legal there and
-//! nowhere else in the simulation.
+//! nowhere else in the simulation — but taint still tracks what flows
+//! *out* of it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod callgraph;
+pub mod coverage;
+pub mod lexer;
+pub mod panics;
+pub mod report;
+pub mod schema;
+pub mod taint;
+
+pub use lexer::{strip, Stripped};
+
+use lexer::{delimited, line_of};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -61,8 +94,8 @@ pub const SIM_CRATES: [&str; 13] = [
     "tune",
 ];
 
-/// Crates whose unwrap budget is ratcheted (the sim crates plus the CLI,
-/// whose panics are user-facing crashes).
+/// Crates whose unwrap and panic budgets are ratcheted (the sim crates
+/// plus the CLI, whose panics are user-facing crashes).
 pub const BUDGET_CRATES: [&str; 14] = [
     "des",
     "core",
@@ -92,7 +125,7 @@ pub struct Rule {
 }
 
 /// The banned-pattern catalog.
-pub const RULES: [Rule; 3] = [
+pub const RULES: [Rule; 4] = [
     Rule {
         name: "unordered",
         patterns: &["HashMap", "HashSet"],
@@ -107,6 +140,12 @@ pub const RULES: [Rule; 3] = [
         name: "ambient-rng",
         patterns: &["thread_rng", "rand::random"],
         why: "OS-seeded randomness; use the run's seeded generators",
+    },
+    Rule {
+        name: "ambient-env",
+        patterns: &["env::var", "env::vars", "env::var_os"],
+        why: "process environment leaks host state into simulated results; \
+              take configuration as explicit recorded inputs",
     },
 ];
 
@@ -151,242 +190,14 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Source text with comments, strings and test items blanked out
-/// (structure and line numbers preserved), plus the allow markers found in
-/// the comments.
-#[derive(Debug)]
-pub struct Stripped {
-    /// The blanked source.
-    pub code: String,
-    /// line (1-based) → allowed rule name, from `p3-lint: allow(rule): reason`.
-    pub allows: BTreeMap<usize, String>,
-    /// Markers missing the required justification text.
-    pub bad_markers: Vec<usize>,
-}
-
-/// Strips comments, string/char literals and `#[cfg(test)]`/`#[test]`
-/// items from Rust source, preserving line structure so findings carry
-/// real line numbers. Allow markers are collected from comments before
-/// they are blanked.
-pub fn strip(source: &str) -> Stripped {
-    let mut allows = BTreeMap::new();
-    let mut bad_markers = Vec::new();
-    for (i, line) in source.lines().enumerate() {
-        if let Some(pos) = line.find("p3-lint:") {
-            let marker = &line[pos + "p3-lint:".len()..];
-            let marker = marker.trim();
-            if let Some(rest) = marker.strip_prefix("allow(") {
-                if let Some(close) = rest.find(')') {
-                    let rule = rest[..close].trim().to_string();
-                    let reason = rest[close + 1..].trim_start_matches(':').trim();
-                    if reason.is_empty() {
-                        bad_markers.push(i + 1);
-                    } else {
-                        allows.insert(i + 1, rule);
-                    }
-                } else {
-                    bad_markers.push(i + 1);
-                }
-            } else {
-                bad_markers.push(i + 1);
-            }
-        }
-    }
-
-    let b = source.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1;
-                out.extend_from_slice(b"  ");
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        depth += 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        depth -= 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                out.push(b' ');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' && i + 1 < b.len() {
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if b[i] == b'"' {
-                        out.push(b' ');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
-                // Raw string: r"..." or r#"..."# with any number of #s.
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < b.len() && b[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < b.len() && b[j] == b'"' {
-                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
-                    i = j + 1;
-                    'raw: while i < b.len() {
-                        if b[i] == b'"' {
-                            let mut k = i + 1;
-                            let mut h = 0;
-                            while k < b.len() && b[k] == b'#' && h < hashes {
-                                h += 1;
-                                k += 1;
-                            }
-                            if h == hashes {
-                                out.extend(std::iter::repeat_n(b' ', k - i));
-                                i = k;
-                                break 'raw;
-                            }
-                        }
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                } else {
-                    out.push(b'r');
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime. 'x' / '\n' are literals; 'a
-                // followed by an identifier continuation is a lifetime.
-                if i + 2 < b.len() && b[i + 1] == b'\\' {
-                    out.extend_from_slice(b"   ");
-                    i += 3;
-                    while i < b.len() && b[i] != b'\'' {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                    if i < b.len() {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                    out.extend_from_slice(b"   ");
-                    i += 3;
-                } else {
-                    out.push(b'\'');
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    let mut code = String::from_utf8(out).unwrap_or_default();
-    blank_test_items(&mut code);
-    Stripped {
-        code,
-        allows,
-        bad_markers,
-    }
-}
-
-/// Blanks every item annotated `#[cfg(test)]` or `#[test]` (attribute
-/// through the end of its balanced-brace body), in place.
-fn blank_test_items(code: &mut String) {
-    let mut spans: Vec<(usize, usize)> = Vec::new();
-    for (pos, _) in code.match_indices("#[cfg(test)]") {
-        spans.push(item_span(code, pos));
-    }
-    for (pos, _) in code.match_indices("#[test]") {
-        spans.push(item_span(code, pos));
-    }
-    let mut bytes: Vec<u8> = code.bytes().collect();
-    for (a, z) in spans {
-        for c in bytes[a..z].iter_mut() {
-            if *c != b'\n' {
-                *c = b' ';
-            }
-        }
-    }
-    *code = String::from_utf8(bytes).unwrap_or_default();
-}
-
-/// Extent of the item starting at an attribute: from the attribute to the
-/// closing brace of the first balanced `{}` block after it (or the next
-/// `;` for brace-less items).
-fn item_span(code: &str, start: usize) -> (usize, usize) {
-    let b = code.as_bytes();
-    let mut i = start;
-    let mut depth = 0usize;
-    let mut seen_brace = false;
-    while i < b.len() {
-        match b[i] {
-            b'{' => {
-                depth += 1;
-                seen_brace = true;
-            }
-            b'}' => {
-                depth = depth.saturating_sub(1);
-                if seen_brace && depth == 0 {
-                    return (start, i + 1);
-                }
-            }
-            b';' if !seen_brace => return (start, i + 1),
-            _ => {}
-        }
-        i += 1;
-    }
-    (start, b.len())
-}
-
-fn is_ident(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// True if `pat` occurs at `pos` in `code` delimited by non-identifier
-/// characters (so `HashMap` does not match `MyHashMapLike`).
-fn delimited(code: &str, pos: usize, pat: &str) -> bool {
-    let b = code.as_bytes();
-    let before_ok = pos == 0 || !is_ident(b[pos - 1]);
-    let end = pos + pat.len();
-    let after_ok = end >= b.len() || !is_ident(b[end]);
-    before_ok && after_ok
-}
-
-fn line_of(code: &str, pos: usize) -> usize {
-    code[..pos].bytes().filter(|&c| c == b'\n').count() + 1
-}
-
-fn allowed(stripped: &Stripped, line: usize, rule: &str) -> bool {
-    // A marker covers its own line and the following line.
-    [line, line.saturating_sub(1)]
-        .iter()
-        .any(|l| stripped.allows.get(l).is_some_and(|r| r == rule))
-}
-
 /// Lints one file's source text. `path` is used only for reporting.
 pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
-    let stripped = strip(source);
+    lint_stripped(path, source, &strip(source))
+}
+
+/// Like [`lint_source`], but over an already-stripped view (the workspace
+/// walk strips each file once and shares the view across passes).
+pub fn lint_stripped(path: &Path, source: &str, stripped: &Stripped) -> Vec<Finding> {
     let mut findings = Vec::new();
     for &line in &stripped.bad_markers {
         findings.push(Finding {
@@ -405,7 +216,7 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
                     continue;
                 }
                 let line = line_of(&stripped.code, pos);
-                if allowed(&stripped, line, rule.name) {
+                if stripped.allowed(line, rule.name) {
                     continue;
                 }
                 findings.push(Finding {
@@ -417,8 +228,21 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
             }
         }
     }
-    findings.extend(float_accum_findings(path, &stripped));
-    if let Some(f) = file_length_finding(path, source, &stripped) {
+    for pos in float_accum_sites(stripped) {
+        let line = line_of(&stripped.code, pos);
+        if stripped.allowed(line, FLOAT_ACCUM_RULE) {
+            continue;
+        }
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line,
+            rule: FLOAT_ACCUM_RULE.into(),
+            message: "float reduction over `.values()`: rounding order depends on \
+                      iteration order"
+                .into(),
+        });
+    }
+    if let Some(f) = file_length_finding(path, source, stripped) {
         findings.push(f);
     }
     findings.sort_by_key(|f| f.line);
@@ -448,11 +272,13 @@ fn file_length_finding(path: &Path, source: &str, stripped: &Stripped) -> Option
     })
 }
 
-/// Heuristic for order-dependent float accumulation: a single statement
-/// that iterates `.values()` and reduces with `.sum(` or `.fold(`. With
-/// unordered maps already banned this mostly guards allow-listed ones.
-fn float_accum_findings(path: &Path, stripped: &Stripped) -> Vec<Finding> {
-    let mut findings = Vec::new();
+/// Byte positions of order-dependent float accumulations: a single
+/// statement that iterates `.values()` and reduces with `.sum(` or
+/// `.fold(`. With unordered maps already banned this mostly guards
+/// allow-listed ones. Shared with the taint pass, which seeds
+/// `taint-float-order` from the same sites.
+pub(crate) fn float_accum_sites(stripped: &Stripped) -> Vec<usize> {
+    let mut sites = Vec::new();
     for stmt in stripped.code.split(';') {
         if !stmt.contains(".values()") {
             continue;
@@ -461,42 +287,45 @@ fn float_accum_findings(path: &Path, stripped: &Stripped) -> Vec<Finding> {
             continue;
         }
         let offset = stmt.as_ptr() as usize - stripped.code.as_ptr() as usize;
-        let pos = offset + stmt.find(".values()").unwrap_or(0);
-        let line = line_of(&stripped.code, pos);
-        if allowed(stripped, line, FLOAT_ACCUM_RULE) {
-            continue;
-        }
-        findings.push(Finding {
-            file: path.to_path_buf(),
-            line,
-            rule: FLOAT_ACCUM_RULE.into(),
-            message: "float reduction over `.values()`: rounding order depends on \
-                      iteration order"
-                .into(),
-        });
+        sites.push(offset + stmt.find(".values()").unwrap_or(0));
     }
-    findings
+    sites
 }
 
 /// Counts `.unwrap()` / `.expect(` calls in non-test code.
 pub fn count_unwraps(source: &str) -> usize {
-    let stripped = strip(source);
+    count_unwraps_stripped(&strip(source))
+}
+
+fn count_unwraps_stripped(stripped: &Stripped) -> usize {
     stripped.code.matches(".unwrap()").count() + stripped.code.matches(".expect(").count()
 }
 
-/// The unwrap budget: crate name (short, without the `p3-` prefix) →
-/// maximum allowed non-test `.unwrap()`/`.expect(` count.
+/// A ratcheted per-crate (or per-rule) count: name → maximum allowed.
+/// Used for the `[unwrap-budget]`, `[panic-budget]`, `[index-budget]` and
+/// `[findings-baseline]` sections of `p3-lint.toml` — each only ever goes
+/// down.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Budget(pub BTreeMap<String, usize>);
 
 impl Budget {
-    /// Parses `p3-lint.toml`: a `[unwrap-budget]` section of `name = N`
-    /// lines (comments and blank lines ignored).
+    /// Parses the `[unwrap-budget]` section of `p3-lint.toml`.
     ///
     /// # Errors
     ///
     /// Returns a message naming the first malformed line.
     pub fn parse(text: &str) -> Result<Budget, String> {
+        Budget::parse_section(text, "unwrap-budget")
+    }
+
+    /// Parses one `[section]` of `name = N` lines (comments and blank
+    /// lines ignored; a missing section parses as empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse_section(text: &str, section: &str) -> Result<Budget, String> {
+        let header = format!("[{section}]");
         let mut map = BTreeMap::new();
         let mut in_section = false;
         for (i, raw) in text.lines().enumerate() {
@@ -505,7 +334,7 @@ impl Budget {
                 continue;
             }
             if line.starts_with('[') {
-                in_section = line == "[unwrap-budget]";
+                in_section = line == header;
                 continue;
             }
             if !in_section {
@@ -517,7 +346,7 @@ impl Budget {
             let n: usize = value.trim().parse().map_err(|_| {
                 format!("p3-lint.toml:{}: `{}` is not a count", i + 1, value.trim())
             })?;
-            map.insert(name.trim().to_string(), n);
+            map.insert(name.trim().trim_matches('"').to_string(), n);
         }
         Ok(Budget(map))
     }
@@ -532,6 +361,8 @@ impl Budget {
 /// once, and every other rule still applies to it line by line. Entries
 /// live in the `[crate-allow]` section of `p3-lint.toml` so exemptions
 /// are reviewed in one place rather than scattered through sources.
+/// Exempting a rule does **not** stop the taint pass from tracking what
+/// flows out of the crate — see [`taint`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrateAllow(pub BTreeMap<String, Vec<String>>);
 
@@ -598,6 +429,60 @@ impl CrateAllow {
     }
 }
 
+/// Parses the `[taint-sanitizer]` section of `p3-lint.toml`: lines of
+/// `"crate::Type::fn" = "reason"`. A sanitizer is a function *reviewed* to
+/// not leak its impurity into simulated state; the taint pass neither
+/// seeds nor propagates through it. The reason is mandatory — an
+/// unexplained sanitizer is how laundering starts.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (missing quotes or
+/// an empty reason).
+pub fn parse_sanitizers(text: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut map = BTreeMap::new();
+    let mut in_section = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_section = line == "[taint-sanitizer]";
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "p3-lint.toml:{}: expected `\"crate::Type::fn\" = \"reason\"`",
+                i + 1
+            ));
+        };
+        let unquote = |s: &str| -> Option<String> {
+            s.trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_string)
+        };
+        let (Some(key), Some(reason)) = (unquote(key), unquote(value)) else {
+            return Err(format!(
+                "p3-lint.toml:{}: sanitizer entries are `\"crate::Type::fn\" = \"reason\"`",
+                i + 1
+            ));
+        };
+        if reason.trim().is_empty() {
+            return Err(format!(
+                "p3-lint.toml:{}: sanitizer `{key}` needs a non-empty reason",
+                i + 1
+            ));
+        }
+        map.insert(key, reason);
+    }
+    Ok(map)
+}
+
 /// Lints one file's source text as part of crate `krate`: same as
 /// [`lint_source`], minus the findings whose rule the crate exempts via
 /// `[crate-allow]`.
@@ -613,23 +498,55 @@ pub fn lint_source_for_crate(
         .collect()
 }
 
+/// One ratcheted count checked against its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetLine {
+    /// Short crate name.
+    pub krate: String,
+    /// What was counted: `unwrap/expect`, `panic-macro` or `index`.
+    pub kind: &'static str,
+    /// Sites counted in non-test code.
+    pub used: usize,
+    /// Maximum allowed by `p3-lint.toml`.
+    pub budget: usize,
+}
+
 /// Result of linting a whole workspace.
 #[derive(Debug, Default)]
 pub struct WorkspaceReport {
-    /// Pattern findings across all checked files.
+    /// Findings across all passes, sorted and deduplicated.
     pub findings: Vec<Finding>,
-    /// crate → (counted, budget) where counted exceeds budget.
-    pub over_budget: Vec<(String, usize, usize)>,
-    /// crate → (counted, budget) where the budget can be ratcheted down.
-    pub slack: Vec<(String, usize, usize)>,
+    /// Budgets exceeded (unwrap, panic or index).
+    pub over_budget: Vec<BudgetLine>,
+    /// Budgets with slack (the recorded count can be ratcheted down).
+    pub slack: Vec<BudgetLine>,
+    /// Findings per rule.
+    pub counts: BTreeMap<String, usize>,
+    /// The `[findings-baseline]` section the counts were checked against.
+    pub baseline: BTreeMap<String, usize>,
+    /// Rules whose count exceeds the baseline: `(rule, count, baseline)`.
+    pub regressions: Vec<(String, usize, usize)>,
     /// Files checked.
     pub files: usize,
 }
 
 impl WorkspaceReport {
-    /// True when nothing blocks: no findings and no crate over budget.
+    /// True when nothing blocks: no budget exceeded and no rule past its
+    /// baseline. (Baselined findings are known debt, not a failure.)
     pub fn is_clean(&self) -> bool {
-        self.findings.is_empty() && self.over_budget.is_empty()
+        self.over_budget.is_empty() && self.regressions.is_empty()
+    }
+
+    /// Baseline entries whose recorded count exceeds the live count:
+    /// `(rule, count, baseline)` — ratchet these down in `p3-lint.toml`.
+    pub fn baseline_slack(&self) -> Vec<(String, usize, usize)> {
+        self.baseline
+            .iter()
+            .filter_map(|(rule, &b)| {
+                let n = self.counts.get(rule).copied().unwrap_or(0);
+                (n < b).then(|| (rule.clone(), n, b))
+            })
+            .collect()
     }
 }
 
@@ -638,17 +555,32 @@ impl fmt::Display for WorkspaceReport {
         for finding in &self.findings {
             writeln!(f, "{finding}")?;
         }
-        for (name, counted, budget) in &self.over_budget {
+        for (rule, count, base) in &self.regressions {
             writeln!(
                 f,
-                "crate {name}: {counted} unwrap/expect calls exceed the budget of {budget} \
-                 (p3-lint.toml ratchets down only — propagate errors instead)"
+                "rule {rule}: {count} finding(s) exceed the baseline of {base} \
+                 ([findings-baseline] ratchets down only — fix the new findings)"
             )?;
         }
-        for (name, counted, budget) in &self.slack {
+        for b in &self.over_budget {
             writeln!(
                 f,
-                "note: crate {name} uses {counted} of {budget} budgeted unwraps — \
+                "crate {}: {} {} sites exceed the budget of {} \
+                 (p3-lint.toml ratchets down only — propagate errors instead)",
+                b.krate, b.used, b.kind, b.budget
+            )?;
+        }
+        for b in &self.slack {
+            writeln!(
+                f,
+                "note: crate {} uses {} of {} budgeted {} sites — lower it in p3-lint.toml",
+                b.krate, b.used, b.budget, b.kind
+            )?;
+        }
+        for (rule, count, base) in self.baseline_slack() {
+            writeln!(
+                f,
+                "note: rule {rule} has {count} finding(s) against a baseline of {base} — \
                  lower it in p3-lint.toml"
             )?;
         }
@@ -657,8 +589,9 @@ impl fmt::Display for WorkspaceReport {
         } else {
             writeln!(
                 f,
-                "p3-lint: FAILED — {} finding(s), {} crate(s) over budget",
+                "p3-lint: FAILED — {} finding(s), {} baseline regression(s), {} budget(s) exceeded",
                 self.findings.len(),
+                self.regressions.len(),
                 self.over_budget.len()
             )?;
         }
@@ -681,61 +614,313 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+fn all_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            all_files(&p, out);
+        } else {
+            out.push(p);
+        }
+    }
+}
+
+/// Which crates [`lint_workspace_with`] checks, and whether the
+/// repo-specific schema/coverage passes run. [`Default`] matches this
+/// workspace; fixture tests substitute their own mini-workspaces.
+#[derive(Debug, Clone)]
+pub struct WorkspaceOptions {
+    /// Crates the pattern rules and the taint pass cover.
+    pub sim_crates: Vec<String>,
+    /// Crates whose unwrap and panic budgets are enforced.
+    pub budget_crates: Vec<String>,
+    /// Run the schema-drift and invariant-coverage passes (they name
+    /// specific files of this repository).
+    pub repo_checks: bool,
+}
+
+impl Default for WorkspaceOptions {
+    fn default() -> Self {
+        WorkspaceOptions {
+            sim_crates: SIM_CRATES.iter().map(|s| s.to_string()).collect(),
+            budget_crates: BUDGET_CRATES.iter().map(|s| s.to_string()).collect(),
+            repo_checks: true,
+        }
+    }
+}
+
+/// The versioned-format files the schema-drift pass cross-checks, as
+/// `(workspace-relative path, version constant)`.
+const JSON_FORMAT_SPECS: [(&str, &str); 3] = [
+    ("crates/prof/src/report.rs", "PROFILE_FORMAT_VERSION"),
+    ("crates/prof/src/bench.rs", "BENCH_FORMAT_VERSION"),
+    ("crates/tune/src/report.rs", "TUNE_FORMAT_VERSION"),
+];
+
 /// Lints the workspace rooted at `root` (the directory holding
-/// `Cargo.toml` and `crates/`): pattern rules over [`SIM_CRATES`], unwrap
-/// budgets over [`BUDGET_CRATES`] against `<root>/p3-lint.toml`.
+/// `Cargo.toml` and `crates/`) with the default [`WorkspaceOptions`]:
+/// every pass, all [`SIM_CRATES`] and [`BUDGET_CRATES`], budgets and
+/// baseline from `<root>/p3-lint.toml`.
 ///
 /// # Errors
 ///
-/// Returns a message when the budget file is missing or malformed, or a
-/// budgeted crate directory cannot be read.
+/// Returns a message when the config file is missing or malformed, a
+/// budgeted crate has no budget entry, or a schema-checked file is gone.
 pub fn lint_workspace(root: &Path) -> Result<WorkspaceReport, String> {
-    let budget_path = root.join("p3-lint.toml");
-    let budget_text = std::fs::read_to_string(&budget_path)
-        .map_err(|e| format!("{}: {e}", budget_path.display()))?;
-    let budget = Budget::parse(&budget_text)?;
-    let crate_allow = CrateAllow::parse(&budget_text)?;
+    lint_workspace_with(root, &WorkspaceOptions::default())
+}
 
-    let mut report = WorkspaceReport::default();
-    for name in SIM_CRATES {
+/// [`lint_workspace`] with explicit [`WorkspaceOptions`].
+///
+/// # Errors
+///
+/// See [`lint_workspace`].
+pub fn lint_workspace_with(
+    root: &Path,
+    opts: &WorkspaceOptions,
+) -> Result<WorkspaceReport, String> {
+    let toml_path = root.join("p3-lint.toml");
+    let toml_text =
+        std::fs::read_to_string(&toml_path).map_err(|e| format!("{}: {e}", toml_path.display()))?;
+    let unwrap_budget = Budget::parse_section(&toml_text, "unwrap-budget")?;
+    let panic_budget = Budget::parse_section(&toml_text, "panic-budget")?;
+    let index_budget = Budget::parse_section(&toml_text, "index-budget")?;
+    let baseline = Budget::parse_section(&toml_text, "findings-baseline")?;
+    let crate_allow = CrateAllow::parse(&toml_text)?;
+    let sanitizers = parse_sanitizers(&toml_text)?;
+
+    // ── Collect and strip every sim-crate source exactly once. ──
+    let mut files: Vec<callgraph::SourceFile> = Vec::new();
+    let mut sources: Vec<String> = Vec::new();
+    for name in &opts.sim_crates {
         let src = root.join("crates").join(name).join("src");
-        let mut files = Vec::new();
-        rust_files(&src, &mut files);
-        if files.is_empty() {
+        let mut paths = Vec::new();
+        rust_files(&src, &mut paths);
+        if paths.is_empty() {
             return Err(format!("no Rust sources under {}", src.display()));
         }
-        for f in files {
+        for p in paths {
             let source =
-                std::fs::read_to_string(&f).map_err(|e| format!("{}: {e}", f.display()))?;
-            let rel = f.strip_prefix(root).unwrap_or(&f).to_path_buf();
-            report
-                .findings
-                .extend(lint_source_for_crate(name, &rel, &source, &crate_allow));
-            report.files += 1;
+                std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            let rel = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+            files.push(callgraph::SourceFile {
+                krate: name.clone(),
+                path: rel,
+                stripped: strip(&source),
+            });
+            sources.push(source);
         }
     }
-    for name in BUDGET_CRATES {
-        let src = root.join("crates").join(name).join("src");
-        let mut files = Vec::new();
-        rust_files(&src, &mut files);
-        let mut counted = 0;
-        for f in &files {
-            let source = std::fs::read_to_string(f).map_err(|e| format!("{}: {e}", f.display()))?;
-            counted += count_unwraps(&source);
+
+    let mut report = WorkspaceReport {
+        files: files.len(),
+        baseline: baseline.0.clone(),
+        ..Default::default()
+    };
+
+    // ── Pass 1: token rules. ──
+    for (sf, source) in files.iter().zip(&sources) {
+        report.findings.extend(
+            lint_stripped(&sf.path, source, &sf.stripped)
+                .into_iter()
+                .filter(|f| !crate_allow.allows(&sf.krate, &f.rule)),
+        );
+    }
+
+    // ── Pass 2: call-graph taint. ──
+    let graph = callgraph::build(&files);
+    let tcfg = taint::TaintConfig {
+        sim_crates: &opts.sim_crates,
+        crate_allow: &crate_allow,
+        sanitizers: &sanitizers,
+    };
+    report
+        .findings
+        .extend(taint::analyze(&graph, &files, &tcfg));
+
+    // ── Pass 3: budgets (unwrap + panic for all budget crates, index for
+    //    crates opted in via [index-budget]). ──
+    let mut stripped_by_crate: BTreeMap<&str, Vec<&Stripped>> = BTreeMap::new();
+    for sf in &files {
+        stripped_by_crate
+            .entry(sf.krate.as_str())
+            .or_default()
+            .push(&sf.stripped);
+    }
+    let count_crate = |name: &str, counter: &dyn Fn(&Stripped) -> usize| -> Result<usize, String> {
+        if let Some(list) = stripped_by_crate.get(name) {
+            return Ok(list.iter().map(|s| counter(s)).sum());
         }
-        match budget.0.get(name) {
+        let src = root.join("crates").join(name).join("src");
+        let mut paths = Vec::new();
+        rust_files(&src, &mut paths);
+        let mut n = 0;
+        for p in &paths {
+            let source = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+            n += counter(&strip(&source));
+        }
+        Ok(n)
+    };
+    for name in &opts.budget_crates {
+        let unwraps = count_crate(name, &count_unwraps_stripped)?;
+        match unwrap_budget.0.get(name) {
             None => {
                 return Err(format!(
                     "p3-lint.toml has no unwrap budget for crate `{name}` — add `{name} = \
-                     {counted}`"
+                     {unwraps}`"
                 ))
             }
-            Some(&b) if counted > b => report.over_budget.push((name.into(), counted, b)),
-            Some(&b) if counted < b => report.slack.push((name.into(), counted, b)),
-            Some(_) => {}
+            Some(&b) => track_budget(&mut report, name, "unwrap/expect", unwraps, b),
+        }
+        let n_panics = count_crate(name, &panics::count_panics)?;
+        match panic_budget.0.get(name) {
+            None => {
+                return Err(format!(
+                    "p3-lint.toml has no panic budget for crate `{name}` — add `{name} = \
+                     {n_panics}` to [panic-budget]"
+                ))
+            }
+            Some(&b) => track_budget(&mut report, name, "panic-macro", n_panics, b),
+        }
+    }
+    for (name, &b) in &index_budget.0 {
+        let n = count_crate(name, &panics::count_index_sites)?;
+        track_budget(&mut report, name, "index", n, b);
+    }
+
+    // ── Passes 4–5: schema drift and invariant coverage (repo-specific). ──
+    if opts.repo_checks {
+        let by_rel: BTreeMap<&Path, usize> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.path.as_path(), i))
+            .collect();
+        let find = |rel: &str| -> Result<usize, String> {
+            by_rel
+                .get(Path::new(rel))
+                .copied()
+                .ok_or_else(|| format!("schema-drift: expected file `{rel}` is missing"))
+        };
+        for (rel, version_const) in JSON_FORMAT_SPECS {
+            let i = find(rel)?;
+            report.findings.extend(schema::check_json_format(
+                &files[i].path,
+                &files[i].stripped,
+                version_const,
+            ));
+        }
+        let i = find("crates/trace/src/export.rs")?;
+        report.findings.extend(schema::check_trace_export(
+            &files[i].path,
+            &files[i].stripped,
+        ));
+        let i = find("crates/cluster/src/snap.rs")?;
+        report.findings.extend(schema::check_snap_header(
+            &files[i].path,
+            &files[i].stripped,
+            &["SNAP_MAGIC", "SNAP_VERSION"],
+        ));
+        let enc = find("crates/cluster/src/engine/snapshot/encode.rs")?;
+        let dec = find("crates/cluster/src/engine/snapshot/decode.rs")?;
+        report.findings.extend(schema::check_codec_pairing(
+            &files[enc].path,
+            &files[enc].stripped,
+            &files[dec].stripped,
+        ));
+
+        let cat = find("crates/audit/src/report.rs")?;
+        let corpus = test_corpus(root, &files, &sources);
+        report.findings.extend(coverage::check_invariant_coverage(
+            &files[cat].path,
+            &sources[cat],
+            "Invariant",
+            &corpus,
+        ));
+    }
+
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    report.findings.dedup();
+    for f in &report.findings {
+        *report.counts.entry(f.rule.clone()).or_insert(0) += 1;
+    }
+    for (rule, &n) in &report.counts {
+        let base = report.baseline.get(rule).copied().unwrap_or(0);
+        if n > base {
+            report.regressions.push((rule.clone(), n, base));
         }
     }
     Ok(report)
+}
+
+fn track_budget(
+    report: &mut WorkspaceReport,
+    name: &str,
+    kind: &'static str,
+    used: usize,
+    budget: usize,
+) {
+    let line = BudgetLine {
+        krate: name.into(),
+        kind,
+        used,
+        budget,
+    };
+    if used > budget {
+        report.over_budget.push(line);
+    } else if used < budget {
+        report.slack.push(line);
+    }
+}
+
+/// The searchable corpus for the invariant-coverage pass: every file under
+/// any crate's `tests/` directory (fixture file *names* count too), plus
+/// the `#[cfg(test)]` spans of each sim-crate source.
+fn test_corpus(
+    root: &Path,
+    files: &[callgraph::SourceFile],
+    sources: &[String],
+) -> Vec<coverage::CorpusEntry> {
+    let mut corpus = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for d in dirs {
+            let tests = d.join("tests");
+            let mut paths = Vec::new();
+            all_files(&tests, &mut paths);
+            for p in paths {
+                let text = std::fs::read_to_string(&p).unwrap_or_default();
+                corpus.push(coverage::CorpusEntry {
+                    path: p.strip_prefix(root).unwrap_or(&p).to_path_buf(),
+                    text,
+                });
+            }
+        }
+    }
+    for (sf, source) in files.iter().zip(sources) {
+        if sf.stripped.test_spans.is_empty() {
+            continue;
+        }
+        let text: String = sf
+            .stripped
+            .test_spans
+            .iter()
+            .filter_map(|&(a, z)| source.get(a..z.min(source.len())))
+            .collect::<Vec<_>>()
+            .join("\n");
+        corpus.push(coverage::CorpusEntry {
+            path: sf.path.clone(),
+            text,
+        });
+    }
+    corpus
 }
 
 #[cfg(test)]
@@ -781,11 +966,17 @@ mod tests {
     }
 
     #[test]
-    fn flags_wall_clock_and_rng() {
+    fn flags_wall_clock_rng_and_env() {
         let f = lint_str("fn f() { let t = Instant::now(); }\n");
         assert!(f.iter().any(|x| x.rule == "wall-clock"), "{f:?}");
         let f = lint_str("fn f() { let r = thread_rng(); }\n");
         assert!(f.iter().any(|x| x.rule == "ambient-rng"), "{f:?}");
+        let f = lint_str("fn f() { let v = std::env::var(\"SEED\"); }\n");
+        assert!(f.iter().any(|x| x.rule == "ambient-env"), "{f:?}");
+        // `env::vars` must not double-report as `env::var`.
+        let f = lint_str("fn f() { for _ in std::env::vars() {} }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "ambient-env");
     }
 
     #[test]
@@ -837,6 +1028,46 @@ mod tests {
     }
 
     #[test]
+    fn budget_sections_are_independent() {
+        let text = "[unwrap-budget]\ncluster = 3\n[panic-budget]\ncluster = 14\n\
+                    [findings-baseline]\n\"schema-drift\" = 1\n";
+        assert_eq!(
+            Budget::parse_section(text, "panic-budget")
+                .unwrap()
+                .0
+                .get("cluster"),
+            Some(&14)
+        );
+        assert_eq!(
+            Budget::parse_section(text, "findings-baseline")
+                .unwrap()
+                .0
+                .get("schema-drift"),
+            Some(&1)
+        );
+        // A missing section is an empty budget, not an error.
+        assert!(Budget::parse_section(text, "index-budget")
+            .unwrap()
+            .0
+            .is_empty());
+    }
+
+    #[test]
+    fn sanitizers_require_quotes_and_reasons() {
+        let ok = "[taint-sanitizer]\n\"prof::SimProfiler::new\" = \"reviewed\"\n";
+        let m = parse_sanitizers(ok).unwrap();
+        assert_eq!(
+            m.get("prof::SimProfiler::new").map(String::as_str),
+            Some("reviewed")
+        );
+        assert!(parse_sanitizers("[taint-sanitizer]\nprof::x = \"r\"\n").is_err());
+        assert!(parse_sanitizers("[taint-sanitizer]\n\"prof::x\" = \"\"\n").is_err());
+        assert!(parse_sanitizers("[unwrap-budget]\ncli = 0\n")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn crate_allow_parses_lists() {
         let text = "[unwrap-budget]\nprof = 0\n[crate-allow]\nprof = [\"wall-clock\"] # why\n";
         let a = CrateAllow::parse(text).unwrap();
@@ -870,5 +1101,21 @@ mod tests {
     fn raw_strings_and_chars_are_stripped() {
         let src = "fn f() { let s = r#\"HashMap\"#; let c = 'H'; let _ = (s, c); }\n";
         assert!(lint_str(src).is_empty(), "{:?}", lint_str(src));
+    }
+
+    #[test]
+    fn report_clean_tracks_budgets_and_baseline() {
+        let mut r = WorkspaceReport::default();
+        assert!(r.is_clean());
+        r.regressions.push(("schema-drift".into(), 1, 0));
+        assert!(!r.is_clean());
+        r.regressions.clear();
+        r.over_budget.push(BudgetLine {
+            krate: "cli".into(),
+            kind: "panic-macro",
+            used: 2,
+            budget: 0,
+        });
+        assert!(!r.is_clean());
     }
 }

@@ -1,18 +1,44 @@
 //! The `p3-lint` binary: lint the workspace, print the report, exit
 //! non-zero on any violation. Run from the workspace root (CI does), or
-//! pass the root as the single argument.
+//! pass the root as an argument.
+//!
+//! Flags:
+//!
+//! * `--json` — emit the findings report as deterministic JSON instead of
+//!   the human-readable summary (CI byte-compares two runs).
+//! * `--baseline` — print a fresh `[findings-baseline]` section matching
+//!   the current findings, for pasting into `p3-lint.toml` when ratcheting.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut baseline = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--baseline" => baseline = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("p3-lint: unknown flag `{flag}` (expected --json or --baseline)");
+                return ExitCode::FAILURE;
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
     match p3_lint::lint_workspace(&root) {
         Ok(report) => {
-            print!("{report}");
+            if baseline {
+                println!("[findings-baseline]");
+                for (rule, n) in &report.counts {
+                    println!("\"{rule}\" = {n}");
+                }
+            } else if json {
+                print!("{}", p3_lint::report::report_json(&report));
+            } else {
+                print!("{report}");
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

@@ -1,0 +1,302 @@
+//! Determinism taint propagation over the call graph.
+//!
+//! The token rules catch a banned API *written where it is used*. What
+//! they cannot see is indirection: a helper that wraps `Instant::now`, a
+//! `pub use rand::thread_rng as …` re-export, an `env::var` read behind a
+//! config shim — especially when the helper lives in a crate that
+//! legitimately exempts the rule (`p3-prof` reads the wall clock by
+//! design) and the *caller* is an engine crate that must stay pure.
+//!
+//! This pass closes that gap: impurity is seeded wherever a banned API is
+//! reachable (body tokens, alias-expanded external calls), propagated
+//! along call edges to every transitive caller, and reported **at the
+//! frontier only** — the call site where a clean sim-crate function first
+//! reaches into a tainted chain it cannot see locally (an exempt crate's
+//! helper, or an alias the token scanner misses). Interior links of a
+//! chain stay silent because their origin is already reported once, in
+//! the crate that owns it.
+//!
+//! Escape hatches are deliberate and centralized: a function that is
+//! *reviewed* to not leak its impurity into simulated state (e.g.
+//! `SimProfiler::new` — the profiled-vs-unprofiled bit-identity test pins
+//! it) is named in the `[taint-sanitizer]` section of `p3-lint.toml` with
+//! a mandatory reason, and carries no taint.
+
+use crate::callgraph::{CallGraph, Callee, SourceFile};
+use crate::lexer::{delimited, line_of};
+use crate::{float_accum_sites, CrateAllow, Finding, FLOAT_ACCUM_RULE, RULES};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// The taint rules: `(taint rule name, base token rule it extends)`.
+pub const TAINT_RULES: [(&str, &str); 5] = [
+    ("taint-unordered", "unordered"),
+    ("taint-wall-clock", "wall-clock"),
+    ("taint-ambient-rng", "ambient-rng"),
+    ("taint-ambient-env", "ambient-env"),
+    ("taint-float-order", FLOAT_ACCUM_RULE),
+];
+
+/// Taint rule name for a base-rule kind.
+pub fn taint_rule_of(kind: &str) -> &'static str {
+    TAINT_RULES
+        .iter()
+        .find(|(_, base)| *base == kind)
+        .map(|(t, _)| *t)
+        .unwrap_or("taint-unknown")
+}
+
+fn why_of(kind: &str) -> &'static str {
+    if kind == FLOAT_ACCUM_RULE {
+        return "rounding order depends on iteration order";
+    }
+    RULES
+        .iter()
+        .find(|r| r.name == kind)
+        .map(|r| r.why)
+        .unwrap_or("banned nondeterministic API")
+}
+
+fn kind_patterns(kind: &str) -> &'static [&'static str] {
+    RULES
+        .iter()
+        .find(|r| r.name == kind)
+        .map(|r| r.patterns)
+        .unwrap_or(&[])
+}
+
+/// Classifies an alias-expanded external path as a banned source.
+fn external_kind(path: &str) -> Option<&'static str> {
+    if path.ends_with("Instant::now") || path.ends_with("SystemTime::now") {
+        return Some("wall-clock");
+    }
+    if path.ends_with("thread_rng") || path.ends_with("rand::random") {
+        return Some("ambient-rng");
+    }
+    if path.ends_with("env::var") || path.ends_with("env::vars") || path.ends_with("env::var_os") {
+        return Some("ambient-env");
+    }
+    None
+}
+
+/// Configuration for [`analyze`].
+#[derive(Debug)]
+pub struct TaintConfig<'a> {
+    /// Crates whose functions are reported on.
+    pub sim_crates: &'a [String],
+    /// Crate-scoped rule exemptions (exempt crates still *carry* taint).
+    pub crate_allow: &'a CrateAllow,
+    /// Reviewed pure-in-effect functions (`crate::Type::fn` → reason):
+    /// they carry no taint at all.
+    pub sanitizers: &'a BTreeMap<String, String>,
+}
+
+/// Runs seeding, fixpoint propagation and frontier reporting. `files`
+/// must be the same slice the graph was [built](crate::callgraph::build)
+/// from.
+pub fn analyze(graph: &CallGraph, files: &[SourceFile], cfg: &TaintConfig<'_>) -> Vec<Finding> {
+    let file_of: BTreeMap<&Path, &SourceFile> =
+        files.iter().map(|f| (f.path.as_path(), f)).collect();
+    let sanitized: Vec<bool> = graph
+        .nodes
+        .iter()
+        .map(|n| cfg.sanitizers.contains_key(&n.qualified))
+        .collect();
+
+    // ── Seed: banned tokens and float reductions inside each body. ──
+    let mut taint: Vec<BTreeMap<&'static str, String>> = vec![BTreeMap::new(); graph.nodes.len()];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if sanitized[id] {
+            continue;
+        }
+        let Some(sf) = file_of.get(node.file.as_path()) else {
+            continue;
+        };
+        let code = &sf.stripped.code;
+        let (a, z) = node.body;
+        let body = &code[a..z];
+        for rule in RULES {
+            for pat in rule.patterns {
+                for (pos, _) in body.match_indices(pat) {
+                    if !delimited(code, a + pos, pat) {
+                        continue;
+                    }
+                    let line = line_of(code, a + pos);
+                    if sf.stripped.allowed(line, rule.name) {
+                        continue;
+                    }
+                    taint[id]
+                        .entry(rule.name)
+                        .or_insert_with(|| format!("{}:{line} uses `{pat}`", node.file.display()));
+                }
+            }
+        }
+        for pos in float_accum_sites(&sf.stripped) {
+            if pos < a || pos >= z {
+                continue;
+            }
+            let line = line_of(code, pos);
+            if sf.stripped.allowed(line, FLOAT_ACCUM_RULE) {
+                continue;
+            }
+            taint[id].entry(FLOAT_ACCUM_RULE).or_insert_with(|| {
+                format!(
+                    "{}:{line} reduces floats over `.values()`",
+                    node.file.display()
+                )
+            });
+        }
+    }
+
+    // ── Seed: alias-expanded calls straight into banned externals. ──
+    for call in &graph.calls {
+        let f = call.caller;
+        if sanitized[f] {
+            continue;
+        }
+        let node = &graph.nodes[f];
+        let Some(sf) = file_of.get(node.file.as_path()) else {
+            continue;
+        };
+        for t in &call.targets {
+            let Callee::External(path) = t else { continue };
+            let Some(kind) = external_kind(path) else {
+                continue;
+            };
+            if sf.stripped.allowed(call.line, kind)
+                || sf.stripped.allowed(call.line, taint_rule_of(kind))
+            {
+                continue;
+            }
+            taint[f].entry(kind).or_insert_with(|| {
+                format!(
+                    "{}:{} calls `{}` = `{path}`",
+                    node.file.display(),
+                    call.line,
+                    call.raw
+                )
+            });
+        }
+    }
+
+    // ── Fixpoint: taint flows from callee to caller, except through
+    //    sanitized functions. ──
+    loop {
+        let mut updates: Vec<(usize, &'static str, String)> = Vec::new();
+        for call in &graph.calls {
+            let f = call.caller;
+            if sanitized[f] {
+                continue;
+            }
+            for t in &call.targets {
+                let Callee::Node(g) = *t else { continue };
+                if sanitized[g] {
+                    continue;
+                }
+                for (kind, origin) in &taint[g] {
+                    if !taint[f].contains_key(kind) {
+                        updates.push((f, kind, origin.clone()));
+                    }
+                }
+            }
+        }
+        let mut changed = false;
+        for (f, kind, origin) in updates {
+            if let std::collections::btree_map::Entry::Vacant(e) = taint[f].entry(kind) {
+                e.insert(origin);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ── Report at the frontier. ──
+    let mut findings = Vec::new();
+    let mut seen: BTreeSet<(String, usize, &'static str)> = BTreeSet::new();
+    for call in &graph.calls {
+        let f = &graph.nodes[call.caller];
+        if !cfg.sim_crates.contains(&f.krate) {
+            continue;
+        }
+        let Some(sf) = file_of.get(f.file.as_path()) else {
+            continue;
+        };
+        let exempt_here = |kind: &str| {
+            cfg.crate_allow.allows(&f.krate, kind)
+                || cfg.crate_allow.allows(&f.krate, taint_rule_of(kind))
+        };
+        let marked = |kind: &str| {
+            sf.stripped.allowed(call.line, kind)
+                || sf.stripped.allowed(call.line, taint_rule_of(kind))
+        };
+        for t in &call.targets {
+            match t {
+                Callee::External(path) => {
+                    let Some(kind) = external_kind(path) else {
+                        continue;
+                    };
+                    // The token scanner already reports calls written with
+                    // a banned pattern in plain sight; taint reports only
+                    // what it alone can see (aliases, re-exports).
+                    if kind_patterns(kind).iter().any(|pat| call.raw.contains(pat)) {
+                        continue;
+                    }
+                    if exempt_here(kind) || marked(kind) {
+                        continue;
+                    }
+                    if seen.insert((f.file.display().to_string(), call.line, taint_rule_of(kind))) {
+                        findings.push(Finding {
+                            file: f.file.clone(),
+                            line: call.line,
+                            rule: taint_rule_of(kind).into(),
+                            message: format!(
+                                "`{}` resolves to `{path}`: {}",
+                                call.raw,
+                                why_of(kind)
+                            ),
+                        });
+                    }
+                }
+                Callee::Node(gi) => {
+                    if sanitized[*gi] {
+                        continue;
+                    }
+                    let g = &graph.nodes[*gi];
+                    for (kind, origin) in &taint[*gi] {
+                        // Frontier rule: report only where the chain
+                        // crosses into code the rules cannot reach — a
+                        // crate that exempts this kind (or sits outside
+                        // the sim set). Inside a non-exempt sim crate the
+                        // origin is already reported where it is written.
+                        let callee_exempt = cfg.crate_allow.allows(&g.krate, kind)
+                            || cfg.crate_allow.allows(&g.krate, taint_rule_of(kind))
+                            || !cfg.sim_crates.contains(&g.krate);
+                        if !callee_exempt || exempt_here(kind) || marked(kind) {
+                            continue;
+                        }
+                        if seen.insert((
+                            f.file.display().to_string(),
+                            call.line,
+                            taint_rule_of(kind),
+                        )) {
+                            findings.push(Finding {
+                                file: f.file.clone(),
+                                line: call.line,
+                                rule: taint_rule_of(kind).into(),
+                                message: format!(
+                                    "call into `{}` carries {kind} taint ({origin}): {}",
+                                    g.qualified,
+                                    why_of(kind)
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    findings
+}

@@ -569,6 +569,17 @@ fn meta_from_json(v: &JsonValue) -> Result<TraceMeta, String> {
 /// row.
 pub fn import_trace_json(doc: &str) -> Result<(TraceLog, TraceMeta), String> {
     let v = json::parse(doc).map_err(|e| e.to_string())?;
+    if let Some(version) = v.get("p3TraceVersion") {
+        let version = version
+            .as_number()
+            .ok_or("p3TraceVersion is not a number")? as u64;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(format!(
+                "p3TraceVersion {version} is not the supported version {TRACE_FORMAT_VERSION} \
+                 (re-export with a matching build)"
+            ));
+        }
+    }
     let events = v
         .get("p3Events")
         .ok_or("no p3Events array: not a p3 typed trace (re-export with a current build)")?
